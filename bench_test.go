@@ -1,0 +1,207 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§2 and §4). Each benchmark measures the pipeline stage that
+// produces the corresponding table and, where the table carries numbers,
+// reports them as benchmark metrics so `go test -bench` output doubles as
+// the experiment record. EXPERIMENTS.md maps each benchmark to the paper
+// table it regenerates.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/systems/all"
+	"repro/internal/systems/toysys"
+	"repro/internal/trigger"
+)
+
+// BenchmarkFigMetaInfoGraph regenerates Figs. 1/5(d)/6: profiling one
+// Yarn run and building the runtime meta-info graph.
+func BenchmarkFigMetaInfoGraph(b *testing.B) {
+	r, _ := all.ByName("yarn")
+	for i := 0; i < b.N; i++ {
+		_ = report.FigMetaInfo(r, 11, 1)
+	}
+}
+
+// BenchmarkTable1StudiedBugs regenerates Table 1 from the registry.
+func BenchmarkTable1StudiedBugs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Table1()
+	}
+	c := registry.StudyCounts()
+	b.ReportMetric(float64(c.TimingSensitive), "timing-sensitive")
+	b.ReportMetric(float64(c.Reproduced), "reproduced")
+}
+
+// BenchmarkTable2MetaInfoTypes regenerates Table 2: the meta-info type
+// inference for the Yarn example.
+func BenchmarkTable2MetaInfoTypes(b *testing.B) {
+	r, _ := all.ByName("yarn")
+	var n int
+	for i := 0; i < b.N; i++ {
+		res, _ := core.AnalysisPhase(r, core.Options{Seed: 11})
+		n = res.Analysis.Census().Types
+	}
+	b.ReportMetric(float64(n), "meta-types")
+}
+
+// BenchmarkTable3CollKeywords exercises the Table 3 classifier.
+func BenchmarkTable3CollKeywords(b *testing.B) {
+	names := []string{"get", "putIfAbsent", "iterator", "containsKey", "copyInto", "offerLast"}
+	for i := 0; i < b.N; i++ {
+		for _, n := range names {
+			_ = ir.ClassifyCollMethod(n)
+		}
+	}
+}
+
+// BenchmarkTable4Systems regenerates Table 4 (and validates every model).
+func BenchmarkTable4Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Table4()
+	}
+}
+
+// BenchmarkTable5NewBugs regenerates Table 5's live column: the full
+// CrashTuner campaign over all five systems, counting the seeded bugs
+// detected.
+func BenchmarkTable5NewBugs(b *testing.B) {
+	var found int
+	for i := 0; i < b.N; i++ {
+		x := report.NewExperiments(11, 1, 0)
+		x.RunPipelines()
+		found = len(x.FoundBugs())
+	}
+	b.ReportMetric(float64(found), "distinct-bugs")
+}
+
+// BenchmarkTable6FixComplexity regenerates Table 6.
+func BenchmarkTable6FixComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Table6()
+	}
+}
+
+// BenchmarkTable7RandomInjection regenerates Table 7 on Yarn (50 runs
+// per iteration; the paper uses 3000 per system).
+func BenchmarkTable7RandomInjection(b *testing.B) {
+	r, _ := all.ByName("yarn")
+	base := trigger.MeasureBaseline(r, 11, 1, 3, 0)
+	var bugRuns int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := baseline.Random(r, base, baseline.Options{Seed: int64(i), Runs: 50})
+		bugRuns = res.BugRuns
+	}
+	b.ReportMetric(float64(bugRuns), "bug-runs-per-50")
+}
+
+// BenchmarkTable8IOCensus regenerates Table 8's static side.
+func BenchmarkTable8IOCensus(b *testing.B) {
+	var statics int
+	for i := 0; i < b.N; i++ {
+		statics = 0
+		for _, r := range all.Runners() {
+			statics += r.Program().IOCensus().StaticIOs
+		}
+	}
+	b.ReportMetric(float64(statics), "static-io-points")
+}
+
+// BenchmarkTable9IOInjection regenerates Table 9 on Yarn.
+func BenchmarkTable9IOInjection(b *testing.B) {
+	r, _ := all.ByName("yarn")
+	res, matcher := core.AnalysisPhase(r, core.Options{Seed: 11})
+	_ = res
+	base := trigger.MeasureBaseline(r, 11, 1, 3, 0)
+	var bugRuns int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := baseline.IOInjection(r, matcher, base, baseline.Options{Seed: 11})
+		bugRuns = out.BugRuns
+	}
+	b.ReportMetric(float64(bugRuns), "bug-runs")
+}
+
+// BenchmarkTable10Census regenerates Table 10: full static analysis and
+// profiling over all systems.
+func BenchmarkTable10Census(b *testing.B) {
+	var static, dynamic int
+	for i := 0; i < b.N; i++ {
+		static, dynamic = 0, 0
+		for _, r := range all.Runners() {
+			res, _ := core.AnalysisPhase(r, core.Options{Seed: 11})
+			core.ProfilePhase(r, res, core.Options{Seed: 11})
+			static += len(res.Static.Points)
+			dynamic += len(res.Dynamic.Points)
+		}
+	}
+	b.ReportMetric(float64(static), "static-cps")
+	b.ReportMetric(float64(dynamic), "dynamic-cps")
+}
+
+// BenchmarkTable11Times regenerates Table 11: the end-to-end pipeline
+// per system (this benchmark's ns/op is the wall-clock column).
+func BenchmarkTable11Times(b *testing.B) {
+	for _, r := range all.Runners() {
+		b.Run(r.Name(), func(b *testing.B) {
+			var virt float64
+			for i := 0; i < b.N; i++ {
+				res := core.Run(r, core.Options{Seed: 11})
+				virt = float64(res.Timing.VirtualTest)
+			}
+			b.ReportMetric(virt/1e6, "virtual-test-s")
+		})
+	}
+}
+
+// BenchmarkTable12Pruning regenerates Table 12: the optimization counts
+// of the static analysis.
+func BenchmarkTable12Pruning(b *testing.B) {
+	r, _ := all.ByName("yarn")
+	var pruned int
+	for i := 0; i < b.N; i++ {
+		res, _ := core.AnalysisPhase(r, core.Options{Seed: 11})
+		pruned = res.Static.Pruned.Total()
+	}
+	b.ReportMetric(float64(pruned), "pruned")
+}
+
+// BenchmarkTable13Kubernetes regenerates Table 13.
+func BenchmarkTable13Kubernetes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Table13()
+	}
+	b.ReportMetric(float64(len(registry.KubernetesBugs())), "k8s-bugs")
+}
+
+// BenchmarkReproExisting regenerates the §4.1.1 ledger.
+func BenchmarkReproExisting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.ReproSummary()
+	}
+}
+
+// BenchmarkTimeoutIssues regenerates the §4.1.3 list on Yarn.
+func BenchmarkTimeoutIssues(b *testing.B) {
+	r, _ := all.ByName("yarn")
+	var n int
+	for i := 0; i < b.N; i++ {
+		res := core.Run(r, core.Options{Seed: 11})
+		n = res.Summary.TimeoutIssues
+	}
+	b.ReportMetric(float64(n), "timeout-issues")
+}
+
+// BenchmarkPipelineToy is the microbenchmark of the whole pipeline on
+// the smallest system, for tracking harness overhead.
+func BenchmarkPipelineToy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = core.Run(&toysys.Runner{}, core.Options{Seed: 7})
+	}
+}

@@ -1,0 +1,88 @@
+// Command crashtuner runs the full CrashTuner pipeline (Fig. 4) against
+// one simulated system: log analysis, meta-info inference, static crash
+// point analysis, profiling to dynamic crash points, then one
+// fault-injection run per dynamic crash point with the online stash
+// choosing the node to crash or shut down.
+//
+// Usage:
+//
+//	crashtuner -system yarn [-seed 11] [-scale 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/systems/all"
+	"repro/internal/trigger"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "yarn", "system under test: yarn, hdfs, hbase, zookeeper, cassandra")
+		seed    = flag.Int64("seed", 11, "seed for every run of the campaign")
+		scale   = flag.Int("scale", 1, "workload scale")
+		verbose = flag.Bool("v", false, "print every per-point report")
+		fixed   = flag.Bool("figure", false, "also dump the runtime meta-info figure (Fig. 5d/6)")
+	)
+	flag.Parse()
+
+	r, err := all.ByName(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("CrashTuner on %s (workload %s, seed %d, scale %d)\n\n",
+		r.Name(), r.Workload(), *seed, *scale)
+
+	opts := core.Options{Seed: *seed, Scale: *scale}
+	res, matcher := core.AnalysisPhase(r, opts)
+	fmt.Printf("Phase 1 — analysis (%v):\n", res.Timing.Analysis.Round(time.Millisecond))
+	fmt.Printf("  log patterns: %d, parsed instances: %d (unmatched %d)\n",
+		res.Patterns, res.Parsed, res.Unmatched)
+	meta := res.Analysis.Census()
+	total := r.Program().Census()
+	fmt.Printf("  meta-info: %d/%d types, %d/%d fields, %d/%d access points\n",
+		meta.Types, total.Types, meta.Fields, total.Fields, meta.AccessPoints, total.AccessPoints)
+	fmt.Printf("  static crash points: %d (pruned: ctor %d, unused %d, sanity %d)\n\n",
+		len(res.Static.Points), res.Static.Pruned.Constructor,
+		res.Static.Pruned.Unused, res.Static.Pruned.SanityCheck)
+
+	core.ProfilePhase(r, res, opts)
+	fmt.Printf("Phase 2 — profiling (%v): %d dynamic crash points in %d iterations (final scale %d)\n\n",
+		res.Timing.Profile.Round(time.Millisecond), len(res.Dynamic.Points),
+		res.Dynamic.Iterations, res.Dynamic.FinalScale)
+
+	core.TestPhase(r, matcher, res, opts)
+	fmt.Printf("Phase 3 — fault-injection testing (%v wall, %v virtual):\n",
+		res.Timing.Test.Round(time.Millisecond), res.Timing.VirtualTest)
+	for _, rep := range res.Reports {
+		if !*verbose && rep.Outcome == trigger.OK {
+			continue
+		}
+		fmt.Printf("  %-9s %-70s", rep.Outcome, rep.Dyn.Point)
+		if rep.Injected != nil {
+			fmt.Printf(" [%s %s @%v]", rep.Injected.Kind, rep.Injected.Node, rep.Injected.At)
+		}
+		if len(rep.Witnesses) > 0 {
+			fmt.Printf(" bugs=%v", rep.Witnesses)
+		}
+		if rep.Reason != "" {
+			fmt.Printf(" (%s)", rep.Reason)
+		}
+		fmt.Println()
+	}
+	s := res.Summary
+	fmt.Printf("\nSummary: %d points tested, %d bug reports, %d timeout issues; seeded bugs detected: %v\n",
+		s.Tested, s.Bugs, s.TimeoutIssues, s.WitnessedBugs)
+
+	if *fixed {
+		fmt.Println()
+		fmt.Println(report.FigMetaInfo(r, *seed, *scale))
+	}
+}

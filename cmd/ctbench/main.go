@@ -1,0 +1,129 @@
+// Command ctbench regenerates every table and figure of the paper's
+// evaluation from this reproduction: the census tables come from the
+// registry, the experiment tables from live pipeline and baseline runs
+// over all five simulated systems.
+//
+// Usage:
+//
+//	ctbench                 # everything
+//	ctbench -exp table10    # one experiment
+//	ctbench -exp list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/systems/all"
+)
+
+var experiments = []string{
+	"fig-metainfo", "table1", "table2", "table3", "table4", "table5",
+	"table6", "table7", "table8", "table9", "table10", "table11",
+	"table12", "table13", "repro", "timeouts", "summary", "pairs",
+}
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (see -exp list)")
+		seed       = flag.Int64("seed", 11, "seed")
+		scale      = flag.Int("scale", 1, "workload scale")
+		randomRuns = flag.Int("random-runs", 200, "runs per system for the random baseline (paper: 3000)")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		fmt.Println(strings.Join(experiments, "\n"))
+		return
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+
+	// Static tables need no runs.
+	if want("table1") {
+		fmt.Println(report.Table1())
+	}
+	if want("table3") {
+		fmt.Println(report.Table3())
+	}
+	if want("table4") {
+		fmt.Println(report.Table4())
+	}
+	if want("table6") {
+		fmt.Println(report.Table6())
+	}
+	if want("table13") {
+		fmt.Println(report.Table13())
+	}
+	if want("repro") {
+		fmt.Println(report.ReproSummary())
+	}
+
+	needPipelines := false
+	for _, id := range []string{"table2", "table5", "table7", "table8", "table9",
+		"table10", "table11", "table12", "timeouts", "summary"} {
+		if want(id) {
+			needPipelines = true
+		}
+	}
+	if want("fig-metainfo") {
+		r, err := all.ByName("yarn")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(report.FigMetaInfo(r, *seed, *scale))
+	}
+	if want("pairs") {
+		r, err := all.ByName("yarn")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(report.PairSummary(r, *seed, *scale, 40))
+	}
+	if !needPipelines {
+		return
+	}
+
+	x := report.NewExperiments(*seed, *scale, *randomRuns)
+	fmt.Fprintln(os.Stderr, "running CrashTuner pipelines on all systems...")
+	x.RunPipelines()
+	if want("table2") {
+		fmt.Println(report.Table2(x.Results["yarn"].Analysis))
+	}
+	if want("table5") {
+		fmt.Println(x.Table5Live())
+	}
+	if want("table10") {
+		fmt.Println(x.Table10())
+	}
+	if want("table11") {
+		fmt.Println(x.Table11())
+	}
+	if want("table12") {
+		fmt.Println(x.Table12())
+	}
+	if want("timeouts") {
+		fmt.Println(x.Timeouts())
+	}
+	if want("summary") {
+		fmt.Println(x.CampaignSummary())
+	}
+	if want("table7") || want("table8") || want("table9") {
+		fmt.Fprintln(os.Stderr, "running baselines (random + IO injection)...")
+		x.RunBaselines()
+		if want("table7") {
+			fmt.Println(x.Table7())
+		}
+		if want("table8") {
+			fmt.Println(x.Table8())
+		}
+		if want("table9") {
+			fmt.Println(x.Table9())
+		}
+	}
+}

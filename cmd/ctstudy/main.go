@@ -1,0 +1,70 @@
+// Command ctstudy explores the paper's bug study (§2, §4.1): the 66
+// studied crash-recovery bugs, the 21 new bugs, and the Kubernetes
+// extension study, with this reproduction's cross-links to the seeded
+// counterparts.
+//
+// Usage:
+//
+//	ctstudy                  # headline counts
+//	ctstudy -system hbase    # one system's studied bugs
+//	ctstudy -new             # the new-bug table with seeding locations
+//	ctstudy -k8s             # the Kubernetes study
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "", "show studied bugs of one system")
+		showNew = flag.Bool("new", false, "show the new bugs (Table 5) with seeding locations")
+		showK8s = flag.Bool("k8s", false, "show the Kubernetes study (Table 13)")
+	)
+	flag.Parse()
+
+	switch {
+	case *system != "":
+		bugs := registry.BySystem()[*system]
+		if len(bugs) == 0 {
+			fmt.Printf("no studied bugs recorded for %q\n", *system)
+			return
+		}
+		fmt.Printf("Studied crash-recovery bugs in %s:\n", *system)
+		for _, b := range bugs {
+			status := "reproduced"
+			if !b.Reproduced {
+				status = "NOT reproduced: " + b.WhyNot
+			}
+			fmt.Printf("  %-12s %-11s meta-info %-18s %s\n", b.ID, b.Scenario, b.MetaInfo, status)
+		}
+	case *showNew:
+		fmt.Println("New bugs (Table 5):")
+		for _, b := range registry.NewBugs() {
+			fmt.Printf("  %-14s %-8s %-10s %-10s %s\n", b.ID, b.Priority, b.Scenario, b.Status, b.Symptom)
+			if b.SeededIn != "" {
+				fmt.Printf("                 seeded in this reproduction at %s\n", b.SeededIn)
+			}
+		}
+		fmt.Printf("total: %d bugs across %d issues\n", registry.TotalNewBugs(), len(registry.NewBugs()))
+	case *showK8s:
+		fmt.Println("Kubernetes scheduling crash-recovery bugs (Table 13):")
+		for _, b := range registry.KubernetesBugs() {
+			fmt.Printf("  %-8s meta-info %s\n", b.PR, b.MetaInfo)
+		}
+		fmt.Println("the kubelike simulated system (internal/systems/kubelike) carries one such bug")
+	default:
+		c := registry.StudyCounts()
+		fmt.Println("CrashTuner bug study (§2, §4.1):")
+		fmt.Printf("  studied bugs:          %d\n", c.Total)
+		fmt.Printf("  timing-sensitive:      %d (%d pre-read, %d post-write)\n",
+			c.TimingSensitive, c.PreRead, c.PostWrite)
+		fmt.Printf("  non-timing-sensitive:  %d\n", c.NonTiming)
+		fmt.Printf("  reproduced:            %d/%d\n", c.Reproduced, c.Total)
+		fmt.Printf("  new bugs found:        %d\n", registry.TotalNewBugs())
+		fmt.Println("\nflags: -system <name> | -new | -k8s")
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of "CrashTuner: Detecting
+// Crash-Recovery Bugs in Cloud Systems via Meta-Info Analysis" (SOSP '19).
+//
+// The library implements the complete CrashTuner pipeline — log-pattern
+// extraction, meta-info inference, type-based static crash-point
+// analysis, profiling to dynamic crash points, online log analysis, and
+// targeted fault injection — together with the substrate the paper's
+// evaluation needs: a deterministic cluster simulator and simulated
+// Hadoop2/Yarn, HDFS, HBase, ZooKeeper and Cassandra systems carrying the
+// paper's crash-recovery bugs.
+//
+// Start with README.md, the examples/ directory, and cmd/crashtuner.
+// bench_test.go regenerates every table and figure of the evaluation.
+package repro

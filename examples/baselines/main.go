@@ -1,0 +1,60 @@
+// Baselines: reproduce the §4.2 comparison on one system — CrashTuner's
+// targeted injection vs random crash injection vs IO fault injection.
+//
+//	go run ./examples/baselines [-system hbase] [-runs 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/systems/all"
+)
+
+func main() {
+	system := flag.String("system", "hbase", "system under test")
+	runs := flag.Int("runs", 300, "random-injection runs (paper: 3000)")
+	flag.Parse()
+
+	r, err := all.ByName(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := core.Options{Seed: 11, Scale: 1}
+
+	// CrashTuner.
+	res, matcher := core.AnalysisPhase(r, opts)
+	core.ProfilePhase(r, res, opts)
+	core.TestPhase(r, matcher, res, opts)
+	fmt.Printf("CrashTuner on %s: %d targeted runs, %d bug reports, bugs %v (virtual %v)\n",
+		r.Name(), res.Summary.Tested, res.Summary.Bugs,
+		res.Summary.WitnessedBugs, res.Timing.VirtualTest)
+
+	// Random crash injection (§4.2.1).
+	ropts := baseline.Options{Seed: 11, Runs: *runs}
+	rand := baseline.Random(r, res.Baseline, ropts)
+	fmt.Printf("Random    on %s: %d runs, %d bug runs, distinct bugs %v (virtual %v)\n",
+		r.Name(), rand.Runs, rand.BugRuns, rand.DistinctBugs(), rand.VirtualTime)
+
+	// IO fault injection (§4.2.2).
+	io := baseline.IOInjection(r, matcher, res.Baseline, ropts)
+	fmt.Printf("IO-inject on %s: %d runs, %d bug runs, distinct bugs %v (virtual %v)\n",
+		r.Name(), io.Runs, io.BugRuns, io.DistinctBugs(), io.VirtualTime)
+
+	// The paper's efficiency claim: bugs found per run.
+	fmt.Println()
+	perRun := func(bugs, n int) string {
+		if bugs == 0 {
+			return "none"
+		}
+		return fmt.Sprintf("1 per %.1f runs", float64(n)/float64(bugs))
+	}
+	fmt.Printf("efficiency: CrashTuner %s; random %s; IO %s\n",
+		perRun(len(res.Summary.WitnessedBugs), res.Summary.Tested),
+		perRun(len(rand.DistinctBugs()), rand.Runs),
+		perRun(len(io.DistinctBugs()), io.Runs))
+}

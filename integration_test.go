@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/systems/all"
+	"repro/internal/systems/yarn"
+)
+
+// expectedBugs is the seeded-bug ledger each system's campaign must
+// reproduce (ZooKeeper intentionally has none, §4.1.2).
+var expectedBugs = map[string][]string{
+	"yarn":      {"MR-3858", "YARN-5918", "YARN-9164", "YARN-9193", "YARN-9238"},
+	"hdfs":      {"HDFS-14216", "HDFS-14372"},
+	"hbase":     {"HBASE-21740", "HBASE-22017", "HBASE-22041", "HBASE-22050"},
+	"zookeeper": nil,
+	"cassandra": {"CA-15131"},
+}
+
+// TestCampaignLedger is the headline integration test: one pipeline run
+// per system detects exactly the seeded bugs.
+func TestCampaignLedger(t *testing.T) {
+	for _, r := range all.Runners() {
+		res := core.Run(r, core.Options{Seed: 11, Scale: 1})
+		want := expectedBugs[r.Name()]
+		if !reflect.DeepEqual(stripTimeouts(res.Summary.WitnessedBugs), want) {
+			t.Errorf("%s: witnessed %v, want %v", r.Name(), res.Summary.WitnessedBugs, want)
+		}
+	}
+}
+
+// stripTimeouts removes timeout-issue markers, which are reported
+// separately from bugs (§4.1.3).
+func stripTimeouts(ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		if id == "YARN-TIMEOUT-1" {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// TestSeedRobustness re-runs the Yarn campaign under different seeds:
+// the detections are seed-independent because the injections are
+// targeted, not timed.
+func TestSeedRobustness(t *testing.T) {
+	for _, seed := range []int64{1, 11, 777} {
+		res := core.Run(&yarn.Runner{}, core.Options{Seed: seed, Scale: 1})
+		got := stripTimeouts(res.Summary.WitnessedBugs)
+		if !reflect.DeepEqual(got, expectedBugs["yarn"]) {
+			t.Errorf("seed %d: witnessed %v, want %v", seed, got, expectedBugs["yarn"])
+		}
+	}
+}
+
+// TestScaleRobustness re-runs every campaign at double workload size.
+func TestScaleRobustness(t *testing.T) {
+	for _, r := range all.Runners() {
+		res := core.Run(r, core.Options{Seed: 11, Scale: 2})
+		got := stripTimeouts(res.Summary.WitnessedBugs)
+		if !reflect.DeepEqual(got, expectedBugs[r.Name()]) {
+			t.Errorf("%s scale 2: witnessed %v, want %v", r.Name(), got, expectedBugs[r.Name()])
+		}
+	}
+}
+
+// TestCampaignDeterminism asserts byte-for-byte identical reports across
+// repeated runs with the same seed.
+func TestCampaignDeterminism(t *testing.T) {
+	a := core.Run(&yarn.Runner{}, core.Options{Seed: 11, Scale: 1})
+	b := core.Run(&yarn.Runner{}, core.Options{Seed: 11, Scale: 1})
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(a.Reports), len(b.Reports))
+	}
+	for i := range a.Reports {
+		ra, rb := a.Reports[i], b.Reports[i]
+		if ra.Dyn != rb.Dyn || ra.Outcome != rb.Outcome || ra.Duration != rb.Duration ||
+			!reflect.DeepEqual(ra.Witnesses, rb.Witnesses) {
+			t.Errorf("report %d differs:\n  %+v\n  %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestExtensionsFaultFree drives the extension systems too.
+func TestExtensionsFaultFree(t *testing.T) {
+	for _, r := range all.Extensions() {
+		res := core.Run(r, core.Options{Seed: 17, Scale: 1})
+		if res.Summary.Tested == 0 {
+			t.Errorf("%s: nothing tested", r.Name())
+		}
+	}
+}

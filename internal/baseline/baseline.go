@@ -1,0 +1,237 @@
+// Package baseline implements the two fault-injection baselines the
+// paper compares CrashTuner against (§4.2): random crash injection and
+// OpenStack-style IO fault injection.
+//
+// Random injection (§4.2.1) runs the system many times, each time
+// injecting one crash (or shutdown) of a random node at a random time in
+// [0, T], where T is the fault-free run time.
+//
+// IO fault injection (§4.2.2) injects around dynamic IO points. The
+// paper instruments call-sites of read/write/flush/close methods on
+// Closeable classes; in this reproduction the observable IO of a run is
+// its log stream (every record is a file write), so a dynamic IO point
+// is one (log pattern, node) pair observed during profiling, and the
+// injection crashes the writing node right after (or just before) one of
+// its emissions. The static side of Table 8 comes from the IR census.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+// Result aggregates a baseline campaign.
+type Result struct {
+	System string
+	Runs   int
+	// ByOutcome counts runs per oracle outcome.
+	ByOutcome map[trigger.Outcome]int
+	// BugHits counts, per witnessed seeded bug, how many runs triggered
+	// it (the "2(4)"-style cells of Tables 7 and 9).
+	BugHits map[string]int
+	// BugRuns is the number of runs with a bug outcome.
+	BugRuns int
+	// VirtualTime sums the virtual duration of all runs (the "Times(h)"
+	// column, on the virtual clock).
+	VirtualTime sim.Time
+}
+
+func newResult(system string) *Result {
+	return &Result{
+		System:    system,
+		ByOutcome: make(map[trigger.Outcome]int),
+		BugHits:   make(map[string]int),
+	}
+}
+
+// DistinctBugs returns the witnessed bug IDs, sorted.
+func (r *Result) DistinctBugs() []string {
+	out := make([]string, 0, len(r.BugHits))
+	for b := range r.BugHits {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Result) record(run cluster.Run, outcome trigger.Outcome, dur sim.Time) {
+	r.Runs++
+	r.ByOutcome[outcome]++
+	r.VirtualTime += dur
+	if outcome.IsBug() {
+		r.BugRuns++
+		for _, w := range run.Witnesses() {
+			r.BugHits[w]++
+		}
+	}
+}
+
+// Options configures a baseline campaign.
+type Options struct {
+	Seed          int64
+	Scale         int
+	Runs          int // number of injection runs
+	TimeoutFactor int // oracle threshold (default 4)
+	// DeadlineFactor bounds each run (default 20x baseline).
+	DeadlineFactor int
+	// IncludeMasters also targets the coordinator node (host "node0").
+	// The paper's clusters restart crashed masters; the simulated
+	// systems do not model master restart, so by default the baselines
+	// pick victims among worker nodes only — otherwise every
+	// master-victim run would trivially count as a hang.
+	IncludeMasters bool
+}
+
+// masterHost is the coordinator host in every simulated system.
+const masterHost = "node0"
+
+func victims(nodes []sim.NodeID, includeMasters bool) []sim.NodeID {
+	if includeMasters {
+		return nodes
+	}
+	var out []sim.NodeID
+	for _, n := range nodes {
+		if n.Host() != masterHost {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nodes
+	}
+	return out
+}
+
+func (o *Options) defaults() {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 100
+	}
+	if o.TimeoutFactor <= 0 {
+		o.TimeoutFactor = 4
+	}
+	if o.DeadlineFactor <= 0 {
+		o.DeadlineFactor = 20
+	}
+}
+
+func deadlineOf(b trigger.Baseline, factor int) sim.Time {
+	d := b.Duration * sim.Time(factor)
+	if d < 30*sim.Second {
+		d = 30 * sim.Second
+	}
+	return d
+}
+
+// Random runs the §4.2.1 random crash-injection campaign.
+func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
+	opts.defaults()
+	res := newResult(r.Name())
+	deadline := deadlineOf(b, opts.DeadlineFactor)
+	for i := 0; i < opts.Runs; i++ {
+		run := r.NewRun(cluster.Config{
+			Seed:  opts.Seed + int64(i),
+			Scale: opts.Scale,
+			Probe: probe.New(),
+			Logs:  dslog.NewRoot(),
+		})
+		e := run.Engine()
+		rng := e.Rand()
+		at := sim.Time(rng.Int63n(int64(b.Duration) + 1))
+		nodes := victims(e.AliveNodes(), opts.IncludeMasters)
+		victim := nodes[rng.Intn(len(nodes))]
+		graceful := rng.Intn(2) == 0
+		e.After(at, func() {
+			if graceful {
+				e.Shutdown(victim)
+			} else {
+				e.Crash(victim)
+			}
+		})
+		rr := cluster.Drive(run, deadline)
+		newEx := trigger.NewUnhandled(b, e)
+		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
+		res.record(run, outcome, rr.End)
+	}
+	return res
+}
+
+// IOPoint is one dynamic IO point: a log pattern emitted by a node.
+type IOPoint struct {
+	Pattern ir.PointID
+	Node    sim.NodeID
+	// At is a representative emission time from the profiling run.
+	At sim.Time
+}
+
+// CollectIOPoints profiles one run and returns the dynamic IO points:
+// distinct (pattern, node) pairs with their first emission times.
+func CollectIOPoints(r cluster.Runner, matcher *logparse.Matcher, seed int64, scale int, deadline sim.Time) []IOPoint {
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: seed, Scale: scale, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, deadline)
+	seen := map[string]bool{}
+	var out []IOPoint
+	for _, rec := range logs.Records() {
+		m := matcher.Match(rec)
+		if m == nil {
+			continue
+		}
+		key := string(m.Pattern.Point) + "@" + string(rec.Node)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, IOPoint{Pattern: m.Pattern.Point, Node: rec.Node, At: rec.At})
+	}
+	return out
+}
+
+// IOInjection runs the §4.2.2 campaign: for every dynamic IO point, two
+// runs — one crashing the writing node just before the emission time and
+// one just after.
+func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline, opts Options) *Result {
+	opts.defaults()
+	res := newResult(r.Name())
+	deadline := deadlineOf(b, opts.DeadlineFactor)
+	points := CollectIOPoints(r, matcher, opts.Seed, opts.Scale, deadline)
+	if !opts.IncludeMasters {
+		kept := points[:0]
+		for _, pt := range points {
+			if pt.Node.Host() != masterHost {
+				kept = append(kept, pt)
+			}
+		}
+		points = kept
+	}
+	for i, pt := range points {
+		for _, delta := range []sim.Time{-sim.Millisecond, sim.Millisecond} {
+			at := pt.At + delta
+			if at < 0 {
+				at = 0
+			}
+			run := r.NewRun(cluster.Config{
+				Seed:  opts.Seed + int64(i),
+				Scale: opts.Scale,
+				Probe: probe.New(),
+				Logs:  dslog.NewRoot(),
+			})
+			e := run.Engine()
+			victim := pt.Node
+			e.After(at, func() { e.Crash(victim) })
+			rr := cluster.Drive(run, deadline)
+			newEx := trigger.NewUnhandled(b, e)
+			outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
+			res.record(run, outcome, rr.End)
+		}
+	}
+	return res
+}

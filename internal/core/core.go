@@ -1,0 +1,172 @@
+// Package core wires the CrashTuner pipeline together (Fig. 4): log
+// analysis and static crash point analysis (phase 1), profiling to
+// dynamic crash points, then fault-injection testing with the online
+// stash and the trigger (phase 2).
+package core
+
+import (
+	"time"
+
+	"repro/internal/crashpoint"
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/probe"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Seed drives every run of the campaign.
+	Seed int64
+	// Scale is the workload size for testing runs (profiling doubles its
+	// own copy starting from this value).
+	Scale int
+	// BaselineRuns is the number of fault-free runs used to census
+	// exception signatures (default 3).
+	BaselineRuns int
+	// Deadline bounds individual runs in virtual time (default 1h).
+	Deadline sim.Time
+	// MaxProfileIterations caps the profiler's doubling loop.
+	MaxProfileIterations int
+	// RandomTarget makes the trigger pick a random node instead of the
+	// stash-resolved owner (ablation of §3.2.2's alternative).
+	RandomTarget bool
+}
+
+func (o *Options) defaults() {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.BaselineRuns <= 0 {
+		o.BaselineRuns = 3
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = sim.Hour
+	}
+}
+
+// Timing records wall-clock per phase (Table 11's Analysis / Profile /
+// Test columns) alongside the virtual time the test runs consumed.
+type Timing struct {
+	Analysis time.Duration
+	Profile  time.Duration
+	Test     time.Duration
+	// VirtualTest sums the virtual duration of every injection run —
+	// the analogue of the paper's wall-clock testing hours on a real
+	// cluster.
+	VirtualTest sim.Time
+}
+
+// Result is the full pipeline output for one system.
+type Result struct {
+	System   string
+	Workload string
+
+	// Phase 1 artifacts.
+	Patterns  int
+	Parsed    int
+	Unmatched int
+	Analysis  *metainfo.Analysis
+	Static    *crashpoint.Result
+
+	// Profiling artifacts.
+	Dynamic *profiler.Set
+
+	// Testing artifacts.
+	Baseline trigger.Baseline
+	Reports  []trigger.Report
+	Summary  trigger.Summary
+
+	Timing Timing
+}
+
+// AnalysisPhase runs the system once to generate logs, mines them, infers
+// meta-info, and computes static crash points (top half of Fig. 4).
+func AnalysisPhase(r cluster.Runner, opts Options) (*Result, *logparse.Matcher) {
+	opts.defaults()
+	start := time.Now()
+
+	// One profiling run with the given workload to produce logs.
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: opts.Seed, Scale: opts.Scale, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, opts.Deadline)
+
+	program := r.Program()
+	matcher := logparse.NewMatcher(logparse.ExtractPatterns(program))
+	parsed := matcher.ParseAll(logs.Records())
+	analysis := metainfo.Infer(program, parsed.Matches, r.Hosts())
+	static := crashpoint.Analyze(analysis)
+
+	res := &Result{
+		System:    r.Name(),
+		Workload:  r.Workload(),
+		Patterns:  len(matcher.Patterns()),
+		Parsed:    len(parsed.Matches),
+		Unmatched: len(parsed.Unmatched),
+		Analysis:  analysis,
+		Static:    static,
+	}
+	res.Timing.Analysis = time.Since(start)
+	return res, matcher
+}
+
+// ProfilePhase collects dynamic crash points for the static points.
+func ProfilePhase(r cluster.Runner, res *Result, opts Options) {
+	opts.defaults()
+	start := time.Now()
+	res.Dynamic = profiler.Collect(r, res.Static, profiler.Options{
+		Seed:          opts.Seed,
+		StartScale:    opts.Scale,
+		MaxIterations: opts.MaxProfileIterations,
+		Deadline:      opts.Deadline,
+	})
+	res.Timing.Profile = time.Since(start)
+}
+
+// TestPhase measures the baseline and exercises every dynamic crash
+// point.
+func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Options) {
+	opts.defaults()
+	start := time.Now()
+	res.Baseline = trigger.MeasureBaseline(r, opts.Seed, opts.Scale, opts.BaselineRuns, opts.Deadline)
+	t := &trigger.Tester{
+		Runner:       r,
+		Analysis:     res.Analysis,
+		Matcher:      matcher,
+		Baseline:     res.Baseline,
+		Seed:         opts.Seed,
+		Scale:        opts.Scale,
+		RandomTarget: opts.RandomTarget,
+	}
+	res.Reports = t.Campaign(res.Dynamic.Points)
+	// Dynamic points discovered only at larger profiling scales may not
+	// execute at the base test scale; retry those at the profiler's
+	// final scale so every collected point is genuinely exercised.
+	if res.Dynamic != nil && res.Dynamic.FinalScale > opts.Scale {
+		for i, rep := range res.Reports {
+			if rep.Outcome != trigger.NotHit {
+				continue
+			}
+			t.Scale = res.Dynamic.FinalScale
+			res.Reports[i] = t.TestPoint(rep.Dyn)
+			t.Scale = opts.Scale
+		}
+	}
+	for _, rep := range res.Reports {
+		res.Timing.VirtualTest += rep.Duration
+	}
+	res.Summary = trigger.Summarize(res.Reports)
+	res.Timing.Test = time.Since(start)
+}
+
+// Run executes the full pipeline.
+func Run(r cluster.Runner, opts Options) *Result {
+	res, matcher := AnalysisPhase(r, opts)
+	ProfilePhase(r, res, opts)
+	TestPhase(r, matcher, res, opts)
+	return res
+}

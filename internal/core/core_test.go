@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/systems/toysys"
+	"repro/internal/trigger"
+)
+
+func TestFullPipelineOnToySystem(t *testing.T) {
+	res := Run(&toysys.Runner{}, Options{Seed: 7})
+	if res.System != "toysys" || res.Workload != "TaskRun" {
+		t.Errorf("metadata wrong: %+v", res)
+	}
+	if res.Patterns == 0 || res.Parsed == 0 {
+		t.Errorf("log analysis empty: %d patterns, %d parsed", res.Patterns, res.Parsed)
+	}
+	if len(res.Static.Points) == 0 || len(res.Dynamic.Points) == 0 {
+		t.Error("no crash points")
+	}
+	if res.Summary.Tested != len(res.Dynamic.Points) {
+		t.Errorf("tested %d of %d dynamic points", res.Summary.Tested, len(res.Dynamic.Points))
+	}
+	if res.Summary.Bugs < 2 {
+		t.Errorf("bugs = %d, want both seeded bugs", res.Summary.Bugs)
+	}
+	if res.Timing.VirtualTest <= 0 {
+		t.Error("no virtual test time recorded")
+	}
+	if res.Baseline.Status != 1 { // cluster.Succeeded
+		t.Errorf("baseline status = %v", res.Baseline.Status)
+	}
+}
+
+func TestPhasesComposable(t *testing.T) {
+	r := &toysys.Runner{}
+	res, matcher := AnalysisPhase(r, Options{Seed: 7})
+	if matcher == nil {
+		t.Fatal("no matcher")
+	}
+	if res.Dynamic != nil {
+		t.Error("profiling ran during analysis")
+	}
+	ProfilePhase(r, res, Options{Seed: 7})
+	if res.Dynamic == nil {
+		t.Fatal("no dynamic set")
+	}
+	TestPhase(r, matcher, res, Options{Seed: 7})
+	if len(res.Reports) != len(res.Dynamic.Points) {
+		t.Error("reports incomplete")
+	}
+}
+
+func TestRandomTargetOption(t *testing.T) {
+	res := Run(&toysys.Runner{}, Options{Seed: 7, RandomTarget: true})
+	if res.Summary.Tested == 0 {
+		t.Fatal("nothing tested")
+	}
+	// Random targeting must never produce NotHit for points that execute.
+	for _, rep := range res.Reports {
+		if rep.Outcome == trigger.NotHit {
+			t.Errorf("point %s not hit under random targeting", rep.Dyn.Point)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package crashpoint
+
+import (
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+)
+
+// schedProgram models the YARN-9164 pattern of Fig. 10: a scheduler map
+// keyed by NodeId whose getter is returned-only (promoted to call sites),
+// with callers that use, sanity-check or ignore the result, plus writes,
+// ctor-only fields and log-only reads to exercise every optimization.
+func schedProgram() *ir.Program {
+	p := ir.NewProgram("sched")
+	p.AddClass(&ir.Class{Name: "y.NodeId"})
+	p.AddClass(&ir.Class{
+		Name: "y.Scheduler",
+		Fields: []*ir.Field{
+			{Name: "nodes", Type: "java.util.HashMap", KeyType: "y.NodeId", ElemType: "y.SchedNode"},
+			{Name: "master", Type: "y.NodeId", SetOnlyInCtor: true},
+			{Name: "lastNode", Type: "y.NodeId"},
+		},
+		Methods: []*ir.Method{
+			{Name: "<init>", Ctor: true, Instrs: []*ir.Instr{
+				{Op: ir.OpPutField, Field: "y.Scheduler.master"},
+				{Op: ir.OpReturn},
+			}},
+			{Name: "getScheNode", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpCollOp, Field: "y.Scheduler.nodes", CollMethod: "get", Use: ir.UseReturnedOnly},
+				{Op: ir.OpReturn},
+			}},
+			{Name: "completeContainer", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpInvoke, Callee: "y.Scheduler.getScheNode"}, // uses result
+				{Op: ir.OpReturn},
+			}},
+			{Name: "nodeReport", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpInvoke, Callee: "y.Scheduler.getScheNode"}, // promoted too
+				{Op: ir.OpGetField, Field: "y.Scheduler.lastNode", Use: ir.UseLogOnly},
+				{Op: ir.OpGetField, Field: "y.Scheduler.master", Use: ir.UseNormal}, // ctor-pruned
+				{Op: ir.OpReturn},
+			}},
+			{Name: "registerNode", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpCollOp, Field: "y.Scheduler.nodes", CollMethod: "put"}, // post-write
+				{Op: ir.OpPutField, Field: "y.Scheduler.lastNode"},               // post-write
+				{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+					Segments: []string{"node ", " registered"},
+					Args:     []ir.LogArg{{Name: "nodeId", Type: "y.NodeId"}}}},
+				{Op: ir.OpReturn},
+			}},
+			{Name: "checkNode", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpGetField, Field: "y.Scheduler.lastNode", Use: ir.UseSanityChecked},
+				{Op: ir.OpCollOp, Field: "y.Scheduler.nodes", CollMethod: "isEmpty", Use: ir.UseUnused},
+				{Op: ir.OpCollOp, Field: "y.Scheduler.nodes", CollMethod: "iterator"}, // unclassified
+				{Op: ir.OpReturn},
+			}},
+		},
+	})
+	p.AddClass(&ir.Class{Name: "y.SchedNode"})
+	return p.Build()
+}
+
+func analyzed(t *testing.T) *Result {
+	t.Helper()
+	p := schedProgram()
+	m := logparse.NewMatcher(logparse.ExtractPatterns(p))
+	match := m.Match(dslog.Record{Text: "node node1:42 registered"})
+	if match == nil {
+		t.Fatal("log line did not match")
+	}
+	a := metainfo.Infer(p, []*logparse.Match{match}, []string{"node1"})
+	if !a.IsMetaType("y.NodeId") {
+		t.Fatal("NodeId not inferred")
+	}
+	return Analyze(a)
+}
+
+func TestPromotionToCallSites(t *testing.T) {
+	r := analyzed(t)
+	// The returned-only nodes.get promotes to both call sites.
+	promoted := 0
+	for _, sp := range r.Points {
+		if sp.PromotedFrom == "y.Scheduler.getScheNode#0" {
+			promoted++
+			if sp.Scenario != PreRead {
+				t.Errorf("promoted point has scenario %v", sp.Scenario)
+			}
+			if sp.Point != "y.Scheduler.completeContainer#0" && sp.Point != "y.Scheduler.nodeReport#0" {
+				t.Errorf("promoted to unexpected site %s", sp.Point)
+			}
+		}
+	}
+	if promoted != 2 {
+		t.Errorf("promoted points = %d, want 2", promoted)
+	}
+	// The original read instruction itself is not a point.
+	if pts := r.Find("y.Scheduler.getScheNode#0"); len(pts) != 0 {
+		t.Errorf("unpromoted original point remains: %v", pts)
+	}
+}
+
+func TestPostWritePoints(t *testing.T) {
+	r := analyzed(t)
+	_, postWrite := r.ByScenario()
+	want := map[ir.PointID]bool{
+		"y.Scheduler.registerNode#0": true, // nodes.put
+		"y.Scheduler.registerNode#1": true, // lastNode =
+	}
+	if len(postWrite) != len(want) {
+		t.Fatalf("post-write = %+v", postWrite)
+	}
+	for _, sp := range postWrite {
+		if !want[sp.Point] {
+			t.Errorf("unexpected post-write point %s", sp.Point)
+		}
+	}
+}
+
+func TestPruneStats(t *testing.T) {
+	r := analyzed(t)
+	// Constructor: the ctor putfield of master + the read in nodeReport.
+	if r.Pruned.Constructor != 2 {
+		t.Errorf("Constructor pruned = %d, want 2", r.Pruned.Constructor)
+	}
+	// Unused: log-only read of lastNode + unused isEmpty.
+	if r.Pruned.Unused != 2 {
+		t.Errorf("Unused pruned = %d, want 2", r.Pruned.Unused)
+	}
+	if r.Pruned.SanityCheck != 1 {
+		t.Errorf("SanityCheck pruned = %d, want 1", r.Pruned.SanityCheck)
+	}
+	if r.Pruned.Total() != 5 {
+		t.Errorf("total pruned = %d, want 5", r.Pruned.Total())
+	}
+	// Candidates: every classified meta access — 3 kept (one of which
+	// promotes to two call sites) + 5 pruned = 8; the unclassified
+	// "iterator" collop is not a candidate.
+	if r.Candidates != 8 {
+		t.Errorf("candidates = %d, want 8", r.Candidates)
+	}
+}
+
+func TestPointsSortedAndDeduped(t *testing.T) {
+	r := analyzed(t)
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i-1].Key() >= r.Points[i].Key() {
+			t.Fatalf("points not sorted/deduped at %d: %s >= %s",
+				i, r.Points[i-1].Key(), r.Points[i].Key())
+		}
+	}
+}
+
+func TestReturnedOnlyWithoutCallersKept(t *testing.T) {
+	p := ir.NewProgram("lonely")
+	p.AddClass(&ir.Class{Name: "l.NodeId"})
+	p.AddClass(&ir.Class{
+		Name:   "l.C",
+		Fields: []*ir.Field{{Name: "n", Type: "l.NodeId"}},
+		Methods: []*ir.Method{
+			{Name: "get", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpGetField, Field: "l.C.n", Use: ir.UseReturnedOnly},
+				{Op: ir.OpReturn},
+			}},
+			{Name: "log", Instrs: []*ir.Instr{
+				{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+					Segments: []string{"at ", ""},
+					Args:     []ir.LogArg{{Name: "n", Type: "l.NodeId"}}}},
+				{Op: ir.OpReturn},
+			}},
+		},
+	})
+	p.Build()
+	m := logparse.NewMatcher(logparse.ExtractPatterns(p))
+	match := m.Match(dslog.Record{Text: "at node1:9"})
+	a := metainfo.Infer(p, []*logparse.Match{match}, []string{"node1"})
+	r := Analyze(a)
+	if len(r.Points) != 1 || r.Points[0].Point != "l.C.get#0" {
+		t.Errorf("points = %+v, want the original read kept", r.Points)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if PreRead.String() != "pre-read" || PostWrite.String() != "post-write" {
+		t.Error("scenario names wrong")
+	}
+}
+
+func TestBackgroundProgramYieldsNoPoints(t *testing.T) {
+	p := ir.NewProgram("bg")
+	ir.SynthesizeBackground(p, 40, 5)
+	a := metainfo.Infer(p, nil, []string{"node1"})
+	r := Analyze(a)
+	if len(r.Points) != 0 || r.Candidates != 0 {
+		t.Errorf("background program produced %d points, %d candidates",
+			len(r.Points), r.Candidates)
+	}
+}

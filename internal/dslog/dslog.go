@@ -1,0 +1,184 @@
+// Package dslog is the logging substrate for the simulated distributed
+// systems — the analogue of Log4j/SLF4J in the paper's Java systems.
+//
+// Systems log through per-node, per-component Loggers using the standard
+// level methods (Fatal, Error, Warn, Info, Debug, Trace). Every emitted
+// record carries the node it was produced on and the rendered message
+// text. Crucially for CrashTuner, the *message text* is all downstream
+// analyses get to see: the offline log analysis must recover the log
+// pattern and the logged runtime values from the raw string (§3.1.1), and
+// the online analysis extracts meta-info values with regex filters
+// (§3.3). Nothing in a Record identifies which logging statement produced
+// it.
+//
+// Taps let log collectors (the Logstash-agent analogue in internal/stash)
+// observe records as they are produced.
+package dslog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Level is a log severity, matching the common logging interfaces the
+// paper's log analysis keys on (fatal, error, warn, info, debug, trace).
+type Level int
+
+// Levels, most to least severe.
+const (
+	Fatal Level = iota
+	Error
+	Warn
+	Info
+	Debug
+	Trace
+)
+
+var levelNames = [...]string{"FATAL", "ERROR", "WARN", "INFO", "DEBUG", "TRACE"}
+
+func (l Level) String() string {
+	if l < Fatal || l > Trace {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// ParseLevel converts a level name (any case) to a Level.
+func ParseLevel(s string) (Level, bool) {
+	for i, n := range levelNames {
+		if strings.EqualFold(s, n) {
+			return Level(i), true
+		}
+	}
+	return Info, false
+}
+
+// Record is one runtime log instance.
+type Record struct {
+	Seq       uint64
+	At        sim.Time
+	Node      sim.NodeID
+	Component string
+	Level     Level
+	Text      string
+}
+
+// Tap observes records as they are appended.
+type Tap func(Record)
+
+// Root collects all records of a run and fans them out to taps. It is
+// safe for concurrent use, though the simulator is single-threaded.
+type Root struct {
+	mu      sync.Mutex
+	seq     uint64
+	records []Record
+	byNode  map[sim.NodeID][]int // indexes into records
+	taps    []Tap
+}
+
+// NewRoot returns an empty log root.
+func NewRoot() *Root {
+	return &Root{byNode: make(map[sim.NodeID][]int)}
+}
+
+// AddTap registers a tap invoked synchronously for every new record.
+func (r *Root) AddTap(t Tap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taps = append(r.taps, t)
+}
+
+// Append adds a record and notifies taps.
+func (r *Root) Append(rec Record) {
+	r.mu.Lock()
+	r.seq++
+	rec.Seq = r.seq
+	r.records = append(r.records, rec)
+	r.byNode[rec.Node] = append(r.byNode[rec.Node], len(r.records)-1)
+	taps := r.taps
+	r.mu.Unlock()
+	for _, t := range taps {
+		t(rec)
+	}
+}
+
+// Records returns all records in emission order.
+func (r *Root) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// NodeRecords returns the records emitted on one node, in order.
+func (r *Root) NodeRecords(id sim.NodeID) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.byNode[id]
+	out := make([]Record, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, r.records[i])
+	}
+	return out
+}
+
+// Len returns the number of records.
+func (r *Root) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Logger emits records for one component on one node. The zero Logger is
+// not usable; create them with Root.Logger.
+type Logger struct {
+	root      *Root
+	e         *sim.Engine
+	node      sim.NodeID
+	component string
+}
+
+// Logger returns a logger bound to a node and component.
+func (r *Root) Logger(e *sim.Engine, node sim.NodeID, component string) *Logger {
+	return &Logger{root: r, e: e, node: node, component: component}
+}
+
+// Log emits a record at the given level. Arguments are rendered with
+// fmt.Sprint-style concatenation (no separating spaces), matching the
+// Java string-concatenation logging style the paper's pattern extraction
+// assumes: LOG.info("Assigned container " + id + " on host " + node).
+func (l *Logger) Log(level Level, parts ...any) {
+	var b strings.Builder
+	for _, p := range parts {
+		fmt.Fprint(&b, p)
+	}
+	l.root.Append(Record{
+		At:        l.e.Now(),
+		Node:      l.node,
+		Component: l.component,
+		Level:     level,
+		Text:      b.String(),
+	})
+}
+
+// Fatal logs at FATAL level.
+func (l *Logger) Fatal(parts ...any) { l.Log(Fatal, parts...) }
+
+// Error logs at ERROR level.
+func (l *Logger) Error(parts ...any) { l.Log(Error, parts...) }
+
+// Warn logs at WARN level.
+func (l *Logger) Warn(parts ...any) { l.Log(Warn, parts...) }
+
+// Info logs at INFO level.
+func (l *Logger) Info(parts ...any) { l.Log(Info, parts...) }
+
+// Debug logs at DEBUG level.
+func (l *Logger) Debug(parts ...any) { l.Log(Debug, parts...) }
+
+// Trace logs at TRACE level.
+func (l *Logger) Trace(parts ...any) { l.Log(Trace, parts...) }

@@ -1,0 +1,109 @@
+package dslog
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLevelString(t *testing.T) {
+	if Fatal.String() != "FATAL" || Trace.String() != "TRACE" {
+		t.Error("level names wrong")
+	}
+	if Level(99).String() != "Level(99)" {
+		t.Error("out-of-range level name wrong")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	l, ok := ParseLevel("warn")
+	if !ok || l != Warn {
+		t.Errorf("ParseLevel(warn) = %v, %v", l, ok)
+	}
+	if _, ok := ParseLevel("nope"); ok {
+		t.Error("ParseLevel(nope) succeeded")
+	}
+}
+
+func TestLoggerConcatenation(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := e.AddNode("node1", 42349)
+	root := NewRoot()
+	lg := root.Logger(e, n.ID, "NodeManager")
+	lg.Info("NodeManager from ", "node1", " registered as ", n.ID)
+	recs := root.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	want := "NodeManager from node1 registered as node1:42349"
+	if recs[0].Text != want {
+		t.Errorf("text = %q, want %q", recs[0].Text, want)
+	}
+	if recs[0].Level != Info || recs[0].Node != n.ID || recs[0].Component != "NodeManager" {
+		t.Errorf("record metadata wrong: %+v", recs[0])
+	}
+}
+
+func TestAllLevels(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := e.AddNode("n", 1)
+	root := NewRoot()
+	lg := root.Logger(e, n.ID, "c")
+	lg.Fatal("f")
+	lg.Error("e")
+	lg.Warn("w")
+	lg.Info("i")
+	lg.Debug("d")
+	lg.Trace("t")
+	recs := root.Records()
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 6", len(recs))
+	}
+	for i, lvl := range []Level{Fatal, Error, Warn, Info, Debug, Trace} {
+		if recs[i].Level != lvl {
+			t.Errorf("record %d level = %v, want %v", i, recs[i].Level, lvl)
+		}
+	}
+}
+
+func TestTapsAndNodeRecords(t *testing.T) {
+	e := sim.NewEngine(1)
+	a := e.AddNode("a", 1)
+	b := e.AddNode("b", 2)
+	root := NewRoot()
+	var tapped []Record
+	root.AddTap(func(r Record) { tapped = append(tapped, r) })
+	root.Logger(e, a.ID, "x").Info("on a")
+	root.Logger(e, b.ID, "x").Info("on b")
+	root.Logger(e, a.ID, "y").Info("on a again")
+	if len(tapped) != 3 {
+		t.Fatalf("tapped = %d, want 3", len(tapped))
+	}
+	ra := root.NodeRecords(a.ID)
+	if len(ra) != 2 || ra[0].Text != "on a" || ra[1].Text != "on a again" {
+		t.Errorf("node records = %+v", ra)
+	}
+	if root.Len() != 3 {
+		t.Errorf("Len = %d", root.Len())
+	}
+	// Sequence numbers are assigned in order.
+	recs := root.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Error("sequence numbers not increasing")
+		}
+	}
+}
+
+func TestRecordsTimestamp(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := e.AddNode("n", 1)
+	root := NewRoot()
+	lg := root.Logger(e, n.ID, "c")
+	e.After(5*sim.Second, func() { lg.Info("later") })
+	e.Quiesce()
+	recs := root.Records()
+	if len(recs) != 1 || recs[0].At != 5*sim.Second {
+		t.Errorf("timestamp = %v, want 5s", recs[0].At)
+	}
+}

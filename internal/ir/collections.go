@@ -1,0 +1,108 @@
+package ir
+
+import "strings"
+
+// Table 3 of the paper: keywords of read and write operations for
+// collection types. A collection-method invocation is classified by
+// prefix-matching its name against these keywords.
+var (
+	// CollReadKeywords classify collection reads.
+	CollReadKeywords = []string{
+		"get", "peek", "poll", "clone", "at", "element", "index",
+		"toArray", "sub", "contain", "isEmpty", "exist", "values",
+	}
+	// CollWriteKeywords classify collection writes.
+	CollWriteKeywords = []string{
+		"add", "clear", "remove", "retain", "put", "insert", "set",
+		"replace", "offer", "push", "pop", "copyInto",
+	}
+)
+
+// CollAccess is the direction of a collection operation.
+type CollAccess int
+
+// Collection access classifications.
+const (
+	CollNone  CollAccess = iota // not a recognized accessor
+	CollRead                    // Table 3 read keyword
+	CollWrite                   // Table 3 write keyword
+)
+
+func (a CollAccess) String() string {
+	switch a {
+	case CollRead:
+		return "read"
+	case CollWrite:
+		return "write"
+	default:
+		return "none"
+	}
+}
+
+// ClassifyCollMethod classifies a collection method name using the
+// Table 3 keywords. Matching is case-insensitive on the first keyword
+// that prefixes the name; writes are checked first so that e.g. "putAll"
+// and "setStatus" classify as writes even though no read keyword applies.
+func ClassifyCollMethod(name string) CollAccess {
+	lower := strings.ToLower(name)
+	for _, kw := range CollWriteKeywords {
+		if strings.HasPrefix(lower, strings.ToLower(kw)) {
+			return CollWrite
+		}
+	}
+	for _, kw := range CollReadKeywords {
+		if strings.HasPrefix(lower, strings.ToLower(kw)) {
+			return CollRead
+		}
+	}
+	return CollNone
+}
+
+// IOCensus holds the Table 8 counts for one system.
+type IOCensus struct {
+	System    string
+	IOClasses int
+	IOMethods int
+	StaticIOs int // call-sites to IO methods
+}
+
+// IOPoints returns the static IO points of the program: every OpInvoke
+// whose callee is an IO method (public method of a Closeable class with a
+// read/write/flush/close prefix).
+func (p *Program) IOPoints() []*Instr {
+	p.Build()
+	var out []*Instr
+	for _, c := range p.Classes() {
+		for _, m := range c.Methods {
+			for _, ins := range m.Instrs {
+				if ins.Op != OpInvoke {
+					continue
+				}
+				callee := p.Method(ins.Callee)
+				if callee != nil && callee.IsIOMethod(p) {
+					out = append(out, ins)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IOCensus computes the Table 8 row for the program.
+func (p *Program) IOCensus() IOCensus {
+	p.Build()
+	c := IOCensus{System: p.System}
+	for _, cl := range p.Classes() {
+		if !cl.ImplementsCloseable() {
+			continue
+		}
+		c.IOClasses++
+		for _, m := range cl.Methods {
+			if m.IsIOMethod(p) {
+				c.IOMethods++
+			}
+		}
+	}
+	c.StaticIOs = len(p.IOPoints())
+	return c
+}

@@ -1,0 +1,134 @@
+package logparse
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+)
+
+// The structural matcher must agree with a reference implementation that
+// compiles each pattern to an anchored non-greedy regexp — the form the
+// paper writes the patterns in (Fig. 5(b)).
+func referenceMatch(text string, segs []string) ([]string, bool) {
+	var b strings.Builder
+	b.WriteString("^")
+	for i, s := range segs {
+		b.WriteString(regexp.QuoteMeta(s))
+		if i < len(segs)-1 {
+			b.WriteString("(.*?)")
+		}
+	}
+	b.WriteString("$")
+	re := regexp.MustCompile(b.String())
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		return nil, false
+	}
+	return m[1:], true
+}
+
+func TestParseExactMatchesRegexpReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"node", "container", "attempt", "registered", "as",
+		"on", "host", "from", "lost", "to", ":", "_", "42349", ""}
+	randText := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(words[rng.Intn(len(words))])
+			if rng.Intn(3) == 0 {
+				b.WriteString(" ")
+			}
+		}
+		return b.String()
+	}
+	for iter := 0; iter < 2000; iter++ {
+		nArgs := rng.Intn(3) + 1
+		segs := make([]string, nArgs+1)
+		for i := range segs {
+			segs[i] = randText(rng.Intn(3) + 1)
+		}
+		// Intermediate empty segments are rejected by parseExact by
+		// design (ambiguous); skip those cases.
+		ambiguous := false
+		for i := 1; i < len(segs)-1; i++ {
+			if segs[i] == "" {
+				ambiguous = true
+			}
+		}
+		if ambiguous {
+			continue
+		}
+		text := randText(rng.Intn(6) + 1)
+		got, gotOK := parseExact(text, segs)
+		want, wantOK := referenceMatch(text, segs)
+		if gotOK != wantOK {
+			t.Fatalf("segs=%q text=%q: ok %v, reference %v", segs, text, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		// Both matched; leftmost-non-greedy extraction must agree.
+		if len(got) != len(want) {
+			t.Fatalf("segs=%q text=%q: %d values vs %d", segs, text, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("segs=%q text=%q: value %d = %q, reference %q",
+					segs, text, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Rendering any pattern with values then matching it through the full
+// matcher recovers the same pattern (not merely any pattern).
+func TestMatcherRoundTripIdentifiesPattern(t *testing.T) {
+	p := ir.NewProgram("rt")
+	var instrs []*ir.Instr
+	stmts := [][]string{
+		{"NodeManager from ", " registered as ", ""},
+		{"Assigned container ", " on host ", ""},
+		{"Assigned container ", " to ", ""},
+		{"Container ", " completed on ", ""},
+		{"Task ", " committed by ", ""},
+		{"Worker ", " lost, reassigning"},
+	}
+	for _, segs := range stmts {
+		args := make([]ir.LogArg, len(segs)-1)
+		for i := range args {
+			args[i] = ir.LogArg{Name: "v", Type: "java.lang.String"}
+		}
+		instrs = append(instrs, &ir.Instr{Op: ir.OpLog,
+			Log: &ir.LogStmt{Level: "info", Segments: segs, Args: args}})
+	}
+	p.AddClass(&ir.Class{Name: "rt.C", Methods: []*ir.Method{{Name: "m", Instrs: instrs}}})
+	p.Build()
+	m := NewMatcher(ExtractPatterns(p))
+
+	values := []string{"node3", "node3:42349", "container_12", "attempt_9", "task_4"}
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 500; iter++ {
+		pi := rng.Intn(len(stmts))
+		segs := stmts[pi]
+		var b strings.Builder
+		for i, s := range segs {
+			b.WriteString(s)
+			if i < len(segs)-1 {
+				b.WriteString(values[rng.Intn(len(values))])
+			}
+		}
+		got := m.Match(dslog.Record{Text: b.String()})
+		if got == nil {
+			t.Fatalf("no match for rendered %q", b.String())
+		}
+		if got.Pattern.Stmt.Pattern() != (&ir.LogStmt{Segments: segs,
+			Args: make([]ir.LogArg, len(segs)-1)}).Pattern() {
+			t.Fatalf("text %q matched %q, want pattern %v",
+				b.String(), got.Pattern.Regex(), segs)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package logparse implements the paper's offline log analysis (§3.1.1,
+// §3.3): extracting log patterns from the logging statements of the system
+// under test, and matching runtime log instances back to patterns so the
+// runtime values of logged variables can be recovered.
+//
+// Matching follows the reverse-index approach of Xu et al. (SOSP '09)
+// adopted by the paper: a word-level inverted index over the constant
+// segments of every pattern yields a matching score per candidate
+// pattern; the 10 highest-scoring candidates are then checked for an
+// exact structural match, and the first exact match wins.
+package logparse
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+)
+
+// Pattern is one extracted log pattern (Fig. 5(b)).
+type Pattern struct {
+	// Point identifies the logging statement (the OpLog instruction).
+	Point ir.PointID
+	Stmt  *ir.LogStmt
+}
+
+// Regex renders the pattern with (.*) placeholders.
+func (p *Pattern) Regex() string { return p.Stmt.Pattern() }
+
+// Match is a successfully parsed runtime log instance: the pattern it
+// matches and the extracted runtime values of the logged variables, in
+// argument order (highlighted red in Fig. 5(c)).
+type Match struct {
+	Record  dslog.Record
+	Pattern *Pattern
+	Values  []string
+}
+
+// Matcher matches runtime log instances against the extracted patterns.
+type Matcher struct {
+	patterns []*Pattern
+	// index maps a word to the pattern indexes whose constant segments
+	// contain it (the reverse index).
+	index map[string][]int
+	// TopK is the number of highest-scoring candidates to try for an
+	// exact match; the paper uses 10.
+	TopK int
+}
+
+// ExtractPatterns walks the program and returns one Pattern per logging
+// statement. Logging statements are recognized in the IR the same way the
+// paper recognizes them in bytecode: call sites whose method name is one
+// of the common logging interfaces (fatal/error/warn/info/debug/trace) —
+// in the IR these are OpLog instructions carrying the statement.
+func ExtractPatterns(p *ir.Program) []*Pattern {
+	var out []*Pattern
+	for _, ins := range p.LogStmts() {
+		out = append(out, &Pattern{Point: ins.ID, Stmt: ins.Log})
+	}
+	return out
+}
+
+// NewMatcher builds the reverse index over the given patterns.
+func NewMatcher(patterns []*Pattern) *Matcher {
+	m := &Matcher{patterns: patterns, index: make(map[string][]int), TopK: 10}
+	for i, p := range patterns {
+		seen := map[string]bool{}
+		for _, seg := range p.Stmt.Segments {
+			for _, w := range words(seg) {
+				if !seen[w] {
+					seen[w] = true
+					m.index[w] = append(m.index[w], i)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// words splits a constant segment into index words.
+func words(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+}
+
+// Match parses one runtime log instance. It returns nil if no pattern
+// matches exactly.
+func (m *Matcher) Match(rec dslog.Record) *Match {
+	scores := make(map[int]int)
+	for _, w := range words(rec.Text) {
+		for _, pi := range m.index[w] {
+			scores[pi]++
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	type cand struct {
+		idx   int
+		score int
+	}
+	cands := make([]cand, 0, len(scores))
+	for i, s := range scores {
+		cands = append(cands, cand{i, s})
+	}
+	// Highest score first; ties broken by pattern order for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	topK := m.TopK
+	if topK <= 0 {
+		topK = 10
+	}
+	if len(cands) > topK {
+		cands = cands[:topK]
+	}
+	for _, c := range cands {
+		p := m.patterns[c.idx]
+		if vals, ok := parseExact(rec.Text, p.Stmt.Segments); ok {
+			return &Match{Record: rec, Pattern: p, Values: vals}
+		}
+	}
+	return nil
+}
+
+// parseExact attempts a structural match of text against the interleaved
+// constant segments, returning the variable values between them. The
+// first segment must anchor at the start and the last at the end;
+// intermediate segments are located left-to-right at their first
+// occurrence (equivalent to a non-greedy (.*) regex match).
+func parseExact(text string, segments []string) ([]string, bool) {
+	nArgs := len(segments) - 1
+	if nArgs < 0 {
+		return nil, false
+	}
+	if nArgs == 0 {
+		if text == segments[0] {
+			return []string{}, true
+		}
+		return nil, false
+	}
+	if !strings.HasPrefix(text, segments[0]) {
+		return nil, false
+	}
+	vals := make([]string, 0, nArgs)
+	pos := len(segments[0])
+	for i := 1; i <= nArgs; i++ {
+		seg := segments[i]
+		if i == nArgs {
+			// Last segment must be a suffix at/after pos.
+			if seg == "" {
+				vals = append(vals, text[pos:])
+				return vals, true
+			}
+			if !strings.HasSuffix(text, seg) || len(text)-len(seg) < pos {
+				return nil, false
+			}
+			vals = append(vals, text[pos:len(text)-len(seg)])
+			return vals, true
+		}
+		if seg == "" {
+			// An empty intermediate segment cannot separate two values;
+			// treat as unmatchable to avoid ambiguity.
+			return nil, false
+		}
+		j := strings.Index(text[pos:], seg)
+		if j < 0 {
+			return nil, false
+		}
+		vals = append(vals, text[pos:pos+j])
+		pos += j + len(seg)
+	}
+	return vals, true
+}
+
+// Result aggregates a full parse of a run's logs.
+type Result struct {
+	Matches   []*Match
+	Unmatched []dslog.Record
+}
+
+// ParseAll matches every record against the matcher.
+func (m *Matcher) ParseAll(records []dslog.Record) Result {
+	var r Result
+	for _, rec := range records {
+		if mt := m.Match(rec); mt != nil {
+			r.Matches = append(r.Matches, mt)
+		} else {
+			r.Unmatched = append(r.Unmatched, rec)
+		}
+	}
+	return r
+}
+
+// Patterns returns the matcher's patterns.
+func (m *Matcher) Patterns() []*Pattern { return m.patterns }

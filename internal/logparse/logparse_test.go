@@ -1,0 +1,217 @@
+package logparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+)
+
+func fig5Program() *ir.Program {
+	// The four logging statements of Fig. 5(a).
+	p := ir.NewProgram("fig5")
+	stmt := func(level string, segs []string, args ...ir.LogArg) *ir.Instr {
+		return &ir.Instr{Op: ir.OpLog, Log: &ir.LogStmt{Level: level, Segments: segs, Args: args}}
+	}
+	p.AddClass(&ir.Class{
+		Name: "f.RMNodeTracker",
+		Methods: []*ir.Method{{Name: "run", Instrs: []*ir.Instr{
+			stmt("info", []string{"NodeManager from ", " registered as ", ""},
+				ir.LogArg{Name: "host", Type: "java.lang.String"},
+				ir.LogArg{Name: "nodeId", Type: "yarn.api.records.NodeId"}),
+			stmt("info", []string{"Assigned container ", " on host ", ""},
+				ir.LogArg{Name: "containerId", Type: "yarn.api.records.ContainerId"},
+				ir.LogArg{Name: "nodeId", Type: "yarn.api.records.NodeId"}),
+			stmt("info", []string{"Assigned container ", " to ", ""},
+				ir.LogArg{Name: "containerId", Type: "yarn.api.records.ContainerId"},
+				ir.LogArg{Name: "tId", Type: "mapreduce.v2.api.records.TaskAttemptId"}),
+			stmt("info", []string{"JVM with ID: ", " given task: ", ""},
+				ir.LogArg{Name: "jvmId", Type: "mapreduce.JVMId"},
+				ir.LogArg{Name: "taskId", Type: "mapreduce.v2.api.records.TaskAttemptId"}),
+		}}},
+	})
+	return p.Build()
+}
+
+func rec(text string) dslog.Record {
+	return dslog.Record{Node: "node0:1", Text: text, Level: dslog.Info}
+}
+
+func TestExtractPatterns(t *testing.T) {
+	pats := ExtractPatterns(fig5Program())
+	if len(pats) != 4 {
+		t.Fatalf("patterns = %d, want 4", len(pats))
+	}
+	want := "NodeManager from (.*) registered as (.*)"
+	if pats[0].Regex() != want {
+		t.Errorf("regex = %q, want %q", pats[0].Regex(), want)
+	}
+}
+
+func TestMatchFig5Instances(t *testing.T) {
+	m := NewMatcher(ExtractPatterns(fig5Program()))
+	cases := []struct {
+		text string
+		vals []string
+	}{
+		{"NodeManager from node3 registered as node3:42349", []string{"node3", "node3:42349"}},
+		{"Assigned container container_1_3 on host node3:42349", []string{"container_1_3", "node3:42349"}},
+		{"Assigned container container_1_3 to attempt_1_3", []string{"container_1_3", "attempt_1_3"}},
+		{"JVM with ID: jvm_1_m_4 given task: attempt_1_4", []string{"jvm_1_m_4", "attempt_1_4"}},
+	}
+	for _, c := range cases {
+		got := m.Match(rec(c.text))
+		if got == nil {
+			t.Errorf("no match for %q", c.text)
+			continue
+		}
+		if len(got.Values) != len(c.vals) {
+			t.Errorf("%q: values = %v, want %v", c.text, got.Values, c.vals)
+			continue
+		}
+		for i := range c.vals {
+			if got.Values[i] != c.vals[i] {
+				t.Errorf("%q: value %d = %q, want %q", c.text, i, got.Values[i], c.vals[i])
+			}
+		}
+	}
+}
+
+func TestAmbiguousPrefixesResolve(t *testing.T) {
+	// "Assigned container X on host Y" and "Assigned container X to Y"
+	// share a long prefix; the scorer must still land on the right one.
+	m := NewMatcher(ExtractPatterns(fig5Program()))
+	got := m.Match(rec("Assigned container c_9 to attempt_9"))
+	if got == nil {
+		t.Fatal("no match")
+	}
+	if !strings.Contains(got.Pattern.Regex(), " to ") {
+		t.Errorf("matched wrong pattern %q", got.Pattern.Regex())
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	m := NewMatcher(ExtractPatterns(fig5Program()))
+	if m.Match(rec("totally unrelated text")) != nil {
+		t.Error("matched unrelated text")
+	}
+	if m.Match(rec("")) != nil {
+		t.Error("matched empty text")
+	}
+	// Shares words but the structure differs.
+	if m.Match(rec("container on host registered")) != nil {
+		t.Error("matched structurally different text")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	m := NewMatcher(ExtractPatterns(fig5Program()))
+	recs := []dslog.Record{
+		rec("NodeManager from node3 registered as node3:42349"),
+		rec("garbage line"),
+		rec("Assigned container c on host n:1"),
+	}
+	r := m.ParseAll(recs)
+	if len(r.Matches) != 2 || len(r.Unmatched) != 1 {
+		t.Errorf("matches = %d, unmatched = %d", len(r.Matches), len(r.Unmatched))
+	}
+}
+
+func TestParseExactEdgeCases(t *testing.T) {
+	// No-arg pattern must match only the exact constant.
+	if v, ok := parseExact("server started", []string{"server started"}); !ok || len(v) != 0 {
+		t.Error("constant pattern failed")
+	}
+	if _, ok := parseExact("server started late", []string{"server started"}); ok {
+		t.Error("constant pattern matched superstring")
+	}
+	// Leading variable.
+	v, ok := parseExact("node9 joined", []string{"", " joined"})
+	if !ok || v[0] != "node9" {
+		t.Errorf("leading variable: %v %v", v, ok)
+	}
+	// Trailing variable with empty final segment.
+	v, ok = parseExact("lost node node9", []string{"lost node ", ""})
+	if !ok || v[0] != "node9" {
+		t.Errorf("trailing variable: %v %v", v, ok)
+	}
+	// Empty value is allowed.
+	v, ok = parseExact("lost node ", []string{"lost node ", ""})
+	if !ok || v[0] != "" {
+		t.Errorf("empty value: %v %v", v, ok)
+	}
+	// Missing separator fails.
+	if _, ok := parseExact("a-b", []string{"a", "+", "b"}); ok {
+		t.Error("matched despite missing separator")
+	}
+	// Suffix overlapping the prefix region fails.
+	if _, ok := parseExact("ab", []string{"ab", "b"}); ok {
+		t.Error("matched with overlapping suffix")
+	}
+}
+
+func TestTopKLimit(t *testing.T) {
+	// Build many similar patterns; with TopK=1 only the best-scoring
+	// candidate is tried, which may miss; with the default 10 it matches.
+	p := ir.NewProgram("many")
+	var instrs []*ir.Instr
+	for i := 0; i < 20; i++ {
+		instrs = append(instrs, &ir.Instr{Op: ir.OpLog, Log: &ir.LogStmt{
+			Level:    "info",
+			Segments: []string{fmt.Sprintf("common words everywhere variant%d ", i), ""},
+			Args:     []ir.LogArg{{Name: "v", Type: "java.lang.String"}},
+		}})
+	}
+	p.AddClass(&ir.Class{Name: "m.C", Methods: []*ir.Method{{Name: "r", Instrs: instrs}}})
+	p.Build()
+	m := NewMatcher(ExtractPatterns(p))
+	text := "common words everywhere variant7 value"
+	if m.Match(rec(text)) == nil {
+		t.Error("default TopK failed to match")
+	}
+}
+
+// Property: any pattern rendered with arbitrary (separator-free) values
+// parses back to exactly those values.
+func TestRoundTripProperty(t *testing.T) {
+	segments := []string{"Assigned container ", " on host ", " done"}
+	clean := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == ':' {
+				return r
+			}
+			return -1
+		}, s)
+		if s == "" {
+			s = "x"
+		}
+		return s
+	}
+	f := func(a, b string) bool {
+		va, vb := clean(a), clean(b)
+		// Values containing a segment separator are genuinely ambiguous;
+		// cleaned values here cannot contain " on host ".
+		text := segments[0] + va + segments[1] + vb + segments[2]
+		got, ok := parseExact(text, segments)
+		return ok && len(got) == 2 && got[0] == va && got[1] == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := words("NodeManager from , registered: as-99!")
+	want := []string{"NodeManager", "from", "registered", "as", "99"}
+	if len(got) != len(want) {
+		t.Fatalf("words = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

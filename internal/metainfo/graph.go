@@ -1,0 +1,172 @@
+// Package metainfo implements the paper's meta-info analysis (§3.1):
+// inferring meta-info variables — variables referencing high-level system
+// state such as nodes, containers and task attempts — from runtime logs,
+// and generalizing them to meta-info types with a type-based static
+// analysis (Definition 2).
+package metainfo
+
+import (
+	"sort"
+	"strings"
+)
+
+// Graph is the runtime meta-info association of Fig. 5(d)/Fig. 6: a set
+// of node values (host:port strings) plus a map from every other observed
+// meta-info value to the node it belongs to. The same structure backs the
+// offline analysis here and the online stash (internal/stash).
+type Graph struct {
+	hosts map[string]bool
+	// nodes is the HashSet of Fig. 6.
+	nodes map[string]bool
+	// assoc is the HashMap of Fig. 6: value -> node value.
+	assoc map[string]string
+	// hostToNode canonicalizes a bare hostname to the host:port node
+	// value once one has been seen.
+	hostToNode map[string]string
+}
+
+// NewGraph returns an empty graph for a cluster with the given configured
+// hostnames (the paper reads these from the system configuration file).
+func NewGraph(hosts []string) *Graph {
+	g := &Graph{
+		hosts:      make(map[string]bool, len(hosts)),
+		nodes:      make(map[string]bool),
+		assoc:      make(map[string]string),
+		hostToNode: make(map[string]string),
+	}
+	for _, h := range hosts {
+		g.hosts[h] = true
+	}
+	return g
+}
+
+// NodeValue extracts the canonical node value (host:port) referenced by a
+// runtime value, if any: the value must contain a configured hostname,
+// optionally followed by :port. A bare hostname canonicalizes to the
+// host:port node previously seen for that host, or to itself if none.
+func (g *Graph) NodeValue(v string) (string, bool) {
+	for h := range g.hosts {
+		i := strings.Index(v, h)
+		if i < 0 {
+			continue
+		}
+		// Hostname boundary check: must not be mid-identifier.
+		if i > 0 && isWordByte(v[i-1]) {
+			continue
+		}
+		rest := v[i+len(h):]
+		if len(rest) > 0 && rest[0] == ':' {
+			j := 1
+			for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+				j++
+			}
+			if j > 1 {
+				return h + rest[:j], true
+			}
+		}
+		if len(rest) > 0 && isWordByte(rest[0]) {
+			continue
+		}
+		if n, ok := g.hostToNode[h]; ok {
+			return n, true
+		}
+		return h, true
+	}
+	return "", false
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+// Observe processes the values of one runtime log instance in FIFO order
+// (§3.2.1): node values join the node set; other values are associated to
+// the node referenced in the same instance, directly or through a value
+// already associated; values with no node relationship are discarded.
+func (g *Graph) Observe(values []string) {
+	var node string
+	// First scan: direct node references win.
+	for _, v := range values {
+		if nv, ok := g.NodeValue(v); ok {
+			g.addNode(nv)
+			if node == "" {
+				node = nv
+			}
+		}
+	}
+	// Second scan: fall back to a value that is already associated.
+	if node == "" {
+		for _, v := range values {
+			if n, ok := g.assoc[v]; ok {
+				node = n
+				break
+			}
+		}
+	}
+	if node == "" {
+		return
+	}
+	for _, v := range values {
+		if _, isNode := g.NodeValue(v); isNode {
+			continue
+		}
+		if _, dup := g.assoc[v]; !dup {
+			g.assoc[v] = node
+		}
+	}
+}
+
+func (g *Graph) addNode(nv string) {
+	g.nodes[nv] = true
+	host := nv
+	if i := strings.IndexByte(nv, ':'); i >= 0 {
+		host = nv[:i]
+		// Upgrade any earlier bare-host node and associations to the
+		// canonical host:port value.
+		if g.nodes[host] {
+			delete(g.nodes, host)
+			for v, n := range g.assoc {
+				if n == host {
+					g.assoc[v] = nv
+				}
+			}
+		}
+		g.hostToNode[host] = nv
+	}
+}
+
+// NodeOf returns the node a value belongs to: the value itself if it is a
+// node value (values matching the configured host names identify their
+// node directly, as in §3.1.1 — no prior sighting needed), or its
+// association. ok is false for unknown values.
+func (g *Graph) NodeOf(v string) (string, bool) {
+	if nv, ok := g.NodeValue(v); ok {
+		return nv, true
+	}
+	if n, ok := g.assoc[v]; ok {
+		return n, true
+	}
+	return "", false
+}
+
+// Nodes returns the node set, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Associations returns a copy of the value→node map.
+func (g *Graph) Associations() map[string]string {
+	out := make(map[string]string, len(g.assoc))
+	for k, v := range g.assoc {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of associated (non-node) values.
+func (g *Graph) Len() int { return len(g.assoc) }

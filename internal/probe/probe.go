@@ -1,0 +1,130 @@
+// Package probe is the instrumentation layer of the simulated systems —
+// the analogue of the Javassist-inserted RPCs of §3.2.2.
+//
+// Every candidate crash-point site in a simulated system's Go code calls
+// PreRead or PostWrite with the PointID of the corresponding IR
+// instruction and the runtime meta-info value(s) being accessed. The
+// probe maintains a per-node call stack (pushed/popped with Enter) so
+// each access carries a bounded call-string context, exactly like the
+// paper's dynamic crash points (<P, Context>, depth 5).
+//
+// The probe itself is policy-free: a single OnAccess hook observes
+// accesses. The profiler installs a recording hook; the trigger installs
+// an injection hook armed for exactly one dynamic point per run. With no
+// hook installed the probe is inert.
+package probe
+
+import (
+	"strings"
+
+	"repro/internal/crashpoint"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// StackDepth is the bound on call-string length (the paper uses 5,
+// starting from the method of the crash point towards its callers).
+const StackDepth = 5
+
+// Access describes one dynamic hit of a candidate crash-point site.
+type Access struct {
+	Point    ir.PointID
+	Scenario crashpoint.Scenario
+	// Node is the node executing the access.
+	Node sim.NodeID
+	// Values are the runtime meta-info values at the site (toString
+	// results; for collection reads both the key and, when available,
+	// the value — §3.3 "Runtime meta-info values").
+	Values []string
+	// Stack is the bounded call string, innermost first, e.g.
+	// "Scheduler.completeContainer<Scheduler.handle".
+	Stack string
+}
+
+// Dyn returns the dynamic-point identity of the access.
+func (a Access) Dyn() DynPoint {
+	return DynPoint{Point: a.Point, Scenario: a.Scenario, Stack: a.Stack}
+}
+
+// DynPoint is a dynamic crash point: a static point plus its runtime call
+// stack (Definition 1).
+type DynPoint struct {
+	Point    ir.PointID
+	Scenario crashpoint.Scenario
+	Stack    string
+}
+
+// Key returns a stable string identity.
+func (d DynPoint) Key() string {
+	return string(d.Point) + "/" + d.Scenario.String() + "@" + d.Stack
+}
+
+// Hook observes accesses.
+type Hook func(Access)
+
+// Probe tracks per-node call stacks and dispatches accesses to the hook.
+type Probe struct {
+	OnAccess Hook
+	stacks   map[sim.NodeID][]ir.MethodID
+}
+
+// New returns an inert probe.
+func New() *Probe {
+	return &Probe{stacks: make(map[sim.NodeID][]ir.MethodID)}
+}
+
+// Enter pushes method m on node's call stack and returns the matching
+// pop. Use as: defer p.Enter(node, "Class.method")().
+func (p *Probe) Enter(node sim.NodeID, m ir.MethodID) func() {
+	p.stacks[node] = append(p.stacks[node], m)
+	return func() {
+		s := p.stacks[node]
+		if len(s) > 0 {
+			p.stacks[node] = s[:len(s)-1]
+		}
+	}
+}
+
+// Stack renders the bounded call string for node, innermost frame first.
+func (p *Probe) Stack(node sim.NodeID) string {
+	s := p.stacks[node]
+	n := len(s)
+	if n == 0 {
+		return ""
+	}
+	depth := StackDepth
+	if n < depth {
+		depth = n
+	}
+	frames := make([]string, 0, depth)
+	for i := n - 1; i >= n-depth; i-- {
+		frames = append(frames, string(s[i]))
+	}
+	return strings.Join(frames, "<")
+}
+
+// PreRead reports a pre-read site hit, before the read executes. The
+// trigger's injection hook runs synchronously here, so a graceful
+// shutdown it performs is fully handled before the read proceeds —
+// emulating the instrumented "shutdown RPC followed by a wait" (§3.2.2).
+func (p *Probe) PreRead(node sim.NodeID, point ir.PointID, values ...string) {
+	p.dispatch(node, point, crashpoint.PreRead, values)
+}
+
+// PostWrite reports a post-write site hit, just after the write executed.
+func (p *Probe) PostWrite(node sim.NodeID, point ir.PointID, values ...string) {
+	p.dispatch(node, point, crashpoint.PostWrite, values)
+}
+
+func (p *Probe) dispatch(node sim.NodeID, point ir.PointID, sc crashpoint.Scenario, values []string) {
+	if p.OnAccess == nil {
+		return
+	}
+	p.OnAccess(Access{
+		Point:    point,
+		Scenario: sc,
+		Node:     node,
+		Values:   values,
+		Stack:    p.Stack(node),
+	})
+}

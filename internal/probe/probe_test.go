@@ -1,0 +1,102 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func TestInertWithoutHook(t *testing.T) {
+	p := New()
+	// Must not panic or record anything.
+	p.PreRead("n:1", "C.m#0", "v")
+	p.PostWrite("n:1", "C.m#1", "v")
+}
+
+func TestStackBounding(t *testing.T) {
+	p := New()
+	node := sim.NodeID("n:1")
+	var pops []func()
+	for _, m := range []string{"A.a", "B.b", "C.c", "D.d", "E.e", "F.f", "G.g"} {
+		pops = append(pops, p.Enter(node, ir.MethodID(m)))
+	}
+	// Depth 5, innermost first.
+	want := "G.g<F.f<E.e<D.d<C.c"
+	if got := p.Stack(node); got != want {
+		t.Errorf("stack = %q, want %q", got, want)
+	}
+	for i := len(pops) - 1; i >= 0; i-- {
+		pops[i]()
+	}
+	if got := p.Stack(node); got != "" {
+		t.Errorf("stack after pops = %q", got)
+	}
+}
+
+func TestAccessCarriesContext(t *testing.T) {
+	p := New()
+	node := sim.NodeID("n:1")
+	var got []Access
+	p.OnAccess = func(a Access) { got = append(got, a) }
+
+	pop := p.Enter(node, "Sched.handle")
+	pop2 := p.Enter(node, "Sched.completeContainer")
+	p.PreRead(node, "Sched.completeContainer#0", "node1:42")
+	pop2()
+	p.PostWrite(node, "Sched.handle#3", "container_7", "node1:42")
+	pop()
+
+	if len(got) != 2 {
+		t.Fatalf("accesses = %d", len(got))
+	}
+	a := got[0]
+	if a.Scenario != crashpoint.PreRead || a.Point != "Sched.completeContainer#0" {
+		t.Errorf("access 0 = %+v", a)
+	}
+	if a.Stack != "Sched.completeContainer<Sched.handle" {
+		t.Errorf("stack = %q", a.Stack)
+	}
+	if len(a.Values) != 1 || a.Values[0] != "node1:42" {
+		t.Errorf("values = %v", a.Values)
+	}
+	b := got[1]
+	if b.Scenario != crashpoint.PostWrite || b.Stack != "Sched.handle" {
+		t.Errorf("access 1 = %+v", b)
+	}
+	if len(b.Values) != 2 {
+		t.Errorf("post-write values = %v", b.Values)
+	}
+}
+
+func TestPerNodeStacksIndependent(t *testing.T) {
+	p := New()
+	p.Enter("a:1", "A.run")
+	p.Enter("b:2", "B.run")
+	if p.Stack("a:1") != "A.run" || p.Stack("b:2") != "B.run" {
+		t.Error("per-node stacks interfere")
+	}
+}
+
+func TestDynPointKey(t *testing.T) {
+	a := Access{Point: "C.m#0", Scenario: crashpoint.PreRead, Stack: "C.m<C.n"}
+	d := a.Dyn()
+	if d.Key() != "C.m#0/pre-read@C.m<C.n" {
+		t.Errorf("key = %q", d.Key())
+	}
+	b := Access{Point: "C.m#0", Scenario: crashpoint.PreRead, Stack: "C.m<C.x"}
+	if b.Dyn().Key() == d.Key() {
+		t.Error("different stacks must yield distinct dynamic points")
+	}
+}
+
+func TestPopOnEmptyStackSafe(t *testing.T) {
+	p := New()
+	pop := p.Enter("n:1", "A.a")
+	pop()
+	pop() // double pop must not panic or underflow
+	if p.Stack("n:1") != "" {
+		t.Error("stack not empty")
+	}
+}

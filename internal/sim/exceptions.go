@@ -1,0 +1,48 @@
+package sim
+
+// Exception models a thrown exception inside a simulated system. The
+// CrashTuner oracle (§3.2.2) reports a bug when a run surfaces "uncommon
+// exceptions in the logs": exception signatures never seen in fault-free
+// baseline runs. Simulated systems report every exception they raise —
+// handled or not — through Throw, and the oracle compares signatures
+// against a baseline census.
+type Exception struct {
+	At        Time
+	Node      NodeID
+	Signature string // e.g. "NullPointerException@Scheduler.completeContainer"
+	Message   string
+	Handled   bool // true if a handler caught it and the system continued
+}
+
+// Throw records an exception raised on node id. It returns the record so
+// callers can chain additional handling.
+func (e *Engine) Throw(id NodeID, signature, message string, handled bool) Exception {
+	ex := Exception{At: e.now, Node: id, Signature: signature, Message: message, Handled: handled}
+	e.exceptions = append(e.exceptions, ex)
+	return ex
+}
+
+// Exceptions returns every exception thrown during the run, in order.
+func (e *Engine) Exceptions() []Exception {
+	out := make([]Exception, len(e.exceptions))
+	copy(out, e.exceptions)
+	return out
+}
+
+// Abort marks node id as dead due to an unhandled fatal error (e.g. an
+// uncaught NullPointerException aborting a master). It records the
+// exception as unhandled and kills the node silently — peers learn of the
+// abort through their own timeouts, exactly as with a crash — but the
+// fault is *not* recorded as an injected fault, since it is a consequence
+// of a bug rather than of the test harness.
+func (e *Engine) Abort(id NodeID, signature, message string) {
+	e.Throw(id, signature, message, false)
+	n := e.nodes[id]
+	if n == nil || !n.alive {
+		return
+	}
+	n.alive = false
+	for _, fn := range n.deathHooks {
+		fn(e, false)
+	}
+}

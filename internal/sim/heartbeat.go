@@ -1,0 +1,119 @@
+package sim
+
+// Heartbeat wiring shared by the simulated systems. A worker node sends
+// periodic heartbeats to a master service; the master runs a liveness
+// monitor that declares a worker LOST when no heartbeat arrives within the
+// timeout, mirroring the liveMonitor threads in Yarn, HDFS and HBase
+// (paper Fig. 2).
+
+// HeartbeatConfig parameterizes StartHeartbeats / NewLivenessMonitor.
+type HeartbeatConfig struct {
+	Period  Time // heartbeat interval (e.g. 1s)
+	Timeout Time // liveness timeout (e.g. 3 periods)
+	Service string
+	Kind    string // message kind for heartbeats, e.g. "heartbeat"
+}
+
+// DefaultHeartbeat is the configuration used by the simulated systems
+// unless a system overrides it.
+var DefaultHeartbeat = HeartbeatConfig{
+	Period:  1 * Second,
+	Timeout: 3 * Second,
+	Kind:    "heartbeat",
+}
+
+// StartHeartbeats makes worker send cfg.Kind messages to the cfg.Service
+// endpoint on master every cfg.Period. The series stops automatically when
+// the worker dies.
+func StartHeartbeats(e *Engine, worker, master NodeID, cfg HeartbeatConfig) *Timer {
+	send := func() { e.Send(worker, master, cfg.Service, cfg.Kind, nil) }
+	send()
+	return e.Every(worker, cfg.Period, send)
+}
+
+// LivenessMonitor tracks last-heard times for workers and reports LOST
+// workers to a callback. It runs on the master's virtual time and stops
+// checking when the master dies.
+type LivenessMonitor struct {
+	e       *Engine
+	master  NodeID
+	cfg     HeartbeatConfig
+	last    map[NodeID]Time
+	lost    map[NodeID]bool
+	onLost  func(NodeID)
+	checker *Timer
+}
+
+// NewLivenessMonitor starts a monitor on master; onLost is invoked exactly
+// once per worker that misses cfg.Timeout of heartbeats.
+func NewLivenessMonitor(e *Engine, master NodeID, cfg HeartbeatConfig, onLost func(NodeID)) *LivenessMonitor {
+	lm := &LivenessMonitor{
+		e:      e,
+		master: master,
+		cfg:    cfg,
+		last:   make(map[NodeID]Time),
+		lost:   make(map[NodeID]bool),
+		onLost: onLost,
+	}
+	period := cfg.Period
+	if period <= 0 {
+		period = DefaultHeartbeat.Period
+	}
+	lm.checker = e.Every(master, period, lm.check)
+	return lm
+}
+
+// Track registers worker with the monitor (e.g. on registration).
+func (lm *LivenessMonitor) Track(worker NodeID) {
+	lm.last[worker] = lm.e.Now()
+	delete(lm.lost, worker)
+}
+
+// Forget stops tracking worker (e.g. after graceful deregistration).
+func (lm *LivenessMonitor) Forget(worker NodeID) {
+	delete(lm.last, worker)
+	delete(lm.lost, worker)
+}
+
+// Beat records a heartbeat from worker.
+func (lm *LivenessMonitor) Beat(worker NodeID) {
+	if _, ok := lm.last[worker]; ok {
+		lm.last[worker] = lm.e.Now()
+	}
+}
+
+// Tracking reports whether worker is currently tracked and not LOST.
+func (lm *LivenessMonitor) Tracking(worker NodeID) bool {
+	_, ok := lm.last[worker]
+	return ok && !lm.lost[worker]
+}
+
+func (lm *LivenessMonitor) check() {
+	now := lm.e.Now()
+	// Deterministic iteration order.
+	var ids []NodeID
+	for id := range lm.last {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		if lm.lost[id] {
+			continue
+		}
+		if now-lm.last[id] > lm.cfg.Timeout {
+			lm.lost[id] = true
+			lm.onLost(id)
+		}
+	}
+}
+
+// Stop halts the periodic check.
+func (lm *LivenessMonitor) Stop() { lm.checker.Stop() }
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

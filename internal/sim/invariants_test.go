@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomScheduleInvariants drives randomized workloads and checks the
+// engine's core guarantees: virtual time never goes backwards, node-bound
+// events never run on dead nodes, and messages are never delivered to
+// dead nodes.
+func TestRandomScheduleInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		e := NewEngine(seed)
+		rng := rand.New(rand.NewSource(seed))
+		const nNodes = 5
+		var nodes []*Node
+		for i := 0; i < nNodes; i++ {
+			n := e.AddNode("host", 1000+i)
+			id := n.ID
+			n.Register("svc", ServiceFunc(func(e *Engine, m Message) {
+				if !e.Node(m.To).Alive() {
+					t.Fatalf("seed %d: message delivered to dead node %s", seed, m.To)
+				}
+				// Random onward activity.
+				if rng.Intn(3) == 0 {
+					to := e.Nodes()[rng.Intn(nNodes)].ID
+					e.Send(id, to, "svc", "fwd", nil)
+				}
+			}))
+			nodes = append(nodes, n)
+		}
+		lastTime := Time(-1)
+		e.OnStep(func(now Time) {
+			if now < lastTime {
+				t.Fatalf("seed %d: time went backwards: %v after %v", seed, now, lastTime)
+			}
+			lastTime = now
+		})
+		// Random initial activity.
+		for i := 0; i < 50; i++ {
+			from := nodes[rng.Intn(nNodes)].ID
+			to := nodes[rng.Intn(nNodes)].ID
+			d := Time(rng.Intn(5000)) * Millisecond
+			e.After(d, func() { e.Send(from, to, "svc", "ping", nil) })
+		}
+		// Node-bound timers that must never fire after death.
+		for _, n := range nodes {
+			id := n.ID
+			e.Every(id, 100*Millisecond, func() {
+				if !e.Node(id).Alive() {
+					t.Fatalf("seed %d: timer fired on dead node %s", seed, id)
+				}
+			})
+		}
+		// Random faults.
+		for i := 0; i < 3; i++ {
+			victim := nodes[rng.Intn(nNodes)].ID
+			at := Time(rng.Intn(4000)) * Millisecond
+			if rng.Intn(2) == 0 {
+				e.After(at, func() { e.Crash(victim) })
+			} else {
+				e.After(at, func() { e.Shutdown(victim) })
+			}
+		}
+		e.After(6*Second, func() { e.Stop() })
+		e.Run(0)
+	}
+}
+
+// TestFaultRecordOrdering asserts faults are journaled in injection
+// order with non-decreasing timestamps.
+func TestFaultRecordOrdering(t *testing.T) {
+	e := NewEngine(3)
+	for i := 0; i < 4; i++ {
+		e.AddNode("h", i)
+	}
+	e.After(3*Second, func() { e.Crash("h:2") })
+	e.After(Second, func() { e.Shutdown("h:0") })
+	e.After(2*Second, func() { e.Crash("h:1") })
+	e.Quiesce()
+	fs := e.Faults()
+	if len(fs) != 3 {
+		t.Fatalf("faults = %v", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].At < fs[i-1].At {
+			t.Fatalf("fault order violated: %v", fs)
+		}
+	}
+	if fs[0].Node != "h:0" || fs[0].Kind != FaultShutdown {
+		t.Errorf("first fault = %+v", fs[0])
+	}
+}
+
+// TestStepsCount checks the dispatched-event counter.
+func TestStepsCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 10; i++ {
+		e.After(Time(i)*Millisecond, func() {})
+	}
+	e.Quiesce()
+	if e.Steps() != 10 {
+		t.Errorf("steps = %d, want 10", e.Steps())
+	}
+}

@@ -1,0 +1,446 @@
+// Package sim implements a deterministic discrete-event simulator for
+// clusters of nodes, the substrate on which the simulated distributed
+// systems (internal/systems/...) run.
+//
+// The simulator provides a virtual clock, an event queue ordered by
+// (time, sequence), named nodes hosting message-handling services, timers
+// (engine-wide and node-scoped), heartbeat helpers, and the two fault
+// primitives the CrashTuner paper relies on:
+//
+//   - Crash: the node dies silently. In-flight messages to it are dropped
+//     and its timers are cancelled; peers only learn of the crash through
+//     their own liveness timeouts.
+//   - Shutdown: the node leaves the cluster pro-actively. Registered
+//     shutdown hooks run synchronously (delivering "goodbye" messages
+//     immediately), emulating the graceful shutdown scripts the paper uses
+//     to avoid waiting for liveness timeouts (§2.1).
+//
+// All scheduling decisions are driven by a seeded RNG and a total order on
+// events, so a run with the same seed and the same injected faults is
+// fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is virtual time in microseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in virtual microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Hour:
+		return fmt.Sprintf("%.2fh", float64(t)/float64(Hour))
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%dus", int64(t))
+	}
+}
+
+// NodeID identifies a node as "host:port", the same representation the
+// paper's log analysis keys on (e.g. "node1:42349").
+type NodeID string
+
+// Host returns the host part of the node ID.
+func (id NodeID) Host() string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == ':' {
+			return string(id[:i])
+		}
+	}
+	return string(id)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64
+	node  NodeID // "" for engine-level events
+	fn    func()
+	index int
+	dead  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call on a nil Timer or after the
+// timer has fired.
+func (t *Timer) Stop() {
+	if t != nil && t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+// Message is a unit of communication between services on nodes.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Service string
+	Kind    string
+	Body    any
+}
+
+// Service handles messages delivered to a named endpoint on a node.
+type Service interface {
+	HandleMessage(e *Engine, m Message)
+}
+
+// ServiceFunc adapts a function to the Service interface.
+type ServiceFunc func(e *Engine, m Message)
+
+// HandleMessage calls f(e, m).
+func (f ServiceFunc) HandleMessage(e *Engine, m Message) { f(e, m) }
+
+// Node is a simulated machine.
+type Node struct {
+	ID       NodeID
+	Hostname string
+	Port     int
+	alive    bool
+	services map[string]Service
+	// shutdownHooks run synchronously, in registration order, when the
+	// node is gracefully shut down.
+	shutdownHooks []func(*Engine)
+	// deathHooks run for both Crash and Shutdown, after the node is dead.
+	deathHooks []func(*Engine, bool)
+}
+
+// Alive reports whether the node has not crashed or been shut down.
+func (n *Node) Alive() bool { return n.alive }
+
+// OnShutdown registers a hook that runs synchronously during a graceful
+// Shutdown, while the node is still alive.
+func (n *Node) OnShutdown(fn func(*Engine)) {
+	n.shutdownHooks = append(n.shutdownHooks, fn)
+}
+
+// OnDeath registers a hook invoked after the node dies; graceful reports
+// whether the death was a Shutdown (true) or a Crash (false).
+func (n *Node) OnDeath(fn func(e *Engine, graceful bool)) {
+	n.deathHooks = append(n.deathHooks, fn)
+}
+
+// Register installs a service under the given name.
+func (n *Node) Register(service string, s Service) {
+	n.services[service] = s
+}
+
+// FaultKind distinguishes the two injection primitives.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultCrash    FaultKind = iota // silent failure
+	FaultShutdown                  // graceful, pro-active leave
+)
+
+func (k FaultKind) String() string {
+	if k == FaultShutdown {
+		return "shutdown"
+	}
+	return "crash"
+}
+
+// FaultRecord describes an injected fault.
+type FaultRecord struct {
+	At   Time
+	Node NodeID
+	Kind FaultKind
+}
+
+// Engine owns the virtual clock, the event queue and the set of nodes.
+type Engine struct {
+	now        Time
+	seq        uint64
+	pq         eventHeap
+	nodes      map[NodeID]*Node
+	order      []NodeID // insertion order, for deterministic iteration
+	rng        *rand.Rand
+	stopped    bool
+	faults     []FaultRecord
+	exceptions []Exception
+	handled    uint64 // events dispatched
+	MaxSteps   uint64 // safety valve; 0 means DefaultMaxSteps
+	// MessageLatency is the default one-way latency for Send.
+	MessageLatency Time
+	// onStep, if set, is invoked before each event dispatch (used by
+	// monitors and the hang oracle).
+	onStep func(Time)
+}
+
+// DefaultMaxSteps bounds a run against runaway event loops.
+const DefaultMaxSteps = 20_000_000
+
+// NewEngine returns an engine with the given RNG seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		nodes:          make(map[NodeID]*Node),
+		rng:            rand.New(rand.NewSource(seed)),
+		MessageLatency: Millisecond,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's seeded RNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps returns the number of events dispatched so far.
+func (e *Engine) Steps() uint64 { return e.handled }
+
+// AddNode creates a node named host:port and returns it.
+func (e *Engine) AddNode(host string, port int) *Node {
+	id := NodeID(fmt.Sprintf("%s:%d", host, port))
+	if _, ok := e.nodes[id]; ok {
+		panic(fmt.Sprintf("sim: duplicate node %s", id))
+	}
+	n := &Node{
+		ID:       id,
+		Hostname: host,
+		Port:     port,
+		alive:    true,
+		services: make(map[string]Service),
+	}
+	e.nodes[id] = n
+	e.order = append(e.order, id)
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (e *Engine) Node(id NodeID) *Node { return e.nodes[id] }
+
+// Nodes returns all nodes in creation order.
+func (e *Engine) Nodes() []*Node {
+	out := make([]*Node, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.nodes[id])
+	}
+	return out
+}
+
+// AliveNodes returns the IDs of nodes still alive, in creation order.
+func (e *Engine) AliveNodes() []NodeID {
+	var out []NodeID
+	for _, id := range e.order {
+		if e.nodes[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Faults returns the faults injected so far, in injection order.
+func (e *Engine) Faults() []FaultRecord {
+	out := make([]FaultRecord, len(e.faults))
+	copy(out, e.faults)
+	return out
+}
+
+// schedule enqueues fn at absolute time at, bound to node (or "" for
+// engine-level).
+func (e *Engine) schedule(at Time, node NodeID, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, node: node, fn: fn}
+	heap.Push(&e.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run after d elapses. The timer survives node
+// failures; use Node-scoped scheduling via AfterOn for per-node timers.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.schedule(e.now+d, "", fn)
+}
+
+// AfterOn schedules fn on behalf of node id; it is silently dropped if the
+// node is dead when it fires.
+func (e *Engine) AfterOn(id NodeID, d Time, fn func()) *Timer {
+	return e.schedule(e.now+d, id, fn)
+}
+
+// Every schedules fn every period, starting after one period, on behalf of
+// node id. The returned Timer stops the series.
+func (e *Engine) Every(id NodeID, period Time, fn func()) *Timer {
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if n := e.nodes[id]; n != nil && !n.alive {
+			return
+		}
+		t.ev = e.schedule(e.now+period, id, tick).ev
+	}
+	t.ev = e.schedule(e.now+period, id, tick).ev
+	return t
+}
+
+// Send delivers m.Kind/m.Body from m.From to service m.Service on node
+// m.To after the engine's message latency. Messages to dead nodes are
+// dropped; senders are expected to use their own timeouts, as real systems
+// do.
+func (e *Engine) Send(from, to NodeID, service, kind string, body any) {
+	m := Message{From: from, To: to, Service: service, Kind: kind, Body: body}
+	e.schedule(e.now+e.MessageLatency, to, func() {
+		n := e.nodes[to]
+		if n == nil || !n.alive {
+			return
+		}
+		s := n.services[service]
+		if s == nil {
+			return
+		}
+		s.HandleMessage(e, m)
+	})
+}
+
+// Crash kills the node silently: no hooks that talk to peers, timers and
+// in-flight messages bound to the node are dropped.
+func (e *Engine) Crash(id NodeID) {
+	n := e.nodes[id]
+	if n == nil || !n.alive {
+		return
+	}
+	n.alive = false
+	e.faults = append(e.faults, FaultRecord{At: e.now, Node: id, Kind: FaultCrash})
+	for _, fn := range n.deathHooks {
+		fn(e, false)
+	}
+}
+
+// Shutdown gracefully stops the node: shutdown hooks run synchronously
+// while the node is still alive (typically deregistering with masters),
+// then the node dies. This emulates the cluster shutdown scripts the paper
+// uses so the test does not have to wait for liveness timeouts.
+func (e *Engine) Shutdown(id NodeID) {
+	n := e.nodes[id]
+	if n == nil || !n.alive {
+		return
+	}
+	for _, fn := range n.shutdownHooks {
+		fn(e)
+	}
+	n.alive = false
+	e.faults = append(e.faults, FaultRecord{At: e.now, Node: id, Kind: FaultShutdown})
+	for _, fn := range n.deathHooks {
+		fn(e, true)
+	}
+}
+
+// OnStep installs a callback invoked with the virtual time before each
+// event dispatch.
+func (e *Engine) OnStep(fn func(Time)) { e.onStep = fn }
+
+// Stop halts the run after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunResult summarizes a completed run.
+type RunResult struct {
+	End       Time
+	Steps     uint64
+	Exhausted bool // hit MaxSteps
+	Deadline  bool // stopped at the deadline with events still queued
+}
+
+// Run dispatches events until the queue empties, Stop is called, the
+// deadline passes (deadline <= 0 means no deadline), or MaxSteps events
+// have been dispatched.
+func (e *Engine) Run(deadline Time) RunResult {
+	maxSteps := e.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	for len(e.pq) > 0 && !e.stopped {
+		ev := e.pq[0]
+		if deadline > 0 && ev.at > deadline {
+			e.now = deadline
+			return RunResult{End: e.now, Steps: e.handled, Deadline: true}
+		}
+		heap.Pop(&e.pq)
+		if ev.dead {
+			continue
+		}
+		if ev.node != "" {
+			if n := e.nodes[ev.node]; n == nil || !n.alive {
+				continue
+			}
+		}
+		e.now = ev.at
+		if e.onStep != nil {
+			e.onStep(e.now)
+		}
+		e.handled++
+		ev.fn()
+		if e.handled >= maxSteps {
+			return RunResult{End: e.now, Steps: e.handled, Exhausted: true}
+		}
+	}
+	return RunResult{End: e.now, Steps: e.handled}
+}
+
+// Quiesce runs with no deadline and panics if the run exhausts MaxSteps;
+// it is a convenience for tests.
+func (e *Engine) Quiesce() RunResult {
+	r := e.Run(0)
+	if r.Exhausted {
+		panic("sim: event loop did not quiesce")
+	}
+	return r
+}
+
+// SortedNodeIDs returns all node IDs in lexical order (useful for stable
+// reports).
+func (e *Engine) SortedNodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(e.nodes))
+	for id := range e.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,122 @@
+// Package stash implements the paper's online log analysis (§3.2.1): a
+// per-run log collector that extracts runtime meta-info values from log
+// instances as they are produced and relates each value to the node it
+// belongs to, so the Trigger can answer "which node owns this value?" at
+// a crash point.
+//
+// The paper deploys Logstash agents on every node that forward only the
+// runtime values of meta-info variables (selected by regex filters
+// derived offline) to a custom stash node, which maintains a HashSet of
+// node values and a HashMap from every other value to its node (Fig. 6).
+// Here the agent is a tap on the run's log root; extraction reuses the
+// offline matcher, selecting only the values of arguments whose types (or
+// linked fields) were inferred as meta-info.
+package stash
+
+import (
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/sim"
+)
+
+// Stash is the custom-stash node state: the runtime meta-info graph plus
+// counters for reporting.
+type Stash struct {
+	graph    *metainfo.Graph
+	matcher  *logparse.Matcher
+	analysis *metainfo.Analysis
+	// Forwarded counts values the agents sent to the stash (after
+	// filtering); Instances counts log records the agents saw.
+	Forwarded int
+	Instances int
+}
+
+// New builds a stash using the offline analysis results: the matcher's
+// patterns act as the agents' extraction filters, and the meta-info
+// analysis decides which argument values are worth forwarding.
+func New(hosts []string, matcher *logparse.Matcher, analysis *metainfo.Analysis) *Stash {
+	return &Stash{
+		graph:    metainfo.NewGraph(hosts),
+		matcher:  matcher,
+		analysis: analysis,
+	}
+}
+
+// Attach subscribes the stash's agent to a run's log root; every record
+// is processed synchronously in emission (FIFO) order.
+func (s *Stash) Attach(root *dslog.Root) {
+	root.AddTap(s.Process)
+}
+
+// Process handles one log record: match it to a pattern, keep the values
+// of meta-info arguments (plus any node-referencing values), and feed
+// them to the graph.
+func (s *Stash) Process(rec dslog.Record) {
+	s.Instances++
+	m := s.matcher.Match(rec)
+	if m == nil {
+		return
+	}
+	var forward []string
+	for i, arg := range m.Pattern.Stmt.Args {
+		if i >= len(m.Values) {
+			break
+		}
+		v := m.Values[i]
+		if s.keep(arg, v) {
+			forward = append(forward, v)
+		}
+	}
+	if len(forward) == 0 {
+		return
+	}
+	s.Forwarded += len(forward)
+	s.graph.Observe(forward)
+}
+
+// keep decides whether an agent forwards a value: node-referencing values
+// always pass the filter; otherwise the argument's type (or its linked
+// field) must have been inferred as meta-info.
+func (s *Stash) keep(arg ir.LogArg, v string) bool {
+	if _, ok := s.graph.NodeValue(v); ok {
+		return true
+	}
+	if s.analysis == nil {
+		return false
+	}
+	if s.analysis.IsMetaType(arg.Type) {
+		return true
+	}
+	if arg.Field != "" && s.analysis.IsMetaField(arg.Field) {
+		return true
+	}
+	return false
+}
+
+// Query returns the node owning a runtime meta-info value, as in the
+// Trigger's get_node_by_id (Fig. 7). ok is false for unknown values.
+func (s *Stash) Query(value string) (sim.NodeID, bool) {
+	n, ok := s.graph.NodeOf(value)
+	if !ok {
+		return "", false
+	}
+	return sim.NodeID(n), true
+}
+
+// QueryAny returns the node owning the first resolvable value.
+func (s *Stash) QueryAny(values []string) (sim.NodeID, bool) {
+	for _, v := range values {
+		if n, ok := s.Query(v); ok {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// Nodes returns the recorded node set.
+func (s *Stash) Nodes() []string { return s.graph.Nodes() }
+
+// Associations exposes the value→node map (Fig. 6) for reporting.
+func (s *Stash) Associations() map[string]string { return s.graph.Associations() }

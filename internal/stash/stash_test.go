@@ -1,0 +1,145 @@
+package stash
+
+import (
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/sim"
+)
+
+var hosts = []string{"node0", "node1", "node2", "node3", "node4"}
+
+// stashProgram has a node-registration statement, a container-assignment
+// statement, and a noise statement whose argument is a plain string.
+func stashProgram() *ir.Program {
+	p := ir.NewProgram("st")
+	p.AddClass(&ir.Class{Name: "s.NodeId"})
+	p.AddClass(&ir.Class{Name: "s.ContainerId"})
+	p.AddClass(&ir.Class{Name: "s.RM", Methods: []*ir.Method{{Name: "run", Instrs: []*ir.Instr{
+		{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+			Segments: []string{"registered node ", ""},
+			Args:     []ir.LogArg{{Name: "nodeId", Type: "s.NodeId"}}}},
+		{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+			Segments: []string{"assigned ", " to node ", ""},
+			Args: []ir.LogArg{
+				{Name: "containerId", Type: "s.ContainerId"},
+				{Name: "nodeId", Type: "s.NodeId"},
+			}}},
+		{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+			Segments: []string{"config value ", ""},
+			Args:     []ir.LogArg{{Name: "v", Type: "java.lang.String"}}}},
+		{Op: ir.OpReturn},
+	}}}})
+	return p.Build()
+}
+
+func buildStash(t *testing.T) (*Stash, *dslog.Root, *sim.Engine) {
+	t.Helper()
+	p := stashProgram()
+	matcher := logparse.NewMatcher(logparse.ExtractPatterns(p))
+	// Offline phase: derive the analysis from a profiling run's lines.
+	offline := []dslog.Record{
+		{Text: "registered node node1:42"},
+		{Text: "assigned container_9 to node node1:42"},
+	}
+	var matches []*logparse.Match
+	for _, r := range offline {
+		if m := matcher.Match(r); m != nil {
+			matches = append(matches, m)
+		}
+	}
+	analysis := metainfo.Infer(p, matches, hosts)
+	if !analysis.IsMetaType("s.ContainerId") {
+		t.Fatal("offline analysis did not infer ContainerId")
+	}
+	s := New(hosts, matcher, analysis)
+	e := sim.NewEngine(1)
+	root := dslog.NewRoot()
+	s.Attach(root)
+	return s, root, e
+}
+
+func TestOnlineAssociation(t *testing.T) {
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node1", 42)
+	lg := root.Logger(e, n1.ID, "RM")
+	lg.Info("registered node node1:42")
+	lg.Info("assigned container_7 to node node1:42")
+
+	if n, ok := s.Query("container_7"); !ok || n != "node1:42" {
+		t.Errorf("Query(container_7) = %v,%v", n, ok)
+	}
+	if n, ok := s.Query("node1:42"); !ok || n != "node1:42" {
+		t.Errorf("Query(node) = %v,%v", n, ok)
+	}
+	if _, ok := s.Query("unknown"); ok {
+		t.Error("unknown value resolved")
+	}
+	if len(s.Nodes()) != 1 {
+		t.Errorf("nodes = %v", s.Nodes())
+	}
+}
+
+func TestFilterDropsPlainValues(t *testing.T) {
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node1", 42)
+	lg := root.Logger(e, n1.ID, "RM")
+	lg.Info("config value tuning-knob")
+	if s.Forwarded != 0 {
+		t.Errorf("forwarded = %d, want 0 (plain string filtered)", s.Forwarded)
+	}
+	if _, ok := s.Query("tuning-knob"); ok {
+		t.Error("plain value entered the stash")
+	}
+	// Unmatched garbage lines are counted but forward nothing.
+	lg.Info("garbage that matches nothing")
+	if s.Instances != 2 {
+		t.Errorf("instances = %d, want 2", s.Instances)
+	}
+}
+
+func TestQueryAny(t *testing.T) {
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node1", 42)
+	lg := root.Logger(e, n1.ID, "RM")
+	lg.Info("registered node node1:42")
+	lg.Info("assigned container_5 to node node1:42")
+	if n, ok := s.QueryAny([]string{"nope", "container_5"}); !ok || n != "node1:42" {
+		t.Errorf("QueryAny = %v,%v", n, ok)
+	}
+	if _, ok := s.QueryAny([]string{"nope", "alsono"}); ok {
+		t.Error("QueryAny resolved unknown values")
+	}
+	if _, ok := s.QueryAny(nil); ok {
+		t.Error("QueryAny(nil) resolved")
+	}
+}
+
+func TestNodeValuesAlwaysForwarded(t *testing.T) {
+	// A node value logged through a plain-string argument still passes
+	// the filter (host-name matching comes first).
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node2", 7)
+	root.Logger(e, n1.ID, "RM").Info("config value node2:7")
+	if s.Forwarded != 1 {
+		t.Errorf("forwarded = %d, want 1", s.Forwarded)
+	}
+	if len(s.Nodes()) != 1 || s.Nodes()[0] != "node2:7" {
+		t.Errorf("nodes = %v", s.Nodes())
+	}
+}
+
+func TestAssociationsExposed(t *testing.T) {
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node1", 42)
+	lg := root.Logger(e, n1.ID, "RM")
+	lg.Info("registered node node1:42")
+	lg.Info("assigned c_1 to node node1:42")
+	a := s.Associations()
+	if a["c_1"] != "node1:42" {
+		t.Errorf("associations = %v", a)
+	}
+}

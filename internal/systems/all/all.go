@@ -1,0 +1,57 @@
+// Package all enumerates the systems under test, in the order the paper
+// evaluates them (Table 4).
+package all
+
+import (
+	"fmt"
+
+	"repro/internal/systems/cassandra"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/hbase"
+	"repro/internal/systems/hdfs"
+	"repro/internal/systems/kubelike"
+	"repro/internal/systems/toysys"
+	"repro/internal/systems/yarn"
+	"repro/internal/systems/zookeeper"
+)
+
+// Runners returns a fresh runner per system, in Table 4 order.
+func Runners() []cluster.Runner {
+	return []cluster.Runner{
+		&yarn.Runner{},
+		&hdfs.Runner{},
+		&hbase.Runner{},
+		&zookeeper.Runner{},
+		&cassandra.Runner{},
+	}
+}
+
+// Extensions returns the systems beyond the paper's Table 4: the §4.4
+// Kubernetes-style control plane and the authoring template.
+func Extensions() []cluster.Runner {
+	return []cluster.Runner{
+		&kubelike.Runner{},
+		&toysys.Runner{},
+	}
+}
+
+// ByName returns the runner for a system name, including extensions.
+func ByName(name string) (cluster.Runner, error) {
+	for _, r := range append(Runners(), Extensions()...) {
+		if r.Name() == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown system %q (want yarn, hdfs, hbase, zookeeper, cassandra, kubelike or toysys)", name)
+}
+
+// Versions returns the Table 4 version strings for display.
+func Versions() map[string]string {
+	return map[string]string{
+		"yarn":      "3.3.0-SNAPSHOT (simulated)",
+		"hdfs":      "3.3.0-SNAPSHOT (simulated)",
+		"hbase":     "3.0.0-SNAPSHOT (simulated)",
+		"zookeeper": "3.5.4-beta (simulated)",
+		"cassandra": "3.11.4 (simulated)",
+	}
+}

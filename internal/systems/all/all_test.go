@@ -1,0 +1,84 @@
+package all
+
+import (
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+func TestRunnersCoverTable4(t *testing.T) {
+	rs := Runners()
+	if len(rs) != 5 {
+		t.Fatalf("runners = %d, want 5", len(rs))
+	}
+	want := []string{"yarn", "hdfs", "hbase", "zookeeper", "cassandra"}
+	for i, r := range rs {
+		if r.Name() != want[i] {
+			t.Errorf("runner %d = %s, want %s", i, r.Name(), want[i])
+		}
+		if r.Workload() == "" || len(r.Hosts()) < 2 {
+			t.Errorf("%s metadata incomplete", r.Name())
+		}
+		if errs := r.Program().Validate(); len(errs) != 0 {
+			t.Errorf("%s model invalid: %v", r.Name(), errs)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("yarn"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestVersions(t *testing.T) {
+	v := Versions()
+	for _, r := range Runners() {
+		if v[r.Name()] == "" {
+			t.Errorf("no version for %s", r.Name())
+		}
+	}
+}
+
+// Every log line a system emits in a fault-free run must match a pattern
+// of its own IR model — the conformance check keeping the executable
+// behaviour and the model in sync (the analysis only sees the logs, so
+// an unmatched line is invisible to CrashTuner).
+func TestLogsConformToModels(t *testing.T) {
+	for _, r := range append(Runners(), Extensions()...) {
+		logs := dslog.NewRoot()
+		run := r.NewRun(cluster.Config{Seed: 11, Scale: 2, Probe: probe.New(), Logs: logs})
+		cluster.Drive(run, sim.Hour)
+		matcher := logparse.NewMatcher(logparse.ExtractPatterns(r.Program()))
+		res := matcher.ParseAll(logs.Records())
+		if len(res.Matches) == 0 {
+			t.Errorf("%s: no log line matched any model pattern", r.Name())
+		}
+		for _, rec := range res.Unmatched {
+			t.Errorf("%s: log line not covered by the model: %q (%s)",
+				r.Name(), rec.Text, rec.Component)
+		}
+	}
+}
+
+// Every system completes its workload fault-free at two scales — the
+// cross-system integration smoke test.
+func TestAllSystemsFaultFree(t *testing.T) {
+	for _, r := range Runners() {
+		for _, scale := range []int{1, 2} {
+			run := r.NewRun(cluster.Config{Seed: 1, Scale: scale})
+			res := cluster.Drive(run, sim.Hour)
+			if run.Status() != cluster.Succeeded {
+				t.Errorf("%s scale %d: %v (%s) at %v",
+					r.Name(), scale, run.Status(), run.FailureReason(), res.End)
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package cassandra simulates the Cassandra of the paper: a small ring
+// where a coordinator routes mutations to token-owning replicas, gossip
+// liveness, hinted handoff, and the Stress workload (Table 4).
+//
+// Seeded crash-recovery bug (Table 5):
+//
+//   - CA-15131 (pre-read, InetAddressAndPort): the coordinator resolves
+//     the token owner, then dereferences endpointState.get(endpoint)
+//     without a nil check; an endpoint leaving the ring at that instant
+//     fails the request ("request fails due to using removed node").
+package cassandra
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Instrumented point IDs; indexes fixed by model.go.
+const (
+	PtEndpointPut    = ir.PointID("cassandra.service.StorageService.addEndpoint#0")    // post-write
+	PtRouteGet       = ir.PointID("cassandra.service.StorageProxy.route#0")            // pre-read CA-15131
+	PtEndpointRemove = ir.PointID("cassandra.service.StorageService.removeEndpoint#0") // post-write
+	PtApplyPut       = ir.PointID("cassandra.db.ColumnFamilyStore.applyMutation#0")    // post-write
+	PtHintPut        = ir.PointID("cassandra.service.StorageProxy.storeHint#0")        // post-write
+)
+
+// BugRemovedEndpoint is the seeded bug identifier.
+const BugRemovedEndpoint = "CA-15131"
+
+// Runner builds Cassandra runs.
+type Runner struct {
+	// Replicas is the number of data-owning nodes (default 2); the
+	// coordinator is a separate node.
+	Replicas int
+	// FixRemovedEndpoint patches CA-15131.
+	FixRemovedEndpoint bool
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "cassandra" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "Stress" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.replicas(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) replicas() int {
+	if r.Replicas < 1 {
+		return 2
+	}
+	return r.Replicas
+}
+
+type run struct {
+	*cluster.Base
+	r     *Runner
+	coord sim.NodeID
+	peers []sim.NodeID
+
+	// Coordinator state.
+	ring          map[int]sim.NodeID    // token -> endpoint
+	endpointState map[sim.NodeID]string // gossip state
+	hints         map[string]sim.NodeID // key -> intended endpoint
+	lm            *sim.LivenessMonitor
+
+	// Stress progress.
+	nKeys, done int
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{
+		Base:          b,
+		r:             r,
+		ring:          make(map[int]sim.NodeID),
+		endpointState: make(map[sim.NodeID]string),
+		hints:         make(map[string]sim.NodeID),
+	}
+	e := b.Eng
+	coord := e.AddNode("node0", 7000)
+	rn.coord = coord.ID
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.coord, hb, func(n sim.NodeID) { rn.removeEndpoint(n, "down") })
+	coord.Register("gossip", sim.ServiceFunc(rn.gossipService))
+
+	for i := 1; i <= r.replicas(); i++ {
+		p := e.AddNode(fmt.Sprintf("node%d", i), 7000)
+		id := p.ID
+		rn.peers = append(rn.peers, id)
+		p.Register("replica", sim.ServiceFunc(rn.replicaService))
+		p.OnShutdown(func(e *sim.Engine) { rn.removeEndpoint(id, "decommissioned") })
+	}
+	return rn
+}
+
+// Start implements cluster.Run.
+func (rn *run) Start() {
+	e := rn.Eng
+	rn.nKeys = 6 * rn.Cfg.Scale
+	for _, p := range rn.peers {
+		id := p
+		e.AfterOn(id, 10*sim.Millisecond, func() {
+			e.Send(id, rn.coord, "gossip", "join", nil)
+			sim.StartHeartbeats(e, id, rn.coord, sim.HeartbeatConfig{
+				Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn",
+			})
+		})
+	}
+	e.AfterOn(rn.coord, 100*sim.Millisecond, func() { rn.writeKey(0, 0) })
+}
+
+func (rn *run) gossipService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "syn":
+		rn.lm.Beat(m.From)
+	case "join":
+		rn.addEndpoint(m.From)
+	case "mutAck":
+		rn.mutAck(m.Body.(int))
+	}
+}
+
+// addEndpoint admits a node to the ring.
+func (rn *run) addEndpoint(p sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.coord, "cassandra.service.StorageService.addEndpoint")()
+	token := len(rn.ring)
+	rn.ring[token] = p
+	rn.endpointState[p] = "NORMAL"
+	pb.PostWrite(rn.coord, PtEndpointPut, string(p))
+	rn.lm.Track(p)
+	rn.Logger(rn.coord, "StorageService").Info("Node ", p, " joined the ring with token ", token)
+}
+
+// removeEndpoint handles both gossip DOWN and decommission: tokens move
+// to surviving endpoints.
+func (rn *run) removeEndpoint(p sim.NodeID, why string) {
+	if !rn.Eng.Node(rn.coord).Alive() {
+		return
+	}
+	if _, ok := rn.endpointState[p]; !ok {
+		return
+	}
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.coord, "cassandra.service.StorageService.removeEndpoint")()
+	delete(rn.endpointState, p)
+	pb.PostWrite(rn.coord, PtEndpointRemove, string(p))
+	rn.lm.Forget(p)
+	rn.Logger(rn.coord, "Gossiper").Warn("Node ", p, " removed from ring (", why, ")")
+	// Move its tokens to the lowest surviving endpoint.
+	var next sim.NodeID
+	for _, cand := range rn.peers {
+		if _, alive := rn.endpointState[cand]; alive {
+			if next == "" || cand < next {
+				next = cand
+			}
+		}
+	}
+	for token, owner := range rn.ring {
+		if owner == p {
+			if next != "" {
+				rn.ring[token] = next
+			} else {
+				delete(rn.ring, token)
+			}
+		}
+	}
+}
+
+// writeKey routes one Stress mutation. It carries CA-15131.
+func (rn *run) writeKey(i, tries int) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	if rn.Status() != cluster.Running || i >= rn.nKeys {
+		return
+	}
+	defer pb.Enter(rn.coord, "cassandra.service.StorageProxy.route")()
+	key := fmt.Sprintf("key_%d", i)
+	token := i % maxInt(len(rn.ring), 1)
+	endpoint, ok := rn.ring[token]
+	if !ok {
+		if tries > 8 {
+			rn.Fail("no endpoint for token of " + key)
+			return
+		}
+		e.AfterOn(rn.coord, 500*sim.Millisecond, func() { rn.writeKey(i, tries+1) })
+		return
+	}
+	// CA-15131 window: the endpoint may leave the ring right here.
+	pb.PreRead(rn.coord, PtRouteGet, string(endpoint), key)
+	es, present := rn.endpointState[endpoint]
+	if !present {
+		if rn.r.FixRemovedEndpoint {
+			rn.Logger(rn.coord, "StorageProxy").Warn("Retrying ", key, " after endpoint change")
+			e.AfterOn(rn.coord, 200*sim.Millisecond, func() { rn.writeKey(i, tries+1) })
+			return
+		}
+		rn.Witness(BugRemovedEndpoint)
+		e.Throw(rn.coord, "NullPointerException@StorageProxy.route",
+			fmt.Sprintf("endpoint %s has no state", endpoint), false)
+		rn.Fail("Stress request failed: NullPointerException routing " + key)
+		return
+	}
+	_ = es
+	e.Send(rn.coord, endpoint, "replica", "mutate", mutMsg{i: i, key: key})
+	// Coordinator write timeout: store a hint and retry.
+	e.AfterOn(rn.coord, 500*sim.Millisecond, func() {
+		if rn.Status() == cluster.Running && rn.done <= i {
+			rn.storeHint(key, endpoint)
+			rn.writeKey(i, tries+1)
+		}
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// storeHint records a hinted handoff for an unresponsive endpoint.
+func (rn *run) storeHint(key string, endpoint sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.coord, "cassandra.service.StorageProxy.storeHint")()
+	rn.hints[key] = endpoint
+	pb.PostWrite(rn.coord, PtHintPut, key, string(endpoint))
+	rn.Logger(rn.coord, "HintsService").Warn("Stored hint for ", key, " owned by ", endpoint)
+}
+
+type mutMsg struct {
+	i   int
+	key string
+}
+
+// replicaService applies mutations.
+func (rn *run) replicaService(e *sim.Engine, m sim.Message) {
+	self := m.To
+	if m.Kind != "mutate" {
+		return
+	}
+	mm := m.Body.(mutMsg)
+	e.AfterOn(self, 10*sim.Millisecond, func() {
+		pb := rn.Cfg.Probe
+		defer pb.Enter(self, "cassandra.db.ColumnFamilyStore.applyMutation")()
+		pb.PostWrite(self, PtApplyPut, mm.key, string(self))
+		rn.Logger(self, "ColumnFamilyStore").Info("Applied mutation ", mm.key, " at ", self)
+		e.Send(self, rn.coord, "gossip", "mutAck", mm.i)
+	})
+}
+
+func (rn *run) mutAck(i int) {
+	if i != rn.done {
+		return // duplicate ack from a retried write
+	}
+	rn.done++
+	if rn.done >= rn.nKeys {
+		rn.Logger(rn.coord, "Stress").Info("Stress wrote ", rn.nKeys, " keys")
+		rn.Succeed()
+		return
+	}
+	rn.writeKey(rn.done, 0)
+}

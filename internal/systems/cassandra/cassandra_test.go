@@ -1,0 +1,91 @@
+package cassandra
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreeStressSucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 2})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s) at %v", run.Status(), run.FailureReason(), res.End)
+	}
+}
+
+func TestReplicaCrashRecoversWithHints(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(150*sim.Millisecond, func() { e.Crash("node1:7000") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func TestMetaInference(t *testing.T) {
+	res, _ := core.AnalysisPhase(&Runner{}, core.Options{Seed: 13})
+	a := res.Analysis
+	for _, ty := range []ir.TypeID{tEndpoint, tToken, tMutation} {
+		if !a.IsMetaType(ty) {
+			t.Errorf("type %s not inferred", ty)
+		}
+	}
+}
+
+func TestCampaignFindsCA15131(t *testing.T) {
+	res := core.Run(&Runner{}, core.Options{Seed: 13, Scale: 1})
+	byPoint := map[ir.PointID]trigger.Report{}
+	for _, rep := range res.Reports {
+		byPoint[rep.Dyn.Point] = rep
+	}
+	rep := byPoint[PtRouteGet]
+	if rep.Outcome != trigger.JobFailure {
+		t.Errorf("CA-15131 outcome = %v (%q)", rep.Outcome, rep.Reason)
+	}
+	wit := false
+	for _, w := range rep.Witnesses {
+		if w == BugRemovedEndpoint {
+			wit = true
+		}
+	}
+	if !wit {
+		t.Errorf("CA-15131 witnesses = %v", rep.Witnesses)
+	}
+	// The gossip join and replica apply points recover.
+	for _, pt := range []ir.PointID{PtEndpointPut, PtApplyPut} {
+		if rep, ok := byPoint[pt]; ok && rep.Outcome.IsBug() {
+			t.Errorf("benign point %s reported %v (%q)", pt, rep.Outcome, rep.Reason)
+		}
+	}
+}
+
+func TestFixedCassandraIsClean(t *testing.T) {
+	res := core.Run(&Runner{FixRemovedEndpoint: true}, core.Options{Seed: 13, Scale: 1})
+	for _, rep := range res.Reports {
+		if rep.Outcome.IsBug() {
+			t.Errorf("fixed system buggy at %s: %v (%q)", rep.Dyn.Point, rep.Outcome, rep.Reason)
+		}
+	}
+}
+
+func TestRunnerMetadata(t *testing.T) {
+	r := &Runner{}
+	if r.Name() != "cassandra" || r.Workload() != "Stress" {
+		t.Error("metadata wrong")
+	}
+}

@@ -1,0 +1,165 @@
+// Package cluster defines the harness contract between the CrashTuner
+// pipeline and the simulated systems under test, plus shared scaffolding
+// the five system implementations build on.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// Status is the workload outcome of a run.
+type Status int
+
+// Workload statuses.
+const (
+	Running   Status = iota // workload not finished
+	Succeeded               // workload completed successfully
+	Failed                  // workload aborted / job failure
+)
+
+func (s Status) String() string {
+	switch s {
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	default:
+		return "running"
+	}
+}
+
+// Config parameterizes one run of a system under test.
+type Config struct {
+	// Seed drives every random decision of the run.
+	Seed int64
+	// Scale multiplies the workload size (the profiler doubles it until
+	// the dynamic crash points reach a fixed point, §3.1.3).
+	Scale int
+	// Probe receives the instrumentation callbacks; may be inert.
+	Probe *probe.Probe
+	// Logs receives every log record of the run.
+	Logs *dslog.Root
+}
+
+// Runner builds fresh runs of one system under test.
+type Runner interface {
+	// Name is the system name ("yarn", "hdfs", ...).
+	Name() string
+	// Workload names the driving workload (Table 4: WordCount+curl, ...).
+	Workload() string
+	// Program returns the system's IR model.
+	Program() *ir.Program
+	// Hosts returns the configured hostnames of the cluster.
+	Hosts() []string
+	// NewRun constructs a fresh cluster plus workload.
+	NewRun(cfg Config) Run
+}
+
+// Run is one constructed instance: start the workload, drive the engine,
+// then inspect the outcome.
+type Run interface {
+	// Engine exposes the simulator for driving and fault injection.
+	Engine() *sim.Engine
+	// Start schedules the workload.
+	Start()
+	// Status reports the workload outcome so far.
+	Status() Status
+	// FailureReason describes a Failed status.
+	FailureReason() string
+	// Witnesses returns the seeded-bug identifiers whose buggy code paths
+	// actually fired during the run (used to attribute detections to the
+	// paper's bug IDs; the oracle itself never reads these).
+	Witnesses() []string
+}
+
+// Base provides the bookkeeping shared by the system implementations;
+// embed it in a system's run type.
+type Base struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	stat Status
+	why  string
+	wits map[string]bool
+}
+
+// NewBase initializes the shared state with a fresh engine.
+func NewBase(cfg Config) *Base {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Probe == nil {
+		cfg.Probe = probe.New()
+	}
+	if cfg.Logs == nil {
+		cfg.Logs = dslog.NewRoot()
+	}
+	return &Base{
+		Eng:  sim.NewEngine(cfg.Seed),
+		Cfg:  cfg,
+		wits: make(map[string]bool),
+	}
+}
+
+// Engine returns the simulator engine.
+func (b *Base) Engine() *sim.Engine { return b.Eng }
+
+// Status returns the workload status.
+func (b *Base) Status() Status { return b.stat }
+
+// FailureReason returns the reason recorded with Fail.
+func (b *Base) FailureReason() string { return b.why }
+
+// Succeed marks the workload finished successfully (unless already
+// failed).
+func (b *Base) Succeed() {
+	if b.stat == Running {
+		b.stat = Succeeded
+	}
+}
+
+// Fail marks the workload failed with a reason; the first failure wins.
+func (b *Base) Fail(reason string) {
+	if b.stat != Failed {
+		b.stat = Failed
+		b.why = reason
+	}
+}
+
+// Witness records that the buggy code path of a seeded bug fired.
+func (b *Base) Witness(bugID string) { b.wits[bugID] = true }
+
+// Witnesses returns the sorted witnessed bug IDs.
+func (b *Base) Witnesses() []string {
+	out := make([]string, 0, len(b.wits))
+	for id := range b.wits {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Logger returns a component logger on a node of this run.
+func (b *Base) Logger(node sim.NodeID, component string) *dslog.Logger {
+	return b.Cfg.Logs.Logger(b.Eng, node, component)
+}
+
+// Drive starts the run's workload and dispatches events until the
+// workload leaves the Running state, the event queue drains, or the
+// deadline passes. Periodic background work (heartbeats, monitors) keeps
+// the queue non-empty, so runs of healthy systems end via the status
+// check and hung runs end at the deadline.
+func Drive(run Run, deadline sim.Time) sim.RunResult {
+	e := run.Engine()
+	e.OnStep(func(sim.Time) {
+		if run.Status() != Running {
+			e.Stop()
+		}
+	})
+	run.Start()
+	return e.Run(deadline)
+}

@@ -1,0 +1,520 @@
+// Package hbase simulates the HBase of the paper: an HMaster tracking
+// RegionServers (RS) through both direct reports and ZooKeeper sessions,
+// region assignment, and a PE (performance evaluation) + curl workload.
+//
+// Seeded crash-recovery bugs (Table 5):
+//
+//   - HBASE-22041 (post-write, ServerName, "master startup node hang"):
+//     an RS reports to the master before registering its ZooKeeper
+//     session. If it crashes in between, ZooKeeper never notices, no
+//     recovery runs, and the master's startup thread retries reading
+//     from the dead server forever (the "//TODO: How many times should
+//     we retry" loop).
+//   - HBASE-22017 (pre-read, ServerName, "master fails to become
+//     active"): master activation dereferences onlineServers.get(sn)
+//     without a nil check; a server deregistering at that instant aborts
+//     the master.
+//   - HBASE-21740 (post-write in the paper; here the same flaw surfaces
+//     through the shutdown path, see registry notes): a RegionServer
+//     stopped while its MetricsRegionServer is still initializing aborts
+//     with an unhandled exception instead of exiting cleanly.
+package hbase
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Instrumented point IDs; indexes fixed by model.go.
+const (
+	PtOnlinePut     = ir.PointID("hbase.master.HMaster.reportServer#0")            // post-write HBASE-22041
+	PtActiveGet     = ir.PointID("hbase.master.HMaster.activate#0")                // pre-read HBASE-22017
+	PtAssignPut     = ir.PointID("hbase.master.HMaster.assignRegion#0")            // post-write
+	PtRouteGet      = ir.PointID("hbase.master.HMaster.routeRequest#0")            // pre-read (handled)
+	PtServersRemove = ir.PointID("hbase.master.HMaster.serverRemoved#0")           // post-write
+	PtInitMetrics   = ir.PointID("hbase.regionserver.HRegionServer.initMetrics#0") // pre-read HBASE-21740
+	PtMoveGet       = ir.PointID("hbase.master.HMaster.moveRegion#0")              // pre-read HBASE-22050
+)
+
+// Seeded bug identifiers.
+const (
+	BugStartupHang = "HBASE-22041"
+	BugActivateNPE = "HBASE-22017"
+	BugInitAbort   = "HBASE-21740"
+	BugMoveRace    = "HBASE-22050"
+)
+
+// probeRetryWitness is the retry count after which the startup thread's
+// endless-retry loop is attributed to HBASE-22041.
+const probeRetryWitness = 10
+
+// Runner builds HBase runs.
+type Runner struct {
+	// RegionServers is the number of RS nodes (default 2).
+	RegionServers int
+	// Fix* patch the seeded bugs.
+	FixStartupHang bool
+	FixActivateNPE bool
+	FixInitAbort   bool
+	FixMoveRace    bool
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "hbase" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "PE+curl" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.rss(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) rss() int {
+	if r.RegionServers < 1 {
+		return 2
+	}
+	return r.RegionServers
+}
+
+// rsInfo is the master's view of a RegionServer.
+type rsInfo struct {
+	id      sim.NodeID
+	regions map[string]bool
+	acked   bool // startup probe acknowledged
+}
+
+// rsState is a RegionServer's own state.
+type rsState struct {
+	id       sim.NodeID
+	zk       bool // ZooKeeper session registered
+	initDone bool
+}
+
+type run struct {
+	*cluster.Base
+	r      *Runner
+	master sim.NodeID
+	rss    []sim.NodeID
+
+	// Master state.
+	onlineServers map[sim.NodeID]*rsInfo
+	assignments   map[string]sim.NodeID // region -> server
+	active        bool
+	probing       bool
+	probeRetries  int
+	lm            *sim.LivenessMonitor // the ZooKeeper session tracker
+
+	// RS state per node.
+	servers map[sim.NodeID]*rsState
+
+	// PE client progress.
+	nOps, opsDone int
+	nRegions      int
+	opened        map[string]bool
+	peStarted     bool
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{
+		Base:          b,
+		r:             r,
+		onlineServers: make(map[sim.NodeID]*rsInfo),
+		assignments:   make(map[string]sim.NodeID),
+		servers:       make(map[sim.NodeID]*rsState),
+		opened:        make(map[string]bool),
+	}
+	e := b.Eng
+	master := e.AddNode("node0", 16000)
+	rn.master = master.ID
+	// The ZooKeeper session tracker: servers are only tracked once their
+	// ZK registration completes — that gap is HBASE-22041's window.
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, func(n sim.NodeID) { rn.serverRemoved(n, "expired") })
+	master.Register("master", sim.ServiceFunc(rn.masterService))
+	master.Register("zk", sim.ServiceFunc(func(e *sim.Engine, m sim.Message) {
+		if m.Kind == "session" {
+			rn.lm.Beat(m.From)
+		} else if m.Kind == "zkRegister" {
+			rn.lm.Track(m.From)
+			rn.Logger(rn.master, "ZKWatcher").Info("ZooKeeper session established for ", m.From)
+		}
+	}))
+
+	for i := 1; i <= r.rss(); i++ {
+		rs := e.AddNode(fmt.Sprintf("node%d", i), 16020)
+		id := rs.ID
+		rn.rss = append(rn.rss, id)
+		rn.servers[id] = &rsState{id: id}
+		rs.Register("rs", sim.ServiceFunc(rn.rsService))
+		rs.OnShutdown(func(e *sim.Engine) { rn.rsShutdown(id) })
+	}
+	return rn
+}
+
+// rsShutdown is the RS stop script. HBASE-21740: stopping during metrics
+// initialization aborts instead of exiting cleanly.
+func (rn *run) rsShutdown(id sim.NodeID) {
+	st := rn.servers[id]
+	if !st.initDone && !rn.r.FixInitAbort {
+		rn.Witness(BugInitAbort)
+		rn.Eng.Throw(id, "RuntimeException@MetricsRegionServer.init",
+			"metrics source not yet initialized during stop", false)
+		rn.Logger(id, "HRegionServer").Error("RegionServer ", id, " aborted during initialization")
+	}
+	rn.serverRemoved(id, "shutdown")
+	rn.lm.Forget(id)
+}
+
+// Start implements cluster.Run.
+func (rn *run) Start() {
+	e := rn.Eng
+	rn.nRegions = 2 * rn.Cfg.Scale
+	rn.nOps = 6 * rn.Cfg.Scale
+	for _, rs := range rn.rss {
+		id := rs
+		e.AfterOn(id, 10*sim.Millisecond, func() { rn.rsStartup(id) })
+	}
+	e.AfterOn(rn.master, 200*sim.Millisecond, rn.waitForServers)
+	rn.curl()
+}
+
+func (rn *run) curl() {
+	e := rn.Eng
+	var poll func()
+	poll = func() {
+		if rn.Status() != cluster.Running {
+			return
+		}
+		defer rn.Cfg.Probe.Enter(rn.master, "hbase.master.HMaster.webRegionState")()
+		if sn, ok := rn.assignments["region_1"]; ok { // sanity-checked read
+			rn.Logger(rn.master, "MasterStatusServlet").Info("Web request for region region_1 on ", sn)
+		}
+		e.AfterOn(rn.master, 500*sim.Millisecond, poll)
+	}
+	e.AfterOn(rn.master, 300*sim.Millisecond, poll)
+}
+
+// ---- RegionServer side ----
+
+// rsStartup runs the report → ZK-register → init-metrics sequence whose
+// gaps carry HBASE-22041 and HBASE-21740.
+func (rn *run) rsStartup(id sim.NodeID) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	e.Send(id, rn.master, "master", "report", nil)
+	e.AfterOn(id, 50*sim.Millisecond, func() {
+		e.Send(id, rn.master, "zk", "zkRegister", nil)
+		sim.StartHeartbeats(e, id, rn.master, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session",
+		})
+		e.AfterOn(id, 50*sim.Millisecond, func() {
+			defer pb.Enter(id, "hbase.regionserver.HRegionServer.initMetrics")()
+			// HBASE-21740 window: the server may be stopped right here,
+			// while metrics are still initializing.
+			pb.PreRead(id, PtInitMetrics, string(id))
+			st := rn.servers[id]
+			if !rn.Eng.Node(id).Alive() {
+				return
+			}
+			st.initDone = true
+			rn.Logger(id, "MetricsRegionServer").Info("Metrics source for ", id, " initialized")
+		})
+	})
+}
+
+func (rn *run) rsService(e *sim.Engine, m sim.Message) {
+	self := m.To
+	switch m.Kind {
+	case "probe":
+		e.Send(self, rn.master, "master", "probeAck", nil)
+	case "openRegion":
+		region := m.Body.(string)
+		rn.Logger(self, "RSRpcServices").Info("Opened region ", region, " on ", self)
+		e.Send(self, rn.master, "master", "regionOpened", region)
+	case "op":
+		// Apply a PE operation and ack.
+		e.AfterOn(self, 10*sim.Millisecond, func() {
+			e.Send(self, rn.master, "master", "opAck", m.Body)
+		})
+	}
+}
+
+// ---- HMaster side ----
+
+func (rn *run) masterService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "report":
+		rn.reportServer(m.From)
+	case "probeAck":
+		rn.probeAck(m.From)
+	case "regionOpened":
+		rn.regionOpened(m.Body.(string), m.From)
+	case "opAck":
+		rn.opAck(m.Body.(int))
+	}
+}
+
+// reportServer carries HBASE-22041's first half: the server is online
+// before ZooKeeper knows about it.
+func (rn *run) reportServer(rs sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.master, "hbase.master.HMaster.reportServer")()
+	rn.onlineServers[rs] = &rsInfo{id: rs, regions: make(map[string]bool)}
+	// HBASE-22041 window: the server may crash right after this write,
+	// before its ZooKeeper registration.
+	pb.PostWrite(rn.master, PtOnlinePut, string(rs))
+	rn.Logger(rn.master, "ServerManager").Info("RegionServer ", rs, " reported for duty")
+}
+
+// waitForServers is the startup thread: it probes every online server
+// and retries forever — the HBASE-22041 TODO loop.
+func (rn *run) waitForServers() {
+	e := rn.Eng
+	if rn.active || rn.Status() != cluster.Running {
+		return
+	}
+	defer rn.Cfg.Probe.Enter(rn.master, "hbase.master.HMaster.waitForServers")()
+	allAcked := len(rn.onlineServers) > 0
+	ids := rn.sortedServers()
+	for _, id := range ids {
+		si := rn.onlineServers[id]
+		if !si.acked {
+			allAcked = false
+			e.Send(rn.master, id, "rs", "probe", nil)
+		}
+	}
+	if allAcked {
+		rn.activate()
+		return
+	}
+	rn.probeRetries++
+	if rn.probeRetries == probeRetryWitness {
+		if rn.r.FixStartupHang {
+			// The fix: give up on servers ZooKeeper does not vouch for.
+			for _, id := range ids {
+				if !rn.onlineServers[id].acked && !rn.lm.Tracking(id) {
+					rn.serverRemoved(id, "not in ZooKeeper")
+				}
+			}
+		} else {
+			rn.Witness(BugStartupHang)
+			// //TODO: How many times should we retry? (HBASE-22041)
+			rn.Logger(rn.master, "HMaster").Warn(
+				"Startup thread still waiting for unreachable region servers")
+		}
+	}
+	e.AfterOn(rn.master, 500*sim.Millisecond, rn.waitForServers)
+}
+
+func (rn *run) probeAck(rs sim.NodeID) {
+	if si, ok := rn.onlineServers[rs]; ok {
+		si.acked = true
+	}
+}
+
+// activate carries HBASE-22017: the unchecked dereference of an online
+// server that may just have deregistered.
+func (rn *run) activate() {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.master, "hbase.master.HMaster.activate")()
+	for _, id := range rn.sortedServers() {
+		// HBASE-22017 window.
+		pb.PreRead(rn.master, PtActiveGet, string(id))
+		si := rn.onlineServers[id]
+		if si == nil {
+			if rn.r.FixActivateNPE {
+				rn.Logger(rn.master, "HMaster").Warn("Server ", id, " vanished during activation")
+				continue
+			}
+			rn.Witness(BugActivateNPE)
+			e.Throw(rn.master, "NullPointerException@HMaster.activate",
+				fmt.Sprintf("server %s not online", id), false)
+			rn.Fail("HMaster failed to become active: NullPointerException")
+			e.Abort(rn.master, "MasterFatal@HMaster", "activation thread died")
+			return
+		}
+		_ = si
+	}
+	rn.active = true
+	rn.Logger(rn.master, "HMaster").Info("Master is now active with ", len(rn.onlineServers), " servers")
+	for i := 1; i <= rn.nRegions; i++ {
+		rn.assignRegion(fmt.Sprintf("region_%d", i))
+	}
+}
+
+// moveRegion carries HBASE-22050: the balancer reads the region's
+// current assignment non-atomically with server shutdown; a server
+// stopping at that instant aborts the master.
+func (rn *run) moveRegion(region string) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	if rn.Status() != cluster.Running {
+		return
+	}
+	defer pb.Enter(rn.master, "hbase.master.HMaster.moveRegion")()
+	// HBASE-22050 window: the region's server may deregister right here.
+	pb.PreRead(rn.master, PtMoveGet, region)
+	src, ok := rn.assignments[region]
+	if !ok {
+		if rn.r.FixMoveRace {
+			rn.Logger(rn.master, "RegionMover").Warn("Region ", region, " in transition, skipping move")
+			return
+		}
+		rn.Witness(BugMoveRace)
+		e.Throw(rn.master, "NullPointerException@AssignmentManager.move",
+			fmt.Sprintf("region %s has no location during move", region), false)
+		rn.Fail("HMaster aborted moving " + region + ": NullPointerException")
+		e.Abort(rn.master, "MasterFatal@AssignmentManager", "balancer thread died")
+		return
+	}
+	// Pick the other server, if any.
+	for _, cand := range rn.sortedServers() {
+		if cand != src {
+			delete(rn.onlineServers[src].regions, region)
+			rn.assignments[region] = cand
+			rn.onlineServers[cand].regions[region] = true
+			rn.Logger(rn.master, "RegionMover").Info("Moving region ", region, " from ", src, " to ", cand)
+			e.Send(rn.master, cand, "rs", "openRegion", region)
+			return
+		}
+	}
+}
+
+// assignRegion places a region on the next server.
+func (rn *run) assignRegion(region string) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.master, "hbase.master.HMaster.assignRegion")()
+	ids := rn.sortedServers()
+	if len(ids) == 0 {
+		e.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.assignRegion(region) })
+		return
+	}
+	var idx int
+	fmt.Sscanf(region, "region_%d", &idx)
+	target := ids[idx%len(ids)]
+	rn.assignments[region] = target
+	rn.onlineServers[target].regions[region] = true
+	pb.PostWrite(rn.master, PtAssignPut, region, string(target))
+	rn.Logger(rn.master, "AssignmentManager").Info("Assigned region ", region, " to ", target)
+	e.Send(rn.master, target, "rs", "openRegion", region)
+}
+
+// regionOpened starts the PE client once every region is open.
+func (rn *run) regionOpened(region string, rs sim.NodeID) {
+	_ = rs
+	rn.opened[region] = true
+	if !rn.peStarted && len(rn.opened) == rn.nRegions {
+		rn.peStarted = true
+		rn.runOp(1)
+	}
+}
+
+// runOp routes one PE operation through the master to the region's
+// server.
+func (rn *run) runOp(i int) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	if i > rn.nOps || rn.Status() != cluster.Running {
+		return
+	}
+	defer pb.Enter(rn.master, "hbase.master.HMaster.routeRequest")()
+	region := fmt.Sprintf("region_%d", (i%rn.nRegions)+1)
+	// Pre-read of the routing table; the value owner may leave here, but
+	// this path recovers by re-routing after reassignment.
+	pb.PreRead(rn.master, PtRouteGet, region)
+	target, ok := rn.assignments[region]
+	alive := false
+	if ok {
+		if n := e.Node(target); n != nil && n.Alive() {
+			alive = true
+		}
+	}
+	if !ok || !alive {
+		rn.Logger(rn.master, "ConnectionImplementation").Warn("Retrying op ", i, " for ", region)
+		e.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.runOp(i) })
+		return
+	}
+	e.Send(rn.master, target, "rs", "op", i)
+	// Client-side op timeout: re-route if the server died mid-op.
+	e.AfterOn(rn.master, sim.Second, func() {
+		if rn.Status() == cluster.Running && rn.opsDone < i {
+			rn.runOp(i)
+		}
+	})
+}
+
+func (rn *run) opAck(i int) {
+	if i != rn.opsDone+1 {
+		return // duplicate ack from a retried op
+	}
+	rn.opsDone++
+	// The balancer rebalances once the PE workload is half done,
+	// exercising the HBASE-22050 window deterministically mid-run.
+	if rn.opsDone == rn.nOps/2 {
+		rn.Eng.AfterOn(rn.master, sim.Millisecond, func() { rn.moveRegion("region_1") })
+	}
+	if rn.opsDone >= rn.nOps {
+		rn.Logger(rn.master, "PerformanceEvaluation").Info("PE finished ", rn.nOps, " operations")
+		rn.Succeed()
+		return
+	}
+	rn.runOp(i + 1)
+}
+
+// serverRemoved handles both ZK session expiry and graceful stop: the
+// server's regions move to the surviving servers.
+func (rn *run) serverRemoved(rs sim.NodeID, why string) {
+	if !rn.Eng.Node(rn.master).Alive() {
+		return
+	}
+	si, ok := rn.onlineServers[rs]
+	if !ok {
+		return
+	}
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.master, "hbase.master.HMaster.serverRemoved")()
+	delete(rn.onlineServers, rs)
+	pb.PostWrite(rn.master, PtServersRemove, string(rs))
+	rn.lm.Forget(rs)
+	rn.Logger(rn.master, "ServerManager").Warn("RegionServer ", rs, " ", why, ", reassigning regions")
+	regions := make([]string, 0, len(si.regions))
+	for r := range si.regions {
+		regions = append(regions, r)
+	}
+	sortStrings(regions)
+	for _, r := range regions {
+		delete(rn.assignments, r)
+		if rn.active {
+			region := r
+			rn.Eng.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assignRegion(region) })
+		}
+	}
+}
+
+func (rn *run) sortedServers() []sim.NodeID {
+	ids := make([]sim.NodeID, 0, len(rn.onlineServers))
+	for id := range rn.onlineServers {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package hbase
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreePESucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 2})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s) at %v", run.Status(), run.FailureReason(), res.End)
+	}
+	if len(run.Witnesses()) != 0 {
+		t.Errorf("witnesses in fault-free run: %v", run.Witnesses())
+	}
+}
+
+func TestRegionServerCrashRecovers(t *testing.T) {
+	// A crash after startup is detected through the ZooKeeper session
+	// and regions are reassigned.
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(1500*sim.Millisecond, func() { e.Crash("node1:16020") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func TestMetaInference(t *testing.T) {
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 3})
+	a := res.Analysis
+	for _, ty := range []ir.TypeID{tServerName, tRegionInfo, tRegionTr, tMetrics} {
+		if !a.IsMetaType(ty) {
+			t.Errorf("type %s not inferred", ty)
+		}
+	}
+	if !a.IsMetaField(ir.FieldID(string(tRS) + ".metrics")) {
+		t.Error("metrics field not meta-info")
+	}
+}
+
+func TestCampaignFindsSeededBugs(t *testing.T) {
+	res := core.Run(&Runner{}, core.Options{Seed: 3, Scale: 1})
+	byPoint := map[ir.PointID]trigger.Report{}
+	for _, rep := range res.Reports {
+		byPoint[rep.Dyn.Point] = rep
+	}
+
+	// HBASE-22041: master startup hangs forever.
+	rep := byPoint[PtOnlinePut]
+	if rep.Outcome != trigger.Hang {
+		t.Errorf("HBASE-22041 outcome = %v (%q)", rep.Outcome, rep.Reason)
+	}
+	if !hasWitness(rep, BugStartupHang) {
+		t.Errorf("HBASE-22041 witnesses = %v", rep.Witnesses)
+	}
+	if rep.Injected == nil || rep.Injected.Kind != sim.FaultCrash {
+		t.Errorf("HBASE-22041 injection = %+v", rep.Injected)
+	}
+
+	// HBASE-22017: master fails to become active.
+	rep = byPoint[PtActiveGet]
+	if rep.Outcome != trigger.JobFailure || !hasWitness(rep, BugActivateNPE) {
+		t.Errorf("HBASE-22017 report = %v %v (%q)", rep.Outcome, rep.Witnesses, rep.Reason)
+	}
+
+	// HBASE-21740: unclean abort during metrics init.
+	rep = byPoint[PtInitMetrics]
+	if rep.Outcome != trigger.UncommonException || !hasWitness(rep, BugInitAbort) {
+		t.Errorf("HBASE-21740 report = %v %v (ex %v)", rep.Outcome, rep.Witnesses, rep.NewExceptions)
+	}
+
+	// HBASE-22050: balancer move racing a server stop.
+	rep = byPoint[PtMoveGet]
+	if rep.Outcome != trigger.JobFailure || !hasWitness(rep, BugMoveRace) {
+		t.Errorf("HBASE-22050 report = %v %v (%q)", rep.Outcome, rep.Witnesses, rep.Reason)
+	}
+
+	// Region assignment is a recoverable window.
+	rep = byPoint[PtAssignPut]
+	if rep.Outcome.IsBug() {
+		t.Errorf("assignRegion reported %v (%q wit %v)", rep.Outcome, rep.Reason, rep.Witnesses)
+	}
+}
+
+func TestFixedHBaseIsClean(t *testing.T) {
+	res := core.Run(&Runner{FixStartupHang: true, FixActivateNPE: true, FixInitAbort: true, FixMoveRace: true},
+		core.Options{Seed: 3, Scale: 1})
+	for _, rep := range res.Reports {
+		if rep.Outcome.IsBug() {
+			t.Errorf("fixed system buggy at %s: %v (%q wit %v)",
+				rep.Dyn.Point, rep.Outcome, rep.Reason, rep.Witnesses)
+		}
+	}
+}
+
+func TestRouteRequestPruned(t *testing.T) {
+	// The routing read is sanity-checked, so it must not survive as a
+	// static crash point (Table 12's SanityCheck column).
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 3})
+	for _, sp := range res.Static.Points {
+		if sp.Point == "hbase.master.HMaster.routeRequest#0" {
+			t.Error("sanity-checked routing read survived as a crash point")
+		}
+	}
+	if res.Static.Pruned.SanityCheck == 0 {
+		t.Error("no sanity-check pruning recorded")
+	}
+}
+
+func TestRunnerMetadata(t *testing.T) {
+	r := &Runner{}
+	if r.Name() != "hbase" || r.Workload() != "PE+curl" {
+		t.Error("metadata wrong")
+	}
+}
+
+func hasWitness(rep trigger.Report, bug string) bool {
+	for _, w := range rep.Witnesses {
+		if w == bug {
+			return true
+		}
+	}
+	return false
+}

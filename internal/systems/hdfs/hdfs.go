@@ -1,0 +1,523 @@
+// Package hdfs simulates the HDFS of the paper: a NameNode (NN) tracking
+// DataNodes (DNs) and block locations, a replication pipeline, block
+// reports, re-replication on node loss, and a webhdfs ("curl") endpoint.
+// The workload is TestDFSIO+curl (Table 4): write a set of replicated
+// files, read them back, while polling the web UI.
+//
+// Seeded crash-recovery bugs (Table 5):
+//
+//   - HDFS-14216 (pre-read, DatanodeInfo): getBlockLocations captures a
+//     block location, then dereferences datanodeMap.get(loc) without a
+//     nil check. A datanode leaving between the two steps fails the read
+//     request ("request fails due to removed node").
+//   - HDFS-14372 (pre-read, BPOfferService): a datanode shut down before
+//     its BPOfferService finishes registering aborts with an NPE instead
+//     of exiting cleanly ("shutdown before register causing abort").
+package hdfs
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Instrumented point IDs; indexes fixed by model.go.
+const (
+	PtDNPut     = ir.PointID("hdfs.server.namenode.NameNode.registerDatanode#0")  // post-write
+	PtDNGet     = ir.PointID("hdfs.server.namenode.NameNode.getBlockLocations#1") // pre-read HDFS-14216
+	PtBlockRecv = ir.PointID("hdfs.server.namenode.NameNode.blockReceived#0")     // post-write
+	PtDNRemove  = ir.PointID("hdfs.server.namenode.NameNode.removeDatanode#0")    // post-write
+	PtBPReg     = ir.PointID("hdfs.server.datanode.DataNode.register#0")          // pre-read HDFS-14372
+	PtDNStore   = ir.PointID("hdfs.server.datanode.DataNode.storeBlock#0")        // post-write
+)
+
+// Seeded bug identifiers.
+const (
+	BugRemovedDN   = "HDFS-14216"
+	BugUncleanExit = "HDFS-14372"
+)
+
+// Runner builds HDFS runs.
+type Runner struct {
+	// DataNodes is the number of DN nodes (default 2).
+	DataNodes int
+	// Fix* patch the seeded bugs.
+	FixRemovedDN   bool
+	FixUncleanExit bool
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "hdfs" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "TestDFSIO+curl" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.dns(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) dns() int {
+	if r.DataNodes < 1 {
+		return 2
+	}
+	return r.DataNodes
+}
+
+const (
+	storeTime = 50 * sim.Millisecond
+	readTime  = 50 * sim.Millisecond
+)
+
+// blockInfo is the NN's view of one block.
+type blockInfo struct {
+	id        string
+	file      string
+	locations []sim.NodeID
+}
+
+// dnInfo is the NN's view of a datanode.
+type dnInfo struct {
+	id     sim.NodeID
+	blocks map[string]bool
+}
+
+// dnState is a datanode's own state.
+type dnState struct {
+	id         sim.NodeID
+	registered bool
+	blocks     map[string]bool
+}
+
+type run struct {
+	*cluster.Base
+	r  *Runner
+	nn sim.NodeID
+
+	// NN state.
+	datanodes map[sim.NodeID]*dnInfo
+	blocks    map[string]*blockInfo
+	files     map[string]string // path -> blockID (one block per file)
+	lm        *sim.LivenessMonitor
+	nextBlk   int
+
+	// DN state, per node.
+	dns map[sim.NodeID]*dnState
+
+	// Client progress.
+	nFiles      int
+	written     int
+	read        int
+	fileWritten map[string]bool
+	fileRead    map[string]bool
+	readPhase   bool
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{
+		Base:        b,
+		r:           r,
+		datanodes:   make(map[sim.NodeID]*dnInfo),
+		blocks:      make(map[string]*blockInfo),
+		files:       make(map[string]string),
+		dns:         make(map[sim.NodeID]*dnState),
+		fileWritten: make(map[string]bool),
+		fileRead:    make(map[string]bool),
+	}
+	e := b.Eng
+	nn := e.AddNode("node0", 8020)
+	rn.nn = nn.ID
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.nn, hb, func(n sim.NodeID) { rn.removeDatanode(n, "lost") })
+	nn.Register("nn", sim.ServiceFunc(rn.nnService))
+
+	for i := 1; i <= r.dns(); i++ {
+		dn := e.AddNode(fmt.Sprintf("node%d", i), 50010)
+		id := dn.ID
+		rn.dns[id] = &dnState{id: id, blocks: make(map[string]bool)}
+		dn.Register("dn", sim.ServiceFunc(rn.dnService))
+		dn.OnShutdown(func(e *sim.Engine) { rn.dnShutdown(id) })
+	}
+	return rn
+}
+
+// dnShutdown is the datanode's shutdown script. HDFS-14372: if the
+// BPOfferService never finished registering, the shutdown path trips an
+// NPE and aborts instead of exiting cleanly.
+func (rn *run) dnShutdown(id sim.NodeID) {
+	st := rn.dns[id]
+	if !st.registered && !rn.r.FixUncleanExit {
+		rn.Witness(BugUncleanExit)
+		rn.Eng.Throw(id, "NullPointerException@BPOfferService.shutdown",
+			"bpRegistration is null during shutdown", false)
+		rn.Logger(id, "DataNode").Error("Datanode ", id, " aborted during shutdown")
+	}
+	st.registered = false
+	rn.removeDatanode(id, "shutdown")
+}
+
+// Start implements cluster.Run.
+func (rn *run) Start() {
+	e := rn.Eng
+	for id := range rn.dns {
+		did := id
+		e.AfterOn(did, 10*sim.Millisecond, func() {
+			e.Send(did, rn.nn, "nn", "register", nil)
+			sim.StartHeartbeats(e, did, rn.nn, sim.HeartbeatConfig{
+				Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat",
+			})
+		})
+	}
+	rn.nFiles = 2 * rn.Cfg.Scale
+	e.AfterOn(rn.nn, 100*sim.Millisecond, func() {
+		for i := 0; i < rn.nFiles; i++ {
+			rn.writeFile(fmt.Sprintf("/io/file_%d", i))
+		}
+	})
+	rn.curl()
+}
+
+func (rn *run) curl() {
+	e := rn.Eng
+	var poll func()
+	poll = func() {
+		if rn.Status() != cluster.Running {
+			return
+		}
+		defer rn.Cfg.Probe.Enter(rn.nn, "hdfs.server.namenode.NameNode.webStatus")()
+		if blk, ok := rn.files["/io/file_0"]; ok { // sanity-checked read
+			rn.Logger(rn.nn, "NamenodeWebHdfs").Info("Web request for file /io/file_0 served block ", blk)
+		}
+		e.AfterOn(rn.nn, 500*sim.Millisecond, poll)
+	}
+	e.AfterOn(rn.nn, 300*sim.Millisecond, poll)
+}
+
+// ---- NameNode side ----
+
+func (rn *run) nnService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "heartbeat":
+		rn.lm.Beat(m.From)
+	case "register":
+		rn.registerDatanode(m.From)
+	case "blockReceived":
+		rn.blockReceived(m.From, m.Body.(string))
+	}
+}
+
+func (rn *run) registerDatanode(dn sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.registerDatanode")()
+	rn.datanodes[dn] = &dnInfo{id: dn, blocks: make(map[string]bool)}
+	pb.PostWrite(rn.nn, PtDNPut, string(dn))
+	rn.lm.Track(dn)
+	rn.Logger(rn.nn, "DatanodeManager").Info("Registered datanode ", dn)
+	e := rn.Eng
+	e.Send(rn.nn, dn, "dn", "registerAck", nil)
+}
+
+// removeDatanode strips a departed datanode from the cluster state and
+// re-replicates its blocks.
+func (rn *run) removeDatanode(dn sim.NodeID, why string) {
+	if !rn.Eng.Node(rn.nn).Alive() {
+		return
+	}
+	di, ok := rn.datanodes[dn]
+	if !ok {
+		return
+	}
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.removeDatanode")()
+	delete(rn.datanodes, dn)
+	pb.PostWrite(rn.nn, PtDNRemove, string(dn))
+	rn.lm.Forget(dn)
+	rn.Logger(rn.nn, "DatanodeManager").Warn("Datanode ", dn, " ", why, ", re-replicating its blocks")
+	blks := make([]string, 0, len(di.blocks))
+	for b := range di.blocks {
+		blks = append(blks, b)
+	}
+	sortStrings(blks)
+	for _, b := range blks {
+		bi := rn.blocks[b]
+		if bi == nil {
+			continue
+		}
+		bi.locations = removeLoc(bi.locations, dn)
+		rn.scheduleReplication(bi)
+	}
+}
+
+func removeLoc(locs []sim.NodeID, dn sim.NodeID) []sim.NodeID {
+	out := locs[:0]
+	for _, l := range locs {
+		if l != dn {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// scheduleReplication copies an under-replicated block from a surviving
+// replica to a datanode that lacks it.
+func (rn *run) scheduleReplication(bi *blockInfo) {
+	if len(bi.locations) == 0 {
+		rn.Logger(rn.nn, "BlockManager").Error("Block ", bi.id, " has no replicas left")
+		return
+	}
+	src := bi.locations[0]
+	var target sim.NodeID
+	for dn := range rn.datanodes {
+		if !rn.datanodes[dn].blocks[bi.id] && dn != src {
+			if target == "" || dn < target {
+				target = dn
+			}
+		}
+	}
+	if target == "" {
+		return // nowhere to replicate; stay under-replicated
+	}
+	rn.Logger(rn.nn, "BlockManager").Info("Starting re-replication of ", bi.id, " to ", target)
+	rn.Eng.AfterOn(rn.nn, 300*sim.Millisecond, func() {
+		rn.Eng.Send(rn.nn, src, "dn", "copyBlock", copyMsg{blockID: bi.id, target: target})
+	})
+}
+
+type copyMsg struct {
+	blockID string
+	target  sim.NodeID
+}
+
+// blockReceived records a replica location reported by a datanode.
+func (rn *run) blockReceived(dn sim.NodeID, blockID string) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.blockReceived")()
+	bi := rn.blocks[blockID]
+	di := rn.datanodes[dn]
+	if bi == nil || di == nil {
+		return
+	}
+	bi.locations = append(removeLoc(bi.locations, dn), dn)
+	di.blocks[blockID] = true
+	pb.PostWrite(rn.nn, PtBlockRecv, blockID, string(dn))
+	rn.Logger(rn.nn, "BlockManager").Info("Received block ", blockID, " from ", dn)
+}
+
+// chooseTargets picks replication targets (alive-checked reads; not a
+// crash point).
+func (rn *run) chooseTargets(n int) []sim.NodeID {
+	defer rn.Cfg.Probe.Enter(rn.nn, "hdfs.server.namenode.NameNode.chooseTargets")()
+	var out []sim.NodeID
+	ids := make([]sim.NodeID, 0, len(rn.datanodes))
+	for dn := range rn.datanodes {
+		ids = append(ids, dn)
+	}
+	sortNodeIDs(ids)
+	for _, dn := range ids {
+		if len(out) < n {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+// ---- Client (TestDFSIO) ----
+
+// writeFile allocates a block and drives the write pipeline.
+func (rn *run) writeFile(path string) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.allocateBlock")()
+	targets := rn.chooseTargets(2)
+	if len(targets) == 0 {
+		e.AfterOn(rn.nn, 500*sim.Millisecond, func() { rn.writeFile(path) })
+		return
+	}
+	rn.nextBlk++
+	blockID := fmt.Sprintf("blk_%04d", 1000+rn.nextBlk)
+	bi := &blockInfo{id: blockID, file: path}
+	rn.blocks[blockID] = bi
+	rn.files[path] = blockID
+	pb.PostWrite(rn.nn, PtBlkAlloc, blockID)
+	lg := rn.Logger(rn.nn, "FSNamesystem")
+	lg.Info("Allocated ", blockID, " for file ", path, " targets ", targets[0])
+	e.Send(rn.nn, targets[0], "dn", "writeBlock", writeMsg{blockID: blockID, path: path, pipeline: targets})
+	// Client-side write timeout: a pipeline that dies is retried with a
+	// fresh allocation.
+	e.AfterOn(rn.nn, sim.Second, func() {
+		if !rn.fileWritten[path] && rn.Status() == cluster.Running {
+			rn.Logger(rn.nn, "DFSClient").Warn("Write of ", path, " timed out, re-allocating")
+			rn.writeFile(path)
+		}
+	})
+}
+
+type writeMsg struct {
+	blockID  string
+	path     string
+	pipeline []sim.NodeID
+	copy     bool // replication copy, not a client write
+}
+
+// onFileWritten advances the client: after all writes, read everything
+// back.
+func (rn *run) onFileWritten(path string) {
+	if rn.fileWritten[path] {
+		return
+	}
+	rn.fileWritten[path] = true
+	rn.written++
+	if rn.written == rn.nFiles && !rn.readPhase {
+		rn.readPhase = true
+		for i := 0; i < rn.nFiles; i++ {
+			rn.readFile(fmt.Sprintf("/io/file_%d", i), 0)
+		}
+	}
+}
+
+// readFile resolves block locations and fetches the data. It carries
+// HDFS-14216.
+func (rn *run) readFile(path string, tries int) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.getBlockLocations")()
+	// #0: file lookup, sanity-checked.
+	blockID, ok := rn.files[path]
+	if !ok {
+		rn.Fail("read of unknown file " + path)
+		return
+	}
+	bi := rn.blocks[blockID]
+	if len(bi.locations) == 0 {
+		if tries >= 6 {
+			rn.Fail("block " + blockID + " unavailable after retries")
+			return
+		}
+		e.AfterOn(rn.nn, sim.Second, func() { rn.readFile(path, tries+1) })
+		return
+	}
+	loc := bi.locations[0]
+	// HDFS-14216 window: the location may leave the cluster right here.
+	pb.PreRead(rn.nn, PtDNGet, string(loc), blockID)
+	di := rn.datanodes[loc]
+	if di == nil {
+		if rn.r.FixRemovedDN {
+			rn.Logger(rn.nn, "FSNamesystem").Warn("Location ", loc, " gone, retrying ", path)
+			e.AfterOn(rn.nn, 500*sim.Millisecond, func() { rn.readFile(path, tries+1) })
+			return
+		}
+		rn.Witness(BugRemovedDN)
+		e.Throw(rn.nn, "NullPointerException@FSNamesystem.getBlockLocations",
+			fmt.Sprintf("datanode %s removed", loc), false)
+		rn.Fail("read request failed: NullPointerException resolving " + string(loc))
+		return
+	}
+	e.Send(rn.nn, loc, "dn", "readBlock", readMsg{blockID: blockID, path: path})
+	// Client-side read timeout: retry against fresh locations.
+	e.AfterOn(rn.nn, sim.Second, func() {
+		if !rn.fileRead[path] && rn.Status() == cluster.Running {
+			rn.readFile(path, tries+1)
+		}
+	})
+}
+
+type readMsg struct {
+	blockID string
+	path    string
+}
+
+// onBlockRead counts read completions.
+func (rn *run) onBlockRead(path string) {
+	if rn.fileRead[path] {
+		return
+	}
+	rn.fileRead[path] = true
+	rn.read++
+	if rn.read == rn.nFiles {
+		rn.Logger(rn.nn, "TestDFSIO").Info("All ", rn.nFiles, " files written and verified")
+		rn.Succeed()
+	}
+}
+
+// ---- DataNode side ----
+
+func (rn *run) dnService(e *sim.Engine, m sim.Message) {
+	self := m.To
+	switch m.Kind {
+	case "registerAck":
+		rn.dnRegisterAck(self)
+	case "writeBlock":
+		rn.dnWriteBlock(self, m.Body.(writeMsg))
+	case "copyBlock":
+		cm := m.Body.(copyMsg)
+		e.Send(self, cm.target, "dn", "writeBlock",
+			writeMsg{blockID: cm.blockID, pipeline: []sim.NodeID{cm.target}, copy: true})
+	case "readBlock":
+		rm := m.Body.(readMsg)
+		e.AfterOn(self, readTime, func() { rn.onBlockRead(rm.path) })
+	}
+}
+
+// dnRegisterAck completes BPOfferService registration. HDFS-14372
+// window: the datanode may be shut down right before this state is read.
+func (rn *run) dnRegisterAck(self sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(self, "hdfs.server.datanode.DataNode.register")()
+	// Pre-read of the registration state.
+	pb.PreRead(self, PtBPReg, string(self))
+	st := rn.dns[self]
+	if !rn.Eng.Node(self).Alive() {
+		return
+	}
+	st.registered = true
+	rn.Logger(self, "BPOfferService").Info("BPOfferService for ", self, " registered with NameNode")
+}
+
+// dnWriteBlock stores a replica and forwards down the pipeline.
+func (rn *run) dnWriteBlock(self sim.NodeID, wm writeMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(self, "hdfs.server.datanode.DataNode.storeBlock")()
+	e.AfterOn(self, storeTime, func() {
+		st := rn.dns[self]
+		st.blocks[wm.blockID] = true
+		pb.PostWrite(self, PtDNStore, wm.blockID)
+		rn.Logger(self, "DataXceiver").Info("Block ", wm.blockID, " stored on ", self)
+		// Forward to the next replica in the pipeline, or ack the client
+		// once the last replica is durable.
+		next := -1
+		for i, p := range wm.pipeline {
+			if p == self && i+1 < len(wm.pipeline) {
+				next = i + 1
+			}
+		}
+		if next > 0 {
+			e.Send(self, wm.pipeline[next], "dn", "writeBlock", wm)
+		} else if !wm.copy {
+			path := wm.path
+			e.AfterOn(self, sim.Millisecond, func() { rn.onFileWritten(path) })
+		}
+		e.Send(self, rn.nn, "nn", "blockReceived", wm.blockID)
+	})
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortNodeIDs(s []sim.NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package hdfs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreeDFSIOSucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 2})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s) at %v", run.Status(), run.FailureReason(), res.End)
+	}
+	if len(run.Witnesses()) != 0 {
+		t.Errorf("witnesses in fault-free run: %v", run.Witnesses())
+	}
+}
+
+func TestDatanodeCrashRecovers(t *testing.T) {
+	// A quiet-moment crash is absorbed by re-replication and client
+	// retries.
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(2*sim.Second, func() { e.Crash("node1:50010") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func TestMetaInference(t *testing.T) {
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 5})
+	a := res.Analysis
+	for _, ty := range []ir.TypeID{tDNID, tDNInfo, tBlock, tBlkInfo, tBPOffer} {
+		if !a.IsMetaType(ty) {
+			t.Errorf("type %s not inferred (have %d types)", ty, len(a.MetaTypes()))
+		}
+	}
+	// The File-typed log argument marks the files field as meta-info.
+	if !a.IsMetaField(ir.FieldID(string(tNN) + ".files")) {
+		t.Error("files field not meta-info via File log link")
+	}
+}
+
+func TestCampaignFindsSeededBugs(t *testing.T) {
+	res := core.Run(&Runner{}, core.Options{Seed: 5, Scale: 1})
+	byPoint := map[ir.PointID]trigger.Report{}
+	for _, rep := range res.Reports {
+		byPoint[rep.Dyn.Point] = rep
+	}
+
+	// HDFS-14216: read request fails on removed datanode.
+	rep := byPoint[PtDNGet]
+	if rep.Outcome != trigger.JobFailure {
+		t.Errorf("HDFS-14216 outcome = %v (%q)", rep.Outcome, rep.Reason)
+	}
+	if !hasWitness(rep, BugRemovedDN) {
+		t.Errorf("HDFS-14216 witnesses = %v", rep.Witnesses)
+	}
+
+	// HDFS-14372: unclean datanode abort during early shutdown.
+	rep = byPoint[PtBPReg]
+	if rep.Outcome != trigger.UncommonException {
+		t.Errorf("HDFS-14372 outcome = %v (exceptions %v)", rep.Outcome, rep.NewExceptions)
+	}
+	if !hasWitness(rep, BugUncleanExit) {
+		t.Errorf("HDFS-14372 witnesses = %v", rep.Witnesses)
+	}
+	found := false
+	for _, ex := range rep.NewExceptions {
+		if strings.Contains(ex, "BPOfferService") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("HDFS-14372 exceptions = %v", rep.NewExceptions)
+	}
+
+	// The freshly allocated block resolves to no node yet.
+	rep = byPoint[PtBlkAlloc]
+	if rep.Outcome != trigger.Unresolved {
+		t.Errorf("allocateBlock outcome = %v, want unresolved", rep.Outcome)
+	}
+
+	// Benign points must not report bugs.
+	for _, pt := range []ir.PointID{PtDNPut, PtBlockRecv, PtDNStore} {
+		rep = byPoint[pt]
+		if rep.Outcome.IsBug() {
+			t.Errorf("benign point %s reported %v (%q wit %v)", pt, rep.Outcome, rep.Reason, rep.Witnesses)
+		}
+	}
+}
+
+func TestFixedHDFSIsClean(t *testing.T) {
+	res := core.Run(&Runner{FixRemovedDN: true, FixUncleanExit: true},
+		core.Options{Seed: 5, Scale: 1})
+	for _, rep := range res.Reports {
+		if rep.Outcome.IsBug() {
+			t.Errorf("fixed system buggy at %s: %v (%q wit %v)",
+				rep.Dyn.Point, rep.Outcome, rep.Reason, rep.Witnesses)
+		}
+	}
+}
+
+func TestRunnerMetadata(t *testing.T) {
+	r := &Runner{}
+	if r.Name() != "hdfs" || r.Workload() != "TestDFSIO+curl" {
+		t.Error("metadata wrong")
+	}
+	if len(r.Hosts()) != 3 {
+		t.Errorf("hosts = %v", r.Hosts())
+	}
+}
+
+func hasWitness(rep trigger.Report, bug string) bool {
+	for _, w := range rep.Witnesses {
+		if w == bug {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,256 @@
+// Package kubelike is the §4.4 extension: a Kubernetes-style scheduler
+// demonstrating that meta-info analysis transfers beyond the Hadoop
+// ecosystem. The paper studies 14 scheduling-related Kubernetes
+// crash-recovery bugs (Table 13) and observes they are all triggered
+// when nodes crash at meta-info access points; this simulated control
+// plane carries one such bug.
+//
+// Roles: an API-server/scheduler/controller node plus kubelet nodes.
+// Pods are scheduled to nodes, kubelets run them and report status, and
+// the node controller evicts pods from NotReady nodes.
+//
+// Seeded bug (mirrors the Table 13 Node PRs, e.g. kubernetes#53647): the
+// scheduler picks a node during filtering, and later dereferences
+// nodes.get(chosen) without re-checking — a node deleted between
+// filtering and binding panics the scheduler and the deployment never
+// completes.
+package kubelike
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Instrumented point IDs; indexes fixed by model.go.
+const (
+	PtNodePut    = ir.PointID("k8s.controller.NodeController.registerNode#0") // post-write
+	PtBindGet    = ir.PointID("k8s.scheduler.Scheduler.bind#0")               // pre-read (seeded bug)
+	PtBindPut    = ir.PointID("k8s.scheduler.Scheduler.bind#1")               // post-write
+	PtNodeRemove = ir.PointID("k8s.controller.NodeController.removeNode#0")   // post-write
+)
+
+// BugStaleBind is the seeded bug identifier (a Table 13 Node-meta-info
+// scheduling bug).
+const BugStaleBind = "K8S-53647"
+
+// Runner builds kubelike runs.
+type Runner struct {
+	// Kubelets is the number of worker nodes (default 2).
+	Kubelets int
+	// FixStaleBind patches the seeded bug.
+	FixStaleBind bool
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "kubelike" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "Deployment" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.kubelets(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) kubelets() int {
+	if r.Kubelets < 1 {
+		return 2
+	}
+	return r.Kubelets
+}
+
+type pod struct {
+	uid     string
+	node    sim.NodeID
+	running bool
+}
+
+type run struct {
+	*cluster.Base
+	r      *Runner
+	api    sim.NodeID
+	lets   []sim.NodeID
+	nodes  map[sim.NodeID]bool
+	pods   []*pod
+	lm     *sim.LivenessMonitor
+	rr     int
+	wanted int
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{Base: b, r: r, nodes: make(map[sim.NodeID]bool)}
+	e := b.Eng
+	api := e.AddNode("node0", 6443)
+	rn.api = api.ID
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.api, hb, func(n sim.NodeID) { rn.removeNode(n, "NotReady") })
+	api.Register("api", sim.ServiceFunc(rn.apiService))
+	for i := 1; i <= r.kubelets(); i++ {
+		k := e.AddNode(fmt.Sprintf("node%d", i), 10250)
+		id := k.ID
+		rn.lets = append(rn.lets, id)
+		k.Register("kubelet", sim.ServiceFunc(rn.kubeletService))
+		k.OnShutdown(func(e *sim.Engine) { rn.removeNode(id, "drained") })
+	}
+	return rn
+}
+
+// Start implements cluster.Run.
+func (rn *run) Start() {
+	e := rn.Eng
+	rn.wanted = 4 * rn.Cfg.Scale
+	for _, k := range rn.lets {
+		id := k
+		e.AfterOn(id, 10*sim.Millisecond, func() {
+			e.Send(id, rn.api, "api", "register", nil)
+			sim.StartHeartbeats(e, id, rn.api, sim.HeartbeatConfig{
+				Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus",
+			})
+		})
+	}
+	e.AfterOn(rn.api, 100*sim.Millisecond, func() {
+		for i := 0; i < rn.wanted; i++ {
+			p := &pod{uid: fmt.Sprintf("pod-%d", i)}
+			rn.pods = append(rn.pods, p)
+			rn.schedule(p)
+		}
+	})
+}
+
+func (rn *run) apiService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "nodeStatus":
+		rn.lm.Beat(m.From)
+	case "register":
+		rn.registerNode(m.From)
+	case "podRunning":
+		rn.podRunning(m.Body.(string))
+	}
+}
+
+func (rn *run) registerNode(n sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.api, "k8s.controller.NodeController.registerNode")()
+	rn.nodes[n] = true
+	pb.PostWrite(rn.api, PtNodePut, string(n))
+	rn.lm.Track(n)
+	rn.Logger(rn.api, "NodeController").Info("Node ", n, " registered and Ready")
+}
+
+// removeNode evicts the pods of a departed node.
+func (rn *run) removeNode(n sim.NodeID, why string) {
+	if !rn.Eng.Node(rn.api).Alive() {
+		return
+	}
+	if !rn.nodes[n] {
+		return
+	}
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.api, "k8s.controller.NodeController.removeNode")()
+	delete(rn.nodes, n)
+	pb.PostWrite(rn.api, PtNodeRemove, string(n))
+	rn.lm.Forget(n)
+	rn.Logger(rn.api, "NodeController").Warn("Node ", n, " ", why, ", evicting its pods")
+	for _, p := range rn.pods {
+		if p.node == n && !p.running {
+			p.node = ""
+			pp := p
+			rn.Eng.AfterOn(rn.api, 100*sim.Millisecond, func() { rn.schedule(pp) })
+		} else if p.node == n {
+			// Running pods are recreated elsewhere.
+			p.running = false
+			p.node = ""
+			pp := p
+			rn.Eng.AfterOn(rn.api, 100*sim.Millisecond, func() { rn.schedule(pp) })
+		}
+	}
+}
+
+// schedule filters a node for the pod and binds it. The gap between the
+// two is the seeded bug's window.
+func (rn *run) schedule(p *pod) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	if rn.Status() != cluster.Running || p.running {
+		return
+	}
+	defer pb.Enter(rn.api, "k8s.scheduler.Scheduler.bind")()
+	// Filtering phase: pick a Ready node (sanity-checked read).
+	var chosen sim.NodeID
+	for i := 0; i < len(rn.lets); i++ {
+		cand := rn.lets[(rn.rr+i)%len(rn.lets)]
+		if rn.nodes[cand] {
+			chosen = cand
+			rn.rr = (rn.rr + i + 1) % len(rn.lets)
+			break
+		}
+	}
+	if chosen == "" {
+		e.AfterOn(rn.api, 500*sim.Millisecond, func() { rn.schedule(p) })
+		return
+	}
+	// Seeded-bug window: the chosen node may be deleted right here,
+	// between filtering and binding.
+	pb.PreRead(rn.api, PtBindGet, string(chosen), p.uid)
+	if !rn.nodes[chosen] {
+		if rn.r.FixStaleBind {
+			rn.Logger(rn.api, "Scheduler").Warn("Node ", chosen, " vanished, rescheduling ", p.uid)
+			e.AfterOn(rn.api, 200*sim.Millisecond, func() { rn.schedule(p) })
+			return
+		}
+		rn.Witness(BugStaleBind)
+		e.Throw(rn.api, "NilNodeInfo@Scheduler.bind",
+			fmt.Sprintf("node %s deleted during binding of %s", chosen, p.uid), false)
+		rn.Fail("scheduler panicked binding " + p.uid + " to deleted node")
+		return
+	}
+	p.node = chosen
+	pb.PostWrite(rn.api, PtBindPut, p.uid, string(chosen))
+	rn.Logger(rn.api, "Scheduler").Info("Bound pod ", p.uid, " to ", chosen)
+	e.Send(rn.api, chosen, "kubelet", "runPod", p.uid)
+	// Binding timeout: a kubelet that dies mid-start is retried after
+	// eviction; the scheduler also re-checks on its own.
+	uid := p.uid
+	e.AfterOn(rn.api, 5*sim.Second, func() {
+		if rn.Status() == cluster.Running && !p.running && p.uid == uid {
+			rn.schedule(p)
+		}
+	})
+}
+
+func (rn *run) kubeletService(e *sim.Engine, m sim.Message) {
+	if m.Kind != "runPod" {
+		return
+	}
+	self := m.To
+	uid := m.Body.(string)
+	e.AfterOn(self, 200*sim.Millisecond, func() {
+		rn.Logger(self, "Kubelet").Info("Pod ", uid, " running on ", self)
+		e.Send(self, rn.api, "api", "podRunning", uid)
+	})
+}
+
+func (rn *run) podRunning(uid string) {
+	defer rn.Cfg.Probe.Enter(rn.api, "k8s.controller.NodeController.podRunning")()
+	running := 0
+	for _, p := range rn.pods {
+		if p.uid == uid {
+			p.running = true
+		}
+		if p.running {
+			running++
+		}
+	}
+	if running == rn.wanted {
+		rn.Logger(rn.api, "Deployment").Info("Deployment ready with ", rn.wanted, " pods")
+		rn.Succeed()
+	}
+}

@@ -1,0 +1,81 @@
+package kubelike
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreeDeploymentSucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 2})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s) at %v", run.Status(), run.FailureReason(), res.End)
+	}
+}
+
+func TestKubeletCrashEvictsAndReschedules(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(150*sim.Millisecond, func() { e.Crash("node1:10250") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func TestMetaInference(t *testing.T) {
+	res, _ := core.AnalysisPhase(&Runner{}, core.Options{Seed: 17})
+	for _, ty := range []ir.TypeID{tNodeName, tPodUID} {
+		if !res.Analysis.IsMetaType(ty) {
+			t.Errorf("type %s not inferred", ty)
+		}
+	}
+}
+
+func TestCampaignFindsSchedulingBug(t *testing.T) {
+	res := core.Run(&Runner{}, core.Options{Seed: 17, Scale: 1})
+	var bindRep *trigger.Report
+	for i, rep := range res.Reports {
+		if rep.Dyn.Point == PtBindGet {
+			bindRep = &res.Reports[i]
+		}
+	}
+	if bindRep == nil {
+		t.Fatal("bind point not tested")
+	}
+	if bindRep.Outcome != trigger.JobFailure {
+		t.Errorf("bind injection = %v (%q)", bindRep.Outcome, bindRep.Reason)
+	}
+	found := false
+	for _, w := range bindRep.Witnesses {
+		if w == BugStaleBind {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witnesses = %v", bindRep.Witnesses)
+	}
+}
+
+func TestFixedSchedulerIsClean(t *testing.T) {
+	res := core.Run(&Runner{FixStaleBind: true}, core.Options{Seed: 17, Scale: 1})
+	for _, rep := range res.Reports {
+		if rep.Outcome.IsBug() {
+			t.Errorf("fixed scheduler buggy at %s: %v (%q)", rep.Dyn.Point, rep.Outcome, rep.Reason)
+		}
+	}
+}

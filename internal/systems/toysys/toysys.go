@@ -1,0 +1,349 @@
+// Package toysys is a deliberately small distributed system used to test
+// the CrashTuner pipeline end-to-end and to document how a system under
+// test is authored (see examples/newsystem).
+//
+// The system is a master/worker task runner with a two-phase commit
+// protocol carrying two genuine crash-recovery bugs that mirror studied
+// bugs from the paper:
+//
+//   - TOY-1 (pre-read, mirrors YARN-5918/YARN-9164): the master's
+//     commitPending handler looks up the sender in its workers map and
+//     dereferences the result without a nil check. If the worker leaves
+//     the cluster right before the read, the master hits the nil entry
+//     and the job aborts.
+//   - TOY-2 (post-write, mirrors MR-3858): the master records the
+//     committing attempt in its pending map. If the worker crashes right
+//     after that write, the recovery path re-runs the task under a new
+//     attempt, but the stale pending entry makes every future commit
+//     check fail, so the job never finishes.
+package toysys
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Point IDs of the instrumented sites; they must match the IR model in
+// model.go (instruction indexes are assigned in declaration order).
+const (
+	PtRegisterPut = ir.PointID("toy.Master.registerWorker#0") // post-write workers.put
+	PtCommitGet   = ir.PointID("toy.Master.commitPending#0")  // pre-read workers.get (TOY-1)
+	PtCommitPut   = ir.PointID("toy.Master.commitPending#1")  // post-write pending.put (TOY-2)
+	PtDoneRemove  = ir.PointID("toy.Master.doneCommit#1")     // post-write pending.remove
+	PtLostRemove  = ir.PointID("toy.Master.handleLost#0")     // post-write workers.remove
+)
+
+// Seeded bug identifiers.
+const (
+	BugPreRead   = "TOY-1"
+	BugPostWrite = "TOY-2"
+)
+
+// Runner builds toy-system runs.
+type Runner struct {
+	// Workers is the number of worker nodes (default 2).
+	Workers int
+	// FixPreRead patches TOY-1 (adds the missing nil check).
+	FixPreRead bool
+	// FixPostWrite patches TOY-2 (clears pending state on reassignment).
+	FixPostWrite bool
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "toysys" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "TaskRun" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.workers(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) workers() int {
+	if r.Workers < 1 {
+		return 2
+	}
+	return r.Workers
+}
+
+// task tracks one unit of work on the master.
+type task struct {
+	id       string
+	attempt  int // current attempt number
+	worker   sim.NodeID
+	complete bool
+}
+
+func (t *task) attemptID() string { return fmt.Sprintf("attempt_%s_%d", t.id, t.attempt) }
+
+// workerInfo is the master's view of a worker.
+type workerInfo struct {
+	id    sim.NodeID
+	slots int
+}
+
+// run is one toy-system instance.
+type run struct {
+	*cluster.Base
+	r       *Runner
+	master  sim.NodeID
+	workers []sim.NodeID
+	// Master state.
+	registered map[sim.NodeID]*workerInfo
+	pending    map[string]string // taskID -> attemptID (the TOY-2 state)
+	tasks      []*task
+	lm         *sim.LivenessMonitor
+	started    bool
+	rrNext     int
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{
+		Base:       b,
+		r:          r,
+		registered: make(map[sim.NodeID]*workerInfo),
+		pending:    make(map[string]string),
+	}
+	e := b.Eng
+	master := e.AddNode("node0", 7000)
+	rn.master = master.ID
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, rn.handleLost)
+	master.Register("master", sim.ServiceFunc(rn.masterService))
+
+	for i := 1; i <= r.workers(); i++ {
+		w := e.AddNode(fmt.Sprintf("node%d", i), 7000+i)
+		id := w.ID
+		rn.workers = append(rn.workers, id)
+		w.Register("worker", sim.ServiceFunc(rn.workerService))
+		// The shutdown script deregisters synchronously with the master,
+		// emulating the paper's "shutdown RPC followed by a wait": by the
+		// time control returns, the cluster has processed the departure.
+		w.OnShutdown(func(e *sim.Engine) { rn.deregister(id) })
+	}
+	return rn
+}
+
+// Start implements cluster.Run.
+func (rn *run) Start() {
+	e := rn.Eng
+	for _, w := range rn.workers {
+		wid := w
+		e.AfterOn(wid, 10*sim.Millisecond, func() {
+			e.Send(wid, rn.master, "master", "register", nil)
+			sim.StartHeartbeats(e, wid, rn.master, sim.HeartbeatConfig{
+				Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat",
+			})
+		})
+	}
+	nTasks := 4 * rn.Cfg.Scale
+	for i := 0; i < nTasks; i++ {
+		rn.tasks = append(rn.tasks, &task{id: fmt.Sprintf("task_%d", i)})
+	}
+}
+
+// masterService dispatches master-side RPCs.
+func (rn *run) masterService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "heartbeat":
+		rn.lm.Beat(m.From)
+	case "register":
+		rn.registerWorker(m.From)
+	case "deregister":
+		rn.deregister(m.From)
+	case "commitPending":
+		rn.commitPending(m.From, m.Body.(commitMsg))
+	case "doneCommit":
+		rn.doneCommit(m.From, m.Body.(commitMsg))
+	}
+}
+
+type commitMsg struct {
+	taskID    string
+	attemptID string
+}
+
+func (rn *run) registerWorker(w sim.NodeID) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.master, "toy.Master.registerWorker")()
+	rn.registered[w] = &workerInfo{id: w, slots: 1}
+	pb.PostWrite(rn.master, PtRegisterPut, string(w))
+	rn.lm.Track(w)
+	rn.Logger(rn.master, "Master").Info("Worker registered as ", w)
+	if !rn.started && len(rn.registered) == len(rn.workers) {
+		rn.started = true
+		e.AfterOn(rn.master, 10*sim.Millisecond, rn.assignAll)
+	}
+}
+
+// deregister is the graceful-departure path (shutdown script).
+func (rn *run) deregister(w sim.NodeID) {
+	if _, ok := rn.registered[w]; !ok {
+		return
+	}
+	defer rn.Cfg.Probe.Enter(rn.master, "toy.Master.handleLost")()
+	delete(rn.registered, w)
+	rn.Cfg.Probe.PostWrite(rn.master, PtLostRemove, string(w))
+	rn.lm.Forget(w)
+	rn.Logger(rn.master, "Master").Warn("Worker ", w, " lost, reassigning")
+	rn.reassignFrom(w)
+}
+
+// handleLost is the liveness-timeout path (crash detection).
+func (rn *run) handleLost(w sim.NodeID) {
+	if !rn.Eng.Node(rn.master).Alive() {
+		return
+	}
+	defer rn.Cfg.Probe.Enter(rn.master, "toy.Master.handleLost")()
+	delete(rn.registered, w)
+	rn.Cfg.Probe.PostWrite(rn.master, PtLostRemove, string(w))
+	rn.Logger(rn.master, "Master").Warn("Worker ", w, " lost, reassigning")
+	rn.reassignFrom(w)
+}
+
+// reassignFrom re-runs every incomplete task of a departed worker under a
+// fresh attempt. TOY-2: the stale pending entry of an in-flight commit is
+// NOT cleared here — that is the bug.
+func (rn *run) reassignFrom(w sim.NodeID) {
+	for _, t := range rn.tasks {
+		if t.complete || t.worker != w {
+			continue
+		}
+		if rn.r.FixPostWrite {
+			delete(rn.pending, t.id) // the MR-3858 fix
+		}
+		t.worker = ""
+		rn.Eng.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assign(t) })
+	}
+}
+
+func (rn *run) assignAll() {
+	for _, t := range rn.tasks {
+		rn.assign(t)
+	}
+}
+
+// assign places a task on the next alive worker (the read of the workers
+// map here is sanity-checked, so it is not a crash point).
+func (rn *run) assign(t *task) {
+	if t.complete {
+		return
+	}
+	defer rn.Cfg.Probe.Enter(rn.master, "toy.Master.assignTask")()
+	var target *workerInfo
+	for i := 0; i < len(rn.workers); i++ {
+		cand := rn.workers[(rn.rrNext+i)%len(rn.workers)]
+		if wi, ok := rn.registered[cand]; ok {
+			target = wi
+			rn.rrNext = (rn.rrNext + i + 1) % len(rn.workers)
+			break
+		}
+	}
+	if target == nil {
+		// No workers: retry until one registers (or the run times out).
+		rn.Eng.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.assign(t) })
+		return
+	}
+	t.attempt++
+	t.worker = target.id
+	rn.Logger(rn.master, "Master").Info("Assigned attempt ", t.attemptID(), " to worker ", target.id)
+	rn.Eng.Send(rn.master, target.id, "worker", "runTask", commitMsg{taskID: t.id, attemptID: t.attemptID()})
+}
+
+// workerService executes a task: work, then the two-phase commit.
+func (rn *run) workerService(e *sim.Engine, m sim.Message) {
+	if m.Kind != "runTask" {
+		return
+	}
+	self := m.To
+	cm := m.Body.(commitMsg)
+	e.AfterOn(self, 500*sim.Millisecond, func() {
+		e.Send(self, rn.master, "master", "commitPending", cm)
+		e.AfterOn(self, 300*sim.Millisecond, func() {
+			e.Send(self, rn.master, "master", "doneCommit", cm)
+		})
+	})
+}
+
+// commitPending handles phase one of the commit. It contains both seeded
+// bugs' trigger windows.
+func (rn *run) commitPending(from sim.NodeID, cm commitMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.master, "toy.Master.commitPending")()
+
+	// TOY-1 window: the worker may leave the cluster right here.
+	pb.PreRead(rn.master, PtCommitGet, string(from))
+	wi := rn.registered[from]
+	if wi == nil {
+		if rn.r.FixPreRead {
+			// The fix: validate the worker before using it.
+			rn.Logger(rn.master, "Master").Error("Ignoring commit from removed worker ", from)
+			return
+		}
+		// The bug: unchecked dereference of the removed entry.
+		rn.Witness(BugPreRead)
+		e.Throw(rn.master, "NullPointerException@toy.Master.commitPending",
+			fmt.Sprintf("worker %s not in workers map", from), false)
+		rn.Fail("NullPointerException in Master.commitPending")
+		return
+	}
+	_ = wi.slots
+
+	// Stale-attempt commit check (this is the check TOY-2 corrupts).
+	if prev, ok := rn.pending[cm.taskID]; ok && prev != cm.attemptID {
+		rn.Witness(BugPostWrite)
+		e.Throw(rn.master, "CommitContention@toy.Master.commitPending",
+			fmt.Sprintf("task %s pending under %s, rejecting %s", cm.taskID, prev, cm.attemptID), true)
+		rn.Logger(rn.master, "Master").Warn("Rejecting commit of ", cm.attemptID, " for ", cm.taskID)
+		// Kill the attempt and re-run the task — which will be rejected
+		// again, forever: the job hangs.
+		for _, t := range rn.tasks {
+			if t.id == cm.taskID && !t.complete {
+				t.worker = ""
+				e.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.assign(t) })
+			}
+		}
+		return
+	}
+
+	rn.pending[cm.taskID] = cm.attemptID
+	// TOY-2 window: the committing worker may crash right after this
+	// write; the stored attempt is the stale state.
+	pb.PostWrite(rn.master, PtCommitPut, cm.attemptID)
+	e.Send(rn.master, from, "worker", "commitOK", cm)
+}
+
+// doneCommit completes phase two.
+func (rn *run) doneCommit(from sim.NodeID, cm commitMsg) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.master, "toy.Master.doneCommit")()
+	// Sanity-checked read of pending (not a crash point).
+	if rn.pending[cm.taskID] != cm.attemptID {
+		rn.Logger(rn.master, "Master").Warn("Stale doneCommit of ", cm.attemptID)
+		return
+	}
+	delete(rn.pending, cm.taskID)
+	pb.PostWrite(rn.master, PtDoneRemove, cm.attemptID)
+	for _, t := range rn.tasks {
+		if t.id == cm.taskID {
+			t.complete = true
+		}
+	}
+	rn.Logger(rn.master, "Master").Info("Task ", cm.taskID, " completed by attempt ", cm.attemptID)
+	for _, t := range rn.tasks {
+		if !t.complete {
+			return
+		}
+	}
+	rn.Succeed()
+}

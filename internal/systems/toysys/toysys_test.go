@@ -1,0 +1,208 @@
+package toysys
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreeRunSucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 2})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s) after %v", run.Status(), run.FailureReason(), res.End)
+	}
+	if len(run.Witnesses()) != 0 {
+		t.Errorf("witnesses in fault-free run: %v", run.Witnesses())
+	}
+	if res.End > 10*sim.Second {
+		t.Errorf("fault-free run too slow: %v", res.End)
+	}
+}
+
+func TestWorkerCrashRecovers(t *testing.T) {
+	// A crash at a random quiet moment is recovered by reassignment —
+	// this is the fault-tolerance machinery working as designed.
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(100*sim.Millisecond, func() { e.Crash("node1:7001") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func TestGracefulShutdownRecovers(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(100*sim.Millisecond, func() { e.Shutdown("node1:7001") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func pipeline(t *testing.T, r *Runner) *core.Result {
+	t.Helper()
+	return core.Run(r, core.Options{Seed: 7, Scale: 1})
+}
+
+func TestStaticCrashPoints(t *testing.T) {
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 7})
+	got := map[string]bool{}
+	for _, sp := range res.Static.Points {
+		got[string(sp.Point)+"/"+sp.Scenario.String()] = true
+	}
+	want := []string{
+		string(PtRegisterPut) + "/post-write",
+		string(PtCommitGet) + "/pre-read",
+		string(PtCommitPut) + "/post-write",
+		string(PtDoneRemove) + "/post-write",
+		string(PtLostRemove) + "/post-write",
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing static point %s (have %v)", w, got)
+		}
+	}
+	if len(res.Static.Points) != len(want) {
+		t.Errorf("static points = %d, want %d: %v", len(res.Static.Points), len(want), got)
+	}
+	// The two sanity-checked reads are pruned.
+	if res.Static.Pruned.SanityCheck != 2 {
+		t.Errorf("sanity-check pruned = %d, want 2", res.Static.Pruned.SanityCheck)
+	}
+}
+
+func TestDynamicPointsExcludeUnexecuted(t *testing.T) {
+	res := pipeline(t, &Runner{})
+	for _, d := range res.Dynamic.Points {
+		if d.Point == PtLostRemove {
+			t.Errorf("handleLost executed in fault-free profiling: %v", d)
+		}
+	}
+	// register put, commit get, commit put, done remove.
+	if len(res.Dynamic.Points) != 4 {
+		t.Errorf("dynamic points = %d (%v), want 4", len(res.Dynamic.Points), res.Dynamic.Points)
+	}
+	if res.Dynamic.StaticHit != 4 {
+		t.Errorf("static hit = %d, want 4", res.Dynamic.StaticHit)
+	}
+}
+
+func TestCampaignFindsBothSeededBugs(t *testing.T) {
+	res := pipeline(t, &Runner{})
+	byPoint := map[string]trigger.Report{}
+	for _, rep := range res.Reports {
+		byPoint[string(rep.Dyn.Point)] = rep
+	}
+
+	pre := byPoint[string(PtCommitGet)]
+	if pre.Outcome != trigger.JobFailure {
+		t.Errorf("pre-read injection outcome = %v (reason %q), want job-failure", pre.Outcome, pre.Reason)
+	}
+	if len(pre.Witnesses) == 0 || pre.Witnesses[0] != BugPreRead {
+		t.Errorf("pre-read witnesses = %v, want [TOY-1]", pre.Witnesses)
+	}
+	if pre.Injected == nil || pre.Injected.Kind != sim.FaultShutdown {
+		t.Errorf("pre-read injection = %+v, want shutdown", pre.Injected)
+	}
+	found := false
+	for _, ex := range pre.NewExceptions {
+		if strings.Contains(ex, "NullPointerException") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pre-read new exceptions = %v", pre.NewExceptions)
+	}
+
+	post := byPoint[string(PtCommitPut)]
+	if post.Outcome != trigger.Hang {
+		t.Errorf("post-write injection outcome = %v, want hang", post.Outcome)
+	}
+	if len(post.Witnesses) == 0 || post.Witnesses[0] != BugPostWrite {
+		t.Errorf("post-write witnesses = %v, want [TOY-2]", post.Witnesses)
+	}
+	if post.Injected == nil || post.Injected.Kind != sim.FaultCrash {
+		t.Errorf("post-write injection = %+v, want crash", post.Injected)
+	}
+}
+
+func TestSummaryCountsBugs(t *testing.T) {
+	res := pipeline(t, &Runner{})
+	if res.Summary.Bugs < 2 {
+		t.Errorf("bugs = %d, want >= 2", res.Summary.Bugs)
+	}
+	wits := strings.Join(res.Summary.WitnessedBugs, ",")
+	if !strings.Contains(wits, BugPreRead) || !strings.Contains(wits, BugPostWrite) {
+		t.Errorf("witnessed bugs = %v", res.Summary.WitnessedBugs)
+	}
+}
+
+func TestFixedSystemIsClean(t *testing.T) {
+	res := pipeline(t, &Runner{FixPreRead: true, FixPostWrite: true})
+	for _, rep := range res.Reports {
+		if rep.Outcome.IsBug() {
+			t.Errorf("fixed system still buggy at %s: %v (%q, wit %v)",
+				rep.Dyn.Point, rep.Outcome, rep.Reason, rep.Witnesses)
+		}
+	}
+	if len(res.Summary.WitnessedBugs) != 0 {
+		t.Errorf("fixed system witnessed %v", res.Summary.WitnessedBugs)
+	}
+}
+
+func TestBenignPointsDoNotReportBugs(t *testing.T) {
+	res := pipeline(t, &Runner{})
+	for _, rep := range res.Reports {
+		if rep.Dyn.Point == PtRegisterPut || rep.Dyn.Point == PtDoneRemove {
+			if rep.Outcome.IsBug() {
+				t.Errorf("benign point %s reported %v (%q)", rep.Dyn.Point, rep.Outcome, rep.Reason)
+			}
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a := pipeline(t, &Runner{})
+	b := pipeline(t, &Runner{})
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(a.Reports), len(b.Reports))
+	}
+	for i := range a.Reports {
+		if a.Reports[i].Outcome != b.Reports[i].Outcome ||
+			a.Reports[i].Dyn != b.Reports[i].Dyn {
+			t.Errorf("report %d differs: %+v vs %+v", i, a.Reports[i], b.Reports[i])
+		}
+	}
+}
+
+func TestRunnerMetadata(t *testing.T) {
+	r := &Runner{}
+	if r.Name() != "toysys" || r.Workload() != "TaskRun" {
+		t.Error("runner metadata wrong")
+	}
+	hosts := r.Hosts()
+	if len(hosts) != 3 || hosts[0] != "node0" {
+		t.Errorf("hosts = %v", hosts)
+	}
+	if r.workers() != 2 {
+		t.Errorf("default workers = %d", r.workers())
+	}
+}

@@ -1,0 +1,291 @@
+package yarn
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// This file implements the NodeManager and MRAppMaster sides of the
+// simulated stack: container launch, the map-task two-phase commit
+// (carrying MR-3858), and the reduce phase with fetch retries (carrying
+// the §4.1.3 successAttempt timeout issue).
+
+const (
+	mapWorkTime    = 500 * sim.Millisecond
+	commitGap      = 300 * sim.Millisecond
+	fetchTime      = 100 * sim.Millisecond
+	fetchRetryGap  = 5 * sim.Second
+	fetchRetries   = 4
+	reduceWorkTime = 400 * sim.Millisecond
+)
+
+type taskMsg struct {
+	taskID      string
+	attemptID   string
+	containerID string
+	node        sim.NodeID
+}
+
+// ---- NodeManager side ----
+
+func (rn *run) nmService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "launchAM":
+		rn.nmLaunchAM(m.To, m.Body.(contMsg))
+	case "runTask":
+		rn.nmRunTask(m.To, m.Body.(taskMsg))
+	case "commitOK":
+		rn.nmCommitOK(m.To, m.Body.(taskMsg))
+	case "commitReject":
+		// The attempt is killed; recycle the container.
+		tm := m.Body.(taskMsg)
+		e.Send(m.To, rn.rm, "rm", "containerComplete", contMsg{containerID: tm.containerID, node: m.To})
+	}
+}
+
+// nmLaunchAM starts the application master inside the master container.
+func (rn *run) nmLaunchAM(self sim.NodeID, cm contMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(self, "yarn.server.nodemanager.NodeManager.launchContainer")()
+	pb.PostWrite(self, PtContainersPut, cm.containerID)
+	rn.Logger(self, "ContainerManagerImpl").Info("Launching container ", cm.containerID, " on ", self)
+	e.AfterOn(self, 100*sim.Millisecond, func() { rn.amInit(self) })
+}
+
+// nmRunTask executes a map attempt and drives the two-phase commit.
+func (rn *run) nmRunTask(self sim.NodeID, tm taskMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(self, "yarn.server.nodemanager.NodeManager.launchContainer")()
+	pb.PostWrite(self, PtContainersPut, tm.containerID)
+	rn.Logger(self, "YarnChild").Info("JVM with ID: jvm_", tm.containerID, " given task: ", tm.attemptID)
+	e.AfterOn(self, mapWorkTime, func() {
+		e.Send(self, rn.amNode, "am", "commitPending", tm)
+	})
+}
+
+// nmCommitOK completes phase two after the AM granted the commit.
+func (rn *run) nmCommitOK(self sim.NodeID, tm taskMsg) {
+	e := rn.Eng
+	e.AfterOn(self, commitGap, func() {
+		e.Send(self, rn.amNode, "am", "doneCommit", tm)
+		e.Send(self, rn.rm, "rm", "containerComplete", contMsg{containerID: tm.containerID, node: self})
+	})
+}
+
+// ---- MRAppMaster side ----
+
+// amInit (re)starts the application master on the given node: fresh task
+// state, registration with the RM, and the first container request.
+func (rn *run) amInit(node sim.NodeID) {
+	e := rn.Eng
+	rn.amNode = node
+	rn.amUp = true
+	rn.commits = make(map[string]string)
+	att := rn.app.currentAttempt
+	att.state = "RUNNING"
+	e.Node(node).Register("am", sim.ServiceFunc(rn.amService))
+	rn.Logger(node, "MRAppMaster").Info("ApplicationMaster for ", rn.app.id, " running at ", node)
+
+	nMaps := 2 * rn.Cfg.Scale
+	rn.maps = nil
+	for i := 0; i < nMaps; i++ {
+		rn.maps = append(rn.maps, &mapTask{id: fmt.Sprintf("task_0001_m_%02d", i)})
+	}
+	e.Send(node, rn.rm, "rm", "allocate", allocMsg{attemptID: att.id, asks: nMaps})
+}
+
+func (rn *run) amService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "containerGranted":
+		rn.amAssign(m.Body.(contMsg))
+	case "commitPending":
+		rn.amCommitPending(m.Body.(taskMsg))
+	case "doneCommit":
+		rn.amDoneCommit(m.Body.(taskMsg))
+	case "containerLost":
+		rn.amContainerLost(m.Body.(contMsg))
+	}
+}
+
+// amAssign attaches a granted container to the next map task that needs
+// one.
+func (rn *run) amAssign(cm contMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.assignContainer")()
+	var t *mapTask
+	for _, cand := range rn.maps {
+		if !cand.done && cand.container == "" {
+			t = cand
+			break
+		}
+	}
+	if t == nil {
+		// Nothing to run; recycle the container.
+		e.Send(rn.amNode, rn.rm, "rm", "containerComplete", cm)
+		return
+	}
+	t.attempt++
+	t.attemptID = fmt.Sprintf("attempt_0001_m_%02d_%d", taskIndex(t.id), t.attempt)
+	t.container = cm.containerID
+	t.node = cm.node
+	lg := rn.Logger(rn.amNode, "TaskAttemptListener")
+	lg.Info("Assigned container ", cm.containerID, " to ", t.attemptID)
+	e.Send(rn.amNode, cm.node, "nm", "runTask", taskMsg{
+		taskID: t.id, attemptID: t.attemptID, containerID: cm.containerID, node: cm.node,
+	})
+}
+
+func taskIndex(taskID string) int {
+	var i int
+	fmt.Sscanf(taskID, "task_0001_m_%02d", &i)
+	return i
+}
+
+// amCommitPending carries MR-3858: a stale pending entry from a crashed
+// attempt makes every re-attempt fail the commit check.
+func (rn *run) amCommitPending(tm taskMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.commitPending")()
+	if prev, ok := rn.commits[tm.taskID]; ok && prev != tm.attemptID {
+		if rn.r.FixStaleCommit {
+			// The fix: a re-attempt supersedes the vanished committer.
+			delete(rn.commits, tm.taskID)
+		} else {
+			rn.Witness(BugStaleCommit)
+			e.Throw(rn.amNode, "CommitContention@TaskImpl.commitPending",
+				fmt.Sprintf("task %s pending under %s, rejecting %s", tm.taskID, prev, tm.attemptID), true)
+			rn.Logger(rn.amNode, "TaskImpl").Warn("Rejecting commit of ", tm.attemptID, " for ", tm.taskID)
+			e.Send(rn.amNode, tm.node, "nm", "commitReject", tm)
+			// Kill the attempt and retry the task — which will be
+			// rejected again, forever: the job never finishes.
+			rn.retryTask(tm.taskID)
+			return
+		}
+	}
+	rn.commits[tm.taskID] = tm.attemptID
+	// MR-3858 window: the committing node may crash right here, before
+	// doneCommit ever arrives.
+	pb.PostWrite(rn.amNode, PtCommitsPut, tm.attemptID)
+	e.Send(rn.amNode, tm.node, "nm", "commitOK", tm)
+}
+
+func (rn *run) retryTask(taskID string) {
+	for _, t := range rn.maps {
+		if t.id == taskID && !t.done {
+			t.container = ""
+			t.node = ""
+			rn.Eng.AfterOn(rn.amNode, 500*sim.Millisecond, func() {
+				if rn.amUp {
+					rn.Eng.Send(rn.amNode, rn.rm, "rm", "allocate",
+						allocMsg{attemptID: rn.app.currentAttempt.id, asks: 1})
+				}
+			})
+			return
+		}
+	}
+}
+
+// amDoneCommit finishes a map task and records where its output lives.
+func (rn *run) amDoneCommit(tm taskMsg) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.doneCommit")()
+	// Sanity-checked read of the pending commit (not a crash point).
+	if rn.commits[tm.taskID] != tm.attemptID {
+		rn.Logger(rn.amNode, "TaskImpl").Warn("Stale doneCommit of ", tm.attemptID)
+		return
+	}
+	delete(rn.commits, tm.taskID)
+	pb.PostWrite(rn.amNode, PtCommitsRemove, tm.attemptID)
+	rn.amTaskDone(tm)
+}
+
+// amTaskDone records a successful attempt; the success record is the
+// timeout-issue window of §4.1.3.
+func (rn *run) amTaskDone(tm taskMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.taskDone")()
+	var task *mapTask
+	for _, t := range rn.maps {
+		if t.id == tm.taskID {
+			task = t
+		}
+	}
+	if task == nil || task.done {
+		return
+	}
+	task.done = true
+	task.successAttempt = tm.attemptID
+	task.successNode = tm.node
+	// Timeout-issue window: the node holding this map output may crash
+	// right after the success record is written.
+	pb.PostWrite(rn.amNode, PtSuccessPut, tm.attemptID)
+	rn.Logger(rn.amNode, "TaskImpl").Info("Task ", tm.taskID, " committed by ", tm.attemptID)
+	e.Send(rn.amNode, rn.rm, "rm", "nodeStats", tm.node)
+	for _, t := range rn.maps {
+		if !t.done {
+			return
+		}
+	}
+	rn.startReduce()
+}
+
+// amContainerLost re-runs tasks whose container died with its node.
+func (rn *run) amContainerLost(cm contMsg) {
+	defer rn.Cfg.Probe.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.containerLost")()
+	for _, t := range rn.maps {
+		if t.container == cm.containerID && !t.done {
+			rn.Logger(rn.amNode, "TaskAttemptImpl").Warn(
+				"Container ", cm.containerID, " of ", t.attemptID, " lost; retrying task")
+			rn.retryTask(t.id)
+		}
+	}
+}
+
+// startReduce fetches every map output, then finishes the job. A fetch
+// from a dead node retries fetchRetries times before re-executing the
+// map — the slow path of the timeout issue.
+func (rn *run) startReduce() {
+	rn.Logger(rn.amNode, "ReduceTask").Info("Starting reduce, fetching ", len(rn.maps), " map outputs")
+	rn.fetchOutput(0, 0)
+}
+
+func (rn *run) fetchOutput(i, tries int) {
+	e := rn.Eng
+	if rn.Status() != cluster.Running || !rn.amUp {
+		return
+	}
+	if i >= len(rn.maps) {
+		e.AfterOn(rn.amNode, reduceWorkTime, func() {
+			e.Send(rn.amNode, rn.rm, "rm", "appDone", rn.app.id)
+		})
+		return
+	}
+	t := rn.maps[i]
+	if !t.done {
+		// The map is re-executing; poll until its output re-appears.
+		e.AfterOn(rn.amNode, 500*sim.Millisecond, func() { rn.fetchOutput(i, tries) })
+		return
+	}
+	src := e.Node(t.successNode)
+	if src != nil && src.Alive() {
+		e.AfterOn(rn.amNode, fetchTime, func() { rn.fetchOutput(i+1, 0) })
+		return
+	}
+	if tries < fetchRetries {
+		rn.Logger(rn.amNode, "ShuffleFetcher").Warn(
+			"Failed to fetch output of ", t.successAttempt, " from ", t.successNode, ", retrying")
+		e.AfterOn(rn.amNode, fetchRetryGap, func() { rn.fetchOutput(i, tries+1) })
+		return
+	}
+	// Give up on the output and re-execute the map.
+	rn.Witness(BugFetchTimeout)
+	rn.Logger(rn.amNode, "ReduceTask").Warn(
+		"Too many fetch failures for ", t.successAttempt, "; re-executing ", t.id)
+	t.done = false
+	t.successAttempt = ""
+	t.container = ""
+	rn.retryTask(t.id)
+	rn.fetchOutput(i, 0)
+}

@@ -1,0 +1,501 @@
+// Package yarn simulates the Hadoop2/Yarn + MapReduce stack of the paper:
+// a ResourceManager (RM) scheduling containers on NodeManagers (NMs), an
+// MRAppMaster (AM) running in a master container, map tasks with a
+// two-phase commit protocol, a reduce phase fetching map outputs, and a
+// web ("curl") status endpoint. The workload is WordCount+curl (Table 4).
+//
+// The implementation genuinely carries the crash-recovery bugs CrashTuner
+// found or reproduced in Yarn/MapReduce; each fires only when a node
+// leaves the cluster inside its bug-triggering window:
+//
+//   - YARN-9164 (pre-read, NodeId): completeContainer dereferences
+//     nodes.get(nodeId) without a nil check; an in-flight
+//     container-complete RPC crossing the node's removal brings the RM
+//     down ("cluster down due to using the removed node").
+//   - YARN-5918 (pre-read, NodeId): the job-stats thread reads node
+//     resources of a removed node, raising an NPE that fails the job.
+//   - YARN-9238 (pre-read, ApplicationAttemptId): allocate validates the
+//     attempt against appCache, but then uses currentAttempt — which the
+//     recovery path has already reset to the new, uninitialized attempt —
+//     producing an invalid event ("allocating containers to removed
+//     ApplicationAttempt").
+//   - MR-3858 (post-write, TaskAttemptId): a task node crashing between
+//     commitPending and doneCommit leaves a stale pending commit; every
+//     re-attempt of the task fails the commit check and the job hangs.
+//   - Timeout issue (§4.1.3, post-write on successAttempt): crashing a
+//     map node right after its output is recorded forces the reduce to
+//     grind through fetch retries before the map re-executes; the job
+//     finishes but far beyond the 4x threshold.
+package yarn
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Instrumented point IDs; indexes are fixed by the IR model in model.go.
+const (
+	PtNodesPut      = ir.PointID("yarn.resourcemanager.ResourceManager.registerNode#0")      // post-write
+	PtCompleteGet   = ir.PointID("yarn.resourcemanager.ResourceManager.completeContainer#0") // pre-read YARN-9164
+	PtStatsGet      = ir.PointID("yarn.resourcemanager.ResourceManager.updateNodeStats#0")   // pre-read YARN-5918
+	PtAllocateCur   = ir.PointID("yarn.resourcemanager.ResourceManager.allocate#1")          // pre-read YARN-9238
+	PtNodesRemove   = ir.PointID("yarn.resourcemanager.ResourceManager.nodeRemoved#0")       // post-write
+	PtAppsPut       = ir.PointID("yarn.resourcemanager.ResourceManager.submitApp#0")         // post-write
+	PtCommitsPut    = ir.PointID("mapreduce.v2.app.MRAppMaster.commitPending#0")             // post-write MR-3858
+	PtSuccessPut    = ir.PointID("mapreduce.v2.app.MRAppMaster.taskDone#0")                  // post-write timeout issue
+	PtCommitsRemove = ir.PointID("mapreduce.v2.app.MRAppMaster.doneCommit#1")                // post-write
+	PtContainersPut = ir.PointID("yarn.server.nodemanager.NodeManager.launchContainer#0")    // post-write
+	PtAllocNode     = ir.PointID("yarn.resourcemanager.ResourceManager.allocate#4")          // pre-read YARN-9193
+)
+
+// Seeded bug identifiers (paper bug IDs).
+const (
+	BugCompleteNPE    = "YARN-9164"
+	BugJobStatsNPE    = "YARN-5918"
+	BugRemovedAttempt = "YARN-9238"
+	BugRemovedNode    = "YARN-9193"
+	BugStaleCommit    = "MR-3858"
+	BugFetchTimeout   = "YARN-TIMEOUT-1" // §4.1.3 successAttempt timeout issue
+)
+
+// Runner builds Yarn runs.
+type Runner struct {
+	// NodeManagers is the number of NM nodes (default 2).
+	NodeManagers int
+	// Fix* patch the corresponding seeded bug, for ablations and tests.
+	FixCompleteNPE    bool
+	FixJobStatsNPE    bool
+	FixRemovedAttempt bool
+	FixRemovedNode    bool
+	FixStaleCommit    bool
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "yarn" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "WordCount+curl" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.nms(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) nms() int {
+	if r.NodeManagers < 1 {
+		return 2
+	}
+	return r.NodeManagers
+}
+
+// schedNode is the RM's view of a NodeManager (SchedulerNode).
+type schedNode struct {
+	id         sim.NodeID
+	containers map[string]bool
+	resources  int // available "memory"
+}
+
+// appAttempt mirrors RMAppAttemptImpl.
+type appAttempt struct {
+	id              string
+	n               int
+	state           string // NEW -> LAUNCHED -> RUNNING -> FINISHED/FAILED
+	masterContainer string
+	node            sim.NodeID
+}
+
+// application mirrors RMAppImpl.
+type application struct {
+	id             string
+	currentAttempt *appAttempt
+	attempts       int
+	state          string
+}
+
+// mapTask is the AM's task bookkeeping.
+type mapTask struct {
+	id             string
+	attempt        int
+	attemptID      string
+	container      string
+	node           sim.NodeID
+	successAttempt string
+	successNode    sim.NodeID
+	done           bool
+}
+
+type run struct {
+	*cluster.Base
+	r   *Runner
+	rm  sim.NodeID
+	nms []sim.NodeID
+
+	// RM state.
+	nodes    map[sim.NodeID]*schedNode
+	apps     map[string]*application
+	appCache map[string]bool // live attempt IDs
+	lm       *sim.LivenessMonitor
+	nextCont int
+
+	// AM state (lives on amNode once launched).
+	app     *application
+	amNode  sim.NodeID
+	amUp    bool
+	maps    []*mapTask
+	commits map[string]string // taskID -> pending commit attemptID
+	rrNext  int
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{
+		Base:     b,
+		r:        r,
+		nodes:    make(map[sim.NodeID]*schedNode),
+		apps:     make(map[string]*application),
+		appCache: make(map[string]bool),
+		commits:  make(map[string]string),
+	}
+	e := b.Eng
+	rm := e.AddNode("node0", 8030)
+	rn.rm = rm.ID
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, func(n sim.NodeID) { rn.nodeRemoved(n, "lost") })
+	rm.Register("rm", sim.ServiceFunc(rn.rmService))
+
+	for i := 1; i <= r.nms(); i++ {
+		nm := e.AddNode(fmt.Sprintf("node%d", i), 45454)
+		id := nm.ID
+		rn.nms = append(rn.nms, id)
+		nm.Register("nm", sim.ServiceFunc(rn.nmService))
+		// Shutdown script: deregister synchronously with the RM (the
+		// paper's shutdown-RPC-plus-wait).
+		nm.OnShutdown(func(e *sim.Engine) { rn.nodeRemoved(id, "shutdown") })
+	}
+	return rn
+}
+
+// Start implements cluster.Run: NMs register, then the client submits a
+// WordCount job and polls the web UI.
+func (rn *run) Start() {
+	e := rn.Eng
+	for _, nm := range rn.nms {
+		id := nm
+		e.AfterOn(id, 10*sim.Millisecond, func() {
+			e.Send(id, rn.rm, "rm", "register", nil)
+			sim.StartHeartbeats(e, id, rn.rm, sim.HeartbeatConfig{
+				Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat",
+			})
+		})
+	}
+	e.AfterOn(rn.rm, 50*sim.Millisecond, func() { rn.submitApp("application_0001") })
+	rn.curl()
+}
+
+// curl polls the RM web endpoint, exercising the sanity-checked web read.
+func (rn *run) curl() {
+	e := rn.Eng
+	var poll func()
+	poll = func() {
+		if rn.Status() != cluster.Running {
+			return
+		}
+		defer rn.Cfg.Probe.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.webAppState")()
+		if app, ok := rn.apps["application_0001"]; ok { // sanity-checked read
+			rn.Logger(rn.rm, "WebApp").Info("Web request for application ", app.id, " in state ", app.state)
+		}
+		e.AfterOn(rn.rm, 500*sim.Millisecond, poll)
+	}
+	e.AfterOn(rn.rm, 300*sim.Millisecond, poll)
+}
+
+// ---- RM side ----
+
+func (rn *run) rmService(e *sim.Engine, m sim.Message) {
+	switch m.Kind {
+	case "heartbeat":
+		rn.lm.Beat(m.From)
+	case "register":
+		rn.registerNode(m.From)
+	case "containerComplete":
+		rn.completeContainer(m.Body.(contMsg))
+	case "nodeStats":
+		rn.updateNodeStats(m.Body.(sim.NodeID))
+	case "allocate":
+		rn.allocate(m.Body.(allocMsg))
+	case "appDone":
+		rn.appDone(m.Body.(string))
+	}
+}
+
+type contMsg struct {
+	containerID string
+	node        sim.NodeID
+}
+
+type allocMsg struct {
+	attemptID string
+	asks      int
+}
+
+func (rn *run) registerNode(nm sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.registerNode")()
+	rn.nodes[nm] = &schedNode{id: nm, containers: make(map[string]bool), resources: 8}
+	pb.PostWrite(rn.rm, PtNodesPut, string(nm))
+	rn.lm.Track(nm)
+	rn.Logger(rn.rm, "ResourceTrackerService").Info("NodeManager from ", nm.Host(), " registered as ", nm)
+}
+
+// nodeRemoved handles both LOST (liveness timeout) and graceful shutdown.
+// The lost node's containers are released with the node, atomically — the
+// un-atomic path is completeContainer below.
+func (rn *run) nodeRemoved(nm sim.NodeID, why string) {
+	if !rn.Eng.Node(rn.rm).Alive() {
+		return
+	}
+	sn, ok := rn.nodes[nm]
+	if !ok {
+		return
+	}
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.nodeRemoved")()
+	delete(rn.nodes, nm)
+	pb.PostWrite(rn.rm, PtNodesRemove, string(nm))
+	rn.lm.Forget(nm)
+	rn.Logger(rn.rm, "RMNodeImpl").Warn("NodeManager ", nm, " ", why, ", deactivating node")
+	// If the application master was on this node, fail the attempt and
+	// start a new one (the recovery path YARN-9238 races against).
+	if rn.app != nil && rn.app.currentAttempt != nil &&
+		rn.app.currentAttempt.node == nm && rn.app.currentAttempt.state != "FINISHED" {
+		rn.amUp = false
+		rn.failAttempt(rn.app)
+		return
+	}
+	// Otherwise tell the AM which task containers died with the node so
+	// it can re-run them.
+	if rn.amUp {
+		cids := make([]string, 0, len(sn.containers))
+		for cid := range sn.containers {
+			cids = append(cids, cid)
+		}
+		sortStrings(cids)
+		for _, cid := range cids {
+			rn.Eng.Send(rn.rm, rn.amNode, "am", "containerLost", contMsg{containerID: cid, node: nm})
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (rn *run) failAttempt(app *application) {
+	old := app.currentAttempt
+	old.state = "FAILED"
+	delete(rn.appCache, old.id)
+	rn.Logger(rn.rm, "RMAppAttemptImpl").Warn("Attempt ", old.id, " failed, scheduling retry")
+	app.attempts++
+	att := &appAttempt{
+		id:    fmt.Sprintf("appattempt_0001_%06d", app.attempts),
+		n:     app.attempts,
+		state: "NEW",
+	}
+	app.currentAttempt = att
+	rn.appCache[att.id] = true
+	rn.Logger(rn.rm, "RMAppImpl").Info("Created attempt ", att.id, " for application ", app.id)
+	rn.Eng.AfterOn(rn.rm, 200*sim.Millisecond, func() { rn.launchAM(app) })
+}
+
+func (rn *run) submitApp(appID string) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.submitApp")()
+	app := &application{id: appID, state: "ACCEPTED", attempts: 1}
+	rn.apps[appID] = app
+	pb.PostWrite(rn.rm, PtAppsPut, appID)
+	rn.app = app
+	rn.Logger(rn.rm, "ClientRMService").Info("Submitted application ", appID)
+	att := &appAttempt{id: "appattempt_0001_000001", n: 1, state: "NEW"}
+	app.currentAttempt = att
+	rn.appCache[att.id] = true
+	rn.Logger(rn.rm, "RMAppImpl").Info("Created attempt ", att.id, " for application ", appID)
+	rn.launchAM(app)
+}
+
+// pickNode returns the next NM with free resources (sanity-checked read;
+// not a crash point).
+func (rn *run) pickNode(startAfter int) *schedNode {
+	defer rn.Cfg.Probe.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.pickNode")()
+	for i := 0; i < len(rn.nms); i++ {
+		cand := rn.nms[(startAfter+i)%len(rn.nms)]
+		if sn, ok := rn.nodes[cand]; ok && sn.resources > 0 {
+			return sn
+		}
+	}
+	return nil
+}
+
+func (rn *run) newContainer(sn *schedNode, attempt *appAttempt) string {
+	rn.nextCont++
+	cid := fmt.Sprintf("container_0001_%02d_%06d", attempt.n, rn.nextCont)
+	sn.containers[cid] = true
+	sn.resources--
+	rn.Logger(rn.rm, "SchedulerNode").Info("Assigned container ", cid, " on host ", sn.id)
+	return cid
+}
+
+// launchAM allocates the master container and starts the AM on it.
+func (rn *run) launchAM(app *application) {
+	if app.state == "FAILED" || app.state == "FINISHED" {
+		return
+	}
+	att := app.currentAttempt
+	sn := rn.pickNode(rn.rrNext)
+	if sn == nil {
+		rn.Eng.AfterOn(rn.rm, 500*sim.Millisecond, func() { rn.launchAM(app) })
+		return
+	}
+	rn.rrNext++
+	cid := rn.newContainer(sn, att)
+	att.masterContainer = cid
+	att.node = sn.id
+	att.state = "LAUNCHED"
+	rn.Logger(rn.rm, "RMAppAttemptImpl").Info("Attempt ", att.id, " launched in container ", cid)
+	rn.Eng.Send(rn.rm, sn.id, "nm", "launchAM", contMsg{containerID: cid, node: sn.id})
+}
+
+// completeContainer carries YARN-9164: the nodes.get result is used
+// unchecked. A container-complete RPC that crosses the node's removal
+// dereferences nil and brings the RM down.
+func (rn *run) completeContainer(cm contMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.completeContainer")()
+	pb.PreRead(rn.rm, PtCompleteGet, string(cm.node), cm.containerID)
+	sn := rn.nodes[cm.node]
+	if sn == nil {
+		if rn.r.FixCompleteNPE {
+			rn.Logger(rn.rm, "AbstractYarnScheduler").Error(
+				"Container ", cm.containerID, " completed on removed node ", cm.node)
+			return
+		}
+		rn.Witness(BugCompleteNPE)
+		e.Throw(rn.rm, "NullPointerException@AbstractYarnScheduler.completeContainer",
+			fmt.Sprintf("node %s not in nodes map", cm.node), false)
+		// The RM cannot handle the exception and aborts: cluster down.
+		rn.Fail("ResourceManager aborted: NullPointerException in completeContainer")
+		e.Abort(rn.rm, "RMFatal@ResourceManager", "scheduler thread died")
+		return
+	}
+	delete(sn.containers, cm.containerID)
+	sn.resources++
+	rn.Logger(rn.rm, "SchedulerNode").Info("Container ", cm.containerID, " completed on ", cm.node)
+}
+
+// updateNodeStats carries YARN-5918: the job-stats path reads resources
+// of a node that may just have been removed.
+func (rn *run) updateNodeStats(nm sim.NodeID) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.updateNodeStats")()
+	pb.PreRead(rn.rm, PtStatsGet, string(nm))
+	sn := rn.nodes[nm]
+	if sn == nil {
+		if rn.r.FixJobStatsNPE {
+			rn.Logger(rn.rm, "JobImpl").Error("Skipping stats of removed node ", nm)
+			return
+		}
+		rn.Witness(BugJobStatsNPE)
+		e.Throw(rn.rm, "NullPointerException@JobImpl.updateNodeStats",
+			fmt.Sprintf("node %s removed", nm), false)
+		rn.Fail("Job failed: NullPointerException in job-stats thread")
+		return
+	}
+	rn.Logger(rn.rm, "JobImpl").Debug("Node ", nm, " has ", sn.resources, " units free")
+}
+
+// allocate carries YARN-9238: the appCache existence check passes, but
+// currentAttempt may already point at the new, uninitialized attempt.
+func (rn *run) allocate(am allocMsg) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.allocate")()
+	// #0 in the model: the appCache read, sanity-checked.
+	if !rn.appCache[am.attemptID] {
+		return
+	}
+	// YARN-9238 window: the attempt's node may leave right here.
+	pb.PreRead(rn.rm, PtAllocateCur, am.attemptID)
+	att := rn.app.currentAttempt
+	if att.id != am.attemptID {
+		if rn.r.FixRemovedAttempt {
+			rn.Logger(rn.rm, "OpportunisticAMSProcessor").Error(
+				"Calling allocate on removed application attempt ", am.attemptID)
+			return
+		}
+		rn.Witness(BugRemovedAttempt)
+		e.Throw(rn.rm, "InvalidStateTransition@RMAppAttemptImpl",
+			fmt.Sprintf("ALLOCATE at %s for %s", att.state, att.id), false)
+		rn.Fail("Invalid event: ALLOCATE at NEW for " + att.id)
+		rn.app.state = "FAILED"
+		return
+	}
+	// Assign task containers round-robin, starting away from the AM node
+	// so task work spreads across the cluster.
+	granted := 0
+	for i := 0; i < am.asks; i++ {
+		sn := rn.pickNode(rn.rrNext)
+		if sn == nil {
+			break
+		}
+		rn.rrNext++
+		// YARN-9193 window: the picked node may leave the cluster
+		// between node selection and container creation; the stale
+		// SchedulerNode pointer is used without re-validation.
+		pb.PreRead(rn.rm, PtAllocNode, string(sn.id))
+		if _, stillThere := rn.nodes[sn.id]; !stillThere {
+			if rn.r.FixRemovedNode {
+				rn.Logger(rn.rm, "CapacityScheduler").Error(
+					"Skipping allocation on removed node ", sn.id)
+				continue
+			}
+			rn.Witness(BugRemovedNode)
+			e.Throw(rn.rm, "InvalidAllocation@CapacityScheduler.allocate",
+				fmt.Sprintf("container allocated on removed node %s", sn.id), false)
+			rn.Fail("Allocated container on removed node " + string(sn.id))
+			return
+		}
+		cid := rn.newContainer(sn, att)
+		granted++
+		rn.Eng.Send(rn.rm, rn.amNode, "am", "containerGranted", contMsg{containerID: cid, node: sn.id})
+	}
+	if granted < am.asks {
+		// Ask again for the remainder once resources free up.
+		rn.Eng.AfterOn(rn.rm, 500*sim.Millisecond, func() {
+			rn.allocate(allocMsg{attemptID: am.attemptID, asks: am.asks - granted})
+		})
+	}
+}
+
+func (rn *run) appDone(appID string) {
+	defer rn.Cfg.Probe.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.appDone")()
+	app := rn.apps[appID]
+	if app == nil {
+		return
+	}
+	app.state = "FINISHED"
+	if app.currentAttempt != nil {
+		app.currentAttempt.state = "FINISHED"
+	}
+	rn.Logger(rn.rm, "RMAppImpl").Info("Application ", appID, " completed successfully")
+	rn.Succeed()
+}

@@ -1,0 +1,248 @@
+package yarn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreeWordCountSucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s) at %v", run.Status(), run.FailureReason(), res.End)
+	}
+	if len(run.Witnesses()) != 0 {
+		t.Errorf("witnesses in fault-free run: %v", run.Witnesses())
+	}
+	if res.End > 5*sim.Second {
+		t.Errorf("fault-free run too slow: %v", res.End)
+	}
+}
+
+func TestFaultFreeScalesUp(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 4})
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("scale-4 run failed: %s", run.FailureReason())
+	}
+}
+
+func TestAMNodeCrashRecovers(t *testing.T) {
+	// Killing the AM's node at a quiet moment triggers a new attempt that
+	// re-runs the job — recovery working as designed.
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(400*sim.Millisecond, func() { e.Crash("node1:45454") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v (%s)", run.Status(), run.FailureReason())
+	}
+}
+
+func TestMetaInfoInference(t *testing.T) {
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 11})
+	a := res.Analysis
+	for _, ty := range []ir.TypeID{
+		tNodeID, tNodeIDPB, tAppID, tAttemptID, tContID, tTAttemptID,
+		tTaskID, tSchedNode, tRMApp, tRMAttempt,
+	} {
+		if !a.IsMetaType(ty) {
+			t.Errorf("type %s not inferred as meta-info", ty)
+		}
+	}
+	if a.IsMetaType("java.lang.String") {
+		t.Error("String leaked into meta types")
+	}
+	for _, ti := range a.MetaTypes() {
+		if strings.Contains(string(ti.Type), "Background") {
+			t.Errorf("background class %s inferred", ti.Type)
+		}
+	}
+	// Census sanity: meta-info is a small fraction of the whole program.
+	total := r.Program().Census()
+	meta := a.Census()
+	if meta.Types*10 > total.Types {
+		t.Errorf("meta types %d not a small fraction of %d", meta.Types, total.Types)
+	}
+}
+
+func TestStaticAndDynamicPoints(t *testing.T) {
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 11})
+	core.ProfilePhase(r, res, core.Options{Seed: 11})
+
+	if res.Static.Pruned.SanityCheck == 0 || res.Static.Pruned.Unused == 0 || res.Static.Pruned.Constructor == 0 {
+		t.Errorf("expected all three optimizations to prune something: %+v", res.Static.Pruned)
+	}
+	dyn := map[ir.PointID]bool{}
+	for _, d := range res.Dynamic.Points {
+		dyn[d.Point] = true
+	}
+	for _, want := range []ir.PointID{
+		PtNodesPut, PtCompleteGet, PtStatsGet, PtAllocateCur,
+		PtAppsPut, PtCommitsPut, PtSuccessPut, PtCommitsRemove, PtContainersPut,
+	} {
+		if !dyn[want] {
+			t.Errorf("dynamic point %s missing (have %v)", want, res.Dynamic.Points)
+		}
+	}
+	if dyn[PtNodesRemove] {
+		t.Error("nodeRemoved executed during fault-free profiling")
+	}
+}
+
+func campaign(t *testing.T, r *Runner) map[ir.PointID]trigger.Report {
+	t.Helper()
+	res := core.Run(r, core.Options{Seed: 11, Scale: 1})
+	byPoint := map[ir.PointID]trigger.Report{}
+	for _, rep := range res.Reports {
+		byPoint[rep.Dyn.Point] = rep
+	}
+	return byPoint
+}
+
+func TestCampaignDetectsSeededBugs(t *testing.T) {
+	byPoint := campaign(t, &Runner{})
+
+	// YARN-9164: cluster down via completeContainer NPE.
+	rep := byPoint[PtCompleteGet]
+	if rep.Outcome != trigger.JobFailure {
+		t.Errorf("YARN-9164 outcome = %v (%q)", rep.Outcome, rep.Reason)
+	}
+	if !witnessed(rep, BugCompleteNPE) {
+		t.Errorf("YARN-9164 witnesses = %v", rep.Witnesses)
+	}
+	if rep.Injected == nil || rep.Injected.Kind != sim.FaultShutdown {
+		t.Errorf("YARN-9164 injection = %+v", rep.Injected)
+	}
+
+	// YARN-5918: job failure via stats NPE.
+	rep = byPoint[PtStatsGet]
+	if rep.Outcome != trigger.JobFailure || !witnessed(rep, BugJobStatsNPE) {
+		t.Errorf("YARN-5918 report = %v %v", rep.Outcome, rep.Witnesses)
+	}
+
+	// YARN-9238: invalid event on removed attempt.
+	rep = byPoint[PtAllocateCur]
+	if rep.Outcome != trigger.JobFailure || !witnessed(rep, BugRemovedAttempt) {
+		t.Errorf("YARN-9238 report = %v %v (%q)", rep.Outcome, rep.Witnesses, rep.Reason)
+	}
+
+	// YARN-9193: container allocated on the node that just left.
+	rep = byPoint[PtAllocNode]
+	if rep.Outcome != trigger.JobFailure || !witnessed(rep, BugRemovedNode) {
+		t.Errorf("YARN-9193 report = %v %v (%q)", rep.Outcome, rep.Witnesses, rep.Reason)
+	}
+
+	// MR-3858: stale pending commit hangs the job.
+	rep = byPoint[PtCommitsPut]
+	if rep.Outcome != trigger.Hang || !witnessed(rep, BugStaleCommit) {
+		t.Errorf("MR-3858 report = %v %v", rep.Outcome, rep.Witnesses)
+	}
+	if rep.Injected == nil || rep.Injected.Kind != sim.FaultCrash {
+		t.Errorf("MR-3858 injection = %+v", rep.Injected)
+	}
+
+	// Timeout issue: the job finishes, but far beyond 4x baseline.
+	rep = byPoint[PtSuccessPut]
+	if rep.Outcome != trigger.TimeoutIssue {
+		t.Errorf("successAttempt crash outcome = %v after %v", rep.Outcome, rep.Duration)
+	}
+
+	// The unassociated submitApp value resolves to no node.
+	rep = byPoint[PtAppsPut]
+	if rep.Outcome != trigger.Unresolved {
+		t.Errorf("submitApp outcome = %v, want unresolved", rep.Outcome)
+	}
+
+	// Benign points recover without bug reports.
+	for _, pt := range []ir.PointID{PtNodesPut, PtContainersPut} {
+		rep = byPoint[pt]
+		if rep.Outcome.IsBug() {
+			t.Errorf("benign point %s reported %v (%q, wit %v)", pt, rep.Outcome, rep.Reason, rep.Witnesses)
+		}
+	}
+}
+
+func TestFixedYarnIsClean(t *testing.T) {
+	byPoint := campaign(t, &Runner{
+		FixCompleteNPE:    true,
+		FixJobStatsNPE:    true,
+		FixRemovedAttempt: true,
+		FixRemovedNode:    true,
+		FixStaleCommit:    true,
+	})
+	for pt, rep := range byPoint {
+		if rep.Outcome.IsBug() {
+			t.Errorf("fixed system still buggy at %s: %v (%q, wit %v)",
+				pt, rep.Outcome, rep.Reason, rep.Witnesses)
+		}
+	}
+}
+
+func witnessed(rep trigger.Report, bug string) bool {
+	for _, w := range rep.Witnesses {
+		if w == bug {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomTargetAblation(t *testing.T) {
+	// The §3.2.2 alternative: pick a random node instead of the stash
+	// owner. The campaign still runs, but detection is no longer tied to
+	// the right node, so it must not crash the harness.
+	res := core.Run(&Runner{}, core.Options{Seed: 11, Scale: 1, RandomTarget: true})
+	if res.Summary.Tested == 0 {
+		t.Fatal("ablation campaign tested nothing")
+	}
+}
+
+func TestStackContexts(t *testing.T) {
+	// taskDone runs nested under doneCommit; its dynamic point carries
+	// the caller context.
+	r := &Runner{}
+	res, _ := core.AnalysisPhase(r, core.Options{Seed: 11})
+	core.ProfilePhase(r, res, core.Options{Seed: 11})
+	var found *probe.DynPoint
+	for i, d := range res.Dynamic.Points {
+		if d.Point == PtSuccessPut {
+			found = &res.Dynamic.Points[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("taskDone dynamic point missing")
+	}
+	if !strings.Contains(found.Stack, "taskDone<") || !strings.Contains(found.Stack, "doneCommit") {
+		t.Errorf("taskDone stack = %q", found.Stack)
+	}
+}
+
+func TestRunnerMetadata(t *testing.T) {
+	r := &Runner{}
+	if r.Name() != "yarn" || r.Workload() != "WordCount+curl" {
+		t.Error("metadata wrong")
+	}
+	if len(r.Hosts()) != 3 {
+		t.Errorf("hosts = %v", r.Hosts())
+	}
+}

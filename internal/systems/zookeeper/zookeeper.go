@@ -1,0 +1,269 @@
+// Package zookeeper simulates the ZooKeeper of the paper: a three-node
+// quorum (one leader, two followers) replicating a znode tree, with
+// leader failover, driven by the SmokeTest+curl workload (create / set /
+// get / delete a set of znodes).
+//
+// ZooKeeper is the system where CrashTuner found dynamic crash points but
+// no new bugs (§4.1.2 Discussion): every node holds a full copy of the
+// global state, so injections at meta-info accesses only surface IO
+// exceptions the system already handles — a lost follower is dropped from
+// the quorum, a lost leader is replaced by the lowest surviving peer, and
+// the workload completes either way. This implementation reproduces
+// exactly that.
+package zookeeper
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// Instrumented point IDs; indexes fixed by model.go.
+const (
+	PtZNodePut    = ir.PointID("zookeeper.server.DataTree.createNode#0")     // post-write
+	PtZNodeGet    = ir.PointID("zookeeper.server.DataTree.getNode#0")        // pre-read
+	PtZNodeDelete = ir.PointID("zookeeper.server.DataTree.deleteNode#0")     // post-write
+	PtFollowerPut = ir.PointID("zookeeper.server.quorum.Leader.replicate#0") // post-write
+)
+
+// Runner builds ZooKeeper runs.
+type Runner struct {
+	// Followers is the number of follower nodes (default 2).
+	Followers int
+}
+
+// Name implements cluster.Runner.
+func (r *Runner) Name() string { return "zookeeper" }
+
+// Workload implements cluster.Runner.
+func (r *Runner) Workload() string { return "SmokeTest+curl" }
+
+// Hosts implements cluster.Runner.
+func (r *Runner) Hosts() []string {
+	hosts := []string{"node0"}
+	for i := 1; i <= r.followers(); i++ {
+		hosts = append(hosts, fmt.Sprintf("node%d", i))
+	}
+	return hosts
+}
+
+func (r *Runner) followers() int {
+	if r.Followers < 1 {
+		return 2
+	}
+	return r.Followers
+}
+
+const stepGap = 100 * sim.Millisecond
+
+type znode struct {
+	path string
+	data string
+}
+
+type run struct {
+	*cluster.Base
+	r       *Runner
+	members []sim.NodeID
+	leader  sim.NodeID
+
+	// Per-node replicated trees (the full-copy property) and leader-ping
+	// bookkeeping.
+	trees    map[sim.NodeID]map[string]*znode
+	lastPing map[sim.NodeID]sim.Time
+
+	// SmokeTest progress.
+	nZnodes int
+	phase   int // 0=create 1=set 2=get 3=delete
+	idx     int
+}
+
+// NewRun implements cluster.Runner.
+func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	b := cluster.NewBase(cfg)
+	rn := &run{
+		Base:     b,
+		r:        r,
+		trees:    make(map[sim.NodeID]map[string]*znode),
+		lastPing: make(map[sim.NodeID]sim.Time),
+	}
+	e := b.Eng
+	for i := 0; i <= r.followers(); i++ {
+		n := e.AddNode(fmt.Sprintf("node%d", i), 2181)
+		rn.members = append(rn.members, n.ID)
+		rn.trees[n.ID] = make(map[string]*znode)
+		n.Register("peer", sim.ServiceFunc(rn.peerService))
+	}
+	rn.leader = rn.members[0]
+	return rn
+}
+
+// Start implements cluster.Run.
+func (rn *run) Start() {
+	e := rn.Eng
+	rn.nZnodes = 3 * rn.Cfg.Scale
+	rn.Logger(rn.leader, "QuorumPeer").Info("Leader elected as ", rn.leader)
+	for _, m := range rn.members {
+		if m == rn.leader {
+			continue
+		}
+		f := m
+		rn.lastPing[f] = 0
+		// Follower-side leader watchdog: take over if pings stop.
+		e.Every(f, sim.Second, func() { rn.checkLeader(f) })
+	}
+	// Leader pings all followers.
+	e.Every(rn.leader, sim.Second, func() { rn.pingFollowers() })
+	e.AfterOn(rn.leader, 100*sim.Millisecond, rn.step)
+}
+
+func (rn *run) pingFollowers() {
+	e := rn.Eng
+	for _, m := range rn.members {
+		if m != rn.leader {
+			e.Send(rn.leader, m, "peer", "leaderPing", nil)
+		}
+	}
+}
+
+// checkLeader is the follower watchdog: when the leader goes silent, the
+// lowest surviving member takes over and resumes serving — the recovery
+// that makes leader-targeted injections harmless.
+func (rn *run) checkLeader(self sim.NodeID) {
+	e := rn.Eng
+	if rn.Status() != cluster.Running || rn.leader == self {
+		return
+	}
+	if ln := e.Node(rn.leader); ln != nil && ln.Alive() {
+		return
+	}
+	if e.Now()-rn.lastPing[self] <= 3*sim.Second {
+		return
+	}
+	// Lowest surviving member wins the election.
+	for _, m := range rn.members {
+		if n := e.Node(m); n != nil && n.Alive() {
+			if m != self {
+				return
+			}
+			break
+		}
+	}
+	old := rn.leader
+	rn.leader = self
+	e.Throw(self, "IOException@QuorumCnxManager.connectOne",
+		fmt.Sprintf("leader %s unreachable", old), true)
+	rn.Logger(self, "FastLeaderElection").Warn("Leader ", old, " lost; ", self, " taking over")
+	rn.Logger(self, "QuorumPeer").Info("Leader elected as ", self)
+	e.Every(self, sim.Second, func() { rn.pingFollowers() })
+	e.AfterOn(self, stepGap, rn.step)
+}
+
+// step drives the SmokeTest phases sequentially on the current leader.
+func (rn *run) step() {
+	if rn.Status() != cluster.Running {
+		return
+	}
+	if rn.idx >= rn.nZnodes {
+		rn.phase++
+		rn.idx = 0
+		if rn.phase > 3 {
+			rn.Logger(rn.leader, "SmokeTest").Info("Smoketest finished ", rn.nZnodes, " znodes")
+			rn.Succeed()
+			return
+		}
+	}
+	path := fmt.Sprintf("/smoke_%d", rn.idx)
+	rn.idx++
+	switch rn.phase {
+	case 0:
+		rn.createNode(path)
+	case 1:
+		rn.setNode(path)
+	case 2:
+		rn.getNode(path)
+	case 3:
+		rn.deleteNode(path)
+	}
+}
+
+// proposal replicates a change to every live peer; a dead peer only
+// yields a handled IO exception.
+func (rn *run) proposal(kind, path, data string) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.leader, "zookeeper.server.quorum.Leader.replicate")()
+	quorum := 1
+	for _, m := range rn.members {
+		if m == rn.leader {
+			continue
+		}
+		pb.PostWrite(rn.leader, PtFollowerPut, path, string(m))
+		if n := e.Node(m); n == nil || !n.Alive() {
+			e.Throw(rn.leader, "IOException@LearnerHandler.queuePacket",
+				fmt.Sprintf("cannot send %s of %s to %s", kind, path, m), true)
+			continue
+		}
+		quorum++
+		e.Send(rn.leader, m, "peer", kind, znode{path: path, data: data})
+	}
+	rn.Logger(rn.leader, "Leader").Info("Replicated ", path, " to quorum of ", quorum)
+	e.AfterOn(rn.leader, stepGap, rn.step)
+}
+
+func (rn *run) createNode(path string) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.leader, "zookeeper.server.DataTree.createNode")()
+	rn.trees[rn.leader][path] = &znode{path: path, data: "v0"}
+	pb.PostWrite(rn.leader, PtZNodePut, path)
+	rn.Logger(rn.leader, "DataTree").Info("Created znode ", path, " on ", rn.leader)
+	rn.proposal("create", path, "v0")
+}
+
+func (rn *run) setNode(path string) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.leader, "zookeeper.server.DataTree.createNode")()
+	if zn, ok := rn.trees[rn.leader][path]; ok { // sanity-checked
+		zn.data = "v1"
+	}
+	pb.PostWrite(rn.leader, PtZNodePut, path)
+	rn.proposal("set", path, "v1")
+}
+
+func (rn *run) getNode(path string) {
+	e, pb := rn.Eng, rn.Cfg.Probe
+	defer pb.Enter(rn.leader, "zookeeper.server.DataTree.getNode")()
+	// Pre-read: every node holds the full tree, so even after the
+	// injection the local copy answers — at worst a handled exception.
+	pb.PreRead(rn.leader, PtZNodeGet, path)
+	zn := rn.trees[rn.leader][path]
+	if zn == nil {
+		e.Throw(rn.leader, "NoNodeException@DataTree.getNode", path, true)
+		rn.Logger(rn.leader, "DataTree").Warn("Read of missing znode ", path)
+	}
+	e.AfterOn(rn.leader, stepGap, rn.step)
+}
+
+func (rn *run) deleteNode(path string) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(rn.leader, "zookeeper.server.DataTree.deleteNode")()
+	delete(rn.trees[rn.leader], path)
+	pb.PostWrite(rn.leader, PtZNodeDelete, path)
+	rn.proposal("delete", path, "")
+}
+
+// peerService applies replicated changes and leader pings.
+func (rn *run) peerService(e *sim.Engine, m sim.Message) {
+	self := m.To
+	switch m.Kind {
+	case "leaderPing":
+		rn.lastPing[self] = e.Now()
+	case "create", "set":
+		zn := m.Body.(znode)
+		rn.trees[self][zn.path] = &zn
+	case "delete":
+		zn := m.Body.(znode)
+		delete(rn.trees[self], zn.path)
+	}
+}

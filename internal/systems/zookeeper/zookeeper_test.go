@@ -1,0 +1,89 @@
+package zookeeper
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+func TestModelValidates(t *testing.T) {
+	r := &Runner{}
+	if errs := r.Program().Validate(); len(errs) != 0 {
+		t.Fatalf("model invalid: %v", errs)
+	}
+}
+
+func TestFaultFreeSmokeTestSucceeds(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 2})
+	res := cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v at %v", run.Status(), res.End)
+	}
+}
+
+func TestFollowerCrashTolerated(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(300*sim.Millisecond, func() { e.Crash("node1:2181") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status = %v", run.Status())
+	}
+	// The lost follower surfaces only handled exceptions.
+	for _, ex := range run.Engine().Exceptions() {
+		if !ex.Handled {
+			t.Errorf("unhandled exception %s", ex.Signature)
+		}
+	}
+}
+
+func TestLeaderCrashFailsOver(t *testing.T) {
+	r := &Runner{}
+	run := r.NewRun(cluster.Config{Seed: 1, Scale: 1})
+	e := run.Engine()
+	e.After(300*sim.Millisecond, func() { e.Crash("node0:2181") })
+	cluster.Drive(run, sim.Hour)
+	if run.Status() != cluster.Succeeded {
+		t.Fatalf("status after leader crash = %v", run.Status())
+	}
+}
+
+// TestNoNewBugs reproduces the paper's §4.1.2 discussion: ZooKeeper has
+// dynamic crash points, but testing them triggers only handled IO
+// exceptions — no new bugs.
+func TestNoNewBugs(t *testing.T) {
+	res := core.Run(&Runner{}, core.Options{Seed: 9, Scale: 1})
+	if len(res.Dynamic.Points) == 0 {
+		t.Fatal("expected dynamic crash points in ZooKeeper")
+	}
+	for _, rep := range res.Reports {
+		if rep.Outcome.IsBug() {
+			t.Errorf("unexpected bug at %s: %v (%q, ex %v)",
+				rep.Dyn.Point, rep.Outcome, rep.Reason, rep.NewExceptions)
+		}
+	}
+	if res.Summary.Bugs != 0 {
+		t.Errorf("bugs = %d, want 0", res.Summary.Bugs)
+	}
+}
+
+// The meta-info census stays tiny, as in Table 10 (3 meta types for ZK).
+func TestTinyMetaCensus(t *testing.T) {
+	res, _ := core.AnalysisPhase(&Runner{}, core.Options{Seed: 9})
+	c := res.Analysis.Census()
+	if c.Types == 0 || c.Types > 5 {
+		t.Errorf("meta types = %d, want a handful", c.Types)
+	}
+	if !res.Analysis.IsMetaType(tZNode) {
+		t.Error("ZNode not inferred")
+	}
+	// Node values are logged as plain strings, so no node-typed class is
+	// inferred (the paper's Integer-representation limitation).
+	if res.Analysis.IsMetaType(tPeer) {
+		t.Error("QuorumPeer wrongly inferred as meta-info")
+	}
+}

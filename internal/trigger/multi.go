@@ -1,0 +1,118 @@
+package trigger
+
+// Multiple-crash-event testing — the paper's future-work extension (§6):
+// instead of one injection per run, arm an ordered pair of dynamic crash
+// points and inject at both, covering bugs that need two faults (the 34
+// studied bugs excluded in §2 involve multiple crash events).
+//
+// The pair fires in order: the second point is only armed after the
+// first injection happened, so the two faults land in the intended
+// sequence. Everything else — stash-resolved targets, the §3.2.2 oracle
+// — is shared with single-point testing.
+
+import (
+	"repro/internal/crashpoint"
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/stash"
+	"repro/internal/systems/cluster"
+)
+
+// PairReport is the result of one two-fault run.
+type PairReport struct {
+	First, Second probe.DynPoint
+	Outcome       Outcome
+	Injections    []sim.FaultRecord
+	Witnesses     []string
+	NewExceptions []string
+	Duration      sim.Time
+	Reason        string
+}
+
+// TestPair runs the system once with injections armed at the ordered
+// pair (first, second).
+func (t *Tester) TestPair(first, second probe.DynPoint) PairReport {
+	timeoutFactor := t.TimeoutFactor
+	if timeoutFactor <= 0 {
+		timeoutFactor = 4
+	}
+	deadlineFactor := t.DeadlineFactor
+	if deadlineFactor <= 0 {
+		deadlineFactor = 20
+	}
+	deadline := t.Baseline.Duration * sim.Time(deadlineFactor)
+	if deadline < 30*sim.Second {
+		deadline = 30 * sim.Second
+	}
+
+	pb := probe.New()
+	logs := dslog.NewRoot()
+	matcher := t.Matcher
+	if matcher == nil {
+		matcher = logparse.NewMatcher(logparse.ExtractPatterns(t.Runner.Program()))
+	}
+	st := stash.New(t.Runner.Hosts(), matcher, t.Analysis)
+	st.Attach(logs)
+	run := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
+	e := run.Engine()
+
+	rep := PairReport{First: first, Second: second, Outcome: NotHit}
+	stage := 0 // 0: waiting for first, 1: waiting for second, 2: done
+	inject := func(d probe.DynPoint, a probe.Access) bool {
+		target, ok := t.chooseTarget(e, st, a)
+		if !ok {
+			return false
+		}
+		if d.Scenario == crashpoint.PreRead {
+			e.Shutdown(target)
+		} else {
+			e.Crash(target)
+		}
+		return true
+	}
+	pb.OnAccess = func(a probe.Access) {
+		switch stage {
+		case 0:
+			if a.Dyn() == first && inject(first, a) {
+				stage = 1
+			}
+		case 1:
+			if a.Dyn() == second && inject(second, a) {
+				stage = 2
+			}
+		}
+	}
+
+	res := cluster.Drive(run, deadline)
+	rep.Duration = res.End
+	rep.Injections = e.Faults()
+	rep.Witnesses = run.Witnesses()
+	rep.Reason = run.FailureReason()
+	rep.NewExceptions = t.newUnhandled(e)
+	if stage == 0 {
+		rep.Outcome = NotHit
+		return rep
+	}
+	rep.Outcome = Evaluate(t.Baseline, run, res, rep.NewExceptions, timeoutFactor)
+	return rep
+}
+
+// PairCampaign tests every ordered pair drawn from points, capped at
+// maxPairs runs (0 means all pairs — quadratic, use with care).
+func (t *Tester) PairCampaign(points []probe.DynPoint, maxPairs int) []PairReport {
+	var out []PairReport
+	for _, a := range points {
+		for _, b := range points {
+			if a == b {
+				continue
+			}
+			if maxPairs > 0 && len(out) >= maxPairs {
+				return out
+			}
+			out = append(out, t.TestPair(a, b))
+		}
+	}
+	return out
+}

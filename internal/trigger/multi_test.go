@@ -1,0 +1,104 @@
+package trigger
+
+import (
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/toysys"
+)
+
+// toyTester builds a Tester with a real meta-info analysis (the core
+// package wraps this, but importing it here would be a cycle).
+func toyTester(t *testing.T, r *toysys.Runner) *Tester {
+	t.Helper()
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: 1, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, sim.Hour)
+	matcher := logparse.NewMatcher(logparse.ExtractPatterns(r.Program()))
+	parsed := matcher.ParseAll(logs.Records())
+	analysis := metainfo.Infer(r.Program(), parsed.Matches, r.Hosts())
+	b := MeasureBaseline(r, 1, 1, 2, 0)
+	return &Tester{Runner: r, Analysis: analysis, Matcher: matcher, Baseline: b, Seed: 1, Scale: 1}
+}
+
+func TestPairInjectsTwoFaults(t *testing.T) {
+	r := &toysys.Runner{Workers: 3}
+	tester := toyTester(t, r)
+
+	// First kill a worker right after it registers, then kill another
+	// right after a later commit-pending write: two crashes in order.
+	first := probe.DynPoint{
+		Point:    toysys.PtRegisterPut,
+		Scenario: crashpoint.PostWrite,
+		Stack:    "toy.Master.registerWorker",
+	}
+	second := probe.DynPoint{
+		Point:    toysys.PtCommitPut,
+		Scenario: crashpoint.PostWrite,
+		Stack:    "toy.Master.commitPending",
+	}
+	rep := tester.TestPair(first, second)
+	if rep.Outcome == NotHit {
+		t.Fatalf("pair not armed: %+v", rep)
+	}
+	if len(rep.Injections) != 2 {
+		t.Fatalf("injections = %v, want 2", rep.Injections)
+	}
+	if rep.Injections[0].At > rep.Injections[1].At {
+		t.Error("injections out of order")
+	}
+	// The second fault is the MR-3858-style commit crash: with other
+	// workers still alive the stale-commit loop hangs the job.
+	if !rep.Outcome.IsBug() {
+		t.Errorf("two-fault outcome = %v, want a bug", rep.Outcome)
+	}
+}
+
+func TestPairSecondNeverHit(t *testing.T) {
+	r := &toysys.Runner{}
+	b := MeasureBaseline(r, 1, 1, 1, 0)
+	tester := &Tester{Runner: r, Baseline: b, Seed: 1, Scale: 1}
+	first := probe.DynPoint{
+		Point:    toysys.PtCommitGet,
+		Scenario: crashpoint.PreRead,
+		Stack:    "toy.Master.commitPending",
+	}
+	second := probe.DynPoint{
+		Point:    toysys.PtLostRemove,
+		Scenario: crashpoint.PostWrite,
+		Stack:    "nonexistent.stack",
+	}
+	rep := tester.TestPair(first, second)
+	if len(rep.Injections) != 1 {
+		t.Fatalf("injections = %v, want exactly the first", rep.Injections)
+	}
+	// The first injection alone already triggers TOY-1.
+	if rep.Outcome != JobFailure {
+		t.Errorf("outcome = %v", rep.Outcome)
+	}
+}
+
+func TestPairCampaignCap(t *testing.T) {
+	r := &toysys.Runner{}
+	b := MeasureBaseline(r, 1, 1, 1, 0)
+	tester := &Tester{Runner: r, Baseline: b, Seed: 1, Scale: 1}
+	pts := []probe.DynPoint{
+		{Point: toysys.PtRegisterPut, Scenario: crashpoint.PostWrite, Stack: "toy.Master.registerWorker"},
+		{Point: toysys.PtCommitGet, Scenario: crashpoint.PreRead, Stack: "toy.Master.commitPending"},
+		{Point: toysys.PtCommitPut, Scenario: crashpoint.PostWrite, Stack: "toy.Master.commitPending"},
+	}
+	reports := tester.PairCampaign(pts, 4)
+	if len(reports) != 4 {
+		t.Errorf("reports = %d, want capped at 4", len(reports))
+	}
+	all := tester.PairCampaign(pts, 0)
+	if len(all) != 6 {
+		t.Errorf("all pairs = %d, want 6", len(all))
+	}
+}

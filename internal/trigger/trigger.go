@@ -1,0 +1,322 @@
+// Package trigger implements CrashTuner's fault-injection testing phase
+// (§3.2): for each dynamic crash point, one fresh run of the system under
+// test with exactly one injection. When the armed point is hit, the
+// control center queries the online stash with the accessed runtime
+// meta-info value to find the node that owns it, then shuts that node
+// down (pre-read points — the synchronous graceful shutdown plays the
+// role of the instrumented "shutdown RPC followed by a wait") or crashes
+// it (post-write points).
+//
+// A bug is reported in three cases (§3.2.2): job failures, system hangs,
+// and uncommon exceptions in the logs — exception signatures never seen
+// in fault-free baseline runs. Runs that finish but exceed the timeout
+// threshold (4× the fault-free duration, §4.1.3) are reported separately
+// as timeout issues.
+package trigger
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/crashpoint"
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/stash"
+	"repro/internal/systems/cluster"
+)
+
+// Outcome classifies one injection run.
+type Outcome int
+
+// Outcomes, in increasing severity for reporting.
+const (
+	NotHit            Outcome = iota // the armed point never executed
+	Unresolved                       // hit, but the value mapped to no node
+	OK                               // injected, system recovered correctly
+	TimeoutIssue                     // finished, but > Timeout× baseline
+	UncommonException                // new unhandled exception signature
+	Hang                             // workload never finished
+	JobFailure                       // workload failed
+)
+
+var outcomeNames = [...]string{
+	"not-hit", "unresolved", "ok", "timeout-issue",
+	"uncommon-exception", "hang", "job-failure",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// IsBug reports whether the outcome is one of the three §3.2.2 bug
+// conditions.
+func (o Outcome) IsBug() bool {
+	return o == JobFailure || o == Hang || o == UncommonException
+}
+
+// Baseline captures fault-free behaviour for the oracle.
+type Baseline struct {
+	Duration   sim.Time
+	Status     cluster.Status
+	Exceptions map[string]bool // every signature seen without faults
+	Runs       int
+}
+
+// Report is the result of testing one dynamic crash point.
+type Report struct {
+	Dyn      probe.DynPoint
+	Outcome  Outcome
+	Target   sim.NodeID // node chosen by the stash query
+	Injected *sim.FaultRecord
+	Duration sim.Time
+	// NewExceptions are unhandled signatures absent from the baseline.
+	NewExceptions []string
+	// Witnesses are seeded-bug IDs whose flawed paths fired (attribution
+	// only; the oracle does not consult them).
+	Witnesses []string
+	// Reason carries the workload failure reason, if any.
+	Reason string
+}
+
+// Tester drives the injection campaign for one system.
+type Tester struct {
+	Runner   cluster.Runner
+	Analysis *metainfo.Analysis
+	Matcher  *logparse.Matcher
+	Baseline Baseline
+	// Seed/Scale configure the test runs.
+	Seed  int64
+	Scale int
+	// TimeoutFactor is the timeout-issue threshold (default 4).
+	TimeoutFactor int
+	// DeadlineFactor bounds each run at DeadlineFactor× baseline
+	// duration; beyond it the run counts as hung (default 20, well above
+	// the timeout-issue threshold so late-but-finishing runs are
+	// observed finishing, as in §4.1.3).
+	DeadlineFactor int
+	// RandomTarget replaces the stash query with a random alive node
+	// (the §3.2.2 alternative; used by the ablation experiment).
+	RandomTarget bool
+}
+
+// MeasureBaseline performs fault-free runs and unions their exception
+// signatures; the longest duration becomes the reference.
+func MeasureBaseline(r cluster.Runner, seed int64, scale, runs int, deadline sim.Time) Baseline {
+	if runs < 1 {
+		runs = 1
+	}
+	if deadline <= 0 {
+		deadline = sim.Hour
+	}
+	b := Baseline{Exceptions: make(map[string]bool), Runs: runs, Status: cluster.Succeeded}
+	for i := 0; i < runs; i++ {
+		run := r.NewRun(cluster.Config{Seed: seed + int64(i), Scale: scale, Probe: probe.New(), Logs: dslog.NewRoot()})
+		res := cluster.Drive(run, deadline)
+		if res.End > b.Duration {
+			b.Duration = res.End
+		}
+		for _, ex := range run.Engine().Exceptions() {
+			b.Exceptions[ex.Signature] = true
+		}
+		if run.Status() != cluster.Succeeded {
+			b.Status = run.Status()
+		}
+	}
+	return b
+}
+
+// TestPoint runs the system once with an injection armed at d.
+func (t *Tester) TestPoint(d probe.DynPoint) Report {
+	timeoutFactor := t.TimeoutFactor
+	if timeoutFactor <= 0 {
+		timeoutFactor = 4
+	}
+	deadlineFactor := t.DeadlineFactor
+	if deadlineFactor <= 0 {
+		deadlineFactor = 20
+	}
+	deadline := t.Baseline.Duration * sim.Time(deadlineFactor)
+	if deadline < 30*sim.Second {
+		deadline = 30 * sim.Second
+	}
+
+	pb := probe.New()
+	logs := dslog.NewRoot()
+	matcher := t.Matcher
+	if matcher == nil {
+		matcher = logparse.NewMatcher(logparse.ExtractPatterns(t.Runner.Program()))
+	}
+	st := stash.New(t.Runner.Hosts(), matcher, t.Analysis)
+	st.Attach(logs)
+	run := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
+	e := run.Engine()
+
+	rep := Report{Dyn: d, Outcome: NotHit}
+	fired := false
+	resolvedMiss := false
+	pb.OnAccess = func(a probe.Access) {
+		if fired || a.Dyn() != d {
+			return
+		}
+		fired = true
+		target, ok := t.chooseTarget(e, st, a)
+		if !ok {
+			resolvedMiss = true
+			return
+		}
+		rep.Target = target
+		if d.Scenario == crashpoint.PreRead {
+			// Shutdown hooks run synchronously, so by the time the read
+			// proceeds the cluster has fully processed the departure.
+			e.Shutdown(target)
+		} else {
+			e.Crash(target)
+		}
+		if f := lastFault(e); f != nil {
+			rep.Injected = f
+		}
+	}
+
+	res := cluster.Drive(run, deadline)
+	rep.Duration = res.End
+	rep.Witnesses = run.Witnesses()
+	rep.Reason = run.FailureReason()
+	rep.NewExceptions = t.newUnhandled(e)
+	rep.Outcome = t.classify(fired, resolvedMiss, run, res, rep.NewExceptions, timeoutFactor)
+	return rep
+}
+
+func (t *Tester) chooseTarget(e *sim.Engine, st *stash.Stash, a probe.Access) (sim.NodeID, bool) {
+	if t.RandomTarget {
+		alive := e.AliveNodes()
+		if len(alive) == 0 {
+			return "", false
+		}
+		return alive[e.Rand().Intn(len(alive))], true
+	}
+	target, ok := st.QueryAny(a.Values)
+	if !ok {
+		return "", false
+	}
+	if n := e.Node(target); n == nil || !n.Alive() {
+		return "", false
+	}
+	return target, true
+}
+
+func lastFault(e *sim.Engine) *sim.FaultRecord {
+	fs := e.Faults()
+	if len(fs) == 0 {
+		return nil
+	}
+	f := fs[len(fs)-1]
+	return &f
+}
+
+// newUnhandled returns unhandled exception signatures absent from the
+// baseline census, sorted.
+func (t *Tester) newUnhandled(e *sim.Engine) []string {
+	return NewUnhandled(t.Baseline, e)
+}
+
+// NewUnhandled returns the unhandled exception signatures of a run that
+// never appeared in fault-free baseline runs — the "uncommon exceptions
+// in the logs" oracle of §3.2.2.
+func NewUnhandled(b Baseline, e *sim.Engine) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ex := range e.Exceptions() {
+		if ex.Handled || b.Exceptions[ex.Signature] || seen[ex.Signature] {
+			continue
+		}
+		seen[ex.Signature] = true
+		out = append(out, ex.Signature)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *Tester) classify(fired, resolvedMiss bool, run cluster.Run, res sim.RunResult, newEx []string, timeoutFactor int) Outcome {
+	if !fired {
+		return NotHit
+	}
+	o := Evaluate(t.Baseline, run, res, newEx, timeoutFactor)
+	if o == OK && resolvedMiss {
+		return Unresolved
+	}
+	return o
+}
+
+// Evaluate applies the §3.2.2 oracle to a finished run: job failure,
+// hang, uncommon exception, or a §4.1.3 timeout issue.
+func Evaluate(b Baseline, run cluster.Run, res sim.RunResult, newEx []string, timeoutFactor int) Outcome {
+	if timeoutFactor <= 0 {
+		timeoutFactor = 4
+	}
+	if run.Status() == cluster.Failed {
+		return JobFailure
+	}
+	if run.Status() == cluster.Running {
+		return Hang
+	}
+	if len(newEx) > 0 {
+		return UncommonException
+	}
+	if b.Duration > 0 && res.End > b.Duration*sim.Time(timeoutFactor) {
+		return TimeoutIssue
+	}
+	return OK
+}
+
+// Campaign tests every dynamic point in order and returns the reports.
+func (t *Tester) Campaign(points []probe.DynPoint) []Report {
+	out := make([]Report, 0, len(points))
+	for _, d := range points {
+		out = append(out, t.TestPoint(d))
+	}
+	return out
+}
+
+// Summary aggregates a campaign for reporting.
+type Summary struct {
+	Tested        int
+	Bugs          int // reports with a bug outcome
+	TimeoutIssues int
+	NotHit        int
+	ByOutcome     map[Outcome]int
+	// WitnessedBugs are the distinct seeded-bug IDs attributed across
+	// bug reports, sorted.
+	WitnessedBugs []string
+}
+
+// Summarize aggregates reports.
+func Summarize(reports []Report) Summary {
+	s := Summary{ByOutcome: make(map[Outcome]int)}
+	wits := map[string]bool{}
+	for _, r := range reports {
+		s.Tested++
+		s.ByOutcome[r.Outcome]++
+		switch {
+		case r.Outcome.IsBug():
+			s.Bugs++
+			for _, w := range r.Witnesses {
+				wits[w] = true
+			}
+		case r.Outcome == TimeoutIssue:
+			s.TimeoutIssues++
+		case r.Outcome == NotHit:
+			s.NotHit++
+		}
+	}
+	for w := range wits {
+		s.WitnessedBugs = append(s.WitnessedBugs, w)
+	}
+	sort.Strings(s.WitnessedBugs)
+	return s
+}
