@@ -205,3 +205,36 @@ func BenchmarkPipelineToy(b *testing.B) {
 		_ = core.Run(&toysys.Runner{}, core.Options{Seed: 7})
 	}
 }
+
+// benchCampaign measures the Yarn injection campaign — one simulation
+// per dynamic crash point — at a given worker-pool size. Analysis,
+// profiling and the fault-free baseline run outside the timed loop, so
+// ns/op is the testing phase alone (Table 11's dominant column).
+func benchCampaign(b *testing.B, workers int) {
+	r, _ := all.ByName("yarn")
+	opts := core.Options{Seed: 11, Scale: 1}
+	res, matcher := core.AnalysisPhase(r, opts)
+	core.ProfilePhase(r, res, opts)
+	base := trigger.MeasureBaseline(r, 11, 1, 3, 0)
+	tester := &trigger.Tester{
+		Runner: r, Analysis: res.Analysis, Matcher: matcher,
+		Baseline: base, Seed: 11, Scale: 1, Workers: workers,
+	}
+	var bugs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports := tester.Campaign(res.Dynamic.Points)
+		bugs = trigger.Summarize(reports).Bugs
+	}
+	b.ReportMetric(float64(len(res.Dynamic.Points)), "points")
+	b.ReportMetric(float64(bugs), "bugs")
+}
+
+// BenchmarkCampaignSequential is the workers=1 special case: points are
+// tested inline, in order.
+func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel fans the same campaign out across one worker
+// per CPU; compare against BenchmarkCampaignSequential for the speedup
+// (the outputs are byte-identical — see TestParallelCampaignDeterminism).
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }

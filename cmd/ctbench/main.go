@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/systems/all"
+	"repro/internal/trigger"
 )
 
 var experiments = []string{
@@ -32,6 +33,8 @@ func main() {
 		seed       = flag.Int64("seed", 11, "seed")
 		scale      = flag.Int("scale", 1, "workload scale")
 		randomRuns = flag.Int("random-runs", 200, "runs per system for the random baseline (paper: 3000)")
+		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential; output is identical either way)")
+		progress   = flag.Bool("progress", false, "report campaign progress on stderr")
 	)
 	flag.Parse()
 
@@ -90,6 +93,12 @@ func main() {
 	}
 
 	x := report.NewExperiments(*seed, *scale, *randomRuns)
+	x.Workers = *workers
+	if *progress {
+		x.Progress = func(system string, p trigger.Progress) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d points tested, %d bugs\n", system, p.Tested, p.Total, p.Bugs)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "running CrashTuner pipelines on all systems...")
 	x.RunPipelines()
 	if want("table2") {

@@ -9,13 +9,18 @@
 //	ctstudy -system hbase    # one system's studied bugs
 //	ctstudy -new             # the new-bug table with seeding locations
 //	ctstudy -k8s             # the Kubernetes study
+//	ctstudy -verify          # live campaigns cross-checking the seeded bugs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"sort"
 
+	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/systems/all"
 )
 
 func main() {
@@ -23,10 +28,16 @@ func main() {
 		system  = flag.String("system", "", "show studied bugs of one system")
 		showNew = flag.Bool("new", false, "show the new bugs (Table 5) with seeding locations")
 		showK8s = flag.Bool("k8s", false, "show the Kubernetes study (Table 13)")
+		verify  = flag.Bool("verify", false, "run live campaigns and cross-check witnessed bugs against the registry")
+		seed    = flag.Int64("seed", 11, "seed for -verify campaigns")
+		scale   = flag.Int("scale", 1, "workload scale for -verify campaigns")
+		workers = flag.Int("workers", 0, "campaign worker pool size for -verify (0: one per CPU, 1: sequential)")
 	)
 	flag.Parse()
 
 	switch {
+	case *verify:
+		verifySeeded(*seed, *scale, *workers)
 	case *system != "":
 		bugs := registry.BySystem()[*system]
 		if len(bugs) == 0 {
@@ -65,6 +76,48 @@ func main() {
 		fmt.Printf("  non-timing-sensitive:  %d\n", c.NonTiming)
 		fmt.Printf("  reproduced:            %d/%d\n", c.Reproduced, c.Total)
 		fmt.Printf("  new bugs found:        %d\n", registry.TotalNewBugs())
-		fmt.Println("\nflags: -system <name> | -new | -k8s")
+		fmt.Println("\nflags: -system <name> | -new | -k8s | -verify [-workers N]")
 	}
+}
+
+// verifySeeded runs the full CrashTuner campaign on every system (the
+// systems fan out across a worker pool, and each campaign parallelizes
+// its own injection runs) and cross-checks every witnessed bug ID
+// against the registry's studied and new bug records.
+func verifySeeded(seed int64, scale, workers int) {
+	known := map[string]bool{}
+	for _, b := range registry.StudiedBugs() {
+		known[b.ID] = true
+	}
+	for _, b := range registry.NewBugs() {
+		known[b.ID] = true
+	}
+
+	systems := all.Runners()
+	results := campaign.Run(len(systems), campaign.Options{Workers: workers}, func(i int) *core.Result {
+		return core.Run(systems[i], core.Options{Seed: seed, Scale: scale, Workers: workers})
+	})
+
+	fmt.Println("Live campaign cross-check of the seeded bugs:")
+	witnessed := map[string]bool{}
+	unknown := 0
+	for i, r := range systems {
+		res := results[i]
+		fmt.Printf("  %-10s %2d points tested, %2d bug reports, witnessed: %v\n",
+			r.Name(), res.Summary.Tested, res.Summary.Bugs, res.Summary.WitnessedBugs)
+		for _, id := range res.Summary.WitnessedBugs {
+			witnessed[id] = true
+			if !known[id] {
+				unknown++
+				fmt.Printf("             %s is not in the registry!\n", id)
+			}
+		}
+	}
+	ids := make([]string, 0, len(witnessed))
+	for id := range witnessed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Printf("total: %d distinct seeded bugs witnessed (%d unknown to the registry): %v\n",
+		len(ids), unknown, ids)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/systems/all"
 	"repro/internal/systems/yarn"
 )
@@ -92,5 +93,47 @@ func TestExtensionsFaultFree(t *testing.T) {
 		if res.Summary.Tested == 0 {
 			t.Errorf("%s: nothing tested", r.Name())
 		}
+	}
+}
+
+// TestParallelCampaignDeterminism runs the same campaign sequentially
+// (workers=1) and with 8 workers: the Summary and every per-point Report
+// must be identical, because each point is an independent,
+// deterministically-seeded simulation and the engine indexes results by
+// point position.
+func TestParallelCampaignDeterminism(t *testing.T) {
+	seq := core.Run(&yarn.Runner{}, core.Options{Seed: 11, Scale: 1, Workers: 1})
+	par := core.Run(&yarn.Runner{}, core.Options{Seed: 11, Scale: 1, Workers: 8})
+	if !reflect.DeepEqual(seq.Summary, par.Summary) {
+		t.Errorf("summaries differ:\n  sequential: %+v\n  parallel:   %+v", seq.Summary, par.Summary)
+	}
+	if len(seq.Reports) != len(par.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(seq.Reports), len(par.Reports))
+	}
+	for i := range seq.Reports {
+		ra, rb := seq.Reports[i], par.Reports[i]
+		if !reflect.DeepEqual(ra, rb) {
+			t.Errorf("report %d differs:\n  sequential: %+v\n  parallel:   %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestParallelTablesByteIdentical renders every deterministic run-based
+// table from a fully sequential experiment set and from a parallel one:
+// the output must match byte for byte (Table 11 is excluded — it reports
+// wall-clock timings).
+func TestParallelTablesByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		x := report.NewExperiments(11, 1, 30)
+		x.Workers = workers
+		x.RunPipelines()
+		x.RunBaselines()
+		return x.CampaignSummary() + x.Table5Live() + x.Table7() + x.Table8() +
+			x.Table9() + x.Table10() + x.Table12() + x.Timeouts()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("tables differ between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
 }

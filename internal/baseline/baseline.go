@@ -18,6 +18,7 @@ package baseline
 import (
 	"sort"
 
+	"repro/internal/campaign"
 	"repro/internal/dslog"
 	"repro/internal/ir"
 	"repro/internal/logparse"
@@ -61,13 +62,21 @@ func (r *Result) DistinctBugs() []string {
 	return out
 }
 
-func (r *Result) record(run cluster.Run, outcome trigger.Outcome, dur sim.Time) {
+// runOutcome is the result of one injection run, carried from the worker
+// that executed it to the (sequential, index-ordered) aggregation fold.
+type runOutcome struct {
+	outcome   trigger.Outcome
+	duration  sim.Time
+	witnesses []string
+}
+
+func (r *Result) record(o runOutcome) {
 	r.Runs++
-	r.ByOutcome[outcome]++
-	r.VirtualTime += dur
-	if outcome.IsBug() {
+	r.ByOutcome[o.outcome]++
+	r.VirtualTime += o.duration
+	if o.outcome.IsBug() {
 		r.BugRuns++
-		for _, w := range run.Witnesses() {
+		for _, w := range o.witnesses {
 			r.BugHits[w]++
 		}
 	}
@@ -87,6 +96,14 @@ type Options struct {
 	// pick victims among worker nodes only — otherwise every
 	// master-victim run would trivially count as a hang.
 	IncludeMasters bool
+	// Workers bounds how many injection runs execute concurrently; zero
+	// or negative means one worker per CPU, 1 forces sequential runs.
+	// Runs are seeded per index, so results are identical for any
+	// worker count.
+	Workers int
+	// Progress, when non-nil, observes the campaign after every
+	// finished run (calls are serialized by the pool).
+	Progress func(done, total int)
 }
 
 // masterHost is the coordinator host in every simulated system.
@@ -131,12 +148,16 @@ func deadlineOf(b trigger.Baseline, factor int) sim.Time {
 	return d
 }
 
-// Random runs the §4.2.1 random crash-injection campaign.
+// Random runs the §4.2.1 random crash-injection campaign. Runs fan out
+// across the Options' worker pool; each run is an independent simulation
+// seeded by its index, and the per-run outcomes are folded into the
+// Result in index order, so the Result is identical for any worker
+// count.
 func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 	opts.defaults()
 	res := newResult(r.Name())
 	deadline := deadlineOf(b, opts.DeadlineFactor)
-	for i := 0; i < opts.Runs; i++ {
+	outcomes := campaign.Run(opts.Runs, campaign.Options{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
 		run := r.NewRun(cluster.Config{
 			Seed:  opts.Seed + int64(i),
 			Scale: opts.Scale,
@@ -159,7 +180,10 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 		rr := cluster.Drive(run, deadline)
 		newEx := trigger.NewUnhandled(b, e)
 		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		res.record(run, outcome, rr.End)
+		return runOutcome{outcome: outcome, duration: rr.End, witnesses: run.Witnesses()}
+	})
+	for _, o := range outcomes {
+		res.record(o)
 	}
 	return res
 }
@@ -212,26 +236,43 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 		}
 		points = kept
 	}
+	// Flatten (point, delta) into an indexed job list so the pool can
+	// fan the whole campaign out while the aggregation below stays in
+	// the sequential (point-major, before-then-after) order.
+	deltas := []sim.Time{-sim.Millisecond, sim.Millisecond}
+	type ioJob struct {
+		point IOPoint
+		seed  int64
+		at    sim.Time
+	}
+	jobs := make([]ioJob, 0, 2*len(points))
 	for i, pt := range points {
-		for _, delta := range []sim.Time{-sim.Millisecond, sim.Millisecond} {
+		for _, delta := range deltas {
 			at := pt.At + delta
 			if at < 0 {
 				at = 0
 			}
-			run := r.NewRun(cluster.Config{
-				Seed:  opts.Seed + int64(i),
-				Scale: opts.Scale,
-				Probe: probe.New(),
-				Logs:  dslog.NewRoot(),
-			})
-			e := run.Engine()
-			victim := pt.Node
-			e.After(at, func() { e.Crash(victim) })
-			rr := cluster.Drive(run, deadline)
-			newEx := trigger.NewUnhandled(b, e)
-			outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-			res.record(run, outcome, rr.End)
+			jobs = append(jobs, ioJob{point: pt, seed: opts.Seed + int64(i), at: at})
 		}
+	}
+	outcomes := campaign.Run(len(jobs), campaign.Options{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
+		j := jobs[i]
+		run := r.NewRun(cluster.Config{
+			Seed:  j.seed,
+			Scale: opts.Scale,
+			Probe: probe.New(),
+			Logs:  dslog.NewRoot(),
+		})
+		e := run.Engine()
+		victim := j.point.Node
+		e.After(j.at, func() { e.Crash(victim) })
+		rr := cluster.Drive(run, deadline)
+		newEx := trigger.NewUnhandled(b, e)
+		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
+		return runOutcome{outcome: outcome, duration: rr.End, witnesses: run.Witnesses()}
+	})
+	for _, o := range outcomes {
+		res.record(o)
 	}
 	return res
 }

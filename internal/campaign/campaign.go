@@ -1,0 +1,102 @@
+// Package campaign is the execution engine for fault-injection
+// campaigns. A campaign is an embarrassingly parallel workload: the
+// paper tests one fresh run of the system under test per dynamic crash
+// point (§3.2), and every run in this reproduction is an independent,
+// deterministically-seeded simulation. The engine fans a fixed number of
+// jobs out across a bounded worker pool and collects the results into a
+// slice indexed by job position, so downstream aggregation (summaries,
+// tables) is byte-identical regardless of scheduling interleavings.
+//
+// Workers defaults to runtime.GOMAXPROCS(0); workers=1 degenerates to an
+// in-place sequential loop, so sequential execution is the special case
+// of the same code path, not a second implementation.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool size used when Options.Workers is zero or
+// negative: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Options configures one pool run.
+type Options struct {
+	// Workers bounds the number of jobs in flight. Zero or negative
+	// means DefaultWorkers(); 1 runs the jobs inline, in order.
+	Workers int
+	// Progress, when non-nil, is invoked after every completed job with
+	// the number of jobs finished so far and the total. Calls are
+	// serialized and done is strictly increasing, so the callback needs
+	// no locking of its own; it must not block for long, since it is on
+	// the workers' completion path.
+	Progress func(done, total int)
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = DefaultWorkers()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(0) … fn(n-1) on the pool and returns the n results
+// indexed by job position. Each job must be self-contained: fn is called
+// from multiple goroutines, with no ordering guarantee between jobs.
+func Run[T any](n int, opts Options, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := opts.workers(n)
+
+	if workers == 1 {
+		// The sequential special case of the same code path: jobs run
+		// inline, in index order.
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+			if opts.Progress != nil {
+				opts.Progress(i+1, n)
+			}
+		}
+		return out
+	}
+
+	var (
+		mu   sync.Mutex // serializes Progress
+		done int
+		wg   sync.WaitGroup
+		jobs = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Each worker writes only its own index; no two jobs
+				// share a slot, so the slice needs no lock.
+				out[i] = fn(i)
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderIndependent(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		got := Run(50, Options{Workers: workers}, func(i int) int { return i * i })
+		want := make([]int, 50)
+		for i := range want {
+			want[i] = i * i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results out of position: %v", workers, got)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(0, Options{}, func(int) int { return 1 }); got != nil {
+		t.Errorf("n=0: want nil, got %v", got)
+	}
+}
+
+func TestRunEveryJobOnce(t *testing.T) {
+	var calls [64]int32
+	Run(len(calls), Options{Workers: 4}, func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Errorf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var seen []int
+		Run(32, Options{
+			Workers: workers,
+			// Serialized by the pool, so no locking here.
+			Progress: func(done, total int) {
+				if total != 32 {
+					t.Errorf("workers=%d: total=%d, want 32", workers, total)
+				}
+				seen = append(seen, done)
+			},
+		}, func(i int) int { return i })
+		if len(seen) != 32 {
+			t.Fatalf("workers=%d: %d progress calls, want 32", workers, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress not strictly increasing: %v", workers, seen)
+			}
+		}
+	}
+}
+
+func TestWorkersClamped(t *testing.T) {
+	// More workers than jobs must not deadlock or drop jobs.
+	got := Run(3, Options{Workers: 64}, func(i int) int { return i })
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("got %v", got)
+	}
+	if w := (Options{Workers: -5}).workers(10); w != DefaultWorkers() && w != 10 {
+		t.Errorf("negative workers resolved to %d", w)
+	}
+}

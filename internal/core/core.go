@@ -35,6 +35,13 @@ type Options struct {
 	// RandomTarget makes the trigger pick a random node instead of the
 	// stash-resolved owner (ablation of §3.2.2's alternative).
 	RandomTarget bool
+	// Workers bounds how many injection runs the test phase executes
+	// concurrently (zero or negative: one per CPU, 1: sequential). The
+	// campaign results are identical for any worker count.
+	Workers int
+	// Progress, when non-nil, observes the test-phase campaign after
+	// every tested point (calls are serialized).
+	Progress func(trigger.Progress)
 }
 
 func (o *Options) defaults() {
@@ -141,19 +148,32 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 		Seed:         opts.Seed,
 		Scale:        opts.Scale,
 		RandomTarget: opts.RandomTarget,
+		Workers:      opts.Workers,
+		Progress:     opts.Progress,
 	}
 	res.Reports = t.Campaign(res.Dynamic.Points)
 	// Dynamic points discovered only at larger profiling scales may not
 	// execute at the base test scale; retry those at the profiler's
-	// final scale so every collected point is genuinely exercised.
+	// final scale so every collected point is genuinely exercised. The
+	// retries are a second campaign through the same engine, on a Tester
+	// copy scaled up to the profiler's final scale.
 	if res.Dynamic != nil && res.Dynamic.FinalScale > opts.Scale {
+		var retry []int
 		for i, rep := range res.Reports {
-			if rep.Outcome != trigger.NotHit {
-				continue
+			if rep.Outcome == trigger.NotHit {
+				retry = append(retry, i)
 			}
-			t.Scale = res.Dynamic.FinalScale
-			res.Reports[i] = t.TestPoint(rep.Dyn)
-			t.Scale = opts.Scale
+		}
+		if len(retry) > 0 {
+			rt := *t
+			rt.Scale = res.Dynamic.FinalScale
+			points := make([]probe.DynPoint, len(retry))
+			for j, i := range retry {
+				points[j] = res.Reports[i].Dyn
+			}
+			for j, rep := range rt.Campaign(points) {
+				res.Reports[retry[j]] = rep
+			}
 		}
 	}
 	for _, rep := range res.Reports {

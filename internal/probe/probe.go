@@ -16,6 +16,7 @@ package probe
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/crashpoint"
 	"repro/internal/ir"
@@ -63,9 +64,17 @@ func (d DynPoint) Key() string {
 type Hook func(Access)
 
 // Probe tracks per-node call stacks and dispatches accesses to the hook.
+//
+// Each run owns its own Probe and each simulated run is single-threaded,
+// but parallel campaigns execute many runs at once, so the stack map is
+// guarded by a mutex: a Probe stays correct even if a system ever drives
+// its nodes from multiple goroutines. Set OnAccess before the run
+// starts; the hook itself is invoked without the lock held.
 type Probe struct {
 	OnAccess Hook
-	stacks   map[sim.NodeID][]ir.MethodID
+
+	mu     sync.Mutex
+	stacks map[sim.NodeID][]ir.MethodID
 }
 
 // New returns an inert probe.
@@ -76,8 +85,12 @@ func New() *Probe {
 // Enter pushes method m on node's call stack and returns the matching
 // pop. Use as: defer p.Enter(node, "Class.method")().
 func (p *Probe) Enter(node sim.NodeID, m ir.MethodID) func() {
+	p.mu.Lock()
 	p.stacks[node] = append(p.stacks[node], m)
+	p.mu.Unlock()
 	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
 		s := p.stacks[node]
 		if len(s) > 0 {
 			p.stacks[node] = s[:len(s)-1]
@@ -87,6 +100,8 @@ func (p *Probe) Enter(node sim.NodeID, m ir.MethodID) func() {
 
 // Stack renders the bounded call string for node, innermost frame first.
 func (p *Probe) Stack(node sim.NodeID) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s := p.stacks[node]
 	n := len(s)
 	if n == 0 {

@@ -1,0 +1,87 @@
+// Race-focused tests: a parallel campaign executes many simulated runs
+// at once, so the probe must stay clean under `go test -race` both when
+// every run has its own probe (the campaign shape) and when a single
+// probe is driven from several goroutines at once (a system model that
+// fans its nodes out).
+package probe_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/toysys"
+)
+
+// TestConcurrentRunsRace drives four complete simulated runs at once,
+// each with its own probe and recording hook — exactly what a parallel
+// campaign does.
+func TestConcurrentRunsRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			pb := probe.New()
+			accesses := 0
+			pb.OnAccess = func(probe.Access) { accesses++ }
+			r := &toysys.Runner{}
+			run := r.NewRun(cluster.Config{Seed: seed, Scale: 1, Probe: pb, Logs: dslog.NewRoot()})
+			cluster.Drive(run, sim.Hour)
+			if run.Status() != cluster.Succeeded {
+				t.Errorf("seed %d: status %v", seed, run.Status())
+			}
+			if accesses == 0 {
+				t.Errorf("seed %d: probe observed no accesses", seed)
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+}
+
+// TestSharedProbeConcurrentNodes hammers one probe from eight
+// goroutines, one per node, to exercise the stack-map mutex.
+func TestSharedProbeConcurrentNodes(t *testing.T) {
+	const nodes, rounds = 8, 200
+	pb := probe.New()
+	var mu sync.Mutex
+	seen := map[sim.NodeID]int{}
+	stacks := map[sim.NodeID]string{}
+	pb.OnAccess = func(a probe.Access) {
+		mu.Lock()
+		seen[a.Node]++
+		stacks[a.Node] = a.Stack
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		node := sim.NodeID(fmt.Sprintf("node%d:1", n))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pop := pb.Enter(node, "Toy.worker")
+				pb.PreRead(node, "toy.Toy.worker#0", "v")
+				pop()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != nodes {
+		t.Fatalf("saw accesses from %d nodes, want %d", len(seen), nodes)
+	}
+	for node, c := range seen {
+		if c != rounds {
+			t.Errorf("%s: %d accesses, want %d", node, c, rounds)
+		}
+		// Stacks are per node, so concurrency on other nodes must not
+		// leak into this node's call string.
+		if stacks[node] != "Toy.worker" {
+			t.Errorf("%s: stack %q, want %q", node, stacks[node], "Toy.worker")
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
@@ -24,6 +26,15 @@ type Experiments struct {
 	Seed       int64
 	Scale      int
 	RandomRuns int
+	// Workers bounds the campaign worker pools: systems fan out across
+	// it in RunPipelines/RunBaselines, and each system's campaign fans
+	// its runs out with the same setting. Zero or negative means one
+	// worker per CPU; 1 reproduces the fully sequential execution. All
+	// tables are identical for any worker count.
+	Workers int
+	// Progress, when non-nil, observes every test-phase campaign; calls
+	// are serialized across systems.
+	Progress func(system string, p trigger.Progress)
 
 	Systems  []cluster.Runner
 	Results  map[string]*core.Result
@@ -52,28 +63,62 @@ func NewExperiments(seed int64, scale, randomRuns int) *Experiments {
 	}
 }
 
-// RunPipelines executes the CrashTuner pipeline on every system.
+// RunPipelines executes the CrashTuner pipeline on every system. The
+// per-system pipelines fan out across the worker pool (each system's own
+// campaign additionally parallelizes its injection runs); results land
+// in the maps keyed by system name, so rendering order — and therefore
+// every table — is independent of scheduling.
 func (x *Experiments) RunPipelines() {
-	opts := core.Options{Seed: x.Seed, Scale: x.Scale}
-	for _, r := range x.Systems {
+	var mu sync.Mutex // serializes x.Progress across systems
+	type pipelineOut struct {
+		res     *core.Result
+		matcher *logparse.Matcher
+	}
+	outs := campaign.Run(len(x.Systems), campaign.Options{Workers: x.Workers}, func(i int) pipelineOut {
+		r := x.Systems[i]
+		opts := core.Options{Seed: x.Seed, Scale: x.Scale, Workers: x.Workers}
+		if x.Progress != nil {
+			opts.Progress = func(p trigger.Progress) {
+				mu.Lock()
+				x.Progress(r.Name(), p)
+				mu.Unlock()
+			}
+		}
 		res, matcher := core.AnalysisPhase(r, opts)
 		core.ProfilePhase(r, res, opts)
 		core.TestPhase(r, matcher, res, opts)
-		x.Results[r.Name()] = res
-		x.Matchers[r.Name()] = matcher
+		return pipelineOut{res, matcher}
+	})
+	for i, r := range x.Systems {
+		x.Results[r.Name()] = outs[i].res
+		x.Matchers[r.Name()] = outs[i].matcher
 	}
 }
 
-// RunBaselines executes the random and IO-injection campaigns.
+// RunBaselines executes the random and IO-injection campaigns, fanning
+// the systems out across the worker pool.
 func (x *Experiments) RunBaselines() {
-	for _, r := range x.Systems {
+	type baselineOut struct {
+		random, io *baseline.Result
+	}
+	outs := campaign.Run(len(x.Systems), campaign.Options{Workers: x.Workers}, func(i int) baselineOut {
+		r := x.Systems[i]
 		res := x.Results[r.Name()]
 		if res == nil {
+			return baselineOut{}
+		}
+		opts := baseline.Options{Seed: x.Seed, Scale: x.Scale, Runs: x.RandomRuns, Workers: x.Workers}
+		return baselineOut{
+			random: baseline.Random(r, res.Baseline, opts),
+			io:     baseline.IOInjection(r, x.Matchers[r.Name()], res.Baseline, opts),
+		}
+	})
+	for i, r := range x.Systems {
+		if outs[i].random == nil {
 			continue
 		}
-		opts := baseline.Options{Seed: x.Seed, Scale: x.Scale, Runs: x.RandomRuns}
-		x.Random[r.Name()] = baseline.Random(r, res.Baseline, opts)
-		x.IO[r.Name()] = baseline.IOInjection(r, x.Matchers[r.Name()], res.Baseline, opts)
+		x.Random[r.Name()] = outs[i].random
+		x.IO[r.Name()] = outs[i].io
 	}
 }
 

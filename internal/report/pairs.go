@@ -46,8 +46,10 @@ func PairSummary(r cluster.Runner, seed int64, scale, maxPairs int) string {
 		}
 	}
 	fmt.Fprintf(&b, "runs with both faults injected: %d\n", twoFault)
-	for o, n := range byOutcome {
-		fmt.Fprintf(&b, "  %-20s %d\n", o.String(), n)
+	for o := trigger.NotHit; o <= trigger.JobFailure; o++ {
+		if n := byOutcome[o]; n > 0 {
+			fmt.Fprintf(&b, "  %-20s %d\n", o.String(), n)
+		}
 	}
 	var ids []string
 	for id := range bugs {

@@ -1,0 +1,83 @@
+// Race-focused tests: the paper's stash node is fed concurrently by
+// Logstash agents on every cluster node, and a parallel campaign runs
+// many stash-tapped simulations at once. Both shapes must stay clean
+// under `go test -race`.
+package stash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/toysys"
+)
+
+// TestConcurrentAgentsRace feeds one stash from four agent goroutines
+// while a trigger goroutine queries it, then checks every association
+// landed.
+func TestConcurrentAgentsRace(t *testing.T) {
+	const agents, rounds = 4, 100
+	s, _, _ := buildStash(t)
+	var wg sync.WaitGroup
+	for n := 1; n <= agents; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.Process(dslog.Record{Text: fmt.Sprintf("registered node node%d:42", n)})
+				s.Process(dslog.Record{Text: fmt.Sprintf("assigned container_%d_%d to node node%d:42", n, i, n)})
+			}
+		}(n)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < agents*rounds; i++ {
+			s.Query(fmt.Sprintf("container_1_%d", i%rounds))
+			s.Nodes()
+		}
+	}()
+	wg.Wait()
+
+	for n := 1; n <= agents; n++ {
+		for i := 0; i < rounds; i++ {
+			val := fmt.Sprintf("container_%d_%d", n, i)
+			node, ok := s.Query(val)
+			if !ok || node != sim.NodeID(fmt.Sprintf("node%d:42", n)) {
+				t.Fatalf("%s resolved to (%q, %v)", val, node, ok)
+			}
+		}
+	}
+	if want := 2 * agents * rounds; s.Instances != want {
+		t.Errorf("Instances = %d, want %d", s.Instances, want)
+	}
+}
+
+// TestConcurrentRunsWithStashesRace drives two complete simulated runs
+// at once, each with its own stash tapping its own log root but sharing
+// one (read-only) matcher — the shape of a parallel injection campaign.
+func TestConcurrentRunsWithStashesRace(t *testing.T) {
+	r := &toysys.Runner{}
+	matcher := logparse.NewMatcher(logparse.ExtractPatterns(r.Program()))
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := New(r.Hosts(), matcher, nil)
+			logs := dslog.NewRoot()
+			s.Attach(logs)
+			run := r.NewRun(cluster.Config{Seed: seed, Scale: 1, Probe: probe.New(), Logs: logs})
+			cluster.Drive(run, sim.Hour)
+			if s.Instances == 0 {
+				t.Errorf("seed %d: stash saw no records", seed)
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+}

@@ -14,6 +14,8 @@
 package stash
 
 import (
+	"sync"
+
 	"repro/internal/dslog"
 	"repro/internal/ir"
 	"repro/internal/logparse"
@@ -23,7 +25,16 @@ import (
 
 // Stash is the custom-stash node state: the runtime meta-info graph plus
 // counters for reporting.
+//
+// The paper's stash is a single node fed concurrently by Logstash agents
+// on every cluster node, so the Stash is safe for concurrent use:
+// Process and the queries serialize on an internal mutex. Within one
+// simulated run the taps fire on a single goroutine, but parallel
+// campaigns run many simulations at once and nothing stops a system
+// model from fanning its agents out. Read the exported counters only
+// after the run has quiesced.
 type Stash struct {
+	mu       sync.Mutex
 	graph    *metainfo.Graph
 	matcher  *logparse.Matcher
 	analysis *metainfo.Analysis
@@ -54,6 +65,8 @@ func (s *Stash) Attach(root *dslog.Root) {
 // of meta-info arguments (plus any node-referencing values), and feed
 // them to the graph.
 func (s *Stash) Process(rec dslog.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Instances++
 	m := s.matcher.Match(rec)
 	if m == nil {
@@ -98,6 +111,8 @@ func (s *Stash) keep(arg ir.LogArg, v string) bool {
 // Query returns the node owning a runtime meta-info value, as in the
 // Trigger's get_node_by_id (Fig. 7). ok is false for unknown values.
 func (s *Stash) Query(value string) (sim.NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, ok := s.graph.NodeOf(value)
 	if !ok {
 		return "", false
@@ -116,7 +131,15 @@ func (s *Stash) QueryAny(values []string) (sim.NodeID, bool) {
 }
 
 // Nodes returns the recorded node set.
-func (s *Stash) Nodes() []string { return s.graph.Nodes() }
+func (s *Stash) Nodes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph.Nodes()
+}
 
 // Associations exposes the value→node map (Fig. 6) for reporting.
-func (s *Stash) Associations() map[string]string { return s.graph.Associations() }
+func (s *Stash) Associations() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph.Associations()
+}

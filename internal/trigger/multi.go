@@ -11,6 +11,7 @@ package trigger
 // — is shared with single-point testing.
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
@@ -100,19 +101,25 @@ func (t *Tester) TestPair(first, second probe.DynPoint) PairReport {
 }
 
 // PairCampaign tests every ordered pair drawn from points, capped at
-// maxPairs runs (0 means all pairs — quadratic, use with care).
+// maxPairs runs (0 means all pairs — quadratic, use with care). Like
+// Campaign, the pairs fan out across the Tester's worker pool and the
+// reports come back in enumeration order.
 func (t *Tester) PairCampaign(points []probe.DynPoint, maxPairs int) []PairReport {
-	var out []PairReport
+	type pair struct{ first, second probe.DynPoint }
+	var pairs []pair
+enumerate:
 	for _, a := range points {
 		for _, b := range points {
 			if a == b {
 				continue
 			}
-			if maxPairs > 0 && len(out) >= maxPairs {
-				return out
+			if maxPairs > 0 && len(pairs) >= maxPairs {
+				break enumerate
 			}
-			out = append(out, t.TestPair(a, b))
+			pairs = append(pairs, pair{a, b})
 		}
 	}
-	return out
+	return campaign.Run(len(pairs), campaign.Options{Workers: t.Workers}, func(i int) PairReport {
+		return t.TestPair(pairs[i].first, pairs[i].second)
+	})
 }

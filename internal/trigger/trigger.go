@@ -17,7 +17,9 @@ package trigger
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
@@ -103,6 +105,23 @@ type Tester struct {
 	// RandomTarget replaces the stash query with a random alive node
 	// (the §3.2.2 alternative; used by the ablation experiment).
 	RandomTarget bool
+	// Workers bounds how many points are tested concurrently; zero or
+	// negative means one worker per CPU, 1 forces sequential testing.
+	// Every point is an independent run (fresh engine, probe, logs and
+	// stash, seeded with Seed), so the reports are identical for any
+	// worker count.
+	Workers int
+	// Progress, when non-nil, observes the campaign after every tested
+	// point. Calls are serialized; the callback needs no locking.
+	Progress func(Progress)
+}
+
+// Progress is a campaign observation: how many points have been tested
+// and how many bug outcomes they produced so far.
+type Progress struct {
+	Tested int
+	Total  int
+	Bugs   int
 }
 
 // MeasureBaseline performs fault-free runs and unions their exception
@@ -274,13 +293,31 @@ func Evaluate(b Baseline, run cluster.Run, res sim.RunResult, newEx []string, ti
 	return OK
 }
 
-// Campaign tests every dynamic point in order and returns the reports.
+// Campaign tests every dynamic point and returns the reports, indexed by
+// point position. Points fan out across the Tester's worker pool; each
+// run is independent and deterministically seeded, so the reports — and
+// everything aggregated from them — are byte-identical for any worker
+// count, including the sequential Workers=1 special case.
 func (t *Tester) Campaign(points []probe.DynPoint) []Report {
-	out := make([]Report, 0, len(points))
-	for _, d := range points {
-		out = append(out, t.TestPoint(d))
-	}
-	return out
+	total := len(points)
+	var (
+		mu   sync.Mutex // serializes t.Progress and the counters under it
+		done int
+		bugs int
+	)
+	return campaign.Run(total, campaign.Options{Workers: t.Workers}, func(i int) Report {
+		rep := t.TestPoint(points[i])
+		if t.Progress != nil {
+			mu.Lock()
+			done++
+			if rep.Outcome.IsBug() {
+				bugs++
+			}
+			t.Progress(Progress{Tested: done, Total: total, Bugs: bugs})
+			mu.Unlock()
+		}
+		return rep
+	})
 }
 
 // Summary aggregates a campaign for reporting.
