@@ -11,10 +11,14 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dslog"
 	"repro/internal/ir"
+	"repro/internal/probe"
 	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
 	"repro/internal/systems/toysys"
 	"repro/internal/trigger"
 )
@@ -22,6 +26,7 @@ import (
 // BenchmarkFigMetaInfoGraph regenerates Figs. 1/5(d)/6: profiling one
 // Yarn run and building the runtime meta-info graph.
 func BenchmarkFigMetaInfoGraph(b *testing.B) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	for i := 0; i < b.N; i++ {
 		_ = report.FigMetaInfo(r, 11, 1)
@@ -30,6 +35,7 @@ func BenchmarkFigMetaInfoGraph(b *testing.B) {
 
 // BenchmarkTable1StudiedBugs regenerates Table 1 from the registry.
 func BenchmarkTable1StudiedBugs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = report.Table1()
 	}
@@ -41,6 +47,7 @@ func BenchmarkTable1StudiedBugs(b *testing.B) {
 // BenchmarkTable2MetaInfoTypes regenerates Table 2: the meta-info type
 // inference for the Yarn example.
 func BenchmarkTable2MetaInfoTypes(b *testing.B) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	var n int
 	for i := 0; i < b.N; i++ {
@@ -52,6 +59,7 @@ func BenchmarkTable2MetaInfoTypes(b *testing.B) {
 
 // BenchmarkTable3CollKeywords exercises the Table 3 classifier.
 func BenchmarkTable3CollKeywords(b *testing.B) {
+	b.ReportAllocs()
 	names := []string{"get", "putIfAbsent", "iterator", "containsKey", "copyInto", "offerLast"}
 	for i := 0; i < b.N; i++ {
 		for _, n := range names {
@@ -62,6 +70,7 @@ func BenchmarkTable3CollKeywords(b *testing.B) {
 
 // BenchmarkTable4Systems regenerates Table 4 (and validates every model).
 func BenchmarkTable4Systems(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = report.Table4()
 	}
@@ -71,9 +80,11 @@ func BenchmarkTable4Systems(b *testing.B) {
 // CrashTuner campaign over all five systems, counting the seeded bugs
 // detected.
 func BenchmarkTable5NewBugs(b *testing.B) {
+	b.ReportAllocs()
 	var found int
 	for i := 0; i < b.N; i++ {
 		x := report.NewExperiments(11, 1, 0)
+		x.Artifacts = core.SharedArtifacts
 		x.RunPipelines()
 		found = len(x.FoundBugs())
 	}
@@ -82,6 +93,7 @@ func BenchmarkTable5NewBugs(b *testing.B) {
 
 // BenchmarkTable6FixComplexity regenerates Table 6.
 func BenchmarkTable6FixComplexity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = report.Table6()
 	}
@@ -90,6 +102,7 @@ func BenchmarkTable6FixComplexity(b *testing.B) {
 // BenchmarkTable7RandomInjection regenerates Table 7 on Yarn (50 runs
 // per iteration; the paper uses 3000 per system).
 func BenchmarkTable7RandomInjection(b *testing.B) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	base := trigger.MeasureBaseline(r, 11, 1, 3, 0)
 	var bugRuns int
@@ -103,6 +116,7 @@ func BenchmarkTable7RandomInjection(b *testing.B) {
 
 // BenchmarkTable8IOCensus regenerates Table 8's static side.
 func BenchmarkTable8IOCensus(b *testing.B) {
+	b.ReportAllocs()
 	var statics int
 	for i := 0; i < b.N; i++ {
 		statics = 0
@@ -115,6 +129,7 @@ func BenchmarkTable8IOCensus(b *testing.B) {
 
 // BenchmarkTable9IOInjection regenerates Table 9 on Yarn.
 func BenchmarkTable9IOInjection(b *testing.B) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	res, matcher := core.AnalysisPhase(r, core.Options{Seed: 11})
 	_ = res
@@ -131,6 +146,7 @@ func BenchmarkTable9IOInjection(b *testing.B) {
 // BenchmarkTable10Census regenerates Table 10: full static analysis and
 // profiling over all systems.
 func BenchmarkTable10Census(b *testing.B) {
+	b.ReportAllocs()
 	var static, dynamic int
 	for i := 0; i < b.N; i++ {
 		static, dynamic = 0, 0
@@ -148,8 +164,10 @@ func BenchmarkTable10Census(b *testing.B) {
 // BenchmarkTable11Times regenerates Table 11: the end-to-end pipeline
 // per system (this benchmark's ns/op is the wall-clock column).
 func BenchmarkTable11Times(b *testing.B) {
+	b.ReportAllocs()
 	for _, r := range all.Runners() {
 		b.Run(r.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var virt float64
 			for i := 0; i < b.N; i++ {
 				res := core.Run(r, core.Options{Seed: 11})
@@ -163,6 +181,7 @@ func BenchmarkTable11Times(b *testing.B) {
 // BenchmarkTable12Pruning regenerates Table 12: the optimization counts
 // of the static analysis.
 func BenchmarkTable12Pruning(b *testing.B) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	var pruned int
 	for i := 0; i < b.N; i++ {
@@ -174,6 +193,7 @@ func BenchmarkTable12Pruning(b *testing.B) {
 
 // BenchmarkTable13Kubernetes regenerates Table 13.
 func BenchmarkTable13Kubernetes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = report.Table13()
 	}
@@ -182,6 +202,7 @@ func BenchmarkTable13Kubernetes(b *testing.B) {
 
 // BenchmarkReproExisting regenerates the §4.1.1 ledger.
 func BenchmarkReproExisting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = report.ReproSummary()
 	}
@@ -189,6 +210,7 @@ func BenchmarkReproExisting(b *testing.B) {
 
 // BenchmarkTimeoutIssues regenerates the §4.1.3 list on Yarn.
 func BenchmarkTimeoutIssues(b *testing.B) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	var n int
 	for i := 0; i < b.N; i++ {
@@ -201,9 +223,41 @@ func BenchmarkTimeoutIssues(b *testing.B) {
 // BenchmarkPipelineToy is the microbenchmark of the whole pipeline on
 // the smallest system, for tracking harness overhead.
 func BenchmarkPipelineToy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = core.Run(&toysys.Runner{}, core.Options{Seed: 7})
 	}
+}
+
+// BenchmarkMatcherIngest measures the log-matching data plane in
+// isolation: one MatchSession classifying every record of a Yarn
+// profiling run, the inner loop of every injection run. One op is the
+// whole record stream; allocs/op is the number the zero-allocation work
+// is held to (rejections are free, matches cost only the Match value).
+func BenchmarkMatcherIngest(b *testing.B) {
+	b.ReportAllocs()
+	r, _ := all.ByName("yarn")
+	_, matcher := core.SharedArtifacts.AnalysisPhase(r, core.Options{Seed: 11, Scale: 1})
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: 11, Scale: 1, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, sim.Hour)
+	records := logs.Records()
+	if len(records) == 0 {
+		b.Fatal("profiling run produced no records")
+	}
+	s := matcher.NewSession()
+	var matched int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched = 0
+		for _, rec := range records {
+			if s.Match(rec) != nil {
+				matched++
+			}
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(matched), "matched/op")
 }
 
 // benchCampaign measures the Yarn injection campaign — one simulation
@@ -211,6 +265,7 @@ func BenchmarkPipelineToy(b *testing.B) {
 // profiling and the fault-free baseline run outside the timed loop, so
 // ns/op is the testing phase alone (Table 11's dominant column).
 func benchCampaign(b *testing.B, workers int) {
+	b.ReportAllocs()
 	r, _ := all.ByName("yarn")
 	opts := core.Options{Seed: 11, Scale: 1}
 	res, matcher := core.AnalysisPhase(r, opts)

@@ -8,16 +8,35 @@
 //	ctbench                 # everything
 //	ctbench -exp table10    # one experiment
 //	ctbench -exp list       # list experiment ids
+//
+// Performance tooling:
+//
+//	ctbench -cpuprofile cpu.pprof -exp summary   # profile the pipelines
+//	ctbench -memprofile mem.pprof -exp summary
+//	ctbench -bench-json BENCH_matcher.json       # matcher-ingest numbers
+//
+// The offline analysis artifacts are memoized per system through
+// core.SharedArtifacts, so rendering several run-based tables pays the
+// analysis phase once; -artifact-cache=false disables the cache.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dslog"
+	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
 	"repro/internal/trigger"
 )
 
@@ -35,12 +54,58 @@ func main() {
 		randomRuns = flag.Int("random-runs", 200, "runs per system for the random baseline (paper: 3000)")
 		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential; output is identical either way)")
 		progress   = flag.Bool("progress", false, "report campaign progress on stderr")
+		useCache   = flag.Bool("artifact-cache", true, "memoize the offline analysis phase per system (output is identical either way)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "run the matcher-ingest microbenchmark and write its JSON record to this file (e.g. BENCH_matcher.json)")
 	)
 	flag.Parse()
 
 	if *exp == "list" {
 		fmt.Println(strings.Join(experiments, "\n"))
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		if err := writeMatcherBench(*benchJSON, *seed, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Alone, -bench-json writes the record and exits; combine it with
+		// an explicit -exp to also render tables in the same process.
+		if *exp == "all" {
+			return
+		}
 	}
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
@@ -94,6 +159,9 @@ func main() {
 
 	x := report.NewExperiments(*seed, *scale, *randomRuns)
 	x.Workers = *workers
+	if *useCache {
+		x.Artifacts = core.SharedArtifacts
+	}
 	if *progress {
 		x.Progress = func(system string, p trigger.Progress) {
 			fmt.Fprintf(os.Stderr, "%s: %d/%d points tested, %d bugs\n", system, p.Tested, p.Total, p.Bugs)
@@ -135,4 +203,77 @@ func main() {
 			fmt.Println(x.Table9())
 		}
 	}
+}
+
+// matcherBenchRecord is the JSON schema of the -bench-json emitter; one
+// record per file so perf trajectories diff cleanly across PRs.
+type matcherBenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	System       string  `json:"system"`
+	RecordsPerOp int     `json:"records_per_op"`
+	Matched      int     `json:"matched_per_op"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	NsPerRecord  float64 `json:"ns_per_record"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// writeMatcherBench measures the hot ingest path — one MatchSession
+// matching every record of a profiling run — and writes the result as
+// JSON. ns/op and allocs/op here are the numbers the acceptance tracking
+// compares across PRs (see BENCH_matcher.json in CI artifacts).
+func writeMatcherBench(path string, seed int64, scale int) error {
+	r, err := all.ByName("yarn")
+	if err != nil {
+		return err
+	}
+	_, matcher := core.SharedArtifacts.AnalysisPhase(r, core.Options{Seed: seed, Scale: scale})
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: seed, Scale: scale, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, sim.Hour)
+	records := logs.Records()
+	if len(records) == 0 {
+		return fmt.Errorf("bench-json: profiling run produced no records")
+	}
+
+	session := matcher.NewSession()
+	matched := 0
+	for _, rec := range records {
+		if session.Match(rec) != nil {
+			matched++
+		}
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		s := matcher.NewSession()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, rec := range records {
+				_ = s.Match(rec)
+			}
+		}
+	})
+
+	rec := matcherBenchRecord{
+		Benchmark:    "matcher-ingest",
+		System:       r.Name(),
+		RecordsPerOp: len(records),
+		Matched:      matched,
+		Iterations:   br.N,
+		NsPerOp:      float64(br.NsPerOp()),
+		NsPerRecord:  float64(br.NsPerOp()) / float64(len(records)),
+		AllocsPerOp:  br.AllocsPerOp(),
+		BytesPerOp:   br.AllocedBytesPerOp(),
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-json: %s — %d records/op, %.0f ns/op (%.1f ns/record), %d allocs/op, %d B/op\n",
+		path, rec.RecordsPerOp, rec.NsPerOp, rec.NsPerRecord, rec.AllocsPerOp, rec.BytesPerOp)
+	return nil
 }

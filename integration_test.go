@@ -119,21 +119,27 @@ func TestParallelCampaignDeterminism(t *testing.T) {
 }
 
 // TestParallelTablesByteIdentical renders every deterministic run-based
-// table from a fully sequential experiment set and from a parallel one:
-// the output must match byte for byte (Table 11 is excluded — it reports
-// wall-clock timings).
+// table from a fully sequential experiment set, from a parallel one, and
+// from a parallel one backed by the analysis-artifact cache: the output
+// must match byte for byte (Table 11 is excluded — it reports wall-clock
+// timings).
 func TestParallelTablesByteIdentical(t *testing.T) {
-	render := func(workers int) string {
+	render := func(workers int, cache *core.ArtifactCache) string {
 		x := report.NewExperiments(11, 1, 30)
 		x.Workers = workers
+		x.Artifacts = cache
 		x.RunPipelines()
 		x.RunBaselines()
 		return x.CampaignSummary() + x.Table5Live() + x.Table7() + x.Table8() +
 			x.Table9() + x.Table10() + x.Table12() + x.Timeouts()
 	}
-	seq := render(1)
-	par := render(8)
+	seq := render(1, nil)
+	par := render(8, nil)
 	if seq != par {
 		t.Errorf("tables differ between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	cached := render(8, core.NewArtifactCache())
+	if seq != cached {
+		t.Errorf("tables differ with the artifact cache enabled:\n--- uncached ---\n%s\n--- cached ---\n%s", seq, cached)
 	}
 }

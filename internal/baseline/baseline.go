@@ -204,8 +204,9 @@ func CollectIOPoints(r cluster.Runner, matcher *logparse.Matcher, seed int64, sc
 	cluster.Drive(run, deadline)
 	seen := map[string]bool{}
 	var out []IOPoint
+	session := matcher.NewSession()
 	for _, rec := range logs.Records() {
-		m := matcher.Match(rec)
+		m := session.Match(rec)
 		if m == nil {
 			continue
 		}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/logparse"
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// ArtifactCache memoizes the offline AnalysisPhase. The phase is a pure
+// function of (system, seed, scale, deadline): it replays one fault-free
+// profiling run and derives the patterns, the meta-info analysis and the
+// static crash points — all immutable once built. Experiments that touch
+// the same system repeatedly (ctbench rendering several tables, the
+// benchmarks, table-set comparisons) therefore run the offline phase once
+// per system per process and share the artifacts.
+//
+// Cached artifacts are safe to share: the Matcher is immutable after
+// construction (scratch state lives in per-caller MatchSessions), and
+// the Analysis and Static results are read-only downstream. Each hit
+// returns a fresh *Result value so the mutable pipeline fields (Dynamic,
+// Baseline, Reports, Summary, Timing) never alias between callers.
+//
+// Invalidation: keys capture every Options field the phase reads, so a
+// cache never serves stale artifacts for a different configuration; use
+// Reset to drop all entries (e.g. between experiments that mutate global
+// registries, which none currently do).
+type ArtifactCache struct {
+	mu      sync.Mutex
+	entries map[artifactKey]*artifactEntry
+}
+
+// artifactKey captures the AnalysisPhase inputs: the system plus the
+// Options fields the phase depends on (Workers, Progress, BaselineRuns
+// etc. only affect later phases).
+type artifactKey struct {
+	system   string
+	seed     int64
+	scale    int
+	deadline sim.Time
+}
+
+type artifactEntry struct {
+	once    sync.Once
+	res     Result // template; copied on every hit
+	matcher *logparse.Matcher
+}
+
+// NewArtifactCache returns an empty cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{entries: make(map[artifactKey]*artifactEntry)}
+}
+
+// SharedArtifacts is the process-wide cache used by ctbench and the
+// benchmarks.
+var SharedArtifacts = NewArtifactCache()
+
+// AnalysisPhase is the memoized form of the package-level AnalysisPhase:
+// the first call for a key computes the artifacts, concurrent and later
+// calls share them. The returned Result is a fresh copy whose immutable
+// artifact fields (Analysis, Static) alias the cached ones.
+func (c *ArtifactCache) AnalysisPhase(r cluster.Runner, opts Options) (*Result, *logparse.Matcher) {
+	opts.defaults()
+	key := artifactKey{system: r.Name(), seed: opts.Seed, scale: opts.Scale, deadline: opts.Deadline}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &artifactEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		res, matcher := AnalysisPhase(r, opts)
+		e.res = *res
+		e.matcher = matcher
+	})
+	out := e.res
+	return &out, e.matcher
+}
+
+// Run executes the full pipeline, reusing cached analysis artifacts.
+func (c *ArtifactCache) Run(r cluster.Runner, opts Options) *Result {
+	res, matcher := c.AnalysisPhase(r, opts)
+	ProfilePhase(r, res, opts)
+	TestPhase(r, matcher, res, opts)
+	return res
+}
+
+// Len returns the number of cached analysis entries.
+func (c *ArtifactCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every cached entry.
+func (c *ArtifactCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[artifactKey]*artifactEntry)
+}

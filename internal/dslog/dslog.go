@@ -147,21 +147,38 @@ func (r *Root) Logger(e *sim.Engine, node sim.NodeID, component string) *Logger 
 	return &Logger{root: r, e: e, node: node, component: component}
 }
 
+// fmtPool recycles the render buffers of Logger.Log: emitting a record
+// costs one string allocation (the record text itself) in steady state.
+var fmtPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 128)
+		return &b
+	},
+}
+
 // Log emits a record at the given level. Arguments are rendered with
 // fmt.Sprint-style concatenation (no separating spaces), matching the
 // Java string-concatenation logging style the paper's pattern extraction
 // assumes: LOG.info("Assigned container " + id + " on host " + node).
 func (l *Logger) Log(level Level, parts ...any) {
-	var b strings.Builder
+	bp := fmtPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	for _, p := range parts {
-		fmt.Fprint(&b, p)
+		if s, ok := p.(string); ok {
+			buf = append(buf, s...)
+		} else {
+			buf = fmt.Append(buf, p)
+		}
 	}
+	text := string(buf)
+	*bp = buf
+	fmtPool.Put(bp)
 	l.root.Append(Record{
 		At:        l.e.Now(),
 		Node:      l.node,
 		Component: l.component,
 		Level:     level,
-		Text:      b.String(),
+		Text:      text,
 	})
 }
 

@@ -1,0 +1,9 @@
+package logparse
+
+// Hooks for the external differential tests (package logparse_test),
+// which need the unexported structural matcher and word splitter to
+// reconstruct the legacy reference implementation.
+var (
+	ParseExactForTest = parseExact
+	WordsForTest      = words
+)

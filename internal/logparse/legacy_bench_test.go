@@ -1,0 +1,77 @@
+package logparse_test
+
+// Before/after benchmarks for the matcher data plane: the legacy
+// reference implementation (per-record map + sort) against the
+// zero-allocation MatchSession, on identical inputs — a Yarn profiling
+// run's records. CI diffs these two to demonstrate the allocs/op
+// reduction; TestMatcherIngestAllocReduction enforces the 5x floor.
+
+import (
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/systems/yarn"
+)
+
+func yarnBenchInputs(tb testing.TB) ([]*logparse.Pattern, []dslog.Record) {
+	return profilingRecords(tb, &yarn.Runner{})
+}
+
+// BenchmarkMatcherIngestLegacy is the pre-optimization baseline: one op
+// matches every record with the map-scored, fully-sorted matcher.
+func BenchmarkMatcherIngestLegacy(b *testing.B) {
+	b.ReportAllocs()
+	patterns, records := yarnBenchInputs(b)
+	legacy := newLegacyMatcher(patterns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rec := range records {
+			_ = legacy.match(rec)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkMatcherIngestSession is the optimized data plane on the same
+// inputs: dense scoring scratch, prefilter, no per-record allocation.
+func BenchmarkMatcherIngestSession(b *testing.B) {
+	b.ReportAllocs()
+	patterns, records := yarnBenchInputs(b)
+	s := logparse.NewMatcher(patterns).NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rec := range records {
+			_ = s.Match(rec)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// TestMatcherIngestAllocReduction pins the acceptance criterion: the
+// optimized ingest path must allocate at least 5x less per record stream
+// than the legacy implementation.
+func TestMatcherIngestAllocReduction(t *testing.T) {
+	patterns, records := yarnBenchInputs(t)
+	legacy := newLegacyMatcher(patterns)
+	m := logparse.NewMatcher(patterns)
+	s := m.NewSession()
+
+	ingestLegacy := func() {
+		for _, rec := range records {
+			_ = legacy.match(rec)
+		}
+	}
+	ingestSession := func() {
+		for _, rec := range records {
+			_ = s.Match(rec)
+		}
+	}
+	ingestSession() // warm the scratch state before measuring
+	before := testing.AllocsPerRun(10, ingestLegacy)
+	after := testing.AllocsPerRun(10, ingestSession)
+	t.Logf("allocs per %d-record ingest: legacy %.0f, session %.0f", len(records), before, after)
+	if after*5 > before {
+		t.Errorf("allocs/op reduction below 5x: legacy %.0f, session %.0f", before, after)
+	}
+}

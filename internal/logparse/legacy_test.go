@@ -1,0 +1,204 @@
+package logparse_test
+
+// The pre-optimization matcher — per-record scoring map, full candidate
+// sort — kept verbatim as a reference implementation. The differential
+// tests assert the zero-allocation data plane is observably identical to
+// it on every system's real profiling logs, and the benchmarks in
+// legacy_bench_test.go quantify the win against it.
+//
+// This lives in an external test package because driving the real
+// systems pulls in probe→crashpoint→metainfo, which imports logparse.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
+)
+
+type legacyMatcher struct {
+	patterns []*logparse.Pattern
+	index    map[string][]int
+	topK     int
+}
+
+func newLegacyMatcher(patterns []*logparse.Pattern) *legacyMatcher {
+	m := &legacyMatcher{patterns: patterns, index: make(map[string][]int), topK: 10}
+	for i, p := range patterns {
+		seen := map[string]bool{}
+		for _, seg := range p.Stmt.Segments {
+			for _, w := range logparse.WordsForTest(seg) {
+				if !seen[w] {
+					seen[w] = true
+					m.index[w] = append(m.index[w], i)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (m *legacyMatcher) match(rec dslog.Record) *logparse.Match {
+	scores := make(map[int]int)
+	for _, w := range logparse.WordsForTest(rec.Text) {
+		for _, pi := range m.index[w] {
+			scores[pi]++
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	type cand struct {
+		idx   int
+		score int
+	}
+	cands := make([]cand, 0, len(scores))
+	for i, s := range scores {
+		cands = append(cands, cand{i, s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	if len(cands) > m.topK {
+		cands = cands[:m.topK]
+	}
+	for _, c := range cands {
+		p := m.patterns[c.idx]
+		if vals, ok := logparse.ParseExactForTest(rec.Text, p.Stmt.Segments); ok {
+			return &logparse.Match{Record: rec, Pattern: p, Values: vals}
+		}
+	}
+	return nil
+}
+
+// profilingRecords replays one fault-free run of the system and returns
+// its patterns and log records, the same inputs AnalysisPhase mines.
+func profilingRecords(t testing.TB, r cluster.Runner) ([]*logparse.Pattern, []dslog.Record) {
+	t.Helper()
+	logs := dslog.NewRoot()
+	run := r.NewRun(cluster.Config{Seed: 11, Scale: 1, Probe: probe.New(), Logs: logs})
+	cluster.Drive(run, sim.Hour)
+	records := logs.Records()
+	if len(records) == 0 {
+		t.Fatalf("%s: profiling run produced no records", r.Name())
+	}
+	return logparse.ExtractPatterns(r.Program()), records
+}
+
+// assertSameMatch fails unless got reproduces want exactly.
+func assertSameMatch(t *testing.T, system, api, text string, want, got *logparse.Match) {
+	t.Helper()
+	if (want == nil) != (got == nil) {
+		t.Fatalf("%s %q: legacy matched=%v, new(%s) matched=%v",
+			system, text, want != nil, api, got != nil)
+	}
+	if want == nil {
+		return
+	}
+	if got.Pattern != want.Pattern {
+		t.Fatalf("%s %q: legacy pattern %q, new(%s) pattern %q",
+			system, text, want.Pattern.Regex(), api, got.Pattern.Regex())
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s %q: values %v vs %v", system, text, got.Values, want.Values)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("%s %q: value %d = %q, legacy %q",
+				system, text, i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+// TestMatcherAgreesWithLegacyOnSystemLogs is the old-vs-new differential:
+// on every system's real profiling logs (core systems and extensions),
+// the optimized matcher must return exactly the matches of the
+// pre-optimization implementation — same pattern, same extracted values,
+// same rejections — through both the session API and the pooled
+// convenience API.
+func TestMatcherAgreesWithLegacyOnSystemLogs(t *testing.T) {
+	runners := append(all.Runners(), all.Extensions()...)
+	for _, r := range runners {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			patterns, records := profilingRecords(t, r)
+			legacy := newLegacyMatcher(patterns)
+			m := logparse.NewMatcher(patterns)
+			s := m.NewSession()
+			matched := 0
+			for _, rec := range records {
+				want := legacy.match(rec)
+				assertSameMatch(t, r.Name(), "session", rec.Text, want, s.Match(rec))
+				assertSameMatch(t, r.Name(), "pooled", rec.Text, want, m.Match(rec))
+				if want != nil {
+					matched++
+				}
+			}
+			if matched == 0 {
+				t.Errorf("%s: no record matched — differential vacuous", r.Name())
+			}
+		})
+	}
+}
+
+// fig5TestProgram mirrors the Fig. 5(a) program used by the internal
+// tests.
+func fig5TestProgram() *ir.Program {
+	p := ir.NewProgram("fig5x")
+	stmt := func(segs []string, args ...ir.LogArg) *ir.Instr {
+		return &ir.Instr{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info", Segments: segs, Args: args}}
+	}
+	arg := func(n, ty string) ir.LogArg { return ir.LogArg{Name: n, Type: ir.TypeID(ty)} }
+	p.AddClass(&ir.Class{
+		Name: "f.RMNodeTracker",
+		Methods: []*ir.Method{{Name: "run", Instrs: []*ir.Instr{
+			stmt([]string{"NodeManager from ", " registered as ", ""},
+				arg("host", "java.lang.String"), arg("nodeId", "yarn.api.records.NodeId")),
+			stmt([]string{"Assigned container ", " on host ", ""},
+				arg("containerId", "yarn.api.records.ContainerId"), arg("nodeId", "yarn.api.records.NodeId")),
+			stmt([]string{"Assigned container ", " to ", ""},
+				arg("containerId", "yarn.api.records.ContainerId"), arg("tId", "mapreduce.v2.api.records.TaskAttemptId")),
+			stmt([]string{"JVM with ID: ", " given task: ", ""},
+				arg("jvmId", "mapreduce.JVMId"), arg("taskId", "mapreduce.v2.api.records.TaskAttemptId")),
+		}}},
+	})
+	return p.Build()
+}
+
+// TestMatcherAgreesWithLegacyOnAdversarialTexts stresses the prefilter
+// and top-K selection with texts that share words across patterns,
+// truncate tokens, or carry unknown first tokens.
+func TestMatcherAgreesWithLegacyOnAdversarialTexts(t *testing.T) {
+	patterns := logparse.ExtractPatterns(fig5TestProgram())
+	legacy := newLegacyMatcher(patterns)
+	m := logparse.NewMatcher(patterns)
+	s := m.NewSession()
+	texts := []string{
+		"NodeManager from node3 registered as node3:42349",
+		"nodemanager from node3 registered as node3:42349", // case differs: first token unknown
+		"NodeManager node3 registered",                     // words hit, structure differs
+		"Assigned container c1 on host n1 to attempt_1",    // words of two patterns
+		"JVM with ID: x given task: y",
+		"JVM with ID:  given task: ",          // empty values
+		"registered as NodeManager",           // anchor word not first
+		"",                                    // empty text
+		"++--!!",                              // wordless text
+		"Assigned",                            // bare anchor word
+		"Assigned container",                  // anchor prefix only
+		"container_1 on host n1",              // starts mid-pattern
+		"XNodeManager from a registered as b", // first token extends the anchor word
+	}
+	for _, text := range texts {
+		rec := dslog.Record{Text: text}
+		assertSameMatch(t, "fig5", "session", text, legacy.match(rec), s.Match(rec))
+	}
+}

@@ -203,6 +203,147 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestParseExactOverlapAndEmptySegments(t *testing.T) {
+	// Empty intermediate segment is ambiguous by design: rejected even
+	// when a plausible split exists.
+	if _, ok := parseExact("a x b", []string{"a ", "", " b"}); ok {
+		t.Error("empty intermediate segment must not match")
+	}
+	if _, ok := parseExact("ab", []string{"a", "", "b"}); ok {
+		t.Error("empty intermediate segment must not match adjacent anchors")
+	}
+	// Prefix/suffix overlap: the suffix may not claim bytes of the prefix.
+	if _, ok := parseExact("abc", []string{"ab", "bc"}); ok {
+		t.Error("overlapping prefix/suffix must not match")
+	}
+	// Same segments, disjoint occurrences: empty value between them.
+	if v, ok := parseExact("abbc", []string{"ab", "bc"}); !ok || len(v) != 1 || v[0] != "" {
+		t.Errorf("adjacent prefix/suffix: %v %v", v, ok)
+	}
+	if v, ok := parseExact("abcbc", []string{"ab", "bc"}); !ok || v[0] != "c" {
+		t.Errorf("disjoint prefix/suffix: %v %v", v, ok)
+	}
+	// Intermediate segment overlapping the prefix region is not found.
+	if _, ok := parseExact("aab", []string{"aa", "ab", ""}); ok {
+		t.Error("intermediate segment must start at/after the prefix end")
+	}
+}
+
+// Candidate ordering: higher score first, ties broken by pattern order.
+func TestCandidateOrderingDeterministic(t *testing.T) {
+	mk := func(segs ...[]string) *Matcher {
+		var pats []*Pattern
+		for i, s := range segs {
+			pats = append(pats, &Pattern{
+				Point: ir.PointID(fmt.Sprintf("p%d", i)),
+				Stmt: &ir.LogStmt{Level: "info", Segments: s,
+					Args: make([]ir.LogArg, len(s)-1)},
+			})
+		}
+		return NewMatcher(pats)
+	}
+	// Identical duplicate patterns: the tie must resolve to the earlier one.
+	m := mk([]string{"lost node ", ""}, []string{"lost node ", ""})
+	got := m.Match(rec("lost node n1"))
+	if got == nil || string(got.Pattern.Point) != "p0" {
+		t.Fatalf("duplicate patterns: matched %+v, want p0", got)
+	}
+	// Higher-scoring candidate is tried (and wins) first, even though the
+	// lower-scoring one would also parse.
+	m = mk([]string{"a b c ", ""}, []string{"a b c d ", ""})
+	got = m.Match(rec("a b c d x"))
+	if got == nil || string(got.Pattern.Point) != "p1" {
+		t.Fatalf("score ordering: matched %+v, want p1", got)
+	}
+	if len(got.Values) != 1 || got.Values[0] != "x" {
+		t.Fatalf("score ordering: values %v, want [x]", got.Values)
+	}
+}
+
+// The prefilter must pass records whose first token merely extends a
+// mid-word anchor, and stand down entirely for leading-variable patterns.
+func TestPrefilterAnchorForms(t *testing.T) {
+	mid := NewMatcher([]*Pattern{{Point: "mid", Stmt: &ir.LogStmt{
+		Level: "info", Segments: []string{"node", " up"}, Args: make([]ir.LogArg, 1)}}})
+	if got := mid.Match(rec("node9 up")); got == nil || got.Values[0] != "9" {
+		t.Errorf("mid-word anchor: %+v", got)
+	}
+	if got := mid.Match(rec("nod up")); got != nil {
+		t.Errorf("short token matched mid-word anchor: %+v", got)
+	}
+	if got := mid.Match(rec("xnode9 up")); got != nil {
+		t.Errorf("non-prefix token matched mid-word anchor: %+v", got)
+	}
+
+	lead := NewMatcher([]*Pattern{{Point: "lead", Stmt: &ir.LogStmt{
+		Level: "info", Segments: []string{"", " lost"}, Args: make([]ir.LogArg, 1)}}})
+	if got := lead.Match(rec("n1 lost")); got == nil || got.Values[0] != "n1" {
+		t.Errorf("leading variable: %+v", got)
+	}
+}
+
+// Rejected records must cost zero allocations, matched records only the
+// Match value itself.
+func TestMatchAllocationProfile(t *testing.T) {
+	m := NewMatcher(ExtractPatterns(fig5Program()))
+	s := m.NewSession()
+	rejections := map[string]dslog.Record{
+		"prefilter-miss":  rec("totally unrelated text"),
+		"structural-miss": rec("Assigned words without structure"),
+		"wordless":        rec("--++--"),
+		"empty":           rec(""),
+	}
+	for name, r := range rejections {
+		if s.Match(r) != nil {
+			t.Fatalf("%s unexpectedly matched", name)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { _ = s.Match(r) }); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+	hit := rec("Assigned container c_1 on host n1:42349")
+	if allocs := testing.AllocsPerRun(100, func() { _ = s.Match(hit) }); allocs > 3 {
+		t.Errorf("matched record: %v allocs/op, want <= 3 (Match + values)", allocs)
+	}
+}
+
+// One immutable Matcher must serve concurrent sessions; run under -race.
+func TestMatcherConcurrentSessions(t *testing.T) {
+	m := NewMatcher(ExtractPatterns(fig5Program()))
+	texts := []string{
+		"NodeManager from node3 registered as node3:42349",
+		"Assigned container c_1 on host n1:42349",
+		"garbage line",
+		"JVM with ID: j_1 given task: a_1",
+	}
+	const workers = 8
+	counts := make([]int, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			s := m.NewSession()
+			for i := 0; i < 500; i++ {
+				r := rec(texts[(i+w)%len(texts)])
+				if s.Match(r) != nil {
+					counts[w]++
+				}
+				if m.Match(r) != nil { // pooled API from many goroutines too
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for w := 1; w < workers; w++ {
+		if counts[w] != counts[0] {
+			t.Fatalf("worker %d matched %d, worker 0 matched %d", w, counts[w], counts[0])
+		}
+	}
+}
+
 func TestWords(t *testing.T) {
 	got := words("NodeManager from , registered: as-99!")
 	want := []string{"NodeManager", "from", "registered", "as", "99"}

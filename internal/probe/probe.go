@@ -15,7 +15,6 @@
 package probe
 
 import (
-	"strings"
 	"sync"
 
 	"repro/internal/crashpoint"
@@ -111,11 +110,18 @@ func (p *Probe) Stack(node sim.NodeID) string {
 	if n < depth {
 		depth = n
 	}
-	frames := make([]string, 0, depth)
+	total := depth - 1 // "<" separators
 	for i := n - 1; i >= n-depth; i-- {
-		frames = append(frames, string(s[i]))
+		total += len(s[i])
 	}
-	return strings.Join(frames, "<")
+	b := make([]byte, 0, total)
+	for i := n - 1; i >= n-depth; i-- {
+		if len(b) > 0 {
+			b = append(b, '<')
+		}
+		b = append(b, s[i]...)
+	}
+	return string(b)
 }
 
 // PreRead reports a pre-read site hit, before the read executes. The

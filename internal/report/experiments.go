@@ -36,6 +36,12 @@ type Experiments struct {
 	// are serialized across systems.
 	Progress func(system string, p trigger.Progress)
 
+	// Artifacts, when non-nil, memoizes the offline AnalysisPhase across
+	// pipelines (and across experiment sets sharing the cache), so the
+	// deterministic offline artifacts are computed once per system. The
+	// rendered tables are identical with and without the cache.
+	Artifacts *core.ArtifactCache
+
 	Systems  []cluster.Runner
 	Results  map[string]*core.Result
 	Matchers map[string]*logparse.Matcher
@@ -84,7 +90,7 @@ func (x *Experiments) RunPipelines() {
 				mu.Unlock()
 			}
 		}
-		res, matcher := core.AnalysisPhase(r, opts)
+		res, matcher := x.analysisPhase(r, opts)
 		core.ProfilePhase(r, res, opts)
 		core.TestPhase(r, matcher, res, opts)
 		return pipelineOut{res, matcher}
@@ -93,6 +99,14 @@ func (x *Experiments) RunPipelines() {
 		x.Results[r.Name()] = outs[i].res
 		x.Matchers[r.Name()] = outs[i].matcher
 	}
+}
+
+// analysisPhase dispatches to the artifact cache when one is configured.
+func (x *Experiments) analysisPhase(r cluster.Runner, opts core.Options) (*core.Result, *logparse.Matcher) {
+	if x.Artifacts != nil {
+		return x.Artifacts.AnalysisPhase(r, opts)
+	}
+	return core.AnalysisPhase(r, opts)
 }
 
 // RunBaselines executes the random and IO-injection campaigns, fanning

@@ -66,7 +66,9 @@ func (id NodeID) Host() string {
 	return string(id)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the
+// engine's freelist once dispatched or dropped; gen distinguishes
+// incarnations so a stale Timer cannot cancel an unrelated reuse.
 type event struct {
 	at    Time
 	seq   uint64
@@ -74,6 +76,7 @@ type event struct {
 	fn    func()
 	index int
 	dead  bool
+	gen   uint32
 }
 
 type eventHeap []*event
@@ -105,12 +108,16 @@ func (h *eventHeap) Pop() any {
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Stop cancels the timer. It is safe to call on a nil Timer or after the
-// timer has fired.
+// timer has fired: once the underlying event has been recycled, the
+// generation check makes Stop a no-op.
 func (t *Timer) Stop() {
-	if t != nil && t.ev != nil {
+	if t != nil && t.ev != nil && t.ev.gen == t.gen {
 		t.ev.dead = true
 	}
 }
@@ -203,8 +210,9 @@ type Engine struct {
 	stopped    bool
 	faults     []FaultRecord
 	exceptions []Exception
-	handled    uint64 // events dispatched
-	MaxSteps   uint64 // safety valve; 0 means DefaultMaxSteps
+	handled    uint64   // events dispatched
+	free       []*event // recycled events for the scheduling fast path
+	MaxSteps   uint64   // safety valve; 0 means DefaultMaxSteps
 	// MessageLatency is the default one-way latency for Send.
 	MessageLatency Time
 	// onStep, if set, is invoked before each event dispatch (used by
@@ -282,27 +290,49 @@ func (e *Engine) Faults() []FaultRecord {
 }
 
 // schedule enqueues fn at absolute time at, bound to node (or "" for
-// engine-level).
-func (e *Engine) schedule(at Time, node NodeID, fn func()) *Timer {
+// engine-level). The event comes from the freelist when one is
+// available; callers that hand the event out wrap it in a Timer
+// alongside its generation.
+func (e *Engine) schedule(at Time, node NodeID, fn func()) *event {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, node: node, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.node, ev.fn = at, e.seq, node, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, node: node, fn: fn}
+	}
 	heap.Push(&e.pq, ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// recycle returns a popped event to the freelist, bumping its generation
+// so outstanding Timers to the old incarnation become inert.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.node = ""
+	ev.dead = false
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run after d elapses. The timer survives node
 // failures; use Node-scoped scheduling via AfterOn for per-node timers.
 func (e *Engine) After(d Time, fn func()) *Timer {
-	return e.schedule(e.now+d, "", fn)
+	ev := e.schedule(e.now+d, "", fn)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // AfterOn schedules fn on behalf of node id; it is silently dropped if the
 // node is dead when it fires.
 func (e *Engine) AfterOn(id NodeID, d Time, fn func()) *Timer {
-	return e.schedule(e.now+d, id, fn)
+	ev := e.schedule(e.now+d, id, fn)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // Every schedules fn every period, starting after one period, on behalf of
@@ -315,9 +345,11 @@ func (e *Engine) Every(id NodeID, period Time, fn func()) *Timer {
 		if n := e.nodes[id]; n != nil && !n.alive {
 			return
 		}
-		t.ev = e.schedule(e.now+period, id, tick).ev
+		ev := e.schedule(e.now+period, id, tick)
+		t.ev, t.gen = ev, ev.gen
 	}
-	t.ev = e.schedule(e.now+period, id, tick).ev
+	ev := e.schedule(e.now+period, id, tick)
+	t.ev, t.gen = ev, ev.gen
 	return t
 }
 
@@ -404,10 +436,12 @@ func (e *Engine) Run(deadline Time) RunResult {
 		}
 		heap.Pop(&e.pq)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		if ev.node != "" {
 			if n := e.nodes[ev.node]; n == nil || !n.alive {
+				e.recycle(ev)
 				continue
 			}
 		}
@@ -416,7 +450,9 @@ func (e *Engine) Run(deadline Time) RunResult {
 			e.onStep(e.now)
 		}
 		e.handled++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		if e.handled >= maxSteps {
 			return RunResult{End: e.now, Steps: e.handled, Exhausted: true}
 		}

@@ -69,6 +69,40 @@ func TestTimerStop(t *testing.T) {
 	nilTimer.Stop() // must not panic
 }
 
+func TestTimerStopAfterRecycle(t *testing.T) {
+	// Events are recycled through a freelist; a Timer held past its
+	// event's lifetime must become inert, not cancel whichever later
+	// schedule happens to reuse the same event.
+	e := NewEngine(1)
+	var stale *Timer
+	fired := false
+	stale = e.After(Second, func() {
+		// The event backing `stale` is recycled as soon as this callback
+		// is dispatched; the very next schedule reuses it.
+		e.After(Second, func() { fired = true })
+		stale.Stop()
+	})
+	e.Quiesce()
+	if !fired {
+		t.Error("stale Timer.Stop cancelled a recycled event")
+	}
+}
+
+func TestEveryTimerStopsAcrossRecycles(t *testing.T) {
+	// Every reuses its Timer across ticks, rebinding it to each fresh
+	// event+generation; Stop after several ticks must still cancel it.
+	e := NewEngine(1)
+	n := e.AddNode("n", 1)
+	ticks := 0
+	tm := e.Every(n.ID, Second, func() { ticks++ })
+	e.After(3*Second+Second/2, func() { tm.Stop() })
+	e.After(10*Second, func() { e.Stop() })
+	e.Run(0)
+	if ticks != 3 {
+		t.Errorf("periodic timer ticked %d times after Stop, want 3", ticks)
+	}
+}
+
 func TestSendAndServices(t *testing.T) {
 	e := NewEngine(1)
 	a := e.AddNode("a", 1000)

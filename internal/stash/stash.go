@@ -38,6 +38,11 @@ type Stash struct {
 	graph    *metainfo.Graph
 	matcher  *logparse.Matcher
 	analysis *metainfo.Analysis
+	// session is the stash's matching scratch state; Process already
+	// serializes on mu, so one session serves every agent. fwd is the
+	// reused forward buffer of Process.
+	session *logparse.MatchSession
+	fwd     []string
 	// Forwarded counts values the agents sent to the stash (after
 	// filtering); Instances counts log records the agents saw.
 	Forwarded int
@@ -52,6 +57,7 @@ func New(hosts []string, matcher *logparse.Matcher, analysis *metainfo.Analysis)
 		graph:    metainfo.NewGraph(hosts),
 		matcher:  matcher,
 		analysis: analysis,
+		session:  matcher.NewSession(),
 	}
 }
 
@@ -68,11 +74,11 @@ func (s *Stash) Process(rec dslog.Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.Instances++
-	m := s.matcher.Match(rec)
+	m := s.session.Match(rec)
 	if m == nil {
 		return
 	}
-	var forward []string
+	forward := s.fwd[:0]
 	for i, arg := range m.Pattern.Stmt.Args {
 		if i >= len(m.Values) {
 			break
@@ -82,10 +88,12 @@ func (s *Stash) Process(rec dslog.Record) {
 			forward = append(forward, v)
 		}
 	}
+	s.fwd = forward[:0]
 	if len(forward) == 0 {
 		return
 	}
 	s.Forwarded += len(forward)
+	// Observe only reads the slice; the buffer is reused on the next call.
 	s.graph.Observe(forward)
 }
 
