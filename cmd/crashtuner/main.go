@@ -7,6 +7,9 @@
 // Usage:
 //
 //	crashtuner -system yarn [-seed 11] [-scale 1] [-v]
+//	crashtuner -system yarn -recovery [-restart-after 2000] [-second-fault-after 50]
+//	crashtuner -system yarn -checkpoint yarn.ckpt            # interruptible
+//	crashtuner -system yarn -checkpoint yarn.ckpt -resume    # pick up where it left off
 package main
 
 import (
@@ -17,17 +20,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/systems/all"
 	"repro/internal/trigger"
 )
 
 func main() {
 	var (
-		system  = flag.String("system", "yarn", "system under test: yarn, hdfs, hbase, zookeeper, cassandra")
-		seed    = flag.Int64("seed", 11, "seed for every run of the campaign")
-		scale   = flag.Int("scale", 1, "workload scale")
-		verbose = flag.Bool("v", false, "print every per-point report")
-		fixed   = flag.Bool("figure", false, "also dump the runtime meta-info figure (Fig. 5d/6)")
+		system     = flag.String("system", "yarn", "system under test: yarn, hdfs, hbase, zookeeper, cassandra")
+		seed       = flag.Int64("seed", 11, "seed for every run of the campaign")
+		scale      = flag.Int("scale", 1, "workload scale")
+		verbose    = flag.Bool("v", false, "print every per-point report")
+		fixed      = flag.Bool("figure", false, "also dump the runtime meta-info figure (Fig. 5d/6)")
+		recovery   = flag.Bool("recovery", false, "recovery-phase mode: restart the victim after the fault and apply the recovery oracles")
+		restartMS  = flag.Int64("restart-after", 2000, "with -recovery: restart the victim this many ms (virtual) after the fault")
+		secondMS   = flag.Int64("second-fault-after", 0, "with -recovery: inject a second fault this many ms (virtual) after the restart (0: none)")
+		secondKind = flag.String("second-fault", "crash", "with -recovery: second fault kind (crash or shutdown)")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file for the injection campaign")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint, skipping finished points")
 	)
 	flag.Parse()
 
@@ -40,7 +50,21 @@ func main() {
 	fmt.Printf("CrashTuner on %s (workload %s, seed %d, scale %d)\n\n",
 		r.Name(), r.Workload(), *seed, *scale)
 
-	opts := core.Options{Seed: *seed, Scale: *scale}
+	opts := core.Options{
+		Seed: *seed, Scale: *scale,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	}
+	if *recovery {
+		rc := &trigger.RecoveryOptions{
+			RestartDelay:     sim.Time(*restartMS) * sim.Millisecond,
+			SecondFaultDelay: sim.Time(*secondMS) * sim.Millisecond,
+		}
+		if *secondKind == "shutdown" {
+			rc.SecondFaultKind = sim.FaultShutdown
+		}
+		opts.Recovery = rc
+	}
 	res, matcher := core.AnalysisPhase(r, opts)
 	fmt.Printf("Phase 1 — analysis (%v):\n", res.Timing.Analysis.Round(time.Millisecond))
 	fmt.Printf("  log patterns: %d, parsed instances: %d (unmatched %d)\n",
@@ -69,6 +93,9 @@ func main() {
 		if rep.Injected != nil {
 			fmt.Printf(" [%s %s @%v]", rep.Injected.Kind, rep.Injected.Node, rep.Injected.At)
 		}
+		if len(rep.Restarted) > 0 {
+			fmt.Printf(" restarted=%v", rep.Restarted)
+		}
 		if len(rep.Witnesses) > 0 {
 			fmt.Printf(" bugs=%v", rep.Witnesses)
 		}
@@ -80,6 +107,11 @@ func main() {
 	s := res.Summary
 	fmt.Printf("\nSummary: %d points tested, %d bug reports, %d timeout issues; seeded bugs detected: %v\n",
 		s.Tested, s.Bugs, s.TimeoutIssues, s.WitnessedBugs)
+	if *recovery {
+		fmt.Printf("Recovery: %d runs restarted their victim; never-rejoined %d, rejoin-no-work %d, duplicate-incarnation %d, harness errors %d\n",
+			s.Restarts, s.ByOutcome[trigger.NeverRejoined], s.ByOutcome[trigger.RejoinNoWork],
+			s.ByOutcome[trigger.DuplicateIncarnation], s.HarnessErrors)
+	}
 
 	if *fixed {
 		fmt.Println()

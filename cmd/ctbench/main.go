@@ -44,6 +44,7 @@ var experiments = []string{
 	"fig-metainfo", "table1", "table2", "table3", "table4", "table5",
 	"table6", "table7", "table8", "table9", "table10", "table11",
 	"table12", "table13", "repro", "timeouts", "summary", "pairs",
+	"recovery",
 }
 
 func main() {
@@ -58,6 +59,11 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("bench-json", "", "run the matcher-ingest microbenchmark and write its JSON record to this file (e.g. BENCH_matcher.json)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory: campaigns append per-system JSONL checkpoints under it")
+		resume     = flag.Bool("resume", false, "resume campaigns from the -checkpoint directory, skipping finished points (tables are byte-identical to an uninterrupted run)")
+		restartMS  = flag.Int64("restart-after", 2000, "recovery experiment: restart the victim this many ms (virtual) after the fault")
+		secondMS   = flag.Int64("second-fault-after", 0, "recovery experiment: inject a second fault this many ms (virtual) after the restart (0: none)")
+		secondKind = flag.String("second-fault", "crash", "recovery experiment: second fault kind (crash or shutdown)")
 	)
 	flag.Parse()
 
@@ -153,7 +159,8 @@ func main() {
 		}
 		fmt.Println(report.PairSummary(r, *seed, *scale, 40))
 	}
-	if !needPipelines {
+	needRecovery := want("recovery")
+	if !needPipelines && !needRecovery {
 		return
 	}
 
@@ -162,10 +169,33 @@ func main() {
 	if *useCache {
 		x.Artifacts = core.SharedArtifacts
 	}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		x.CheckpointDir = *checkpoint
+		x.Resume = *resume
+	}
 	if *progress {
 		x.Progress = func(system string, p trigger.Progress) {
 			fmt.Fprintf(os.Stderr, "%s: %d/%d points tested, %d bugs\n", system, p.Tested, p.Total, p.Bugs)
 		}
+	}
+	if needRecovery {
+		rc := &trigger.RecoveryOptions{
+			RestartDelay:     sim.Time(*restartMS) * sim.Millisecond,
+			SecondFaultDelay: sim.Time(*secondMS) * sim.Millisecond,
+		}
+		if *secondKind == "shutdown" {
+			rc.SecondFaultKind = sim.FaultShutdown
+		}
+		fmt.Fprintln(os.Stderr, "running recovery-phase campaigns on all systems...")
+		x.RunRecovery(rc)
+		fmt.Println(x.RecoveryTable())
+	}
+	if !needPipelines {
+		return
 	}
 	fmt.Fprintln(os.Stderr, "running CrashTuner pipelines on all systems...")
 	x.RunPipelines()

@@ -20,7 +20,10 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/sim"
 	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
 )
 
 func main() {
@@ -83,7 +86,10 @@ func main() {
 // verifySeeded runs the full CrashTuner campaign on every system (the
 // systems fan out across a worker pool, and each campaign parallelizes
 // its own injection runs) and cross-checks every witnessed bug ID
-// against the registry's studied and new bug records.
+// against the registry's studied and new bug records. A second,
+// recovery-mode pass then restarts each victim after its fault, so the
+// restart paths and the recovery oracles are exercised on every system
+// too.
 func verifySeeded(seed int64, scale, workers int) {
 	known := map[string]bool{}
 	for _, b := range registry.StudiedBugs() {
@@ -94,17 +100,14 @@ func verifySeeded(seed int64, scale, workers int) {
 	}
 
 	systems := all.Runners()
-	results := campaign.Run(len(systems), campaign.Options{Workers: workers}, func(i int) *core.Result {
+	results := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
 		return core.Run(systems[i], core.Options{Seed: seed, Scale: scale, Workers: workers})
 	})
 
 	fmt.Println("Live campaign cross-check of the seeded bugs:")
 	witnessed := map[string]bool{}
 	unknown := 0
-	for i, r := range systems {
-		res := results[i]
-		fmt.Printf("  %-10s %2d points tested, %2d bug reports, witnessed: %v\n",
-			r.Name(), res.Summary.Tested, res.Summary.Bugs, res.Summary.WitnessedBugs)
+	check := func(r cluster.Runner, res *core.Result) {
 		for _, id := range res.Summary.WitnessedBugs {
 			witnessed[id] = true
 			if !known[id] {
@@ -113,6 +116,30 @@ func verifySeeded(seed int64, scale, workers int) {
 			}
 		}
 	}
+	for i, r := range systems {
+		res := results[i]
+		fmt.Printf("  %-10s %2d points tested, %2d bug reports, witnessed: %v\n",
+			r.Name(), res.Summary.Tested, res.Summary.Bugs, res.Summary.WitnessedBugs)
+		check(r, res)
+	}
+
+	// Recovery-mode pass: same campaigns, but each victim is restarted
+	// 500 ms (virtual) after its fault and judged by the recovery oracles.
+	rc := &trigger.RecoveryOptions{RestartDelay: 500 * sim.Millisecond}
+	recovered := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
+		return core.Run(systems[i], core.Options{Seed: seed, Scale: scale, Workers: workers, Recovery: rc})
+	})
+	fmt.Println("Recovery-mode cross-check (victims restarted after the fault):")
+	for i, r := range systems {
+		res := recovered[i]
+		s := res.Summary
+		fmt.Printf("  %-10s %2d restart runs; never-rejoined %d, rejoin-no-work %d, dup-incarnation %d, harness errors %d\n",
+			r.Name(), s.Restarts, s.ByOutcome[trigger.NeverRejoined],
+			s.ByOutcome[trigger.RejoinNoWork], s.ByOutcome[trigger.DuplicateIncarnation],
+			s.HarnessErrors)
+		check(r, res)
+	}
+
 	ids := make([]string, 0, len(witnessed))
 	for id := range witnessed {
 		ids = append(ids, id)

@@ -91,11 +91,17 @@ type Options struct {
 	// DeadlineFactor bounds each run (default 20x baseline).
 	DeadlineFactor int
 	// IncludeMasters also targets the coordinator node (host "node0").
-	// The paper's clusters restart crashed masters; the simulated
-	// systems do not model master restart, so by default the baselines
-	// pick victims among worker nodes only — otherwise every
-	// master-victim run would trivially count as a hang.
+	// The paper's clusters restart crashed masters; by default the
+	// baselines do not, and pick victims among worker nodes only —
+	// otherwise every master-victim run would trivially count as a hang.
+	// Set MasterRestart (and IncludeMasters) to model the paper's setup:
+	// a crashed master is restarted and rejoins via the system's
+	// recovery path.
 	IncludeMasters bool
+	// MasterRestart, when positive, restarts a crashed master that long
+	// after the injection, mirroring the paper's clusters where the
+	// master is supervised. Only meaningful with IncludeMasters.
+	MasterRestart sim.Time
 	// Workers bounds how many injection runs execute concurrently; zero
 	// or negative means one worker per CPU, 1 forces sequential runs.
 	// Runs are seeded per index, so results are identical for any
@@ -157,7 +163,7 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 	opts.defaults()
 	res := newResult(r.Name())
 	deadline := deadlineOf(b, opts.DeadlineFactor)
-	outcomes := campaign.Run(opts.Runs, campaign.Options{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
+	outcomes := campaign.Run(opts.Runs, campaign.Options[runOutcome]{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
 		run := r.NewRun(cluster.Config{
 			Seed:  opts.Seed + int64(i),
 			Scale: opts.Scale,
@@ -175,6 +181,9 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 				e.Shutdown(victim)
 			} else {
 				e.Crash(victim)
+			}
+			if opts.MasterRestart > 0 && victim.Host() == masterHost {
+				e.After(opts.MasterRestart, func() { cluster.Restart(run, victim) })
 			}
 		})
 		rr := cluster.Drive(run, deadline)
@@ -256,7 +265,7 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 			jobs = append(jobs, ioJob{point: pt, seed: opts.Seed + int64(i), at: at})
 		}
 	}
-	outcomes := campaign.Run(len(jobs), campaign.Options{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
+	outcomes := campaign.Run(len(jobs), campaign.Options[runOutcome]{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
 		j := jobs[i]
 		run := r.NewRun(cluster.Config{
 			Seed:  j.seed,
@@ -266,7 +275,12 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 		})
 		e := run.Engine()
 		victim := j.point.Node
-		e.After(j.at, func() { e.Crash(victim) })
+		e.After(j.at, func() {
+			e.Crash(victim)
+			if opts.MasterRestart > 0 && victim.Host() == masterHost {
+				e.After(opts.MasterRestart, func() { cluster.Restart(run, victim) })
+			}
+		})
 		rr := cluster.Drive(run, deadline)
 		newEx := trigger.NewUnhandled(b, e)
 		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)

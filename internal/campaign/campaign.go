@@ -10,11 +10,26 @@
 // Workers defaults to runtime.GOMAXPROCS(0); workers=1 degenerates to an
 // in-place sequential loop, so sequential execution is the special case
 // of the same code path, not a second implementation.
+//
+// Long campaigns are protected three ways, all opt-in through Options:
+//
+//   - Panic isolation (Recover): a job whose fn panics yields
+//     Recover(i, v) as its result instead of crashing the campaign.
+//   - Stall watchdog (StallTimeout/OnStall): a job that exceeds its
+//     wall-clock budget is abandoned and reported via OnStall.
+//   - Checkpointing (Checkpoint): finished jobs are appended to a JSONL
+//     file as they complete, and a later run can resume from it,
+//     re-executing only the unfinished jobs.
 package campaign
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // DefaultWorkers is the pool size used when Options.Workers is zero or
@@ -22,19 +37,69 @@ import (
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Options configures one pool run.
-type Options struct {
+type Options[T any] struct {
 	// Workers bounds the number of jobs in flight. Zero or negative
 	// means DefaultWorkers(); 1 runs the jobs inline, in order.
 	Workers int
 	// Progress, when non-nil, is invoked after every completed job with
 	// the number of jobs finished so far and the total. Calls are
 	// serialized and done is strictly increasing, so the callback needs
-	// no locking of its own; it must not block for long, since it is on
-	// the workers' completion path.
+	// no locking of its own. It should not block for long, since it is
+	// on the workers' completion path — but even a callback that blocks
+	// forever only stalls the pool, it cannot deadlock with a panicking
+	// job: panic recovery runs on the job's own goroutine, before the
+	// completion lock is taken.
 	Progress func(done, total int)
+	// Recover, when non-nil, isolates panics: a job whose fn panics
+	// yields Recover(i, v) as its result — v is the recovered panic
+	// value — instead of crashing the whole campaign. When nil, a panic
+	// propagates and kills the process, as a plain function call would.
+	Recover func(i int, v any) T
+	// StallTimeout, when positive, bounds each job's wall-clock runtime.
+	// A job still running after the timeout is abandoned (its goroutine
+	// leaks until fn returns on its own — the watchdog is a last resort
+	// for livelocked jobs, not a cancellation mechanism) and OnStall
+	// provides its result. Stalls are inherently wall-clock-dependent,
+	// so a campaign that trips the watchdog is no longer deterministic;
+	// prefer in-simulation step budgets and keep this as the backstop.
+	StallTimeout time.Duration
+	// OnStall supplies the result of a job abandoned by the stall
+	// watchdog. When nil, the zero value of T is used.
+	OnStall func(i int) T
+	// Checkpoint, when non-nil with a non-empty Path, makes the campaign
+	// resumable.
+	Checkpoint *CheckpointConfig
 }
 
-func (o Options) workers(n int) int {
+// CheckpointConfig makes a campaign resumable across process
+// interruptions. As jobs finish, their results are appended to Path as
+// JSON lines of the form {"i":<index>,"r":<result>}; a later run with
+// Resume set reloads the file, pre-fills the finished slots and executes
+// only the remaining jobs. A malformed line — the usual artifact of
+// being killed mid-write — is ignored on load, as are lines whose index
+// is out of range for the resuming campaign; resuming onto a file with a
+// torn tail first terminates the fragment so appended records stay on
+// their own lines.
+//
+// Results must round-trip through encoding/json for resuming to
+// reproduce them faithfully; note that nil and empty slices collapse to
+// the same JSON, so byte-identity is guaranteed for rendered output, not
+// for reflect.DeepEqual of in-memory results.
+//
+// A checkpoint file that cannot be opened for writing panics: silently
+// running without the requested durability would be worse.
+type CheckpointConfig struct {
+	// Path is the JSONL checkpoint file.
+	Path string
+	// Resume reloads Path before running and skips restored jobs.
+	// Without Resume the file is truncated and the campaign starts over.
+	Resume bool
+	// Every flushes the checkpoint file after that many completed jobs;
+	// zero or negative flushes after every job.
+	Every int
+}
+
+func (o Options[T]) workers(n int) int {
 	w := o.Workers
 	if w <= 0 {
 		w = DefaultWorkers()
@@ -51,28 +116,65 @@ func (o Options) workers(n int) int {
 // Run executes fn(0) … fn(n-1) on the pool and returns the n results
 // indexed by job position. Each job must be self-contained: fn is called
 // from multiple goroutines, with no ordering guarantee between jobs.
-func Run[T any](n int, opts Options, fn func(i int) T) []T {
+func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	workers := opts.workers(n)
 
+	// Work out which jobs still need to run and pre-fill the rest from
+	// the checkpoint.
+	todo := make([]int, 0, n)
+	restored := 0
+	var ck *ckptWriter[T]
+	if c := opts.Checkpoint; c != nil && c.Path != "" {
+		var prior map[int]T
+		if c.Resume {
+			prior = loadCheckpoint[T](c.Path, n)
+		}
+		for i := 0; i < n; i++ {
+			if r, ok := prior[i]; ok {
+				out[i] = r
+				restored++
+				continue
+			}
+			todo = append(todo, i)
+		}
+		ck = newCkptWriter[T](c)
+		defer ck.close()
+	} else {
+		for i := 0; i < n; i++ {
+			todo = append(todo, i)
+		}
+	}
+
+	done := restored
+	if opts.Progress != nil && restored > 0 {
+		opts.Progress(done, n)
+	}
+	if len(todo) == 0 {
+		return out
+	}
+
+	workers := opts.workers(len(todo))
 	if workers == 1 {
 		// The sequential special case of the same code path: jobs run
 		// inline, in index order.
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+		for _, i := range todo {
+			out[i] = runJob(opts, fn, i)
+			done++
+			if ck != nil {
+				ck.append(i, out[i])
+			}
 			if opts.Progress != nil {
-				opts.Progress(i+1, n)
+				opts.Progress(done, n)
 			}
 		}
 		return out
 	}
 
 	var (
-		mu   sync.Mutex // serializes Progress
-		done int
+		mu   sync.Mutex // serializes Progress and checkpoint appends
 		wg   sync.WaitGroup
 		jobs = make(chan int)
 	)
@@ -82,21 +184,161 @@ func Run[T any](n int, opts Options, fn func(i int) T) []T {
 			defer wg.Done()
 			for i := range jobs {
 				// Each worker writes only its own index; no two jobs
-				// share a slot, so the slice needs no lock.
-				out[i] = fn(i)
-				if opts.Progress != nil {
+				// share a slot, so the slice needs no lock. Panic
+				// recovery and the stall watchdog both live inside
+				// runJob, before mu — a misbehaving job cannot take the
+				// completion lock down with it.
+				out[i] = runJob(opts, fn, i)
+				if ck != nil || opts.Progress != nil {
 					mu.Lock()
 					done++
-					opts.Progress(done, n)
+					if ck != nil {
+						ck.append(i, out[i])
+					}
+					if opts.Progress != nil {
+						opts.Progress(done, n)
+					}
 					mu.Unlock()
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for _, i := range todo {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// runJob runs one job under the stall watchdog (if armed).
+func runJob[T any](opts Options[T], fn func(i int) T, i int) T {
+	if opts.StallTimeout <= 0 {
+		return execJob(opts, fn, i)
+	}
+	res := make(chan T, 1)
+	go func() { res <- execJob(opts, fn, i) }()
+	t := time.NewTimer(opts.StallTimeout)
+	defer t.Stop()
+	select {
+	case v := <-res:
+		return v
+	case <-t.C:
+		if opts.OnStall != nil {
+			return opts.OnStall(i)
+		}
+		var zero T
+		return zero
+	}
+}
+
+// execJob runs fn(i) with panic isolation (if configured).
+func execJob[T any](opts Options[T], fn func(i int) T, i int) (out T) {
+	if opts.Recover != nil {
+		defer func() {
+			if v := recover(); v != nil {
+				out = opts.Recover(i, v)
+			}
+		}()
+	}
+	return fn(i)
+}
+
+// ckptLine is one checkpoint record.
+type ckptLine[T any] struct {
+	I int `json:"i"`
+	R T   `json:"r"`
+}
+
+type ckptWriter[T any] struct {
+	f       *os.File
+	w       *bufio.Writer
+	every   int
+	pending int
+}
+
+func newCkptWriter[T any](c *CheckpointConfig) *ckptWriter[T] {
+	flag := os.O_CREATE
+	if c.Resume {
+		// O_RDWR so healTornTail can inspect the last byte.
+		flag |= os.O_RDWR | os.O_APPEND
+	} else {
+		flag |= os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(c.Path, flag, 0o644)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: cannot open checkpoint %s: %v", c.Path, err))
+	}
+	if c.Resume {
+		healTornTail(f)
+	}
+	every := c.Every
+	if every <= 0 {
+		every = 1
+	}
+	return &ckptWriter[T]{f: f, w: bufio.NewWriter(f), every: every}
+}
+
+// healTornTail terminates a checkpoint whose last write was cut off
+// mid-line (killed mid-write) before new records are appended to it.
+// Without the newline, the first appended record would concatenate onto
+// the torn fragment and both lines would be lost on the next load.
+func healTornTail(f *os.File) {
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil || last[0] == '\n' {
+		return
+	}
+	f.Write([]byte{'\n'})
+}
+
+// append records one finished job. A result that fails to marshal is
+// simply not checkpointed — it will re-run on resume.
+func (c *ckptWriter[T]) append(i int, r T) {
+	b, err := json.Marshal(ckptLine[T]{I: i, R: r})
+	if err != nil {
+		return
+	}
+	c.w.Write(b)
+	c.w.WriteByte('\n')
+	c.pending++
+	if c.pending >= c.every {
+		c.w.Flush()
+		c.pending = 0
+	}
+}
+
+func (c *ckptWriter[T]) close() {
+	c.w.Flush()
+	c.f.Close()
+}
+
+// loadCheckpoint reads back a checkpoint file. A missing file yields an
+// empty map (fresh start); malformed lines are skipped — a torn trailing
+// fragment from an interrupted run stays in the file (newline-terminated
+// by healTornTail on the resuming write) and must not shadow the intact
+// records around it; later lines for the same index win.
+func loadCheckpoint[T any](path string, n int) map[int]T {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	restored := make(map[int]T)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		var ln ckptLine[T]
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			continue
+		}
+		if ln.I < 0 || ln.I >= n {
+			continue
+		}
+		restored[ln.I] = ln.R
+	}
+	return restored
 }

@@ -8,7 +8,7 @@ import (
 
 func TestRunOrderIndependent(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 8, 100} {
-		got := Run(50, Options{Workers: workers}, func(i int) int { return i * i })
+		got := Run(50, Options[int]{Workers: workers}, func(i int) int { return i * i })
 		want := make([]int, 50)
 		for i := range want {
 			want[i] = i * i
@@ -20,14 +20,14 @@ func TestRunOrderIndependent(t *testing.T) {
 }
 
 func TestRunEmpty(t *testing.T) {
-	if got := Run(0, Options{}, func(int) int { return 1 }); got != nil {
+	if got := Run(0, Options[int]{}, func(int) int { return 1 }); got != nil {
 		t.Errorf("n=0: want nil, got %v", got)
 	}
 }
 
 func TestRunEveryJobOnce(t *testing.T) {
 	var calls [64]int32
-	Run(len(calls), Options{Workers: 4}, func(i int) struct{} {
+	Run(len(calls), Options[struct{}]{Workers: 4}, func(i int) struct{} {
 		atomic.AddInt32(&calls[i], 1)
 		return struct{}{}
 	})
@@ -41,7 +41,7 @@ func TestRunEveryJobOnce(t *testing.T) {
 func TestProgressMonotonic(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		var seen []int
-		Run(32, Options{
+		Run(32, Options[int]{
 			Workers: workers,
 			// Serialized by the pool, so no locking here.
 			Progress: func(done, total int) {
@@ -64,11 +64,11 @@ func TestProgressMonotonic(t *testing.T) {
 
 func TestWorkersClamped(t *testing.T) {
 	// More workers than jobs must not deadlock or drop jobs.
-	got := Run(3, Options{Workers: 64}, func(i int) int { return i })
+	got := Run(3, Options[int]{Workers: 64}, func(i int) int { return i })
 	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
 		t.Errorf("got %v", got)
 	}
-	if w := (Options{Workers: -5}).workers(10); w != DefaultWorkers() && w != 10 {
+	if w := (Options[int]{Workers: -5}).workers(10); w != DefaultWorkers() && w != 10 {
 		t.Errorf("negative workers resolved to %d", w)
 	}
 }

@@ -35,6 +35,17 @@ type Options struct {
 	// RandomTarget makes the trigger pick a random node instead of the
 	// stash-resolved owner (ablation of §3.2.2's alternative).
 	RandomTarget bool
+	// Recovery, when non-nil, switches the test phase to recovery-phase
+	// injection (restart the victim, optionally fault it again during
+	// recovery) with the extended recovery oracle.
+	Recovery *trigger.RecoveryOptions
+	// MaxSteps bounds each injection run's event count (0: the sim
+	// default); exhausted runs are reported as harness errors.
+	MaxSteps uint64
+	// CheckpointPath makes the test-phase campaign resumable via the
+	// given JSONL file; Resume skips the points already recorded there.
+	CheckpointPath string
+	Resume         bool
 	// Workers bounds how many injection runs the test phase executes
 	// concurrently (zero or negative: one per CPU, 1: sequential). The
 	// campaign results are identical for any worker count.
@@ -141,15 +152,19 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 	start := time.Now()
 	res.Baseline = trigger.MeasureBaseline(r, opts.Seed, opts.Scale, opts.BaselineRuns, opts.Deadline)
 	t := &trigger.Tester{
-		Runner:       r,
-		Analysis:     res.Analysis,
-		Matcher:      matcher,
-		Baseline:     res.Baseline,
-		Seed:         opts.Seed,
-		Scale:        opts.Scale,
-		RandomTarget: opts.RandomTarget,
-		Workers:      opts.Workers,
-		Progress:     opts.Progress,
+		Runner:         r,
+		Analysis:       res.Analysis,
+		Matcher:        matcher,
+		Baseline:       res.Baseline,
+		Seed:           opts.Seed,
+		Scale:          opts.Scale,
+		RandomTarget:   opts.RandomTarget,
+		Recovery:       opts.Recovery,
+		MaxSteps:       opts.MaxSteps,
+		CheckpointPath: opts.CheckpointPath,
+		Resume:         opts.Resume,
+		Workers:        opts.Workers,
+		Progress:       opts.Progress,
 	}
 	res.Reports = t.Campaign(res.Dynamic.Points)
 	// Dynamic points discovered only at larger profiling scales may not
@@ -167,6 +182,10 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 		if len(retry) > 0 {
 			rt := *t
 			rt.Scale = res.Dynamic.FinalScale
+			// The retry set indexes a different point list; sharing the
+			// main campaign's checkpoint file would corrupt both.
+			rt.CheckpointPath = ""
+			rt.Resume = false
 			points := make([]probe.DynPoint, len(retry))
 			for j, i := range retry {
 				points[j] = res.Reports[i].Dyn

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"path/filepath"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -42,11 +44,22 @@ type Experiments struct {
 	// rendered tables are identical with and without the cache.
 	Artifacts *core.ArtifactCache
 
+	// CheckpointDir, when non-empty, makes every campaign resumable:
+	// each system's test phase checkpoints to <dir>/<system>.ckpt (and
+	// <dir>/<system>.recovery.ckpt for the recovery campaigns). With
+	// Resume set, a rerun skips the points already on disk and renders
+	// byte-identical tables.
+	CheckpointDir string
+	Resume        bool
+
 	Systems  []cluster.Runner
 	Results  map[string]*core.Result
 	Matchers map[string]*logparse.Matcher
 	Random   map[string]*baseline.Result
 	IO       map[string]*baseline.Result
+	// Recovered holds the recovery-mode pipeline results (RunRecovery),
+	// keyed like Results.
+	Recovered map[string]*core.Result
 }
 
 // NewExperiments prepares an experiment set over all systems.
@@ -66,7 +79,17 @@ func NewExperiments(seed int64, scale, randomRuns int) *Experiments {
 		Matchers:   make(map[string]*logparse.Matcher),
 		Random:     make(map[string]*baseline.Result),
 		IO:         make(map[string]*baseline.Result),
+		Recovered:  make(map[string]*core.Result),
 	}
+}
+
+// checkpointPath names a campaign's checkpoint file; empty when
+// checkpointing is off.
+func (x *Experiments) checkpointPath(system, suffix string) string {
+	if x.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(x.CheckpointDir, system+suffix)
 }
 
 // RunPipelines executes the CrashTuner pipeline on every system. The
@@ -80,9 +103,13 @@ func (x *Experiments) RunPipelines() {
 		res     *core.Result
 		matcher *logparse.Matcher
 	}
-	outs := campaign.Run(len(x.Systems), campaign.Options{Workers: x.Workers}, func(i int) pipelineOut {
+	outs := campaign.Run(len(x.Systems), campaign.Options[pipelineOut]{Workers: x.Workers}, func(i int) pipelineOut {
 		r := x.Systems[i]
-		opts := core.Options{Seed: x.Seed, Scale: x.Scale, Workers: x.Workers}
+		opts := core.Options{
+			Seed: x.Seed, Scale: x.Scale, Workers: x.Workers,
+			CheckpointPath: x.checkpointPath(r.Name(), ".ckpt"),
+			Resume:         x.Resume,
+		}
 		if x.Progress != nil {
 			opts.Progress = func(p trigger.Progress) {
 				mu.Lock()
@@ -115,7 +142,7 @@ func (x *Experiments) RunBaselines() {
 	type baselineOut struct {
 		random, io *baseline.Result
 	}
-	outs := campaign.Run(len(x.Systems), campaign.Options{Workers: x.Workers}, func(i int) baselineOut {
+	outs := campaign.Run(len(x.Systems), campaign.Options[baselineOut]{Workers: x.Workers}, func(i int) baselineOut {
 		r := x.Systems[i]
 		res := x.Results[r.Name()]
 		if res == nil {

@@ -46,7 +46,7 @@ func PairSummary(r cluster.Runner, seed int64, scale, maxPairs int) string {
 		}
 	}
 	fmt.Fprintf(&b, "runs with both faults injected: %d\n", twoFault)
-	for o := trigger.NotHit; o <= trigger.JobFailure; o++ {
+	for o := trigger.NotHit; o <= trigger.MaxOutcome; o++ {
 		if n := byOutcome[o]; n > 0 {
 			fmt.Fprintf(&b, "  %-20s %d\n", o.String(), n)
 		}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRestartRevivesWithFreshIncarnation(t *testing.T) {
+	e := NewEngine(1)
+	n := e.AddNode("node1", 1000)
+	if n.Incarnation() != 1 {
+		t.Fatalf("fresh node incarnation = %d, want 1", n.Incarnation())
+	}
+	e.After(Second, func() { e.Crash(n.ID) })
+	e.After(2*Second, func() {
+		if !e.Restart(n.ID) {
+			t.Fatal("Restart of a dead node returned false")
+		}
+	})
+	e.Quiesce()
+	if !n.Alive() {
+		t.Fatal("node not alive after Restart")
+	}
+	if n.Incarnation() != 2 {
+		t.Errorf("incarnation after restart = %d, want 2", n.Incarnation())
+	}
+	fs := e.Faults()
+	if len(fs) != 2 || fs[1].Kind != FaultRestart || fs[1].Node != n.ID {
+		t.Errorf("faults = %v, want crash then restart of %s", fs, n.ID)
+	}
+}
+
+func TestRestartRefusesAliveOrUnknown(t *testing.T) {
+	e := NewEngine(1)
+	n := e.AddNode("node1", 1000)
+	if e.Restart(n.ID) {
+		t.Error("Restart of an alive node must return false")
+	}
+	if e.Restart("nosuch:1") {
+		t.Error("Restart of an unknown node must return false")
+	}
+	if len(e.Faults()) != 0 {
+		t.Errorf("failed restarts must not append fault records: %v", e.Faults())
+	}
+}
+
+// TestRestartDropsStaleTimers checks that timers armed by the previous
+// incarnation never fire on the new one.
+func TestRestartDropsStaleTimers(t *testing.T) {
+	e := NewEngine(1)
+	n := e.AddNode("node1", 1000)
+	stale := 0
+	e.AfterOn(n.ID, 3*Second, func() { stale++ }) // armed by incarnation 1
+	e.Every(n.ID, Second, func() { stale++ })     // periodic, incarnation 1
+	e.After(500*Millisecond, func() { e.Crash(n.ID) })
+	e.After(Second, func() { e.Restart(n.ID) })
+	fresh := 0
+	e.After(1100*Millisecond, func() {
+		e.AfterOn(n.ID, Second, func() { fresh++ }) // armed by incarnation 2
+	})
+	e.Quiesce()
+	if stale != 0 {
+		t.Errorf("stale timers fired %d times on the new incarnation", stale)
+	}
+	if fresh != 1 {
+		t.Errorf("fresh timer fired %d times, want 1", fresh)
+	}
+}
+
+// TestRestartDropsInFlightMessages checks that a message sent to the old
+// incarnation is not delivered to the new one.
+func TestRestartDropsInFlightMessages(t *testing.T) {
+	e := NewEngine(1)
+	a := e.AddNode("node1", 1000)
+	b := e.AddNode("node2", 1000)
+	delivered := 0
+	svc := ServiceFunc(func(e *Engine, m Message) { delivered++ })
+	b.Register("svc", svc)
+	// The message is in flight (delivery takes >0 time) when b crashes
+	// and restarts: it was addressed to incarnation 1 and must vanish.
+	e.After(Second, func() {
+		e.Send(a.ID, b.ID, "svc", "ping", nil)
+		e.Crash(b.ID)
+		e.Restart(b.ID)
+		b.Register("svc", svc) // rejoin re-attaches the service
+	})
+	e.Quiesce()
+	if delivered != 0 {
+		t.Errorf("stale in-flight message delivered %d times", delivered)
+	}
+	// A message sent after the restart does arrive.
+	e.Send(a.ID, b.ID, "svc", "ping", nil)
+	e.Quiesce()
+	if delivered != 1 {
+		t.Errorf("fresh message delivered %d times, want 1", delivered)
+	}
+}
+
+// TestRestartClearsHooksAndServices checks that shutdown/death hooks and
+// services registered by the previous incarnation are inert after a
+// restart.
+func TestRestartClearsHooksAndServices(t *testing.T) {
+	e := NewEngine(1)
+	n := e.AddNode("node1", 1000)
+	oldHook := 0
+	n.Register("svc", ServiceFunc(func(e *Engine, m Message) {}))
+	n.OnShutdown(func(e *Engine) { oldHook++ })
+	n.OnDeath(func(e *Engine, graceful bool) { oldHook++ })
+	e.After(Second, func() { e.Crash(n.ID) }) // crash: death hook fires once
+	e.After(2*Second, func() { e.Restart(n.ID) })
+	e.After(3*Second, func() { e.Shutdown(n.ID) }) // no hooks: all from inc 1
+	e.Quiesce()
+	if oldHook != 1 {
+		t.Errorf("old-incarnation hooks ran %d times, want 1 (the death hook at the first crash)", oldHook)
+	}
+	if _, ok := n.services["svc"]; ok {
+		t.Error("old-incarnation service still registered after restart")
+	}
+}
+
+// TestRestartSchedulingDeterminism re-runs a crash/restart schedule and
+// demands identical traces.
+func TestRestartSchedulingDeterminism(t *testing.T) {
+	trace := func() []FaultRecord {
+		e := NewEngine(42)
+		var ids []NodeID
+		for i := 0; i < 4; i++ {
+			n := e.AddNode("host", 1000+i)
+			id := n.ID
+			ids = append(ids, id)
+			e.Every(id, 100*Millisecond, func() {})
+		}
+		rng := rand.New(rand.NewSource(7))
+		for step := 0; step < 50; step++ {
+			at := Time(step) * 50 * Millisecond
+			id := ids[rng.Intn(len(ids))]
+			switch rng.Intn(3) {
+			case 0:
+				e.After(at, func() { e.Crash(id) })
+			case 1:
+				e.After(at, func() { e.Shutdown(id) })
+			case 2:
+				e.After(at, func() { e.Restart(id) })
+			}
+		}
+		e.Run(10 * Second)
+		return e.Faults()
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("fault traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule produced no faults; test is vacuous")
+	}
+}

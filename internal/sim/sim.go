@@ -15,6 +15,12 @@
 //     immediately), emulating the graceful shutdown scripts the paper uses
 //     to avoid waiting for liveness timeouts (§2.1).
 //
+// A dead node can be revived with Restart: it rejoins with fresh state
+// under a new incarnation number, and everything scheduled on behalf of
+// a previous incarnation — timers, periodic series, in-flight messages,
+// death hooks — is inert. This models the recovery phase the paper's
+// crash-recovery bugs live in.
+//
 // All scheduling decisions are driven by a seeded RNG and a total order on
 // events, so a run with the same seed and the same injected faults is
 // fully reproducible.
@@ -68,7 +74,10 @@ func (id NodeID) Host() string {
 
 // event is a scheduled callback. Events are recycled through the
 // engine's freelist once dispatched or dropped; gen distinguishes
-// incarnations so a stale Timer cannot cancel an unrelated reuse.
+// incarnations so a stale Timer cannot cancel an unrelated reuse. inc is
+// the bound node's incarnation at scheduling time: dispatch drops the
+// event if the node has since been restarted, so timers and in-flight
+// messages from a previous life are inert (see Restart).
 type event struct {
 	at    Time
 	seq   uint64
@@ -77,6 +86,7 @@ type event struct {
 	index int
 	dead  bool
 	gen   uint32
+	inc   uint32
 }
 
 type eventHeap []*event
@@ -148,7 +158,10 @@ type Node struct {
 	Hostname string
 	Port     int
 	alive    bool
-	services map[string]Service
+	// incarnation counts the node's lives, starting at 1; Restart bumps
+	// it, which retires every event bound to the previous life.
+	incarnation uint32
+	services    map[string]Service
 	// shutdownHooks run synchronously, in registration order, when the
 	// node is gracefully shut down.
 	shutdownHooks []func(*Engine)
@@ -158,6 +171,10 @@ type Node struct {
 
 // Alive reports whether the node has not crashed or been shut down.
 func (n *Node) Alive() bool { return n.alive }
+
+// Incarnation returns the node's current incarnation number: 1 for its
+// first life, incremented by every Restart.
+func (n *Node) Incarnation() uint32 { return n.incarnation }
 
 // OnShutdown registers a hook that runs synchronously during a graceful
 // Shutdown, while the node is still alive.
@@ -183,13 +200,18 @@ type FaultKind int
 const (
 	FaultCrash    FaultKind = iota // silent failure
 	FaultShutdown                  // graceful, pro-active leave
+	FaultRestart                   // dead node revived under a new incarnation
 )
 
 func (k FaultKind) String() string {
-	if k == FaultShutdown {
+	switch k {
+	case FaultShutdown:
 		return "shutdown"
+	case FaultRestart:
+		return "restart"
+	default:
+		return "crash"
 	}
-	return "crash"
 }
 
 // FaultRecord describes an injected fault.
@@ -248,11 +270,12 @@ func (e *Engine) AddNode(host string, port int) *Node {
 		panic(fmt.Sprintf("sim: duplicate node %s", id))
 	}
 	n := &Node{
-		ID:       id,
-		Hostname: host,
-		Port:     port,
-		alive:    true,
-		services: make(map[string]Service),
+		ID:          id,
+		Hostname:    host,
+		Port:        port,
+		alive:       true,
+		incarnation: 1,
+		services:    make(map[string]Service),
 	}
 	e.nodes[id] = n
 	e.order = append(e.order, id)
@@ -297,15 +320,21 @@ func (e *Engine) schedule(at Time, node NodeID, fn func()) *event {
 	if at < e.now {
 		at = e.now
 	}
+	var inc uint32
+	if node != "" {
+		if n := e.nodes[node]; n != nil {
+			inc = n.incarnation
+		}
+	}
 	e.seq++
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.node, ev.fn = at, e.seq, node, fn
+		ev.at, ev.seq, ev.node, ev.fn, ev.inc = at, e.seq, node, fn, inc
 	} else {
-		ev = &event{at: at, seq: e.seq, node: node, fn: fn}
+		ev = &event{at: at, seq: e.seq, node: node, fn: fn, inc: inc}
 	}
 	heap.Push(&e.pq, ev)
 	return ev
@@ -405,6 +434,28 @@ func (e *Engine) Shutdown(id NodeID) {
 	}
 }
 
+// Restart revives a dead node under a new incarnation: the node comes
+// back alive with an empty service table and no shutdown/death hooks,
+// and every timer, periodic series or in-flight message bound to a
+// previous incarnation is silently dropped at dispatch. Callers are
+// expected to re-create services and background work afterwards (the
+// per-system rejoin factories, see cluster.Restart). The restart is
+// recorded as a FaultRecord so schedules stay auditable. It returns
+// false if the node is unknown or still alive.
+func (e *Engine) Restart(id NodeID) bool {
+	n := e.nodes[id]
+	if n == nil || n.alive {
+		return false
+	}
+	n.alive = true
+	n.incarnation++
+	n.services = make(map[string]Service)
+	n.shutdownHooks = nil
+	n.deathHooks = nil
+	e.faults = append(e.faults, FaultRecord{At: e.now, Node: id, Kind: FaultRestart})
+	return true
+}
+
 // OnStep installs a callback invoked with the virtual time before each
 // event dispatch.
 func (e *Engine) OnStep(fn func(Time)) { e.onStep = fn }
@@ -440,7 +491,10 @@ func (e *Engine) Run(deadline Time) RunResult {
 			continue
 		}
 		if ev.node != "" {
-			if n := e.nodes[ev.node]; n == nil || !n.alive {
+			// Dropping on an incarnation mismatch is what makes stale
+			// timers and in-flight messages from a restarted node's
+			// previous life inert.
+			if n := e.nodes[ev.node]; n == nil || !n.alive || n.incarnation != ev.inc {
 				e.recycle(ev)
 				continue
 			}

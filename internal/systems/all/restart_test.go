@@ -1,0 +1,177 @@
+package all
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/systems/cluster"
+)
+
+// chaosOutcome is everything observable about one randomized
+// crash/shutdown/restart schedule, captured so two executions of the
+// same schedule can be compared field by field.
+type chaosOutcome struct {
+	run      cluster.Run
+	faults   []sim.FaultRecord
+	status   cluster.Status
+	end      sim.Time
+	restarts map[sim.NodeID]int // successful restarts per node
+	incs     map[sim.NodeID]uint32
+}
+
+// runChaosSchedule drives one system under a randomized fault schedule:
+// every 150 ms (virtual) it crashes or shuts down a random alive node,
+// or restarts — through the full rejoin path — a random node it killed
+// earlier. The schedule's own randomness comes from a fixed-seed
+// generator consumed in event order, so the whole execution is
+// deterministic.
+func runChaosSchedule(t *testing.T, r cluster.Runner, seed int64) chaosOutcome {
+	t.Helper()
+	run := r.NewRun(cluster.Config{Seed: 11, Scale: 1})
+	e := run.Engine()
+	e.MaxSteps = 10_000_000
+	rng := rand.New(rand.NewSource(seed))
+	restarts := map[sim.NodeID]int{}
+	var dead []sim.NodeID
+	for i := 0; i < 60; i++ {
+		at := sim.Time(i+1) * 150 * sim.Millisecond
+		e.After(at, func() {
+			switch rng.Intn(3) {
+			case 0, 1:
+				alive := e.AliveNodes()
+				if len(alive) == 0 {
+					return
+				}
+				id := alive[rng.Intn(len(alive))]
+				if rng.Intn(2) == 0 {
+					e.Crash(id)
+				} else {
+					e.Shutdown(id)
+				}
+				dead = append(dead, id)
+			case 2:
+				if len(dead) == 0 {
+					return
+				}
+				k := rng.Intn(len(dead))
+				id := dead[k]
+				if cluster.Restart(run, id) {
+					restarts[id]++
+					dead = append(dead[:k], dead[k+1:]...)
+				}
+			}
+		})
+	}
+	// Not cluster.Drive: that stops as soon as the workload resolves,
+	// and the fast systems finish before the chaos starts. The schedule
+	// must keep running on the settled cluster.
+	run.Start()
+	res := e.Run(30 * sim.Second)
+	if res.Exhausted {
+		t.Fatalf("%s: chaos schedule exhausted the step budget (livelock)", r.Name())
+	}
+	incs := map[sim.NodeID]uint32{}
+	for id := range restarts {
+		incs[id] = e.Node(id).Incarnation()
+	}
+	return chaosOutcome{
+		run: run, faults: e.Faults(), status: run.Status(),
+		end: res.End, restarts: restarts, incs: incs,
+	}
+}
+
+// TestRandomRestartSchedulesAllSystems subjects every system to a
+// randomized crash/shutdown/restart schedule and checks the restart
+// invariants end to end: the run terminates within its step budget, the
+// schedule replays byte-identically (no hidden nondeterminism and no
+// cross-incarnation leakage feeding back into scheduling), incarnation
+// numbers account exactly for the successful restarts, and the recovery
+// bookkeeping matches the schedule's own records.
+func TestRandomRestartSchedulesAllSystems(t *testing.T) {
+	for _, r := range append(Runners(), Extensions()...) {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			a := runChaosSchedule(t, r, 99)
+			b := runChaosSchedule(t, r, 99)
+
+			if !reflect.DeepEqual(a.faults, b.faults) {
+				t.Errorf("fault traces differ across identical schedules:\n%v\nvs\n%v", a.faults, b.faults)
+			}
+			if a.status != b.status || a.end != b.end {
+				t.Errorf("outcomes differ: %v@%v vs %v@%v", a.status, a.end, b.status, b.end)
+			}
+
+			total := 0
+			for id, n := range a.restarts {
+				total += n
+				if got := a.incs[id]; got != uint32(1+n) {
+					t.Errorf("%s restarted %d times but incarnation = %d, want %d", id, n, got, 1+n)
+				}
+			}
+			if total == 0 {
+				t.Errorf("schedule performed no successful restart; test is vacuous")
+			}
+
+			rr, ok := a.run.(cluster.RecoveryReporter)
+			if !ok {
+				t.Fatalf("%s run does not implement RecoveryReporter", r.Name())
+			}
+			listed := rr.RestartedNodes()
+			if len(listed) != len(a.restarts) {
+				t.Errorf("RestartedNodes = %v, schedule restarted %v", listed, a.restarts)
+			}
+			for i := 1; i < len(listed); i++ {
+				if listed[i-1] >= listed[i] {
+					t.Errorf("RestartedNodes not sorted: %v", listed)
+				}
+			}
+			for _, id := range listed {
+				ri, ok := rr.Recovery(id)
+				if !ok {
+					t.Errorf("no recovery info for restarted node %s", id)
+					continue
+				}
+				if ri.Restarts != a.restarts[id] {
+					t.Errorf("%s: recovery records %d restarts, schedule did %d", id, ri.Restarts, a.restarts[id])
+				}
+			}
+		})
+	}
+}
+
+// TestRestartedClusterStaysQuiescable restarts every node of every
+// system once, then shuts the whole cluster down and checks the engine
+// drains: no orphaned self-perpetuating work survives either the
+// restarts or the final shutdown (Quiesce would exhaust the step budget
+// otherwise).
+func TestRestartedClusterStaysQuiescable(t *testing.T) {
+	for _, r := range append(Runners(), Extensions()...) {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			run := r.NewRun(cluster.Config{Seed: 7, Scale: 1})
+			e := run.Engine()
+			e.MaxSteps = 10_000_000
+			ids := e.AliveNodes()
+			for i, id := range ids {
+				id := id
+				at := sim.Time(i+1) * 300 * sim.Millisecond
+				e.After(at, func() { e.Crash(id) })
+				e.After(at+100*sim.Millisecond, func() { cluster.Restart(run, id) })
+			}
+			// After the restart storm, stop every node for good: a
+			// drained cluster schedules nothing, so Quiesce terminates.
+			e.After(20*sim.Second, func() {
+				for _, id := range e.AliveNodes() {
+					e.Shutdown(id)
+				}
+			})
+			run.Start()
+			res := e.Quiesce()
+			if res.End < 20*sim.Second {
+				t.Errorf("engine drained at %v, before the final shutdown", res.End)
+			}
+		})
+	}
+}

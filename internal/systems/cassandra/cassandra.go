@@ -135,11 +135,27 @@ func (rn *run) gossipService(e *sim.Engine, m sim.Message) {
 func (rn *run) addEndpoint(p sim.NodeID) {
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.coord, "cassandra.service.StorageService.addEndpoint")()
-	token := len(rn.ring)
+	if _, ok := rn.endpointState[p]; ok {
+		// A restarted node re-announced itself before gossip marked it
+		// DOWN: its state is refreshed and it keeps its tokens.
+		rn.endpointState[p] = "NORMAL"
+		pb.PostWrite(rn.coord, PtEndpointPut, string(p))
+		rn.lm.Track(p)
+		rn.NoteRejoin(p)
+		rn.Logger(rn.coord, "StorageService").Info("Node ", p, " rejoined the ring with a new gossip generation")
+		return
+	}
+	token := 0
+	for t := range rn.ring {
+		if t >= token {
+			token = t + 1
+		}
+	}
 	rn.ring[token] = p
 	rn.endpointState[p] = "NORMAL"
 	pb.PostWrite(rn.coord, PtEndpointPut, string(p))
 	rn.lm.Track(p)
+	rn.NoteRejoin(p)
 	rn.Logger(rn.coord, "StorageService").Info("Node ", p, " joined the ring with token ", token)
 }
 
@@ -253,10 +269,60 @@ func (rn *run) replicaService(e *sim.Engine, m sim.Message) {
 	e.AfterOn(self, 10*sim.Millisecond, func() {
 		pb := rn.Cfg.Probe
 		defer pb.Enter(self, "cassandra.db.ColumnFamilyStore.applyMutation")()
+		rn.NoteWork(self)
 		pb.PostWrite(self, PtApplyPut, mm.key, string(self))
 		rn.Logger(self, "ColumnFamilyStore").Info("Applied mutation ", mm.key, " at ", self)
 		e.Send(self, rn.coord, "gossip", "mutAck", mm.i)
 	})
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner.
+func (rn *run) Rejoin(id sim.NodeID) {
+	if id == rn.coord {
+		rn.rejoinCoord()
+		return
+	}
+	rn.rejoinReplica(id)
+}
+
+// rejoinReplica restarts a data node: it re-announces itself through
+// gossip and resumes heartbeats; the coordinator either refreshes its
+// still-live entry or re-admits it to the ring.
+func (rn *run) rejoinReplica(id sim.NodeID) {
+	e := rn.Eng
+	p := e.Node(id)
+	p.Register("replica", sim.ServiceFunc(rn.replicaService))
+	p.OnShutdown(func(e *sim.Engine) { rn.removeEndpoint(id, "decommissioned") })
+	rn.Logger(id, "CassandraDaemon").Info("Node ", id, " restarted, announcing itself via gossip")
+	e.AfterOn(id, 10*sim.Millisecond, func() {
+		e.Send(id, rn.coord, "gossip", "join", nil)
+		sim.StartHeartbeats(e, id, rn.coord, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn",
+		})
+	})
+}
+
+// rejoinCoord restarts the coordinator: gossip comes back, live
+// endpoints are re-tracked by a fresh failure detector and the Stress
+// client resumes at the first unacknowledged key. The coordinator is its
+// own registry, so the recovery bookkeeping marks it rejoined (and
+// working) once it serves again.
+func (rn *run) rejoinCoord() {
+	e := rn.Eng
+	e.Node(rn.coord).Register("gossip", sim.ServiceFunc(rn.gossipService))
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.coord, hb, func(n sim.NodeID) { rn.removeEndpoint(n, "down") })
+	for _, cand := range rn.peers {
+		if _, ok := rn.endpointState[cand]; ok {
+			rn.lm.Track(cand)
+		}
+	}
+	rn.Logger(rn.coord, "CassandraDaemon").Info("Coordinator restarted, resuming Stress at key ", rn.done)
+	rn.NoteRejoin(rn.coord)
+	rn.NoteWork(rn.coord)
+	e.AfterOn(rn.coord, 100*sim.Millisecond, func() { rn.writeKey(rn.done, 0) })
 }
 
 func (rn *run) mutAck(i int) {

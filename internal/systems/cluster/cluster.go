@@ -77,14 +77,55 @@ type Run interface {
 	Witnesses() []string
 }
 
+// Rejoiner is implemented by runs whose systems model node restart: after
+// sim.Engine.Restart revives the node with an empty service table, Rejoin
+// re-creates its services and background work and performs the system's
+// re-registration protocol (heartbeat resumption, registry re-announce,
+// leader re-election interaction). Use the package-level Restart helper,
+// which sequences the engine restart, the recovery bookkeeping and the
+// rejoin factory.
+type Rejoiner interface {
+	Rejoin(id sim.NodeID)
+}
+
+// RecoveryInfo tracks what happened to a node after its most recent
+// restart; the trigger's recovery oracles read it.
+type RecoveryInfo struct {
+	// Restarts counts how many times the node was restarted.
+	Restarts int
+	// Rejoined reports whether the cluster acknowledged the node's
+	// re-registration after the most recent restart (for masters:
+	// whether the master resumed serving).
+	Rejoined bool
+	// WorkAssigned reports whether the node received new work after the
+	// most recent restart.
+	WorkAssigned bool
+	// DuplicateIncarnation reports that the cluster accepted a
+	// registration for a node it still considered registered, leaving
+	// state from the previous incarnation live alongside the new one.
+	DuplicateIncarnation bool
+}
+
+// RecoveryReporter exposes per-node recovery bookkeeping; Base implements
+// it, so every run satisfies the interface via embedding.
+type RecoveryReporter interface {
+	// Recovery returns the info recorded for a node, and whether the node
+	// was ever restarted.
+	Recovery(id sim.NodeID) (RecoveryInfo, bool)
+	// RestartedNodes returns the IDs of nodes restarted at least once,
+	// sorted.
+	RestartedNodes() []sim.NodeID
+}
+
 // Base provides the bookkeeping shared by the system implementations;
 // embed it in a system's run type.
 type Base struct {
-	Eng  *sim.Engine
-	Cfg  Config
-	stat Status
-	why  string
-	wits map[string]bool
+	Eng   *sim.Engine
+	Cfg   Config
+	stat  Status
+	why   string
+	wits  map[string]bool
+	recov map[sim.NodeID]*RecoveryInfo
 }
 
 // NewBase initializes the shared state with a fresh engine.
@@ -141,6 +182,90 @@ func (b *Base) Witnesses() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// noteRestart records a restart and resets the per-life recovery flags;
+// the Restart helper calls it before invoking the rejoin factory.
+func (b *Base) noteRestart(id sim.NodeID) {
+	if b.recov == nil {
+		b.recov = make(map[sim.NodeID]*RecoveryInfo)
+	}
+	ri := b.recov[id]
+	if ri == nil {
+		ri = &RecoveryInfo{}
+		b.recov[id] = ri
+	}
+	ri.Restarts++
+	ri.Rejoined = false
+	ri.WorkAssigned = false
+}
+
+// NoteRejoin records that the cluster acknowledged the node's
+// re-registration; a no-op for nodes that were never restarted, so
+// first-boot registration paths can call it unconditionally.
+func (b *Base) NoteRejoin(id sim.NodeID) {
+	if ri := b.recov[id]; ri != nil {
+		ri.Rejoined = true
+	}
+}
+
+// NoteWork records that the node received new work; a no-op for nodes
+// that were never restarted.
+func (b *Base) NoteWork(id sim.NodeID) {
+	if ri := b.recov[id]; ri != nil && ri.Rejoined {
+		ri.WorkAssigned = true
+	}
+}
+
+// NoteDuplicateIncarnation records a duplicate-incarnation anomaly: the
+// cluster accepted a registration for a node it still considered
+// registered. A no-op for nodes that were never restarted.
+func (b *Base) NoteDuplicateIncarnation(id sim.NodeID) {
+	if ri := b.recov[id]; ri != nil {
+		ri.DuplicateIncarnation = true
+	}
+}
+
+// Recovery implements RecoveryReporter.
+func (b *Base) Recovery(id sim.NodeID) (RecoveryInfo, bool) {
+	if ri := b.recov[id]; ri != nil {
+		return *ri, true
+	}
+	return RecoveryInfo{}, false
+}
+
+// RestartedNodes implements RecoveryReporter.
+func (b *Base) RestartedNodes() []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(b.recov))
+	for id := range b.recov {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// restartRecorder is how the Restart helper reaches the embedded Base's
+// unexported bookkeeping through the Run interface.
+type restartRecorder interface{ noteRestart(id sim.NodeID) }
+
+// Restart revives a dead node of the run and drives the system's rejoin
+// protocol: the engine retires the previous incarnation, the recovery
+// bookkeeping starts a fresh life, and the run's Rejoin factory
+// re-creates the node's services. It returns false if the run's system
+// does not implement Rejoiner or the node is unknown or still alive.
+func Restart(run Run, id sim.NodeID) bool {
+	rj, ok := run.(Rejoiner)
+	if !ok {
+		return false
+	}
+	if !run.Engine().Restart(id) {
+		return false
+	}
+	if rr, ok := run.(restartRecorder); ok {
+		rr.noteRestart(id)
+	}
+	rj.Rejoin(id)
+	return true
 }
 
 // Logger returns a component logger on a node of this run.

@@ -60,6 +60,11 @@ type Runner struct {
 	FixActivateNPE bool
 	FixInitAbort   bool
 	FixMoveRace    bool
+	// FixDoubleRegister patches the duplicate-incarnation anomaly: a
+	// restarted server reporting for duty while the master still holds
+	// its previous incarnation online expires the old one first instead
+	// of overwriting it and leaking its region bookkeeping.
+	FixDoubleRegister bool
 }
 
 // Name implements cluster.Runner.
@@ -141,14 +146,7 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session"}
 	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, func(n sim.NodeID) { rn.serverRemoved(n, "expired") })
 	master.Register("master", sim.ServiceFunc(rn.masterService))
-	master.Register("zk", sim.ServiceFunc(func(e *sim.Engine, m sim.Message) {
-		if m.Kind == "session" {
-			rn.lm.Beat(m.From)
-		} else if m.Kind == "zkRegister" {
-			rn.lm.Track(m.From)
-			rn.Logger(rn.master, "ZKWatcher").Info("ZooKeeper session established for ", m.From)
-		}
-	}))
+	master.Register("zk", sim.ServiceFunc(rn.zkService))
 
 	for i := 1; i <= r.rss(); i++ {
 		rs := e.AddNode(fmt.Sprintf("node%d", i), 16020)
@@ -250,6 +248,16 @@ func (rn *run) rsService(e *sim.Engine, m sim.Message) {
 
 // ---- HMaster side ----
 
+// zkService is the master-colocated ZooKeeper session endpoint.
+func (rn *run) zkService(e *sim.Engine, m sim.Message) {
+	if m.Kind == "session" {
+		rn.lm.Beat(m.From)
+	} else if m.Kind == "zkRegister" {
+		rn.lm.Track(m.From)
+		rn.Logger(rn.master, "ZKWatcher").Info("ZooKeeper session established for ", m.From)
+	}
+}
+
 func (rn *run) masterService(e *sim.Engine, m sim.Message) {
 	switch m.Kind {
 	case "report":
@@ -268,7 +276,22 @@ func (rn *run) masterService(e *sim.Engine, m sim.Message) {
 func (rn *run) reportServer(rs sim.NodeID) {
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.master, "hbase.master.HMaster.reportServer")()
+	if _, ok := rn.onlineServers[rs]; ok {
+		// A restarted server reported for duty while the master still held
+		// its previous incarnation online. The fix expires the old
+		// incarnation first (YouAreDeadException path); without it the
+		// stale entry is overwritten and its region bookkeeping leaks —
+		// the duplicate-incarnation anomaly the recovery oracle flags.
+		if rn.r.FixDoubleRegister {
+			rn.serverRemoved(rs, "reconnected with a new startcode")
+		} else {
+			rn.NoteDuplicateIncarnation(rs)
+			rn.Logger(rn.master, "ServerManager").Warn(
+				"RegionServer ", rs, " reported for duty twice; previous incarnation still online")
+		}
+	}
 	rn.onlineServers[rs] = &rsInfo{id: rs, regions: make(map[string]bool)}
+	rn.NoteRejoin(rs)
 	// HBASE-22041 window: the server may crash right after this write,
 	// before its ZooKeeper registration.
 	pb.PostWrite(rn.master, PtOnlinePut, string(rs))
@@ -381,6 +404,7 @@ func (rn *run) moveRegion(region string) {
 			delete(rn.onlineServers[src].regions, region)
 			rn.assignments[region] = cand
 			rn.onlineServers[cand].regions[region] = true
+			rn.NoteWork(cand)
 			rn.Logger(rn.master, "RegionMover").Info("Moving region ", region, " from ", src, " to ", cand)
 			e.Send(rn.master, cand, "rs", "openRegion", region)
 			return
@@ -402,6 +426,7 @@ func (rn *run) assignRegion(region string) {
 	target := ids[idx%len(ids)]
 	rn.assignments[region] = target
 	rn.onlineServers[target].regions[region] = true
+	rn.NoteWork(target)
 	pb.PostWrite(rn.master, PtAssignPut, region, string(target))
 	rn.Logger(rn.master, "AssignmentManager").Info("Assigned region ", region, " to ", target)
 	e.Send(rn.master, target, "rs", "openRegion", region)
@@ -496,6 +521,69 @@ func (rn *run) serverRemoved(rs sim.NodeID, why string) {
 			rn.Eng.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assignRegion(region) })
 		}
 	}
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner.
+func (rn *run) Rejoin(id sim.NodeID) {
+	if id == rn.master {
+		rn.rejoinMaster()
+		return
+	}
+	rn.rejoinRS(id)
+}
+
+// rejoinRS restarts a RegionServer: fresh process state, then the full
+// report → ZK-register → init-metrics startup sequence runs again. If
+// the master still holds the previous incarnation online, the report
+// trips the double-register path above.
+func (rn *run) rejoinRS(id sim.NodeID) {
+	e := rn.Eng
+	rn.servers[id] = &rsState{id: id}
+	rs := e.Node(id)
+	rs.Register("rs", sim.ServiceFunc(rn.rsService))
+	rs.OnShutdown(func(e *sim.Engine) { rn.rsShutdown(id) })
+	rn.Logger(id, "HRegionServer").Info("RegionServer ", id, " restarted, reporting for duty")
+	e.AfterOn(id, 10*sim.Millisecond, func() { rn.rsStartup(id) })
+}
+
+// rejoinMaster restarts the HMaster: services come back, online servers
+// are recovered from ZooKeeper and re-tracked by a fresh session
+// tracker, the startup thread or the PE client resumes, and regions left
+// unassigned (their reassignment timers died with the old process) are
+// re-driven. The master is its own registry, so the recovery bookkeeping
+// marks it rejoined (and working) once it serves again.
+func (rn *run) rejoinMaster() {
+	e := rn.Eng
+	master := e.Node(rn.master)
+	master.Register("master", sim.ServiceFunc(rn.masterService))
+	master.Register("zk", sim.ServiceFunc(rn.zkService))
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, func(n sim.NodeID) { rn.serverRemoved(n, "expired") })
+	for _, id := range rn.sortedServers() {
+		rn.lm.Track(id)
+	}
+	rn.Logger(rn.master, "HMaster").Info("HMaster restarted, recovered ", len(rn.onlineServers), " servers from ZooKeeper")
+	rn.NoteRejoin(rn.master)
+	rn.NoteWork(rn.master)
+	if !rn.active {
+		rn.probeRetries = 0
+		e.AfterOn(rn.master, 200*sim.Millisecond, rn.waitForServers)
+	} else {
+		for i := 1; i <= rn.nRegions; i++ {
+			region := fmt.Sprintf("region_%d", i)
+			if _, ok := rn.assignments[region]; !ok {
+				rg := region
+				e.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assignRegion(rg) })
+			}
+		}
+		if rn.peStarted && rn.opsDone < rn.nOps {
+			next := rn.opsDone + 1
+			e.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.runOp(next) })
+		}
+	}
+	rn.curl()
 }
 
 func (rn *run) sortedServers() []sim.NodeID {

@@ -217,7 +217,13 @@ func (rn *run) nnService(e *sim.Engine, m sim.Message) {
 func (rn *run) registerDatanode(dn sim.NodeID) {
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.registerDatanode")()
+	if _, ok := rn.datanodes[dn]; ok {
+		// A restarted datanode re-registered; its replica state resets and
+		// is repopulated by the block report that follows registration.
+		rn.Logger(rn.nn, "DatanodeManager").Warn("Datanode ", dn, " re-registered, resetting replica state")
+	}
 	rn.datanodes[dn] = &dnInfo{id: dn, blocks: make(map[string]bool)}
+	rn.NoteRejoin(dn)
 	pb.PostWrite(rn.nn, PtDNPut, string(dn))
 	rn.lm.Track(dn)
 	rn.Logger(rn.nn, "DatanodeManager").Info("Registered datanode ", dn)
@@ -486,6 +492,7 @@ func (rn *run) dnWriteBlock(self sim.NodeID, wm writeMsg) {
 	e.AfterOn(self, storeTime, func() {
 		st := rn.dns[self]
 		st.blocks[wm.blockID] = true
+		rn.NoteWork(self)
 		pb.PostWrite(self, PtDNStore, wm.blockID)
 		rn.Logger(self, "DataXceiver").Info("Block ", wm.blockID, " stored on ", self)
 		// Forward to the next replica in the pipeline, or ack the client
@@ -504,6 +511,80 @@ func (rn *run) dnWriteBlock(self sim.NodeID, wm writeMsg) {
 		}
 		e.Send(self, rn.nn, "nn", "blockReceived", wm.blockID)
 	})
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner.
+func (rn *run) Rejoin(id sim.NodeID) {
+	if id == rn.nn {
+		rn.rejoinNN()
+		return
+	}
+	rn.rejoinDN(id)
+}
+
+// rejoinDN restarts the datanode process: replicas on disk survive, the
+// BPOfferService registration does not. The DN re-registers, resumes
+// heartbeats and announces its surviving replicas with a full block
+// report.
+func (rn *run) rejoinDN(id sim.NodeID) {
+	e := rn.Eng
+	st := rn.dns[id]
+	st.registered = false
+	dn := e.Node(id)
+	dn.Register("dn", sim.ServiceFunc(rn.dnService))
+	dn.OnShutdown(func(e *sim.Engine) { rn.dnShutdown(id) })
+	rn.Logger(id, "DataNode").Info("Datanode ", id, " restarted, re-registering with NameNode")
+	e.AfterOn(id, 10*sim.Millisecond, func() {
+		e.Send(id, rn.nn, "nn", "register", nil)
+		sim.StartHeartbeats(e, id, rn.nn, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat",
+		})
+		blks := make([]string, 0, len(st.blocks))
+		for b := range st.blocks {
+			blks = append(blks, b)
+		}
+		sortStrings(blks)
+		for _, b := range blks {
+			e.Send(id, rn.nn, "nn", "blockReceived", b)
+		}
+	})
+}
+
+// rejoinNN restarts the NameNode: the namespace and block map survive
+// (fsimage + edit log), the liveness monitor and in-flight client
+// retries do not. Known datanodes are re-tracked by a fresh monitor and
+// the TestDFSIO client re-drives whatever had not completed. The master
+// is its own registry, so the recovery bookkeeping marks it rejoined
+// (and working) once it serves again.
+func (rn *run) rejoinNN() {
+	e := rn.Eng
+	e.Node(rn.nn).Register("nn", sim.ServiceFunc(rn.nnService))
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.nn, hb, func(n sim.NodeID) { rn.removeDatanode(n, "lost") })
+	ids := make([]sim.NodeID, 0, len(rn.datanodes))
+	for dn := range rn.datanodes {
+		ids = append(ids, dn)
+	}
+	sortNodeIDs(ids)
+	for _, dn := range ids {
+		rn.lm.Track(dn)
+	}
+	rn.Logger(rn.nn, "NameNode").Info("NameNode restarted, recovered ", len(rn.files), " files and ", len(rn.datanodes), " datanodes")
+	rn.NoteRejoin(rn.nn)
+	rn.NoteWork(rn.nn)
+	e.AfterOn(rn.nn, 100*sim.Millisecond, func() {
+		for i := 0; i < rn.nFiles; i++ {
+			path := fmt.Sprintf("/io/file_%d", i)
+			if !rn.fileWritten[path] {
+				rn.writeFile(path)
+			} else if rn.readPhase && !rn.fileRead[path] {
+				rn.readFile(path, 0)
+			}
+		}
+	})
+	rn.curl()
 }
 
 func sortStrings(s []string) {

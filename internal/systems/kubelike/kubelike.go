@@ -140,9 +140,24 @@ func (rn *run) apiService(e *sim.Engine, m sim.Message) {
 func (rn *run) registerNode(n sim.NodeID) {
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.api, "k8s.controller.NodeController.registerNode")()
+	if rn.nodes[n] {
+		// A restarted kubelet re-registered before the node controller
+		// marked it NotReady: its pods died with the old incarnation, so
+		// they are recreated.
+		rn.Logger(rn.api, "NodeController").Warn("Node ", n, " re-registered with a fresh state, recreating its pods")
+		for _, p := range rn.pods {
+			if p.node == n {
+				p.running = false
+				p.node = ""
+				pp := p
+				rn.Eng.AfterOn(rn.api, 100*sim.Millisecond, func() { rn.schedule(pp) })
+			}
+		}
+	}
 	rn.nodes[n] = true
 	pb.PostWrite(rn.api, PtNodePut, string(n))
 	rn.lm.Track(n)
+	rn.NoteRejoin(n)
 	rn.Logger(rn.api, "NodeController").Info("Node ", n, " registered and Ready")
 }
 
@@ -213,6 +228,7 @@ func (rn *run) schedule(p *pod) {
 		return
 	}
 	p.node = chosen
+	rn.NoteWork(chosen)
 	pb.PostWrite(rn.api, PtBindPut, p.uid, string(chosen))
 	rn.Logger(rn.api, "Scheduler").Info("Bound pod ", p.uid, " to ", chosen)
 	e.Send(rn.api, chosen, "kubelet", "runPod", p.uid)
@@ -222,6 +238,62 @@ func (rn *run) schedule(p *pod) {
 	e.AfterOn(rn.api, 5*sim.Second, func() {
 		if rn.Status() == cluster.Running && !p.running && p.uid == uid {
 			rn.schedule(p)
+		}
+	})
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner.
+func (rn *run) Rejoin(id sim.NodeID) {
+	if id == rn.api {
+		rn.rejoinAPI()
+		return
+	}
+	rn.rejoinKubelet(id)
+}
+
+// rejoinKubelet restarts a worker: the kubelet re-registers with the
+// API server and resumes node-status heartbeats; the node controller
+// recreates any pods lost with the previous incarnation.
+func (rn *run) rejoinKubelet(id sim.NodeID) {
+	e := rn.Eng
+	k := e.Node(id)
+	k.Register("kubelet", sim.ServiceFunc(rn.kubeletService))
+	k.OnShutdown(func(e *sim.Engine) { rn.removeNode(id, "drained") })
+	rn.Logger(id, "Kubelet").Info("Kubelet ", id, " restarted, re-registering with the API server")
+	e.AfterOn(id, 10*sim.Millisecond, func() {
+		e.Send(id, rn.api, "api", "register", nil)
+		sim.StartHeartbeats(e, id, rn.api, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus",
+		})
+	})
+}
+
+// rejoinAPI restarts the control plane: the API service comes back, a
+// fresh node controller re-tracks Ready nodes and the scheduler
+// reconciles by re-binding every non-running pod. The control plane is
+// its own registry, so the recovery bookkeeping marks it rejoined (and
+// working) once it serves again.
+func (rn *run) rejoinAPI() {
+	e := rn.Eng
+	e.Node(rn.api).Register("api", sim.ServiceFunc(rn.apiService))
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.api, hb, func(n sim.NodeID) { rn.removeNode(n, "NotReady") })
+	for _, k := range rn.lets {
+		if rn.nodes[k] {
+			rn.lm.Track(k)
+		}
+	}
+	rn.Logger(rn.api, "NodeController").Info("Control plane restarted, reconciling pods")
+	rn.NoteRejoin(rn.api)
+	rn.NoteWork(rn.api)
+	e.AfterOn(rn.api, 100*sim.Millisecond, func() {
+		for _, p := range rn.pods {
+			if !p.running {
+				pp := p
+				rn.schedule(pp)
+			}
 		}
 	})
 }

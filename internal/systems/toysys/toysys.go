@@ -179,6 +179,7 @@ func (rn *run) registerWorker(w sim.NodeID) {
 	rn.registered[w] = &workerInfo{id: w, slots: 1}
 	pb.PostWrite(rn.master, PtRegisterPut, string(w))
 	rn.lm.Track(w)
+	rn.NoteRejoin(w)
 	rn.Logger(rn.master, "Master").Info("Worker registered as ", w)
 	if !rn.started && len(rn.registered) == len(rn.workers) {
 		rn.started = true
@@ -256,8 +257,62 @@ func (rn *run) assign(t *task) {
 	}
 	t.attempt++
 	t.worker = target.id
+	rn.NoteWork(target.id)
 	rn.Logger(rn.master, "Master").Info("Assigned attempt ", t.attemptID(), " to worker ", target.id)
 	rn.Eng.Send(rn.master, target.id, "worker", "runTask", commitMsg{taskID: t.id, attemptID: t.attemptID()})
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner; it is also the template for
+// authoring recovery in a new system (see examples/newsystem): re-attach
+// the node's services and hooks to the fresh incarnation, then replay
+// the system's own join or recovery protocol.
+func (rn *run) Rejoin(id sim.NodeID) {
+	e := rn.Eng
+	if id == rn.master {
+		// The master is its own registry: re-attach its RPC service, build
+		// a fresh failure detector over the workers it still remembers
+		// (its map survives as "persisted" state) and re-drive incomplete
+		// work.
+		e.Node(rn.master).Register("master", sim.ServiceFunc(rn.masterService))
+		hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat"}
+		rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, rn.handleLost)
+		for _, w := range rn.workers {
+			if _, ok := rn.registered[w]; ok {
+				rn.lm.Track(w)
+			}
+		}
+		rn.Logger(rn.master, "Master").Info("Master restarted, resuming scheduling")
+		rn.NoteRejoin(rn.master)
+		rn.NoteWork(rn.master)
+		e.AfterOn(rn.master, 100*sim.Millisecond, func() {
+			for _, t := range rn.tasks {
+				if t.complete {
+					continue
+				}
+				if _, ok := rn.registered[t.worker]; !ok {
+					t.worker = ""
+				}
+				if t.worker == "" {
+					tt := t
+					rn.assign(tt)
+				}
+			}
+		})
+		return
+	}
+	// A worker rejoins through the normal registration path.
+	w := e.Node(id)
+	w.Register("worker", sim.ServiceFunc(rn.workerService))
+	w.OnShutdown(func(e *sim.Engine) { rn.deregister(id) })
+	rn.Logger(id, "Worker").Info("Worker ", id, " restarted, re-registering")
+	e.AfterOn(id, 10*sim.Millisecond, func() {
+		e.Send(id, rn.master, "master", "register", nil)
+		sim.StartHeartbeats(e, id, rn.master, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat",
+		})
+	})
 }
 
 // workerService executes a task: work, then the two-phase commit.

@@ -249,9 +249,17 @@ type allocMsg struct {
 func (rn *run) registerNode(nm sim.NodeID) {
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.registerNode")()
+	if old, ok := rn.nodes[nm]; ok {
+		// RECONNECTED: a restarted NM re-registered before the liveness
+		// monitor noticed its previous incarnation dying. Its containers
+		// died with the old process; release them and tell the AM.
+		rn.Logger(rn.rm, "RMNodeImpl").Warn("Reconnecting node ", nm, ", releasing lost containers")
+		rn.lostContainers(nm, old)
+	}
 	rn.nodes[nm] = &schedNode{id: nm, containers: make(map[string]bool), resources: 8}
 	pb.PostWrite(rn.rm, PtNodesPut, string(nm))
 	rn.lm.Track(nm)
+	rn.NoteRejoin(nm)
 	rn.Logger(rn.rm, "ResourceTrackerService").Info("NodeManager from ", nm.Host(), " registered as ", nm)
 }
 
@@ -272,16 +280,21 @@ func (rn *run) nodeRemoved(nm sim.NodeID, why string) {
 	pb.PostWrite(rn.rm, PtNodesRemove, string(nm))
 	rn.lm.Forget(nm)
 	rn.Logger(rn.rm, "RMNodeImpl").Warn("NodeManager ", nm, " ", why, ", deactivating node")
-	// If the application master was on this node, fail the attempt and
-	// start a new one (the recovery path YARN-9238 races against).
+	rn.lostContainers(nm, sn)
+}
+
+// lostContainers reacts to every container on nm dying with its process:
+// if the application master lived there the attempt fails and a new one
+// is scheduled (the recovery path YARN-9238 races against), otherwise the
+// AM is told which task containers it lost so it can re-run them. Shared
+// by node removal and NM reconnection.
+func (rn *run) lostContainers(nm sim.NodeID, sn *schedNode) {
 	if rn.app != nil && rn.app.currentAttempt != nil &&
 		rn.app.currentAttempt.node == nm && rn.app.currentAttempt.state != "FINISHED" {
 		rn.amUp = false
 		rn.failAttempt(rn.app)
 		return
 	}
-	// Otherwise tell the AM which task containers died with the node so
-	// it can re-run them.
 	if rn.amUp {
 		cids := make([]string, 0, len(sn.containers))
 		for cid := range sn.containers {
@@ -352,6 +365,7 @@ func (rn *run) newContainer(sn *schedNode, attempt *appAttempt) string {
 	cid := fmt.Sprintf("container_0001_%02d_%06d", attempt.n, rn.nextCont)
 	sn.containers[cid] = true
 	sn.resources--
+	rn.NoteWork(sn.id)
 	rn.Logger(rn.rm, "SchedulerNode").Info("Assigned container ", cid, " on host ", sn.id)
 	return cid
 }
@@ -484,6 +498,64 @@ func (rn *run) allocate(am allocMsg) {
 			rn.allocate(allocMsg{attemptID: am.attemptID, asks: am.asks - granted})
 		})
 	}
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner: a restarted node re-creates its
+// services and performs the system's re-registration protocol.
+func (rn *run) Rejoin(id sim.NodeID) {
+	if id == rn.rm {
+		rn.rejoinRM()
+		return
+	}
+	rn.rejoinNM(id)
+}
+
+// rejoinNM restarts the NodeManager process: the service and the
+// shutdown script come back, then the NM re-registers with the RM and
+// resumes heartbeats, exactly like a first boot.
+func (rn *run) rejoinNM(id sim.NodeID) {
+	e := rn.Eng
+	nm := e.Node(id)
+	nm.Register("nm", sim.ServiceFunc(rn.nmService))
+	nm.OnShutdown(func(e *sim.Engine) { rn.nodeRemoved(id, "shutdown") })
+	rn.Logger(id, "NodeManager").Info("NodeManager on ", id, " restarted, re-registering with RM")
+	e.AfterOn(id, 10*sim.Millisecond, func() {
+		e.Send(id, rn.rm, "rm", "register", nil)
+		sim.StartHeartbeats(e, id, rn.rm, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat",
+		})
+	})
+}
+
+// rejoinRM restarts the ResourceManager: the scheduler service comes
+// back, the known NMs are recovered from the state store (the nodes map
+// survives the process in this model) and re-tracked by a fresh liveness
+// monitor, the web endpoint resumes, and a pending, never-launched
+// attempt is re-driven. The master is its own registry, so the recovery
+// bookkeeping marks it rejoined (and working) once it serves again.
+func (rn *run) rejoinRM() {
+	e := rn.Eng
+	e.Node(rn.rm).Register("rm", sim.ServiceFunc(rn.rmService))
+	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat"}
+	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, func(n sim.NodeID) { rn.nodeRemoved(n, "lost") })
+	ids := make([]string, 0, len(rn.nodes))
+	for id := range rn.nodes {
+		ids = append(ids, string(id))
+	}
+	sortStrings(ids)
+	for _, id := range ids {
+		rn.lm.Track(sim.NodeID(id))
+	}
+	rn.Logger(rn.rm, "ResourceManager").Info("ResourceManager restarted, recovered ", len(rn.nodes), " nodes from the state store")
+	rn.NoteRejoin(rn.rm)
+	rn.NoteWork(rn.rm)
+	if rn.app != nil && rn.app.state != "FINISHED" && rn.app.state != "FAILED" &&
+		rn.app.currentAttempt != nil && rn.app.currentAttempt.state == "NEW" {
+		e.AfterOn(rn.rm, 200*sim.Millisecond, func() { rn.launchAM(rn.app) })
+	}
+	rn.curl()
 }
 
 func (rn *run) appDone(appID string) {

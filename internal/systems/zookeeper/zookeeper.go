@@ -262,8 +262,39 @@ func (rn *run) peerService(e *sim.Engine, m sim.Message) {
 	case "create", "set":
 		zn := m.Body.(znode)
 		rn.trees[self][zn.path] = &zn
+		rn.NoteWork(self)
 	case "delete":
 		zn := m.Body.(znode)
 		delete(rn.trees[self], zn.path)
+		rn.NoteWork(self)
+	case "rejoin":
+		// The current leader acknowledges a restarted peer rejoining the
+		// quorum; subsequent proposals flow to it again.
+		rn.NoteRejoin(m.From)
+		rn.Logger(self, "LearnerHandler").Info("Follower ", m.From, " rejoined the quorum")
 	}
+}
+
+// ---- restart / rejoin (cluster.Rejoiner) ----
+
+// Rejoin implements cluster.Rejoiner: the peer restarts with its on-disk
+// snapshot of the tree intact. If no takeover has happened yet it
+// resumes leading; otherwise it rejoins the quorum as a follower and
+// announces itself to the current leader.
+func (rn *run) Rejoin(id sim.NodeID) {
+	e := rn.Eng
+	e.Node(id).Register("peer", sim.ServiceFunc(rn.peerService))
+	if rn.leader == id {
+		// Restarted before any follower watchdog fired: resume leading.
+		rn.Logger(id, "QuorumPeer").Info("Peer ", id, " restarted, resuming leadership")
+		e.Every(id, sim.Second, func() { rn.pingFollowers() })
+		e.AfterOn(id, stepGap, rn.step)
+		rn.NoteRejoin(id)
+		rn.NoteWork(id)
+		return
+	}
+	rn.lastPing[id] = e.Now()
+	e.Every(id, sim.Second, func() { rn.checkLeader(id) })
+	rn.Logger(id, "QuorumPeer").Info("Peer ", id, " restarted, rejoining quorum as follower")
+	e.Send(id, rn.leader, "peer", "rejoin", nil)
 }

@@ -11,6 +11,8 @@ package trigger
 // — is shared with single-point testing.
 
 import (
+	"fmt"
+
 	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
@@ -58,6 +60,7 @@ func (t *Tester) TestPair(first, second probe.DynPoint) PairReport {
 	st.Attach(logs)
 	run := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
 	e := run.Engine()
+	e.MaxSteps = t.MaxSteps
 
 	rep := PairReport{First: first, Second: second, Outcome: NotHit}
 	stage := 0 // 0: waiting for first, 1: waiting for second, 2: done
@@ -92,6 +95,10 @@ func (t *Tester) TestPair(first, second probe.DynPoint) PairReport {
 	rep.Witnesses = run.Witnesses()
 	rep.Reason = run.FailureReason()
 	rep.NewExceptions = t.newUnhandled(e)
+	if res.Exhausted {
+		rep.Outcome = HarnessError
+		return rep
+	}
 	if stage == 0 {
 		rep.Outcome = NotHit
 		return rep
@@ -119,7 +126,19 @@ enumerate:
 			pairs = append(pairs, pair{a, b})
 		}
 	}
-	return campaign.Run(len(pairs), campaign.Options{Workers: t.Workers}, func(i int) PairReport {
+	return campaign.Run(len(pairs), campaign.Options[PairReport]{
+		Workers: t.Workers,
+		// Same panic isolation as Campaign: one broken pair run must not
+		// sink the other pairs.
+		Recover: func(i int, v any) PairReport {
+			return PairReport{
+				First:   pairs[i].first,
+				Second:  pairs[i].second,
+				Outcome: HarnessError,
+				Reason:  fmt.Sprintf("panic in system model: %v", v),
+			}
+		},
+	}, func(i int) PairReport {
 		return t.TestPair(pairs[i].first, pairs[i].second)
 	})
 }

@@ -35,18 +35,26 @@ type Outcome int
 
 // Outcomes, in increasing severity for reporting.
 const (
-	NotHit            Outcome = iota // the armed point never executed
-	Unresolved                       // hit, but the value mapped to no node
-	OK                               // injected, system recovered correctly
-	TimeoutIssue                     // finished, but > Timeout× baseline
-	UncommonException                // new unhandled exception signature
-	Hang                             // workload never finished
-	JobFailure                       // workload failed
+	NotHit               Outcome = iota // the armed point never executed
+	Unresolved                          // hit, but the value mapped to no node
+	OK                                  // injected, system recovered correctly
+	TimeoutIssue                        // finished, but > Timeout× baseline
+	UncommonException                   // new unhandled exception signature
+	Hang                                // workload never finished
+	JobFailure                          // workload failed
+	HarnessError                        // the harness, not the system, misbehaved
+	RejoinNoWork                        // restarted node rejoined but got no work
+	NeverRejoined                       // restarted node never rejoined the cluster
+	DuplicateIncarnation                // two incarnations of one node online at once
 )
+
+// MaxOutcome is the highest defined Outcome, for exhaustive iteration.
+const MaxOutcome = DuplicateIncarnation
 
 var outcomeNames = [...]string{
 	"not-hit", "unresolved", "ok", "timeout-issue",
-	"uncommon-exception", "hang", "job-failure",
+	"uncommon-exception", "hang", "job-failure", "harness-error",
+	"rejoin-no-work", "never-rejoined", "duplicate-incarnation",
 }
 
 func (o Outcome) String() string {
@@ -57,9 +65,23 @@ func (o Outcome) String() string {
 }
 
 // IsBug reports whether the outcome is one of the three §3.2.2 bug
-// conditions.
+// conditions or one of the recovery-oracle conditions. HarnessError is
+// deliberately not a bug: it flags a defect in the harness or the model
+// (a panic, an exhausted step budget, a stalled worker), so it must
+// surface in summaries without polluting the bug counts.
 func (o Outcome) IsBug() bool {
-	return o == JobFailure || o == Hang || o == UncommonException
+	switch o {
+	case JobFailure, Hang, UncommonException,
+		RejoinNoWork, NeverRejoined, DuplicateIncarnation:
+		return true
+	}
+	return false
+}
+
+// IsRecoveryBug reports whether the outcome is one of the recovery
+// oracles that only a restart campaign can produce.
+func (o Outcome) IsRecoveryBug() bool {
+	return o == RejoinNoWork || o == NeverRejoined || o == DuplicateIncarnation
 }
 
 // Baseline captures fault-free behaviour for the oracle.
@@ -82,8 +104,36 @@ type Report struct {
 	// Witnesses are seeded-bug IDs whose flawed paths fired (attribution
 	// only; the oracle does not consult them).
 	Witnesses []string
+	// Restarted lists nodes the recovery mode restarted during this run.
+	Restarted []sim.NodeID
 	// Reason carries the workload failure reason, if any.
 	Reason string
+}
+
+// RecoveryOptions configures recovery-phase injection: after the primary
+// fault, the victim is restarted and — optionally — hit again while it
+// is recovering. The second fault is the interesting one: the paper's
+// crash-recovery bugs live in the window where a node is back but not
+// yet re-integrated.
+type RecoveryOptions struct {
+	// RestartDelay is how long after the injected fault the victim is
+	// restarted. Zero means 2 s of simulated time — long enough for the
+	// cluster to notice the departure, short enough to land inside the
+	// workload.
+	RestartDelay sim.Time
+	// SecondFaultDelay, when positive, injects a second fault this long
+	// after the restart, inside the recovery window.
+	SecondFaultDelay sim.Time
+	// SecondFaultKind selects the second fault: sim.FaultCrash (the
+	// default) or sim.FaultShutdown.
+	SecondFaultKind sim.FaultKind
+}
+
+func (rc *RecoveryOptions) restartDelay() sim.Time {
+	if rc.RestartDelay > 0 {
+		return rc.RestartDelay
+	}
+	return 2 * sim.Second
 }
 
 // Tester drives the injection campaign for one system.
@@ -105,6 +155,22 @@ type Tester struct {
 	// RandomTarget replaces the stash query with a random alive node
 	// (the §3.2.2 alternative; used by the ablation experiment).
 	RandomTarget bool
+	// Recovery, when non-nil, switches the campaign to recovery-phase
+	// injection: the victim is restarted after the fault (and optionally
+	// faulted again during recovery), and the oracle is extended with
+	// the recovery conditions (NeverRejoined, RejoinNoWork,
+	// DuplicateIncarnation).
+	Recovery *RecoveryOptions
+	// MaxSteps bounds each run's event count; zero means
+	// sim.DefaultMaxSteps. A run that exhausts the budget is reported as
+	// HarnessError (a livelocked model), not as a system bug.
+	MaxSteps uint64
+	// CheckpointPath, when non-empty, makes the campaign resumable: each
+	// finished report is appended to this JSONL file, and a later
+	// campaign with Resume set skips the already-finished points.
+	CheckpointPath string
+	// Resume reloads CheckpointPath before running.
+	Resume bool
 	// Workers bounds how many points are tested concurrently; zero or
 	// negative means one worker per CPU, 1 forces sequential testing.
 	// Every point is an independent run (fresh engine, probe, logs and
@@ -175,6 +241,7 @@ func (t *Tester) TestPoint(d probe.DynPoint) Report {
 	st.Attach(logs)
 	run := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
 	e := run.Engine()
+	e.MaxSteps = t.MaxSteps
 
 	rep := Report{Dyn: d, Outcome: NotHit}
 	fired := false
@@ -200,6 +267,9 @@ func (t *Tester) TestPoint(d probe.DynPoint) Report {
 		if f := lastFault(e); f != nil {
 			rep.Injected = f
 		}
+		if t.Recovery != nil {
+			t.scheduleRestart(run, &rep, target)
+		}
 	}
 
 	res := cluster.Drive(run, deadline)
@@ -209,6 +279,34 @@ func (t *Tester) TestPoint(d probe.DynPoint) Report {
 	rep.NewExceptions = t.newUnhandled(e)
 	rep.Outcome = t.classify(fired, resolvedMiss, run, res, rep.NewExceptions, timeoutFactor)
 	return rep
+}
+
+// scheduleRestart arms the recovery-phase machinery for one victim: a
+// restart after the configured delay, and optionally a second fault
+// inside the recovery window. The timers are unbound (not node-bound),
+// so they survive the victim's death.
+func (t *Tester) scheduleRestart(run cluster.Run, rep *Report, target sim.NodeID) {
+	rc := t.Recovery
+	e := run.Engine()
+	e.After(rc.restartDelay(), func() {
+		if !cluster.Restart(run, target) {
+			return
+		}
+		rep.Restarted = append(rep.Restarted, target)
+		if rc.SecondFaultDelay <= 0 {
+			return
+		}
+		e.After(rc.SecondFaultDelay, func() {
+			if n := e.Node(target); n == nil || !n.Alive() {
+				return
+			}
+			if rc.SecondFaultKind == sim.FaultShutdown {
+				e.Shutdown(target)
+			} else {
+				e.Crash(target)
+			}
+		})
+	})
 }
 
 func (t *Tester) chooseTarget(e *sim.Engine, st *stash.Stash, a probe.Access) (sim.NodeID, bool) {
@@ -262,10 +360,20 @@ func NewUnhandled(b Baseline, e *sim.Engine) []string {
 }
 
 func (t *Tester) classify(fired, resolvedMiss bool, run cluster.Run, res sim.RunResult, newEx []string, timeoutFactor int) Outcome {
+	if res.Exhausted {
+		// The step budget ran out: the model livelocked. That is a
+		// harness problem whether or not the injection fired.
+		return HarnessError
+	}
 	if !fired {
 		return NotHit
 	}
-	o := Evaluate(t.Baseline, run, res, newEx, timeoutFactor)
+	var o Outcome
+	if t.Recovery != nil {
+		o = EvaluateRecovery(t.Baseline, run, res, newEx, timeoutFactor)
+	} else {
+		o = Evaluate(t.Baseline, run, res, newEx, timeoutFactor)
+	}
 	if o == OK && resolvedMiss {
 		return Unresolved
 	}
@@ -273,10 +381,15 @@ func (t *Tester) classify(fired, resolvedMiss bool, run cluster.Run, res sim.Run
 }
 
 // Evaluate applies the §3.2.2 oracle to a finished run: job failure,
-// hang, uncommon exception, or a §4.1.3 timeout issue.
+// hang, uncommon exception, or a §4.1.3 timeout issue. A run that
+// exhausted its step budget is a HarnessError, not a verdict about the
+// system.
 func Evaluate(b Baseline, run cluster.Run, res sim.RunResult, newEx []string, timeoutFactor int) Outcome {
 	if timeoutFactor <= 0 {
 		timeoutFactor = 4
+	}
+	if res.Exhausted {
+		return HarnessError
 	}
 	if run.Status() == cluster.Failed {
 		return JobFailure
@@ -293,11 +406,53 @@ func Evaluate(b Baseline, run cluster.Run, res sim.RunResult, newEx []string, ti
 	return OK
 }
 
+// EvaluateRecovery extends the §3.2.2 oracle with the recovery
+// conditions of a restart campaign. DuplicateIncarnation is checked
+// before the base oracle: a cluster confused by two incarnations of one
+// node usually *also* hangs or fails, and the duplicate is the cause,
+// not the symptom. The remaining recovery oracles (NeverRejoined,
+// RejoinNoWork) only upgrade otherwise-clean runs — a job failure or a
+// hang is already the stronger verdict.
+func EvaluateRecovery(b Baseline, run cluster.Run, res sim.RunResult, newEx []string, timeoutFactor int) Outcome {
+	rr, ok := run.(cluster.RecoveryReporter)
+	if !ok {
+		return Evaluate(b, run, res, newEx, timeoutFactor)
+	}
+	if res.Exhausted {
+		return HarnessError
+	}
+	restarted := rr.RestartedNodes()
+	for _, id := range restarted {
+		if ri, ok := rr.Recovery(id); ok && ri.DuplicateIncarnation {
+			return DuplicateIncarnation
+		}
+	}
+	o := Evaluate(b, run, res, newEx, timeoutFactor)
+	if o != OK && o != TimeoutIssue {
+		return o
+	}
+	for _, id := range restarted {
+		if ri, ok := rr.Recovery(id); ok && !ri.Rejoined {
+			return NeverRejoined
+		}
+	}
+	for _, id := range restarted {
+		if ri, ok := rr.Recovery(id); ok && !ri.WorkAssigned {
+			return RejoinNoWork
+		}
+	}
+	return o
+}
+
 // Campaign tests every dynamic point and returns the reports, indexed by
 // point position. Points fan out across the Tester's worker pool; each
 // run is independent and deterministically seeded, so the reports — and
 // everything aggregated from them — are byte-identical for any worker
 // count, including the sequential Workers=1 special case.
+//
+// The campaign is panic-isolated: a system model that panics mid-run
+// produces a HarnessError report for that point instead of taking the
+// whole campaign down. With CheckpointPath set it is also resumable.
 func (t *Tester) Campaign(points []probe.DynPoint) []Report {
 	total := len(points)
 	var (
@@ -305,7 +460,11 @@ func (t *Tester) Campaign(points []probe.DynPoint) []Report {
 		done int
 		bugs int
 	)
-	return campaign.Run(total, campaign.Options{Workers: t.Workers}, func(i int) Report {
+	return campaign.Run(total, campaign.Options[Report]{
+		Workers:    t.Workers,
+		Recover:    func(i int, v any) Report { return t.panicReport(points[i], v) },
+		Checkpoint: t.checkpoint(),
+	}, func(i int) Report {
 		rep := t.TestPoint(points[i])
 		if t.Progress != nil {
 			mu.Lock()
@@ -320,13 +479,35 @@ func (t *Tester) Campaign(points []probe.DynPoint) []Report {
 	})
 }
 
+// panicReport turns a recovered model panic into a HarnessError report.
+func (t *Tester) panicReport(d probe.DynPoint, v any) Report {
+	return Report{
+		Dyn:     d,
+		Outcome: HarnessError,
+		Reason:  fmt.Sprintf("panic in system model: %v", v),
+	}
+}
+
+func (t *Tester) checkpoint() *campaign.CheckpointConfig {
+	if t.CheckpointPath == "" {
+		return nil
+	}
+	return &campaign.CheckpointConfig{Path: t.CheckpointPath, Resume: t.Resume}
+}
+
 // Summary aggregates a campaign for reporting.
 type Summary struct {
 	Tested        int
 	Bugs          int // reports with a bug outcome
 	TimeoutIssues int
 	NotHit        int
-	ByOutcome     map[Outcome]int
+	// HarnessErrors counts runs the harness had to abort (model panic,
+	// exhausted step budget, stalled worker) — not system bugs, but not
+	// silently droppable either.
+	HarnessErrors int
+	// Restarts counts runs in which at least one node was restarted.
+	Restarts  int
+	ByOutcome map[Outcome]int
 	// WitnessedBugs are the distinct seeded-bug IDs attributed across
 	// bug reports, sorted.
 	WitnessedBugs []string
@@ -339,6 +520,9 @@ func Summarize(reports []Report) Summary {
 	for _, r := range reports {
 		s.Tested++
 		s.ByOutcome[r.Outcome]++
+		if len(r.Restarted) > 0 {
+			s.Restarts++
+		}
 		switch {
 		case r.Outcome.IsBug():
 			s.Bugs++
@@ -349,6 +533,8 @@ func Summarize(reports []Report) Summary {
 			s.TimeoutIssues++
 		case r.Outcome == NotHit:
 			s.NotHit++
+		case r.Outcome == HarnessError:
+			s.HarnessErrors++
 		}
 	}
 	for w := range wits {
