@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dslog"
 	"repro/internal/ir"
@@ -273,7 +274,7 @@ func benchCampaign(b *testing.B, workers int) {
 	base := trigger.MeasureBaseline(r, 11, 1, 3, 0)
 	tester := &trigger.Tester{
 		Runner: r, Analysis: res.Analysis, Matcher: matcher,
-		Baseline: base, Seed: 11, Scale: 1, Workers: workers,
+		Baseline: base, Seed: 11, Scale: 1, Config: campaign.Config{Workers: workers},
 	}
 	var bugs int
 	b.ResetTimer()

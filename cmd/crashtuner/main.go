@@ -18,7 +18,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/systems/all"
@@ -38,6 +40,9 @@ func main() {
 		secondKind = flag.String("second-fault", "crash", "with -recovery: second fault kind (crash or shutdown)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file for the injection campaign")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint, skipping finished points")
+		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
+		tracePath  = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
 	)
 	flag.Parse()
 
@@ -47,13 +52,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *obsAddr != "" {
+		addr, stop, err := obs.Serve(*obsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", addr)
+	}
+	sinks := []obs.Sink{obs.NewMetrics(nil)}
+	if *tracePath != "" {
+		tr, err := obs.OpenTrace(*tracePath, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer tr.Close()
+		sinks = append(sinks, tr)
+	}
+
 	fmt.Printf("CrashTuner on %s (workload %s, seed %d, scale %d)\n\n",
 		r.Name(), r.Workload(), *seed, *scale)
 
 	opts := core.Options{
+		Config: campaign.Config{
+			Workers:        *workers,
+			CheckpointPath: *checkpoint,
+			Resume:         *resume,
+			Sink:           obs.Multi(sinks...),
+		},
 		Seed: *seed, Scale: *scale,
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
 	}
 	if *recovery {
 		rc := &trigger.RecoveryOptions{

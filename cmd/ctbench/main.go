@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dslog"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -64,6 +66,10 @@ func main() {
 		restartMS  = flag.Int64("restart-after", 2000, "recovery experiment: restart the victim this many ms (virtual) after the fault")
 		secondMS   = flag.Int64("second-fault-after", 0, "recovery experiment: inject a second fault this many ms (virtual) after the restart (0: none)")
 		secondKind = flag.String("second-fault", "crash", "recovery experiment: second fault kind (crash or shutdown)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
+		obsLinger  = flag.Bool("obs-linger", false, "with -obs-addr: keep the endpoint up after rendering until stdin closes (for scraping in scripts/CI)")
+		tracePath  = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
+		validate   = flag.Bool("validate-trace", false, "with -trace: structurally validate the emitted trace on exit and fail if it is malformed")
 	)
 	flag.Parse()
 
@@ -71,6 +77,60 @@ func main() {
 		fmt.Println(strings.Join(experiments, "\n"))
 		return
 	}
+
+	// Observability stack: metrics always feed the default registry;
+	// -progress adds the human-readable stderr sink, -trace the JSONL
+	// tracer, -obs-addr the scrape endpoint over all of it.
+	if *obsAddr != "" {
+		addr, stop, err := obs.Serve(*obsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", addr)
+	}
+	sinks := []obs.Sink{obs.NewMetrics(nil)}
+	if *progress {
+		sinks = append(sinks, obs.Progress(os.Stderr))
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		var err error
+		tracer, err = obs.OpenTrace(*tracePath, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sinks = append(sinks, tracer)
+	}
+	sink := obs.Multi(sinks...)
+	defer func() {
+		if tracer != nil {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *validate {
+				f, err := os.Open(*tracePath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				err = obs.ValidateTrace(f)
+				f.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "trace validation failed:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "trace %s validated\n", *tracePath)
+			}
+		}
+		if *obsAddr != "" && *obsLinger {
+			fmt.Fprintln(os.Stderr, "obs-linger: endpoint stays up; close stdin to exit")
+			io.Copy(io.Discard, os.Stdin)
+		}
+	}()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -177,11 +237,7 @@ func main() {
 		x.CheckpointDir = *checkpoint
 		x.Resume = *resume
 	}
-	if *progress {
-		x.Progress = func(system string, p trigger.Progress) {
-			fmt.Fprintf(os.Stderr, "%s: %d/%d points tested, %d bugs\n", system, p.Tested, p.Total, p.Bugs)
-		}
-	}
+	x.Sink = sink
 	if needRecovery {
 		rc := &trigger.RecoveryOptions{
 			RestartDelay:     sim.Time(*restartMS) * sim.Millisecond,

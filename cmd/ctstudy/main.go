@@ -101,7 +101,7 @@ func verifySeeded(seed int64, scale, workers int) {
 
 	systems := all.Runners()
 	results := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Seed: seed, Scale: scale, Workers: workers})
+		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers}, Seed: seed, Scale: scale})
 	})
 
 	fmt.Println("Live campaign cross-check of the seeded bugs:")
@@ -127,7 +127,7 @@ func verifySeeded(seed int64, scale, workers int) {
 	// 500 ms (virtual) after its fault and judged by the recovery oracles.
 	rc := &trigger.RecoveryOptions{RestartDelay: 500 * sim.Millisecond}
 	recovered := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Seed: seed, Scale: scale, Workers: workers, Recovery: rc})
+		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers}, Seed: seed, Scale: scale, Recovery: rc})
 	})
 	fmt.Println("Recovery-mode cross-check (victims restarted after the fault):")
 	for i, r := range systems {

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/systems/all"
@@ -102,8 +103,8 @@ func TestExtensionsFaultFree(t *testing.T) {
 // deterministically-seeded simulation and the engine indexes results by
 // point position.
 func TestParallelCampaignDeterminism(t *testing.T) {
-	seq := core.Run(&yarn.Runner{}, core.Options{Seed: 11, Scale: 1, Workers: 1})
-	par := core.Run(&yarn.Runner{}, core.Options{Seed: 11, Scale: 1, Workers: 8})
+	seq := core.Run(&yarn.Runner{}, core.Options{Config: campaign.Config{Workers: 1}, Seed: 11, Scale: 1})
+	par := core.Run(&yarn.Runner{}, core.Options{Config: campaign.Config{Workers: 8}, Seed: 11, Scale: 1})
 	if !reflect.DeepEqual(seq.Summary, par.Summary) {
 		t.Errorf("summaries differ:\n  sequential: %+v\n  parallel:   %+v", seq.Summary, par.Summary)
 	}

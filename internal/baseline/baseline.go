@@ -22,6 +22,7 @@ import (
 	"repro/internal/dslog"
 	"repro/internal/ir"
 	"repro/internal/logparse"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/systems/cluster"
@@ -64,19 +65,21 @@ func (r *Result) DistinctBugs() []string {
 
 // runOutcome is the result of one injection run, carried from the worker
 // that executed it to the (sequential, index-ordered) aggregation fold.
+// Its fields are exported so checkpointed campaigns round-trip it
+// through the JSONL checkpoint file.
 type runOutcome struct {
-	outcome   trigger.Outcome
-	duration  sim.Time
-	witnesses []string
+	Outcome   trigger.Outcome `json:"outcome"`
+	Duration  sim.Time        `json:"duration"`
+	Witnesses []string        `json:"witnesses,omitempty"`
 }
 
 func (r *Result) record(o runOutcome) {
 	r.Runs++
-	r.ByOutcome[o.outcome]++
-	r.VirtualTime += o.duration
-	if o.outcome.IsBug() {
+	r.ByOutcome[o.Outcome]++
+	r.VirtualTime += o.Duration
+	if o.Outcome.IsBug() {
 		r.BugRuns++
-		for _, w := range o.witnesses {
+		for _, w := range o.Witnesses {
 			r.BugHits[w]++
 		}
 	}
@@ -84,6 +87,10 @@ func (r *Result) record(o runOutcome) {
 
 // Options configures a baseline campaign.
 type Options struct {
+	// Config carries the shared campaign-execution knobs (worker pool,
+	// checkpointing, observability sink); see campaign.Config.
+	campaign.Config
+
 	Seed          int64
 	Scale         int
 	Runs          int // number of injection runs
@@ -102,14 +109,27 @@ type Options struct {
 	// after the injection, mirroring the paper's clusters where the
 	// master is supervised. Only meaningful with IncludeMasters.
 	MasterRestart sim.Time
-	// Workers bounds how many injection runs execute concurrently; zero
-	// or negative means one worker per CPU, 1 forces sequential runs.
-	// Runs are seeded per index, so results are identical for any
-	// worker count.
-	Workers int
-	// Progress, when non-nil, observes the campaign after every
-	// finished run (calls are serialized by the pool).
-	Progress func(done, total int)
+}
+
+// campaignOptions builds the engine options for one baseline campaign,
+// labelled with its kind ("random" or "io") and annotated with the
+// per-run oracle outcome and virtual duration.
+func (o Options) campaignOptions(system, kind string) campaign.Options[runOutcome] {
+	bugs := 0 // guarded by the campaign completion lock (Annotate contract)
+	return campaign.Options[runOutcome]{
+		Workers:    o.Workers,
+		Checkpoint: o.Config.Checkpoint(),
+		Sink:       o.Sink,
+		Scope:      obs.Scope{System: system, Campaign: kind},
+		Annotate: func(ev *obs.Event, i int, r runOutcome) {
+			if r.Outcome.IsBug() {
+				bugs++
+			}
+			ev.Bugs = bugs
+			ev.Outcome = r.Outcome.String()
+			ev.Sim = r.Duration
+		},
+	}
 }
 
 // masterHost is the coordinator host in every simulated system.
@@ -163,7 +183,7 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 	opts.defaults()
 	res := newResult(r.Name())
 	deadline := deadlineOf(b, opts.DeadlineFactor)
-	outcomes := campaign.Run(opts.Runs, campaign.Options[runOutcome]{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
+	outcomes := campaign.Run(opts.Runs, opts.campaignOptions(r.Name(), "random"), func(i int) runOutcome {
 		run := r.NewRun(cluster.Config{
 			Seed:  opts.Seed + int64(i),
 			Scale: opts.Scale,
@@ -189,7 +209,7 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 		rr := cluster.Drive(run, deadline)
 		newEx := trigger.NewUnhandled(b, e)
 		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		return runOutcome{outcome: outcome, duration: rr.End, witnesses: run.Witnesses()}
+		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses()}
 	})
 	for _, o := range outcomes {
 		res.record(o)
@@ -265,7 +285,7 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 			jobs = append(jobs, ioJob{point: pt, seed: opts.Seed + int64(i), at: at})
 		}
 	}
-	outcomes := campaign.Run(len(jobs), campaign.Options[runOutcome]{Workers: opts.Workers, Progress: opts.Progress}, func(i int) runOutcome {
+	outcomes := campaign.Run(len(jobs), opts.campaignOptions(r.Name(), "io"), func(i int) runOutcome {
 		j := jobs[i]
 		run := r.NewRun(cluster.Config{
 			Seed:  j.seed,
@@ -284,7 +304,7 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 		rr := cluster.Drive(run, deadline)
 		newEx := trigger.NewUnhandled(b, e)
 		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		return runOutcome{outcome: outcome, duration: rr.End, witnesses: run.Witnesses()}
+		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses()}
 	})
 	for _, o := range outcomes {
 		res.record(o)

@@ -30,26 +30,46 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultWorkers is the pool size used when Options.Workers is zero or
 // negative: one worker per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Pool-level instruments on the default registry: worker utilization
+// (jobs in flight vs. jobs finished) plus the two harness-protection
+// counters. Updated with lock-free atomics on the job path.
+var (
+	jobsInflight = obs.Default.Gauge("crashtuner_campaign_jobs_inflight")
+	jobsTotal    = obs.Default.Counter("crashtuner_campaign_jobs_total")
+	jobStalls    = obs.Default.Counter("crashtuner_campaign_stalls_total")
+	jobPanics    = obs.Default.Counter("crashtuner_campaign_panics_total")
+)
+
 // Options configures one pool run.
 type Options[T any] struct {
 	// Workers bounds the number of jobs in flight. Zero or negative
 	// means DefaultWorkers(); 1 runs the jobs inline, in order.
 	Workers int
-	// Progress, when non-nil, is invoked after every completed job with
-	// the number of jobs finished so far and the total. Calls are
-	// serialized and done is strictly increasing, so the callback needs
-	// no locking of its own. It should not block for long, since it is
-	// on the workers' completion path — but even a callback that blocks
-	// forever only stalls the pool, it cannot deadlock with a panicking
-	// job: panic recovery runs on the job's own goroutine, before the
-	// completion lock is taken.
-	Progress func(done, total int)
+	// Sink, when non-nil, observes the campaign: one CampaignStart
+	// before any job runs (Done carries the checkpoint-restored count),
+	// one RunDone per completed job, and one CampaignEnd. Those events
+	// are emitted under the completion lock with Done strictly
+	// increasing. A sink that blocks forever only stalls the pool, it
+	// cannot deadlock with a panicking job: panic recovery runs on the
+	// job's own goroutine, before the completion lock is taken.
+	Sink obs.Sink
+	// Scope labels every emitted event (system under test, campaign
+	// kind).
+	Scope obs.Scope
+	// Annotate, when non-nil, enriches the RunDone event for job i with
+	// domain detail (crash point, oracle outcome, bug counts) before it
+	// reaches the Sink. It is called under the completion lock, in
+	// completion order, so closures over shared counters need no
+	// locking of their own.
+	Annotate func(ev *obs.Event, i int, r T)
 	// Recover, when non-nil, isolates panics: a job whose fn panics
 	// yields Recover(i, v) as its result — v is the recovered panic
 	// value — instead of crashing the whole campaign. When nil, a panic
@@ -120,6 +140,7 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
+	start := time.Now()
 	out := make([]T, n)
 
 	// Work out which jobs still need to run and pre-fill the rest from
@@ -149,11 +170,29 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 	}
 
 	done := restored
-	if opts.Progress != nil && restored > 0 {
-		opts.Progress(done, n)
+	lastBugs := 0
+	if opts.Sink != nil {
+		opts.Sink.Emit(obs.Event{Kind: obs.CampaignStart, Scope: opts.Scope, Run: -1, Done: restored, Total: n})
+	}
+	// emit reports one completed job under the completion lock (or
+	// inline on the sequential path).
+	emit := func(i, done int, r T, wall time.Duration) {
+		ev := obs.Event{Kind: obs.RunDone, Scope: opts.Scope, Run: i, Done: done, Total: n, Wall: wall}
+		if opts.Annotate != nil {
+			opts.Annotate(&ev, i, r)
+		}
+		lastBugs = ev.Bugs
+		opts.Sink.Emit(ev)
+	}
+	finish := func() []T {
+		if opts.Sink != nil {
+			opts.Sink.Emit(obs.Event{Kind: obs.CampaignEnd, Scope: opts.Scope, Run: -1,
+				Done: done, Total: n, Bugs: lastBugs, Wall: time.Since(start)})
+		}
+		return out
 	}
 	if len(todo) == 0 {
-		return out
+		return finish()
 	}
 
 	workers := opts.workers(len(todo))
@@ -161,20 +200,21 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 		// The sequential special case of the same code path: jobs run
 		// inline, in index order.
 		for _, i := range todo {
+			t0 := time.Now()
 			out[i] = runJob(opts, fn, i)
 			done++
 			if ck != nil {
 				ck.append(i, out[i])
 			}
-			if opts.Progress != nil {
-				opts.Progress(done, n)
+			if opts.Sink != nil {
+				emit(i, done, out[i], time.Since(t0))
 			}
 		}
-		return out
+		return finish()
 	}
 
 	var (
-		mu   sync.Mutex // serializes Progress and checkpoint appends
+		mu   sync.Mutex // serializes sink emission and checkpoint appends
 		wg   sync.WaitGroup
 		jobs = make(chan int)
 	)
@@ -188,15 +228,17 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 				// recovery and the stall watchdog both live inside
 				// runJob, before mu — a misbehaving job cannot take the
 				// completion lock down with it.
+				t0 := time.Now()
 				out[i] = runJob(opts, fn, i)
-				if ck != nil || opts.Progress != nil {
+				wall := time.Since(t0)
+				if ck != nil || opts.Sink != nil {
 					mu.Lock()
 					done++
 					if ck != nil {
 						ck.append(i, out[i])
 					}
-					if opts.Progress != nil {
-						opts.Progress(done, n)
+					if opts.Sink != nil {
+						emit(i, done, out[i], wall)
 					}
 					mu.Unlock()
 				}
@@ -208,11 +250,16 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return finish()
 }
 
 // runJob runs one job under the stall watchdog (if armed).
 func runJob[T any](opts Options[T], fn func(i int) T, i int) T {
+	jobsInflight.Add(1)
+	defer func() {
+		jobsInflight.Add(-1)
+		jobsTotal.Inc()
+	}()
 	if opts.StallTimeout <= 0 {
 		return execJob(opts, fn, i)
 	}
@@ -224,6 +271,7 @@ func runJob[T any](opts Options[T], fn func(i int) T, i int) T {
 	case v := <-res:
 		return v
 	case <-t.C:
+		jobStalls.Inc()
 		if opts.OnStall != nil {
 			return opts.OnStall(i)
 		}
@@ -237,6 +285,7 @@ func execJob[T any](opts Options[T], fn func(i int) T, i int) (out T) {
 	if opts.Recover != nil {
 		defer func() {
 			if v := recover(); v != nil {
+				jobPanics.Inc()
 				out = opts.Recover(i, v)
 			}
 		}()

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunOrderIndependent(t *testing.T) {
@@ -38,26 +40,72 @@ func TestRunEveryJobOnce(t *testing.T) {
 	}
 }
 
-func TestProgressMonotonic(t *testing.T) {
+func TestSinkEventsMonotonic(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		var seen []int
-		Run(32, Options[int]{
-			Workers: workers,
-			// Serialized by the pool, so no locking here.
-			Progress: func(done, total int) {
-				if total != 32 {
-					t.Errorf("workers=%d: total=%d, want 32", workers, total)
+		starts, ends := 0, 0
+		// Sink calls are serialized under the completion lock, so no
+		// locking here.
+		sink := obs.SinkFunc(func(ev obs.Event) {
+			if ev.Total != 32 {
+				t.Errorf("workers=%d: total=%d, want 32", workers, ev.Total)
+			}
+			switch ev.Kind {
+			case obs.CampaignStart:
+				starts++
+				if ev.Done != 0 {
+					t.Errorf("workers=%d: start with %d restored", workers, ev.Done)
 				}
-				seen = append(seen, done)
-			},
-		}, func(i int) int { return i })
+			case obs.RunDone:
+				seen = append(seen, ev.Done)
+			case obs.CampaignEnd:
+				ends++
+				if ev.Done != 32 {
+					t.Errorf("workers=%d: end with done=%d", workers, ev.Done)
+				}
+			}
+		})
+		Run(32, Options[int]{Workers: workers, Sink: sink}, func(i int) int { return i })
+		if starts != 1 || ends != 1 {
+			t.Fatalf("workers=%d: %d starts, %d ends, want 1 each", workers, starts, ends)
+		}
 		if len(seen) != 32 {
-			t.Fatalf("workers=%d: %d progress calls, want 32", workers, len(seen))
+			t.Fatalf("workers=%d: %d RunDone events, want 32", workers, len(seen))
 		}
 		for i, d := range seen {
 			if d != i+1 {
-				t.Fatalf("workers=%d: progress not strictly increasing: %v", workers, seen)
+				t.Fatalf("workers=%d: Done not strictly increasing: %v", workers, seen)
 			}
+		}
+	}
+}
+
+func TestAnnotateSerializedAndOrdered(t *testing.T) {
+	// Annotate runs under the completion lock: a closure over a shared
+	// counter needs no locking, and the annotated fields reach the sink
+	// on the matching event.
+	bugs := 0
+	var gotBugs []int
+	sink := obs.SinkFunc(func(ev obs.Event) {
+		if ev.Kind == obs.RunDone {
+			gotBugs = append(gotBugs, ev.Bugs)
+		}
+	})
+	Run(16, Options[int]{
+		Workers: 8,
+		Sink:    sink,
+		Annotate: func(ev *obs.Event, i int, r int) {
+			bugs++ // no lock: the Annotate contract serializes this
+			ev.Bugs = bugs
+			ev.Outcome = "ok"
+		},
+	}, func(i int) int { return i })
+	if len(gotBugs) != 16 {
+		t.Fatalf("%d annotated events, want 16", len(gotBugs))
+	}
+	for i, b := range gotBugs {
+		if b != i+1 {
+			t.Fatalf("annotated bug counts out of order: %v", gotBugs)
 		}
 	}
 }

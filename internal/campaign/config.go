@@ -1,0 +1,36 @@
+package campaign
+
+import "repro/internal/obs"
+
+// Config is the execution configuration shared by every layer that runs
+// campaigns: the core pipeline, the trigger, and the baselines all
+// embed it, so a new execution knob is added here once and surfaces on
+// every Options type at the same time. The zero value is fully usable
+// (default worker pool, no checkpointing, no observability).
+type Config struct {
+	// Workers bounds how many jobs run concurrently. Zero or negative
+	// means one worker per CPU; 1 forces sequential execution. Results
+	// are identical for any worker count.
+	Workers int
+	// CheckpointPath, when non-empty, makes the campaign resumable:
+	// finished jobs are appended to this JSONL file as they complete.
+	CheckpointPath string
+	// Resume reloads CheckpointPath before running and skips the jobs
+	// already recorded there.
+	Resume bool
+	// Sink, when non-nil, observes the campaign as obs events: one
+	// CampaignStart, a RunDone per completed job (annotated with the
+	// domain fields by the owning layer), nested PhaseEnds, and one
+	// CampaignEnd. Sink implementations must be safe for concurrent
+	// use; see the obs package comment for the ordering contract.
+	Sink obs.Sink
+}
+
+// Checkpoint renders the engine-level checkpoint config; nil when
+// checkpointing is off.
+func (c Config) Checkpoint() *CheckpointConfig {
+	if c.CheckpointPath == "" {
+		return nil
+	}
+	return &CheckpointConfig{Path: c.CheckpointPath, Resume: c.Resume}
+}

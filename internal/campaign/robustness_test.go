@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestRecoverIsolatesPanics(t *testing.T) {
@@ -61,12 +63,12 @@ func TestStallWatchdogAbandonsLivelockedJob(t *testing.T) {
 	}
 }
 
-// TestBlockingProgressCannotDeadlockPanickingJob pins the documented
+// TestBlockingSinkCannotDeadlockPanickingJob pins the documented
 // contract: panic recovery happens on the job's own goroutine before the
-// completion lock, so even a Progress callback that blocks forever only
-// stalls the pool — a panicking job still resolves to its Recover result
-// and the campaign finishes once Progress unblocks.
-func TestBlockingProgressCannotDeadlockPanickingJob(t *testing.T) {
+// completion lock, so even a Sink that blocks forever only stalls the
+// pool — a panicking job still resolves to its Recover result and the
+// campaign finishes once the sink unblocks.
+func TestBlockingSinkCannotDeadlockPanickingJob(t *testing.T) {
 	release := make(chan struct{})
 	first := true
 	done := make(chan []int, 1)
@@ -74,12 +76,12 @@ func TestBlockingProgressCannotDeadlockPanickingJob(t *testing.T) {
 		done <- Run(4, Options[int]{
 			Workers: 2,
 			Recover: func(i int, v any) int { return -i },
-			Progress: func(done, total int) {
-				if first {
-					first = false // Progress is serialized; no race
+			Sink: obs.SinkFunc(func(ev obs.Event) {
+				if ev.Kind == obs.RunDone && first {
+					first = false // emission is serialized; no race
 					<-release     // block the completion path for a while
 				}
-			},
+			}),
 		}, func(i int) int {
 			if i%2 == 0 {
 				panic("even jobs explode")
@@ -88,7 +90,7 @@ func TestBlockingProgressCannotDeadlockPanickingJob(t *testing.T) {
 		})
 	}()
 	// Give the pool time to wedge if the recovery path were under the
-	// same lock as Progress.
+	// same lock as the sink emission.
 	time.Sleep(50 * time.Millisecond)
 	close(release)
 	select {
@@ -99,7 +101,7 @@ func TestBlockingProgressCannotDeadlockPanickingJob(t *testing.T) {
 			t.Errorf("got %v, want %v", got, want)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("campaign deadlocked: blocking Progress wedged a panicking job")
+		t.Fatal("campaign deadlocked: blocking sink wedged a panicking job")
 	}
 }
 

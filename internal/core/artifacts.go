@@ -32,7 +32,7 @@ type ArtifactCache struct {
 }
 
 // artifactKey captures the AnalysisPhase inputs: the system plus the
-// Options fields the phase depends on (Workers, Progress, BaselineRuns
+// Options fields the phase depends on (Workers, Sink, BaselineRuns
 // etc. only affect later phases).
 type artifactKey struct {
 	system   string

@@ -7,10 +7,12 @@ package core
 import (
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/profiler"
 	"repro/internal/sim"
@@ -20,6 +22,11 @@ import (
 
 // Options configures a pipeline run.
 type Options struct {
+	// Config carries the shared campaign-execution knobs (worker pool,
+	// checkpointing, observability sink) that flow into the test-phase
+	// trigger campaign; see campaign.Config.
+	campaign.Config
+
 	// Seed drives every run of the campaign.
 	Seed int64
 	// Scale is the workload size for testing runs (profiling doubles its
@@ -42,17 +49,23 @@ type Options struct {
 	// MaxSteps bounds each injection run's event count (0: the sim
 	// default); exhausted runs are reported as harness errors.
 	MaxSteps uint64
-	// CheckpointPath makes the test-phase campaign resumable via the
-	// given JSONL file; Resume skips the points already recorded there.
-	CheckpointPath string
-	Resume         bool
-	// Workers bounds how many injection runs the test phase executes
-	// concurrently (zero or negative: one per CPU, 1: sequential). The
-	// campaign results are identical for any worker count.
-	Workers int
-	// Progress, when non-nil, observes the test-phase campaign after
-	// every tested point (calls are serialized).
-	Progress func(trigger.Progress)
+}
+
+// emitPhase reports one finished pipeline phase (analysis, profile,
+// test) on the Options sink as a top-level phase span scoped to the
+// system under test.
+func emitPhase(sink obs.Sink, system, name string, wall time.Duration, simT sim.Time) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.Event{
+		Kind:  obs.PhaseEnd,
+		Scope: obs.Scope{System: system, Campaign: "pipeline"},
+		Run:   -1,
+		Phase: name,
+		Wall:  wall,
+		Sim:   simT,
+	})
 }
 
 func (o *Options) defaults() {
@@ -129,6 +142,7 @@ func AnalysisPhase(r cluster.Runner, opts Options) (*Result, *logparse.Matcher) 
 		Static:    static,
 	}
 	res.Timing.Analysis = time.Since(start)
+	emitPhase(opts.Sink, r.Name(), "analysis", res.Timing.Analysis, 0)
 	return res, matcher
 }
 
@@ -143,6 +157,7 @@ func ProfilePhase(r cluster.Runner, res *Result, opts Options) {
 		Deadline:      opts.Deadline,
 	})
 	res.Timing.Profile = time.Since(start)
+	emitPhase(opts.Sink, r.Name(), "profile", res.Timing.Profile, 0)
 }
 
 // TestPhase measures the baseline and exercises every dynamic crash
@@ -152,19 +167,16 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 	start := time.Now()
 	res.Baseline = trigger.MeasureBaseline(r, opts.Seed, opts.Scale, opts.BaselineRuns, opts.Deadline)
 	t := &trigger.Tester{
-		Runner:         r,
-		Analysis:       res.Analysis,
-		Matcher:        matcher,
-		Baseline:       res.Baseline,
-		Seed:           opts.Seed,
-		Scale:          opts.Scale,
-		RandomTarget:   opts.RandomTarget,
-		Recovery:       opts.Recovery,
-		MaxSteps:       opts.MaxSteps,
-		CheckpointPath: opts.CheckpointPath,
-		Resume:         opts.Resume,
-		Workers:        opts.Workers,
-		Progress:       opts.Progress,
+		Config:       opts.Config,
+		Runner:       r,
+		Analysis:     res.Analysis,
+		Matcher:      matcher,
+		Baseline:     res.Baseline,
+		Seed:         opts.Seed,
+		Scale:        opts.Scale,
+		RandomTarget: opts.RandomTarget,
+		Recovery:     opts.Recovery,
+		MaxSteps:     opts.MaxSteps,
 	}
 	res.Reports = t.Campaign(res.Dynamic.Points)
 	// Dynamic points discovered only at larger profiling scales may not
@@ -200,6 +212,7 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 	}
 	res.Summary = trigger.Summarize(res.Reports)
 	res.Timing.Test = time.Since(start)
+	emitPhase(opts.Sink, r.Name(), "test", res.Timing.Test, res.Timing.VirtualTest)
 }
 
 // Run executes the full pipeline.

@@ -66,7 +66,7 @@ func analyzed(t *testing.T) *Result {
 	t.Helper()
 	p := schedProgram()
 	m := logparse.NewMatcher(logparse.ExtractPatterns(p))
-	match := m.Match(dslog.Record{Text: "node node1:42 registered"})
+	match := m.NewSession().Match(dslog.Record{Text: "node node1:42 registered"})
 	if match == nil {
 		t.Fatal("log line did not match")
 	}
@@ -173,7 +173,7 @@ func TestReturnedOnlyWithoutCallersKept(t *testing.T) {
 	})
 	p.Build()
 	m := logparse.NewMatcher(logparse.ExtractPatterns(p))
-	match := m.Match(dslog.Record{Text: "at node1:9"})
+	match := m.NewSession().Match(dslog.Record{Text: "at node1:9"})
 	a := metainfo.Infer(p, []*logparse.Match{match}, []string{"node1"})
 	r := Analyze(a)
 	if len(r.Points) != 1 || r.Points[0].Point != "l.C.get#0" {

@@ -24,6 +24,15 @@ import (
 
 	"repro/internal/dslog"
 	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// Data-plane instruments on the default registry, pre-allocated so the
+// per-record updates are single atomic adds and the rejection path stays
+// allocation-free.
+var (
+	matchTotal = obs.Default.Counter("crashtuner_matcher_records_total")
+	matchHits  = obs.Default.Counter("crashtuner_matcher_hits_total")
 )
 
 // Pattern is one extracted log pattern (Fig. 5(b)).
@@ -218,8 +227,18 @@ func (m *Matcher) NewSession() *MatchSession {
 // Match parses one runtime log instance. It returns nil if no pattern
 // matches exactly. The only allocations are those of a successful match
 // (the Match itself and its extracted values); rejected records are
-// processed allocation-free.
+// processed allocation-free — the hit-rate instruments are lock-free
+// atomic counters.
 func (s *MatchSession) Match(rec dslog.Record) *Match {
+	mt := s.match(rec)
+	matchTotal.Inc()
+	if mt != nil {
+		matchHits.Inc()
+	}
+	return mt
+}
+
+func (s *MatchSession) match(rec dslog.Record) *Match {
 	m := s.m
 	text := rec.Text
 	ti, tj := firstWord(text)
@@ -324,8 +343,12 @@ func (m *Matcher) firstTokenOK(tok string) bool {
 }
 
 // Match parses one runtime log instance. It returns nil if no pattern
-// matches exactly. This stateless form borrows a pooled session; callers
-// on a hot loop should hold their own MatchSession instead.
+// matches exactly. This stateless form borrows a pooled session.
+//
+// Deprecated: hold a MatchSession (NewSession) and call its Match
+// method instead; the pooled round-trip costs sync.Pool traffic on
+// every record and hides the session's scratch-state reuse. Kept for
+// compatibility with existing one-shot callers.
 func (m *Matcher) Match(rec dslog.Record) *Match {
 	s := m.sessions.Get().(*MatchSession)
 	mt := s.Match(rec)

@@ -165,9 +165,10 @@ func yarnMini() *ir.Program {
 
 func parse(p *ir.Program, lines []string) []*logparse.Match {
 	m := logparse.NewMatcher(logparse.ExtractPatterns(p))
+	session := m.NewSession()
 	var out []*logparse.Match
 	for _, l := range lines {
-		if mt := m.Match(dslog.Record{Text: l}); mt != nil {
+		if mt := session.Match(dslog.Record{Text: l}); mt != nil {
 			out = append(out, mt)
 		}
 	}

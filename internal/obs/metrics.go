@@ -1,0 +1,268 @@
+package obs
+
+// The metrics registry: pre-allocated, atomically-updated instruments
+// (counters, gauges, fixed-bucket histograms) cheap enough for the
+// zero-allocation data plane (DESIGN.md §7). Instruments are created
+// once — usually as package-level vars — and updated lock-free; the
+// registry mutex is touched only at creation and export time.
+//
+// The Default registry is published under the "crashtuner" expvar, so
+// any process importing this package exposes its instruments through
+// the standard /debug/vars machinery; Serve additionally exposes a
+// Prometheus-style text rendering at /metrics.
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. Add and Inc are
+// lock-free and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value. All methods are lock-free
+// and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets chosen at
+// construction. Observe is lock-free and allocation-free; the bucket
+// semantics follow the usual cumulative "le" convention: an
+// observation v lands in the first bucket whose upper bound is >= v,
+// and values above the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds. The bounds slice is copied; it must be sorted and non-empty.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(h.bounds))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s returns the first i with bounds[i] >= v,
+	// which is exactly the "le" bucket; equality lands inside.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the (non-cumulative) per-bucket
+// counts, with the +Inf bucket last.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]uint64, len(h.counts)+1)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	counts[len(h.counts)] = h.inf.Load()
+	return bounds, counts
+}
+
+// Registry holds named instruments. Lookup/creation takes the registry
+// mutex; the returned instruments are updated lock-free, so hot paths
+// should hold instruments in package-level vars rather than re-looking
+// them up. Metric names may carry a {label="value"} suffix; the text
+// exposition groups such series under one family.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	start   time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any), start: time.Now()}
+}
+
+// Default is the process-wide registry, published as the "crashtuner"
+// expvar.
+var Default = NewRegistry()
+
+func init() {
+	expvar.Publish("crashtuner", expvar.Func(func() any { return Default.Snapshot() }))
+}
+
+func registryGet[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(*T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	return t
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return registryGet(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return registryGet(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return registryGet(r, name, func() *Histogram { return NewHistogram(bounds) })
+}
+
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot renders every instrument into plain values for expvar.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.metrics)+1)
+	out["uptime_seconds"] = time.Since(r.start).Seconds()
+	for name, m := range r.metrics {
+		switch m := m.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			bounds, counts := m.Buckets()
+			buckets := make(map[string]uint64, len(counts))
+			for i, c := range counts {
+				buckets[leLabel(bounds, i)] = c
+			}
+			out[name] = map[string]any{"count": m.Count(), "sum": m.Sum(), "buckets": buckets}
+		}
+	}
+	return out
+}
+
+func leLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", bounds[i])
+}
+
+// family is a metric name with any {label} suffix stripped.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// style: one "# TYPE" line per family, then the samples. Histograms
+// render cumulative le buckets plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := r.sortedNames()
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	uptime := time.Since(r.start).Seconds()
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# TYPE crashtuner_uptime_seconds gauge\ncrashtuner_uptime_seconds %g\n", uptime)
+	lastFamily := ""
+	for i, name := range names {
+		fam := family(name)
+		switch m := metrics[i].(type) {
+		case *Counter:
+			if fam != lastFamily {
+				fmt.Fprintf(bw, "# TYPE %s counter\n", fam)
+			}
+			fmt.Fprintf(bw, "%s %d\n", name, m.Value())
+		case *Gauge:
+			if fam != lastFamily {
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", fam)
+			}
+			fmt.Fprintf(bw, "%s %d\n", name, m.Value())
+		case *Histogram:
+			if fam != lastFamily {
+				fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+			}
+			bounds, counts := m.Buckets()
+			cum := uint64(0)
+			for bi, c := range counts {
+				cum += c
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, leLabel(bounds, bi), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum %g\n", name, m.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", name, m.Count())
+		}
+		lastFamily = fam
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	// Values on a bound land inside that bucket (le semantics); values
+	// above the last bound land in +Inf.
+	for _, v := range []float64{0.5, 1} { // -> bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(1.0001) // -> le=5
+	h.Observe(5)      // -> le=5
+	h.Observe(10)     // -> le=10
+	h.Observe(10.5)   // -> +Inf
+	h.Observe(100)    // -> +Inf
+
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets: %v %v", bounds, counts)
+	}
+	want := []uint64{2, 2, 1, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, c, want[i], counts)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.0001+5+10+10.5+100; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {5, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	// Run with -race: the instruments must be safe under concurrent
+	// update and the totals exact.
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", []float64{10, 1000})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per || h.Sum() != workers*per {
+		t.Errorf("histogram count=%d sum=%g, want %d", h.Count(), h.Sum(), workers*per)
+	}
+}
+
+func TestRegistryIdempotentAndTyped(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("same name returned different counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestInstrumentUpdatesDoNotAllocate(t *testing.T) {
+	// The data-plane floor: instrumented hot paths (matcher rejection,
+	// campaign job accounting) must stay allocation-free, so the
+	// instruments themselves must be.
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", wallBuckets)
+	if n := testing.AllocsPerRun(200, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { h.Observe(0.25) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crashtuner_runs_total").Add(3)
+	reg.Counter(`crashtuner_oracle_outcome_total{outcome="ok"}`).Add(2)
+	reg.Counter(`crashtuner_oracle_outcome_total{outcome="hang"}`).Inc()
+	reg.Gauge("crashtuner_campaign_jobs_inflight").Set(4)
+	h := reg.Histogram("crashtuner_run_wall_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE crashtuner_uptime_seconds gauge\n",
+		"# TYPE crashtuner_runs_total counter\ncrashtuner_runs_total 3\n",
+		"# TYPE crashtuner_campaign_jobs_inflight gauge\ncrashtuner_campaign_jobs_inflight 4\n",
+		`crashtuner_oracle_outcome_total{outcome="hang"} 1` + "\n",
+		`crashtuner_oracle_outcome_total{outcome="ok"} 2` + "\n",
+		"# TYPE crashtuner_run_wall_seconds histogram\n",
+		`crashtuner_run_wall_seconds_bucket{le="1"} 1` + "\n",
+		`crashtuner_run_wall_seconds_bucket{le="10"} 1` + "\n",
+		`crashtuner_run_wall_seconds_bucket{le="+Inf"} 2` + "\n",
+		"crashtuner_run_wall_seconds_sum 20.5\n",
+		"crashtuner_run_wall_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The two labelled outcome series share one family: exactly one TYPE
+	// line for it.
+	if got := strings.Count(out, "# TYPE crashtuner_oracle_outcome_total counter\n"); got != 1 {
+		t.Errorf("outcome family declared %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(7)
+	reg.Histogram("h", []float64{1}).Observe(2)
+	snap := reg.Snapshot()
+	if snap["c"] != uint64(7) {
+		t.Errorf("snapshot c = %v", snap["c"])
+	}
+	if _, ok := snap["uptime_seconds"].(float64); !ok {
+		t.Errorf("snapshot uptime_seconds = %v", snap["uptime_seconds"])
+	}
+	hm, ok := snap["h"].(map[string]any)
+	if !ok || hm["count"] != uint64(1) {
+		t.Errorf("snapshot h = %v", snap["h"])
+	}
+	buckets := hm["buckets"].(map[string]uint64)
+	if buckets["+Inf"] != 1 || buckets["1"] != 0 {
+		t.Errorf("snapshot buckets = %v", buckets)
+	}
+}

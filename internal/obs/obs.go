@@ -1,0 +1,168 @@
+// Package obs is the pipeline-wide observability layer: one event
+// contract (Sink) that every campaign-running layer reports into, a
+// lock-cheap metrics registry exported via expvar and an optional
+// /metrics endpoint, and a JSONL tracer that renders the event stream
+// into hierarchical spans (campaign → run → phase).
+//
+// The package replaces the divergent Progress callbacks that used to
+// live on campaign.Options, trigger.Tester, core.Options,
+// baseline.Options and report.Experiments: all of them now carry a
+// single Sink, and observers compose with Multi. Events are plain
+// structs passed by value; with a nil Sink nothing is allocated or
+// emitted, so uninstrumented runs pay only a nil check.
+//
+// Concurrency contract: Sink implementations must be safe for
+// concurrent use — parallel campaigns (and phase events from worker
+// goroutines) may emit at any time. Within one campaign, however, the
+// engine serializes CampaignStart, every RunDone and CampaignEnd under
+// its completion lock, with Event.Done strictly increasing.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// EventKind discriminates pipeline events.
+type EventKind uint8
+
+const (
+	// CampaignStart is emitted once before any job of a campaign runs.
+	// Done carries the number of checkpoint-restored jobs, Total the
+	// campaign size.
+	CampaignStart EventKind = iota
+	// RunDone is emitted after every completed job, annotated by the
+	// campaign's owner with the domain fields (Crash, Outcome, …).
+	RunDone
+	// PhaseEnd is emitted when a phase finishes: either a phase nested
+	// inside one run (Run >= 0, e.g. the trigger's setup/drive/oracle)
+	// or a top-level pipeline phase (Run < 0, e.g. analysis/profile).
+	PhaseEnd
+	// CampaignEnd is emitted once after the last job, with the
+	// campaign's wall-clock duration.
+	CampaignEnd
+)
+
+var eventKindNames = [...]string{"campaign-start", "run-done", "phase-end", "campaign-end"}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Scope labels every event of one campaign: the system under test and
+// the campaign kind ("test", "recovery", "random", "io", "pipeline",
+// "pipelines", …). Either field may be empty.
+type Scope struct {
+	System   string
+	Campaign string
+}
+
+// Label renders the scope for human-facing progress lines.
+func (s Scope) Label() string {
+	switch {
+	case s.System == "":
+		return s.Campaign
+	case s.Campaign == "":
+		return s.System
+	default:
+		return s.System + "/" + s.Campaign
+	}
+}
+
+// Event is one pipeline observation. Only the fields relevant to the
+// Kind are set; the zero value of every other field means "not
+// applicable".
+type Event struct {
+	Kind EventKind
+	Scope
+	// Run is the job index within the campaign; -1 when the event is
+	// not tied to one job (campaign bookkeeping, pipeline phases).
+	Run int
+	// Phase names the finished phase for PhaseEnd events.
+	Phase string
+	// Done and Total track campaign completion; Done is strictly
+	// increasing across one campaign's RunDone events.
+	Done, Total int
+	// Bugs counts bug-outcome runs completed so far (campaigns with an
+	// oracle only).
+	Bugs int
+	// Crash is the dynamic crash point exercised by the run.
+	Crash string
+	// Fault is the injected fault kind ("crash", "shutdown"); empty
+	// when the run injected nothing.
+	Fault string
+	// Target is the victim node chosen by the stash query.
+	Target string
+	// Outcome is the oracle verdict of the finished run.
+	Outcome string
+	// Wall is the wall-clock duration of the run, phase or campaign.
+	Wall time.Duration
+	// Sim is the virtual-time duration consumed, when meaningful.
+	Sim sim.Time
+}
+
+// Sink consumes pipeline events. Implementations must be safe for
+// concurrent use (see the package comment for the ordering contract).
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+type multiSink []Sink
+
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Multi fans events out to every non-nil sink. It returns nil when no
+// sink remains, so callers can pass the result straight into a config
+// and keep the nil-sink fast path.
+func Multi(sinks ...Sink) Sink {
+	var kept multiSink
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// Progress returns a sink that renders one human-readable line per
+// completed run to w — the successor of the legacy -progress callbacks.
+// Campaigns with an oracle keep the historical "N/M points tested, B
+// bugs" shape; engine-level campaigns render as "N/M runs".
+func Progress(w io.Writer) Sink {
+	var mu sync.Mutex
+	return SinkFunc(func(ev Event) {
+		if ev.Kind != RunDone {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Outcome != "" {
+			fmt.Fprintf(w, "%s: %d/%d points tested, %d bugs\n", ev.Label(), ev.Done, ev.Total, ev.Bugs)
+			return
+		}
+		fmt.Fprintf(w, "%s: %d/%d runs\n", ev.Label(), ev.Done, ev.Total)
+	})
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// httpGet fetches a URL body as a string.
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestMultiSkipsNilsAndCollapses(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no sinks must be nil (the fast path)")
+	}
+	var got []string
+	a := SinkFunc(func(ev Event) { got = append(got, "a") })
+	if s := Multi(nil, a); s == nil {
+		t.Fatal("Multi dropped the only sink")
+	} else {
+		s.Emit(Event{})
+	}
+	b := SinkFunc(func(ev Event) { got = append(got, "b") })
+	Multi(a, nil, b).Emit(Event{})
+	if strings.Join(got, "") != "aab" {
+		t.Errorf("fan-out order: %v", got)
+	}
+}
+
+func TestScopeLabel(t *testing.T) {
+	cases := []struct {
+		s    Scope
+		want string
+	}{
+		{Scope{}, ""},
+		{Scope{System: "yarn"}, "yarn"},
+		{Scope{Campaign: "test"}, "test"},
+		{Scope{System: "yarn", Campaign: "recovery"}, "yarn/recovery"},
+	}
+	for _, c := range cases {
+		if got := c.s.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestProgressSinkShapes(t *testing.T) {
+	var b strings.Builder
+	p := Progress(&b)
+	p.Emit(Event{Kind: CampaignStart, Total: 5}) // ignored
+	p.Emit(Event{Kind: RunDone, Scope: Scope{System: "yarn", Campaign: "test"},
+		Done: 1, Total: 5, Bugs: 1, Outcome: "hang"})
+	p.Emit(Event{Kind: RunDone, Scope: Scope{Campaign: "pipelines"}, Done: 2, Total: 5})
+	want := "yarn/test: 1/5 points tested, 1 bugs\npipelines: 2/5 runs\n"
+	if b.String() != want {
+		t.Errorf("progress output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestMetricsSinkFoldsEvents(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMetrics(reg)
+	sc := Scope{System: "yarn", Campaign: "test"}
+	m.Emit(Event{Kind: CampaignStart, Scope: sc, Total: 2})
+	m.Emit(Event{Kind: PhaseEnd, Scope: sc, Run: 0, Phase: "drive"})
+	m.Emit(Event{Kind: RunDone, Scope: sc, Run: 0, Done: 1, Total: 2,
+		Outcome: "ok", Wall: 2 * time.Millisecond, Sim: 3 * sim.Second})
+	m.Emit(Event{Kind: RunDone, Scope: sc, Run: 1, Done: 2, Total: 2,
+		Outcome: "hang", Bugs: 1, Wall: time.Millisecond, Sim: sim.Minute})
+	m.Emit(Event{Kind: CampaignEnd, Scope: sc, Done: 2, Total: 2, Bugs: 1})
+
+	if v := reg.Counter("crashtuner_runs_total").Value(); v != 2 {
+		t.Errorf("runs_total = %d, want 2", v)
+	}
+	if v := reg.Counter("crashtuner_campaigns_total").Value(); v != 1 {
+		t.Errorf("campaigns_total = %d, want 1", v)
+	}
+	if v := reg.Counter("crashtuner_phases_total").Value(); v != 1 {
+		t.Errorf("phases_total = %d, want 1", v)
+	}
+	if v := reg.Counter("crashtuner_run_bugs_total").Value(); v != 1 {
+		t.Errorf("run_bugs_total = %d, want 1 (folded once at campaign end)", v)
+	}
+	if v := reg.Counter(`crashtuner_oracle_outcome_total{outcome="ok"}`).Value(); v != 1 {
+		t.Errorf(`outcome ok = %d, want 1`, v)
+	}
+	if v := reg.Counter(`crashtuner_oracle_outcome_total{outcome="hang"}`).Value(); v != 1 {
+		t.Errorf(`outcome hang = %d, want 1`, v)
+	}
+	if v := reg.Histogram("crashtuner_run_wall_seconds", wallBuckets).Count(); v != 2 {
+		t.Errorf("wall histogram count = %d, want 2", v)
+	}
+	if v := reg.Histogram("crashtuner_run_sim_seconds", simBuckets).Count(); v != 2 {
+		t.Errorf("sim histogram count = %d, want 2", v)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crashtuner_runs_total").Add(5)
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := httpGet("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	if out := get("/metrics"); !strings.Contains(out, "crashtuner_runs_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/healthz"); out != "ok\n" {
+		t.Errorf("/healthz = %q", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "crashtuner") {
+		t.Errorf("/debug/vars missing crashtuner map:\n%s", out)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Serve starts the observability endpoint on addr (":0" picks a free
+// port) and returns the bound address plus a shutdown function. It
+// serves:
+//
+//	/metrics     Prometheus-style text rendering of the registry
+//	/debug/vars  the standard expvar JSON (includes the crashtuner map)
+//	/healthz     a liveness probe
+//
+// reg == nil serves the Default registry. The server runs on its own
+// goroutine until shutdown is called.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: cannot listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

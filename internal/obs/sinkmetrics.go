@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Metrics is a Sink that folds the event stream into a Registry: run
+// and campaign counters, per-outcome oracle counters, bug counts, and
+// wall/sim-time histograms. Hot instruments are resolved once at
+// construction; only the first event with a previously unseen outcome
+// pays a registry lookup.
+type Metrics struct {
+	reg       *Registry
+	runs      *Counter
+	bugs      *Counter
+	campaigns *Counter
+	phases    *Counter
+	wall      *Histogram
+	simTime   *Histogram
+
+	mu       sync.Mutex
+	outcomes map[string]*Counter
+}
+
+// Run wall-clock buckets (seconds): injection runs span sub-millisecond
+// toy runs to multi-second heavyweight simulations.
+var wallBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// Virtual-time buckets (seconds): fault-free runs finish in seconds,
+// hung runs ride the deadline up to the simulated hour.
+var simBuckets = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 300, 600, 1800, 3600}
+
+// NewMetrics builds a metrics sink over reg (nil means Default).
+func NewMetrics(reg *Registry) *Metrics {
+	if reg == nil {
+		reg = Default
+	}
+	return &Metrics{
+		reg:       reg,
+		runs:      reg.Counter("crashtuner_runs_total"),
+		bugs:      reg.Counter("crashtuner_run_bugs_total"),
+		campaigns: reg.Counter("crashtuner_campaigns_total"),
+		phases:    reg.Counter("crashtuner_phases_total"),
+		wall:      reg.Histogram("crashtuner_run_wall_seconds", wallBuckets),
+		simTime:   reg.Histogram("crashtuner_run_sim_seconds", simBuckets),
+		outcomes:  make(map[string]*Counter),
+	}
+}
+
+func (m *Metrics) outcome(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.outcomes[name]
+	if !ok {
+		c = m.reg.Counter(`crashtuner_oracle_outcome_total{outcome="` + name + `"}`)
+		m.outcomes[name] = c
+	}
+	return c
+}
+
+// Emit implements Sink.
+func (m *Metrics) Emit(ev Event) {
+	switch ev.Kind {
+	case RunDone:
+		m.runs.Inc()
+		m.wall.Observe(ev.Wall.Seconds())
+		if ev.Sim > 0 {
+			m.simTime.Observe(float64(ev.Sim) / float64(sim.Second))
+		}
+		if ev.Outcome != "" {
+			m.outcome(ev.Outcome).Inc()
+		}
+	case CampaignEnd:
+		m.campaigns.Inc()
+		// Bugs arrive as a running count on RunDone events; fold in the
+		// final tally once per campaign so resumed campaigns (whose
+		// restored runs never re-emit) do not double-count.
+		m.bugs.Add(uint64(lastBugs(ev)))
+	case PhaseEnd:
+		m.phases.Inc()
+	}
+}
+
+// lastBugs extracts the final bug count a campaign reported on its end
+// event (the engine copies the last annotated count forward).
+func lastBugs(ev Event) int {
+	if ev.Bugs < 0 {
+		return 0
+	}
+	return ev.Bugs
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// fakeClock returns a deterministic Now for golden traces.
+func fakeClock() func() time.Time {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+// emitCampaign drives one two-run campaign with nested phases through a
+// sink, the way the engine and the trigger do together.
+func emitCampaign(s Sink, sc Scope) {
+	s.Emit(Event{Kind: CampaignStart, Scope: sc, Run: -1, Total: 2})
+	s.Emit(Event{Kind: PhaseEnd, Scope: sc, Run: 0, Phase: "setup", Wall: time.Millisecond})
+	s.Emit(Event{Kind: PhaseEnd, Scope: sc, Run: 0, Phase: "drive", Wall: 2 * time.Millisecond, Sim: 3 * sim.Second})
+	s.Emit(Event{Kind: RunDone, Scope: sc, Run: 0, Done: 1, Total: 2,
+		Crash: "cp#1", Fault: "crash", Target: "nm1@node1", Outcome: "ok",
+		Wall: 4 * time.Millisecond, Sim: 3 * sim.Second})
+	s.Emit(Event{Kind: RunDone, Scope: sc, Run: 1, Done: 2, Total: 2,
+		Crash: "cp#2", Outcome: "hang", Bugs: 1, Wall: 2 * time.Millisecond, Sim: sim.Minute})
+	s.Emit(Event{Kind: CampaignEnd, Scope: sc, Run: -1, Done: 2, Total: 2, Bugs: 1, Wall: 10 * time.Millisecond})
+}
+
+func TestTracerGoldenJSONL(t *testing.T) {
+	var b bytes.Buffer
+	tr := NewTracer(&b)
+	tr.Now = fakeClock()
+	emitCampaign(tr, Scope{System: "yarn", Campaign: "test"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := strings.Join([]string{
+		`{"span":"campaign","event":"start","id":1,"system":"yarn","campaign":"test","start":"2026-01-02T03:04:05Z","total":2}`,
+		`{"span":"run","id":2,"parent":1,"system":"yarn","campaign":"test","run":0,"crash":"cp#1","fault":"crash","target":"nm1@node1","outcome":"ok","wall_ms":4,"sim_ms":3000}`,
+		`{"span":"phase","id":3,"parent":2,"phase":"setup","wall_ms":1}`,
+		`{"span":"phase","id":4,"parent":2,"phase":"drive","wall_ms":2,"sim_ms":3000}`,
+		`{"span":"run","id":5,"parent":1,"system":"yarn","campaign":"test","run":1,"crash":"cp#2","outcome":"hang","wall_ms":2,"sim_ms":60000}`,
+		// The end record closes the campaign under its own id — one span,
+		// two lifecycle lines.
+		`{"span":"campaign","event":"end","id":1,"system":"yarn","campaign":"test","runs":2,"bugs":1,"wall_ms":10}`,
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("golden trace mismatch:\n got: %s\nwant: %s", got, want)
+	}
+	if err := ValidateTrace(bytes.NewReader(b.Bytes())); err != nil {
+		t.Errorf("golden trace does not validate: %v", err)
+	}
+}
+
+func TestTracerRunZeroSurvives(t *testing.T) {
+	// Run index 0 must appear explicitly in the JSONL (the field is a
+	// pointer precisely so omitempty cannot eat it).
+	var b bytes.Buffer
+	tr := NewTracer(&b)
+	tr.Now = fakeClock()
+	tr.Emit(Event{Kind: RunDone, Run: 0, Done: 1, Total: 1})
+	tr.Close()
+	if !strings.Contains(b.String(), `"run":0`) {
+		t.Errorf("run 0 dropped from trace: %s", b.String())
+	}
+}
+
+func TestTracerPipelinePhaseStandsAlone(t *testing.T) {
+	var b bytes.Buffer
+	tr := NewTracer(&b)
+	tr.Now = fakeClock()
+	tr.Emit(Event{Kind: PhaseEnd, Scope: Scope{System: "yarn", Campaign: "pipeline"},
+		Run: -1, Phase: "analysis", Wall: time.Millisecond})
+	tr.Emit(Event{Kind: RunDone, Run: 0, Done: 1, Total: 1})
+	tr.Close()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"span":"phase"`) ||
+		strings.Contains(lines[0], "parent") {
+		t.Errorf("pipeline phase should be a parentless span: %v", lines)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	cases := []struct {
+		name, trace, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"bad json", "{oops\n", "bad JSON"},
+		{"missing id", `{"span":"run","run":0}` + "\n", "missing id"},
+		{"undeclared run parent",
+			`{"span":"run","id":1,"parent":9,"run":0}` + "\n", "not a declared campaign"},
+		{"undeclared phase parent",
+			`{"span":"run","id":1,"run":0}` + "\n" + `{"span":"phase","id":2,"parent":9,"phase":"x"}` + "\n",
+			"undeclared"},
+		{"campaign end without start",
+			`{"span":"campaign","event":"end","id":3}` + "\n", "undeclared id"},
+		{"no runs",
+			`{"span":"campaign","event":"start","id":1}` + "\n", "no run spans"},
+		{"negative duration",
+			`{"span":"run","id":1,"run":0,"wall_ms":-1}` + "\n", "negative duration"},
+		{"unknown span", `{"span":"zebra","id":1}` + "\n", "unknown span kind"},
+	}
+	for _, c := range cases {
+		err := ValidateTrace(strings.NewReader(c.trace))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateTraceAllowsTruncatedCampaign(t *testing.T) {
+	// An interrupted campaign leaves a start record and some runs with
+	// no end — exactly what resume appends to. That must validate.
+	trace := `{"span":"campaign","event":"start","id":1,"total":5}` + "\n" +
+		`{"span":"run","id":2,"parent":1,"run":0}` + "\n"
+	if err := ValidateTrace(strings.NewReader(trace)); err != nil {
+		t.Errorf("truncated campaign rejected: %v", err)
+	}
+}
+
+func TestOpenTraceResumeAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sc := Scope{System: "toysys", Campaign: "test"}
+
+	tr, err := OpenTrace(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Now = fakeClock()
+	// Interrupted session: start plus one run, never ended.
+	tr.Emit(Event{Kind: CampaignStart, Scope: sc, Run: -1, Total: 2})
+	tr.Emit(Event{Kind: RunDone, Scope: sc, Run: 0, Done: 1, Total: 2, Outcome: "ok"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed session appends a full campaign; ids restart at 1 and
+	// shadow the first session's.
+	tr2, err := OpenTrace(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Now = fakeClock()
+	emitCampaign(tr2, sc)
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ValidateTrace(f); err != nil {
+		t.Errorf("appended trace rejected: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if got := strings.Count(string(raw), `"event":"start"`); got != 2 {
+		t.Errorf("%d start records, want 2 (append, not truncate)", got)
+	}
+}
+
+func TestOpenTraceFreshTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte("old garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTrace(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(Event{Kind: RunDone, Run: 0, Done: 1, Total: 1})
+	tr.Close()
+	raw, _ := os.ReadFile(path)
+	if strings.Contains(string(raw), "garbage") {
+		t.Errorf("fresh open did not truncate: %s", raw)
+	}
+}

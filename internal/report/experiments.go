@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -34,9 +34,11 @@ type Experiments struct {
 	// worker per CPU; 1 reproduces the fully sequential execution. All
 	// tables are identical for any worker count.
 	Workers int
-	// Progress, when non-nil, observes every test-phase campaign; calls
-	// are serialized across systems.
-	Progress func(system string, p trigger.Progress)
+	// Sink, when non-nil, observes every campaign the experiment set
+	// runs: the outer per-system fan-outs and each system's own
+	// injection campaigns all emit obs events into it. Sink
+	// implementations must be safe for concurrent use.
+	Sink obs.Sink
 
 	// Artifacts, when non-nil, memoizes the offline AnalysisPhase across
 	// pipelines (and across experiment sets sharing the cache), so the
@@ -98,24 +100,24 @@ func (x *Experiments) checkpointPath(system, suffix string) string {
 // in the maps keyed by system name, so rendering order — and therefore
 // every table — is independent of scheduling.
 func (x *Experiments) RunPipelines() {
-	var mu sync.Mutex // serializes x.Progress across systems
 	type pipelineOut struct {
 		res     *core.Result
 		matcher *logparse.Matcher
 	}
-	outs := campaign.Run(len(x.Systems), campaign.Options[pipelineOut]{Workers: x.Workers}, func(i int) pipelineOut {
+	outs := campaign.Run(len(x.Systems), campaign.Options[pipelineOut]{
+		Workers: x.Workers,
+		Sink:    x.Sink,
+		Scope:   obs.Scope{Campaign: "pipelines"},
+	}, func(i int) pipelineOut {
 		r := x.Systems[i]
 		opts := core.Options{
-			Seed: x.Seed, Scale: x.Scale, Workers: x.Workers,
-			CheckpointPath: x.checkpointPath(r.Name(), ".ckpt"),
-			Resume:         x.Resume,
-		}
-		if x.Progress != nil {
-			opts.Progress = func(p trigger.Progress) {
-				mu.Lock()
-				x.Progress(r.Name(), p)
-				mu.Unlock()
-			}
+			Config: campaign.Config{
+				Workers:        x.Workers,
+				CheckpointPath: x.checkpointPath(r.Name(), ".ckpt"),
+				Resume:         x.Resume,
+				Sink:           x.Sink,
+			},
+			Seed: x.Seed, Scale: x.Scale,
 		}
 		res, matcher := x.analysisPhase(r, opts)
 		core.ProfilePhase(r, res, opts)
@@ -142,16 +144,27 @@ func (x *Experiments) RunBaselines() {
 	type baselineOut struct {
 		random, io *baseline.Result
 	}
-	outs := campaign.Run(len(x.Systems), campaign.Options[baselineOut]{Workers: x.Workers}, func(i int) baselineOut {
+	outs := campaign.Run(len(x.Systems), campaign.Options[baselineOut]{
+		Workers: x.Workers,
+		Sink:    x.Sink,
+		Scope:   obs.Scope{Campaign: "baselines"},
+	}, func(i int) baselineOut {
 		r := x.Systems[i]
 		res := x.Results[r.Name()]
 		if res == nil {
 			return baselineOut{}
 		}
-		opts := baseline.Options{Seed: x.Seed, Scale: x.Scale, Runs: x.RandomRuns, Workers: x.Workers}
+		opts := baseline.Options{Seed: x.Seed, Scale: x.Scale, Runs: x.RandomRuns}
+		opts.Workers = x.Workers
+		opts.Sink = x.Sink
+		ro, io := opts, opts
+		ro.CheckpointPath = x.checkpointPath(r.Name(), ".random.ckpt")
+		ro.Resume = x.Resume
+		io.CheckpointPath = x.checkpointPath(r.Name(), ".io.ckpt")
+		io.Resume = x.Resume
 		return baselineOut{
-			random: baseline.Random(r, res.Baseline, opts),
-			io:     baseline.IOInjection(r, x.Matchers[r.Name()], res.Baseline, opts),
+			random: baseline.Random(r, res.Baseline, ro),
+			io:     baseline.IOInjection(r, x.Matchers[r.Name()], res.Baseline, io),
 		}
 	})
 	for i, r := range x.Systems {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trigger"
 )
 
@@ -25,13 +26,21 @@ func (x *Experiments) RunRecovery(rc *trigger.RecoveryOptions) {
 		rc = &trigger.RecoveryOptions{}
 	}
 	systems := x.Systems
-	outs := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: x.Workers}, func(i int) *core.Result {
+	outs := campaign.Run(len(systems), campaign.Options[*core.Result]{
+		Workers: x.Workers,
+		Sink:    x.Sink,
+		Scope:   obs.Scope{Campaign: "recovery-pipelines"},
+	}, func(i int) *core.Result {
 		r := systems[i]
 		opts := core.Options{
-			Seed: x.Seed, Scale: x.Scale, Workers: x.Workers,
-			Recovery:       rc,
-			CheckpointPath: x.checkpointPath(r.Name(), ".recovery.ckpt"),
-			Resume:         x.Resume,
+			Config: campaign.Config{
+				Workers:        x.Workers,
+				CheckpointPath: x.checkpointPath(r.Name(), ".recovery.ckpt"),
+				Resume:         x.Resume,
+				Sink:           x.Sink,
+			},
+			Seed: x.Seed, Scale: x.Scale,
+			Recovery: rc,
 		}
 		res, matcher := x.analysisPhase(r, opts)
 		core.ProfilePhase(r, res, opts)

@@ -20,7 +20,16 @@ import (
 	"repro/internal/ir"
 	"repro/internal/logparse"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/sim"
+)
+
+// Process-wide stash instruments on the default registry, pre-allocated
+// atomics so the tap path stays allocation-free.
+var (
+	lookupTotal    = obs.Default.Counter("crashtuner_stash_lookups_total")
+	lookupHits     = obs.Default.Counter("crashtuner_stash_lookup_hits_total")
+	forwardedTotal = obs.Default.Counter("crashtuner_stash_forwarded_total")
 )
 
 // Stash is the custom-stash node state: the runtime meta-info graph plus
@@ -93,6 +102,7 @@ func (s *Stash) Process(rec dslog.Record) {
 		return
 	}
 	s.Forwarded += len(forward)
+	forwardedTotal.Add(uint64(len(forward)))
 	// Observe only reads the slice; the buffer is reused on the next call.
 	s.graph.Observe(forward)
 }
@@ -121,10 +131,12 @@ func (s *Stash) keep(arg ir.LogArg, v string) bool {
 func (s *Stash) Query(value string) (sim.NodeID, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	lookupTotal.Inc()
 	n, ok := s.graph.NodeOf(value)
 	if !ok {
 		return "", false
 	}
+	lookupHits.Inc()
 	return sim.NodeID(n), true
 }
 

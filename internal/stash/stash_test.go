@@ -46,8 +46,9 @@ func buildStash(t *testing.T) (*Stash, *dslog.Root, *sim.Engine) {
 		{Text: "assigned container_9 to node node1:42"},
 	}
 	var matches []*logparse.Match
+	session := matcher.NewSession()
 	for _, r := range offline {
-		if m := matcher.Match(r); m != nil {
+		if m := session.Match(r); m != nil {
 			matches = append(matches, m)
 		}
 	}

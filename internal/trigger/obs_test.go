@@ -1,0 +1,138 @@
+// End-to-end observability tests: a real injection campaign routed into
+// the obs sinks must produce a structurally valid JSONL trace with the
+// phases nested under their runs, and non-zero run/oracle metrics.
+package trigger_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/systems/toysys"
+	"repro/internal/trigger"
+)
+
+// traceShape decodes the span fields these tests assert on.
+type traceShape struct {
+	Span    string `json:"span"`
+	Event   string `json:"event"`
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent"`
+	Run     *int   `json:"run"`
+	Phase   string `json:"phase"`
+	Outcome string `json:"outcome"`
+	Crash   string `json:"crash"`
+}
+
+func TestCampaignEmitsNestedTrace(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		base := &toysys.Runner{}
+		b := trigger.MeasureBaseline(base, 1, 1, 1, 0)
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		tester := &trigger.Tester{
+			Runner:   base,
+			Baseline: b, Seed: 1, Scale: 1,
+			Config: campaign.Config{Workers: workers, Sink: tr},
+		}
+		points := toyPoints()
+		tester.Campaign(points)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := obs.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("workers=%d: campaign trace invalid: %v", workers, err)
+		}
+		// One run span per point, each with its three phases nested
+		// under it (setup → drive → oracle).
+		runIDs := map[uint64]bool{}
+		phasesByParent := map[uint64][]string{}
+		runs := 0
+		sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+		for sc.Scan() {
+			var ln traceShape
+			if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+				t.Fatal(err)
+			}
+			switch ln.Span {
+			case "run":
+				runs++
+				runIDs[ln.ID] = true
+				if ln.Outcome == "" || ln.Crash == "" {
+					t.Errorf("workers=%d: run span missing outcome/crash: %s", workers, sc.Text())
+				}
+			case "phase":
+				phasesByParent[ln.Parent] = append(phasesByParent[ln.Parent], ln.Phase)
+			}
+		}
+		if runs != len(points) {
+			t.Fatalf("workers=%d: %d run spans, want %d", workers, runs, len(points))
+		}
+		for id := range runIDs {
+			got := phasesByParent[id]
+			if len(got) != 3 || got[0] != "setup" || got[1] != "drive" || got[2] != "oracle" {
+				t.Errorf("workers=%d: run %d phases = %v, want [setup drive oracle]", workers, id, got)
+			}
+		}
+	}
+}
+
+func TestPipelineFeedsMetricsSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := core.Options{
+		Config: campaign.Config{Workers: 2, Sink: obs.NewMetrics(reg)},
+		Seed:   11, Scale: 1,
+	}
+	res := core.Run(&toysys.Runner{}, opts)
+	if res.Summary.Tested == 0 {
+		t.Fatal("pipeline tested nothing")
+	}
+	if v := reg.Counter("crashtuner_runs_total").Value(); v < uint64(res.Summary.Tested) {
+		t.Errorf("runs_total = %d, want >= %d", v, res.Summary.Tested)
+	}
+	if v := reg.Counter("crashtuner_campaigns_total").Value(); v == 0 {
+		t.Error("campaigns_total = 0")
+	}
+	// The pipeline emits its analysis/profile/test phases plus the
+	// per-run setup/drive/oracle phases.
+	if v := reg.Counter("crashtuner_phases_total").Value(); v < 3 {
+		t.Errorf("phases_total = %d, want >= 3", v)
+	}
+	if v := reg.Counter(`crashtuner_oracle_outcome_total{outcome="ok"}`).Value(); v == 0 {
+		t.Error(`oracle outcome "ok" never counted`)
+	}
+}
+
+func TestCampaignDeterministicWithSink(t *testing.T) {
+	// A sink must not perturb results: with and without one, for any
+	// worker count, the reports are identical.
+	run := func(workers int, sink obs.Sink) []trigger.Report {
+		base := &toysys.Runner{}
+		b := trigger.MeasureBaseline(base, 1, 1, 1, 0)
+		tester := &trigger.Tester{
+			Runner: base, Baseline: b, Seed: 1, Scale: 1,
+			Config: campaign.Config{Workers: workers, Sink: sink},
+		}
+		return tester.Campaign(toyPoints())
+	}
+	plain := run(1, nil)
+	var buf bytes.Buffer
+	for _, workers := range []int{1, 4} {
+		tr := obs.NewTracer(&buf)
+		got := run(workers, obs.Multi(obs.NewMetrics(obs.NewRegistry()), tr))
+		tr.Close()
+		if len(got) != len(plain) {
+			t.Fatalf("workers=%d: %d reports vs %d", workers, len(got), len(plain))
+		}
+		for i := range got {
+			if got[i].Outcome != plain[i].Outcome || got[i].Target != plain[i].Target {
+				t.Errorf("workers=%d: report %d diverged with sink attached", workers, i)
+			}
+		}
+	}
+}

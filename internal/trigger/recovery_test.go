@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/crashpoint"
 	"repro/internal/probe"
@@ -60,7 +61,7 @@ func TestCampaignIsolatesModelPanics(t *testing.T) {
 	b := trigger.MeasureBaseline(base, 1, 1, 1, 0)
 	tester := &trigger.Tester{
 		Runner:   &chaosRunner{Runner: base, mode: "panic"},
-		Baseline: b, Seed: 1, Scale: 1, Workers: 2,
+		Baseline: b, Seed: 1, Scale: 1, Config: campaign.Config{Workers: 2},
 	}
 	points := toyPoints()
 	reports := tester.Campaign(points)
@@ -92,7 +93,7 @@ func TestCampaignReportsLivelockAsHarnessError(t *testing.T) {
 	b := trigger.MeasureBaseline(base, 1, 1, 1, 0)
 	tester := &trigger.Tester{
 		Runner:   &chaosRunner{Runner: base, mode: "livelock"},
-		Baseline: b, Seed: 1, Scale: 1, Workers: 1,
+		Baseline: b, Seed: 1, Scale: 1, Config: campaign.Config{Workers: 1},
 		MaxSteps: 20_000,
 	}
 	reports := tester.Campaign(toyPoints())
@@ -120,7 +121,7 @@ func TestRecoveryCampaignRestartsEverySystem(t *testing.T) {
 	systems := append(all.Runners(), all.Extensions()...)
 	for _, r := range systems {
 		t.Run(r.Name(), func(t *testing.T) {
-			res := core.Run(r, core.Options{Seed: 11, Scale: 1, Workers: 1, Recovery: rc})
+			res := core.Run(r, core.Options{Config: campaign.Config{Workers: 1}, Seed: 11, Scale: 1, Recovery: rc})
 			if res.Summary.Restarts == 0 {
 				t.Errorf("no run restarted its victim")
 			}
@@ -153,7 +154,7 @@ func TestSecondFaultInRecoveryWindow(t *testing.T) {
 		RestartDelay:     200 * sim.Millisecond,
 		SecondFaultDelay: 5 * sim.Millisecond,
 	}
-	res := core.Run(&toysys.Runner{}, core.Options{Seed: 11, Scale: 1, Workers: 1, Recovery: rc})
+	res := core.Run(&toysys.Runner{}, core.Options{Config: campaign.Config{Workers: 1}, Seed: 11, Scale: 1, Recovery: rc})
 	if res.Summary.Restarts == 0 {
 		t.Fatal("no run restarted its victim")
 	}
@@ -174,7 +175,7 @@ func TestSecondFaultInRecoveryWindow(t *testing.T) {
 func TestRecoveryCampaignDeterminism(t *testing.T) {
 	rc := &trigger.RecoveryOptions{RestartDelay: 200 * sim.Millisecond}
 	marshal := func(workers int) []byte {
-		res := core.Run(&toysys.Runner{}, core.Options{Seed: 3, Scale: 1, Workers: workers, Recovery: rc})
+		res := core.Run(&toysys.Runner{}, core.Options{Config: campaign.Config{Workers: workers}, Seed: 3, Scale: 1, Recovery: rc})
 		b, err := json.Marshal(struct {
 			Reports []trigger.Report
 			Summary trigger.Summary
@@ -197,7 +198,7 @@ func TestRecoveryCampaignDeterminism(t *testing.T) {
 func TestInterruptedCampaignResumesByteIdentical(t *testing.T) {
 	rc := &trigger.RecoveryOptions{RestartDelay: 200 * sim.Millisecond}
 	opts := func() core.Options {
-		return core.Options{Seed: 11, Scale: 1, Workers: 1, Recovery: rc}
+		return core.Options{Config: campaign.Config{Workers: 1}, Seed: 11, Scale: 1, Recovery: rc}
 	}
 	marshal := func(res *core.Result) []byte {
 		b, err := json.Marshal(struct {

@@ -17,13 +17,14 @@ package trigger
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stash"
@@ -138,6 +139,10 @@ func (rc *RecoveryOptions) restartDelay() sim.Time {
 
 // Tester drives the injection campaign for one system.
 type Tester struct {
+	// Config carries the shared campaign-execution knobs (worker pool,
+	// checkpointing, observability sink); see campaign.Config.
+	campaign.Config
+
 	Runner   cluster.Runner
 	Analysis *metainfo.Analysis
 	Matcher  *logparse.Matcher
@@ -165,29 +170,19 @@ type Tester struct {
 	// sim.DefaultMaxSteps. A run that exhausts the budget is reported as
 	// HarnessError (a livelocked model), not as a system bug.
 	MaxSteps uint64
-	// CheckpointPath, when non-empty, makes the campaign resumable: each
-	// finished report is appended to this JSONL file, and a later
-	// campaign with Resume set skips the already-finished points.
-	CheckpointPath string
-	// Resume reloads CheckpointPath before running.
-	Resume bool
-	// Workers bounds how many points are tested concurrently; zero or
-	// negative means one worker per CPU, 1 forces sequential testing.
-	// Every point is an independent run (fresh engine, probe, logs and
-	// stash, seeded with Seed), so the reports are identical for any
-	// worker count.
-	Workers int
-	// Progress, when non-nil, observes the campaign after every tested
-	// point. Calls are serialized; the callback needs no locking.
-	Progress func(Progress)
 }
 
-// Progress is a campaign observation: how many points have been tested
-// and how many bug outcomes they produced so far.
-type Progress struct {
-	Tested int
-	Total  int
-	Bugs   int
+// scope labels the Tester's events: the system under test plus the
+// campaign kind ("test", or "recovery" when the recovery oracle is on).
+func (t *Tester) scope() obs.Scope {
+	sc := obs.Scope{Campaign: "test"}
+	if t.Recovery != nil {
+		sc.Campaign = "recovery"
+	}
+	if t.Runner != nil {
+		sc.System = t.Runner.Name()
+	}
+	return sc
 }
 
 // MeasureBaseline performs fault-free runs and unions their exception
@@ -217,7 +212,22 @@ func MeasureBaseline(r cluster.Runner, seed int64, scale, runs int, deadline sim
 }
 
 // TestPoint runs the system once with an injection armed at d.
-func (t *Tester) TestPoint(d probe.DynPoint) Report {
+func (t *Tester) TestPoint(d probe.DynPoint) Report { return t.testPoint(-1, d) }
+
+// emitPhase reports one finished phase of run (or of the pipeline, when
+// run < 0) to the Tester's sink.
+func (t *Tester) emitPhase(run int, name string, wall time.Duration, simT sim.Time) {
+	if t.Sink == nil {
+		return
+	}
+	t.Sink.Emit(obs.Event{Kind: obs.PhaseEnd, Scope: t.scope(), Run: run, Phase: name, Wall: wall, Sim: simT})
+}
+
+// testPoint is TestPoint inside campaign job `run`: the same single
+// injection, plus nested phase spans (setup → drive → oracle) on the
+// Tester's sink so traces show where each run's wall-clock went.
+func (t *Tester) testPoint(run int, d probe.DynPoint) Report {
+	phaseStart := time.Now()
 	timeoutFactor := t.TimeoutFactor
 	if timeoutFactor <= 0 {
 		timeoutFactor = 4
@@ -239,8 +249,8 @@ func (t *Tester) TestPoint(d probe.DynPoint) Report {
 	}
 	st := stash.New(t.Runner.Hosts(), matcher, t.Analysis)
 	st.Attach(logs)
-	run := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
-	e := run.Engine()
+	sysRun := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
+	e := sysRun.Engine()
 	e.MaxSteps = t.MaxSteps
 
 	rep := Report{Dyn: d, Outcome: NotHit}
@@ -268,16 +278,22 @@ func (t *Tester) TestPoint(d probe.DynPoint) Report {
 			rep.Injected = f
 		}
 		if t.Recovery != nil {
-			t.scheduleRestart(run, &rep, target)
+			t.scheduleRestart(sysRun, &rep, target)
 		}
 	}
+	t.emitPhase(run, "setup", time.Since(phaseStart), 0)
 
-	res := cluster.Drive(run, deadline)
+	phaseStart = time.Now()
+	res := cluster.Drive(sysRun, deadline)
+	t.emitPhase(run, "drive", time.Since(phaseStart), res.End)
+
+	phaseStart = time.Now()
 	rep.Duration = res.End
-	rep.Witnesses = run.Witnesses()
-	rep.Reason = run.FailureReason()
+	rep.Witnesses = sysRun.Witnesses()
+	rep.Reason = sysRun.FailureReason()
 	rep.NewExceptions = t.newUnhandled(e)
-	rep.Outcome = t.classify(fired, resolvedMiss, run, res, rep.NewExceptions, timeoutFactor)
+	rep.Outcome = t.classify(fired, resolvedMiss, sysRun, res, rep.NewExceptions, timeoutFactor)
+	t.emitPhase(run, "oracle", time.Since(phaseStart), 0)
 	return rep
 }
 
@@ -454,29 +470,27 @@ func EvaluateRecovery(b Baseline, run cluster.Run, res sim.RunResult, newEx []st
 // produces a HarnessError report for that point instead of taking the
 // whole campaign down. With CheckpointPath set it is also resumable.
 func (t *Tester) Campaign(points []probe.DynPoint) []Report {
-	total := len(points)
-	var (
-		mu   sync.Mutex // serializes t.Progress and the counters under it
-		done int
-		bugs int
-	)
-	return campaign.Run(total, campaign.Options[Report]{
+	bugs := 0 // guarded by the campaign completion lock (Annotate contract)
+	return campaign.Run(len(points), campaign.Options[Report]{
 		Workers:    t.Workers,
 		Recover:    func(i int, v any) Report { return t.panicReport(points[i], v) },
-		Checkpoint: t.checkpoint(),
-	}, func(i int) Report {
-		rep := t.TestPoint(points[i])
-		if t.Progress != nil {
-			mu.Lock()
-			done++
+		Checkpoint: t.Config.Checkpoint(),
+		Sink:       t.Sink,
+		Scope:      t.scope(),
+		Annotate: func(ev *obs.Event, i int, rep Report) {
 			if rep.Outcome.IsBug() {
 				bugs++
 			}
-			t.Progress(Progress{Tested: done, Total: total, Bugs: bugs})
-			mu.Unlock()
-		}
-		return rep
-	})
+			ev.Bugs = bugs
+			ev.Crash = rep.Dyn.Key()
+			ev.Outcome = rep.Outcome.String()
+			ev.Sim = rep.Duration
+			ev.Target = string(rep.Target)
+			if rep.Injected != nil {
+				ev.Fault = rep.Injected.Kind.String()
+			}
+		},
+	}, func(i int) Report { return t.testPoint(i, points[i]) })
 }
 
 // panicReport turns a recovered model panic into a HarnessError report.
@@ -486,13 +500,6 @@ func (t *Tester) panicReport(d probe.DynPoint, v any) Report {
 		Outcome: HarnessError,
 		Reason:  fmt.Sprintf("panic in system model: %v", v),
 	}
-}
-
-func (t *Tester) checkpoint() *campaign.CheckpointConfig {
-	if t.CheckpointPath == "" {
-		return nil
-	}
-	return &campaign.CheckpointConfig{Path: t.CheckpointPath, Resume: t.Resume}
 }
 
 // Summary aggregates a campaign for reporting.
