@@ -10,6 +10,7 @@
 //	crashtuner -system yarn -recovery [-restart-after 2000] [-second-fault-after 50]
 //	crashtuner -system yarn -checkpoint yarn.ckpt            # interruptible
 //	crashtuner -system yarn -checkpoint yarn.ckpt -resume    # pick up where it left off
+//	crashtuner -system yarn -triage triage.jsonl             # record failing runs for cttriage
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/systems/all"
+	"repro/internal/triage"
 	"repro/internal/trigger"
 )
 
@@ -41,6 +43,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file for the injection campaign")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint, skipping finished points")
 		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential)")
+		triagePath = flag.String("triage", "", "append one record per failing run to this triage store (JSONL; inspect with cttriage)")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
 		tracePath  = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
 	)
@@ -83,6 +86,19 @@ func main() {
 			Sink:           obs.Multi(sinks...),
 		},
 		Seed: *seed, Scale: *scale,
+	}
+	if *triagePath != "" {
+		store, err := triage.OpenStore(*triagePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		opts.Recorder = triage.NewRecorder(store)
 	}
 	if *recovery {
 		rc := &trigger.RecoveryOptions{
@@ -134,8 +150,8 @@ func main() {
 		fmt.Println()
 	}
 	s := res.Summary
-	fmt.Printf("\nSummary: %d points tested, %d bug reports, %d timeout issues; seeded bugs detected: %v\n",
-		s.Tested, s.Bugs, s.TimeoutIssues, s.WitnessedBugs)
+	fmt.Printf("\nSummary: %d points tested, %d bug reports (%d distinct), %d timeout issues; seeded bugs detected: %v\n",
+		s.Tested, s.Bugs, s.DistinctBugs, s.TimeoutIssues, s.WitnessedBugs)
 	if *recovery {
 		fmt.Printf("Recovery: %d runs restarted their victim; never-rejoined %d, rejoin-no-work %d, duplicate-incarnation %d, harness errors %d\n",
 			s.Restarts, s.ByOutcome[trigger.NeverRejoined], s.ByOutcome[trigger.RejoinNoWork],

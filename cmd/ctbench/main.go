@@ -14,6 +14,7 @@
 //	ctbench -cpuprofile cpu.pprof -exp summary   # profile the pipelines
 //	ctbench -memprofile mem.pprof -exp summary
 //	ctbench -bench-json BENCH_matcher.json       # matcher-ingest numbers
+//	ctbench -triage-bench BENCH_triage.json      # triage ingest+cluster numbers
 //
 // The offline analysis artifacts are memoized per system through
 // core.SharedArtifacts, so rendering several run-based tables pays the
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dslog"
 	"repro/internal/obs"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/systems/all"
 	"repro/internal/systems/cluster"
+	"repro/internal/triage"
 	"repro/internal/trigger"
 )
 
@@ -51,25 +54,27 @@ var experiments = []string{
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (see -exp list)")
-		seed       = flag.Int64("seed", 11, "seed")
-		scale      = flag.Int("scale", 1, "workload scale")
-		randomRuns = flag.Int("random-runs", 200, "runs per system for the random baseline (paper: 3000)")
-		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential; output is identical either way)")
-		progress   = flag.Bool("progress", false, "report campaign progress on stderr")
-		useCache   = flag.Bool("artifact-cache", true, "memoize the offline analysis phase per system (output is identical either way)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchJSON  = flag.String("bench-json", "", "run the matcher-ingest microbenchmark and write its JSON record to this file (e.g. BENCH_matcher.json)")
-		checkpoint = flag.String("checkpoint", "", "checkpoint directory: campaigns append per-system JSONL checkpoints under it")
-		resume     = flag.Bool("resume", false, "resume campaigns from the -checkpoint directory, skipping finished points (tables are byte-identical to an uninterrupted run)")
-		restartMS  = flag.Int64("restart-after", 2000, "recovery experiment: restart the victim this many ms (virtual) after the fault")
-		secondMS   = flag.Int64("second-fault-after", 0, "recovery experiment: inject a second fault this many ms (virtual) after the restart (0: none)")
-		secondKind = flag.String("second-fault", "crash", "recovery experiment: second fault kind (crash or shutdown)")
-		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
-		obsLinger  = flag.Bool("obs-linger", false, "with -obs-addr: keep the endpoint up after rendering until stdin closes (for scraping in scripts/CI)")
-		tracePath  = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
-		validate   = flag.Bool("validate-trace", false, "with -trace: structurally validate the emitted trace on exit and fail if it is malformed")
+		exp         = flag.String("exp", "all", "experiment id (see -exp list)")
+		seed        = flag.Int64("seed", 11, "seed")
+		scale       = flag.Int("scale", 1, "workload scale")
+		randomRuns  = flag.Int("random-runs", 200, "runs per system for the random baseline (paper: 3000)")
+		workers     = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential; output is identical either way)")
+		progress    = flag.Bool("progress", false, "report campaign progress on stderr")
+		useCache    = flag.Bool("artifact-cache", true, "memoize the offline analysis phase per system (output is identical either way)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON   = flag.String("bench-json", "", "run the matcher-ingest microbenchmark and write its JSON record to this file (e.g. BENCH_matcher.json)")
+		triageBench = flag.String("triage-bench", "", "run the triage ingest+cluster microbenchmark and write its JSON record to this file (e.g. BENCH_triage.json)")
+		triagePath  = flag.String("triage", "", "append one record per failing campaign run to this triage store (JSONL; inspect with cttriage)")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint directory: campaigns append per-system JSONL checkpoints under it")
+		resume      = flag.Bool("resume", false, "resume campaigns from the -checkpoint directory, skipping finished points (tables are byte-identical to an uninterrupted run)")
+		restartMS   = flag.Int64("restart-after", 2000, "recovery experiment: restart the victim this many ms (virtual) after the fault")
+		secondMS    = flag.Int64("second-fault-after", 0, "recovery experiment: inject a second fault this many ms (virtual) after the restart (0: none)")
+		secondKind  = flag.String("second-fault", "crash", "recovery experiment: second fault kind (crash or shutdown)")
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
+		obsLinger   = flag.Bool("obs-linger", false, "with -obs-addr: keep the endpoint up after rendering until stdin closes (for scraping in scripts/CI)")
+		tracePath   = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
+		validate    = flag.Bool("validate-trace", false, "with -trace: structurally validate the emitted trace on exit and fail if it is malformed")
 	)
 	flag.Parse()
 
@@ -162,16 +167,26 @@ func main() {
 		}()
 	}
 
+	ranBench := false
 	if *benchJSON != "" {
 		if err := writeMatcherBench(*benchJSON, *seed, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		// Alone, -bench-json writes the record and exits; combine it with
-		// an explicit -exp to also render tables in the same process.
-		if *exp == "all" {
-			return
+		ranBench = true
+	}
+	if *triageBench != "" {
+		if err := writeTriageBench(*triageBench); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+		ranBench = true
+	}
+	// Alone, the bench emitters write their records and exit; combine
+	// them with an explicit -exp to also render tables in the same
+	// process.
+	if ranBench && *exp == "all" {
+		return
 	}
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
@@ -238,6 +253,20 @@ func main() {
 		x.Resume = *resume
 	}
 	x.Sink = sink
+	if *triagePath != "" {
+		store, err := triage.OpenStore(*triagePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		x.Recorder = triage.NewRecorder(store)
+	}
 	if needRecovery {
 		rc := &trigger.RecoveryOptions{
 			RestartDelay:     sim.Time(*restartMS) * sim.Millisecond,
@@ -361,5 +390,91 @@ func writeMatcherBench(path string, seed int64, scale int) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench-json: %s — %d records/op, %.0f ns/op (%.1f ns/record), %d allocs/op, %d B/op\n",
 		path, rec.RecordsPerOp, rec.NsPerOp, rec.NsPerRecord, rec.AllocsPerOp, rec.BytesPerOp)
+	return nil
+}
+
+// triageBenchRecord is the JSON schema of the -triage-bench emitter.
+type triageBenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	RecordsPerOp int     `json:"records_per_op"`
+	Clusters     int     `json:"clusters_per_op"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	NsPerRecord  float64 `json:"ns_per_record"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// triageBenchWorkload builds a deterministic synthetic campaign: many
+// failing runs whose volatile tokens (targets, timestamps) vary per run
+// while the underlying signatures collapse to a bounded cluster count —
+// the shape the triage ingest path sees in practice.
+func triageBenchWorkload() []campaign.RunRecord {
+	const records, groups = 2000, 40
+	recs := make([]campaign.RunRecord, 0, records)
+	for i := 0; i < records; i++ {
+		g := i % groups
+		node := i % 7
+		recs = append(recs, campaign.RunRecord{
+			System:   "bench",
+			Campaign: "test",
+			Run:      i,
+			Seed:     int64(11 + i),
+			Point:    fmt.Sprintf("bench.Master.handle#%d", g),
+			Scenario: "pre-read",
+			Stack:    fmt.Sprintf("bench.Master.handle%d<bench.Master.dispatch<rpc.serve", g),
+			Fault:    "crash",
+			Target:   fmt.Sprintf("node%d:%d", node, 7000+node),
+			Outcome:  "job-failure",
+			Failing:  true,
+			Exceptions: []string{fmt.Sprintf(
+				"NullPointerException@bench.Master.handle%d: worker node%d:%d lost at 2019-10-27T14:%02d:%02dZ",
+				g, node, 7000+node, i%60, (i*7)%60)},
+		})
+	}
+	return recs
+}
+
+// writeTriageBench measures the triage hot path — signature
+// computation, index dedup and clustering over a full campaign's
+// records — and writes the result as JSON (BENCH_triage.json in CI
+// artifacts).
+func writeTriageBench(path string) error {
+	recs := triageBenchWorkload()
+	ingest := func() *triage.Index {
+		ix := triage.NewIndex()
+		for _, rr := range recs {
+			ix.Add(triage.FromRunRecord(rr))
+		}
+		return ix
+	}
+	clusters := len(ingest().Clusters())
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ingest().Clusters()
+		}
+	})
+
+	rec := triageBenchRecord{
+		Benchmark:    "triage-ingest",
+		RecordsPerOp: len(recs),
+		Clusters:     clusters,
+		Iterations:   br.N,
+		NsPerOp:      float64(br.NsPerOp()),
+		NsPerRecord:  float64(br.NsPerOp()) / float64(len(recs)),
+		AllocsPerOp:  br.AllocsPerOp(),
+		BytesPerOp:   br.AllocedBytesPerOp(),
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "triage-bench: %s — %d records/op -> %d clusters, %.0f ns/op (%.1f ns/record), %d allocs/op, %d B/op\n",
+		path, rec.RecordsPerOp, rec.Clusters, rec.NsPerOp, rec.NsPerRecord, rec.AllocsPerOp, rec.BytesPerOp)
 	return nil
 }

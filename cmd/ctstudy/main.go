@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/campaign"
@@ -23,24 +24,40 @@ import (
 	"repro/internal/sim"
 	"repro/internal/systems/all"
 	"repro/internal/systems/cluster"
+	"repro/internal/triage"
 	"repro/internal/trigger"
 )
 
 func main() {
 	var (
-		system  = flag.String("system", "", "show studied bugs of one system")
-		showNew = flag.Bool("new", false, "show the new bugs (Table 5) with seeding locations")
-		showK8s = flag.Bool("k8s", false, "show the Kubernetes study (Table 13)")
-		verify  = flag.Bool("verify", false, "run live campaigns and cross-check witnessed bugs against the registry")
-		seed    = flag.Int64("seed", 11, "seed for -verify campaigns")
-		scale   = flag.Int("scale", 1, "workload scale for -verify campaigns")
-		workers = flag.Int("workers", 0, "campaign worker pool size for -verify (0: one per CPU, 1: sequential)")
+		system     = flag.String("system", "", "show studied bugs of one system")
+		showNew    = flag.Bool("new", false, "show the new bugs (Table 5) with seeding locations")
+		showK8s    = flag.Bool("k8s", false, "show the Kubernetes study (Table 13)")
+		verify     = flag.Bool("verify", false, "run live campaigns and cross-check witnessed bugs against the registry")
+		seed       = flag.Int64("seed", 11, "seed for -verify campaigns")
+		scale      = flag.Int("scale", 1, "workload scale for -verify campaigns")
+		workers    = flag.Int("workers", 0, "campaign worker pool size for -verify (0: one per CPU, 1: sequential)")
+		triagePath = flag.String("triage", "", "with -verify: append one record per failing run to this triage store (JSONL)")
 	)
 	flag.Parse()
 
 	switch {
 	case *verify:
-		verifySeeded(*seed, *scale, *workers)
+		var rec campaign.RunRecorder
+		if *triagePath != "" {
+			store, err := triage.OpenStore(*triagePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer func() {
+				if err := store.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+			rec = triage.NewRecorder(store)
+		}
+		verifySeeded(*seed, *scale, *workers, rec)
 	case *system != "":
 		bugs := registry.BySystem()[*system]
 		if len(bugs) == 0 {
@@ -90,7 +107,7 @@ func main() {
 // recovery-mode pass then restarts each victim after its fault, so the
 // restart paths and the recovery oracles are exercised on every system
 // too.
-func verifySeeded(seed int64, scale, workers int) {
+func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
 	known := map[string]bool{}
 	for _, b := range registry.StudiedBugs() {
 		known[b.ID] = true
@@ -101,7 +118,7 @@ func verifySeeded(seed int64, scale, workers int) {
 
 	systems := all.Runners()
 	results := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers}, Seed: seed, Scale: scale})
+		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers, Recorder: rec}, Seed: seed, Scale: scale})
 	})
 
 	fmt.Println("Live campaign cross-check of the seeded bugs:")
@@ -127,7 +144,7 @@ func verifySeeded(seed int64, scale, workers int) {
 	// 500 ms (virtual) after its fault and judged by the recovery oracles.
 	rc := &trigger.RecoveryOptions{RestartDelay: 500 * sim.Millisecond}
 	recovered := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers}, Seed: seed, Scale: scale, Recovery: rc})
+		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers, Recorder: rec}, Seed: seed, Scale: scale, Recovery: rc})
 	})
 	fmt.Println("Recovery-mode cross-check (victims restarted after the fault):")
 	for i, r := range systems {

@@ -71,6 +71,12 @@ type runOutcome struct {
 	Outcome   trigger.Outcome `json:"outcome"`
 	Duration  sim.Time        `json:"duration"`
 	Witnesses []string        `json:"witnesses,omitempty"`
+	// Fault/Target/NewExceptions feed the triage recorder; omitempty
+	// keeps checkpoints from earlier versions loadable (the fields are
+	// simply absent there and the affected runs re-record as unknowns).
+	Fault         string   `json:"fault,omitempty"`
+	Target        string   `json:"target,omitempty"`
+	NewExceptions []string `json:"newExceptions,omitempty"`
 }
 
 func (r *Result) record(o runOutcome) {
@@ -129,6 +135,35 @@ func (o Options) campaignOptions(system, kind string) campaign.Options[runOutcom
 			ev.Outcome = r.Outcome.String()
 			ev.Sim = r.Duration
 		},
+	}
+}
+
+// recordRuns delivers a baseline campaign's outcomes to the configured
+// triage recorder, in run order so repeat campaigns append to a store
+// identically. Only the caller knows the job layout, so it supplies the
+// per-run static point and seed.
+func (o Options) recordRuns(system, kind string, outcomes []runOutcome, job func(i int) (point string, seed int64)) {
+	rec := o.Config.Recorder
+	if rec == nil {
+		return
+	}
+	for i, out := range outcomes {
+		point, seed := job(i)
+		rec.Record(campaign.RunRecord{
+			System:     system,
+			Campaign:   kind,
+			Run:        i,
+			Seed:       seed,
+			Scale:      o.Scale,
+			Point:      point,
+			Fault:      out.Fault,
+			Target:     out.Target,
+			Outcome:    out.Outcome.String(),
+			Failing:    out.Outcome.IsBug(),
+			Exceptions: out.NewExceptions,
+			Witnesses:  out.Witnesses,
+			Duration:   out.Duration,
+		})
 	}
 }
 
@@ -209,11 +244,19 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 		rr := cluster.Drive(run, deadline)
 		newEx := trigger.NewUnhandled(b, e)
 		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses()}
+		fault := "crash"
+		if graceful {
+			fault = "shutdown"
+		}
+		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses(),
+			Fault: fault, Target: string(victim), NewExceptions: newEx}
 	})
 	for _, o := range outcomes {
 		res.record(o)
 	}
+	opts.recordRuns(r.Name(), "random", outcomes, func(i int) (string, int64) {
+		return "", opts.Seed + int64(i)
+	})
 	return res
 }
 
@@ -304,10 +347,14 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 		rr := cluster.Drive(run, deadline)
 		newEx := trigger.NewUnhandled(b, e)
 		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses()}
+		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses(),
+			Fault: "crash", Target: string(victim), NewExceptions: newEx}
 	})
 	for _, o := range outcomes {
 		res.record(o)
 	}
+	opts.recordRuns(r.Name(), "io", outcomes, func(i int) (string, int64) {
+		return string(jobs[i].point.Pattern), jobs[i].seed
+	})
 	return res
 }

@@ -1,6 +1,9 @@
 package campaign
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // Config is the execution configuration shared by every layer that runs
 // campaigns: the core pipeline, the trigger, and the baselines all
@@ -24,6 +27,43 @@ type Config struct {
 	// CampaignEnd. Sink implementations must be safe for concurrent
 	// use; see the obs package comment for the ordering contract.
 	Sink obs.Sink
+	// Recorder, when non-nil, receives one RunRecord per completed run
+	// after the campaign finishes. The owning layer flattens its domain
+	// result into the record and delivers them in run order (not
+	// completion order), so repeat campaigns append identically to a
+	// triage store. Recorder implementations must be safe for use from
+	// concurrently running campaigns.
+	Recorder RunRecorder
+}
+
+// RunRecord is the layer-neutral flattening of one campaign run that
+// the triage subsystem persists. The campaign engine defines the shape
+// so trigger, baseline and triage can exchange it without importing
+// each other; only the owning layer knows how to fill it in.
+type RunRecord struct {
+	System   string // runner name
+	Campaign string // campaign kind: "test", "recovery", "random", "io", "triage"
+	Run      int    // run index within the campaign
+	Seed     int64  // seed the run executed under
+	Scale    int    // cluster scale
+
+	Point    string // static crash point id ("" for baseline campaigns)
+	Scenario string // crashpoint.Scenario string form
+	Stack    string // raw dynamic stack, needed to re-execute the run
+
+	Fault      string   // injected fault kind ("crash", "shutdown")
+	Target     string   // injected fault target node
+	Outcome    string   // oracle verdict string
+	Failing    bool     // whether the oracle flagged the run as a bug
+	Exceptions []string // raw new-exception signatures
+	Witnesses  []string // oracle witness lines
+	Reason     string   // harness-error reason, if any
+	Duration   sim.Time // simulated duration of the run
+}
+
+// RunRecorder consumes RunRecords; the triage store implements it.
+type RunRecorder interface {
+	Record(RunRecord)
 }
 
 // Checkpoint renders the engine-level checkpoint config; nil when

@@ -29,6 +29,18 @@ func (s Scenario) String() string {
 	return "pre-read"
 }
 
+// ParseScenario inverts String, for rebuilding points from persisted
+// triage records.
+func ParseScenario(s string) (Scenario, bool) {
+	switch s {
+	case "pre-read":
+		return PreRead, true
+	case "post-write":
+		return PostWrite, true
+	}
+	return 0, false
+}
+
 // StaticPoint is one static crash point.
 type StaticPoint struct {
 	// Point is the instruction the injection hooks: the access itself,

@@ -39,6 +39,12 @@ type Experiments struct {
 	// injection campaigns all emit obs events into it. Sink
 	// implementations must be safe for concurrent use.
 	Sink obs.Sink
+	// Recorder, when non-nil, receives one run record per completed
+	// injection run across every campaign the experiment set executes
+	// (pipelines, baselines and recovery), feeding the triage store.
+	// Implementations must be safe for concurrent use: campaigns for
+	// different systems deliver their records in parallel.
+	Recorder campaign.RunRecorder
 
 	// Artifacts, when non-nil, memoizes the offline AnalysisPhase across
 	// pipelines (and across experiment sets sharing the cache), so the
@@ -116,6 +122,7 @@ func (x *Experiments) RunPipelines() {
 				CheckpointPath: x.checkpointPath(r.Name(), ".ckpt"),
 				Resume:         x.Resume,
 				Sink:           x.Sink,
+				Recorder:       x.Recorder,
 			},
 			Seed: x.Seed, Scale: x.Scale,
 		}
@@ -157,6 +164,7 @@ func (x *Experiments) RunBaselines() {
 		opts := baseline.Options{Seed: x.Seed, Scale: x.Scale, Runs: x.RandomRuns}
 		opts.Workers = x.Workers
 		opts.Sink = x.Sink
+		opts.Recorder = x.Recorder
 		ro, io := opts, opts
 		ro.CheckpointPath = x.checkpointPath(r.Name(), ".random.ckpt")
 		ro.Resume = x.Resume
@@ -397,7 +405,7 @@ func FigMetaInfo(r cluster.Runner, seed int64, scale int) string {
 // headline).
 func (x *Experiments) CampaignSummary() string {
 	t := &tw{}
-	t.row("System", "Dynamic CPs", "Tested", "Bug reports", "Timeout issues", "Seeded bugs detected")
+	t.row("System", "Dynamic CPs", "Tested", "Bug reports", "Distinct bugs", "Timeout issues", "Seeded bugs detected")
 	for _, r := range x.Systems {
 		res := x.Results[r.Name()]
 		if res == nil {
@@ -407,6 +415,7 @@ func (x *Experiments) CampaignSummary() string {
 			fmt.Sprintf("%d", len(res.Dynamic.Points)),
 			fmt.Sprintf("%d", res.Summary.Tested),
 			fmt.Sprintf("%d", res.Summary.Bugs),
+			fmt.Sprintf("%d", res.Summary.DistinctBugs),
 			fmt.Sprintf("%d", res.Summary.TimeoutIssues),
 			strings.Join(res.Summary.WitnessedBugs, " "))
 	}

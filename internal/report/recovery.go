@@ -38,6 +38,7 @@ func (x *Experiments) RunRecovery(rc *trigger.RecoveryOptions) {
 				CheckpointPath: x.checkpointPath(r.Name(), ".recovery.ckpt"),
 				Resume:         x.Resume,
 				Sink:           x.Sink,
+				Recorder:       x.Recorder,
 			},
 			Seed: x.Seed, Scale: x.Scale,
 			Recovery: rc,
@@ -57,7 +58,7 @@ func (x *Experiments) RunRecovery(rc *trigger.RecoveryOptions) {
 func (x *Experiments) RecoveryTable() string {
 	t := &tw{}
 	t.row("System", "Tested", "Restart runs", "Never rejoined", "Rejoin no work",
-		"Dup incarnation", "Harness errors", "Bug reports")
+		"Dup incarnation", "Harness errors", "Bug reports", "Distinct bugs")
 	for _, r := range x.Systems {
 		res := x.Recovered[r.Name()]
 		if res == nil {
@@ -71,7 +72,8 @@ func (x *Experiments) RecoveryTable() string {
 			fmt.Sprintf("%d", s.ByOutcome[trigger.RejoinNoWork]),
 			fmt.Sprintf("%d", s.ByOutcome[trigger.DuplicateIncarnation]),
 			fmt.Sprintf("%d", s.HarnessErrors),
-			fmt.Sprintf("%d", s.Bugs))
+			fmt.Sprintf("%d", s.Bugs),
+			fmt.Sprintf("%d", s.DistinctBugs))
 	}
 	return "Recovery campaign: injections followed by victim restart (recovery oracles per §3.2.2 extension)\n" + t.String()
 }

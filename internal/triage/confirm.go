@@ -1,0 +1,106 @@
+package triage
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// Label classifies a cluster after a confirmation pass.
+type Label string
+
+const (
+	// Confirmed: the bug reproduced in a majority of re-executions.
+	Confirmed Label = "CONFIRMED"
+	// Flaky: it reproduced, but in fewer than half of the attempts.
+	Flaky Label = "FLAKY"
+	// Unreproduced: no re-execution hit the same signature.
+	Unreproduced Label = "UNREPRODUCED"
+)
+
+// Confirmation is the persisted verdict of one confirmation pass.
+type Confirmation struct {
+	Sig        string `json:"sig"` // signature key of the confirmed cluster
+	Label      Label  `json:"label"`
+	Runs       int    `json:"runs"`       // re-execution attempts
+	Reproduced int    `json:"reproduced"` // attempts matching the cluster
+}
+
+// Execute re-runs a cluster's representative record once. The attempt
+// index perturbs the seed (the simulation is deterministic, so
+// re-running the identical seed would trivially reproduce even a
+// schedule-dependent bug); the returned record describes what the
+// re-execution observed, whether it failed or not. The core package
+// provides the real implementation on top of the trigger; tests inject
+// synthetic ones.
+type Execute func(rec Record, attempt int) Record
+
+// ConfirmOptions configures a confirmation pass.
+type ConfirmOptions struct {
+	// Runs is the number of re-execution attempts; defaults to
+	// DefaultConfirmRuns.
+	Runs int
+	// Workers bounds the attempt parallelism (campaign engine semantics).
+	Workers int
+	// Sink observes the attempts as a campaign under Scope{System,
+	// Campaign: "triage"} — confirmation spans appear in the obs trace
+	// like any other campaign's.
+	Sink obs.Sink
+	// Execute performs one attempt. Required.
+	Execute Execute
+}
+
+// DefaultConfirmRuns is the attempt count when ConfirmOptions.Runs is
+// unset: enough for a majority vote that separates deterministic bugs
+// from coin-flip flakes.
+const DefaultConfirmRuns = 5
+
+// Confirm re-executes the cluster's representative crash point N times
+// through the campaign engine and labels the cluster:
+//
+//	reproduced == 0            -> UNREPRODUCED
+//	reproduced >= ceil(N/2)    -> CONFIRMED
+//	otherwise                  -> FLAKY
+//
+// An attempt counts as reproduced when its resulting record matches the
+// cluster (same signature key, or a near-duplicate under the
+// stack-prefix fallback).
+func Confirm(c *Cluster, opts ConfirmOptions) Confirmation {
+	n := opts.Runs
+	if n <= 0 {
+		n = DefaultConfirmRuns
+	}
+	rep := c.Representative()
+	bugs := 0
+	results := campaign.Run(n, campaign.Options[Record]{
+		Workers: opts.Workers,
+		Sink:    opts.Sink,
+		Scope:   obs.Scope{System: rep.System, Campaign: "triage"},
+		Annotate: func(ev *obs.Event, i int, r Record) {
+			if c.Matches(r) {
+				bugs++ // Annotate runs under the completion lock
+			}
+			ev.Bugs = bugs
+			ev.Crash = rep.Point
+			ev.Fault = r.Fault
+			ev.Target = r.Target
+			ev.Outcome = r.Outcome
+			ev.Sim = r.Duration
+		},
+	}, func(i int) Record {
+		return opts.Execute(rep, i)
+	})
+	reproduced := 0
+	for _, r := range results {
+		if c.Matches(r) {
+			reproduced++
+		}
+	}
+	label := Flaky
+	switch {
+	case reproduced == 0:
+		label = Unreproduced
+	case 2*reproduced >= n:
+		label = Confirmed
+	}
+	return Confirmation{Sig: c.Sig.Key(), Label: label, Runs: n, Reproduced: reproduced}
+}

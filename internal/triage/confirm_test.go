@@ -1,0 +1,134 @@
+package triage
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// collectSink captures events for assertions.
+type collectSink struct {
+	mu  sync.Mutex
+	evs []obs.Event
+}
+
+func (s *collectSink) Emit(ev obs.Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	s.mu.Unlock()
+}
+
+func confirmFixture(t *testing.T) *Cluster {
+	t.Helper()
+	ix := NewIndex()
+	for seed := int64(0); seed < 3; seed++ {
+		ix.Add(testRecord("toysys", seed, int(seed)))
+	}
+	clusters := ix.Clusters()
+	if len(clusters) != 1 {
+		t.Fatalf("fixture built %d clusters, want 1", len(clusters))
+	}
+	return clusters[0]
+}
+
+// reproducing returns an Execute that reproduces the representative's
+// signature when hit(attempt) is true and an innocuous passing record
+// otherwise.
+func reproducing(hit func(attempt int) bool) Execute {
+	return func(rec Record, attempt int) Record {
+		out := rec
+		out.Campaign = "triage"
+		out.Run = attempt
+		out.Seed = rec.Seed + int64(attempt)
+		if !hit(attempt) {
+			out.Outcome = "ok"
+			out.Exceptions = nil
+		}
+		out.Sig = out.Signature().Key()
+		return out
+	}
+}
+
+func TestConfirmLabels(t *testing.T) {
+	c := confirmFixture(t)
+	cases := []struct {
+		name string
+		hit  func(int) bool
+		want Label
+		repr int
+	}{
+		{"deterministic", func(int) bool { return true }, Confirmed, 5},
+		{"majority", func(a int) bool { return a != 0 }, Confirmed, 4},
+		{"flaky", func(a int) bool { return a == 0 }, Flaky, 1},
+		{"never", func(int) bool { return false }, Unreproduced, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conf := Confirm(c, ConfirmOptions{Runs: 5, Execute: reproducing(tc.hit)})
+			if conf.Label != tc.want || conf.Reproduced != tc.repr || conf.Runs != 5 {
+				t.Fatalf("Confirm = %+v, want label %s with %d/5 reproduced", conf, tc.want, tc.repr)
+			}
+			if conf.Sig != c.Sig.Key() {
+				t.Fatalf("confirmation bound to %q, want cluster signature %q", conf.Sig, c.Sig.Key())
+			}
+		})
+	}
+}
+
+// TestConfirmNearMatchCounts: an attempt whose deep stack differs but
+// shares the bounded prefix still counts as a reproduction.
+func TestConfirmNearMatchCounts(t *testing.T) {
+	c := confirmFixture(t)
+	exec := func(rec Record, attempt int) Record {
+		out := rec
+		out.Stack = "toy.Master.commitPending<toy.Master.onTaskDone<other.tail"
+		out.Sig = out.Signature().Key()
+		return out
+	}
+	conf := Confirm(c, ConfirmOptions{Runs: 3, Execute: exec})
+	if conf.Label != Confirmed || conf.Reproduced != 3 {
+		t.Fatalf("near-match attempts not counted: %+v", conf)
+	}
+}
+
+// TestConfirmEmitsTriageCampaign: the pass runs as a campaign under
+// Campaign "triage", visible to any attached sink (and so to traces).
+func TestConfirmEmitsTriageCampaign(t *testing.T) {
+	c := confirmFixture(t)
+	sink := &collectSink{}
+	Confirm(c, ConfirmOptions{Runs: 4, Workers: 2, Sink: sink,
+		Execute: reproducing(func(int) bool { return true })})
+	starts, runs, ends := 0, 0, 0
+	for _, ev := range sink.evs {
+		if ev.Campaign != "triage" || ev.System != "toysys" {
+			t.Fatalf("event outside the triage scope: %+v", ev)
+		}
+		switch ev.Kind {
+		case obs.CampaignStart:
+			starts++
+		case obs.RunDone:
+			runs++
+			if ev.Crash != c.Sig.Point {
+				t.Fatalf("RunDone crash = %q, want representative point %q", ev.Crash, c.Sig.Point)
+			}
+		case obs.CampaignEnd:
+			ends++
+			if ev.Bugs != 4 {
+				t.Fatalf("CampaignEnd bugs = %d, want 4 reproductions", ev.Bugs)
+			}
+		}
+	}
+	if starts != 1 || runs != 4 || ends != 1 {
+		t.Fatalf("campaign lifecycle = %d/%d/%d (start/run/end), want 1/4/1", starts, runs, ends)
+	}
+}
+
+// TestConfirmDefaultRuns: unset Runs falls back to DefaultConfirmRuns.
+func TestConfirmDefaultRuns(t *testing.T) {
+	c := confirmFixture(t)
+	conf := Confirm(c, ConfirmOptions{Execute: reproducing(func(int) bool { return true })})
+	if conf.Runs != DefaultConfirmRuns {
+		t.Fatalf("Runs = %d, want DefaultConfirmRuns = %d", conf.Runs, DefaultConfirmRuns)
+	}
+}

@@ -1,0 +1,363 @@
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SimilarityThreshold is the minimum stack-prefix similarity for the
+// nearest-cluster fallback: a signature group whose only difference
+// from an existing cluster is the deep stack tail merges into it when
+// at least half of the bounded frames are a shared prefix.
+const SimilarityThreshold = 0.5
+
+// Index is the in-memory view over one or more store files: records
+// deduplicated by identity, plus the latest confirmation verdict per
+// signature key. The zero value is not usable; call NewIndex.
+type Index struct {
+	records []Record
+	seen    map[string]bool         // record identity -> present
+	confirm map[string]Confirmation // signature key -> latest verdict
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{seen: make(map[string]bool), confirm: make(map[string]Confirmation)}
+}
+
+// Add merges one record, dropping exact duplicates (same signature,
+// campaign, seed and run). It reports whether the record was new.
+// Duplicate-dropping is what makes ingestion idempotent: re-running an
+// identical campaign against one store leaves the index — and every
+// table rendered from it — byte-identical.
+func (ix *Index) Add(rec Record) bool {
+	if rec.Sig == "" {
+		rec.Sig = rec.Signature().Key()
+	}
+	id := rec.identity()
+	if ix.seen[id] {
+		return false
+	}
+	ix.seen[id] = true
+	ix.records = append(ix.records, rec)
+	return true
+}
+
+// Has reports whether an equivalent record is already indexed.
+func (ix *Index) Has(rec Record) bool { return ix.seen[rec.identity()] }
+
+// AddConfirmation merges one confirmation verdict; the last verdict per
+// signature key wins, so re-confirming a cluster updates its label.
+func (ix *Index) AddConfirmation(c Confirmation) { ix.confirm[c.Sig] = c }
+
+// Len returns the number of deduplicated records.
+func (ix *Index) Len() int { return len(ix.records) }
+
+// Records returns the deduplicated records in insertion order. The
+// slice is shared; callers must not mutate it.
+func (ix *Index) Records() []Record { return ix.records }
+
+// Confirmations returns the latest confirmation verdict per signature
+// key, sorted by key for deterministic iteration.
+func (ix *Index) Confirmations() []Confirmation {
+	out := make([]Confirmation, 0, len(ix.confirm))
+	for _, c := range ix.confirm {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sig < out[j].Sig })
+	return out
+}
+
+// Confirmation returns the latest verdict recorded for a signature key.
+func (ix *Index) Confirmation(sig string) (Confirmation, bool) {
+	c, ok := ix.confirm[sig]
+	return c, ok
+}
+
+// Cluster is one distinct bug: all records sharing a signature, plus
+// near-duplicates merged by the stack-prefix fallback.
+type Cluster struct {
+	// Sig is the representative signature (of the largest merged group).
+	Sig Signature
+	// Keys are all signature keys merged into the cluster, sorted.
+	Keys []string
+	// Records are the cluster's runs in deterministic order.
+	Records []Record
+	// Confirm is the latest confirmation verdict, if any.
+	Confirm *Confirmation
+
+	frames []string // normalized bounded stack frames of Sig's group
+}
+
+// ID returns the cluster's stable short id.
+func (c *Cluster) ID() string { return c.Sig.ID() }
+
+// DistinctSeeds counts how many different seeds reproduced the bug.
+func (c *Cluster) DistinctSeeds() int {
+	seeds := make(map[int64]bool, len(c.Records))
+	for _, r := range c.Records {
+		seeds[r.Seed] = true
+	}
+	return len(seeds)
+}
+
+// Campaigns returns the sorted distinct campaign kinds that hit the bug.
+func (c *Cluster) Campaigns() []string {
+	set := make(map[string]bool, 2)
+	for _, r := range c.Records {
+		set[r.Campaign] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Representative returns the record the confirmation pass re-executes:
+// the first (in deterministic order) that carries a crash point, or the
+// first record at all when none does (baseline-only clusters cannot be
+// re-executed through the trigger and are skipped by cttriage confirm).
+func (c *Cluster) Representative() Record {
+	for _, r := range c.Records {
+		if r.Point != "" {
+			return r
+		}
+	}
+	return c.Records[0]
+}
+
+// Matches reports whether a record's signature belongs to this cluster:
+// either one of the merged keys exactly, or a near-duplicate under the
+// stack-prefix fallback. The confirmation pass uses it as its
+// reproduction oracle.
+func (c *Cluster) Matches(rec Record) bool {
+	key := rec.key()
+	for _, k := range c.Keys {
+		if k == key {
+			return true
+		}
+	}
+	sig := rec.Signature()
+	return sameBugModuloStack(sig, c.Sig) &&
+		stackSimilarity(stackFrames(rec.Stack), c.frames) >= SimilarityThreshold
+}
+
+// sigGroup is an exact-signature grouping, the unit of cluster merging.
+type sigGroup struct {
+	sig     Signature
+	key     string
+	records []Record
+	frames  []string
+}
+
+// Clusters groups the indexed records into distinct bugs. Pass one
+// groups by exact signature key. Pass two walks the groups largest
+// first and merges each into the best-matching existing cluster when
+// every field but the stack hash agrees and the bounded stack frames
+// share at least SimilarityThreshold of their prefix — near-duplicates
+// whose deep frames differ by scheduling context. Clusters are ranked
+// by reproduction count, then distinct-seed coverage, then key; every
+// step is deterministic, so the same records always yield the same
+// table bytes.
+func (ix *Index) Clusters() []*Cluster {
+	byKey := make(map[string]*sigGroup)
+	for _, rec := range ix.records {
+		key := rec.key()
+		g := byKey[key]
+		if g == nil {
+			g = &sigGroup{sig: rec.Signature(), key: key, frames: stackFrames(rec.Stack)}
+			byKey[key] = g
+		}
+		g.records = append(g.records, rec)
+	}
+	groups := make([]*sigGroup, 0, len(byKey))
+	for _, g := range byKey {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i].records) != len(groups[j].records) {
+			return len(groups[i].records) > len(groups[j].records)
+		}
+		return groups[i].key < groups[j].key
+	})
+
+	var clusters []*Cluster
+	for _, g := range groups {
+		best := -1
+		bestSim := 0.0
+		for ci, c := range clusters {
+			if !sameBugModuloStack(g.sig, c.Sig) {
+				continue
+			}
+			sim := stackSimilarity(g.frames, c.frames)
+			if sim >= SimilarityThreshold && sim > bestSim {
+				best, bestSim = ci, sim
+			}
+		}
+		if best >= 0 {
+			c := clusters[best]
+			c.Keys = append(c.Keys, g.key)
+			c.Records = append(c.Records, g.records...)
+			continue
+		}
+		clusters = append(clusters, &Cluster{
+			Sig:     g.sig,
+			Keys:    []string{g.key},
+			Records: g.records,
+			frames:  g.frames,
+		})
+	}
+
+	for _, c := range clusters {
+		sort.Strings(c.Keys)
+		sortRecords(c.Records)
+		if v, ok := ix.confirm[c.Sig.Key()]; ok {
+			conf := v
+			c.Confirm = &conf
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if len(clusters[i].Records) != len(clusters[j].Records) {
+			return len(clusters[i].Records) > len(clusters[j].Records)
+		}
+		si, sj := clusters[i].DistinctSeeds(), clusters[j].DistinctSeeds()
+		if si != sj {
+			return si > sj
+		}
+		return clusters[i].Sig.Key() < clusters[j].Sig.Key()
+	})
+	return clusters
+}
+
+// sortRecords orders records deterministically: by system, campaign,
+// seed, run, then signature key.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		if a.Campaign != b.Campaign {
+			return a.Campaign < b.Campaign
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		return a.key() < b.key()
+	})
+}
+
+// DistinctBugs is the headline dedup number: how many clusters the
+// records collapse into.
+func (ix *Index) DistinctBugs() int { return len(ix.Clusters()) }
+
+// Diff returns the clusters of cur whose signatures are entirely absent
+// from prior — the genuinely new bugs since the prior store snapshot. A
+// cluster sharing any merged key with prior is considered known.
+func Diff(cur, prior []*Cluster) []*Cluster {
+	known := make(map[string]bool)
+	for _, c := range prior {
+		for _, k := range c.Keys {
+			known[k] = true
+		}
+	}
+	var fresh []*Cluster
+	for _, c := range cur {
+		isNew := true
+		for _, k := range c.Keys {
+			if known[k] {
+				isNew = false
+				break
+			}
+		}
+		if isNew {
+			fresh = append(fresh, c)
+		}
+	}
+	return fresh
+}
+
+// Label returns the cluster's confirmation label, or "-" when the
+// cluster has not been through a confirmation pass yet.
+func (c *Cluster) Label() string {
+	if c.Confirm == nil {
+		return "-"
+	}
+	return string(c.Confirm.Label)
+}
+
+// ClusterTable renders the ranked clusters as an aligned text table.
+// The rendering is deterministic: equal indexes produce equal bytes.
+func ClusterTable(clusters []*Cluster) string {
+	var b strings.Builder
+	w := newTableWriter(&b)
+	w.row("CLUSTER", "LABEL", "RECORDS", "SEEDS", "SYSTEM", "CAMPAIGNS", "POINT", "FAULT", "OUTCOME", "EXCEPTION")
+	for _, c := range clusters {
+		point := c.Sig.Point
+		if point == "" {
+			point = "-"
+		}
+		ex := c.Sig.Exception
+		if ex == "" {
+			ex = "-"
+		}
+		sys := c.Sig.System
+		if sys == "" {
+			sys = "-"
+		}
+		w.row(c.ID(), c.Label(),
+			fmt.Sprintf("%d", len(c.Records)),
+			fmt.Sprintf("%d", c.DistinctSeeds()),
+			sys,
+			strings.Join(c.Campaigns(), ","),
+			point, c.Sig.Fault, c.Sig.Outcome, ex)
+	}
+	w.flush()
+	return b.String()
+}
+
+// tableWriter is a minimal column aligner (the report package has its
+// own; triage keeps a private copy to stay a leaf dependency).
+type tableWriter struct {
+	out    *strings.Builder
+	rows   [][]string
+	widths []int
+}
+
+func newTableWriter(out *strings.Builder) *tableWriter { return &tableWriter{out: out} }
+
+func (t *tableWriter) row(cols ...string) {
+	for len(t.widths) < len(cols) {
+		t.widths = append(t.widths, 0)
+	}
+	for i, c := range cols {
+		if len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cols)
+}
+
+func (t *tableWriter) flush() {
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				t.out.WriteString("  ")
+			}
+			t.out.WriteString(c)
+			if i < len(row)-1 {
+				for p := len(c); p < t.widths[i]; p++ {
+					t.out.WriteByte(' ')
+				}
+			}
+		}
+		t.out.WriteByte('\n')
+	}
+	t.rows = t.rows[:0]
+}

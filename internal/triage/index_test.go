@@ -1,0 +1,184 @@
+package triage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClustersExactGrouping: records with equal signatures collapse to
+// one cluster; different outcomes stay separate.
+func TestClustersExactGrouping(t *testing.T) {
+	ix := NewIndex()
+	for seed := int64(0); seed < 4; seed++ {
+		ix.Add(testRecord("toysys", seed, int(seed)))
+	}
+	hang := testRecord("toysys", 5, 5)
+	hang.Outcome = "hang"
+	hang.Exceptions = nil
+	ix.Add(hang)
+
+	clusters := ix.Clusters()
+	if len(clusters) != 2 {
+		t.Fatalf("%d clusters, want 2", len(clusters))
+	}
+	// Ranked by reproduction count: the 4-record cluster first.
+	if len(clusters[0].Records) != 4 || clusters[0].DistinctSeeds() != 4 {
+		t.Fatalf("top cluster has %d records / %d seeds, want 4/4",
+			len(clusters[0].Records), clusters[0].DistinctSeeds())
+	}
+	if clusters[1].Sig.Outcome != "hang" {
+		t.Fatalf("second cluster outcome %q, want hang", clusters[1].Sig.Outcome)
+	}
+	if ix.DistinctBugs() != 2 {
+		t.Fatalf("DistinctBugs = %d, want 2", ix.DistinctBugs())
+	}
+}
+
+// TestClustersNearestFallback: a record whose deep stack tail differs
+// but shares the bounded-frame prefix merges into the main cluster.
+func TestClustersNearestFallback(t *testing.T) {
+	ix := NewIndex()
+	a := testRecord("toysys", 1, 0)
+	a.Stack = "a.b<c.d<e.f"
+	b := testRecord("toysys", 2, 1)
+	b.Stack = "a.b<c.d<x.y" // 2/3 shared prefix >= 0.5
+	c := testRecord("toysys", 3, 2)
+	c.Stack = "q.r<s.t<u.v" // disjoint: its own cluster
+	for _, r := range []Record{a, a, b, c} {
+		r := r
+		r.Run += 10 // make the duplicate distinct by run index
+		ix.Add(r)
+		ix.Add(r)
+	}
+	clusters := ix.Clusters()
+	if len(clusters) != 2 {
+		for _, cl := range clusters {
+			t.Logf("cluster %s keys=%v records=%d", cl.ID(), cl.Keys, len(cl.Records))
+		}
+		t.Fatalf("%d clusters, want 2 (near-duplicate merged, disjoint split)", len(clusters))
+	}
+	if len(clusters[0].Keys) != 2 {
+		t.Fatalf("merged cluster has keys %v, want the two near-duplicate signatures", clusters[0].Keys)
+	}
+	// The merged cluster matches records from either constituent.
+	if !clusters[0].Matches(a) || !clusters[0].Matches(b) {
+		t.Fatal("merged cluster does not match its constituent records")
+	}
+	if clusters[0].Matches(c) {
+		t.Fatal("merged cluster wrongly matches the disjoint-stack record")
+	}
+}
+
+// TestClustersDeterministic: insertion order must not change the
+// rendered table — byte-identical output is the acceptance bar.
+func TestClustersDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		ix := NewIndex()
+		recs := make([]Record, 0, 9)
+		for i := 0; i < 9; i++ {
+			r := testRecord("toysys", int64(i%3), i)
+			if i%3 == 1 {
+				r.Outcome = "hang"
+			}
+			if i%3 == 2 {
+				r.Fault = "crash"
+			}
+			recs = append(recs, r)
+		}
+		for _, i := range order {
+			ix.Add(recs[i])
+		}
+		return ClusterTable(ix.Clusters())
+	}
+	fwd := build([]int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	rev := build([]int{8, 7, 6, 5, 4, 3, 2, 1, 0})
+	shuf := build([]int{4, 0, 8, 2, 6, 1, 5, 3, 7})
+	if fwd != rev || fwd != shuf {
+		t.Fatalf("cluster table depends on insertion order:\n--- fwd\n%s--- rev\n%s--- shuf\n%s", fwd, rev, shuf)
+	}
+}
+
+// TestDiff: self-diff is empty; a genuinely new signature surfaces.
+func TestDiff(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(testRecord("toysys", 1, 0))
+	base := ix.Clusters()
+	if d := Diff(base, base); len(d) != 0 {
+		t.Fatalf("self-diff returned %d clusters, want 0", len(d))
+	}
+	fresh := testRecord("toysys", 2, 1)
+	fresh.Outcome = "hang"
+	ix.Add(fresh)
+	cur := ix.Clusters()
+	d := Diff(cur, base)
+	if len(d) != 1 || d[0].Sig.Outcome != "hang" {
+		t.Fatalf("diff = %v, want exactly the new hang cluster", d)
+	}
+}
+
+// TestSuppressions: suppressed clusters drop from the filtered view by
+// id or by signature key.
+func TestSuppressions(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(testRecord("toysys", 1, 0))
+	hang := testRecord("toysys", 2, 1)
+	hang.Outcome = "hang"
+	ix.Add(hang)
+	clusters := ix.Clusters()
+
+	s := &Suppressions{entries: map[string]bool{clusters[0].ID(): true}}
+	kept, dropped := s.Filter(clusters)
+	if len(kept) != 1 || dropped != 1 || kept[0].ID() == clusters[0].ID() {
+		t.Fatalf("id suppression: kept %d dropped %d", len(kept), dropped)
+	}
+	s = &Suppressions{entries: map[string]bool{clusters[1].Sig.Key(): true}}
+	kept, dropped = s.Filter(clusters)
+	if len(kept) != 1 || dropped != 1 || kept[0].ID() != clusters[0].ID() {
+		t.Fatalf("key suppression: kept %d dropped %d", len(kept), dropped)
+	}
+}
+
+// BenchmarkTriageIngest measures the ingest/cluster hot path: building
+// the index from pre-parsed records and clustering it.
+func BenchmarkTriageIngest(b *testing.B) {
+	recs := syntheticRecords(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewIndex()
+		for _, r := range recs {
+			ix.Add(r)
+		}
+		if n := len(ix.Clusters()); n == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// syntheticRecords fabricates a store-shaped workload: nGroups distinct
+// bugs, each reproduced under varying seeds with volatile text baked
+// into exceptions and targets so the normalizer runs on every add.
+func syntheticRecords(n int) []Record {
+	const groups = 40
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		recs = append(recs, Record{
+			System:   "toysys",
+			Campaign: "test",
+			Run:      i,
+			Seed:     int64(i / groups),
+			Scale:    1,
+			Point:    fmt.Sprintf("toy.Master.method%d#0", g),
+			Scenario: "pre-read",
+			Stack:    fmt.Sprintf("toy.Master.method%d<toy.Master.onTaskDone<rpc.dispatch", g),
+			Fault:    "crash",
+			Target:   fmt.Sprintf("node%d:%d", i%7, 7000+i%7),
+			Outcome:  "job-failure",
+			Exceptions: []string{
+				fmt.Sprintf("NullPointerException@toy.Master.method%d on node%d:%d at 2024-01-02T03:04:%02dZ", g, i%7, 7000+i%7, i%60),
+			},
+		})
+	}
+	return recs
+}

@@ -1,0 +1,131 @@
+package triage
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestNormalizeTextAdversarial drives the normalizer over the token
+// shapes real system logs embed: host:port, IPv4/IPv6 addresses,
+// timestamps, hex ids, durations, counters — plus the structural
+// digits it must NOT touch.
+func TestNormalizeTextAdversarial(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// host:port in every spelling the simulated systems produce.
+		{"worker node1:7001 not in workers map", "worker <node> not in workers map"},
+		{"lost lease from node12:18342", "lost lease from <node>"},
+		{"dial node-3.rack2_x:80 failed", "dial <node> failed"},
+		{"10.0.0.1:8485 refused", "<node> refused"},
+		{"peer 10.20.30.40 flapping", "peer <node> flapping"},
+		{"[2001:db8::1]:9866 timed out", "<node> timed out"},
+		{"[::1]:53 ok", "<node> ok"},
+		// Timestamps, ISO and bare-clock.
+		{"at 2019-10-27 renewing", "at <ts> renewing"},
+		{"2019-10-27T14:03:22Z lease expired", "<ts> lease expired"},
+		{"2019-10-27 14:03:22.518 WARN retry", "<ts> WARN retry"},
+		{"2024-01-02T03:04:05+08:00 tick", "<ts> tick"},
+		{"elapsed 12:34:56.789 in recovery", "elapsed <ts> in recovery"},
+		// Hex identifiers, prefixed and bare, either case.
+		{"txid 0xdeadbeef rolled back", "txid <hex> rolled back"},
+		{"container deadbeef01 preempted", "container <hex> preempted"},
+		{"block 0123abcd4567ef89 corrupt", "block <hex> corrupt"},
+		{"epoch DEADBEEF42 bumped", "epoch <hex> bumped"},
+		// Durations, including compound and sub-second units.
+		{"took 1.500s to fail over", "took <dur> to fail over"},
+		{"deadline 200ms exceeded", "deadline <dur> exceeded"},
+		{"gc pause 35µs", "gc pause <dur>"},
+		{"uptime 1h2m3s before crash", "uptime <dur> before crash"},
+		// Standalone numbers: incarnation counts, sim steps, sizes.
+		{"incarnation 3 superseded by 4", "incarnation <n> superseded by <n>"},
+		{"step 184321 budget exhausted", "step <n> budget exhausted"},
+		{"retry 2 of 10", "retry <n> of <n>"},
+		// Structural digits stay: identifiers, class names, node names
+		// without ports.
+		{"Http2Exception in frame writer", "Http2Exception in frame writer"},
+		{"node1 deregistered", "node1 deregistered"},
+		{"attempt_task_3_2 rejected", "attempt_task_<n>_<n> rejected"},
+		{"NullPointerException@toy.Master.commitPending", "NullPointerException@toy.Master.commitPending"},
+		// Mixed: several volatile tokens in one line.
+		{
+			"2019-10-27T14:03:22Z node7:9000 lost block 0xdeadbeef after 1.500s (attempt 3)",
+			"<ts> <node> lost block <hex> after <dur> (attempt <n>)",
+		},
+		// URLs: scheme colon is not a port.
+		{"fetch http://node1:7001/status failed", "fetch http://<node>/status failed"},
+		// Degenerate inputs.
+		{"", ""},
+		{"no digits at all", "no digits at all"},
+		{"::::", "::::"},
+		{"[unclosed", "[unclosed"},
+		{"[]", "[]"},
+	}
+	for _, tc := range cases {
+		if got := NormalizeText(tc.in); got != tc.want {
+			t.Errorf("NormalizeText(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNormalizeTextIdempotent: normalizing twice must equal normalizing
+// once — placeholders contain no volatile shapes.
+func TestNormalizeTextIdempotent(t *testing.T) {
+	inputs := []string{
+		"worker node1:7001 not in workers map",
+		"2019-10-27T14:03:22Z node7:9000 lost block 0xdeadbeef after 1.500s (attempt 3)",
+		"[2001:db8::1]:9866 <node> already normalized 42",
+		"step 184321 <n> <ts> <hex> <dur>",
+	}
+	for _, in := range inputs {
+		once := NormalizeText(in)
+		twice := NormalizeText(once)
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+// TestNormalizeStability: the properties the dedup keys rely on — runs
+// of the same bug from different seeds/hosts normalize identically.
+func TestNormalizeStability(t *testing.T) {
+	a := NormalizeText("worker node1:7001 not in workers map")
+	b := NormalizeText("worker node4:7004 not in workers map")
+	if a != b {
+		t.Errorf("same bug text from different victims diverged: %q vs %q", a, b)
+	}
+	c := NormalizeText("2024-01-01T00:00:01Z lease lost on 10.0.0.1:50010 after 1.2s")
+	d := NormalizeText("2025-12-31T23:59:59Z lease lost on 10.9.8.7:50075 after 900ms")
+	if c != d {
+		t.Errorf("same bug text across timestamps/hosts diverged: %q vs %q", c, d)
+	}
+}
+
+// FuzzNormalizeText asserts the two safety properties over arbitrary
+// input: never panic, and idempotence (NormalizeText is a projection).
+func FuzzNormalizeText(f *testing.F) {
+	seeds := []string{
+		"",
+		"worker node1:7001 not in workers map",
+		"2019-10-27T14:03:22.518Z",
+		"[2001:db8::1]:9866",
+		"0xdeadbeef deadbeef01 0123abcd4567",
+		"1h2m3.5s 200ms 35µs",
+		"::: [ ] 1: :1 1:2 12345:67890123",
+		"<node> <ts> <hex> <dur> <n>",
+		"\x00\xff\xc2 2¿019-13-99T99:99:99",
+		strings.Repeat("1.2.3.4:5 ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		once := NormalizeText(s)
+		twice := NormalizeText(once)
+		if once != twice {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+		if utf8.ValidString(s) && !utf8.ValidString(once) {
+			t.Fatalf("valid UTF-8 input %q normalized to invalid UTF-8 %q", s, once)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package triage
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+// Record is one failing run as persisted in the store: the flattened
+// run report plus its precomputed signature key. Raw (un-normalized)
+// fields are kept so a record is enough to re-execute the run during
+// confirmation; normalization happens only inside Signature.
+type Record struct {
+	System   string `json:"system"`
+	Campaign string `json:"campaign"`
+	Run      int    `json:"run"`
+	Seed     int64  `json:"seed"`
+	Scale    int    `json:"scale,omitempty"`
+
+	Point    string `json:"point,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Stack    string `json:"stack,omitempty"`
+
+	Fault      string   `json:"fault,omitempty"`
+	Target     string   `json:"target,omitempty"`
+	Outcome    string   `json:"outcome"`
+	Exceptions []string `json:"exceptions,omitempty"`
+	Witnesses  []string `json:"witnesses,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Duration   sim.Time `json:"duration,omitempty"`
+
+	// Sig is the canonical signature key, precomputed at append time so
+	// store files are self-describing. The loader recomputes it when
+	// absent (hand-edited files) and trusts it otherwise.
+	Sig string `json:"sig,omitempty"`
+}
+
+// FromRunRecord converts the campaign-level flattening into a store
+// record with its signature key filled in.
+func FromRunRecord(rr campaign.RunRecord) Record {
+	rec := Record{
+		System:     rr.System,
+		Campaign:   rr.Campaign,
+		Run:        rr.Run,
+		Seed:       rr.Seed,
+		Scale:      rr.Scale,
+		Point:      rr.Point,
+		Scenario:   rr.Scenario,
+		Stack:      rr.Stack,
+		Fault:      rr.Fault,
+		Target:     rr.Target,
+		Outcome:    rr.Outcome,
+		Exceptions: rr.Exceptions,
+		Witnesses:  rr.Witnesses,
+		Reason:     rr.Reason,
+		Duration:   rr.Duration,
+	}
+	rec.Sig = rec.Signature().Key()
+	return rec
+}
+
+// Signature computes the record's canonical bug signature from its raw
+// fields.
+func (r Record) Signature() Signature {
+	return SignatureOf(r.System, r.Point, r.Scenario, r.Fault, r.Outcome, r.Exceptions, r.Stack)
+}
+
+// key returns the record's signature key, computing it when the stored
+// one is absent.
+func (r Record) key() string {
+	if r.Sig != "" {
+		return r.Sig
+	}
+	return r.Signature().Key()
+}
+
+// identity distinguishes records for deduplication: the same run of the
+// same campaign appended twice (a re-run against one store, a resumed
+// campaign, an ingest of overlapping files) must collapse to one
+// record, while genuinely distinct reproductions must not.
+func (r Record) identity() string {
+	var b strings.Builder
+	b.WriteString(r.key())
+	b.WriteByte('|')
+	b.WriteString(r.System)
+	b.WriteByte('|')
+	b.WriteString(r.Campaign)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(r.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(r.Run))
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package triage
+
+import "repro/internal/campaign"
+
+// Recorder adapts a Store to the campaign.RunRecorder interface: each
+// failing run a campaign reports is flattened into a Record and
+// appended. Non-failing runs are skipped unless All is set — the store
+// is a bug database, not a run archive. Append errors are latched in
+// the store and surface from Store.Close, since the RunRecorder
+// contract has no error channel.
+type Recorder struct {
+	store *Store
+	// All records every run, not only the failing ones.
+	All bool
+}
+
+// NewRecorder wraps a store as a failing-runs-only recorder.
+func NewRecorder(store *Store) *Recorder { return &Recorder{store: store} }
+
+// Record implements campaign.RunRecorder.
+func (r *Recorder) Record(rr campaign.RunRecord) {
+	if !rr.Failing && !r.All {
+		return
+	}
+	r.store.Append(FromRunRecord(rr))
+}

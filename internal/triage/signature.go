@@ -1,0 +1,140 @@
+package triage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// StackHashFrames bounds the stack hash to the innermost frames. Deep
+// frames vary with scheduling context (which RPC drove the call); the
+// innermost frames identify the crashing code path.
+const StackHashFrames = 3
+
+// Signature is the canonical identity of a bug: the static crash point,
+// how the fault was injected, what the oracle concluded, which new
+// exception surfaced (normalized), and a bounded hash of the crash
+// stack. Two failing runs with equal signatures are the same bug
+// regardless of seed, worker count or campaign.
+type Signature struct {
+	System    string // runner name ("" inside a single-system campaign)
+	Point     string // static crash point id ("toy.Master.commitPending#0")
+	Scenario  string // "pre-read" / "post-write" ("" for baselines)
+	Fault     string // "crash" / "shutdown"
+	Outcome   string // oracle verdict ("job-failure", "hang", ...)
+	Exception string // normalized, sorted, ";"-joined new-exception signatures
+	StackHash string // FNV-64a of the normalized innermost StackHashFrames frames
+}
+
+// Key returns the exact-match clustering key.
+func (s Signature) Key() string {
+	return strings.Join([]string{
+		s.System, s.Point, s.Scenario, s.Fault, s.Outcome, s.Exception, s.StackHash,
+	}, "|")
+}
+
+// ID returns the short human-facing cluster id ("bug-1a2b3c4d"),
+// derived from the key so it is stable across stores and machines.
+func (s Signature) ID() string {
+	h := fnv.New64a()
+	h.Write([]byte(s.Key()))
+	return fmt.Sprintf("bug-%08x", uint32(h.Sum64()))
+}
+
+// SignatureOf builds the canonical signature for one failing run.
+// Exception signatures are normalized, deduplicated and sorted so the
+// set identity does not depend on discovery order; the stack hash
+// covers the normalized innermost frames only.
+func SignatureOf(system, point, scenario, fault, outcome string, exceptions []string, stack string) Signature {
+	return Signature{
+		System:    system,
+		Point:     point,
+		Scenario:  scenario,
+		Fault:     fault,
+		Outcome:   outcome,
+		Exception: normalizeExceptionSet(exceptions),
+		StackHash: stackHash(stack),
+	}
+}
+
+// normalizeExceptionSet canonicalizes a new-exception set into a single
+// deterministic string.
+func normalizeExceptionSet(exceptions []string) string {
+	if len(exceptions) == 0 {
+		return ""
+	}
+	norm := make([]string, 0, len(exceptions))
+	seen := make(map[string]bool, len(exceptions))
+	for _, ex := range exceptions {
+		n := NormalizeException(ex)
+		if !seen[n] {
+			seen[n] = true
+			norm = append(norm, n)
+		}
+	}
+	sort.Strings(norm)
+	return strings.Join(norm, ";")
+}
+
+// stackFrames splits a probe stack ("inner<mid<outer") into normalized
+// frames, innermost first, truncated to StackHashFrames.
+func stackFrames(stack string) []string {
+	if stack == "" {
+		return nil
+	}
+	frames := strings.Split(stack, "<")
+	if len(frames) > StackHashFrames {
+		frames = frames[:StackHashFrames]
+	}
+	for i, f := range frames {
+		frames[i] = NormalizeText(f)
+	}
+	return frames
+}
+
+// stackHash hashes the normalized bounded stack prefix. Empty stacks
+// (baseline campaigns have none) hash to "".
+func stackHash(stack string) string {
+	frames := stackFrames(stack)
+	if len(frames) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	for i, f := range frames {
+		if i > 0 {
+			h.Write([]byte{'<'})
+		}
+		h.Write([]byte(f))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// sameBugModuloStack reports whether two signatures agree on everything
+// except the stack hash — the precondition for the nearest-cluster
+// fallback, which then compares stack-frame prefixes.
+func sameBugModuloStack(a, b Signature) bool {
+	return a.System == b.System && a.Point == b.Point && a.Scenario == b.Scenario &&
+		a.Fault == b.Fault && a.Outcome == b.Outcome && a.Exception == b.Exception
+}
+
+// stackSimilarity is the common-prefix ratio between two normalized
+// frame slices: shared leading frames divided by the longer length.
+// Two empty stacks are identical (1); one-sided emptiness is 0.
+func stackSimilarity(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	common := 0
+	for common < len(a) && common < len(b) && a[common] == b[common] {
+		common++
+	}
+	return float64(common) / float64(max)
+}

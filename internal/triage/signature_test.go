@@ -1,0 +1,112 @@
+package triage
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSignatureStableAcrossRuns: the same bug observed under different
+// seeds, victims and exception discovery orders must hash to one key.
+func TestSignatureStableAcrossRuns(t *testing.T) {
+	a := SignatureOf("toysys", "toy.Master.commitPending#0", "pre-read", "shutdown", "job-failure",
+		[]string{"NullPointerException@toy.Master.commitPending"},
+		"toy.Master.commitPending<toy.Master.onTaskDone<rpc.dispatch")
+	b := SignatureOf("toysys", "toy.Master.commitPending#0", "pre-read", "shutdown", "job-failure",
+		[]string{"NullPointerException@toy.Master.commitPending"},
+		"toy.Master.commitPending<toy.Master.onTaskDone<rpc.dispatch")
+	if a.Key() != b.Key() || a.ID() != b.ID() {
+		t.Fatalf("identical runs produced different signatures: %q vs %q", a.Key(), b.Key())
+	}
+
+	// Volatile detail inside the exception text must not split the bug.
+	c := SignatureOf("toysys", "p#0", "pre-read", "crash", "job-failure",
+		[]string{"LeaseExpired@x.y on node1:7001 at 2024-01-01T00:00:01Z"}, "")
+	d := SignatureOf("toysys", "p#0", "pre-read", "crash", "job-failure",
+		[]string{"LeaseExpired@x.y on node9:7009 at 2025-06-30T10:20:30Z"}, "")
+	if c.Key() != d.Key() {
+		t.Fatalf("volatile exception detail split the signature:\n%q\n%q", c.Key(), d.Key())
+	}
+}
+
+// TestSignatureSeparatesDistinctBugs: each identity field participates.
+func TestSignatureSeparatesDistinctBugs(t *testing.T) {
+	base := func() Signature {
+		return SignatureOf("toysys", "p#0", "pre-read", "crash", "job-failure",
+			[]string{"E@a.b"}, "a.b<c.d<e.f")
+	}
+	ref := base()
+	variants := []Signature{
+		SignatureOf("hdfs", "p#0", "pre-read", "crash", "job-failure", []string{"E@a.b"}, "a.b<c.d<e.f"),
+		SignatureOf("toysys", "q#1", "pre-read", "crash", "job-failure", []string{"E@a.b"}, "a.b<c.d<e.f"),
+		SignatureOf("toysys", "p#0", "post-write", "crash", "job-failure", []string{"E@a.b"}, "a.b<c.d<e.f"),
+		SignatureOf("toysys", "p#0", "pre-read", "shutdown", "job-failure", []string{"E@a.b"}, "a.b<c.d<e.f"),
+		SignatureOf("toysys", "p#0", "pre-read", "crash", "hang", []string{"E@a.b"}, "a.b<c.d<e.f"),
+		SignatureOf("toysys", "p#0", "pre-read", "crash", "job-failure", []string{"F@a.b"}, "a.b<c.d<e.f"),
+		SignatureOf("toysys", "p#0", "pre-read", "crash", "job-failure", []string{"E@a.b"}, "x.y<c.d<e.f"),
+	}
+	for i, v := range variants {
+		if v.Key() == ref.Key() {
+			t.Errorf("variant %d collided with the reference signature: %q", i, v.Key())
+		}
+	}
+}
+
+// TestSignatureExceptionSetCanonical: order and duplicates in the
+// exception set must not matter.
+func TestSignatureExceptionSetCanonical(t *testing.T) {
+	a := SignatureOf("s", "p", "pre-read", "crash", "job-failure", []string{"B@y", "A@x", "A@x"}, "")
+	b := SignatureOf("s", "p", "pre-read", "crash", "job-failure", []string{"A@x", "B@y"}, "")
+	if a.Key() != b.Key() {
+		t.Fatalf("exception set not canonical: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Exception != "A@x;B@y" {
+		t.Fatalf("exception field = %q, want sorted deduped join", a.Exception)
+	}
+}
+
+// TestStackHashBounded: only the innermost StackHashFrames frames
+// participate, so scheduling-dependent deep frames don't split bugs.
+func TestStackHashBounded(t *testing.T) {
+	inner := "a.b<c.d<e.f"
+	h1 := stackHash(inner + "<outer.one<outer.two")
+	h2 := stackHash(inner + "<different.outer")
+	if h1 != h2 {
+		t.Fatalf("deep frames leaked into the stack hash: %q vs %q", h1, h2)
+	}
+	if h := stackHash(""); h != "" {
+		t.Fatalf("empty stack hashed to %q, want empty", h)
+	}
+	if stackHash("a.b<c.d<e.f") == stackHash("a.b<c.d<x.y") {
+		t.Fatal("distinct bounded frames collided")
+	}
+}
+
+// TestStackSimilarity covers the fallback metric's edges.
+func TestStackSimilarity(t *testing.T) {
+	fr := func(s string) []string { return stackFrames(s) }
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"a<b<c", "a<b<c", 1},
+		{"a<b<c", "a<b<x", 2.0 / 3},
+		{"a<b<c", "x<b<c", 0},
+		{"", "", 1},
+		{"a<b<c", "", 0},
+		{"a<b", "a<b<c", 2.0 / 3},
+	}
+	for _, tc := range cases {
+		if got := stackSimilarity(fr(tc.a), fr(tc.b)); got != tc.want {
+			t.Errorf("stackSimilarity(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestSignatureID: short, prefixed, hex — fit for file names and CLI
+// arguments.
+func TestSignatureID(t *testing.T) {
+	id := SignatureOf("s", "p", "pre-read", "crash", "job-failure", nil, "").ID()
+	if !strings.HasPrefix(id, "bug-") || len(id) != len("bug-")+8 {
+		t.Fatalf("ID %q not of the form bug-xxxxxxxx", id)
+	}
+}

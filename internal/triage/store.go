@@ -1,0 +1,187 @@
+package triage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultFlushEvery is the append batch size: the store fsyncs after
+// this many buffered lines (and on Close), bounding how much a crash
+// can lose without paying a sync per record.
+const DefaultFlushEvery = 16
+
+// storeLine is the on-disk envelope: one JSON line per entry,
+// discriminated by Kind. Run records and confirmation verdicts share
+// the file so a store is a complete, self-contained triage database.
+type storeLine struct {
+	Kind    string        `json:"kind"` // "run" or "confirm"
+	Run     *Record       `json:"run,omitempty"`
+	Confirm *Confirmation `json:"confirm,omitempty"`
+}
+
+// Store is an append-only JSONL bug-report database. Appends are
+// buffered and fsync'd in batches; opening an existing store first
+// heals a torn tail (a fragment left by a process killed mid-write)
+// exactly like the campaign checkpoints, so appends after a crash stay
+// on their own lines. A Store is safe for concurrent appends.
+type Store struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	every   int
+	pending int
+	err     error // first write error, latched
+}
+
+// OpenStore opens (creating if needed) the store at path for appending.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("triage: open store %s: %w", path, err)
+	}
+	healStoreTail(f)
+	return &Store{path: path, f: f, w: bufio.NewWriter(f), every: DefaultFlushEvery}, nil
+}
+
+// healStoreTail newline-terminates a torn trailing fragment so the next
+// append starts on its own line (the fragment itself is skipped on
+// load, like a torn campaign checkpoint).
+func healStoreTail(f *os.File) {
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil || last[0] == '\n' {
+		return
+	}
+	f.Write([]byte{'\n'})
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Append persists one run record.
+func (s *Store) Append(rec Record) error {
+	if rec.Sig == "" {
+		rec.Sig = rec.Signature().Key()
+	}
+	return s.append(storeLine{Kind: "run", Run: &rec})
+}
+
+// AppendConfirmation persists one confirmation verdict. Later verdicts
+// for the same signature supersede earlier ones on load.
+func (s *Store) AppendConfirmation(c Confirmation) error {
+	return s.append(storeLine{Kind: "confirm", Confirm: &c})
+}
+
+func (s *Store) append(ln storeLine) error {
+	b, err := json.Marshal(ln)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+		return err
+	}
+	s.pending++
+	if s.pending >= s.every {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushLocked drains the buffer and fsyncs. Callers hold s.mu.
+func (s *Store) flushLocked() error {
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = err
+		return err
+	}
+	s.pending = 0
+	return nil
+}
+
+// Flush forces the buffered batch to disk.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.flushLocked()
+}
+
+// Close flushes, fsyncs and closes the store. It returns the first
+// error encountered over the store's lifetime, so a caller that only
+// checks Close still sees dropped writes.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	flushErr := s.flushLocked()
+	closeErr := s.f.Close()
+	if s.err != nil {
+		return s.err
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Load reads one or more store files into a fresh Index, merging and
+// deduplicating as it goes. Missing files are an error; malformed lines
+// (torn tails, hand-edit damage) are skipped, matching the campaign
+// checkpoint loader.
+func Load(paths ...string) (*Index, error) {
+	ix := NewIndex()
+	for _, p := range paths {
+		if err := ix.LoadFile(p); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// LoadFile merges one store file into the index.
+func (ix *Index) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("triage: open store %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		var ln storeLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			continue
+		}
+		switch {
+		case ln.Kind == "run" && ln.Run != nil:
+			ix.Add(*ln.Run)
+		case ln.Kind == "confirm" && ln.Confirm != nil:
+			ix.AddConfirmation(*ln.Confirm)
+		}
+	}
+	return sc.Err()
+}

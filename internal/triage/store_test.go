@@ -1,0 +1,193 @@
+package triage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(system string, seed int64, run int) Record {
+	return Record{
+		System:     system,
+		Campaign:   "test",
+		Run:        run,
+		Seed:       seed,
+		Scale:      1,
+		Point:      "toy.Master.commitPending#0",
+		Scenario:   "pre-read",
+		Stack:      "toy.Master.commitPending<toy.Master.onTaskDone<rpc.dispatch",
+		Fault:      "shutdown",
+		Target:     "node1:7001",
+		Outcome:    "job-failure",
+		Exceptions: []string{"NullPointerException@toy.Master.commitPending"},
+	}
+}
+
+// TestStoreRoundTrip: appended records and confirmations come back from
+// Load with their signatures intact.
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{testRecord("toysys", 11, 0), testRecord("toysys", 12, 3), testRecord("hdfs", 11, 1)}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conf := Confirmation{Sig: recs[0].Signature().Key(), Label: Confirmed, Runs: 5, Reproduced: 5}
+	if err := s.AppendConfirmation(conf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(recs) {
+		t.Fatalf("loaded %d records, want %d", ix.Len(), len(recs))
+	}
+	clusters := ix.Clusters()
+	var found *Cluster
+	for _, c := range clusters {
+		if c.Sig.Key() == conf.Sig {
+			found = c
+		}
+	}
+	if found == nil || found.Confirm == nil || found.Confirm.Label != Confirmed {
+		t.Fatalf("confirmation did not round-trip onto its cluster: %+v", found)
+	}
+}
+
+// TestStoreAppendIdempotent: appending the same records twice (two runs
+// of one campaign against one store) must dedup on load.
+func TestStoreAppendIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	for pass := 0; pass < 2; pass++ {
+		s, err := OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 4; run++ {
+			if err := s.Append(testRecord("toysys", 11, run)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("dedup failed: %d records, want 4", ix.Len())
+	}
+}
+
+// TestStoreHealsTornTail: a fragment from a process killed mid-write
+// must not corrupt the next append, and the intact records survive.
+func TestStoreHealsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("toysys", 11, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"run","run":{"system":"toy`)
+	f.Close()
+
+	s, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("toysys", 12, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("after torn tail: %d records, want 2 (fragment skipped, both intact records kept)", ix.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "}\n{") == false {
+		t.Fatalf("healed store not line-separated:\n%s", data)
+	}
+}
+
+// TestStoreLoadMultipleFiles merges and dedups across store files.
+func TestStoreLoadMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.jsonl")
+	p2 := filepath.Join(dir, "b.jsonl")
+	for _, p := range []string{p1, p2} {
+		s, err := OpenStore(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One shared record (same identity in both files) plus one unique.
+		if err := s.Append(testRecord("toysys", 11, 0)); err != nil {
+			t.Fatal(err)
+		}
+		uniq := testRecord("toysys", 99, 7)
+		uniq.Seed = map[string]int64{p1: 100, p2: 200}[p]
+		if err := s.Append(uniq); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Load(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("merged %d records, want 3 (shared record deduped)", ix.Len())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("loading a missing store file should error")
+	}
+}
+
+// TestStoreCloseSurfacesLatchedError: a store whose file has been
+// closed under it reports the failure from Close.
+func TestStoreCloseSurfacesLatchedError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.f.Close() // sabotage the fd; flushes must now fail
+	for i := 0; i < DefaultFlushEvery+1; i++ {
+		s.Append(testRecord("toysys", int64(i), i))
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close returned nil after writes to a closed fd")
+	}
+}

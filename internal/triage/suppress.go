@@ -1,0 +1,74 @@
+package triage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Suppressions is the known-issue list: clusters matching it are hidden
+// from list/diff output so repeat campaigns surface only genuinely new
+// bugs. The file format is one entry per line — either a cluster id
+// ("bug-1a2b3c4d") or a full signature key — with '#' comments and
+// blank lines ignored.
+type Suppressions struct {
+	entries map[string]bool
+}
+
+// LoadSuppressions reads a suppression file; an empty path yields an
+// empty (suppress-nothing) list.
+func LoadSuppressions(path string) (*Suppressions, error) {
+	s := &Suppressions{entries: make(map[string]bool)}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("triage: open suppressions %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s.entries[line] = true
+	}
+	return s, sc.Err()
+}
+
+// Suppressed reports whether the cluster is on the known-issue list,
+// by cluster id or by any of its merged signature keys.
+func (s *Suppressions) Suppressed(c *Cluster) bool {
+	if s == nil || len(s.entries) == 0 {
+		return false
+	}
+	if s.entries[c.ID()] {
+		return true
+	}
+	for _, k := range c.Keys {
+		if s.entries[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the clusters not on the suppression list, preserving
+// rank order, along with how many were dropped.
+func (s *Suppressions) Filter(clusters []*Cluster) (kept []*Cluster, dropped int) {
+	for _, c := range clusters {
+		if s.Suppressed(c) {
+			dropped++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept, dropped
+}

@@ -1,0 +1,44 @@
+package trigger
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/triage"
+)
+
+// NormalizeSignature canonicalizes an exception signature for use as a
+// dedup key: volatile tokens the system interpolated into it —
+// host:port values, timestamps, incarnation numbers, hex ids — are
+// replaced with fixed placeholders, so censuses keyed by the result are
+// stable across seeds, scales and campaigns. It delegates to the triage
+// normalizer, keeping the trigger's oracle and the bug store in
+// agreement about exception identity.
+func NormalizeSignature(sig string) string { return triage.NormalizeException(sig) }
+
+// RunRecordOf flattens one report into the layer-neutral run record the
+// triage recorder persists. The record keeps raw (un-normalized) fields
+// — normalization happens inside the triage signature — and everything
+// needed to re-execute the run during confirmation: the static point,
+// the scenario, the dynamic stack, the seed and the scale.
+func RunRecordOf(system, kind string, run int, seed int64, scale int, rep Report) campaign.RunRecord {
+	rr := campaign.RunRecord{
+		System:     system,
+		Campaign:   kind,
+		Run:        run,
+		Seed:       seed,
+		Scale:      scale,
+		Point:      string(rep.Dyn.Point),
+		Scenario:   rep.Dyn.Scenario.String(),
+		Stack:      rep.Dyn.Stack,
+		Target:     string(rep.Target),
+		Outcome:    rep.Outcome.String(),
+		Failing:    rep.Outcome.IsBug(),
+		Exceptions: rep.NewExceptions,
+		Witnesses:  rep.Witnesses,
+		Reason:     rep.Reason,
+		Duration:   rep.Duration,
+	}
+	if rep.Injected != nil {
+		rr.Fault = rep.Injected.Kind.String()
+	}
+	return rr
+}

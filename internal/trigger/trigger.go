@@ -29,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stash"
 	"repro/internal/systems/cluster"
+	"repro/internal/triage"
 )
 
 // Outcome classifies one injection run.
@@ -87,9 +88,12 @@ func (o Outcome) IsRecoveryBug() bool {
 
 // Baseline captures fault-free behaviour for the oracle.
 type Baseline struct {
-	Duration   sim.Time
-	Status     cluster.Status
-	Exceptions map[string]bool // every signature seen without faults
+	Duration sim.Time
+	Status   cluster.Status
+	// Exceptions is the fault-free census, keyed by NormalizeSignature
+	// of every signature seen without faults, so the oracle's "never
+	// seen in baseline" test is stable across seeds and scales.
+	Exceptions map[string]bool
 	Runs       int
 }
 
@@ -202,7 +206,7 @@ func MeasureBaseline(r cluster.Runner, seed int64, scale, runs int, deadline sim
 			b.Duration = res.End
 		}
 		for _, ex := range run.Engine().Exceptions() {
-			b.Exceptions[ex.Signature] = true
+			b.Exceptions[NormalizeSignature(ex.Signature)] = true
 		}
 		if run.Status() != cluster.Succeeded {
 			b.Status = run.Status()
@@ -360,15 +364,20 @@ func (t *Tester) newUnhandled(e *sim.Engine) []string {
 
 // NewUnhandled returns the unhandled exception signatures of a run that
 // never appeared in fault-free baseline runs — the "uncommon exceptions
-// in the logs" oracle of §3.2.2.
+// in the logs" oracle of §3.2.2. Census membership is decided on
+// normalized signatures (so a baseline exception that embeds a port or
+// a timestamp still masks its reoccurrence under a different value),
+// but the returned strings stay raw: reports and tables show what the
+// system actually logged.
 func NewUnhandled(b Baseline, e *sim.Engine) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, ex := range e.Exceptions() {
-		if ex.Handled || b.Exceptions[ex.Signature] || seen[ex.Signature] {
+		key := NormalizeSignature(ex.Signature)
+		if ex.Handled || b.Exceptions[key] || seen[key] {
 			continue
 		}
-		seen[ex.Signature] = true
+		seen[key] = true
 		out = append(out, ex.Signature)
 	}
 	sort.Strings(out)
@@ -471,7 +480,7 @@ func EvaluateRecovery(b Baseline, run cluster.Run, res sim.RunResult, newEx []st
 // whole campaign down. With CheckpointPath set it is also resumable.
 func (t *Tester) Campaign(points []probe.DynPoint) []Report {
 	bugs := 0 // guarded by the campaign completion lock (Annotate contract)
-	return campaign.Run(len(points), campaign.Options[Report]{
+	reports := campaign.Run(len(points), campaign.Options[Report]{
 		Workers:    t.Workers,
 		Recover:    func(i int, v any) Report { return t.panicReport(points[i], v) },
 		Checkpoint: t.Config.Checkpoint(),
@@ -491,6 +500,24 @@ func (t *Tester) Campaign(points []probe.DynPoint) []Report {
 			}
 		},
 	}, func(i int) Report { return t.testPoint(i, points[i]) })
+	t.record(reports)
+	return reports
+}
+
+// record delivers the campaign's reports to the configured triage
+// recorder. Delivery happens after the campaign, in run order — not
+// from the completion-order Annotate hook — so repeat campaigns append
+// to a store in identical order, and runs restored from a resumed
+// checkpoint are recorded too.
+func (t *Tester) record(reports []Report) {
+	rec := t.Config.Recorder
+	if rec == nil {
+		return
+	}
+	sc := t.scope()
+	for i, rep := range reports {
+		rec.Record(RunRecordOf(sc.System, sc.Campaign, i, t.Seed, t.Scale, rep))
+	}
 }
 
 // panicReport turns a recovered model panic into a HarnessError report.
@@ -504,8 +531,16 @@ func (t *Tester) panicReport(d probe.DynPoint, v any) Report {
 
 // Summary aggregates a campaign for reporting.
 type Summary struct {
-	Tested        int
-	Bugs          int // reports with a bug outcome
+	Tested int
+	// Bugs counts reports with a bug outcome — the raw run count, kept
+	// for paper-table parity. Multiple runs tripping the same underlying
+	// defect each count once here.
+	Bugs int
+	// DistinctBugs deduplicates Bugs through triage signatures (crash
+	// point + fault + verdict + normalized exception + bounded stack),
+	// collapsing repeat reproductions of one defect — the number a
+	// triage pass over the same reports would produce.
+	DistinctBugs  int
 	TimeoutIssues int
 	NotHit        int
 	// HarnessErrors counts runs the harness had to abort (model panic,
@@ -524,7 +559,12 @@ type Summary struct {
 func Summarize(reports []Report) Summary {
 	s := Summary{ByOutcome: make(map[Outcome]int)}
 	wits := map[string]bool{}
-	for _, r := range reports {
+	// Bug reports are clustered through the triage index so
+	// DistinctBugs matches what a cttriage pass over the same reports
+	// would count; system/campaign/seed are constant within one summary,
+	// so they contribute nothing to the identities.
+	ix := triage.NewIndex()
+	for i, r := range reports {
 		s.Tested++
 		s.ByOutcome[r.Outcome]++
 		if len(r.Restarted) > 0 {
@@ -533,6 +573,7 @@ func Summarize(reports []Report) Summary {
 		switch {
 		case r.Outcome.IsBug():
 			s.Bugs++
+			ix.Add(triage.FromRunRecord(RunRecordOf("", "", i, 0, 0, r)))
 			for _, w := range r.Witnesses {
 				wits[w] = true
 			}
@@ -544,6 +585,7 @@ func Summarize(reports []Report) Summary {
 			s.HarnessErrors++
 		}
 	}
+	s.DistinctBugs = ix.DistinctBugs()
 	for w := range wits {
 		s.WitnessedBugs = append(s.WitnessedBugs, w)
 	}

@@ -100,6 +100,32 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// Summary.Bugs counts failing runs (paper parity); DistinctBugs must
+// collapse runs that differ only in volatile tokens — the same
+// exception thrown against different hosts or timestamps is one bug.
+func TestSummarizeDistinctBugs(t *testing.T) {
+	dyn := probe.DynPoint{
+		Point:    toysys.PtCommitGet,
+		Scenario: crashpoint.PreRead,
+		Stack:    "toy.Master.commitPending",
+	}
+	reports := []Report{
+		{Dyn: dyn, Outcome: JobFailure, Target: "node1:7001",
+			NewExceptions: []string{"NullPointerException@toy.Master.commitPending: worker node1:7001 missing"}},
+		{Dyn: dyn, Outcome: JobFailure, Target: "node2:7002",
+			NewExceptions: []string{"NullPointerException@toy.Master.commitPending: worker node2:7002 missing"}},
+		{Dyn: dyn, Outcome: Hang, Target: "node1:7001"},
+		{Outcome: OK},
+	}
+	s := Summarize(reports)
+	if s.Bugs != 3 {
+		t.Errorf("raw bugs = %d, want 3", s.Bugs)
+	}
+	if s.DistinctBugs != 2 {
+		t.Errorf("distinct bugs = %d, want 2 (volatile-token variants must collapse)", s.DistinctBugs)
+	}
+}
+
 func TestEvaluatePriorities(t *testing.T) {
 	b := Baseline{Duration: sim.Second}
 	mk := func(status cluster.Status) cluster.Run {
