@@ -290,6 +290,41 @@ func benchCampaign(b *testing.B, workers int) {
 // tested inline, in order.
 func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
 
+// benchCampaignSnapshot measures the same sequential Yarn campaign with
+// runs forked from a snapshot plan (snapshot=true) or replayed from t=0
+// (snapshot=false); the ratio is the number BENCH_campaign.json records
+// and the bench-gate CI job enforces.
+func benchCampaignSnapshot(b *testing.B, snapshot bool) {
+	b.ReportAllocs()
+	r, _ := all.ByName("yarn")
+	// Scale 2 matches the committed BENCH_campaign.json workload.
+	opts := core.Options{Seed: 11, Scale: 2}
+	res, matcher := core.SharedArtifacts.AnalysisPhase(r, opts)
+	core.ProfilePhase(r, res, opts)
+	tester := &trigger.Tester{
+		Runner: r, Analysis: res.Analysis, Matcher: matcher,
+		Baseline: trigger.MeasureBaseline(r, 11, 2, 3, 0),
+		Seed:     11, Scale: 2, Config: campaign.Config{Workers: 1},
+	}
+	if snapshot {
+		tester.Snapshots = tester.BuildSnapshotPlan()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tester.Campaign(res.Dynamic.Points)
+	}
+	b.ReportMetric(float64(len(res.Dynamic.Points)), "points")
+}
+
+// BenchmarkCampaignSnapshot forks every injection run from the
+// reference-pass snapshot (the pipeline default).
+func BenchmarkCampaignSnapshot(b *testing.B) { benchCampaignSnapshot(b, true) }
+
+// BenchmarkCampaignFullReplay replays every injection run from t=0 (the
+// core.Options.NoSnapshots path); compare against
+// BenchmarkCampaignSnapshot for the speedup.
+func BenchmarkCampaignFullReplay(b *testing.B) { benchCampaignSnapshot(b, false) }
+
 // BenchmarkCampaignParallel fans the same campaign out across one worker
 // per CPU; compare against BenchmarkCampaignSequential for the speedup
 // (the outputs are byte-identical — see TestParallelCampaignDeterminism).

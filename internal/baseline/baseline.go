@@ -115,6 +115,28 @@ type Options struct {
 	// after the injection, mirroring the paper's clusters where the
 	// master is supervised. Only meaningful with IncludeMasters.
 	MasterRestart sim.Time
+	// FullObservation keeps the full observation pipeline (rendered log
+	// records, stack-recording probe) attached to every injection run.
+	// By default injection runs are lean — logs go to a discard root and
+	// the probe skips stack bookkeeping — because the baseline oracles
+	// read engine state only (workload status, exceptions, witnesses),
+	// never the rendered log stream: the same observation elision a
+	// snapshot fork performs (see trigger/snapshot.go), with the same
+	// byte-identical results. The profiling run behind CollectIOPoints
+	// always observes fully; it exists to read the logs.
+	FullObservation bool
+}
+
+// runConfig builds the per-injection-run cluster config: lean by
+// default, full when Options.FullObservation asks for it.
+func (o Options) runConfig(seed int64) cluster.Config {
+	pb := probe.New()
+	pb.Lean = !o.FullObservation
+	logs := dslog.Discard()
+	if o.FullObservation {
+		logs = dslog.NewRoot()
+	}
+	return cluster.Config{Seed: seed, Scale: o.Scale, Probe: pb, Logs: logs}
 }
 
 // campaignOptions builds the engine options for one baseline campaign,
@@ -219,12 +241,7 @@ func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 	res := newResult(r.Name())
 	deadline := deadlineOf(b, opts.DeadlineFactor)
 	outcomes := campaign.Run(opts.Runs, opts.campaignOptions(r.Name(), "random"), func(i int) runOutcome {
-		run := r.NewRun(cluster.Config{
-			Seed:  opts.Seed + int64(i),
-			Scale: opts.Scale,
-			Probe: probe.New(),
-			Logs:  dslog.NewRoot(),
-		})
+		run := r.NewRun(opts.runConfig(opts.Seed + int64(i)))
 		e := run.Engine()
 		rng := e.Rand()
 		at := sim.Time(rng.Int63n(int64(b.Duration) + 1))
@@ -330,12 +347,7 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 	}
 	outcomes := campaign.Run(len(jobs), opts.campaignOptions(r.Name(), "io"), func(i int) runOutcome {
 		j := jobs[i]
-		run := r.NewRun(cluster.Config{
-			Seed:  j.seed,
-			Scale: opts.Scale,
-			Probe: probe.New(),
-			Logs:  dslog.NewRoot(),
-		})
+		run := r.NewRun(opts.runConfig(j.seed))
 		e := run.Engine()
 		victim := j.point.Node
 		e.After(j.at, func() {

@@ -1,0 +1,189 @@
+// Package benchgate implements the CI benchmark-regression gate: it
+// compares freshly measured benchmark records against committed floor
+// files (BENCH_matcher.json, BENCH_campaign.json) and reports every
+// violation of the tolerance band.
+//
+// The gate is deliberately biased toward machine-independent numbers.
+// Absolute ns/op varies wildly across CI runners, so it gets a generous
+// slack and exists only to catch order-of-magnitude blowups; the load-
+// bearing checks are ratios measured inside one process on one machine
+// (the snapshot campaign speedup), allocation counts (deterministic for
+// a deterministic workload), and the workload shape itself (records per
+// op, points per op) — a silent workload change would otherwise let a
+// regression hide behind a smaller input.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MatcherRecord is the BENCH_matcher.json schema: the matcher-ingest
+// microbenchmark (one MatchSession classifying every record of a
+// profiling run).
+type MatcherRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	System       string  `json:"system"`
+	RecordsPerOp int     `json:"records_per_op"`
+	Matched      int     `json:"matched_per_op"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	NsPerRecord  float64 `json:"ns_per_record"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// MatcherKind is the benchmark discriminator of MatcherRecord files.
+const MatcherKind = "matcher-ingest"
+
+// CampaignRecord is the BENCH_campaign.json schema: the same injection
+// campaign measured twice in one process — every run replayed from t=0
+// (legacy) and every run forked from the snapshot plan — so the speedup
+// is a single-machine ratio the gate can hold across heterogeneous CI
+// runners.
+type CampaignRecord struct {
+	Benchmark   string `json:"benchmark"`
+	System      string `json:"system"`
+	PointsPerOp int    `json:"points_per_op"`
+	// SnapshotPoints is how many of those points the reference pass saw
+	// firing (the rest are synthesized NotHit reports).
+	SnapshotPoints  int     `json:"snapshot_points"`
+	Iterations      int     `json:"iterations"`
+	LegacyNsPerOp   float64 `json:"legacy_ns_per_op"`
+	SnapshotNsPerOp float64 `json:"snapshot_ns_per_op"`
+	// Speedup is LegacyNsPerOp / SnapshotNsPerOp, each side's fastest of
+	// many short interleaved rounds. Contention only ever adds time, so
+	// the per-side round minimum is the best estimate of that side's
+	// true cost on a shared runner; the emitter refuses to publish a
+	// record when the per-round pair ratios disagree wildly with this
+	// floor ratio (load so asymmetric the floors can't be trusted).
+	Speedup float64 `json:"speedup"`
+	// MinSpeedup is the hard acceptance floor baked into the committed
+	// record; the gate fails any measurement below it regardless of what
+	// the committed Speedup drifted to.
+	MinSpeedup  float64 `json:"min_speedup"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// CampaignKind is the benchmark discriminator of CampaignRecord files.
+const CampaignKind = "campaign-snapshot"
+
+// Tolerance is the gate's slack band, as fractional headroom over the
+// committed floors.
+type Tolerance struct {
+	// NsSlack pads absolute time comparisons (ns/record); generous
+	// because CI runners differ in clock speed and load.
+	NsSlack float64
+	// AllocSlack pads allocation comparisons; tight because allocations
+	// of a deterministic workload barely vary.
+	AllocSlack float64
+	// SpeedupSlack is how far the measured snapshot speedup may fall
+	// below the committed one before the gate fails (the MinSpeedup hard
+	// floor applies regardless).
+	SpeedupSlack float64
+}
+
+// DefaultTolerance is the band CI runs with.
+func DefaultTolerance() Tolerance {
+	return Tolerance{NsSlack: 1.00, AllocSlack: 0.15, SpeedupSlack: 0.35}
+}
+
+// CheckMatcher compares a fresh matcher measurement against the
+// committed floor and returns every violation (empty: the gate passes).
+func CheckMatcher(fresh, floor MatcherRecord, tol Tolerance) []string {
+	var v []string
+	if fresh.RecordsPerOp != floor.RecordsPerOp {
+		v = append(v, fmt.Sprintf("workload drift: %d records/op, committed floor has %d — regenerate the floor file",
+			fresh.RecordsPerOp, floor.RecordsPerOp))
+	}
+	if fresh.Matched != floor.Matched {
+		v = append(v, fmt.Sprintf("workload drift: %d matched/op, committed floor has %d — regenerate the floor file",
+			fresh.Matched, floor.Matched))
+	}
+	if limit := floor.NsPerRecord * (1 + tol.NsSlack); fresh.NsPerRecord > limit {
+		v = append(v, fmt.Sprintf("ns/record regression: %.1f > %.1f (floor %.1f + %.0f%% slack)",
+			fresh.NsPerRecord, limit, floor.NsPerRecord, tol.NsSlack*100))
+	}
+	if limit := allocLimit(floor.AllocsPerOp, tol); float64(fresh.AllocsPerOp) > limit {
+		v = append(v, fmt.Sprintf("allocs/op regression: %d > %.0f (floor %d + %.0f%% slack)",
+			fresh.AllocsPerOp, limit, floor.AllocsPerOp, tol.AllocSlack*100))
+	}
+	return v
+}
+
+// CheckCampaign compares a fresh campaign measurement against the
+// committed floor and returns every violation (empty: the gate passes).
+func CheckCampaign(fresh, floor CampaignRecord, tol Tolerance) []string {
+	var v []string
+	if fresh.PointsPerOp != floor.PointsPerOp {
+		v = append(v, fmt.Sprintf("workload drift: %d points/op, committed floor has %d — regenerate the floor file",
+			fresh.PointsPerOp, floor.PointsPerOp))
+	}
+	if floor.MinSpeedup > 0 && fresh.Speedup < floor.MinSpeedup {
+		v = append(v, fmt.Sprintf("snapshot speedup %.2fx below the %.1fx acceptance floor",
+			fresh.Speedup, floor.MinSpeedup))
+	}
+	if limit := floor.Speedup * (1 - tol.SpeedupSlack); fresh.Speedup < limit {
+		v = append(v, fmt.Sprintf("snapshot speedup regression: %.2fx < %.2fx (committed %.2fx - %.0f%% slack)",
+			fresh.Speedup, limit, floor.Speedup, tol.SpeedupSlack*100))
+	}
+	if limit := allocLimit(floor.AllocsPerOp, tol); float64(fresh.AllocsPerOp) > limit {
+		v = append(v, fmt.Sprintf("allocs/op regression: %d > %.0f (floor %d + %.0f%% slack)",
+			fresh.AllocsPerOp, limit, floor.AllocsPerOp, tol.AllocSlack*100))
+	}
+	return v
+}
+
+// allocLimit pads an allocation floor: fractional slack plus one
+// absolute allocation of headroom so tiny floors don't gate on noise.
+func allocLimit(floor int64, tol Tolerance) float64 {
+	return float64(floor)*(1+tol.AllocSlack) + 1
+}
+
+// Kind returns the "benchmark" discriminator of a record file's bytes.
+func Kind(data []byte) (string, error) {
+	var env struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return "", err
+	}
+	if env.Benchmark == "" {
+		return "", fmt.Errorf("no \"benchmark\" discriminator in record")
+	}
+	return env.Benchmark, nil
+}
+
+// ReadMatcherFile loads a committed MatcherRecord.
+func ReadMatcherFile(path string) (MatcherRecord, error) {
+	var rec MatcherRecord
+	err := readRecord(path, &rec)
+	return rec, err
+}
+
+// ReadCampaignFile loads a committed CampaignRecord.
+func ReadCampaignFile(path string) (CampaignRecord, error) {
+	var rec CampaignRecord
+	err := readRecord(path, &rec)
+	return rec, err
+}
+
+func readRecord(path string, into any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, into)
+}
+
+// WriteFile marshals a record to path as indented JSON, the format the
+// committed floor files are kept in.
+func WriteFile(path string, rec any) error {
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

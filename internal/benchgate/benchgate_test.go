@@ -1,0 +1,161 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func matcherFloor() MatcherRecord {
+	return MatcherRecord{
+		Benchmark:    MatcherKind,
+		System:       "yarn",
+		RecordsPerOp: 500,
+		Matched:      480,
+		Iterations:   100,
+		NsPerOp:      50000,
+		NsPerRecord:  100,
+		AllocsPerOp:  10,
+		BytesPerOp:   640,
+	}
+}
+
+func campaignFloor() CampaignRecord {
+	return CampaignRecord{
+		Benchmark:       CampaignKind,
+		System:          "yarn",
+		PointsPerOp:     40,
+		SnapshotPoints:  30,
+		Iterations:      3,
+		LegacyNsPerOp:   10e9,
+		SnapshotNsPerOp: 1e9,
+		Speedup:         10,
+		MinSpeedup:      5,
+		AllocsPerOp:     1000000,
+		BytesPerOp:      8000000,
+	}
+}
+
+func TestMatcherGatePassesWithinBand(t *testing.T) {
+	tol := DefaultTolerance()
+	fresh := matcherFloor()
+	fresh.NsPerRecord *= 1 + tol.NsSlack/2 // slower, but inside the band
+	fresh.NsPerOp *= 1 + tol.NsSlack/2
+	if v := CheckMatcher(fresh, matcherFloor(), tol); len(v) != 0 {
+		t.Errorf("in-band measurement rejected: %v", v)
+	}
+}
+
+func TestMatcherGateCatchesRegressions(t *testing.T) {
+	tol := DefaultTolerance()
+	cases := []struct {
+		name   string
+		mutate func(*MatcherRecord)
+		want   string
+	}{
+		{"time", func(r *MatcherRecord) { r.NsPerRecord *= 1 + tol.NsSlack + 0.5 }, "ns/record regression"},
+		{"allocs", func(r *MatcherRecord) { r.AllocsPerOp *= 3 }, "allocs/op regression"},
+		{"workload", func(r *MatcherRecord) { r.RecordsPerOp /= 2 }, "workload drift"},
+		{"matched", func(r *MatcherRecord) { r.Matched = 0 }, "workload drift"},
+	}
+	for _, tc := range cases {
+		fresh := matcherFloor()
+		tc.mutate(&fresh)
+		v := CheckMatcher(fresh, matcherFloor(), tol)
+		if len(v) == 0 {
+			t.Errorf("%s: regression passed the gate", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.Join(v, "\n"), tc.want) {
+			t.Errorf("%s: violations %v do not mention %q", tc.name, v, tc.want)
+		}
+	}
+}
+
+func TestCampaignGateHoldsHardFloor(t *testing.T) {
+	tol := DefaultTolerance()
+	floor := campaignFloor()
+	floor.Speedup = 6 // committed speedup barely above the hard floor
+
+	fresh := floor
+	fresh.Speedup = 5.2 // within slack of 6, above the 5x hard floor
+	if v := CheckCampaign(fresh, floor, tol); len(v) != 0 {
+		t.Errorf("in-band measurement rejected: %v", v)
+	}
+	fresh.Speedup = 4.9 // within slack of 6, but below the hard floor
+	v := CheckCampaign(fresh, floor, tol)
+	if len(v) == 0 {
+		t.Fatal("below-floor speedup passed the gate")
+	}
+	if !strings.Contains(v[0], "acceptance floor") {
+		t.Errorf("violation %q does not name the acceptance floor", v[0])
+	}
+}
+
+func TestCampaignGateCatchesRelativeRegression(t *testing.T) {
+	tol := DefaultTolerance()
+	floor := campaignFloor() // committed 10x
+	fresh := floor
+	fresh.Speedup = floor.Speedup * (1 - tol.SpeedupSlack) * 0.9 // above 5x, but far off 10x
+	v := CheckCampaign(fresh, floor, tol)
+	if len(v) == 0 {
+		t.Fatal("relative speedup regression passed the gate")
+	}
+	if !strings.Contains(v[0], "speedup regression") {
+		t.Errorf("violation %q does not name the regression", v[0])
+	}
+	fresh = floor
+	fresh.PointsPerOp++
+	if v := CheckCampaign(fresh, floor, tol); len(v) == 0 {
+		t.Error("campaign workload drift passed the gate")
+	}
+}
+
+// The JSON schema is the contract with the committed floor files: field
+// names must round-trip exactly (BENCH_matcher.json predates this
+// package and its keys are frozen).
+func TestRecordSchemaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mp := filepath.Join(dir, "m.json")
+	if err := WriteFile(mp, matcherFloor()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMatcherFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != matcherFloor() {
+		t.Errorf("matcher record did not round-trip: %+v", m)
+	}
+
+	cp := filepath.Join(dir, "c.json")
+	if err := WriteFile(cp, campaignFloor()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadCampaignFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != campaignFloor() {
+		t.Errorf("campaign record did not round-trip: %+v", c)
+	}
+
+	raw, err := json.Marshal(matcherFloor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"benchmark", "system", "records_per_op", "matched_per_op",
+		"iterations", "ns_per_op", "ns_per_record", "allocs_per_op", "bytes_per_op"} {
+		if !strings.Contains(string(raw), `"`+key+`"`) {
+			t.Errorf("matcher schema lost frozen key %q", key)
+		}
+	}
+
+	if k, err := Kind(raw); err != nil || k != MatcherKind {
+		t.Errorf("Kind = %q, %v", k, err)
+	}
+	if _, err := Kind([]byte(`{}`)); err == nil {
+		t.Error("Kind accepted a record without a discriminator")
+	}
+}

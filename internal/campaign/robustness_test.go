@@ -48,18 +48,30 @@ func TestNilRecoverPropagatesPanic(t *testing.T) {
 func TestStallWatchdogAbandonsLivelockedJob(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
-	got := Run(3, Options[int]{
-		Workers:      2,
-		StallTimeout: 20 * time.Millisecond,
-		OnStall:      func(i int) int { return -100 - i },
-	}, func(i int) int {
-		if i == 1 {
-			<-block // livelocked forever
+	// The timeout is deliberately generous: the healthy jobs finish in
+	// microseconds, so only the genuinely livelocked job can ever reach
+	// it, and a loaded CI machine cannot flake the fast jobs past it.
+	// The watchdog's own liveness is pinned by the outer deadline below.
+	done := make(chan []int, 1)
+	go func() {
+		done <- Run(3, Options[int]{
+			Workers:      2,
+			StallTimeout: 1 * time.Second,
+			OnStall:      func(i int) int { return -100 - i },
+		}, func(i int) int {
+			if i == 1 {
+				<-block // livelocked forever
+			}
+			return i
+		})
+	}()
+	select {
+	case got := <-done:
+		if !reflect.DeepEqual(got, []int{0, -101, 2}) {
+			t.Errorf("got %v, want [0 -101 2]", got)
 		}
-		return i
-	})
-	if !reflect.DeepEqual(got, []int{0, -101, 2}) {
-		t.Errorf("got %v, want [0 -101 2]", got)
+	case <-time.After(30 * time.Second):
+		t.Fatal("stall watchdog never abandoned the livelocked job")
 	}
 }
 

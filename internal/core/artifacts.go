@@ -6,6 +6,7 @@ import (
 	"repro/internal/logparse"
 	"repro/internal/sim"
 	"repro/internal/systems/cluster"
+	"repro/internal/trigger"
 )
 
 // ArtifactCache memoizes the offline AnalysisPhase. The phase is a pure
@@ -29,6 +30,7 @@ import (
 type ArtifactCache struct {
 	mu      sync.Mutex
 	entries map[artifactKey]*artifactEntry
+	plans   map[planKey]*planEntry
 }
 
 // artifactKey captures the AnalysisPhase inputs: the system plus the
@@ -47,9 +49,29 @@ type artifactEntry struct {
 	matcher *logparse.Matcher
 }
 
+// planKey captures everything a snapshot plan's reference pass depends
+// on (trigger.SnapshotPlan.compatible checks the same fields): the run
+// deadline enters separately from the analysis deadline because it
+// derives from the measured baseline, not from Options.Deadline.
+type planKey struct {
+	system   string
+	seed     int64
+	scale    int
+	deadline sim.Time
+	maxSteps uint64
+}
+
+type planEntry struct {
+	once sync.Once
+	plan *trigger.SnapshotPlan
+}
+
 // NewArtifactCache returns an empty cache.
 func NewArtifactCache() *ArtifactCache {
-	return &ArtifactCache{entries: make(map[artifactKey]*artifactEntry)}
+	return &ArtifactCache{
+		entries: make(map[artifactKey]*artifactEntry),
+		plans:   make(map[planKey]*planEntry),
+	}
 }
 
 // SharedArtifacts is the process-wide cache used by ctbench and the
@@ -79,10 +101,39 @@ func (c *ArtifactCache) AnalysisPhase(r cluster.Runner, opts Options) (*Result, 
 	return &out, e.matcher
 }
 
-// Run executes the full pipeline, reusing cached analysis artifacts.
+// SnapshotPlan memoizes trigger.Tester.BuildSnapshotPlan per (system,
+// seed, scale, run-deadline, step budget) — the exact parameters the
+// plan's compatibility gate checks. A plan depends only on the
+// fault-free run prefix, so one reference pass serves every campaign
+// kind over the same parameters: plain test, recovery, RandomTarget
+// ablation, and the repeated campaigns of a benchmark. The first caller
+// pays the reference pass (and emits its "snapshot" phase span on that
+// Tester's sink); concurrent and later callers share the immutable plan.
+func (c *ArtifactCache) SnapshotPlan(t *trigger.Tester) *trigger.SnapshotPlan {
+	key := planKey{
+		system:   t.Runner.Name(),
+		seed:     t.Seed,
+		scale:    t.Scale,
+		deadline: t.RunDeadline(),
+		maxSteps: t.MaxSteps,
+	}
+	c.mu.Lock()
+	e, ok := c.plans[key]
+	if !ok {
+		e = &planEntry{}
+		c.plans[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.plan = t.BuildSnapshotPlan() })
+	return e.plan
+}
+
+// Run executes the full pipeline, reusing cached analysis artifacts and
+// memoized snapshot plans.
 func (c *ArtifactCache) Run(r cluster.Runner, opts Options) *Result {
 	res, matcher := c.AnalysisPhase(r, opts)
 	ProfilePhase(r, res, opts)
+	opts.artifacts = c
 	TestPhase(r, matcher, res, opts)
 	return res
 }
@@ -94,9 +145,17 @@ func (c *ArtifactCache) Len() int {
 	return len(c.entries)
 }
 
+// Plans returns the number of memoized snapshot plans.
+func (c *ArtifactCache) Plans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plans)
+}
+
 // Reset drops every cached entry.
 func (c *ArtifactCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[artifactKey]*artifactEntry)
+	c.plans = make(map[planKey]*planEntry)
 }

@@ -49,6 +49,17 @@ type Options struct {
 	// MaxSteps bounds each injection run's event count (0: the sim
 	// default); exhausted runs are reported as harness errors.
 	MaxSteps uint64
+	// NoSnapshots disables snapshot-forked injection runs: every campaign
+	// run replays the full observation pipeline from t=0 instead of
+	// forking from the recorded reference pass. Snapshots are on by
+	// default — they are byte-identical by construction (fingerprint
+	// fence, see trigger.SnapshotPlan) and several times faster; this
+	// switch exists for the differential oracle and for debugging.
+	NoSnapshots bool
+
+	// artifacts is set by ArtifactCache.Run so TestPhase can memoize
+	// snapshot plans alongside the cached analysis artifacts.
+	artifacts *ArtifactCache
 }
 
 // emitPhase reports one finished pipeline phase (analysis, profile,
@@ -160,6 +171,21 @@ func ProfilePhase(r cluster.Runner, res *Result, opts Options) {
 	emitPhase(opts.Sink, r.Name(), "profile", res.Timing.Profile, 0)
 }
 
+// snapshotPlan returns the plan TestPhase installs on a Tester: nil when
+// snapshots are disabled, the memoized plan when the phase runs under an
+// ArtifactCache, a freshly built one otherwise. The Tester must already
+// carry its measured baseline — plans are keyed on the run deadline,
+// which derives from it.
+func (o Options) snapshotPlan(t *trigger.Tester) *trigger.SnapshotPlan {
+	if o.NoSnapshots {
+		return nil
+	}
+	if o.artifacts != nil {
+		return o.artifacts.SnapshotPlan(t)
+	}
+	return t.BuildSnapshotPlan()
+}
+
 // TestPhase measures the baseline and exercises every dynamic crash
 // point.
 func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Options) {
@@ -178,6 +204,7 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 		Recovery:     opts.Recovery,
 		MaxSteps:     opts.MaxSteps,
 	}
+	t.Snapshots = opts.snapshotPlan(t)
 	res.Reports = t.Campaign(res.Dynamic.Points)
 	// Dynamic points discovered only at larger profiling scales may not
 	// execute at the base test scale; retry those at the profiler's
@@ -198,6 +225,9 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 			// main campaign's checkpoint file would corrupt both.
 			rt.CheckpointPath = ""
 			rt.Resume = false
+			// The scale change invalidates the main campaign's plan
+			// (SnapshotPlan.compatible); fork the retries from their own.
+			rt.Snapshots = opts.snapshotPlan(&rt)
 			points := make([]probe.DynPoint, len(retry))
 			for j, i := range retry {
 				points[j] = res.Reports[i].Dyn

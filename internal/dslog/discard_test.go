@@ -1,0 +1,57 @@
+package dslog
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestDiscardDropsEverything: a discard root renders nothing, stores
+// nothing, notifies no taps, and its cursor never moves.
+func TestDiscardDropsEverything(t *testing.T) {
+	r := Discard()
+	if !r.Discarding() {
+		t.Fatal("Discarding() = false on a Discard root")
+	}
+	taps := 0
+	r.AddTap(func(Record) { taps++ })
+	e := sim.NewEngine(1)
+	node := e.AddNode("node0", 7000)
+	l := r.Logger(e, node.ID, "scheduler")
+	l.Info("assigned container ", 7, " on ", node.ID)
+	r.Append(Record{Node: node.ID, Text: "direct"})
+	if n := r.Len(); n != 0 {
+		t.Fatalf("Len() = %d after discarded emissions, want 0", n)
+	}
+	if taps != 0 {
+		t.Fatalf("taps fired %d times on a discard root", taps)
+	}
+	if got := r.Seq(); got != 0 {
+		t.Fatalf("Seq() = %d on a discard root, want 0", got)
+	}
+	if recs := r.NodeRecords(node.ID); len(recs) != 0 {
+		t.Fatalf("NodeRecords returned %d records", len(recs))
+	}
+}
+
+// TestSeqCursorTracksAppends: the cursor equals the number of records
+// appended, matching the Seq stamped on the latest record.
+func TestSeqCursorTracksAppends(t *testing.T) {
+	r := NewRoot()
+	if got := r.Seq(); got != 0 {
+		t.Fatalf("fresh root Seq() = %d", got)
+	}
+	e := sim.NewEngine(1)
+	node := e.AddNode("node0", 7000)
+	l := r.Logger(e, node.ID, "c")
+	for i := 0; i < 3; i++ {
+		l.Info("record ", i)
+	}
+	if got := r.Seq(); got != 3 {
+		t.Fatalf("Seq() = %d after 3 appends, want 3", got)
+	}
+	recs := r.Records()
+	if last := recs[len(recs)-1].Seq; last != r.Seq() {
+		t.Fatalf("last record Seq %d != cursor %d", last, r.Seq())
+	}
+}

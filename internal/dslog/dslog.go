@@ -17,6 +17,7 @@ package dslog
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -73,6 +74,7 @@ type Tap func(Record)
 // safe for concurrent use, though the simulator is single-threaded.
 type Root struct {
 	mu      sync.Mutex
+	discard bool
 	seq     uint64
 	records []Record
 	byNode  map[sim.NodeID][]int // indexes into records
@@ -84,6 +86,27 @@ func NewRoot() *Root {
 	return &Root{byNode: make(map[sim.NodeID][]int)}
 }
 
+// Discard returns a root that drops every record before rendering: Log
+// returns without formatting its arguments, Append without storing or
+// fanning out, and the sequence cursor never advances. Snapshot-forked
+// injection runs use it — their oracles read only engine state, so the
+// log data plane (rendering, storage, stash matching) is pure overhead
+// there; see internal/trigger's SnapshotPlan.
+func Discard() *Root {
+	return &Root{discard: true, byNode: make(map[sim.NodeID][]int)}
+}
+
+// Discarding reports whether the root drops records.
+func (r *Root) Discarding() bool { return r.discard }
+
+// Seq returns the sequence cursor: the number of records appended so
+// far. Snapshots record it as the log-stream position of a crash point.
+func (r *Root) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
 // AddTap registers a tap invoked synchronously for every new record.
 func (r *Root) AddTap(t Tap) {
 	r.mu.Lock()
@@ -93,6 +116,9 @@ func (r *Root) AddTap(t Tap) {
 
 // Append adds a record and notifies taps.
 func (r *Root) Append(rec Record) {
+	if r.discard {
+		return
+	}
 	r.mu.Lock()
 	r.seq++
 	rec.Seq = r.seq
@@ -142,8 +168,17 @@ type Logger struct {
 	component string
 }
 
+// discardLogger is the shared logger of every discarding root: Log
+// returns on the discard check before touching any other field, so all
+// discarding loggers are interchangeable and handing out one spares the
+// per-statement allocation in l.Logger(...).Info(...) call chains.
+var discardLogger = &Logger{root: &Root{discard: true}}
+
 // Logger returns a logger bound to a node and component.
 func (r *Root) Logger(e *sim.Engine, node sim.NodeID, component string) *Logger {
+	if r.discard {
+		return discardLogger
+	}
 	return &Logger{root: r, e: e, node: node, component: component}
 }
 
@@ -160,15 +195,22 @@ var fmtPool = sync.Pool{
 // fmt.Sprint-style concatenation (no separating spaces), matching the
 // Java string-concatenation logging style the paper's pattern extraction
 // assumes: LOG.info("Assigned container " + id + " on host " + node).
+//
+// The argument type set is closed: strings, sim.NodeID, the integer and
+// float kinds, bool and sim.Time (see appendPart). Keeping every case of
+// the renderer non-escaping is what lets the compiler stack-allocate the
+// variadic slice and the argument boxes at every call site — with a
+// fmt fallback, each of the thousands of log statements executed by a
+// discarded-log injection run would still heap-allocate its arguments
+// just to throw them away.
 func (l *Logger) Log(level Level, parts ...any) {
+	if l.root.discard {
+		return
+	}
 	bp := fmtPool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	for _, p := range parts {
-		if s, ok := p.(string); ok {
-			buf = append(buf, s...)
-		} else {
-			buf = fmt.Append(buf, p)
-		}
+		buf = appendPart(buf, p)
 	}
 	text := string(buf)
 	*bp = buf
@@ -180,6 +222,37 @@ func (l *Logger) Log(level Level, parts ...any) {
 		Level:     level,
 		Text:      text,
 	})
+}
+
+// appendPart renders one log argument. Every case must copy the value
+// out of the interface without letting it escape; in particular no case
+// may hand p to fmt or reflect, and the panic message is deliberately
+// static. Systems logging a new type add a case here.
+func appendPart(buf []byte, p any) []byte {
+	switch v := p.(type) {
+	case string:
+		return append(buf, v...)
+	case sim.NodeID:
+		return append(buf, v...)
+	case int:
+		return strconv.AppendInt(buf, int64(v), 10)
+	case int64:
+		return strconv.AppendInt(buf, v, 10)
+	case uint64:
+		return strconv.AppendUint(buf, v, 10)
+	case uint32:
+		return strconv.AppendUint(buf, uint64(v), 10)
+	case uint:
+		return strconv.AppendUint(buf, uint64(v), 10)
+	case bool:
+		return strconv.AppendBool(buf, v)
+	case float64:
+		return strconv.AppendFloat(buf, v, 'g', -1, 64)
+	case sim.Time:
+		return append(buf, v.String()...)
+	default:
+		panic("dslog: log argument type outside the closed renderer set; add a case to appendPart")
+	}
 }
 
 // Fatal logs at FATAL level.

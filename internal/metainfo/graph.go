@@ -23,6 +23,10 @@ type Graph struct {
 	// hostToNode canonicalizes a bare hostname to the host:port node
 	// value once one has been seen.
 	hostToNode map[string]string
+	// shared marks the mutable maps as aliased by a Snapshot: the next
+	// mutation clones them first (copy-on-write), so snapshots stay
+	// frozen at their capture instant for free when no mutation follows.
+	shared bool
 }
 
 // NewGraph returns an empty graph for a cluster with the given configured
@@ -45,6 +49,13 @@ func NewGraph(hosts []string) *Graph {
 // optionally followed by :port. A bare hostname canonicalizes to the
 // host:port node previously seen for that host, or to itself if none.
 func (g *Graph) NodeValue(v string) (string, bool) {
+	// A value can mention several configured hosts (an hdfs replication
+	// pipeline names source and destination in one token), so the scan
+	// must be deterministic: the leftmost match in v wins, ties broken
+	// lexically — never map iteration order, which would make target
+	// resolution (and thus whole campaign tables) vary run to run.
+	bestIdx := -1
+	bestHost, bestVal := "", ""
 	for h := range g.hosts {
 		i := strings.Index(v, h)
 		if i < 0 {
@@ -55,24 +66,75 @@ func (g *Graph) NodeValue(v string) (string, bool) {
 			continue
 		}
 		rest := v[i+len(h):]
+		val := ""
 		if len(rest) > 0 && rest[0] == ':' {
 			j := 1
 			for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
 				j++
 			}
 			if j > 1 {
-				return h + rest[:j], true
+				val = h + rest[:j]
 			}
 		}
-		if len(rest) > 0 && isWordByte(rest[0]) {
-			continue
+		if val == "" {
+			if len(rest) > 0 && isWordByte(rest[0]) {
+				continue
+			}
+			if n, ok := g.hostToNode[h]; ok {
+				val = n
+			} else {
+				val = h
+			}
 		}
-		if n, ok := g.hostToNode[h]; ok {
-			return n, true
+		if bestIdx < 0 || i < bestIdx || (i == bestIdx && h < bestHost) {
+			bestIdx, bestHost, bestVal = i, h, val
 		}
-		return h, true
 	}
-	return "", false
+	if bestIdx < 0 {
+		return "", false
+	}
+	return bestVal, true
+}
+
+// Snapshot returns a frozen copy-on-write view of the graph: the
+// snapshot aliases the current maps and answers NodeOf/NodeValue queries
+// exactly as the graph would right now, while the next mutation of the
+// live graph clones the maps first, leaving every outstanding snapshot
+// untouched. Taking a snapshot is O(1); the clone cost is paid at most
+// once per snapshot, by the first mutation after it. Snapshots are
+// immutable and therefore safe for concurrent readers; hosts never
+// change after construction and are always aliased.
+func (g *Graph) Snapshot() *Graph {
+	g.shared = true
+	return &Graph{
+		hosts:      g.hosts,
+		nodes:      g.nodes,
+		assoc:      g.assoc,
+		hostToNode: g.hostToNode,
+		shared:     true,
+	}
+}
+
+// mutate unshares the mutable maps before a write when a Snapshot
+// aliases them.
+func (g *Graph) mutate() {
+	if !g.shared {
+		return
+	}
+	nodes := make(map[string]bool, len(g.nodes))
+	for k, v := range g.nodes {
+		nodes[k] = v
+	}
+	assoc := make(map[string]string, len(g.assoc))
+	for k, v := range g.assoc {
+		assoc[k] = v
+	}
+	hostToNode := make(map[string]string, len(g.hostToNode))
+	for k, v := range g.hostToNode {
+		hostToNode[k] = v
+	}
+	g.nodes, g.assoc, g.hostToNode = nodes, assoc, hostToNode
+	g.shared = false
 }
 
 func isWordByte(b byte) bool {
@@ -111,12 +173,14 @@ func (g *Graph) Observe(values []string) {
 			continue
 		}
 		if _, dup := g.assoc[v]; !dup {
+			g.mutate()
 			g.assoc[v] = node
 		}
 	}
 }
 
 func (g *Graph) addNode(nv string) {
+	g.mutate()
 	g.nodes[nv] = true
 	host := nv
 	if i := strings.IndexByte(nv, ':'); i >= 0 {

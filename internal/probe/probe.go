@@ -16,6 +16,7 @@ package probe
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/crashpoint"
 	"repro/internal/ir"
@@ -71,7 +72,22 @@ type Hook func(Access)
 // starts; the hook itself is invoked without the lock held.
 type Probe struct {
 	OnAccess Hook
+	// SkipAccesses, when positive, makes dispatch drop that many leading
+	// accesses — counted across every point, in dispatch order — without
+	// rendering a call stack or invoking OnAccess. A snapshot-forked
+	// injection run knows the dispatch ordinal its armed point first
+	// fires at (recorded by the reference pass), so everything before it
+	// is skipped at the cost of one counter increment per access.
+	// Set before the run starts.
+	SkipAccesses uint64
+	// Lean disables per-node call-stack bookkeeping: Enter returns a
+	// shared no-op and Stack renders "". Runs whose consumers never read
+	// rendered stacks — snapshot forks take theirs from the plan's
+	// DynPoint, the baselines read none — skip the mutex/append cost of
+	// every instrumented method entry. Set before the run starts.
+	Lean bool
 
+	seen   atomic.Uint64 // accesses dispatched so far (skip cursor)
 	mu     sync.Mutex
 	stacks map[sim.NodeID][]ir.MethodID
 }
@@ -81,9 +97,15 @@ func New() *Probe {
 	return &Probe{stacks: make(map[sim.NodeID][]ir.MethodID)}
 }
 
+// leanPop is the shared no-op returned by Enter in lean mode.
+var leanPop = func() {}
+
 // Enter pushes method m on node's call stack and returns the matching
 // pop. Use as: defer p.Enter(node, "Class.method")().
 func (p *Probe) Enter(node sim.NodeID, m ir.MethodID) func() {
+	if p.Lean {
+		return leanPop
+	}
 	p.mu.Lock()
 	p.stacks[node] = append(p.stacks[node], m)
 	p.mu.Unlock()
@@ -99,6 +121,9 @@ func (p *Probe) Enter(node sim.NodeID, m ir.MethodID) func() {
 
 // Stack renders the bounded call string for node, innermost frame first.
 func (p *Probe) Stack(node sim.NodeID) string {
+	if p.Lean {
+		return ""
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.stacks[node]
@@ -137,15 +162,26 @@ func (p *Probe) PostWrite(node sim.NodeID, point ir.PointID, values ...string) {
 	p.dispatch(node, point, crashpoint.PostWrite, values)
 }
 
+// dispatch filters and forwards an access. The values slice is copied
+// before it reaches the hook: with no path leaking the parameter, the
+// compiler stack-allocates the variadic slice at every PreRead/PostWrite
+// call site, so the (frequent) filtered dispatches — inert probes,
+// accesses below a fork's skip cursor — allocate nothing, and hooks get
+// a slice they may retain.
 func (p *Probe) dispatch(node sim.NodeID, point ir.PointID, sc crashpoint.Scenario, values []string) {
 	if p.OnAccess == nil {
 		return
 	}
+	if p.seen.Add(1)-1 < p.SkipAccesses {
+		return
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
 	p.OnAccess(Access{
 		Point:    point,
 		Scenario: sc,
 		Node:     node,
-		Values:   values,
+		Values:   vals,
 		Stack:    p.Stack(node),
 	})
 }

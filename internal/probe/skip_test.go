@@ -1,0 +1,81 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// TestSkipAccessesFastForwards: with SkipAccesses=N the hook sees
+// nothing until the N+1th access, which arrives with its stack rendered
+// as usual — the arming mechanism of snapshot-forked injection runs.
+func TestSkipAccessesFastForwards(t *testing.T) {
+	p := New()
+	p.SkipAccesses = 2
+	var got []Access
+	p.OnAccess = func(a Access) { got = append(got, a) }
+	node := sim.NodeID("node1:7001")
+	for i, pt := range []string{"A.a#1", "B.b#2", "C.c#3", "D.d#4"} {
+		pop := p.Enter(node, "M.handle")
+		if i%2 == 0 {
+			p.PreRead(node, ir.PointID(pt), "v")
+		} else {
+			p.PostWrite(node, ir.PointID(pt), "v")
+		}
+		pop()
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d accesses, want 2 (skipped 2 of 4)", len(got))
+	}
+	if string(got[0].Point) != "C.c#3" || string(got[1].Point) != "D.d#4" {
+		t.Fatalf("hook saw %q, %q; want the 3rd and 4th accesses", got[0].Point, got[1].Point)
+	}
+	if got[0].Stack != "M.handle" {
+		t.Fatalf("delivered access lost its stack: %q", got[0].Stack)
+	}
+}
+
+// TestLeanProbeSkipsBookkeeping: lean mode turns Enter into a shared
+// no-op and Stack into "", while dispatch still delivers accesses (with
+// empty stacks) and values untouched.
+func TestLeanProbeSkipsBookkeeping(t *testing.T) {
+	p := New()
+	p.Lean = true
+	node := sim.NodeID("node1:7001")
+	pop := p.Enter(node, "M.handle")
+	pop() // must be callable
+	if s := p.Stack(node); s != "" {
+		t.Fatalf("lean Stack() = %q, want empty", s)
+	}
+	var got []Access
+	p.OnAccess = func(a Access) { got = append(got, a) }
+	p.Enter(node, "M.handle")
+	p.PreRead(node, "A.a#1", "value1", "value2")
+	if len(got) != 1 {
+		t.Fatalf("lean dispatch delivered %d accesses, want 1", len(got))
+	}
+	if got[0].Stack != "" {
+		t.Fatalf("lean access carries a stack: %q", got[0].Stack)
+	}
+	if len(got[0].Values) != 2 || got[0].Values[0] != "value1" {
+		t.Fatalf("lean access lost values: %v", got[0].Values)
+	}
+}
+
+// TestSkipCountsOnlyHookedAccesses: dispatches with no hook installed do
+// not consume the skip budget, so the reference pass (hook always on)
+// and the fork (hook always on) count identically.
+func TestSkipCountsOnlyHookedAccesses(t *testing.T) {
+	p := New()
+	p.SkipAccesses = 1
+	node := sim.NodeID("node1:7001")
+	p.PreRead(node, "A.a#1", "v") // no hook: not counted
+	var got []Access
+	p.OnAccess = func(a Access) { got = append(got, a) }
+	p.PreRead(node, "B.b#2", "v") // counted, skipped
+	p.PreRead(node, "C.c#3", "v") // delivered
+	if len(got) != 1 || string(got[0].Point) != "C.c#3" {
+		t.Fatalf("got %v, want just C.c#3", got)
+	}
+}

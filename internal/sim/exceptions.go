@@ -37,7 +37,7 @@ func (e *Engine) Exceptions() []Exception {
 // of a bug rather than of the test harness.
 func (e *Engine) Abort(id NodeID, signature, message string) {
 	e.Throw(id, signature, message, false)
-	n := e.nodes[id]
+	n := e.node(id)
 	if n == nil || !n.alive {
 		return
 	}

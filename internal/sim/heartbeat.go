@@ -42,6 +42,7 @@ type LivenessMonitor struct {
 	lost    map[NodeID]bool
 	onLost  func(NodeID)
 	checker *Timer
+	scratch []NodeID // reused by check; one id slice per monitor, not per tick
 }
 
 // NewLivenessMonitor starts a monitor on master; onLost is invoked exactly
@@ -91,11 +92,12 @@ func (lm *LivenessMonitor) Tracking(worker NodeID) bool {
 func (lm *LivenessMonitor) check() {
 	now := lm.e.Now()
 	// Deterministic iteration order.
-	var ids []NodeID
+	ids := lm.scratch[:0]
 	for id := range lm.last {
 		ids = append(ids, id)
 	}
 	sortNodeIDs(ids)
+	lm.scratch = ids
 	for _, id := range ids {
 		if lm.lost[id] {
 			continue

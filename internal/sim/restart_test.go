@@ -113,7 +113,7 @@ func TestRestartClearsHooksAndServices(t *testing.T) {
 	if oldHook != 1 {
 		t.Errorf("old-incarnation hooks ran %d times, want 1 (the death hook at the first crash)", oldHook)
 	}
-	if _, ok := n.services["svc"]; ok {
+	if n.service("svc") != nil {
 		t.Error("old-incarnation service still registered after restart")
 	}
 }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Seeding math/rand's lagged-Fibonacci source walks a 607-entry feedback
+// register through hundreds of LCG steps — ~10% of the cost of
+// constructing a run, paid again by every snapshot-forked injection run
+// even though every run of a campaign shares one seed. The engine
+// therefore draws from a per-seed replay buffer: the first engine on a
+// seed advances a master source and records its raw Uint64 draws; later
+// engines replay the recorded prefix and only extend it (under the
+// buffer's lock) when they out-draw every predecessor. The replayed
+// stream is bit-identical to a freshly seeded source, so schedules —
+// and with them the snapshot fingerprint fence — are unchanged.
+//
+// The published prefix is an atomically swapped slice that only ever
+// grows, so replaying engines read it without locking; a buffer's memory
+// is bounded by the draw count of the longest run on its seed, and the
+// per-process seed table is reset once it reaches maxSeedBuffers (one-
+// shot seeds, e.g. a random baseline sweep's, stop accumulating).
+
+const maxSeedBuffers = 256
+
+var (
+	seedMu   sync.Mutex
+	seedBufs = map[int64]*seedBuffer{}
+)
+
+// seedBuffer owns the master source for one seed and the published
+// prefix of its draws.
+type seedBuffer struct {
+	vals atomic.Value // []uint64, immutable prefix, grows only
+	mu   sync.Mutex   // guards master and extension
+	src  rand.Source64
+}
+
+func bufferFor(seed int64) *seedBuffer {
+	seedMu.Lock()
+	defer seedMu.Unlock()
+	if b := seedBufs[seed]; b != nil {
+		return b
+	}
+	if len(seedBufs) >= maxSeedBuffers {
+		seedBufs = make(map[int64]*seedBuffer)
+	}
+	b := &seedBuffer{src: rand.NewSource(seed).(rand.Source64)}
+	b.vals.Store([]uint64(nil))
+	seedBufs[seed] = b
+	return b
+}
+
+// at returns the i'th draw of the seed's stream, extending the recorded
+// prefix if no engine has drawn that far yet.
+func (b *seedBuffer) at(i int) uint64 {
+	if v := b.vals.Load().([]uint64); i < len(v) {
+		return v[i]
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := b.vals.Load().([]uint64)
+	for i >= len(v) {
+		// Append fills slots past len and the longer slice is published
+		// after they are written, so lock-free readers of the previously
+		// published prefix never observe the new writes.
+		v = append(v, b.src.Uint64())
+	}
+	b.vals.Store(v)
+	return v[i]
+}
+
+// streamSource is a rand.Source64 cursor over a seed's replay buffer.
+// Int63 derives from Uint64 exactly like math/rand's rngSource, so a
+// rand.Rand on a streamSource produces the same values as one on a
+// freshly seeded rngSource.
+type streamSource struct {
+	buf *seedBuffer
+	pos int
+}
+
+func (s *streamSource) Uint64() uint64 {
+	v := s.buf.at(s.pos)
+	s.pos++
+	return v
+}
+
+func (s *streamSource) Int63() int64 {
+	return int64(s.Uint64() &^ (1 << 63))
+}
+
+// Seed is unsupported: engines never reseed, and reseeding would detach
+// the cursor from the shared stream.
+func (s *streamSource) Seed(int64) {
+	panic("sim: reseeding an engine's replayed rand source")
+}

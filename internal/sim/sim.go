@@ -27,10 +27,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 )
 
 // Time is virtual time in microseconds since the start of the run.
@@ -87,33 +87,83 @@ type event struct {
 	dead  bool
 	gen   uint32
 	inc   uint32
+	// msg is set instead of fn for message deliveries (see Send): keeping
+	// the Message in the pooled event spares the per-send closure
+	// allocation the hot paths of a forked injection run would otherwise
+	// pay.
+	msg   Message
+	isMsg bool
+	// period, when non-zero, marks a periodic event (see Every): after
+	// dispatch, Run reschedules the same event at now+period instead of
+	// recycling it.
+	period Time
 }
 
+// eventHeap is a 4-ary min-heap ordered by (at, seq). The sift
+// operations are hand-rolled rather than going through container/heap:
+// the queue is the hottest structure in the engine and the interface
+// dispatch per compare/swap is measurable. Four children per node halve
+// the sift depth — and with it the pointer swaps and their write
+// barriers — at the cost of extra comparisons per level, a good trade
+// for pointer elements. The arity cannot affect determinism: (at, seq)
+// is a total order, so every correct heap pops the same unique minimum.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
+
+func (h *eventHeap) push(e *event) {
 	e.index = len(*h)
 	*h = append(*h, e)
+	q := *h
+	for i := e.index; i > 0; {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	q.swap(0, n)
+	// Sift the displaced element down within q[:n].
+	for i := 0; ; {
+		j := 4*i + 1
+		if j >= n {
+			break
+		}
+		end := j + 4
+		if end > n {
+			end = n
+		}
+		for k := j + 1; k < end; k++ {
+			if q.less(k, j) {
+				j = k
+			}
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		i = j
+	}
+	e := q[n]
+	q[n] = nil
+	*h = q[:n]
 	return e
 }
 
@@ -161,7 +211,10 @@ type Node struct {
 	// incarnation counts the node's lives, starting at 1; Restart bumps
 	// it, which retires every event bound to the previous life.
 	incarnation uint32
-	services    map[string]Service
+	// services is a small association list rather than a map: nodes host
+	// one or two endpoints, so a linear scan beats hashing the service
+	// name on every delivery and spares the map allocation per node.
+	services []svcEntry
 	// shutdownHooks run synchronously, in registration order, when the
 	// node is gracefully shut down.
 	shutdownHooks []func(*Engine)
@@ -188,9 +241,32 @@ func (n *Node) OnDeath(fn func(e *Engine, graceful bool)) {
 	n.deathHooks = append(n.deathHooks, fn)
 }
 
-// Register installs a service under the given name.
+// svcEntry is one named endpoint on a node.
+type svcEntry struct {
+	name string
+	s    Service
+}
+
+// Register installs a service under the given name, replacing any
+// previous registration of the same name.
 func (n *Node) Register(service string, s Service) {
-	n.services[service] = s
+	for i := range n.services {
+		if n.services[i].name == service {
+			n.services[i].s = s
+			return
+		}
+	}
+	n.services = append(n.services, svcEntry{name: service, s: s})
+}
+
+// service looks up a registered endpoint, or nil.
+func (n *Node) service(name string) Service {
+	for i := range n.services {
+		if n.services[i].name == name {
+			return n.services[i].s
+		}
+	}
+	return nil
 }
 
 // FaultKind distinguishes the two injection primitives.
@@ -223,18 +299,31 @@ type FaultRecord struct {
 
 // Engine owns the virtual clock, the event queue and the set of nodes.
 type Engine struct {
-	now        Time
-	seq        uint64
-	pq         eventHeap
-	nodes      map[NodeID]*Node
-	order      []NodeID // insertion order, for deterministic iteration
+	now Time
+	seq uint64
+	pq  eventHeap
+	// nodes holds every node in creation order. Clusters are a handful
+	// of nodes, so lookups scan linearly instead of hashing the ID —
+	// cheaper than a map on the per-event hot path, and iteration order
+	// is the deterministic creation order for free.
+	nodes      []*Node
 	rng        *rand.Rand
 	stopped    bool
 	faults     []FaultRecord
 	exceptions []Exception
 	handled    uint64   // events dispatched
+	recycled   uint64   // freelist recycles (generation bumps), see Fingerprint
 	free       []*event // recycled events for the scheduling fast path
-	MaxSteps   uint64   // safety valve; 0 means DefaultMaxSteps
+	// lastNode is a one-entry lookup cache in front of the nodes scan.
+	// Nodes are never removed (death only flips a flag) and the *Node is
+	// mutated in place, so a cached pointer cannot go stale.
+	lastNode *Node
+	// nodeSlab backs the first nodeSlabSize nodes in one allocation. It
+	// is grown only by reslicing within its fixed capacity — never
+	// appended past it — so &nodeSlab[i] pointers stay valid for the
+	// engine's life.
+	nodeSlab []Node
+	MaxSteps uint64 // safety valve; 0 means DefaultMaxSteps
 	// MessageLatency is the default one-way latency for Send.
 	MessageLatency Time
 	// onStep, if set, is invoked before each event dispatch (used by
@@ -245,11 +334,13 @@ type Engine struct {
 // DefaultMaxSteps bounds a run against runaway event loops.
 const DefaultMaxSteps = 20_000_000
 
-// NewEngine returns an engine with the given RNG seed.
+// NewEngine returns an engine with the given RNG seed. The RNG draws
+// from the per-seed replay buffer (see rngstream.go), so constructing
+// many engines on one seed — a snapshot-forked campaign — pays the
+// expensive source seeding once per process instead of once per run.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		nodes:          make(map[NodeID]*Node),
-		rng:            rand.New(rand.NewSource(seed)),
+		rng:            rand.New(&streamSource{buf: bufferFor(seed)}),
 		MessageLatency: Millisecond,
 	}
 }
@@ -263,43 +354,72 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Steps returns the number of events dispatched so far.
 func (e *Engine) Steps() uint64 { return e.handled }
 
+// nodeSlabSize is how many nodes the engine carves from one block; a
+// cluster larger than this falls back to individual allocations.
+const nodeSlabSize = 16
+
 // AddNode creates a node named host:port and returns it.
 func (e *Engine) AddNode(host string, port int) *Node {
-	id := NodeID(fmt.Sprintf("%s:%d", host, port))
-	if _, ok := e.nodes[id]; ok {
-		panic(fmt.Sprintf("sim: duplicate node %s", id))
+	id := NodeID(host + ":" + strconv.Itoa(port))
+	for _, n := range e.nodes {
+		if n.ID == id {
+			panic(fmt.Sprintf("sim: duplicate node %s", id))
+		}
 	}
-	n := &Node{
+	if e.nodeSlab == nil {
+		e.nodeSlab = make([]Node, 0, nodeSlabSize)
+	}
+	var n *Node
+	if len(e.nodeSlab) < cap(e.nodeSlab) {
+		e.nodeSlab = e.nodeSlab[:len(e.nodeSlab)+1]
+		n = &e.nodeSlab[len(e.nodeSlab)-1]
+	} else {
+		n = new(Node)
+	}
+	*n = Node{
 		ID:          id,
 		Hostname:    host,
 		Port:        port,
 		alive:       true,
 		incarnation: 1,
-		services:    make(map[string]Service),
 	}
-	e.nodes[id] = n
-	e.order = append(e.order, id)
+	e.nodes = append(e.nodes, n)
 	return n
 }
 
 // Node returns the node with the given ID, or nil.
-func (e *Engine) Node(id NodeID) *Node { return e.nodes[id] }
+func (e *Engine) Node(id NodeID) *Node { return e.node(id) }
+
+// node is the cached lookup used on the hot paths. Consecutive events
+// overwhelmingly touch the same node (a heartbeat series, a message
+// burst), and NodeID strings are copied around from the same backing
+// array, so the equality check is usually a pointer compare.
+func (e *Engine) node(id NodeID) *Node {
+	if n := e.lastNode; n != nil && n.ID == id {
+		return n
+	}
+	for _, n := range e.nodes {
+		if n.ID == id {
+			e.lastNode = n
+			return n
+		}
+	}
+	return nil
+}
 
 // Nodes returns all nodes in creation order.
 func (e *Engine) Nodes() []*Node {
-	out := make([]*Node, 0, len(e.order))
-	for _, id := range e.order {
-		out = append(out, e.nodes[id])
-	}
+	out := make([]*Node, len(e.nodes))
+	copy(out, e.nodes)
 	return out
 }
 
 // AliveNodes returns the IDs of nodes still alive, in creation order.
 func (e *Engine) AliveNodes() []NodeID {
 	var out []NodeID
-	for _, id := range e.order {
-		if e.nodes[id].alive {
-			out = append(out, id)
+	for _, n := range e.nodes {
+		if n.alive {
+			out = append(out, n.ID)
 		}
 	}
 	return out
@@ -312,6 +432,9 @@ func (e *Engine) Faults() []FaultRecord {
 	return out
 }
 
+// eventBlock is the freelist growth quantum; see schedule.
+const eventBlock = 32
+
 // schedule enqueues fn at absolute time at, bound to node (or "" for
 // engine-level). The event comes from the freelist when one is
 // available; callers that hand the event out wrap it in a Timer
@@ -322,7 +445,7 @@ func (e *Engine) schedule(at Time, node NodeID, fn func()) *event {
 	}
 	var inc uint32
 	if node != "" {
-		if n := e.nodes[node]; n != nil {
+		if n := e.node(node); n != nil {
 			inc = n.incarnation
 		}
 	}
@@ -332,11 +455,18 @@ func (e *Engine) schedule(at Time, node NodeID, fn func()) *event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.node, ev.fn, ev.inc = at, e.seq, node, fn, inc
 	} else {
-		ev = &event{at: at, seq: e.seq, node: node, fn: fn, inc: inc}
+		// Grow the freelist a block at a time: one allocation covers the
+		// next eventBlock schedules, and neighbouring events share cache
+		// lines while the queue is hot.
+		block := make([]event, eventBlock)
+		for i := len(block) - 1; i > 0; i-- {
+			e.free = append(e.free, &block[i])
+		}
+		ev = &block[0]
 	}
-	heap.Push(&e.pq, ev)
+	ev.at, ev.seq, ev.node, ev.fn, ev.inc = at, e.seq, node, fn, inc
+	e.pq.push(ev)
 	return ev
 }
 
@@ -344,9 +474,15 @@ func (e *Engine) schedule(at Time, node NodeID, fn func()) *event {
 // so outstanding Timers to the old incarnation become inert.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
+	e.recycled++
 	ev.fn = nil
 	ev.node = ""
 	ev.dead = false
+	ev.period = 0
+	if ev.isMsg {
+		ev.msg = Message{}
+		ev.isMsg = false
+	}
 	e.free = append(e.free, ev)
 }
 
@@ -366,20 +502,28 @@ func (e *Engine) AfterOn(id NodeID, d Time, fn func()) *Timer {
 
 // Every schedules fn every period, starting after one period, on behalf of
 // node id. The returned Timer stops the series.
+//
+// Periodic series are engine-native: the dispatched event reschedules
+// itself (see Run), so a series costs one event for its whole life
+// instead of a fresh closure and timer update per tick. As before, a
+// Stop issued from inside fn does not take effect until the series'
+// Timer is observed between ticks — the callback's own tick has already
+// committed to rescheduling.
 func (e *Engine) Every(id NodeID, period Time, fn func()) *Timer {
-	t := &Timer{}
-	var tick func()
-	tick = func() {
-		fn()
-		if n := e.nodes[id]; n != nil && !n.alive {
-			return
-		}
-		ev := e.schedule(e.now+period, id, tick)
-		t.ev, t.gen = ev, ev.gen
+	ev := e.everyEvent(id, period, fn)
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// everyEvent is Every's body, split out so Every itself stays under the
+// inlining budget: callers that discard the Timer then get it on the
+// stack instead of a heap allocation per series.
+func (e *Engine) everyEvent(id NodeID, period Time, fn func()) *event {
+	if period <= 0 {
+		period = 1
 	}
-	ev := e.schedule(e.now+period, id, tick)
-	t.ev, t.gen = ev, ev.gen
-	return t
+	ev := e.schedule(e.now+period, id, fn)
+	ev.period = period
+	return ev
 }
 
 // Send delivers m.Kind/m.Body from m.From to service m.Service on node
@@ -387,24 +531,15 @@ func (e *Engine) Every(id NodeID, period Time, fn func()) *Timer {
 // dropped; senders are expected to use their own timeouts, as real systems
 // do.
 func (e *Engine) Send(from, to NodeID, service, kind string, body any) {
-	m := Message{From: from, To: to, Service: service, Kind: kind, Body: body}
-	e.schedule(e.now+e.MessageLatency, to, func() {
-		n := e.nodes[to]
-		if n == nil || !n.alive {
-			return
-		}
-		s := n.services[service]
-		if s == nil {
-			return
-		}
-		s.HandleMessage(e, m)
-	})
+	ev := e.schedule(e.now+e.MessageLatency, to, nil)
+	ev.msg = Message{From: from, To: to, Service: service, Kind: kind, Body: body}
+	ev.isMsg = true
 }
 
 // Crash kills the node silently: no hooks that talk to peers, timers and
 // in-flight messages bound to the node are dropped.
 func (e *Engine) Crash(id NodeID) {
-	n := e.nodes[id]
+	n := e.node(id)
 	if n == nil || !n.alive {
 		return
 	}
@@ -420,7 +555,7 @@ func (e *Engine) Crash(id NodeID) {
 // then the node dies. This emulates the cluster shutdown scripts the paper
 // uses so the test does not have to wait for liveness timeouts.
 func (e *Engine) Shutdown(id NodeID) {
-	n := e.nodes[id]
+	n := e.node(id)
 	if n == nil || !n.alive {
 		return
 	}
@@ -443,13 +578,13 @@ func (e *Engine) Shutdown(id NodeID) {
 // recorded as a FaultRecord so schedules stay auditable. It returns
 // false if the node is unknown or still alive.
 func (e *Engine) Restart(id NodeID) bool {
-	n := e.nodes[id]
+	n := e.node(id)
 	if n == nil || n.alive {
 		return false
 	}
 	n.alive = true
 	n.incarnation++
-	n.services = make(map[string]Service)
+	n.services = nil
 	n.shutdownHooks = nil
 	n.deathHooks = nil
 	e.faults = append(e.faults, FaultRecord{At: e.now, Node: id, Kind: FaultRestart})
@@ -485,16 +620,18 @@ func (e *Engine) Run(deadline Time) RunResult {
 			e.now = deadline
 			return RunResult{End: e.now, Steps: e.handled, Deadline: true}
 		}
-		heap.Pop(&e.pq)
+		e.pq.pop()
 		if ev.dead {
 			e.recycle(ev)
 			continue
 		}
+		var n *Node
 		if ev.node != "" {
 			// Dropping on an incarnation mismatch is what makes stale
 			// timers and in-flight messages from a restarted node's
 			// previous life inert.
-			if n := e.nodes[ev.node]; n == nil || !n.alive || n.incarnation != ev.inc {
+			n = e.node(ev.node)
+			if n == nil || !n.alive || n.incarnation != ev.inc {
 				e.recycle(ev)
 				continue
 			}
@@ -504,9 +641,39 @@ func (e *Engine) Run(deadline Time) RunResult {
 			e.onStep(e.now)
 		}
 		e.handled++
-		fn := ev.fn
-		e.recycle(ev)
-		fn()
+		if ev.isMsg {
+			// Deliver, then recycle: the handler call copies ev.msg into
+			// its argument frame anyway, so recycling afterwards spares a
+			// second Message copy.
+			if n != nil {
+				if s := n.service(ev.msg.Service); s != nil {
+					s.HandleMessage(e, ev.msg)
+				}
+			}
+			e.recycle(ev)
+		} else if ev.period > 0 {
+			ev.fn()
+			// Reschedule the same event unless the callback killed the
+			// bound node; the series costs no per-tick allocation. The
+			// dead flag is reset because a Stop issued from inside the
+			// callback keeps the closure-era semantics: it lands after
+			// this tick has already committed to the next one.
+			if nn := e.node(ev.node); nn == nil || nn.alive {
+				var inc uint32
+				if nn != nil {
+					inc = nn.incarnation
+				}
+				e.seq++
+				ev.at, ev.seq, ev.inc, ev.dead = e.now+ev.period, e.seq, inc, false
+				e.pq.push(ev)
+			} else {
+				e.recycle(ev)
+			}
+		} else {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+		}
 		if e.handled >= maxSteps {
 			return RunResult{End: e.now, Steps: e.handled, Exhausted: true}
 		}
@@ -528,8 +695,8 @@ func (e *Engine) Quiesce() RunResult {
 // reports).
 func (e *Engine) SortedNodeIDs() []NodeID {
 	ids := make([]NodeID, 0, len(e.nodes))
-	for id := range e.nodes {
-		ids = append(ids, id)
+	for _, n := range e.nodes {
+		ids = append(ids, n.ID)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids

@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+// chatterCluster builds a small deterministic workload: three nodes
+// ping-ponging messages with periodic timers, enough traffic to exercise
+// the freelist. fault, when non-nil, runs at 50ms of virtual time.
+func chatterCluster(seed int64, fault func(e *Engine)) *Engine {
+	e := NewEngine(seed)
+	ids := make([]NodeID, 3)
+	for i, host := range []string{"node0", "node1", "node2"} {
+		n := e.AddNode(host, 7000+i)
+		ids[i] = n.ID
+		n.Register("echo", ServiceFunc(func(e *Engine, m Message) {
+			if e.rng.Intn(4) > 0 {
+				e.Send(m.To, m.From, "echo", "pong", nil)
+			}
+		}))
+	}
+	for i, id := range ids {
+		peer := ids[(i+1)%len(ids)]
+		e.Every(id, 3*Millisecond, func() { e.Send(id, peer, "echo", "ping", nil) })
+	}
+	if fault != nil {
+		e.After(50*Millisecond, func() { fault(e) })
+	}
+	e.After(200*Millisecond, func() { e.Stop() })
+	return e
+}
+
+// fingerprintAt runs the engine and captures the fingerprint at the
+// first dispatch at or past the given virtual time.
+func fingerprintAt(e *Engine, at Time) Fingerprint {
+	var fp Fingerprint
+	captured := false
+	e.OnStep(func(now Time) {
+		if !captured && now >= at {
+			fp = e.Fingerprint()
+			captured = true
+		}
+	})
+	e.Run(0)
+	return fp
+}
+
+// TestFingerprintDeterministicReplay: two engines running the same
+// seeded workload agree on the fingerprint at the same instant — the
+// property the snapshot fork relies on.
+func TestFingerprintDeterministicReplay(t *testing.T) {
+	a := fingerprintAt(chatterCluster(42, nil), 100*Millisecond)
+	b := fingerprintAt(chatterCluster(42, nil), 100*Millisecond)
+	if a != b {
+		t.Fatalf("same seed, same instant, different fingerprints:\n%+v\n%+v", a, b)
+	}
+	if a.Handled == 0 || a.Recycled == 0 {
+		t.Fatalf("workload too idle to be a meaningful fence: %+v", a)
+	}
+	c := fingerprintAt(chatterCluster(43, nil), 100*Millisecond)
+	if a == c {
+		t.Fatalf("different seeds produced identical fingerprints: %+v", a)
+	}
+}
+
+// TestFingerprintDivergesAfterFault: a run with an injected crash must
+// not fingerprint-match the fault-free run past the injection, both via
+// liveness (NodeSum) and via the queue/freelist trajectory.
+func TestFingerprintDivergesAfterFault(t *testing.T) {
+	clean := fingerprintAt(chatterCluster(7, nil), 120*Millisecond)
+	faulty := fingerprintAt(chatterCluster(7, func(e *Engine) {
+		e.Crash(NodeID("node1:7001"))
+	}), 120*Millisecond)
+	if clean == faulty {
+		t.Fatalf("crash at 50ms invisible to fingerprint at 120ms: %+v", clean)
+	}
+	if clean.NodeSum == faulty.NodeSum {
+		t.Fatalf("NodeSum blind to a dead node: %#x", clean.NodeSum)
+	}
+}
+
+// TestFingerprintSeesIncarnation: restarting a node back to alive must
+// still change the fingerprint relative to its first life.
+func TestFingerprintSeesIncarnation(t *testing.T) {
+	e := NewEngine(1)
+	n := e.AddNode("node0", 7000)
+	before := e.Fingerprint()
+	e.Crash(n.ID)
+	if !e.Restart(n.ID) {
+		t.Fatal("restart refused")
+	}
+	after := e.Fingerprint()
+	if before.NodeSum == after.NodeSum {
+		t.Fatalf("incarnation bump invisible: node alive both times, NodeSum %#x", before.NodeSum)
+	}
+}
+
+// TestFingerprintGenerationFence is the freelist regression test: a
+// fingerprint is a plain value, so recycling and reusing pooled events
+// after the capture — which mutates the events' generations in place —
+// must not disturb a snapshot taken earlier, and a fresh replay must
+// reproduce the captured value exactly, including the recycle count.
+func TestFingerprintGenerationFence(t *testing.T) {
+	e := chatterCluster(11, nil)
+	fp := fingerprintAt(e, 60*Millisecond)
+	// The run continued to 200ms after the capture: the pool recycled
+	// and reused events long past the snapshot instant.
+	if e.Recycled() <= fp.Recycled {
+		t.Fatalf("run did not recycle past the capture (%d <= %d): fence untested",
+			e.Recycled(), fp.Recycled)
+	}
+	replay := fingerprintAt(chatterCluster(11, nil), 60*Millisecond)
+	if fp != replay {
+		t.Fatalf("post-capture pool mutation leaked into the snapshot:\ncaptured %+v\nreplayed %+v", fp, replay)
+	}
+}
+
+// TestFingerprintDistinguishesCancelledTimer: two engines that agree on
+// dispatched work still differ once one of them scheduled-and-cancelled
+// a timer — the Seq/Recycled components fence the event machinery, not
+// just the visible clock.
+func TestFingerprintDistinguishesCancelledTimer(t *testing.T) {
+	plain := NewEngine(3)
+	plain.AddNode("node0", 7000)
+	plain.After(Millisecond, func() {})
+	plain.Run(0)
+
+	cancelled := NewEngine(3)
+	cancelled.AddNode("node0", 7000)
+	cancelled.After(Millisecond, func() {})
+	cancelled.After(2*Millisecond, func() {}).Stop()
+	cancelled.Run(0)
+
+	a, b := plain.Fingerprint(), cancelled.Fingerprint()
+	if a == b {
+		t.Fatalf("cancelled timer invisible to the fence: %+v", a)
+	}
+}

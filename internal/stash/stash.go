@@ -126,6 +126,47 @@ func (s *Stash) keep(arg ir.LogArg, v string) bool {
 	return false
 }
 
+// View is an immutable point-in-time capture of the stash's value→node
+// state: the node HashSet and value→node HashMap of Fig. 6 exactly as
+// they stood when Snapshot was called. It answers the same queries as
+// the live stash but needs no lock — nothing can mutate it — so a
+// snapshot plan can serve target resolution to many concurrent forked
+// injection runs from one reference pass (see internal/trigger).
+type View struct {
+	graph *metainfo.Graph
+}
+
+// Snapshot captures the stash's current association state as a frozen
+// copy-on-write view: O(1) now, with the live stash paying one map clone
+// on its next mutation (metainfo.Graph.Snapshot).
+func (s *Stash) Snapshot() *View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &View{graph: s.graph.Snapshot()}
+}
+
+// Query returns the node owning a value at the capture instant, with the
+// same semantics (and instruments) as Stash.Query.
+func (v *View) Query(value string) (sim.NodeID, bool) {
+	lookupTotal.Inc()
+	n, ok := v.graph.NodeOf(value)
+	if !ok {
+		return "", false
+	}
+	lookupHits.Inc()
+	return sim.NodeID(n), true
+}
+
+// QueryAny returns the node owning the first resolvable value.
+func (v *View) QueryAny(values []string) (sim.NodeID, bool) {
+	for _, val := range values {
+		if n, ok := v.Query(val); ok {
+			return n, true
+		}
+	}
+	return "", false
+}
+
 // Query returns the node owning a runtime meta-info value, as in the
 // Trigger's get_node_by_id (Fig. 7). ok is false for unknown values.
 func (s *Stash) Query(value string) (sim.NodeID, bool) {

@@ -1,0 +1,70 @@
+package stash
+
+import "testing"
+
+// TestViewMatchesStashAtCapture: a snapshot answers exactly what the
+// live stash answered at capture time, and stays frozen afterwards.
+func TestViewMatchesStashAtCapture(t *testing.T) {
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node1", 42)
+	lg := root.Logger(e, n1.ID, "RM")
+	lg.Info("registered node node1:42")
+	lg.Info("assigned container_1 to node node1:42")
+
+	view := s.Snapshot()
+	if n, ok := view.Query("container_1"); !ok || n != "node1:42" {
+		t.Fatalf("view.Query(container_1) = %q, %v", n, ok)
+	}
+	if n, ok := view.QueryAny([]string{"unknown", "container_1"}); !ok || n != "node1:42" {
+		t.Fatalf("view.QueryAny = %q, %v", n, ok)
+	}
+
+	// Post-capture traffic is invisible to the view, visible live.
+	n2 := e.AddNode("node2", 43)
+	lg2 := root.Logger(e, n2.ID, "RM")
+	lg2.Info("registered node node2:43")
+	lg2.Info("assigned container_2 to node node2:43")
+	if _, ok := view.Query("container_2"); ok {
+		t.Fatal("view sees a post-capture association")
+	}
+	if n, ok := s.Query("container_2"); !ok || n != "node2:43" {
+		t.Fatalf("live stash lost post-capture association: %q, %v", n, ok)
+	}
+	if _, ok := view.Query("nonexistent"); ok {
+		t.Fatal("view resolved an unknown value")
+	}
+	if _, ok := view.QueryAny(nil); ok {
+		t.Fatal("view.QueryAny(nil) resolved")
+	}
+}
+
+// TestViewIsConcurrentlyReadable: many goroutines querying one view race
+// nothing (exercised under -race in CI) while the live stash keeps
+// ingesting.
+func TestViewIsConcurrentlyReadable(t *testing.T) {
+	s, root, e := buildStash(t)
+	n1 := e.AddNode("node1", 42)
+	lg := root.Logger(e, n1.ID, "RM")
+	lg.Info("registered node node1:42")
+	lg.Info("assigned container_1 to node node1:42")
+	view := s.Snapshot()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 500; j++ {
+				if n, ok := view.Query("container_1"); !ok || n != "node1:42" {
+					t.Errorf("view.Query = %q, %v", n, ok)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent post-capture ingestion (COW clone happens under here).
+	for j := 0; j < 200; j++ {
+		lg.Info("assigned churn to node node1:42")
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -167,8 +167,16 @@ func (rn *run) dnShutdown(id sim.NodeID) {
 // Start implements cluster.Run.
 func (rn *run) Start() {
 	e := rn.Eng
+	// Deterministic registration order: every registration lands at the
+	// same instant, so queue insertion order — not map iteration — must
+	// decide who registers first.
+	ids := make([]sim.NodeID, 0, len(rn.dns))
 	for id := range rn.dns {
-		did := id
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, did := range ids {
+		did := did
 		e.AfterOn(did, 10*sim.Millisecond, func() {
 			e.Send(did, rn.nn, "nn", "register", nil)
 			sim.StartHeartbeats(e, did, rn.nn, sim.HeartbeatConfig{

@@ -1,7 +1,7 @@
 package yarn
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/sim"
 	"repro/internal/systems/cluster"
@@ -33,20 +33,20 @@ type taskMsg struct {
 func (rn *run) nmService(e *sim.Engine, m sim.Message) {
 	switch m.Kind {
 	case "launchAM":
-		rn.nmLaunchAM(m.To, m.Body.(contMsg))
+		rn.nmLaunchAM(m.To, m.Body.(*contMsg))
 	case "runTask":
-		rn.nmRunTask(m.To, m.Body.(taskMsg))
+		rn.nmRunTask(m.To, m.Body.(*taskMsg))
 	case "commitOK":
-		rn.nmCommitOK(m.To, m.Body.(taskMsg))
+		rn.nmCommitOK(m.To, m.Body.(*taskMsg))
 	case "commitReject":
 		// The attempt is killed; recycle the container.
-		tm := m.Body.(taskMsg)
-		e.Send(m.To, rn.rm, "rm", "containerComplete", contMsg{containerID: tm.containerID, node: m.To})
+		tm := m.Body.(*taskMsg)
+		e.Send(m.To, rn.rm, "rm", "containerComplete", &contMsg{containerID: tm.containerID, node: m.To})
 	}
 }
 
 // nmLaunchAM starts the application master inside the master container.
-func (rn *run) nmLaunchAM(self sim.NodeID, cm contMsg) {
+func (rn *run) nmLaunchAM(self sim.NodeID, cm *contMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(self, "yarn.server.nodemanager.NodeManager.launchContainer")()
 	pb.PostWrite(self, PtContainersPut, cm.containerID)
@@ -55,7 +55,7 @@ func (rn *run) nmLaunchAM(self sim.NodeID, cm contMsg) {
 }
 
 // nmRunTask executes a map attempt and drives the two-phase commit.
-func (rn *run) nmRunTask(self sim.NodeID, tm taskMsg) {
+func (rn *run) nmRunTask(self sim.NodeID, tm *taskMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(self, "yarn.server.nodemanager.NodeManager.launchContainer")()
 	pb.PostWrite(self, PtContainersPut, tm.containerID)
@@ -66,11 +66,11 @@ func (rn *run) nmRunTask(self sim.NodeID, tm taskMsg) {
 }
 
 // nmCommitOK completes phase two after the AM granted the commit.
-func (rn *run) nmCommitOK(self sim.NodeID, tm taskMsg) {
+func (rn *run) nmCommitOK(self sim.NodeID, tm *taskMsg) {
 	e := rn.Eng
 	e.AfterOn(self, commitGap, func() {
 		e.Send(self, rn.amNode, "am", "doneCommit", tm)
-		e.Send(self, rn.rm, "rm", "containerComplete", contMsg{containerID: tm.containerID, node: self})
+		e.Send(self, rn.rm, "rm", "containerComplete", &contMsg{containerID: tm.containerID, node: self})
 	})
 }
 
@@ -82,36 +82,42 @@ func (rn *run) amInit(node sim.NodeID) {
 	e := rn.Eng
 	rn.amNode = node
 	rn.amUp = true
-	rn.commits = make(map[string]string)
+	clear(rn.commits)
 	att := rn.app.currentAttempt
 	att.state = "RUNNING"
 	e.Node(node).Register("am", sim.ServiceFunc(rn.amService))
 	rn.Logger(node, "MRAppMaster").Info("ApplicationMaster for ", rn.app.id, " running at ", node)
 
 	nMaps := 2 * rn.Cfg.Scale
-	rn.maps = nil
-	for i := 0; i < nMaps; i++ {
-		rn.maps = append(rn.maps, &mapTask{id: fmt.Sprintf("task_0001_m_%02d", i)})
+	if len(rn.tasks) != nMaps {
+		rn.tasks = make([]mapTask, nMaps)
+		rn.maps = make([]*mapTask, nMaps)
+		for i := range rn.tasks {
+			rn.maps[i] = &rn.tasks[i]
+		}
 	}
-	e.Send(node, rn.rm, "rm", "allocate", allocMsg{attemptID: att.id, asks: nMaps})
+	for i := range rn.tasks {
+		rn.tasks[i] = mapTask{id: rn.r.taskID(i)}
+	}
+	e.Send(node, rn.rm, "rm", "allocate", &allocMsg{attemptID: att.id, asks: nMaps})
 }
 
 func (rn *run) amService(e *sim.Engine, m sim.Message) {
 	switch m.Kind {
 	case "containerGranted":
-		rn.amAssign(m.Body.(contMsg))
+		rn.amAssign(m.Body.(*contMsg))
 	case "commitPending":
-		rn.amCommitPending(m.Body.(taskMsg))
+		rn.amCommitPending(m.Body.(*taskMsg))
 	case "doneCommit":
-		rn.amDoneCommit(m.Body.(taskMsg))
+		rn.amDoneCommit(m.Body.(*taskMsg))
 	case "containerLost":
-		rn.amContainerLost(m.Body.(contMsg))
+		rn.amContainerLost(m.Body.(*contMsg))
 	}
 }
 
 // amAssign attaches a granted container to the next map task that needs
 // one.
-func (rn *run) amAssign(cm contMsg) {
+func (rn *run) amAssign(cm *contMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.assignContainer")()
 	var t *mapTask
@@ -127,25 +133,56 @@ func (rn *run) amAssign(cm contMsg) {
 		return
 	}
 	t.attempt++
-	t.attemptID = fmt.Sprintf("attempt_0001_m_%02d_%d", taskIndex(t.id), t.attempt)
+	t.attemptID = rn.r.attemptID(taskIndex(t.id), t.attempt)
 	t.container = cm.containerID
 	t.node = cm.node
 	lg := rn.Logger(rn.amNode, "TaskAttemptListener")
 	lg.Info("Assigned container ", cm.containerID, " to ", t.attemptID)
-	e.Send(rn.amNode, cm.node, "nm", "runTask", taskMsg{
+	e.Send(rn.amNode, cm.node, "nm", "runTask", &taskMsg{
 		taskID: t.id, attemptID: t.attemptID, containerID: cm.containerID, node: cm.node,
 	})
 }
 
+// taskIndex parses the numeric suffix of a "task_0001_m_NN" ID.
 func taskIndex(taskID string) int {
-	var i int
-	fmt.Sscanf(taskID, "task_0001_m_%02d", &i)
+	i := 0
+	for p := len("task_0001_m_"); p < len(taskID); p++ {
+		c := taskID[p]
+		if c < '0' || c > '9' {
+			break
+		}
+		i = i*10 + int(c-'0')
+	}
 	return i
+}
+
+// zpad renders v zero-padded to at least w digits (the Sprintf %0*d the
+// task/attempt/container ID hot paths would otherwise pay for).
+func zpad(v, w int) string {
+	s := strconv.Itoa(v)
+	if len(s) >= w {
+		return s
+	}
+	return "000000000000"[:w-len(s)] + s
+}
+
+// appendPadded appends v zero-padded to at least w digits. The ID hot
+// paths build into a stack buffer so the rendered ID is their only
+// allocation.
+func appendPadded(b []byte, v, w int) []byte {
+	n := 1
+	for x := v; x >= 10; x /= 10 {
+		n++
+	}
+	for ; n < w; n++ {
+		b = append(b, '0')
+	}
+	return strconv.AppendInt(b, int64(v), 10)
 }
 
 // amCommitPending carries MR-3858: a stale pending entry from a crashed
 // attempt makes every re-attempt fail the commit check.
-func (rn *run) amCommitPending(tm taskMsg) {
+func (rn *run) amCommitPending(tm *taskMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.commitPending")()
 	if prev, ok := rn.commits[tm.taskID]; ok && prev != tm.attemptID {
@@ -155,7 +192,7 @@ func (rn *run) amCommitPending(tm taskMsg) {
 		} else {
 			rn.Witness(BugStaleCommit)
 			e.Throw(rn.amNode, "CommitContention@TaskImpl.commitPending",
-				fmt.Sprintf("task %s pending under %s, rejecting %s", tm.taskID, prev, tm.attemptID), true)
+				"task "+tm.taskID+" pending under "+prev+", rejecting "+tm.attemptID, true)
 			rn.Logger(rn.amNode, "TaskImpl").Warn("Rejecting commit of ", tm.attemptID, " for ", tm.taskID)
 			e.Send(rn.amNode, tm.node, "nm", "commitReject", tm)
 			// Kill the attempt and retry the task — which will be
@@ -179,7 +216,7 @@ func (rn *run) retryTask(taskID string) {
 			rn.Eng.AfterOn(rn.amNode, 500*sim.Millisecond, func() {
 				if rn.amUp {
 					rn.Eng.Send(rn.amNode, rn.rm, "rm", "allocate",
-						allocMsg{attemptID: rn.app.currentAttempt.id, asks: 1})
+						&allocMsg{attemptID: rn.app.currentAttempt.id, asks: 1})
 				}
 			})
 			return
@@ -188,7 +225,7 @@ func (rn *run) retryTask(taskID string) {
 }
 
 // amDoneCommit finishes a map task and records where its output lives.
-func (rn *run) amDoneCommit(tm taskMsg) {
+func (rn *run) amDoneCommit(tm *taskMsg) {
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.doneCommit")()
 	// Sanity-checked read of the pending commit (not a crash point).
@@ -203,7 +240,7 @@ func (rn *run) amDoneCommit(tm taskMsg) {
 
 // amTaskDone records a successful attempt; the success record is the
 // timeout-issue window of §4.1.3.
-func (rn *run) amTaskDone(tm taskMsg) {
+func (rn *run) amTaskDone(tm *taskMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.taskDone")()
 	var task *mapTask
@@ -222,7 +259,7 @@ func (rn *run) amTaskDone(tm taskMsg) {
 	// right after the success record is written.
 	pb.PostWrite(rn.amNode, PtSuccessPut, tm.attemptID)
 	rn.Logger(rn.amNode, "TaskImpl").Info("Task ", tm.taskID, " committed by ", tm.attemptID)
-	e.Send(rn.amNode, rn.rm, "rm", "nodeStats", tm.node)
+	e.Send(rn.amNode, rn.rm, "rm", "nodeStats", tm)
 	for _, t := range rn.maps {
 		if !t.done {
 			return
@@ -232,7 +269,7 @@ func (rn *run) amTaskDone(tm taskMsg) {
 }
 
 // amContainerLost re-runs tasks whose container died with its node.
-func (rn *run) amContainerLost(cm contMsg) {
+func (rn *run) amContainerLost(cm *contMsg) {
 	defer rn.Cfg.Probe.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.containerLost")()
 	for _, t := range rn.maps {
 		if t.container == cm.containerID && !t.done {

@@ -29,7 +29,8 @@
 package yarn
 
 import (
-	"fmt"
+	"strconv"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/sim"
@@ -71,6 +72,86 @@ type Runner struct {
 	FixRemovedAttempt bool
 	FixRemovedNode    bool
 	FixStaleCommit    bool
+
+	// ids caches the identifier strings every run re-derives — host
+	// names, task/attempt IDs, container IDs. A campaign builds
+	// thousands of runs from one Runner, and these strings are a
+	// function of small dense integers, so they are rendered once and
+	// shared; indices past the tables fall back to building the string.
+	ids struct {
+		once     sync.Once
+		hosts    []string   // hosts[i] = "node<i>"
+		tasks    []string   // tasks[i] = "task_0001_m_<i:2>"
+		attempts [][]string // attempts[i][a-1] = "attempt_0001_m_<i:2>_<a>"
+		conts    [][]string // conts[n-1][c-1] = "container_0001_<n:2>_<c:6>"
+	}
+}
+
+func (r *Runner) initIDs() {
+	r.ids.once.Do(func() {
+		r.ids.hosts = make([]string, r.nms()+1)
+		for i := range r.ids.hosts {
+			r.ids.hosts[i] = "node" + strconv.Itoa(i)
+		}
+		const nTasks, nAttempts = 32, 8
+		r.ids.tasks = make([]string, nTasks)
+		r.ids.attempts = make([][]string, nTasks)
+		for i := 0; i < nTasks; i++ {
+			r.ids.tasks[i] = "task_0001_m_" + zpad(i, 2)
+			row := make([]string, nAttempts)
+			for a := 1; a <= nAttempts; a++ {
+				row[a-1] = "attempt_0001_m_" + zpad(i, 2) + "_" + strconv.Itoa(a)
+			}
+			r.ids.attempts[i] = row
+		}
+		const nAppAttempts, nConts = 4, 64
+		r.ids.conts = make([][]string, nAppAttempts)
+		for n := 1; n <= nAppAttempts; n++ {
+			row := make([]string, nConts)
+			for c := 1; c <= nConts; c++ {
+				row[c-1] = "container_0001_" + zpad(n, 2) + "_" + zpad(c, 6)
+			}
+			r.ids.conts[n-1] = row
+		}
+	})
+}
+
+func (r *Runner) host(i int) string {
+	if i < len(r.ids.hosts) {
+		return r.ids.hosts[i]
+	}
+	return "node" + strconv.Itoa(i)
+}
+
+func (r *Runner) taskID(i int) string {
+	if i < len(r.ids.tasks) {
+		return r.ids.tasks[i]
+	}
+	return "task_0001_m_" + zpad(i, 2)
+}
+
+func (r *Runner) attemptID(taskIdx, attempt int) string {
+	if taskIdx < len(r.ids.attempts) && attempt >= 1 && attempt <= len(r.ids.attempts[taskIdx]) {
+		return r.ids.attempts[taskIdx][attempt-1]
+	}
+	b := make([]byte, 0, 24)
+	b = append(b, "attempt_0001_m_"...)
+	b = appendPadded(b, taskIdx, 2)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(attempt), 10)
+	return string(b)
+}
+
+func (r *Runner) containerID(attempt, seq int) string {
+	if attempt >= 1 && attempt <= len(r.ids.conts) && seq >= 1 && seq <= len(r.ids.conts[attempt-1]) {
+		return r.ids.conts[attempt-1][seq-1]
+	}
+	b := make([]byte, 0, 32)
+	b = append(b, "container_0001_"...)
+	b = appendPadded(b, attempt, 2)
+	b = append(b, '_')
+	b = appendPadded(b, seq, 6)
+	return string(b)
 }
 
 // Name implements cluster.Runner.
@@ -83,7 +164,7 @@ func (r *Runner) Workload() string { return "WordCount+curl" }
 func (r *Runner) Hosts() []string {
 	hosts := []string{"node0"}
 	for i := 1; i <= r.nms(); i++ {
-		hosts = append(hosts, fmt.Sprintf("node%d", i))
+		hosts = append(hosts, "node"+strconv.Itoa(i))
 	}
 	return hosts
 }
@@ -96,10 +177,23 @@ func (r *Runner) nms() int {
 }
 
 // schedNode is the RM's view of a NodeManager (SchedulerNode).
+// containers is a small slice rather than a set: nodes hold a handful of
+// containers, and paths that iterate it sort first, so membership order
+// never leaks into behavior.
 type schedNode struct {
 	id         sim.NodeID
-	containers map[string]bool
+	containers []string
 	resources  int // available "memory"
+}
+
+// dropContainer removes cid from sn.containers if present.
+func (sn *schedNode) dropContainer(cid string) {
+	for i, c := range sn.containers {
+		if c == cid {
+			sn.containers = append(sn.containers[:i], sn.containers[i+1:]...)
+			return
+		}
+	}
 }
 
 // appAttempt mirrors RMAppAttemptImpl.
@@ -145,34 +239,39 @@ type run struct {
 	nextCont int
 
 	// AM state (lives on amNode once launched).
-	app     *application
-	amNode  sim.NodeID
-	amUp    bool
-	maps    []*mapTask
+	app    *application
+	amNode sim.NodeID
+	amUp   bool
+	maps   []*mapTask
+	// tasks backs maps; amInit resets it in place on AM restart instead
+	// of allocating a fresh task set (nothing long-lived holds *mapTask:
+	// messages carry task IDs, and lookups go through maps).
+	tasks   []mapTask
 	commits map[string]string // taskID -> pending commit attemptID
 	rrNext  int
 }
 
 // NewRun implements cluster.Runner.
 func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
+	r.initIDs()
 	b := cluster.NewBase(cfg)
 	rn := &run{
 		Base:     b,
 		r:        r,
-		nodes:    make(map[sim.NodeID]*schedNode),
+		nodes:    make(map[sim.NodeID]*schedNode, 8),
 		apps:     make(map[string]*application),
 		appCache: make(map[string]bool),
 		commits:  make(map[string]string),
 	}
 	e := b.Eng
-	rm := e.AddNode("node0", 8030)
+	rm := e.AddNode(r.host(0), 8030)
 	rn.rm = rm.ID
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat"}
 	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, func(n sim.NodeID) { rn.nodeRemoved(n, "lost") })
 	rm.Register("rm", sim.ServiceFunc(rn.rmService))
 
 	for i := 1; i <= r.nms(); i++ {
-		nm := e.AddNode(fmt.Sprintf("node%d", i), 45454)
+		nm := e.AddNode(r.host(i), 45454)
 		id := nm.ID
 		rn.nms = append(rn.nms, id)
 		nm.Register("nm", sim.ServiceFunc(rn.nmService))
@@ -226,11 +325,11 @@ func (rn *run) rmService(e *sim.Engine, m sim.Message) {
 	case "register":
 		rn.registerNode(m.From)
 	case "containerComplete":
-		rn.completeContainer(m.Body.(contMsg))
+		rn.completeContainer(m.Body.(*contMsg))
 	case "nodeStats":
-		rn.updateNodeStats(m.Body.(sim.NodeID))
+		rn.updateNodeStats(m.Body.(*taskMsg).node)
 	case "allocate":
-		rn.allocate(m.Body.(allocMsg))
+		rn.allocate(m.Body.(*allocMsg))
 	case "appDone":
 		rn.appDone(m.Body.(string))
 	}
@@ -256,7 +355,7 @@ func (rn *run) registerNode(nm sim.NodeID) {
 		rn.Logger(rn.rm, "RMNodeImpl").Warn("Reconnecting node ", nm, ", releasing lost containers")
 		rn.lostContainers(nm, old)
 	}
-	rn.nodes[nm] = &schedNode{id: nm, containers: make(map[string]bool), resources: 8}
+	rn.nodes[nm] = &schedNode{id: nm, containers: make([]string, 0, 8), resources: 8}
 	pb.PostWrite(rn.rm, PtNodesPut, string(nm))
 	rn.lm.Track(nm)
 	rn.NoteRejoin(nm)
@@ -296,13 +395,11 @@ func (rn *run) lostContainers(nm sim.NodeID, sn *schedNode) {
 		return
 	}
 	if rn.amUp {
-		cids := make([]string, 0, len(sn.containers))
-		for cid := range sn.containers {
-			cids = append(cids, cid)
-		}
-		sortStrings(cids)
-		for _, cid := range cids {
-			rn.Eng.Send(rn.rm, rn.amNode, "am", "containerLost", contMsg{containerID: cid, node: nm})
+		// Sort in place for the deterministic order the map-backed set
+		// used to be iterated in; container order carries no meaning.
+		sortStrings(sn.containers)
+		for _, cid := range sn.containers {
+			rn.Eng.Send(rn.rm, rn.amNode, "am", "containerLost", &contMsg{containerID: cid, node: nm})
 		}
 	}
 }
@@ -322,7 +419,7 @@ func (rn *run) failAttempt(app *application) {
 	rn.Logger(rn.rm, "RMAppAttemptImpl").Warn("Attempt ", old.id, " failed, scheduling retry")
 	app.attempts++
 	att := &appAttempt{
-		id:    fmt.Sprintf("appattempt_0001_%06d", app.attempts),
+		id:    "appattempt_0001_" + zpad(app.attempts, 6),
 		n:     app.attempts,
 		state: "NEW",
 	}
@@ -362,8 +459,8 @@ func (rn *run) pickNode(startAfter int) *schedNode {
 
 func (rn *run) newContainer(sn *schedNode, attempt *appAttempt) string {
 	rn.nextCont++
-	cid := fmt.Sprintf("container_0001_%02d_%06d", attempt.n, rn.nextCont)
-	sn.containers[cid] = true
+	cid := rn.r.containerID(attempt.n, rn.nextCont)
+	sn.containers = append(sn.containers, cid)
 	sn.resources--
 	rn.NoteWork(sn.id)
 	rn.Logger(rn.rm, "SchedulerNode").Info("Assigned container ", cid, " on host ", sn.id)
@@ -387,13 +484,13 @@ func (rn *run) launchAM(app *application) {
 	att.node = sn.id
 	att.state = "LAUNCHED"
 	rn.Logger(rn.rm, "RMAppAttemptImpl").Info("Attempt ", att.id, " launched in container ", cid)
-	rn.Eng.Send(rn.rm, sn.id, "nm", "launchAM", contMsg{containerID: cid, node: sn.id})
+	rn.Eng.Send(rn.rm, sn.id, "nm", "launchAM", &contMsg{containerID: cid, node: sn.id})
 }
 
 // completeContainer carries YARN-9164: the nodes.get result is used
 // unchecked. A container-complete RPC that crosses the node's removal
 // dereferences nil and brings the RM down.
-func (rn *run) completeContainer(cm contMsg) {
+func (rn *run) completeContainer(cm *contMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.completeContainer")()
 	pb.PreRead(rn.rm, PtCompleteGet, string(cm.node), cm.containerID)
@@ -406,13 +503,13 @@ func (rn *run) completeContainer(cm contMsg) {
 		}
 		rn.Witness(BugCompleteNPE)
 		e.Throw(rn.rm, "NullPointerException@AbstractYarnScheduler.completeContainer",
-			fmt.Sprintf("node %s not in nodes map", cm.node), false)
+			"node "+string(cm.node)+" not in nodes map", false)
 		// The RM cannot handle the exception and aborts: cluster down.
 		rn.Fail("ResourceManager aborted: NullPointerException in completeContainer")
 		e.Abort(rn.rm, "RMFatal@ResourceManager", "scheduler thread died")
 		return
 	}
-	delete(sn.containers, cm.containerID)
+	sn.dropContainer(cm.containerID)
 	sn.resources++
 	rn.Logger(rn.rm, "SchedulerNode").Info("Container ", cm.containerID, " completed on ", cm.node)
 }
@@ -431,7 +528,7 @@ func (rn *run) updateNodeStats(nm sim.NodeID) {
 		}
 		rn.Witness(BugJobStatsNPE)
 		e.Throw(rn.rm, "NullPointerException@JobImpl.updateNodeStats",
-			fmt.Sprintf("node %s removed", nm), false)
+			"node "+string(nm)+" removed", false)
 		rn.Fail("Job failed: NullPointerException in job-stats thread")
 		return
 	}
@@ -440,7 +537,7 @@ func (rn *run) updateNodeStats(nm sim.NodeID) {
 
 // allocate carries YARN-9238: the appCache existence check passes, but
 // currentAttempt may already point at the new, uninitialized attempt.
-func (rn *run) allocate(am allocMsg) {
+func (rn *run) allocate(am *allocMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.allocate")()
 	// #0 in the model: the appCache read, sanity-checked.
@@ -458,7 +555,7 @@ func (rn *run) allocate(am allocMsg) {
 		}
 		rn.Witness(BugRemovedAttempt)
 		e.Throw(rn.rm, "InvalidStateTransition@RMAppAttemptImpl",
-			fmt.Sprintf("ALLOCATE at %s for %s", att.state, att.id), false)
+			"ALLOCATE at "+att.state+" for "+att.id, false)
 		rn.Fail("Invalid event: ALLOCATE at NEW for " + att.id)
 		rn.app.state = "FAILED"
 		return
@@ -484,18 +581,18 @@ func (rn *run) allocate(am allocMsg) {
 			}
 			rn.Witness(BugRemovedNode)
 			e.Throw(rn.rm, "InvalidAllocation@CapacityScheduler.allocate",
-				fmt.Sprintf("container allocated on removed node %s", sn.id), false)
+				"container allocated on removed node "+string(sn.id), false)
 			rn.Fail("Allocated container on removed node " + string(sn.id))
 			return
 		}
 		cid := rn.newContainer(sn, att)
 		granted++
-		rn.Eng.Send(rn.rm, rn.amNode, "am", "containerGranted", contMsg{containerID: cid, node: sn.id})
+		rn.Eng.Send(rn.rm, rn.amNode, "am", "containerGranted", &contMsg{containerID: cid, node: sn.id})
 	}
 	if granted < am.asks {
 		// Ask again for the remainder once resources free up.
 		rn.Eng.AfterOn(rn.rm, 500*sim.Millisecond, func() {
-			rn.allocate(allocMsg{attemptID: am.attemptID, asks: am.asks - granted})
+			rn.allocate(&allocMsg{attemptID: am.attemptID, asks: am.asks - granted})
 		})
 	}
 }

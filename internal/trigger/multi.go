@@ -37,18 +37,8 @@ type PairReport struct {
 // TestPair runs the system once with injections armed at the ordered
 // pair (first, second).
 func (t *Tester) TestPair(first, second probe.DynPoint) PairReport {
-	timeoutFactor := t.TimeoutFactor
-	if timeoutFactor <= 0 {
-		timeoutFactor = 4
-	}
-	deadlineFactor := t.DeadlineFactor
-	if deadlineFactor <= 0 {
-		deadlineFactor = 20
-	}
-	deadline := t.Baseline.Duration * sim.Time(deadlineFactor)
-	if deadline < 30*sim.Second {
-		deadline = 30 * sim.Second
-	}
+	timeoutFactor := t.timeoutFactor()
+	deadline := t.RunDeadline()
 
 	pb := probe.New()
 	logs := dslog.NewRoot()

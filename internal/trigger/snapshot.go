@@ -1,0 +1,295 @@
+// Snapshot-forked injection: run the workload once per (system, seed,
+// scale), record where every dynamic crash point first fires, and fork
+// each injection run from that recording instead of replaying the whole
+// observation pipeline from t=0.
+//
+// The simulator's event queue holds closures, so engine state cannot be
+// deep-copied. What *can* be captured cheaply is everything the trigger
+// needs at the moment a point fires:
+//
+//   - the access's dispatch ordinal — how many probe accesses were
+//     delivered before it (probe.SkipAccesses fast-forwards a fork to
+//     exactly that access without rendering a single call stack);
+//   - a copy-on-write stash.View — the value→node state the live stash
+//     held at that instant, frozen in O(1) (metainfo.Graph.Snapshot);
+//   - a sim.Fingerprint — the replay fence that proves the fork reached
+//     the same engine state before any fault is injected.
+//
+// A fork is then a fresh deterministic run with the observation layers
+// elided: logs go to a dslog.Discard root (no rendering, no stash, no
+// pattern matching), the probe runs Lean (no per-entry stack
+// bookkeeping), and target resolution reads the frozen view. Everything
+// that *drives* the system is identical, so the fork's post-injection
+// behaviour is byte-identical to a full run's — and the fingerprint
+// fence turns "should be identical" into a checked invariant: on any
+// mismatch the fork is discarded and the point re-runs the legacy full
+// path (counted in crashtuner_snapshot_invalidations_total).
+//
+// Points the reference pass never saw firing cannot fire in any
+// injection run either (the pre-injection prefix is deterministic), so
+// their NotHit reports are synthesized outright from the reference run —
+// no engine is even constructed.
+package trigger
+
+import (
+	"time"
+
+	"repro/internal/crashpoint"
+	"repro/internal/dslog"
+	"repro/internal/logparse"
+	"repro/internal/obs"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/stash"
+	"repro/internal/systems/cluster"
+)
+
+// Process-wide snapshot instruments on the default registry.
+var (
+	snapshotForks   = obs.Default.Counter("crashtuner_snapshot_forks_total")
+	snapshotSynth   = obs.Default.Counter("crashtuner_snapshot_synthesized_total")
+	snapshotInvalid = obs.Default.Counter("crashtuner_snapshot_invalidations_total")
+)
+
+// targetResolver answers the crash-point stash query (get_node_by_id,
+// Fig. 7): the live *stash.Stash in a full run, a frozen *stash.View in
+// a snapshot fork.
+type targetResolver interface {
+	QueryAny(values []string) (sim.NodeID, bool)
+}
+
+// pointSnapshot is the capture taken at a dynamic point's first hit
+// during the reference pass.
+type pointSnapshot struct {
+	// ordinal is the dispatch ordinal of the hit: the number of probe
+	// accesses delivered before it. A fork sets probe.SkipAccesses to
+	// this value, so the first access its hook sees *is* the hit.
+	ordinal uint64
+	// at is the engine clock at the hit; logSeq the log cursor. Both are
+	// diagnostics (reports, plan dumps) — the fork keys on ordinal alone.
+	at     sim.Time
+	logSeq uint64
+	// fp fences the fork: the fork's engine must fingerprint identically
+	// at the hit, or the fork is discarded.
+	fp sim.Fingerprint
+	// view is the stash's value→node state at the hit.
+	view *stash.View
+}
+
+// SnapshotPlan is the product of one reference pass: per-point captures
+// plus the reference run's outcome for NotHit synthesis. A plan is
+// immutable once built and safe for concurrent use by campaign workers.
+//
+// The plan depends only on the fault-free run prefix, so one plan serves
+// every campaign over the same (system, seed, scale, deadline, step
+// budget) — the plain test campaign, the recovery campaign, and the
+// RandomTarget ablation alike: those knobs only change what happens
+// *after* the injection, and the plan captures nothing after it.
+type SnapshotPlan struct {
+	system   string
+	seed     int64
+	scale    int
+	deadline sim.Time
+	maxSteps uint64
+
+	points map[probe.DynPoint]pointSnapshot
+
+	// Reference-run results, for synthesizing NotHit reports.
+	refEnd        sim.Time
+	refExhausted  bool
+	refReason     string
+	refWitnesses  []string
+	refExceptions []sim.Exception
+}
+
+// Points returns how many dynamic points the reference pass captured.
+func (p *SnapshotPlan) Points() int { return len(p.points) }
+
+// ReferenceEnd returns the fault-free reference run's end time.
+func (p *SnapshotPlan) ReferenceEnd() sim.Time { return p.refEnd }
+
+// Hit reports whether the reference pass saw d fire.
+func (p *SnapshotPlan) Hit(d probe.DynPoint) bool {
+	_, ok := p.points[d]
+	return ok
+}
+
+// compatible reports whether the plan's reference pass was recorded
+// under exactly this Tester's run parameters. A plan built elsewhere
+// (different seed, scale, deadline or step budget — any of which change
+// the run prefix or its truncation) is silently ignored and the Tester
+// falls back to full runs.
+func (p *SnapshotPlan) compatible(t *Tester) bool {
+	return p.system == t.Runner.Name() &&
+		p.seed == t.Seed &&
+		p.scale == t.Scale &&
+		p.deadline == t.RunDeadline() &&
+		p.maxSteps == t.MaxSteps
+}
+
+// BuildSnapshotPlan performs the reference pass: one fault-free run with
+// the full observation pipeline attached — exactly the prefix every
+// injection run replays — capturing each dynamic point at its first hit.
+// The pass is reported as a pipeline-level "snapshot" phase span when a
+// sink is configured.
+func (t *Tester) BuildSnapshotPlan() *SnapshotPlan {
+	start := time.Now()
+	pb := probe.New()
+	logs := dslog.NewRoot()
+	matcher := t.Matcher
+	if matcher == nil {
+		matcher = logparse.NewMatcher(logparse.ExtractPatterns(t.Runner.Program()))
+	}
+	st := stash.New(t.Runner.Hosts(), matcher, t.Analysis)
+	st.Attach(logs)
+	sysRun := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: logs})
+	e := sysRun.Engine()
+	e.MaxSteps = t.MaxSteps
+
+	p := &SnapshotPlan{
+		system:   t.Runner.Name(),
+		seed:     t.Seed,
+		scale:    t.Scale,
+		deadline: t.RunDeadline(),
+		maxSteps: t.MaxSteps,
+		points:   make(map[probe.DynPoint]pointSnapshot),
+	}
+	var ordinal uint64
+	pb.OnAccess = func(a probe.Access) {
+		d := a.Dyn()
+		if _, seen := p.points[d]; !seen {
+			p.points[d] = pointSnapshot{
+				ordinal: ordinal,
+				at:      e.Now(),
+				logSeq:  logs.Seq(),
+				fp:      e.Fingerprint(),
+				view:    st.Snapshot(),
+			}
+		}
+		ordinal++
+	}
+	res := cluster.Drive(sysRun, p.deadline)
+	p.refEnd = res.End
+	p.refExhausted = res.Exhausted
+	p.refReason = sysRun.FailureReason()
+	p.refWitnesses = sysRun.Witnesses()
+	p.refExceptions = e.Exceptions()
+	t.emitPhase(-1, "snapshot", time.Since(start), res.End)
+	return p
+}
+
+// runPoint dispatches one campaign job: through the snapshot plan when
+// one is installed and matches the Tester's parameters, as a full legacy
+// run otherwise (or when a fork trips its fingerprint fence).
+func (t *Tester) runPoint(run int, d probe.DynPoint) Report {
+	if p := t.Snapshots; p != nil && p.compatible(t) {
+		ps, hit := p.points[d]
+		if !hit {
+			return t.synthesizeNotHit(run, p, d)
+		}
+		if rep, ok := t.forkPoint(run, d, ps); ok {
+			return rep
+		}
+	}
+	return t.testPoint(run, d)
+}
+
+// synthesizeNotHit builds the report of a point the reference pass never
+// saw firing. The pre-injection prefix is deterministic, so a full run
+// armed at such a point is the reference run verbatim: same end time,
+// witnesses, failure reason and exceptions — there is nothing to
+// simulate. The three per-run phase spans are still emitted so traces
+// keep one setup→drive→oracle triple per run.
+func (t *Tester) synthesizeNotHit(run int, p *SnapshotPlan, d probe.DynPoint) Report {
+	phaseStart := time.Now()
+	rep := Report{
+		Dyn:           d,
+		Outcome:       NotHit,
+		Duration:      p.refEnd,
+		Witnesses:     p.refWitnesses,
+		Reason:        p.refReason,
+		NewExceptions: NewUnhandledSignatures(t.Baseline, p.refExceptions),
+	}
+	if p.refExhausted {
+		// Mirrors classify: an exhausted step budget is a harness
+		// problem whether or not the injection fired.
+		rep.Outcome = HarnessError
+	}
+	snapshotSynth.Inc()
+	t.emitPhase(run, "setup", time.Since(phaseStart), 0)
+	t.emitPhase(run, "drive", 0, p.refEnd)
+	t.emitPhase(run, "oracle", 0, 0)
+	return rep
+}
+
+// forkPoint runs one injection forked from the snapshot: a fresh
+// deterministic run with observation elided — discard logs, no stash,
+// lean probe — fast-forwarded to the recorded hit by dispatch ordinal.
+// At the hit the fingerprint fence must match the reference capture;
+// target resolution then reads the frozen view, and everything from the
+// injection on is the legacy path. ok=false means the fence tripped and
+// the caller must fall back to a full run.
+func (t *Tester) forkPoint(run int, d probe.DynPoint, ps pointSnapshot) (Report, bool) {
+	phaseStart := time.Now()
+	pb := probe.New()
+	pb.Lean = true
+	pb.SkipAccesses = ps.ordinal
+	sysRun := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: dslog.Discard()})
+	e := sysRun.Engine()
+	e.MaxSteps = t.MaxSteps
+
+	rep := Report{Dyn: d, Outcome: NotHit}
+	fired := false
+	resolvedMiss := false
+	aligned := true
+	pb.OnAccess = func(a probe.Access) {
+		// The first delivered access is the armed hit: SkipAccesses
+		// fast-forwarded over every access before it. Nothing further is
+		// armed, so unhook to skip post-hit dispatch work.
+		fired = true
+		pb.OnAccess = nil
+		if a.Point != d.Point || a.Scenario != d.Scenario || e.Fingerprint() != ps.fp {
+			// The replay diverged from the reference pass. Abandon the
+			// fork; the point re-runs on the legacy path.
+			aligned = false
+			e.Stop()
+			return
+		}
+		target, ok := t.chooseTarget(e, ps.view, a)
+		if !ok {
+			resolvedMiss = true
+			return
+		}
+		rep.Target = target
+		if d.Scenario == crashpoint.PreRead {
+			e.Shutdown(target)
+		} else {
+			e.Crash(target)
+		}
+		if f := lastFault(e); f != nil {
+			rep.Injected = f
+		}
+		if t.Recovery != nil {
+			t.scheduleRestart(sysRun, &rep, target)
+		}
+	}
+	t.emitPhase(run, "setup", time.Since(phaseStart), 0)
+
+	phaseStart = time.Now()
+	res := cluster.Drive(sysRun, t.RunDeadline())
+	if !aligned {
+		snapshotInvalid.Inc()
+		return Report{}, false
+	}
+	t.emitPhase(run, "drive", time.Since(phaseStart), res.End)
+
+	phaseStart = time.Now()
+	rep.Duration = res.End
+	rep.Witnesses = sysRun.Witnesses()
+	rep.Reason = sysRun.FailureReason()
+	rep.NewExceptions = t.newUnhandled(e)
+	rep.Outcome = t.classify(fired, resolvedMiss, sysRun, res, rep.NewExceptions, t.timeoutFactor())
+	t.emitPhase(run, "oracle", time.Since(phaseStart), 0)
+	snapshotForks.Inc()
+	return rep, true
+}

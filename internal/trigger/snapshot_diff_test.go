@@ -1,0 +1,186 @@
+// The snapshot differential oracle: campaigns forked from copy-on-write
+// snapshots must be byte-identical — reports, summaries, triage
+// signatures, and trace spans modulo wall-clock — to campaigns that
+// replay every run from t=0. These tests live in the external package
+// because they build their fixtures through core's analysis and
+// profiling phases, and core imports trigger.
+package trigger_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/toysys"
+	"repro/internal/triage"
+	"repro/internal/trigger"
+)
+
+// snapshotFixture runs the analysis and profiling phases for r and
+// returns a sequential Tester plus the profiled dynamic points.
+func snapshotFixture(t *testing.T, r cluster.Runner, seed int64, scale int) (*trigger.Tester, []probe.DynPoint) {
+	t.Helper()
+	opts := core.Options{Seed: seed, Scale: scale}
+	res, matcher := core.AnalysisPhase(r, opts)
+	core.ProfilePhase(r, res, opts)
+	return &trigger.Tester{
+		Config:   campaign.Config{Workers: 1},
+		Runner:   r,
+		Analysis: res.Analysis,
+		Matcher:  matcher,
+		Baseline: trigger.MeasureBaseline(r, seed, scale, 3, 0),
+		Seed:     seed,
+		Scale:    scale,
+	}, res.Dynamic.Points
+}
+
+// diffCampaigns runs the same campaign twice — full-replay and
+// snapshot-forked — and demands identical reports, summaries and triage
+// signatures. The Tester is restored to its no-snapshots state.
+func diffCampaigns(t *testing.T, tester *trigger.Tester, plan *trigger.SnapshotPlan, points []probe.DynPoint) {
+	t.Helper()
+	tester.Snapshots = nil
+	legacy := tester.Campaign(points)
+	tester.Snapshots = plan
+	snap := tester.Campaign(points)
+	tester.Snapshots = nil
+
+	if len(legacy) != len(snap) {
+		t.Fatalf("%d legacy reports vs %d snapshot reports", len(legacy), len(snap))
+	}
+	sys := tester.Runner.Name()
+	for i := range legacy {
+		if !reflect.DeepEqual(legacy[i], snap[i]) {
+			t.Fatalf("report %d (%s) diverged:\nlegacy   %+v\nsnapshot %+v",
+				i, points[i].Key(), legacy[i], snap[i])
+		}
+		li := triage.FromRunRecord(trigger.RunRecordOf(sys, "test", i, tester.Seed, tester.Scale, legacy[i]))
+		si := triage.FromRunRecord(trigger.RunRecordOf(sys, "test", i, tester.Seed, tester.Scale, snap[i]))
+		if !reflect.DeepEqual(li, si) {
+			t.Fatalf("triage record %d diverged:\nlegacy   %+v\nsnapshot %+v", i, li, si)
+		}
+	}
+	if ls, ss := trigger.Summarize(legacy), trigger.Summarize(snap); !reflect.DeepEqual(ls, ss) {
+		t.Fatalf("summaries diverged:\nlegacy   %+v\nsnapshot %+v", ls, ss)
+	}
+}
+
+// TestSnapshotCampaignsMatchLegacyEverySystem is the differential
+// acceptance oracle: on all seven systems, the snapshot-forked campaign
+// must reproduce the full-replay campaign exactly.
+func TestSnapshotCampaignsMatchLegacyEverySystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential campaigns on all systems")
+	}
+	for _, r := range append(all.Runners(), all.Extensions()...) {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			tester, points := snapshotFixture(t, r, 11, 1)
+			if len(points) == 0 {
+				t.Fatal("profiling collected no dynamic points")
+			}
+			plan := tester.BuildSnapshotPlan()
+			if plan.Points() == 0 {
+				t.Fatal("reference pass captured no points")
+			}
+			diffCampaigns(t, tester, plan, points)
+		})
+	}
+}
+
+// TestSnapshotRecoverySchedulesMatchLegacy forks randomized
+// crash/shutdown/restart schedules from one snapshot plan: the plan
+// captures only the fault-free prefix, so a single reference pass must
+// serve every recovery configuration — restart delays, second faults of
+// either kind — and reproduce each full-replay campaign exactly.
+func TestSnapshotRecoverySchedulesMatchLegacy(t *testing.T) {
+	tester, points := snapshotFixture(t, &toysys.Runner{}, 11, 1)
+	plan := tester.BuildSnapshotPlan()
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 4; k++ {
+		rc := &trigger.RecoveryOptions{
+			RestartDelay: sim.Time(50+rng.Intn(300)) * sim.Millisecond,
+		}
+		if k%2 == 1 {
+			rc.SecondFaultDelay = sim.Time(1+rng.Intn(40)) * sim.Millisecond
+			if rng.Intn(2) == 1 {
+				rc.SecondFaultKind = sim.FaultShutdown
+			}
+		}
+		tester.Recovery = rc
+		diffCampaigns(t, tester, plan, points)
+	}
+	tester.Recovery = nil
+}
+
+// TestSnapshotRandomTargetMatchesLegacy covers the §3.2.2 ablation: the
+// random-victim draw happens at the same engine RNG state in a fork as
+// in a full run, so the ablation campaigns must match too.
+func TestSnapshotRandomTargetMatchesLegacy(t *testing.T) {
+	tester, points := snapshotFixture(t, &toysys.Runner{}, 11, 1)
+	tester.RandomTarget = true
+	plan := tester.BuildSnapshotPlan()
+	diffCampaigns(t, tester, plan, points)
+}
+
+// TestSnapshotTraceMatchesLegacyModuloWall: with a sequential campaign
+// traced both ways, the JSONL spans must be identical once wall-clock
+// fields (wall_ms, the campaign start timestamp) are stripped — same
+// spans, same nesting, same simulated durations, same outcomes.
+func TestSnapshotTraceMatchesLegacyModuloWall(t *testing.T) {
+	tester, points := snapshotFixture(t, &toysys.Runner{}, 11, 1)
+	plan := tester.BuildSnapshotPlan() // no sink: no snapshot phase span
+
+	trace := func(p *trigger.SnapshotPlan) []string {
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		tester.Sink = tr
+		tester.Snapshots = p
+		tester.Campaign(points)
+		tester.Sink = nil
+		tester.Snapshots = nil
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("trace invalid: %v", err)
+		}
+		var out []string
+		sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+		for sc.Scan() {
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				t.Fatal(err)
+			}
+			delete(m, "wall_ms")
+			delete(m, "start")
+			b, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, string(b))
+		}
+		return out
+	}
+
+	legacy := trace(nil)
+	snap := trace(plan)
+	if len(legacy) != len(snap) {
+		t.Fatalf("%d legacy trace lines vs %d snapshot lines", len(legacy), len(snap))
+	}
+	for i := range legacy {
+		if legacy[i] != snap[i] {
+			t.Fatalf("trace line %d diverged:\nlegacy   %s\nsnapshot %s", i, legacy[i], snap[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package trigger
+
+// In-package snapshot tests: the fingerprint fence, NotHit synthesis and
+// plan-compatibility gating, all pinned against the legacy full-run path
+// on the toy system. The cross-system differential oracle lives in the
+// external test package (snapshot_diff_test.go), which can import core.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/probe"
+	"repro/internal/systems/toysys"
+)
+
+// planPoint returns the captured dynamic point with the smallest
+// dispatch ordinal — a deterministic pick across map iteration order.
+func planPoint(t *testing.T, p *SnapshotPlan) probe.DynPoint {
+	t.Helper()
+	var best probe.DynPoint
+	found := false
+	for d, ps := range p.points {
+		if !found || ps.ordinal < p.points[best].ordinal {
+			best, found = d, true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot plan captured no points")
+	}
+	return best
+}
+
+func TestSnapshotForkMatchesLegacyRun(t *testing.T) {
+	tester := toyTester(t, &toysys.Runner{})
+	plan := tester.BuildSnapshotPlan()
+	if plan.Points() == 0 {
+		t.Fatal("reference pass captured no points")
+	}
+	d := planPoint(t, plan)
+	want := tester.TestPoint(d) // Snapshots nil: the legacy full run
+
+	forks := snapshotForks.Value()
+	tester.Snapshots = plan
+	got := tester.TestPoint(d)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("forked report diverged:\nlegacy   %+v\nsnapshot %+v", want, got)
+	}
+	if v := snapshotForks.Value(); v != forks+1 {
+		t.Errorf("snapshot_forks_total moved %d→%d, want one fork", forks, v)
+	}
+}
+
+func TestSnapshotSynthesizesNotHit(t *testing.T) {
+	tester := toyTester(t, &toysys.Runner{})
+	plan := tester.BuildSnapshotPlan()
+	d := probe.DynPoint{
+		Point:    "toy.Master.handleLost#0", // never executes fault-free
+		Scenario: crashpoint.PostWrite,
+		Stack:    "toy.Master.handleLost",
+	}
+	if plan.Hit(d) {
+		t.Fatalf("reference pass unexpectedly hit %s", d.Key())
+	}
+	want := tester.TestPoint(d)
+
+	synth := snapshotSynth.Value()
+	tester.Snapshots = plan
+	got := tester.TestPoint(d)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("synthesized report diverged:\nlegacy     %+v\nsynthesized %+v", want, got)
+	}
+	if got.Outcome != NotHit {
+		t.Errorf("outcome = %v, want not-hit", got.Outcome)
+	}
+	if v := snapshotSynth.Value(); v != synth+1 {
+		t.Errorf("snapshot_synthesized_total moved %d→%d, want one synthesis", synth, v)
+	}
+}
+
+// TestSnapshotFenceFallsBackOnDivergence corrupts a recorded fingerprint
+// so the fork trips its fence mid-replay; the point must transparently
+// re-run on the legacy path and still report identically.
+func TestSnapshotFenceFallsBackOnDivergence(t *testing.T) {
+	tester := toyTester(t, &toysys.Runner{})
+	plan := tester.BuildSnapshotPlan()
+	d := planPoint(t, plan)
+	want := tester.TestPoint(d)
+
+	ps := plan.points[d]
+	ps.fp.NodeSum++ // any field will do: the fence compares the whole struct
+	plan.points[d] = ps
+
+	invalid, forks := snapshotInvalid.Value(), snapshotForks.Value()
+	tester.Snapshots = plan
+	got := tester.TestPoint(d)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback report diverged:\nlegacy   %+v\nfallback %+v", want, got)
+	}
+	if v := snapshotInvalid.Value(); v != invalid+1 {
+		t.Errorf("snapshot_invalidations_total moved %d→%d, want one invalidation", invalid, v)
+	}
+	if v := snapshotForks.Value(); v != forks {
+		t.Errorf("snapshot_forks_total moved %d→%d on an abandoned fork", forks, v)
+	}
+}
+
+// TestSnapshotPlanParameterMismatchIgnored: a plan recorded under other
+// run parameters must be declined wholesale, not fenced fork-by-fork.
+func TestSnapshotPlanParameterMismatchIgnored(t *testing.T) {
+	tester := toyTester(t, &toysys.Runner{})
+	plan := tester.BuildSnapshotPlan()
+	d := planPoint(t, plan)
+
+	tester.Seed++ // the plan no longer matches
+	legacy := *tester
+	legacy.Snapshots = nil
+	want := legacy.TestPoint(d)
+
+	forks, synth := snapshotForks.Value(), snapshotSynth.Value()
+	tester.Snapshots = plan
+	got := tester.TestPoint(d)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mismatched-plan report diverged:\nlegacy %+v\ngot    %+v", want, got)
+	}
+	if snapshotForks.Value() != forks || snapshotSynth.Value() != synth {
+		t.Error("an incompatible plan was consulted")
+	}
+}

@@ -174,6 +174,37 @@ type Tester struct {
 	// sim.DefaultMaxSteps. A run that exhausts the budget is reported as
 	// HarnessError (a livelocked model), not as a system bug.
 	MaxSteps uint64
+	// Snapshots, when non-nil and built under matching parameters (see
+	// SnapshotPlan.compatible), forks each injection run from the
+	// recorded reference pass instead of replaying the full observation
+	// pipeline from t=0, and synthesizes never-hit points outright. Runs
+	// stay byte-identical — a fingerprint fence falls back to the full
+	// path on any divergence. See snapshot.go.
+	Snapshots *SnapshotPlan
+}
+
+// timeoutFactor returns the §4.1.3 timeout-issue threshold factor.
+func (t *Tester) timeoutFactor() int {
+	if t.TimeoutFactor <= 0 {
+		return 4
+	}
+	return t.TimeoutFactor
+}
+
+// RunDeadline returns the per-run simulated-time deadline:
+// DeadlineFactor× the baseline duration, floored at 30 s. Exported
+// because snapshot plans are keyed on it (core caches plans per
+// system/seed/scale/deadline/step-budget).
+func (t *Tester) RunDeadline() sim.Time {
+	deadlineFactor := t.DeadlineFactor
+	if deadlineFactor <= 0 {
+		deadlineFactor = 20
+	}
+	deadline := t.Baseline.Duration * sim.Time(deadlineFactor)
+	if deadline < 30*sim.Second {
+		deadline = 30 * sim.Second
+	}
+	return deadline
 }
 
 // scope labels the Tester's events: the system under test plus the
@@ -216,7 +247,7 @@ func MeasureBaseline(r cluster.Runner, seed int64, scale, runs int, deadline sim
 }
 
 // TestPoint runs the system once with an injection armed at d.
-func (t *Tester) TestPoint(d probe.DynPoint) Report { return t.testPoint(-1, d) }
+func (t *Tester) TestPoint(d probe.DynPoint) Report { return t.runPoint(-1, d) }
 
 // emitPhase reports one finished phase of run (or of the pipeline, when
 // run < 0) to the Tester's sink.
@@ -232,18 +263,8 @@ func (t *Tester) emitPhase(run int, name string, wall time.Duration, simT sim.Ti
 // Tester's sink so traces show where each run's wall-clock went.
 func (t *Tester) testPoint(run int, d probe.DynPoint) Report {
 	phaseStart := time.Now()
-	timeoutFactor := t.TimeoutFactor
-	if timeoutFactor <= 0 {
-		timeoutFactor = 4
-	}
-	deadlineFactor := t.DeadlineFactor
-	if deadlineFactor <= 0 {
-		deadlineFactor = 20
-	}
-	deadline := t.Baseline.Duration * sim.Time(deadlineFactor)
-	if deadline < 30*sim.Second {
-		deadline = 30 * sim.Second
-	}
+	timeoutFactor := t.timeoutFactor()
+	deadline := t.RunDeadline()
 
 	pb := probe.New()
 	logs := dslog.NewRoot()
@@ -329,7 +350,7 @@ func (t *Tester) scheduleRestart(run cluster.Run, rep *Report, target sim.NodeID
 	})
 }
 
-func (t *Tester) chooseTarget(e *sim.Engine, st *stash.Stash, a probe.Access) (sim.NodeID, bool) {
+func (t *Tester) chooseTarget(e *sim.Engine, st targetResolver, a probe.Access) (sim.NodeID, bool) {
 	if t.RandomTarget {
 		alive := e.AliveNodes()
 		if len(alive) == 0 {
@@ -370,9 +391,16 @@ func (t *Tester) newUnhandled(e *sim.Engine) []string {
 // but the returned strings stay raw: reports and tables show what the
 // system actually logged.
 func NewUnhandled(b Baseline, e *sim.Engine) []string {
+	return NewUnhandledSignatures(b, e.Exceptions())
+}
+
+// NewUnhandledSignatures is NewUnhandled over an exception list captured
+// earlier — a snapshot plan stores the reference run's exceptions so
+// NotHit reports can be synthesized against any tester's baseline.
+func NewUnhandledSignatures(b Baseline, exceptions []sim.Exception) []string {
 	seen := map[string]bool{}
 	var out []string
-	for _, ex := range e.Exceptions() {
+	for _, ex := range exceptions {
 		key := NormalizeSignature(ex.Signature)
 		if ex.Handled || b.Exceptions[key] || seen[key] {
 			continue
@@ -499,7 +527,7 @@ func (t *Tester) Campaign(points []probe.DynPoint) []Report {
 				ev.Fault = rep.Injected.Kind.String()
 			}
 		},
-	}, func(i int) Report { return t.testPoint(i, points[i]) })
+	}, func(i int) Report { return t.runPoint(i, points[i]) })
 	t.record(reports)
 	return reports
 }
