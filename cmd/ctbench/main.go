@@ -410,25 +410,17 @@ func writeMatcherBench(path string, seed int64, scale int) (benchgate.MatcherRec
 	return rec, nil
 }
 
-// writeCampaignBench measures the injection campaign both ways in one
-// process — every run replayed from t=0, then every run forked from the
-// snapshot plan — and writes the speedup record the bench-gate CI job
-// holds against the committed BENCH_campaign.json floor. Analysis,
-// profiling, the baseline and the reference pass all run outside the
-// timed loops; an untimed differential pass first proves the two paths
-// produce byte-identical reports, so the ratio compares equal work.
-func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.CampaignRecord, error) {
-	var rec benchgate.CampaignRecord
-	r, err := all.ByName(system)
-	if err != nil {
-		return rec, err
-	}
+// campaignFixture runs analysis, profiling and the baseline for one
+// system at one scale and returns a sequential Tester plus the profiled
+// dynamic points — everything the campaign benchmark needs outside its
+// timed loops.
+func campaignFixture(r cluster.Runner, seed int64, scale int) (*trigger.Tester, []probe.DynPoint, error) {
 	opts := core.Options{Seed: seed, Scale: scale}
 	res, matcher := core.SharedArtifacts.AnalysisPhase(r, opts)
 	core.ProfilePhase(r, res, opts)
 	points := res.Dynamic.Points
 	if len(points) == 0 {
-		return rec, fmt.Errorf("campaign-bench: profiling found no dynamic points")
+		return nil, nil, fmt.Errorf("campaign-bench: profiling found no dynamic points at scale %d", scale)
 	}
 	t := &trigger.Tester{
 		Config:   campaign.Config{Workers: 1}, // per-run cost, not pool speedup
@@ -439,25 +431,35 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 		Seed:     seed,
 		Scale:    scale,
 	}
-	plan := t.BuildSnapshotPlan()
+	return t, points, nil
+}
 
+// campaignSpeedup is the interleaved-round estimator behind both the
+// headline record and the sweep entries: the same campaign timed both
+// ways in adjacent short rounds, with the ns/op fields as per-side
+// round floors and a median-pair-ratio sanity fence.
+//
+// Two back-to-back testing.Benchmark phases would let a burst of
+// external load (CI runners, shared VMs) land entirely on one side and
+// skew the ratio in either direction. Instead both paths are timed in
+// short adjacent rounds, so each pair sees the same machine weather.
+// Contention only ever adds time, so the fastest round per side is the
+// best estimate of that side's true cost; the median of per-pair ratios
+// is far noisier (load shifts within a pair's ~25ms window) and is kept
+// only as a sanity fence — if it strays wildly below the floor ratio,
+// the floors were measured under such asymmetric load that the run must
+// not publish a record at all.
+func campaignSpeedup(t *trigger.Tester, points []probe.DynPoint, plan *trigger.SnapshotPlan) (legacyNs, snapNs float64, iters int, err error) {
+	// An untimed differential pass first proves the two paths produce
+	// byte-identical reports, so the ratio compares equal work.
 	t.Snapshots = nil
 	legacyReports := t.Campaign(points)
 	t.Snapshots = plan
 	snapReports := t.Campaign(points)
 	if !reflect.DeepEqual(legacyReports, snapReports) {
-		return rec, fmt.Errorf("campaign-bench: snapshot reports diverged from full replays; benchmark would compare unequal work")
+		return 0, 0, 0, fmt.Errorf("campaign-bench: snapshot reports diverged from full replays at scale %d; benchmark would compare unequal work", t.Scale)
 	}
 
-	// Paired-round timing. Two back-to-back testing.Benchmark phases let
-	// a burst of external load (CI runners, shared VMs) land entirely on
-	// one side and skew the ratio in either direction. Instead both
-	// paths are timed in short adjacent rounds, so each pair sees the
-	// same machine weather, and the reported speedup is the median of
-	// the per-pair ratios — robust to both transient spikes and
-	// sustained background load. The ns/op fields report each side's
-	// fastest round (contention only ever adds time), so they are
-	// floors; the gate's load-bearing check is the ratio.
 	timeRound := func(iters int) float64 {
 		start := time.Now()
 		for i := 0; i < iters; i++ {
@@ -478,17 +480,17 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 		roundBudget = 12e6 // ns of work per side per round
 	)
 	// Collect garbage left by whatever ran earlier in this process (e.g.
-	// the matcher benchmark) once, before calibration; the calibration
-	// passes then re-establish steady-state GC pacing before any round
-	// is timed. Forcing a GC inside the round loop would be worse: it
-	// shrinks the pacer's heap goal every pair and the recovery cost
-	// lands disproportionately on the lighter snapshot side.
+	// the matcher benchmark, a previous sweep scale) once, before
+	// calibration; the calibration passes then re-establish steady-state
+	// GC pacing before any round is timed. Forcing a GC inside the round
+	// loop would be worse: it shrinks the pacer's heap goal every pair
+	// and the recovery cost lands disproportionately on the lighter
+	// snapshot side.
 	runtime.GC()
 	t.Snapshots = nil
 	legacyIters := calibrate(roundBudget)
 	t.Snapshots = plan
 	snapIters := calibrate(roundBudget)
-	legacyNs, snapNs := 0.0, 0.0
 	ratios := make([]float64, 0, rounds)
 	for i := 0; i < rounds; i++ {
 		t.Snapshots = nil
@@ -503,21 +505,98 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 		}
 		ratios = append(ratios, lv/sv)
 		if os.Getenv("CTBENCH_ROUNDS") != "" {
-			fmt.Fprintf(os.Stderr, "round %2d: legacy %.0f snap %.0f ratio %.2f\n", i, lv, sv, lv/sv)
+			fmt.Fprintf(os.Stderr, "scale %d round %2d: legacy %.0f snap %.0f ratio %.2f\n", t.Scale, i, lv, sv, lv/sv)
 		}
 	}
+	t.Snapshots = nil
 	sort.Float64s(ratios)
 	medianRatio := ratios[len(ratios)/2]
-	// Speedup is the ratio of the two noise floors. Contention on a
-	// shared runner only ever adds time, so the fastest round per side is
-	// the best estimate of that side's true cost; the median of per-pair
-	// ratios is far noisier here because load shifts within a pair's
-	// ~25ms window. The median is kept as a sanity fence: if it strays
-	// wildly below the floor ratio, the floors were measured under such
-	// asymmetric load that the run should not publish a record at all.
+	if speedup := legacyNs / snapNs; medianRatio < speedup/2 {
+		return 0, 0, 0, fmt.Errorf("campaign-bench: unstable measurement at scale %d (floor ratio %.2fx vs median pair ratio %.2fx); rerun on a quieter machine", t.Scale, speedup, medianRatio)
+	}
+	return legacyNs, snapNs, rounds * snapIters, nil
+}
+
+// sweepScales picks the points-scale sweep for a gated scale: the
+// smallest workload, the midpoint, and the gated scale itself, deduped.
+func sweepScales(scale int) []int {
+	out := []int{1}
+	if mid := (scale + 1) / 2; mid > 1 && mid < scale {
+		out = append(out, mid)
+	}
+	if scale > 1 {
+		out = append(out, scale)
+	}
+	return out
+}
+
+// writeCampaignBench measures the injection campaign both ways in one
+// process — every run replayed from t=0, then every run forked from the
+// snapshot plan's clone ladder — and writes the speedup record the
+// bench-gate CI job holds against the committed BENCH_campaign.json
+// floor. Analysis, profiling, the baseline and the reference pass all
+// run outside the timed loops. Alongside the gated-scale headline the
+// record carries the retained heap per clone rung (the memory price of
+// skipping prefix replay) and a points-scale sweep showing the speedup
+// growing with timeline length.
+func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.CampaignRecord, error) {
+	var rec benchgate.CampaignRecord
+	r, err := all.ByName(system)
+	if err != nil {
+		return rec, err
+	}
+	t, points, err := campaignFixture(r, seed, scale)
+	if err != nil {
+		return rec, err
+	}
+
+	// Clone memory: build the plan twice, once with rung capture
+	// suppressed, and difference the post-GC retained heap. The lean
+	// plan's own footprint (fingerprints, stashed logs) cancels out,
+	// leaving what the clone ladder itself pins.
+	var base, leanStats, cloneStats runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&base)
+	t.NoClone = true
+	leanPlan := t.BuildSnapshotPlan()
+	runtime.GC()
+	runtime.ReadMemStats(&leanStats)
+	t.NoClone = false
+	plan := t.BuildSnapshotPlan()
+	runtime.GC()
+	runtime.ReadMemStats(&cloneStats)
+	runtime.KeepAlive(leanPlan)
+	if plan.Rungs() == 0 {
+		return rec, fmt.Errorf("campaign-bench: %s captured no clone rungs; the benchmark would compare lean replay against itself", r.Name())
+	}
+	cloneBytes := (int64(cloneStats.HeapAlloc) - int64(leanStats.HeapAlloc)) -
+		(int64(leanStats.HeapAlloc) - int64(base.HeapAlloc))
+	bytesPerSnapshot := cloneBytes / int64(plan.Rungs())
+	if bytesPerSnapshot < 0 {
+		bytesPerSnapshot = 0
+	}
+
+	legacyNs, snapNs, iters, err := campaignSpeedup(t, points, plan)
+	if err != nil {
+		return rec, err
+	}
 	speedup := legacyNs / snapNs
-	if medianRatio < speedup/2 {
-		return rec, fmt.Errorf("campaign-bench: unstable measurement (floor ratio %.2fx vs median pair ratio %.2fx); rerun on a quieter machine", speedup, medianRatio)
+
+	sweep := make([]benchgate.SweepPoint, 0, 3)
+	for _, sc := range sweepScales(scale) {
+		if sc == scale {
+			sweep = append(sweep, benchgate.SweepPoint{Scale: sc, Points: len(points), Speedup: speedup})
+			continue
+		}
+		ts, pts, err := campaignFixture(r, seed, sc)
+		if err != nil {
+			return rec, err
+		}
+		ln, sn, _, err := campaignSpeedup(ts, pts, ts.BuildSnapshotPlan())
+		if err != nil {
+			return rec, err
+		}
+		sweep = append(sweep, benchgate.SweepPoint{Scale: sc, Points: len(pts), Speedup: ln / sn})
 	}
 
 	// Allocation counts are stable run to run; one untimed pass suffices.
@@ -530,25 +609,32 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 		_ = t.Campaign(points)
 	}
 	runtime.ReadMemStats(&m1)
+	t.Snapshots = nil
 
 	rec = benchgate.CampaignRecord{
-		Benchmark:       benchgate.CampaignKind,
-		System:          r.Name(),
-		PointsPerOp:     len(points),
-		SnapshotPoints:  plan.Points(),
-		Iterations:      rounds * snapIters,
-		LegacyNsPerOp:   legacyNs,
-		SnapshotNsPerOp: snapNs,
-		Speedup:         speedup,
-		MinSpeedup:      5,
-		AllocsPerOp:     int64((m1.Mallocs - m0.Mallocs) / allocIters),
-		BytesPerOp:      int64((m1.TotalAlloc - m0.TotalAlloc) / allocIters),
+		Benchmark:             benchgate.CampaignKind,
+		System:                r.Name(),
+		PointsPerOp:           len(points),
+		SnapshotPoints:        plan.Points(),
+		Iterations:            iters,
+		LegacyNsPerOp:         legacyNs,
+		SnapshotNsPerOp:       snapNs,
+		Speedup:               speedup,
+		MinSpeedup:            8,
+		AllocsPerOp:           int64((m1.Mallocs - m0.Mallocs) / allocIters),
+		BytesPerOp:            int64((m1.TotalAlloc - m0.TotalAlloc) / allocIters),
+		CloneRungs:            plan.Rungs(),
+		CloneBytesPerSnapshot: bytesPerSnapshot,
+		Sweep:                 sweep,
 	}
 	if err := benchgate.WriteFile(path, rec); err != nil {
 		return rec, err
 	}
-	fmt.Fprintf(os.Stderr, "campaign-bench: %s — %d points, legacy %.0f ns/op, snapshot %.0f ns/op, %.2fx speedup, %d allocs/op\n",
-		path, rec.PointsPerOp, rec.LegacyNsPerOp, rec.SnapshotNsPerOp, rec.Speedup, rec.AllocsPerOp)
+	fmt.Fprintf(os.Stderr, "campaign-bench: %s — %d points, legacy %.0f ns/op, snapshot %.0f ns/op, %.2fx speedup, %d allocs/op, %d rungs @ %d B retained\n",
+		path, rec.PointsPerOp, rec.LegacyNsPerOp, rec.SnapshotNsPerOp, rec.Speedup, rec.AllocsPerOp, rec.CloneRungs, rec.CloneBytesPerSnapshot)
+	for _, sp := range rec.Sweep {
+		fmt.Fprintf(os.Stderr, "campaign-bench:   sweep scale %d — %d points, %.2fx\n", sp.Scale, sp.Points, sp.Speedup)
+	}
 	return rec, nil
 }
 

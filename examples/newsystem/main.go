@@ -8,6 +8,13 @@
 //     statements) whose instruction indexes match the probe calls, and
 //  3. probe calls at every candidate crash-point site.
 //
+// — plus one optional but strongly recommended contract: schedule every
+// mid-run timer through the keyed API (sim.AfterKeyed/EveryKeyed with
+// handlers registered via Node.Handle) and implement cluster.Cloneable,
+// so injection campaigns fork your runs from deep-copied engine clones
+// instead of replaying each prefix from t=0. Systems that skip this
+// still work — the campaign transparently falls back to lean replay.
+//
 // This example runs the pipeline on it and walks through what each phase
 // derived from the model, ending with the two seeded bugs found.
 //
@@ -29,6 +36,8 @@ func main() {
 	fmt.Println("  2. model the code in IR; keep Pt* constants aligned with instruction indexes")
 	fmt.Println("  3. call probe.PreRead/PostWrite at the matching sites, with runtime values")
 	fmt.Println("  4. log meta-info the way real systems do — the analysis only sees your logs")
+	fmt.Println("  5. schedule mid-run timers with AfterKeyed/EveryKeyed and implement")
+	fmt.Println("     cluster.Cloneable, so campaigns fork clones instead of replaying prefixes")
 	fmt.Println()
 
 	// The model is analyzable on its own.

@@ -13,6 +13,14 @@
 // is one (log pattern, node) pair observed during profiling, and the
 // injection crashes the writing node right after (or just before) one of
 // its emissions. The static side of Table 8 comes from the IR census.
+//
+// Baseline campaigns are deliberately excluded from the clone-fork
+// machinery (trigger.SnapshotPlan): each baseline run draws its own
+// per-run seed and injects at t chosen before the run starts, so no two
+// runs share a fault-free prefix to fork from — there is nothing for a
+// clone ladder to amortize. The closure timers scheduled here
+// (sim.Engine.After) are therefore fine; they never coexist with an
+// Engine.Clone.
 package baseline
 
 import (

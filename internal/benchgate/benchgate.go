@@ -65,6 +65,27 @@ type CampaignRecord struct {
 	MinSpeedup  float64 `json:"min_speedup"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// CloneRungs is how many engine clones the reference pass retained
+	// as fork bases; zero means the system fell back to lean replay for
+	// every point, which for a migrated system is a regression.
+	CloneRungs int `json:"clone_rungs"`
+	// CloneBytesPerSnapshot is the retained heap per captured clone
+	// (live bytes after GC attributable to one rung of the ladder), the
+	// memory price paid for skipping prefix replay.
+	CloneBytesPerSnapshot int64 `json:"clone_bytes_per_snapshot"`
+	// Sweep records the speedup at increasing workload scales, measured
+	// with the same interleaved estimator as the headline number. Clone
+	// forks amortize better the longer the fault-free prefix, so the
+	// sweep must not invert: a last entry slower than the first means
+	// forking stopped scaling with timeline length.
+	Sweep []SweepPoint `json:"sweep,omitempty"`
+}
+
+// SweepPoint is one entry of a campaign record's points-scale sweep.
+type SweepPoint struct {
+	Scale   int     `json:"scale"`
+	Points  int     `json:"points"`
+	Speedup float64 `json:"speedup"`
 }
 
 // CampaignKind is the benchmark discriminator of CampaignRecord files.
@@ -132,6 +153,24 @@ func CheckCampaign(fresh, floor CampaignRecord, tol Tolerance) []string {
 	if limit := allocLimit(floor.AllocsPerOp, tol); float64(fresh.AllocsPerOp) > limit {
 		v = append(v, fmt.Sprintf("allocs/op regression: %d > %.0f (floor %d + %.0f%% slack)",
 			fresh.AllocsPerOp, limit, floor.AllocsPerOp, tol.AllocSlack*100))
+	}
+	if fresh.CloneRungs != floor.CloneRungs {
+		v = append(v, fmt.Sprintf("workload drift: %d clone rungs, committed floor has %d — regenerate the floor file",
+			fresh.CloneRungs, floor.CloneRungs))
+	}
+	// Clone memory gets the alloc slack plus 4 KiB of absolute headroom:
+	// retained-heap measurements round to allocator size classes, so tiny
+	// floors would otherwise gate on bucketing noise.
+	if limit := float64(floor.CloneBytesPerSnapshot)*(1+tol.AllocSlack) + 4096; floor.CloneBytesPerSnapshot > 0 && float64(fresh.CloneBytesPerSnapshot) > limit {
+		v = append(v, fmt.Sprintf("clone memory regression: %d bytes/snapshot > %.0f (floor %d + %.0f%% slack + 4KiB)",
+			fresh.CloneBytesPerSnapshot, limit, floor.CloneBytesPerSnapshot, tol.AllocSlack*100))
+	}
+	if len(fresh.Sweep) > 1 {
+		first, last := fresh.Sweep[0], fresh.Sweep[len(fresh.Sweep)-1]
+		if last.Speedup < first.Speedup {
+			v = append(v, fmt.Sprintf("sweep inversion: %.2fx at scale %d < %.2fx at scale %d — clone speedup no longer grows with timeline length",
+				last.Speedup, last.Scale, first.Speedup, first.Scale))
+		}
 	}
 	return v
 }

@@ -3,6 +3,7 @@ package benchgate
 import (
 	"encoding/json"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -23,17 +24,24 @@ func matcherFloor() MatcherRecord {
 
 func campaignFloor() CampaignRecord {
 	return CampaignRecord{
-		Benchmark:       CampaignKind,
-		System:          "yarn",
-		PointsPerOp:     40,
-		SnapshotPoints:  30,
-		Iterations:      3,
-		LegacyNsPerOp:   10e9,
-		SnapshotNsPerOp: 1e9,
-		Speedup:         10,
-		MinSpeedup:      5,
-		AllocsPerOp:     1000000,
-		BytesPerOp:      8000000,
+		Benchmark:             CampaignKind,
+		System:                "yarn",
+		PointsPerOp:           40,
+		SnapshotPoints:        30,
+		Iterations:            3,
+		LegacyNsPerOp:         10e9,
+		SnapshotNsPerOp:       1e9,
+		Speedup:               10,
+		MinSpeedup:            5,
+		AllocsPerOp:           1000000,
+		BytesPerOp:            8000000,
+		CloneRungs:            12,
+		CloneBytesPerSnapshot: 250000,
+		Sweep: []SweepPoint{
+			{Scale: 1, Points: 10, Speedup: 5},
+			{Scale: 3, Points: 14, Speedup: 8},
+			{Scale: 6, Points: 18, Speedup: 10},
+		},
 	}
 }
 
@@ -112,6 +120,40 @@ func TestCampaignGateCatchesRelativeRegression(t *testing.T) {
 	}
 }
 
+func TestCampaignGateCatchesCloneRegressions(t *testing.T) {
+	tol := DefaultTolerance()
+	cases := []struct {
+		name   string
+		mutate func(*CampaignRecord)
+		want   string
+	}{
+		{"rungs-lost", func(r *CampaignRecord) { r.CloneRungs = 0 }, "clone rungs"},
+		{"clone-memory", func(r *CampaignRecord) { r.CloneBytesPerSnapshot *= 2 }, "clone memory regression"},
+		{"sweep-inversion", func(r *CampaignRecord) {
+			r.Sweep = append([]SweepPoint(nil), r.Sweep...)
+			r.Sweep[len(r.Sweep)-1].Speedup = r.Sweep[0].Speedup - 1
+		}, "sweep inversion"},
+	}
+	for _, tc := range cases {
+		fresh := campaignFloor()
+		tc.mutate(&fresh)
+		v := CheckCampaign(fresh, campaignFloor(), tol)
+		if len(v) == 0 {
+			t.Errorf("%s: regression passed the gate", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.Join(v, "\n"), tc.want) {
+			t.Errorf("%s: violations %v do not mention %q", tc.name, v, tc.want)
+		}
+	}
+	// Bucketing headroom: a small absolute wobble on a small floor passes.
+	fresh := campaignFloor()
+	fresh.CloneBytesPerSnapshot += 4000
+	if v := CheckCampaign(fresh, campaignFloor(), tol); len(v) != 0 {
+		t.Errorf("in-headroom clone-memory wobble rejected: %v", v)
+	}
+}
+
 // The JSON schema is the contract with the committed floor files: field
 // names must round-trip exactly (BENCH_matcher.json predates this
 // package and its keys are frozen).
@@ -137,7 +179,7 @@ func TestRecordSchemaRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c != campaignFloor() {
+	if !reflect.DeepEqual(c, campaignFloor()) {
 		t.Errorf("campaign record did not round-trip: %+v", c)
 	}
 

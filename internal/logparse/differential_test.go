@@ -121,7 +121,7 @@ func TestMatcherRoundTripIdentifiesPattern(t *testing.T) {
 				b.WriteString(values[rng.Intn(len(values))])
 			}
 		}
-		got := m.Match(dslog.Record{Text: b.String()})
+		got := m.NewSession().Match(dslog.Record{Text: b.String()})
 		if got == nil {
 			t.Fatalf("no match for rendered %q", b.String())
 		}

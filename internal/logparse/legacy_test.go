@@ -123,8 +123,8 @@ func assertSameMatch(t *testing.T, system, api, text string, want, got *logparse
 // on every system's real profiling logs (core systems and extensions),
 // the optimized matcher must return exactly the matches of the
 // pre-optimization implementation — same pattern, same extracted values,
-// same rejections — through both the session API and the pooled
-// convenience API.
+// same rejections — through a long-lived session and a fresh one-shot
+// session per record (the two session lifetimes callers use).
 func TestMatcherAgreesWithLegacyOnSystemLogs(t *testing.T) {
 	runners := append(all.Runners(), all.Extensions()...)
 	for _, r := range runners {
@@ -138,7 +138,7 @@ func TestMatcherAgreesWithLegacyOnSystemLogs(t *testing.T) {
 			for _, rec := range records {
 				want := legacy.match(rec)
 				assertSameMatch(t, r.Name(), "session", rec.Text, want, s.Match(rec))
-				assertSameMatch(t, r.Name(), "pooled", rec.Text, want, m.Match(rec))
+				assertSameMatch(t, r.Name(), "one-shot", rec.Text, want, m.NewSession().Match(rec))
 				if want != nil {
 					matched++
 				}

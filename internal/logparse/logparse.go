@@ -20,7 +20,6 @@ package logparse
 
 import (
 	"strings"
-	"sync"
 
 	"repro/internal/dslog"
 	"repro/internal/ir"
@@ -79,9 +78,6 @@ type Matcher struct {
 	prefilter bool
 	preExact  map[string]bool
 	prePrefix []string
-
-	// sessions backs the stateless Match/ParseAll convenience API.
-	sessions sync.Pool
 }
 
 // ExtractPatterns walks the program and returns one Pattern per logging
@@ -144,7 +140,6 @@ func NewMatcher(patterns []*Pattern) *Matcher {
 			m.prePrefix = append(m.prePrefix, w)
 		}
 	}
-	m.sessions.New = func() any { return m.NewSession() }
 	return m
 }
 
@@ -340,20 +335,6 @@ func (m *Matcher) firstTokenOK(tok string) bool {
 		}
 	}
 	return false
-}
-
-// Match parses one runtime log instance. It returns nil if no pattern
-// matches exactly. This stateless form borrows a pooled session.
-//
-// Deprecated: hold a MatchSession (NewSession) and call its Match
-// method instead; the pooled round-trip costs sync.Pool traffic on
-// every record and hides the session's scratch-state reuse. Kept for
-// compatibility with existing one-shot callers.
-func (m *Matcher) Match(rec dslog.Record) *Match {
-	s := m.sessions.Get().(*MatchSession)
-	mt := s.Match(rec)
-	m.sessions.Put(s)
-	return mt
 }
 
 // parseExact attempts a structural match of text against the interleaved

@@ -63,7 +63,7 @@ func TestMatchFig5Instances(t *testing.T) {
 		{"JVM with ID: jvm_1_m_4 given task: attempt_1_4", []string{"jvm_1_m_4", "attempt_1_4"}},
 	}
 	for _, c := range cases {
-		got := m.Match(rec(c.text))
+		got := m.NewSession().Match(rec(c.text))
 		if got == nil {
 			t.Errorf("no match for %q", c.text)
 			continue
@@ -84,7 +84,7 @@ func TestAmbiguousPrefixesResolve(t *testing.T) {
 	// "Assigned container X on host Y" and "Assigned container X to Y"
 	// share a long prefix; the scorer must still land on the right one.
 	m := NewMatcher(ExtractPatterns(fig5Program()))
-	got := m.Match(rec("Assigned container c_9 to attempt_9"))
+	got := m.NewSession().Match(rec("Assigned container c_9 to attempt_9"))
 	if got == nil {
 		t.Fatal("no match")
 	}
@@ -95,14 +95,14 @@ func TestAmbiguousPrefixesResolve(t *testing.T) {
 
 func TestNoMatch(t *testing.T) {
 	m := NewMatcher(ExtractPatterns(fig5Program()))
-	if m.Match(rec("totally unrelated text")) != nil {
+	if m.NewSession().Match(rec("totally unrelated text")) != nil {
 		t.Error("matched unrelated text")
 	}
-	if m.Match(rec("")) != nil {
+	if m.NewSession().Match(rec("")) != nil {
 		t.Error("matched empty text")
 	}
 	// Shares words but the structure differs.
-	if m.Match(rec("container on host registered")) != nil {
+	if m.NewSession().Match(rec("container on host registered")) != nil {
 		t.Error("matched structurally different text")
 	}
 }
@@ -169,7 +169,7 @@ func TestTopKLimit(t *testing.T) {
 	p.Build()
 	m := NewMatcher(ExtractPatterns(p))
 	text := "common words everywhere variant7 value"
-	if m.Match(rec(text)) == nil {
+	if m.NewSession().Match(rec(text)) == nil {
 		t.Error("default TopK failed to match")
 	}
 }
@@ -244,14 +244,14 @@ func TestCandidateOrderingDeterministic(t *testing.T) {
 	}
 	// Identical duplicate patterns: the tie must resolve to the earlier one.
 	m := mk([]string{"lost node ", ""}, []string{"lost node ", ""})
-	got := m.Match(rec("lost node n1"))
+	got := m.NewSession().Match(rec("lost node n1"))
 	if got == nil || string(got.Pattern.Point) != "p0" {
 		t.Fatalf("duplicate patterns: matched %+v, want p0", got)
 	}
 	// Higher-scoring candidate is tried (and wins) first, even though the
 	// lower-scoring one would also parse.
 	m = mk([]string{"a b c ", ""}, []string{"a b c d ", ""})
-	got = m.Match(rec("a b c d x"))
+	got = m.NewSession().Match(rec("a b c d x"))
 	if got == nil || string(got.Pattern.Point) != "p1" {
 		t.Fatalf("score ordering: matched %+v, want p1", got)
 	}
@@ -265,19 +265,19 @@ func TestCandidateOrderingDeterministic(t *testing.T) {
 func TestPrefilterAnchorForms(t *testing.T) {
 	mid := NewMatcher([]*Pattern{{Point: "mid", Stmt: &ir.LogStmt{
 		Level: "info", Segments: []string{"node", " up"}, Args: make([]ir.LogArg, 1)}}})
-	if got := mid.Match(rec("node9 up")); got == nil || got.Values[0] != "9" {
+	if got := mid.NewSession().Match(rec("node9 up")); got == nil || got.Values[0] != "9" {
 		t.Errorf("mid-word anchor: %+v", got)
 	}
-	if got := mid.Match(rec("nod up")); got != nil {
+	if got := mid.NewSession().Match(rec("nod up")); got != nil {
 		t.Errorf("short token matched mid-word anchor: %+v", got)
 	}
-	if got := mid.Match(rec("xnode9 up")); got != nil {
+	if got := mid.NewSession().Match(rec("xnode9 up")); got != nil {
 		t.Errorf("non-prefix token matched mid-word anchor: %+v", got)
 	}
 
 	lead := NewMatcher([]*Pattern{{Point: "lead", Stmt: &ir.LogStmt{
 		Level: "info", Segments: []string{"", " lost"}, Args: make([]ir.LogArg, 1)}}})
-	if got := lead.Match(rec("n1 lost")); got == nil || got.Values[0] != "n1" {
+	if got := lead.NewSession().Match(rec("n1 lost")); got == nil || got.Values[0] != "n1" {
 		t.Errorf("leading variable: %+v", got)
 	}
 }
@@ -322,13 +322,13 @@ func TestMatcherConcurrentSessions(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer func() { done <- struct{}{} }()
-			s := m.NewSession()
+			s, s2 := m.NewSession(), m.NewSession()
 			for i := 0; i < 500; i++ {
 				r := rec(texts[(i+w)%len(texts)])
 				if s.Match(r) != nil {
 					counts[w]++
 				}
-				if m.Match(r) != nil { // pooled API from many goroutines too
+				if s2.Match(r) != nil { // a second independent session
 					counts[w]++
 				}
 			}

@@ -22,13 +22,26 @@ var DefaultHeartbeat = HeartbeatConfig{
 	Kind:    "heartbeat",
 }
 
+// hbArg is the descriptor behind the builtin HeartbeatKey timer: the
+// periodic send is data the engine interprets, not a closure, so the
+// series survives Engine.Clone.
+type hbArg struct {
+	master  NodeID
+	service string
+	kind    string
+}
+
 // StartHeartbeats makes worker send cfg.Kind messages to the cfg.Service
 // endpoint on master every cfg.Period. The series stops automatically when
-// the worker dies.
+// the worker dies. The series is a builtin keyed timer, so it is carried
+// across Engine.Clone without any re-wiring.
 func StartHeartbeats(e *Engine, worker, master NodeID, cfg HeartbeatConfig) *Timer {
-	send := func() { e.Send(worker, master, cfg.Service, cfg.Kind, nil) }
-	send()
-	return e.Every(worker, cfg.Period, send)
+	e.Send(worker, master, cfg.Service, cfg.Kind, nil)
+	return e.EveryKeyed(worker, cfg.Period, HeartbeatKey, hbArg{
+		master:  master,
+		service: cfg.Service,
+		kind:    cfg.Kind,
+	})
 }
 
 // LivenessMonitor tracks last-heard times for workers and reports LOST
@@ -47,6 +60,14 @@ type LivenessMonitor struct {
 
 // NewLivenessMonitor starts a monitor on master; onLost is invoked exactly
 // once per worker that misses cfg.Timeout of heartbeats.
+//
+// The periodic check is the builtin LivenessKey timer, found through the
+// engine's monitor registry rather than a captured closure. Registering a
+// second monitor on the same master replaces the first in the registry;
+// the displaced monitor's timer keeps firing through the registry's
+// current occupant, so replace-and-rewire paths (e.g. a master rejoin
+// installing a fresh monitor) keep the old timer's schedule slot. Callers
+// that want the old cadence gone should Stop the old monitor first.
 func NewLivenessMonitor(e *Engine, master NodeID, cfg HeartbeatConfig, onLost func(NodeID)) *LivenessMonitor {
 	lm := &LivenessMonitor{
 		e:      e,
@@ -60,8 +81,41 @@ func NewLivenessMonitor(e *Engine, master NodeID, cfg HeartbeatConfig, onLost fu
 	if period <= 0 {
 		period = DefaultHeartbeat.Period
 	}
-	lm.checker = e.Every(master, period, lm.check)
+	if e.monitors == nil {
+		e.monitors = make(map[NodeID]*LivenessMonitor)
+	}
+	e.monitors[master] = lm
+	lm.checker = e.EveryKeyed(master, period, LivenessKey, nil)
 	return lm
+}
+
+// CloneTo re-creates the monitor on a cloned engine: tracked/lost state is
+// deep-copied, the pending checker timer (already carried by Engine.Clone
+// as a keyed descriptor) is remapped so Stop still works, and the clone is
+// registered in e2's monitor registry so LivenessKey dispatch finds it.
+// onLost cannot be copied — the caller supplies a fresh callback closing
+// over the cloned system model.
+func (lm *LivenessMonitor) CloneTo(e2 *Engine, remap *TimerRemap, onLost func(NodeID)) *LivenessMonitor {
+	lm2 := &LivenessMonitor{
+		e:      e2,
+		master: lm.master,
+		cfg:    lm.cfg,
+		last:   make(map[NodeID]Time, len(lm.last)),
+		lost:   make(map[NodeID]bool, len(lm.lost)),
+		onLost: onLost,
+	}
+	for id, t := range lm.last {
+		lm2.last[id] = t
+	}
+	for id, l := range lm.lost {
+		lm2.lost[id] = l
+	}
+	lm2.checker = remap.Timer(lm.checker)
+	if e2.monitors == nil {
+		e2.monitors = make(map[NodeID]*LivenessMonitor)
+	}
+	e2.monitors[lm.master] = lm2
+	return lm2
 }
 
 // Track registers worker with the monitor (e.g. on registration).

@@ -97,6 +97,14 @@ type event struct {
 	// dispatch, Run reschedules the same event at now+period instead of
 	// recycling it.
 	period Time
+	// key, when non-empty, marks a data-driven timer (see AfterKeyed /
+	// EveryKeyed): dispatch routes through the node's keyed-handler
+	// registry with arg instead of calling a closure. Keyed events are
+	// what makes the pending queue copyable — they describe work as data,
+	// so Engine.Clone can carry them into a forked engine, which no
+	// closure can survive.
+	key string
+	arg any
 }
 
 // eventHeap is a 4-ary min-heap ordered by (at, seq). The sift
@@ -202,6 +210,12 @@ type ServiceFunc func(e *Engine, m Message)
 // HandleMessage calls f(e, m).
 func (f ServiceFunc) HandleMessage(e *Engine, m Message) { f(e, m) }
 
+// KeyedHandler executes one keyed timer on behalf of a node. The arg is
+// whatever the scheduling site passed to AfterKeyed/EveryKeyed; handlers
+// must treat it as immutable (a cloned engine shares args with its
+// source).
+type KeyedHandler func(e *Engine, node NodeID, arg any)
+
 // Node is a simulated machine.
 type Node struct {
 	ID       NodeID
@@ -215,6 +229,10 @@ type Node struct {
 	// one or two endpoints, so a linear scan beats hashing the service
 	// name on every delivery and spares the map allocation per node.
 	services []svcEntry
+	// keyed is the node's keyed-timer handler registry, an association
+	// list like services. Cleared on Restart alongside them; rejoin and
+	// clone wiring re-register.
+	keyed []keyedEntry
 	// shutdownHooks run synchronously, in registration order, when the
 	// node is gracefully shut down.
 	shutdownHooks []func(*Engine)
@@ -247,6 +265,12 @@ type svcEntry struct {
 	s    Service
 }
 
+// keyedEntry is one keyed-timer handler on a node.
+type keyedEntry struct {
+	key string
+	h   KeyedHandler
+}
+
 // Register installs a service under the given name, replacing any
 // previous registration of the same name.
 func (n *Node) Register(service string, s Service) {
@@ -264,6 +288,29 @@ func (n *Node) service(name string) Service {
 	for i := range n.services {
 		if n.services[i].name == name {
 			return n.services[i].s
+		}
+	}
+	return nil
+}
+
+// Handle installs a keyed-timer handler under key, replacing any
+// previous registration. Keyed timers scheduled with AfterKeyed or
+// EveryKeyed on this node dispatch through it.
+func (n *Node) Handle(key string, h KeyedHandler) {
+	for i := range n.keyed {
+		if n.keyed[i].key == key {
+			n.keyed[i].h = h
+			return
+		}
+	}
+	n.keyed = append(n.keyed, keyedEntry{key: key, h: h})
+}
+
+// keyedHandler looks up a registered keyed handler, or nil.
+func (n *Node) keyedHandler(key string) KeyedHandler {
+	for i := range n.keyed {
+		if n.keyed[i].key == key {
+			return n.keyed[i].h
 		}
 	}
 	return nil
@@ -306,14 +353,21 @@ type Engine struct {
 	// of nodes, so lookups scan linearly instead of hashing the ID —
 	// cheaper than a map on the per-event hot path, and iteration order
 	// is the deterministic creation order for free.
-	nodes      []*Node
-	rng        *rand.Rand
-	stopped    bool
+	nodes   []*Node
+	rng     *rand.Rand
+	stopped bool
+	// src is the RNG's cursor over the per-seed replay buffer. The engine
+	// keeps the pointer rand.New hides so Clone can copy the stream
+	// position — the whole RNG state — into a forked engine.
+	src        *streamSource
 	faults     []FaultRecord
 	exceptions []Exception
-	handled    uint64   // events dispatched
-	recycled   uint64   // freelist recycles (generation bumps), see Fingerprint
-	free       []*event // recycled events for the scheduling fast path
+	// monitors holds the liveness monitor running on each master node, so
+	// the builtin LivenessKey timer dispatches as data (see heartbeat.go).
+	monitors map[NodeID]*LivenessMonitor
+	handled  uint64   // events dispatched
+	recycled uint64   // freelist recycles (generation bumps), see Fingerprint
+	free     []*event // recycled events for the scheduling fast path
 	// lastNode is a one-entry lookup cache in front of the nodes scan.
 	// Nodes are never removed (death only flips a flag) and the *Node is
 	// mutated in place, so a cached pointer cannot go stale.
@@ -339,8 +393,10 @@ const DefaultMaxSteps = 20_000_000
 // many engines on one seed — a snapshot-forked campaign — pays the
 // expensive source seeding once per process instead of once per run.
 func NewEngine(seed int64) *Engine {
+	src := &streamSource{buf: bufferFor(seed)}
 	return &Engine{
-		rng:            rand.New(&streamSource{buf: bufferFor(seed)}),
+		rng:            rand.New(src),
+		src:            src,
 		MessageLatency: Millisecond,
 	}
 }
@@ -479,6 +535,8 @@ func (e *Engine) recycle(ev *event) {
 	ev.node = ""
 	ev.dead = false
 	ev.period = 0
+	ev.key = ""
+	ev.arg = nil
 	if ev.isMsg {
 		ev.msg = Message{}
 		ev.isMsg = false
@@ -497,6 +555,35 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 // node is dead when it fires.
 func (e *Engine) AfterOn(id NodeID, d Time, fn func()) *Timer {
 	ev := e.schedule(e.now+d, id, fn)
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// AfterKeyed schedules a data-driven timer on behalf of node id: after d
+// elapses, the handler registered under key on the node (see Node.Handle)
+// runs with arg. Builtin keys (HeartbeatKey, LivenessKey) dispatch inside
+// the engine without a registry lookup. Unlike After/AfterOn, the pending
+// event holds no closure, so Engine.Clone can carry it into a forked
+// engine. arg must be treated as immutable once scheduled — a clone
+// shares it with the source.
+func (e *Engine) AfterKeyed(id NodeID, d Time, key string, arg any) *Timer {
+	if key == "" {
+		panic("sim: AfterKeyed requires a non-empty key")
+	}
+	ev := e.schedule(e.now+d, id, nil)
+	ev.key, ev.arg = key, arg
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// EveryKeyed schedules a periodic data-driven timer: every period, the
+// handler registered under key on node id runs with arg. It is Every with
+// the closure replaced by a (key, arg) descriptor; see AfterKeyed for the
+// cloning rationale and Every for the periodic-series semantics.
+func (e *Engine) EveryKeyed(id NodeID, period Time, key string, arg any) *Timer {
+	if key == "" {
+		panic("sim: EveryKeyed requires a non-empty key")
+	}
+	ev := e.everyEvent(id, period, nil)
+	ev.key, ev.arg = key, arg
 	return &Timer{ev: ev, gen: ev.gen}
 }
 
@@ -585,6 +672,7 @@ func (e *Engine) Restart(id NodeID) bool {
 	n.alive = true
 	n.incarnation++
 	n.services = nil
+	n.keyed = nil
 	n.shutdownHooks = nil
 	n.deathHooks = nil
 	e.faults = append(e.faults, FaultRecord{At: e.now, Node: id, Kind: FaultRestart})
@@ -652,7 +740,11 @@ func (e *Engine) Run(deadline Time) RunResult {
 			}
 			e.recycle(ev)
 		} else if ev.period > 0 {
-			ev.fn()
+			if ev.key != "" {
+				e.dispatchKeyed(ev.node, ev.key, ev.arg)
+			} else {
+				ev.fn()
+			}
 			// Reschedule the same event unless the callback killed the
 			// bound node; the series costs no per-tick allocation. The
 			// dead flag is reset because a Stop issued from inside the
@@ -669,6 +761,12 @@ func (e *Engine) Run(deadline Time) RunResult {
 			} else {
 				e.recycle(ev)
 			}
+		} else if ev.key != "" {
+			// Recycle before dispatch, mirroring the fn branch: the handler
+			// may schedule and the event is free for reuse.
+			node, key, arg := ev.node, ev.key, ev.arg
+			e.recycle(ev)
+			e.dispatchKeyed(node, key, arg)
 		} else {
 			fn := ev.fn
 			e.recycle(ev)
@@ -679,6 +777,48 @@ func (e *Engine) Run(deadline Time) RunResult {
 		}
 	}
 	return RunResult{End: e.now, Steps: e.handled}
+}
+
+// Builtin keyed-timer keys, dispatched inside the engine so the helpers
+// in heartbeat.go stay closure-free (and therefore cloneable) without
+// every system registering handlers for them.
+const (
+	// HeartbeatKey drives StartHeartbeats' periodic send; arg is an hbArg.
+	HeartbeatKey = "sim.hb"
+	// LivenessKey drives a LivenessMonitor's periodic check; arg is unused.
+	// The monitor is found through the engine's monitors registry.
+	LivenessKey = "sim.lm"
+)
+
+// dispatchKeyed routes one fired keyed timer. Builtin keys are handled in
+// the engine; everything else goes through the node's registry. A missing
+// handler is a wiring bug — a system scheduled a keyed timer but its
+// (re-)wiring path forgot Node.Handle — and panics loudly rather than
+// dropping work silently; campaign panic isolation converts it to a
+// HarnessError.
+func (e *Engine) dispatchKeyed(id NodeID, key string, arg any) {
+	switch key {
+	case HeartbeatKey:
+		a := arg.(hbArg)
+		e.Send(id, a.master, a.service, a.kind, nil)
+		return
+	case LivenessKey:
+		lm := e.monitors[id]
+		if lm == nil {
+			panic(fmt.Sprintf("sim: liveness timer on %s with no registered monitor", id))
+		}
+		lm.check()
+		return
+	}
+	n := e.node(id)
+	var h KeyedHandler
+	if n != nil {
+		h = n.keyedHandler(key)
+	}
+	if h == nil {
+		panic(fmt.Sprintf("sim: keyed timer %q fired on %s with no handler registered", key, id))
+	}
+	h(e, id, arg)
 }
 
 // Quiesce runs with no deadline and panics if the run exhausts MaxSteps;

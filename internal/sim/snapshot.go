@@ -11,10 +11,11 @@ import "hash/fnv"
 // The fingerprint is the fence of the copy-on-write snapshot machinery
 // (internal/trigger's SnapshotPlan): a snapshot taken during the
 // reference pass records the fingerprint at its crash point, and a
-// forked injection run verifies the recorded value at the same dispatch
-// ordinal before injecting. Because events hold closures, engine state
-// cannot be deep-copied — the fingerprint is what makes "replay the
-// deterministic prefix" checkable instead of assumed.
+// forked injection run — whether it replays the deterministic prefix or
+// resumes from an Engine.Clone — verifies the recorded value at the same
+// dispatch ordinal before injecting. The fingerprint is what makes both
+// "replay the prefix" and "the clone is the prefix" checkable instead of
+// assumed.
 //
 // Recycled is the cumulative count of freelist recycles. Every recycle
 // bumps the pooled event's generation, so equal Recycled counts on the
@@ -44,6 +45,12 @@ func (e *Engine) Fingerprint() Fingerprint {
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, n := range e.nodes {
+		// Length-prefix the ID so adjacent writes cannot be reparsed: without
+		// it, ("ab", alive...) followed by ("c", ...) hashes the same bytes
+		// as ("a", ...) then ("bc", ...)-shaped splits for crafted IDs.
+		buf[0] = byte(len(n.ID))
+		buf[1] = byte(len(n.ID) >> 8)
+		h.Write(buf[:2])
 		h.Write([]byte(n.ID))
 		alive := byte(0)
 		if n.alive {

@@ -30,6 +30,27 @@ const (
 // BugRemovedEndpoint is the seeded bug identifier.
 const BugRemovedEndpoint = "CA-15131"
 
+// Keyed-timer keys (see the toysys template): all mid-run scheduling is
+// (key, arg) data so the run is cloneable; handlers are registered by
+// wireCoord / wirePeer.
+const (
+	keyBoot     = "ca.boot"     // peer: gossip join + heartbeats
+	keyWrite    = "ca.write"    // coord: route one Stress mutation; arg is a writeArg
+	keyWTimeout = "ca.wtimeout" // coord: write-timeout hint + retry; arg is a wtArg
+	keyResume   = "ca.resume"   // coord: post-restart Stress resumption
+	keyApply    = "ca.apply"    // peer: apply a mutation; arg is the mutMsg
+)
+
+// writeArg parameterizes keyWrite.
+type writeArg struct{ i, tries int }
+
+// wtArg parameterizes keyWTimeout.
+type wtArg struct {
+	i, tries int
+	key      string
+	endpoint sim.NodeID
+}
+
 // Runner builds Cassandra runs.
 type Runner struct {
 	// Replicas is the number of data-owning nodes (default 2); the
@@ -91,17 +112,58 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	coord := e.AddNode("node0", 7000)
 	rn.coord = coord.ID
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.coord, hb, func(n sim.NodeID) { rn.removeEndpoint(n, "down") })
-	coord.Register("gossip", sim.ServiceFunc(rn.gossipService))
+	rn.lm = sim.NewLivenessMonitor(e, rn.coord, hb, rn.endpointDown)
+	rn.wireCoord(coord)
 
 	for i := 1; i <= r.replicas(); i++ {
 		p := e.AddNode(fmt.Sprintf("node%d", i), 7000)
-		id := p.ID
-		rn.peers = append(rn.peers, id)
-		p.Register("replica", sim.ServiceFunc(rn.replicaService))
-		p.OnShutdown(func(e *sim.Engine) { rn.removeEndpoint(id, "decommissioned") })
+		rn.peers = append(rn.peers, p.ID)
+		rn.wirePeer(p)
 	}
 	return rn
+}
+
+func (rn *run) endpointDown(n sim.NodeID) { rn.removeEndpoint(n, "down") }
+
+// wireCoord attaches the coordinator's service and keyed handlers;
+// shared by NewRun, rejoinCoord and CloneRun.
+func (rn *run) wireCoord(n *sim.Node) {
+	n.Register("gossip", sim.ServiceFunc(rn.gossipService))
+	n.Handle(keyWrite, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(writeArg)
+		rn.writeKey(a.i, a.tries)
+	})
+	n.Handle(keyWTimeout, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(wtArg)
+		if rn.Status() == cluster.Running && rn.done <= a.i {
+			rn.storeHint(a.key, a.endpoint)
+			rn.writeKey(a.i, a.tries+1)
+		}
+	})
+	n.Handle(keyResume, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.writeKey(rn.done, 0) })
+}
+
+// wirePeer attaches a replica's service, keyed handlers and decommission
+// hook; shared by NewRun, rejoinReplica and CloneRun.
+func (rn *run) wirePeer(n *sim.Node) {
+	id := n.ID
+	n.Register("replica", sim.ServiceFunc(rn.replicaService))
+	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, _ any) {
+		e.Send(self, rn.coord, "gossip", "join", nil)
+		sim.StartHeartbeats(e, self, rn.coord, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn",
+		})
+	})
+	n.Handle(keyApply, func(e *sim.Engine, self sim.NodeID, arg any) {
+		mm := arg.(mutMsg)
+		pb := rn.Cfg.Probe
+		defer pb.Enter(self, "cassandra.db.ColumnFamilyStore.applyMutation")()
+		rn.NoteWork(self)
+		pb.PostWrite(self, PtApplyPut, mm.key, string(self))
+		rn.Logger(self, "ColumnFamilyStore").Info("Applied mutation ", mm.key, " at ", self)
+		e.Send(self, rn.coord, "gossip", "mutAck", mm.i)
+	})
+	n.OnShutdown(func(e *sim.Engine) { rn.removeEndpoint(id, "decommissioned") })
 }
 
 // Start implements cluster.Run.
@@ -109,15 +171,9 @@ func (rn *run) Start() {
 	e := rn.Eng
 	rn.nKeys = 6 * rn.Cfg.Scale
 	for _, p := range rn.peers {
-		id := p
-		e.AfterOn(id, 10*sim.Millisecond, func() {
-			e.Send(id, rn.coord, "gossip", "join", nil)
-			sim.StartHeartbeats(e, id, rn.coord, sim.HeartbeatConfig{
-				Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn",
-			})
-		})
+		e.AfterKeyed(p, 10*sim.Millisecond, keyBoot, nil)
 	}
-	e.AfterOn(rn.coord, 100*sim.Millisecond, func() { rn.writeKey(0, 0) })
+	e.AfterKeyed(rn.coord, 100*sim.Millisecond, keyWrite, writeArg{})
 }
 
 func (rn *run) gossipService(e *sim.Engine, m sim.Message) {
@@ -209,7 +265,7 @@ func (rn *run) writeKey(i, tries int) {
 			rn.Fail("no endpoint for token of " + key)
 			return
 		}
-		e.AfterOn(rn.coord, 500*sim.Millisecond, func() { rn.writeKey(i, tries+1) })
+		e.AfterKeyed(rn.coord, 500*sim.Millisecond, keyWrite, writeArg{i: i, tries: tries + 1})
 		return
 	}
 	// CA-15131 window: the endpoint may leave the ring right here.
@@ -218,7 +274,7 @@ func (rn *run) writeKey(i, tries int) {
 	if !present {
 		if rn.r.FixRemovedEndpoint {
 			rn.Logger(rn.coord, "StorageProxy").Warn("Retrying ", key, " after endpoint change")
-			e.AfterOn(rn.coord, 200*sim.Millisecond, func() { rn.writeKey(i, tries+1) })
+			e.AfterKeyed(rn.coord, 200*sim.Millisecond, keyWrite, writeArg{i: i, tries: tries + 1})
 			return
 		}
 		rn.Witness(BugRemovedEndpoint)
@@ -230,12 +286,7 @@ func (rn *run) writeKey(i, tries int) {
 	_ = es
 	e.Send(rn.coord, endpoint, "replica", "mutate", mutMsg{i: i, key: key})
 	// Coordinator write timeout: store a hint and retry.
-	e.AfterOn(rn.coord, 500*sim.Millisecond, func() {
-		if rn.Status() == cluster.Running && rn.done <= i {
-			rn.storeHint(key, endpoint)
-			rn.writeKey(i, tries+1)
-		}
-	})
+	e.AfterKeyed(rn.coord, 500*sim.Millisecond, keyWTimeout, wtArg{i: i, tries: tries, key: key, endpoint: endpoint})
 }
 
 func maxInt(a, b int) int {
@@ -259,21 +310,13 @@ type mutMsg struct {
 	key string
 }
 
-// replicaService applies mutations.
+// replicaService applies mutations (the keyApply timer models the local
+// write latency).
 func (rn *run) replicaService(e *sim.Engine, m sim.Message) {
-	self := m.To
 	if m.Kind != "mutate" {
 		return
 	}
-	mm := m.Body.(mutMsg)
-	e.AfterOn(self, 10*sim.Millisecond, func() {
-		pb := rn.Cfg.Probe
-		defer pb.Enter(self, "cassandra.db.ColumnFamilyStore.applyMutation")()
-		rn.NoteWork(self)
-		pb.PostWrite(self, PtApplyPut, mm.key, string(self))
-		rn.Logger(self, "ColumnFamilyStore").Info("Applied mutation ", mm.key, " at ", self)
-		e.Send(self, rn.coord, "gossip", "mutAck", mm.i)
-	})
+	e.AfterKeyed(m.To, 10*sim.Millisecond, keyApply, m.Body.(mutMsg))
 }
 
 // ---- restart / rejoin (cluster.Rejoiner) ----
@@ -292,16 +335,9 @@ func (rn *run) Rejoin(id sim.NodeID) {
 // still-live entry or re-admits it to the ring.
 func (rn *run) rejoinReplica(id sim.NodeID) {
 	e := rn.Eng
-	p := e.Node(id)
-	p.Register("replica", sim.ServiceFunc(rn.replicaService))
-	p.OnShutdown(func(e *sim.Engine) { rn.removeEndpoint(id, "decommissioned") })
+	rn.wirePeer(e.Node(id))
 	rn.Logger(id, "CassandraDaemon").Info("Node ", id, " restarted, announcing itself via gossip")
-	e.AfterOn(id, 10*sim.Millisecond, func() {
-		e.Send(id, rn.coord, "gossip", "join", nil)
-		sim.StartHeartbeats(e, id, rn.coord, sim.HeartbeatConfig{
-			Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn",
-		})
-	})
+	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, nil)
 }
 
 // rejoinCoord restarts the coordinator: gossip comes back, live
@@ -311,9 +347,9 @@ func (rn *run) rejoinReplica(id sim.NodeID) {
 // working) once it serves again.
 func (rn *run) rejoinCoord() {
 	e := rn.Eng
-	e.Node(rn.coord).Register("gossip", sim.ServiceFunc(rn.gossipService))
+	rn.wireCoord(e.Node(rn.coord))
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "gossip", Kind: "syn"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.coord, hb, func(n sim.NodeID) { rn.removeEndpoint(n, "down") })
+	rn.lm = sim.NewLivenessMonitor(e, rn.coord, hb, rn.endpointDown)
 	for _, cand := range rn.peers {
 		if _, ok := rn.endpointState[cand]; ok {
 			rn.lm.Track(cand)
@@ -322,7 +358,40 @@ func (rn *run) rejoinCoord() {
 	rn.Logger(rn.coord, "CassandraDaemon").Info("Coordinator restarted, resuming Stress at key ", rn.done)
 	rn.NoteRejoin(rn.coord)
 	rn.NoteWork(rn.coord)
-	e.AfterOn(rn.coord, 100*sim.Millisecond, func() { rn.writeKey(rn.done, 0) })
+	e.AfterKeyed(rn.coord, 100*sim.Millisecond, keyResume, nil)
+}
+
+// CloneRun implements cluster.Cloneable (recipe in the toysys template):
+// deep-copy the ring, gossip state and hints, re-wire both roles, rebuild
+// the liveness monitor on the clone.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:          rn.CloneBase(cc),
+		r:             rn.r,
+		coord:         rn.coord,
+		peers:         append([]sim.NodeID(nil), rn.peers...),
+		ring:          make(map[int]sim.NodeID, len(rn.ring)),
+		endpointState: make(map[sim.NodeID]string, len(rn.endpointState)),
+		hints:         make(map[string]sim.NodeID, len(rn.hints)),
+		nKeys:         rn.nKeys,
+		done:          rn.done,
+	}
+	for t, p := range rn.ring {
+		rn2.ring[t] = p
+	}
+	for p, s := range rn.endpointState {
+		rn2.endpointState[p] = s
+	}
+	for k, p := range rn.hints {
+		rn2.hints[k] = p
+	}
+	e2 := cc.Eng
+	rn2.lm = rn.lm.CloneTo(e2, cc.Remap, rn2.endpointDown)
+	rn2.wireCoord(e2.Node(rn2.coord))
+	for _, p := range rn2.peers {
+		rn2.wirePeer(e2.Node(p))
+	}
+	return rn2
 }
 
 func (rn *run) mutAck(i int) {

@@ -77,6 +77,58 @@ type Run interface {
 	Witnesses() []string
 }
 
+// CloneContext carries everything a system needs to rebuild itself on a
+// cloned engine: the clone, the timer remap for any outstanding Timer
+// handles (in practice only sim.LivenessMonitor.CloneTo consumes it), and
+// the Config the cloned run should report — typically the source run's
+// identity (Seed, Scale) with a fresh Probe and Logs supplied by the
+// forking campaign.
+type CloneContext struct {
+	Eng   *sim.Engine
+	Remap *sim.TimerRemap
+	Cfg   Config
+}
+
+// Cloneable is implemented by runs whose model state can be deep-copied
+// mid-run. CloneRun must:
+//
+//   - deep-copy every piece of mutable model state (maps, slices, structs
+//     the handlers mutate) so the source and clone never share it;
+//   - re-register all services, keyed-timer handlers and shutdown/death
+//     hooks on cc.Eng's nodes (a cloned engine carries none), including
+//     any registered dynamically mid-run (e.g. a service that only exists
+//     once some workload step reached it);
+//   - re-create liveness monitors via their CloneTo so the builtin
+//     LivenessKey timers find them.
+//
+// CloneRun must be strictly read-only on the source run: campaign workers
+// clone one immutable template concurrently. Shared immutable data (the
+// Runner, interned ID tables, message bodies already in flight) may alias.
+//
+// Systems that schedule closure timers (After/AfterOn/Every) while
+// running cannot be cloned — Engine.Clone refuses — so implementing
+// Cloneable also means migrating every mid-run timer to the keyed API.
+type Cloneable interface {
+	CloneRun(cc CloneContext) Run
+}
+
+// Clone forks run at its current instant: the engine state is deep-copied
+// and the system rebuilds its model on top via CloneRun. It reports false
+// when the run's system does not implement Cloneable or the engine has
+// uncopyable pending work, in which case the caller falls back to lean
+// replay.
+func Clone(run Run, cfg Config) (Run, bool) {
+	cl, ok := run.(Cloneable)
+	if !ok {
+		return nil, false
+	}
+	e2, remap, err := run.Engine().Clone()
+	if err != nil {
+		return nil, false
+	}
+	return cl.CloneRun(CloneContext{Eng: e2, Remap: remap, Cfg: cfg}), true
+}
+
 // Rejoiner is implemented by runs whose systems model node restart: after
 // sim.Engine.Restart revives the node with an empty service table, Rejoin
 // re-creates its services and background work and performs the system's
@@ -126,6 +178,29 @@ type Base struct {
 	why   string
 	wits  map[string]bool
 	recov map[sim.NodeID]*RecoveryInfo
+}
+
+// CloneBase deep-copies the shared bookkeeping onto a cloned engine; the
+// system's CloneRun embeds the result in its cloned run value.
+func (b *Base) CloneBase(cc CloneContext) *Base {
+	b2 := &Base{
+		Eng:  cc.Eng,
+		Cfg:  cc.Cfg,
+		stat: b.stat,
+		why:  b.why,
+		wits: make(map[string]bool, len(b.wits)),
+	}
+	for id, v := range b.wits {
+		b2.wits[id] = v
+	}
+	if b.recov != nil {
+		b2.recov = make(map[sim.NodeID]*RecoveryInfo, len(b.recov))
+		for id, ri := range b.recov {
+			cp := *ri
+			b2.recov[id] = &cp
+		}
+	}
+	return b2
 }
 
 // NewBase initializes the shared state with a fresh engine.
@@ -286,5 +361,18 @@ func Drive(run Run, deadline sim.Time) sim.RunResult {
 		}
 	})
 	run.Start()
+	return e.Run(deadline)
+}
+
+// DriveResume is Drive for a cloned run: the workload is already mid-
+// flight inside the copied engine state, so it installs the status check
+// and dispatches without calling Start again.
+func DriveResume(run Run, deadline sim.Time) sim.RunResult {
+	e := run.Engine()
+	e.OnStep(func(sim.Time) {
+		if run.Status() != Running {
+			e.Stop()
+		}
+	})
 	return e.Run(deadline)
 }

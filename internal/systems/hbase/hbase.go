@@ -89,6 +89,22 @@ func (r *Runner) rss() int {
 	return r.RegionServers
 }
 
+// Keyed-timer keys (see the toysys template): all mid-run scheduling is
+// (key, arg) data so the run is cloneable; handlers are registered by
+// wireMaster / wireRS.
+const (
+	keyBoot   = "hb.boot"   // rs: run the report → zk → metrics startup sequence
+	keyZK     = "hb.zk"     // rs: zk-register + session heartbeats step
+	keyInit   = "hb.init"   // rs: init-metrics step (HBASE-21740 window)
+	keyOpAck  = "hb.opAck"  // rs: PE op apply latency elapsed; arg is the op index
+	keyWait   = "hb.wait"   // master: startup-thread probe round (HBASE-22041 loop)
+	keyCurl   = "hb.curl"   // master: periodic web poll (self-rescheduling)
+	keyAssign = "hb.assign" // master: (re)assign a region; arg is the region
+	keyRunOp  = "hb.runOp"  // master: route one PE op; arg is the op index
+	keyOpTO   = "hb.opTO"   // master: client op-timeout recheck; arg is the op index
+	keyMove   = "hb.move"   // master: balancer move; arg is the region
+)
+
 // rsInfo is the master's view of a RegionServer.
 type rsInfo struct {
 	id      sim.NodeID
@@ -144,19 +160,50 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	// The ZooKeeper session tracker: servers are only tracked once their
 	// ZK registration completes — that gap is HBASE-22041's window.
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, func(n sim.NodeID) { rn.serverRemoved(n, "expired") })
-	master.Register("master", sim.ServiceFunc(rn.masterService))
-	master.Register("zk", sim.ServiceFunc(rn.zkService))
+	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, rn.serverExpired)
+	rn.wireMaster(master)
 
 	for i := 1; i <= r.rss(); i++ {
 		rs := e.AddNode(fmt.Sprintf("node%d", i), 16020)
-		id := rs.ID
-		rn.rss = append(rn.rss, id)
-		rn.servers[id] = &rsState{id: id}
-		rs.Register("rs", sim.ServiceFunc(rn.rsService))
-		rs.OnShutdown(func(e *sim.Engine) { rn.rsShutdown(id) })
+		rn.rss = append(rn.rss, rs.ID)
+		rn.servers[rs.ID] = &rsState{id: rs.ID}
+		rn.wireRS(rs)
 	}
 	return rn
+}
+
+func (rn *run) serverExpired(n sim.NodeID) { rn.serverRemoved(n, "expired") }
+
+// wireMaster attaches the HMaster's services and keyed handlers; shared
+// by NewRun, rejoinMaster and CloneRun.
+func (rn *run) wireMaster(n *sim.Node) {
+	n.Register("master", sim.ServiceFunc(rn.masterService))
+	n.Register("zk", sim.ServiceFunc(rn.zkService))
+	n.Handle(keyWait, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.waitForServers() })
+	n.Handle(keyCurl, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.curlPoll() })
+	n.Handle(keyAssign, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.assignRegion(arg.(string)) })
+	n.Handle(keyRunOp, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.runOp(arg.(int)) })
+	n.Handle(keyOpTO, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		i := arg.(int)
+		if rn.Status() == cluster.Running && rn.opsDone < i {
+			rn.runOp(i)
+		}
+	})
+	n.Handle(keyMove, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.moveRegion(arg.(string)) })
+}
+
+// wireRS attaches a RegionServer's service, keyed handlers and shutdown
+// script; shared by NewRun, rejoinRS and CloneRun.
+func (rn *run) wireRS(n *sim.Node) {
+	id := n.ID
+	n.Register("rs", sim.ServiceFunc(rn.rsService))
+	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, _ any) { rn.rsStartup(self) })
+	n.Handle(keyZK, func(e *sim.Engine, self sim.NodeID, _ any) { rn.rsZKRegister(self) })
+	n.Handle(keyInit, func(e *sim.Engine, self sim.NodeID, _ any) { rn.rsInitMetrics(self) })
+	n.Handle(keyOpAck, func(e *sim.Engine, self sim.NodeID, arg any) {
+		e.Send(self, rn.master, "master", "opAck", arg)
+	})
+	n.OnShutdown(func(e *sim.Engine) { rn.rsShutdown(id) })
 }
 
 // rsShutdown is the RS stop script. HBASE-21740: stopping during metrics
@@ -179,27 +226,26 @@ func (rn *run) Start() {
 	rn.nRegions = 2 * rn.Cfg.Scale
 	rn.nOps = 6 * rn.Cfg.Scale
 	for _, rs := range rn.rss {
-		id := rs
-		e.AfterOn(id, 10*sim.Millisecond, func() { rn.rsStartup(id) })
+		e.AfterKeyed(rs, 10*sim.Millisecond, keyBoot, nil)
 	}
-	e.AfterOn(rn.master, 200*sim.Millisecond, rn.waitForServers)
+	e.AfterKeyed(rn.master, 200*sim.Millisecond, keyWait, nil)
 	rn.curl()
 }
 
 func (rn *run) curl() {
-	e := rn.Eng
-	var poll func()
-	poll = func() {
-		if rn.Status() != cluster.Running {
-			return
-		}
-		defer rn.Cfg.Probe.Enter(rn.master, "hbase.master.HMaster.webRegionState")()
-		if sn, ok := rn.assignments["region_1"]; ok { // sanity-checked read
-			rn.Logger(rn.master, "MasterStatusServlet").Info("Web request for region region_1 on ", sn)
-		}
-		e.AfterOn(rn.master, 500*sim.Millisecond, poll)
+	rn.Eng.AfterKeyed(rn.master, 300*sim.Millisecond, keyCurl, nil)
+}
+
+// curlPoll is the keyCurl handler body; it reschedules itself.
+func (rn *run) curlPoll() {
+	if rn.Status() != cluster.Running {
+		return
 	}
-	e.AfterOn(rn.master, 300*sim.Millisecond, poll)
+	defer rn.Cfg.Probe.Enter(rn.master, "hbase.master.HMaster.webRegionState")()
+	if sn, ok := rn.assignments["region_1"]; ok { // sanity-checked read
+		rn.Logger(rn.master, "MasterStatusServlet").Info("Web request for region region_1 on ", sn)
+	}
+	rn.Eng.AfterKeyed(rn.master, 500*sim.Millisecond, keyCurl, nil)
 }
 
 // ---- RegionServer side ----
@@ -207,26 +253,35 @@ func (rn *run) curl() {
 // rsStartup runs the report → ZK-register → init-metrics sequence whose
 // gaps carry HBASE-22041 and HBASE-21740.
 func (rn *run) rsStartup(id sim.NodeID) {
-	e, pb := rn.Eng, rn.Cfg.Probe
+	e := rn.Eng
 	e.Send(id, rn.master, "master", "report", nil)
-	e.AfterOn(id, 50*sim.Millisecond, func() {
-		e.Send(id, rn.master, "zk", "zkRegister", nil)
-		sim.StartHeartbeats(e, id, rn.master, sim.HeartbeatConfig{
-			Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session",
-		})
-		e.AfterOn(id, 50*sim.Millisecond, func() {
-			defer pb.Enter(id, "hbase.regionserver.HRegionServer.initMetrics")()
-			// HBASE-21740 window: the server may be stopped right here,
-			// while metrics are still initializing.
-			pb.PreRead(id, PtInitMetrics, string(id))
-			st := rn.servers[id]
-			if !rn.Eng.Node(id).Alive() {
-				return
-			}
-			st.initDone = true
-			rn.Logger(id, "MetricsRegionServer").Info("Metrics source for ", id, " initialized")
-		})
+	e.AfterKeyed(id, 50*sim.Millisecond, keyZK, nil)
+}
+
+// rsZKRegister is the keyZK step: establish the ZooKeeper session, then
+// schedule metrics initialization.
+func (rn *run) rsZKRegister(id sim.NodeID) {
+	e := rn.Eng
+	e.Send(id, rn.master, "zk", "zkRegister", nil)
+	sim.StartHeartbeats(e, id, rn.master, sim.HeartbeatConfig{
+		Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session",
 	})
+	e.AfterKeyed(id, 50*sim.Millisecond, keyInit, nil)
+}
+
+// rsInitMetrics is the keyInit step.
+func (rn *run) rsInitMetrics(id sim.NodeID) {
+	pb := rn.Cfg.Probe
+	defer pb.Enter(id, "hbase.regionserver.HRegionServer.initMetrics")()
+	// HBASE-21740 window: the server may be stopped right here, while
+	// metrics are still initializing.
+	pb.PreRead(id, PtInitMetrics, string(id))
+	st := rn.servers[id]
+	if !rn.Eng.Node(id).Alive() {
+		return
+	}
+	st.initDone = true
+	rn.Logger(id, "MetricsRegionServer").Info("Metrics source for ", id, " initialized")
 }
 
 func (rn *run) rsService(e *sim.Engine, m sim.Message) {
@@ -240,9 +295,7 @@ func (rn *run) rsService(e *sim.Engine, m sim.Message) {
 		e.Send(self, rn.master, "master", "regionOpened", region)
 	case "op":
 		// Apply a PE operation and ack.
-		e.AfterOn(self, 10*sim.Millisecond, func() {
-			e.Send(self, rn.master, "master", "opAck", m.Body)
-		})
+		e.AfterKeyed(self, 10*sim.Millisecond, keyOpAck, m.Body)
 	}
 }
 
@@ -335,7 +388,7 @@ func (rn *run) waitForServers() {
 				"Startup thread still waiting for unreachable region servers")
 		}
 	}
-	e.AfterOn(rn.master, 500*sim.Millisecond, rn.waitForServers)
+	e.AfterKeyed(rn.master, 500*sim.Millisecond, keyWait, nil)
 }
 
 func (rn *run) probeAck(rs sim.NodeID) {
@@ -418,7 +471,7 @@ func (rn *run) assignRegion(region string) {
 	defer pb.Enter(rn.master, "hbase.master.HMaster.assignRegion")()
 	ids := rn.sortedServers()
 	if len(ids) == 0 {
-		e.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.assignRegion(region) })
+		e.AfterKeyed(rn.master, 500*sim.Millisecond, keyAssign, region)
 		return
 	}
 	var idx int
@@ -463,16 +516,12 @@ func (rn *run) runOp(i int) {
 	}
 	if !ok || !alive {
 		rn.Logger(rn.master, "ConnectionImplementation").Warn("Retrying op ", i, " for ", region)
-		e.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.runOp(i) })
+		e.AfterKeyed(rn.master, 500*sim.Millisecond, keyRunOp, i)
 		return
 	}
 	e.Send(rn.master, target, "rs", "op", i)
 	// Client-side op timeout: re-route if the server died mid-op.
-	e.AfterOn(rn.master, sim.Second, func() {
-		if rn.Status() == cluster.Running && rn.opsDone < i {
-			rn.runOp(i)
-		}
-	})
+	e.AfterKeyed(rn.master, sim.Second, keyOpTO, i)
 }
 
 func (rn *run) opAck(i int) {
@@ -483,7 +532,7 @@ func (rn *run) opAck(i int) {
 	// The balancer rebalances once the PE workload is half done,
 	// exercising the HBASE-22050 window deterministically mid-run.
 	if rn.opsDone == rn.nOps/2 {
-		rn.Eng.AfterOn(rn.master, sim.Millisecond, func() { rn.moveRegion("region_1") })
+		rn.Eng.AfterKeyed(rn.master, sim.Millisecond, keyMove, "region_1")
 	}
 	if rn.opsDone >= rn.nOps {
 		rn.Logger(rn.master, "PerformanceEvaluation").Info("PE finished ", rn.nOps, " operations")
@@ -517,8 +566,7 @@ func (rn *run) serverRemoved(rs sim.NodeID, why string) {
 	for _, r := range regions {
 		delete(rn.assignments, r)
 		if rn.active {
-			region := r
-			rn.Eng.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assignRegion(region) })
+			rn.Eng.AfterKeyed(rn.master, 100*sim.Millisecond, keyAssign, r)
 		}
 	}
 }
@@ -541,11 +589,9 @@ func (rn *run) Rejoin(id sim.NodeID) {
 func (rn *run) rejoinRS(id sim.NodeID) {
 	e := rn.Eng
 	rn.servers[id] = &rsState{id: id}
-	rs := e.Node(id)
-	rs.Register("rs", sim.ServiceFunc(rn.rsService))
-	rs.OnShutdown(func(e *sim.Engine) { rn.rsShutdown(id) })
+	rn.wireRS(e.Node(id))
 	rn.Logger(id, "HRegionServer").Info("RegionServer ", id, " restarted, reporting for duty")
-	e.AfterOn(id, 10*sim.Millisecond, func() { rn.rsStartup(id) })
+	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, nil)
 }
 
 // rejoinMaster restarts the HMaster: services come back, online servers
@@ -556,11 +602,9 @@ func (rn *run) rejoinRS(id sim.NodeID) {
 // marks it rejoined (and working) once it serves again.
 func (rn *run) rejoinMaster() {
 	e := rn.Eng
-	master := e.Node(rn.master)
-	master.Register("master", sim.ServiceFunc(rn.masterService))
-	master.Register("zk", sim.ServiceFunc(rn.zkService))
+	rn.wireMaster(e.Node(rn.master))
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "zk", Kind: "session"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, func(n sim.NodeID) { rn.serverRemoved(n, "expired") })
+	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, rn.serverExpired)
 	for _, id := range rn.sortedServers() {
 		rn.lm.Track(id)
 	}
@@ -569,21 +613,66 @@ func (rn *run) rejoinMaster() {
 	rn.NoteWork(rn.master)
 	if !rn.active {
 		rn.probeRetries = 0
-		e.AfterOn(rn.master, 200*sim.Millisecond, rn.waitForServers)
+		e.AfterKeyed(rn.master, 200*sim.Millisecond, keyWait, nil)
 	} else {
 		for i := 1; i <= rn.nRegions; i++ {
 			region := fmt.Sprintf("region_%d", i)
 			if _, ok := rn.assignments[region]; !ok {
-				rg := region
-				e.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assignRegion(rg) })
+				e.AfterKeyed(rn.master, 100*sim.Millisecond, keyAssign, region)
 			}
 		}
 		if rn.peStarted && rn.opsDone < rn.nOps {
-			next := rn.opsDone + 1
-			e.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.runOp(next) })
+			e.AfterKeyed(rn.master, 100*sim.Millisecond, keyRunOp, rn.opsDone+1)
 		}
 	}
 	rn.curl()
+}
+
+// CloneRun implements cluster.Cloneable; see the toysys template for the
+// four-step recipe.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:          rn.CloneBase(cc),
+		r:             rn.r,
+		master:        rn.master,
+		rss:           append([]sim.NodeID(nil), rn.rss...),
+		onlineServers: make(map[sim.NodeID]*rsInfo, len(rn.onlineServers)),
+		assignments:   make(map[string]sim.NodeID, len(rn.assignments)),
+		active:        rn.active,
+		probing:       rn.probing,
+		probeRetries:  rn.probeRetries,
+		servers:       make(map[sim.NodeID]*rsState, len(rn.servers)),
+		nOps:          rn.nOps,
+		opsDone:       rn.opsDone,
+		nRegions:      rn.nRegions,
+		opened:        make(map[string]bool, len(rn.opened)),
+		peStarted:     rn.peStarted,
+	}
+	for id, si := range rn.onlineServers {
+		regions := make(map[string]bool, len(si.regions))
+		for r, v := range si.regions {
+			regions[r] = v
+		}
+		rn2.onlineServers[id] = &rsInfo{id: si.id, regions: regions, acked: si.acked}
+	}
+	for r, sn := range rn.assignments {
+		rn2.assignments[r] = sn
+	}
+	for id, st := range rn.servers {
+		cp := *st
+		rn2.servers[id] = &cp
+	}
+	for r, v := range rn.opened {
+		rn2.opened[r] = v
+	}
+
+	e2 := cc.Eng
+	rn2.wireMaster(e2.Node(rn2.master))
+	for _, id := range rn2.rss {
+		rn2.wireRS(e2.Node(id))
+	}
+	rn2.lm = rn.lm.CloneTo(e2, cc.Remap, rn2.serverExpired)
+	return rn2
 }
 
 func (rn *run) sortedServers() []sim.NodeID {

@@ -75,6 +75,36 @@ const (
 	readTime  = 50 * sim.Millisecond
 )
 
+// Keyed-timer keys (see the toysys template): all mid-run scheduling is
+// (key, arg) data so the run is cloneable; handlers are registered by
+// wireNN / wireDN.
+const (
+	keyBoot        = "hdfs.boot"        // dn: register + heartbeats; arg true also block-reports
+	keyStartWrites = "hdfs.startWrites" // nn: kick off the TestDFSIO write phase
+	keyCurl        = "hdfs.curl"        // nn: periodic webhdfs poll (self-rescheduling)
+	keyRepl        = "hdfs.repl"        // nn: start one re-replication; arg is a replArg
+	keyWrite       = "hdfs.write"       // nn: (re)allocate a file's block; arg is the path
+	keyWTimeout    = "hdfs.wtimeout"    // nn: client write-timeout recheck; arg is the path
+	keyRead        = "hdfs.read"        // nn: read a file; arg is a readArg
+	keyRTimeout    = "hdfs.rtimeout"    // nn: client read-timeout recheck; arg is a readArg
+	keyResume      = "hdfs.resume"      // nn: post-restart client re-drive
+	keyStore       = "hdfs.store"       // dn: store latency elapsed; arg is the writeMsg
+	keyReadDone    = "hdfs.readDone"    // dn: read latency elapsed; arg is the path
+	keyWritten     = "hdfs.written"     // dn: client write-ack delivery; arg is the path
+)
+
+// replArg parameterizes keyRepl.
+type replArg struct {
+	blockID     string
+	src, target sim.NodeID
+}
+
+// readArg parameterizes keyRead / keyRTimeout.
+type readArg struct {
+	path  string
+	tries int
+}
+
 // blockInfo is the NN's view of one block.
 type blockInfo struct {
 	id        string
@@ -136,17 +166,86 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	nn := e.AddNode("node0", 8020)
 	rn.nn = nn.ID
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.nn, hb, func(n sim.NodeID) { rn.removeDatanode(n, "lost") })
-	nn.Register("nn", sim.ServiceFunc(rn.nnService))
+	rn.lm = sim.NewLivenessMonitor(e, rn.nn, hb, rn.dnLost)
+	rn.wireNN(nn)
 
 	for i := 1; i <= r.dns(); i++ {
 		dn := e.AddNode(fmt.Sprintf("node%d", i), 50010)
-		id := dn.ID
-		rn.dns[id] = &dnState{id: id, blocks: make(map[string]bool)}
-		dn.Register("dn", sim.ServiceFunc(rn.dnService))
-		dn.OnShutdown(func(e *sim.Engine) { rn.dnShutdown(id) })
+		rn.dns[dn.ID] = &dnState{id: dn.ID, blocks: make(map[string]bool)}
+		rn.wireDN(dn)
 	}
 	return rn
+}
+
+func (rn *run) dnLost(n sim.NodeID) { rn.removeDatanode(n, "lost") }
+
+// wireNN attaches the NameNode's service and keyed handlers; shared by
+// NewRun, rejoinNN and CloneRun.
+func (rn *run) wireNN(n *sim.Node) {
+	n.Register("nn", sim.ServiceFunc(rn.nnService))
+	n.Handle(keyStartWrites, func(e *sim.Engine, _ sim.NodeID, _ any) {
+		for i := 0; i < rn.nFiles; i++ {
+			rn.writeFile(fmt.Sprintf("/io/file_%d", i))
+		}
+	})
+	n.Handle(keyCurl, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.curlPoll() })
+	n.Handle(keyRepl, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(replArg)
+		e.Send(rn.nn, a.src, "dn", "copyBlock", copyMsg{blockID: a.blockID, target: a.target})
+	})
+	n.Handle(keyWrite, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.writeFile(arg.(string)) })
+	n.Handle(keyWTimeout, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		path := arg.(string)
+		if !rn.fileWritten[path] && rn.Status() == cluster.Running {
+			rn.Logger(rn.nn, "DFSClient").Warn("Write of ", path, " timed out, re-allocating")
+			rn.writeFile(path)
+		}
+	})
+	n.Handle(keyRead, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(readArg)
+		rn.readFile(a.path, a.tries)
+	})
+	n.Handle(keyRTimeout, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(readArg)
+		if !rn.fileRead[a.path] && rn.Status() == cluster.Running {
+			rn.readFile(a.path, a.tries+1)
+		}
+	})
+	n.Handle(keyResume, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.resumeClient() })
+}
+
+// wireDN attaches a datanode's service, keyed handlers and shutdown
+// script; shared by NewRun, rejoinDN and CloneRun.
+func (rn *run) wireDN(n *sim.Node) {
+	id := n.ID
+	n.Register("dn", sim.ServiceFunc(rn.dnService))
+	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, arg any) { rn.dnBoot(self, arg.(bool)) })
+	n.Handle(keyStore, func(e *sim.Engine, self sim.NodeID, arg any) { rn.dnStoreBlock(self, arg.(writeMsg)) })
+	n.Handle(keyReadDone, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.onBlockRead(arg.(string)) })
+	n.Handle(keyWritten, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.onFileWritten(arg.(string)) })
+	n.OnShutdown(func(e *sim.Engine) { rn.dnShutdown(id) })
+}
+
+// dnBoot registers with the NameNode and starts heartbeats; a rejoin boot
+// (report=true) also announces surviving replicas with a block report.
+func (rn *run) dnBoot(self sim.NodeID, report bool) {
+	e := rn.Eng
+	e.Send(self, rn.nn, "nn", "register", nil)
+	sim.StartHeartbeats(e, self, rn.nn, sim.HeartbeatConfig{
+		Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat",
+	})
+	if !report {
+		return
+	}
+	st := rn.dns[self]
+	blks := make([]string, 0, len(st.blocks))
+	for b := range st.blocks {
+		blks = append(blks, b)
+	}
+	sortStrings(blks)
+	for _, b := range blks {
+		e.Send(self, rn.nn, "nn", "blockReceived", b)
+	}
 }
 
 // dnShutdown is the datanode's shutdown script. HDFS-14372: if the
@@ -176,37 +275,27 @@ func (rn *run) Start() {
 	}
 	sortNodeIDs(ids)
 	for _, did := range ids {
-		did := did
-		e.AfterOn(did, 10*sim.Millisecond, func() {
-			e.Send(did, rn.nn, "nn", "register", nil)
-			sim.StartHeartbeats(e, did, rn.nn, sim.HeartbeatConfig{
-				Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat",
-			})
-		})
+		e.AfterKeyed(did, 10*sim.Millisecond, keyBoot, false)
 	}
 	rn.nFiles = 2 * rn.Cfg.Scale
-	e.AfterOn(rn.nn, 100*sim.Millisecond, func() {
-		for i := 0; i < rn.nFiles; i++ {
-			rn.writeFile(fmt.Sprintf("/io/file_%d", i))
-		}
-	})
+	e.AfterKeyed(rn.nn, 100*sim.Millisecond, keyStartWrites, nil)
 	rn.curl()
 }
 
 func (rn *run) curl() {
-	e := rn.Eng
-	var poll func()
-	poll = func() {
-		if rn.Status() != cluster.Running {
-			return
-		}
-		defer rn.Cfg.Probe.Enter(rn.nn, "hdfs.server.namenode.NameNode.webStatus")()
-		if blk, ok := rn.files["/io/file_0"]; ok { // sanity-checked read
-			rn.Logger(rn.nn, "NamenodeWebHdfs").Info("Web request for file /io/file_0 served block ", blk)
-		}
-		e.AfterOn(rn.nn, 500*sim.Millisecond, poll)
+	rn.Eng.AfterKeyed(rn.nn, 300*sim.Millisecond, keyCurl, nil)
+}
+
+// curlPoll is the keyCurl handler body; it reschedules itself.
+func (rn *run) curlPoll() {
+	if rn.Status() != cluster.Running {
+		return
 	}
-	e.AfterOn(rn.nn, 300*sim.Millisecond, poll)
+	defer rn.Cfg.Probe.Enter(rn.nn, "hdfs.server.namenode.NameNode.webStatus")()
+	if blk, ok := rn.files["/io/file_0"]; ok { // sanity-checked read
+		rn.Logger(rn.nn, "NamenodeWebHdfs").Info("Web request for file /io/file_0 served block ", blk)
+	}
+	rn.Eng.AfterKeyed(rn.nn, 500*sim.Millisecond, keyCurl, nil)
 }
 
 // ---- NameNode side ----
@@ -300,9 +389,7 @@ func (rn *run) scheduleReplication(bi *blockInfo) {
 		return // nowhere to replicate; stay under-replicated
 	}
 	rn.Logger(rn.nn, "BlockManager").Info("Starting re-replication of ", bi.id, " to ", target)
-	rn.Eng.AfterOn(rn.nn, 300*sim.Millisecond, func() {
-		rn.Eng.Send(rn.nn, src, "dn", "copyBlock", copyMsg{blockID: bi.id, target: target})
-	})
+	rn.Eng.AfterKeyed(rn.nn, 300*sim.Millisecond, keyRepl, replArg{blockID: bi.id, src: src, target: target})
 }
 
 type copyMsg struct {
@@ -351,7 +438,7 @@ func (rn *run) writeFile(path string) {
 	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.allocateBlock")()
 	targets := rn.chooseTargets(2)
 	if len(targets) == 0 {
-		e.AfterOn(rn.nn, 500*sim.Millisecond, func() { rn.writeFile(path) })
+		e.AfterKeyed(rn.nn, 500*sim.Millisecond, keyWrite, path)
 		return
 	}
 	rn.nextBlk++
@@ -365,12 +452,7 @@ func (rn *run) writeFile(path string) {
 	e.Send(rn.nn, targets[0], "dn", "writeBlock", writeMsg{blockID: blockID, path: path, pipeline: targets})
 	// Client-side write timeout: a pipeline that dies is retried with a
 	// fresh allocation.
-	e.AfterOn(rn.nn, sim.Second, func() {
-		if !rn.fileWritten[path] && rn.Status() == cluster.Running {
-			rn.Logger(rn.nn, "DFSClient").Warn("Write of ", path, " timed out, re-allocating")
-			rn.writeFile(path)
-		}
-	})
+	e.AfterKeyed(rn.nn, sim.Second, keyWTimeout, path)
 }
 
 type writeMsg struct {
@@ -413,7 +495,7 @@ func (rn *run) readFile(path string, tries int) {
 			rn.Fail("block " + blockID + " unavailable after retries")
 			return
 		}
-		e.AfterOn(rn.nn, sim.Second, func() { rn.readFile(path, tries+1) })
+		e.AfterKeyed(rn.nn, sim.Second, keyRead, readArg{path: path, tries: tries + 1})
 		return
 	}
 	loc := bi.locations[0]
@@ -423,7 +505,7 @@ func (rn *run) readFile(path string, tries int) {
 	if di == nil {
 		if rn.r.FixRemovedDN {
 			rn.Logger(rn.nn, "FSNamesystem").Warn("Location ", loc, " gone, retrying ", path)
-			e.AfterOn(rn.nn, 500*sim.Millisecond, func() { rn.readFile(path, tries+1) })
+			e.AfterKeyed(rn.nn, 500*sim.Millisecond, keyRead, readArg{path: path, tries: tries + 1})
 			return
 		}
 		rn.Witness(BugRemovedDN)
@@ -434,11 +516,7 @@ func (rn *run) readFile(path string, tries int) {
 	}
 	e.Send(rn.nn, loc, "dn", "readBlock", readMsg{blockID: blockID, path: path})
 	// Client-side read timeout: retry against fresh locations.
-	e.AfterOn(rn.nn, sim.Second, func() {
-		if !rn.fileRead[path] && rn.Status() == cluster.Running {
-			rn.readFile(path, tries+1)
-		}
-	})
+	e.AfterKeyed(rn.nn, sim.Second, keyRTimeout, readArg{path: path, tries: tries})
 }
 
 type readMsg struct {
@@ -474,7 +552,7 @@ func (rn *run) dnService(e *sim.Engine, m sim.Message) {
 			writeMsg{blockID: cm.blockID, pipeline: []sim.NodeID{cm.target}, copy: true})
 	case "readBlock":
 		rm := m.Body.(readMsg)
-		e.AfterOn(self, readTime, func() { rn.onBlockRead(rm.path) })
+		e.AfterKeyed(self, readTime, keyReadDone, rm.path)
 	}
 }
 
@@ -493,32 +571,33 @@ func (rn *run) dnRegisterAck(self sim.NodeID) {
 	rn.Logger(self, "BPOfferService").Info("BPOfferService for ", self, " registered with NameNode")
 }
 
-// dnWriteBlock stores a replica and forwards down the pipeline.
+// dnWriteBlock stores a replica after the disk latency (keyStore).
 func (rn *run) dnWriteBlock(self sim.NodeID, wm writeMsg) {
+	defer rn.Cfg.Probe.Enter(self, "hdfs.server.datanode.DataNode.storeBlock")()
+	rn.Eng.AfterKeyed(self, storeTime, keyStore, wm)
+}
+
+// dnStoreBlock is the keyStore handler body: record the replica, forward
+// down the pipeline, ack the client on the last hop.
+func (rn *run) dnStoreBlock(self sim.NodeID, wm writeMsg) {
 	e, pb := rn.Eng, rn.Cfg.Probe
-	defer pb.Enter(self, "hdfs.server.datanode.DataNode.storeBlock")()
-	e.AfterOn(self, storeTime, func() {
-		st := rn.dns[self]
-		st.blocks[wm.blockID] = true
-		rn.NoteWork(self)
-		pb.PostWrite(self, PtDNStore, wm.blockID)
-		rn.Logger(self, "DataXceiver").Info("Block ", wm.blockID, " stored on ", self)
-		// Forward to the next replica in the pipeline, or ack the client
-		// once the last replica is durable.
-		next := -1
-		for i, p := range wm.pipeline {
-			if p == self && i+1 < len(wm.pipeline) {
-				next = i + 1
-			}
+	st := rn.dns[self]
+	st.blocks[wm.blockID] = true
+	rn.NoteWork(self)
+	pb.PostWrite(self, PtDNStore, wm.blockID)
+	rn.Logger(self, "DataXceiver").Info("Block ", wm.blockID, " stored on ", self)
+	next := -1
+	for i, p := range wm.pipeline {
+		if p == self && i+1 < len(wm.pipeline) {
+			next = i + 1
 		}
-		if next > 0 {
-			e.Send(self, wm.pipeline[next], "dn", "writeBlock", wm)
-		} else if !wm.copy {
-			path := wm.path
-			e.AfterOn(self, sim.Millisecond, func() { rn.onFileWritten(path) })
-		}
-		e.Send(self, rn.nn, "nn", "blockReceived", wm.blockID)
-	})
+	}
+	if next > 0 {
+		e.Send(self, wm.pipeline[next], "dn", "writeBlock", wm)
+	} else if !wm.copy {
+		e.AfterKeyed(self, sim.Millisecond, keyWritten, wm.path)
+	}
+	e.Send(self, rn.nn, "nn", "blockReceived", wm.blockID)
 }
 
 // ---- restart / rejoin (cluster.Rejoiner) ----
@@ -538,26 +617,10 @@ func (rn *run) Rejoin(id sim.NodeID) {
 // report.
 func (rn *run) rejoinDN(id sim.NodeID) {
 	e := rn.Eng
-	st := rn.dns[id]
-	st.registered = false
-	dn := e.Node(id)
-	dn.Register("dn", sim.ServiceFunc(rn.dnService))
-	dn.OnShutdown(func(e *sim.Engine) { rn.dnShutdown(id) })
+	rn.dns[id].registered = false
+	rn.wireDN(e.Node(id))
 	rn.Logger(id, "DataNode").Info("Datanode ", id, " restarted, re-registering with NameNode")
-	e.AfterOn(id, 10*sim.Millisecond, func() {
-		e.Send(id, rn.nn, "nn", "register", nil)
-		sim.StartHeartbeats(e, id, rn.nn, sim.HeartbeatConfig{
-			Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat",
-		})
-		blks := make([]string, 0, len(st.blocks))
-		for b := range st.blocks {
-			blks = append(blks, b)
-		}
-		sortStrings(blks)
-		for _, b := range blks {
-			e.Send(id, rn.nn, "nn", "blockReceived", b)
-		}
-	})
+	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, true)
 }
 
 // rejoinNN restarts the NameNode: the namespace and block map survive
@@ -568,9 +631,9 @@ func (rn *run) rejoinDN(id sim.NodeID) {
 // (and working) once it serves again.
 func (rn *run) rejoinNN() {
 	e := rn.Eng
-	e.Node(rn.nn).Register("nn", sim.ServiceFunc(rn.nnService))
+	rn.wireNN(e.Node(rn.nn))
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "nn", Kind: "heartbeat"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.nn, hb, func(n sim.NodeID) { rn.removeDatanode(n, "lost") })
+	rn.lm = sim.NewLivenessMonitor(e, rn.nn, hb, rn.dnLost)
 	ids := make([]sim.NodeID, 0, len(rn.datanodes))
 	for dn := range rn.datanodes {
 		ids = append(ids, dn)
@@ -582,17 +645,80 @@ func (rn *run) rejoinNN() {
 	rn.Logger(rn.nn, "NameNode").Info("NameNode restarted, recovered ", len(rn.files), " files and ", len(rn.datanodes), " datanodes")
 	rn.NoteRejoin(rn.nn)
 	rn.NoteWork(rn.nn)
-	e.AfterOn(rn.nn, 100*sim.Millisecond, func() {
-		for i := 0; i < rn.nFiles; i++ {
-			path := fmt.Sprintf("/io/file_%d", i)
-			if !rn.fileWritten[path] {
-				rn.writeFile(path)
-			} else if rn.readPhase && !rn.fileRead[path] {
-				rn.readFile(path, 0)
-			}
-		}
-	})
+	e.AfterKeyed(rn.nn, 100*sim.Millisecond, keyResume, nil)
 	rn.curl()
+}
+
+// resumeClient is the keyResume handler body: the TestDFSIO client
+// re-drives whatever had not completed before the NameNode restart.
+func (rn *run) resumeClient() {
+	for i := 0; i < rn.nFiles; i++ {
+		path := fmt.Sprintf("/io/file_%d", i)
+		if !rn.fileWritten[path] {
+			rn.writeFile(path)
+		} else if rn.readPhase && !rn.fileRead[path] {
+			rn.readFile(path, 0)
+		}
+	}
+}
+
+// CloneRun implements cluster.Cloneable; see the toysys template for the
+// four-step recipe.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:        rn.CloneBase(cc),
+		r:           rn.r,
+		nn:          rn.nn,
+		datanodes:   make(map[sim.NodeID]*dnInfo, len(rn.datanodes)),
+		blocks:      make(map[string]*blockInfo, len(rn.blocks)),
+		files:       make(map[string]string, len(rn.files)),
+		dns:         make(map[sim.NodeID]*dnState, len(rn.dns)),
+		nextBlk:     rn.nextBlk,
+		nFiles:      rn.nFiles,
+		written:     rn.written,
+		read:        rn.read,
+		fileWritten: make(map[string]bool, len(rn.fileWritten)),
+		fileRead:    make(map[string]bool, len(rn.fileRead)),
+		readPhase:   rn.readPhase,
+	}
+	for id, di := range rn.datanodes {
+		blks := make(map[string]bool, len(di.blocks))
+		for b, v := range di.blocks {
+			blks[b] = v
+		}
+		rn2.datanodes[id] = &dnInfo{id: di.id, blocks: blks}
+	}
+	for id, bi := range rn.blocks {
+		// locations is mutated in place (removeLoc / append), so it
+		// needs its own backing array.
+		locs := make([]sim.NodeID, len(bi.locations))
+		copy(locs, bi.locations)
+		rn2.blocks[id] = &blockInfo{id: bi.id, file: bi.file, locations: locs}
+	}
+	for p, b := range rn.files {
+		rn2.files[p] = b
+	}
+	for id, st := range rn.dns {
+		blks := make(map[string]bool, len(st.blocks))
+		for b, v := range st.blocks {
+			blks[b] = v
+		}
+		rn2.dns[id] = &dnState{id: st.id, registered: st.registered, blocks: blks}
+	}
+	for p, v := range rn.fileWritten {
+		rn2.fileWritten[p] = v
+	}
+	for p, v := range rn.fileRead {
+		rn2.fileRead[p] = v
+	}
+
+	e2 := cc.Eng
+	rn2.wireNN(e2.Node(rn2.nn))
+	for id := range rn2.dns {
+		rn2.wireDN(e2.Node(id))
+	}
+	rn2.lm = rn.lm.CloneTo(e2, cc.Remap, rn2.dnLost)
+	return rn2
 }
 
 func sortStrings(s []string) {

@@ -36,6 +36,18 @@ const (
 // scheduling bug).
 const BugStaleBind = "K8S-53647"
 
+// Keyed-timer keys (see the toysys template): all mid-run scheduling is
+// (key, arg) data so the run is cloneable; handlers are registered by
+// wireAPI / wireKubelet.
+const (
+	keyBoot        = "k8s.boot"        // kubelet: register + start node-status heartbeats
+	keyCreatePods  = "k8s.createPods"  // api: create the deployment's pods and schedule them
+	keySchedule    = "k8s.sched"       // api: (re)schedule one pod; arg is the pod uid
+	keyBindTimeout = "k8s.bindTimeout" // api: binding-timeout recheck; arg is the pod uid
+	keyReconcile   = "k8s.reconcile"   // api: post-restart re-bind of non-running pods
+	keyRunPod      = "k8s.runPod"      // kubelet: pod start completed; arg is the pod uid
+)
+
 // Runner builds kubelike runs.
 type Runner struct {
 	// Kubelets is the number of worker nodes (default 2).
@@ -92,16 +104,69 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	api := e.AddNode("node0", 6443)
 	rn.api = api.ID
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.api, hb, func(n sim.NodeID) { rn.removeNode(n, "NotReady") })
-	api.Register("api", sim.ServiceFunc(rn.apiService))
+	rn.lm = sim.NewLivenessMonitor(e, rn.api, hb, rn.nodeLost)
+	rn.wireAPI(api)
 	for i := 1; i <= r.kubelets(); i++ {
 		k := e.AddNode(fmt.Sprintf("node%d", i), 10250)
-		id := k.ID
-		rn.lets = append(rn.lets, id)
-		k.Register("kubelet", sim.ServiceFunc(rn.kubeletService))
-		k.OnShutdown(func(e *sim.Engine) { rn.removeNode(id, "drained") })
+		rn.lets = append(rn.lets, k.ID)
+		rn.wireKubelet(k)
 	}
 	return rn
+}
+
+func (rn *run) nodeLost(n sim.NodeID) { rn.removeNode(n, "NotReady") }
+
+// wireAPI attaches the control plane's service and keyed handlers; shared
+// by NewRun, rejoinAPI and CloneRun.
+func (rn *run) wireAPI(n *sim.Node) {
+	n.Register("api", sim.ServiceFunc(rn.apiService))
+	n.Handle(keyCreatePods, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.createPods() })
+	n.Handle(keySchedule, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		if p := rn.podByUID(arg.(string)); p != nil {
+			rn.schedule(p)
+		}
+	})
+	n.Handle(keyBindTimeout, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		p := rn.podByUID(arg.(string))
+		if p != nil && rn.Status() == cluster.Running && !p.running {
+			rn.schedule(p)
+		}
+	})
+	n.Handle(keyReconcile, func(e *sim.Engine, _ sim.NodeID, _ any) {
+		for _, p := range rn.pods {
+			if !p.running {
+				rn.schedule(p)
+			}
+		}
+	})
+}
+
+// wireKubelet attaches a worker's service, keyed handlers and drain hook;
+// shared by NewRun, rejoinKubelet and CloneRun.
+func (rn *run) wireKubelet(n *sim.Node) {
+	id := n.ID
+	n.Register("kubelet", sim.ServiceFunc(rn.kubeletService))
+	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, _ any) {
+		e.Send(self, rn.api, "api", "register", nil)
+		sim.StartHeartbeats(e, self, rn.api, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus",
+		})
+	})
+	n.Handle(keyRunPod, func(e *sim.Engine, self sim.NodeID, arg any) {
+		uid := arg.(string)
+		rn.Logger(self, "Kubelet").Info("Pod ", uid, " running on ", self)
+		e.Send(self, rn.api, "api", "podRunning", uid)
+	})
+	n.OnShutdown(func(e *sim.Engine) { rn.removeNode(id, "drained") })
+}
+
+func (rn *run) podByUID(uid string) *pod {
+	for _, p := range rn.pods {
+		if p.uid == uid {
+			return p
+		}
+	}
+	return nil
 }
 
 // Start implements cluster.Run.
@@ -109,21 +174,18 @@ func (rn *run) Start() {
 	e := rn.Eng
 	rn.wanted = 4 * rn.Cfg.Scale
 	for _, k := range rn.lets {
-		id := k
-		e.AfterOn(id, 10*sim.Millisecond, func() {
-			e.Send(id, rn.api, "api", "register", nil)
-			sim.StartHeartbeats(e, id, rn.api, sim.HeartbeatConfig{
-				Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus",
-			})
-		})
+		e.AfterKeyed(k, 10*sim.Millisecond, keyBoot, nil)
 	}
-	e.AfterOn(rn.api, 100*sim.Millisecond, func() {
-		for i := 0; i < rn.wanted; i++ {
-			p := &pod{uid: fmt.Sprintf("pod-%d", i)}
-			rn.pods = append(rn.pods, p)
-			rn.schedule(p)
-		}
-	})
+	e.AfterKeyed(rn.api, 100*sim.Millisecond, keyCreatePods, nil)
+}
+
+// createPods is the keyCreatePods handler body.
+func (rn *run) createPods() {
+	for i := 0; i < rn.wanted; i++ {
+		p := &pod{uid: fmt.Sprintf("pod-%d", i)}
+		rn.pods = append(rn.pods, p)
+		rn.schedule(p)
+	}
 }
 
 func (rn *run) apiService(e *sim.Engine, m sim.Message) {
@@ -149,8 +211,7 @@ func (rn *run) registerNode(n sim.NodeID) {
 			if p.node == n {
 				p.running = false
 				p.node = ""
-				pp := p
-				rn.Eng.AfterOn(rn.api, 100*sim.Millisecond, func() { rn.schedule(pp) })
+				rn.Eng.AfterKeyed(rn.api, 100*sim.Millisecond, keySchedule, p.uid)
 			}
 		}
 	}
@@ -178,14 +239,12 @@ func (rn *run) removeNode(n sim.NodeID, why string) {
 	for _, p := range rn.pods {
 		if p.node == n && !p.running {
 			p.node = ""
-			pp := p
-			rn.Eng.AfterOn(rn.api, 100*sim.Millisecond, func() { rn.schedule(pp) })
+			rn.Eng.AfterKeyed(rn.api, 100*sim.Millisecond, keySchedule, p.uid)
 		} else if p.node == n {
 			// Running pods are recreated elsewhere.
 			p.running = false
 			p.node = ""
-			pp := p
-			rn.Eng.AfterOn(rn.api, 100*sim.Millisecond, func() { rn.schedule(pp) })
+			rn.Eng.AfterKeyed(rn.api, 100*sim.Millisecond, keySchedule, p.uid)
 		}
 	}
 }
@@ -209,7 +268,7 @@ func (rn *run) schedule(p *pod) {
 		}
 	}
 	if chosen == "" {
-		e.AfterOn(rn.api, 500*sim.Millisecond, func() { rn.schedule(p) })
+		e.AfterKeyed(rn.api, 500*sim.Millisecond, keySchedule, p.uid)
 		return
 	}
 	// Seeded-bug window: the chosen node may be deleted right here,
@@ -218,7 +277,7 @@ func (rn *run) schedule(p *pod) {
 	if !rn.nodes[chosen] {
 		if rn.r.FixStaleBind {
 			rn.Logger(rn.api, "Scheduler").Warn("Node ", chosen, " vanished, rescheduling ", p.uid)
-			e.AfterOn(rn.api, 200*sim.Millisecond, func() { rn.schedule(p) })
+			e.AfterKeyed(rn.api, 200*sim.Millisecond, keySchedule, p.uid)
 			return
 		}
 		rn.Witness(BugStaleBind)
@@ -234,12 +293,7 @@ func (rn *run) schedule(p *pod) {
 	e.Send(rn.api, chosen, "kubelet", "runPod", p.uid)
 	// Binding timeout: a kubelet that dies mid-start is retried after
 	// eviction; the scheduler also re-checks on its own.
-	uid := p.uid
-	e.AfterOn(rn.api, 5*sim.Second, func() {
-		if rn.Status() == cluster.Running && !p.running && p.uid == uid {
-			rn.schedule(p)
-		}
-	})
+	e.AfterKeyed(rn.api, 5*sim.Second, keyBindTimeout, p.uid)
 }
 
 // ---- restart / rejoin (cluster.Rejoiner) ----
@@ -258,16 +312,9 @@ func (rn *run) Rejoin(id sim.NodeID) {
 // recreates any pods lost with the previous incarnation.
 func (rn *run) rejoinKubelet(id sim.NodeID) {
 	e := rn.Eng
-	k := e.Node(id)
-	k.Register("kubelet", sim.ServiceFunc(rn.kubeletService))
-	k.OnShutdown(func(e *sim.Engine) { rn.removeNode(id, "drained") })
+	rn.wireKubelet(e.Node(id))
 	rn.Logger(id, "Kubelet").Info("Kubelet ", id, " restarted, re-registering with the API server")
-	e.AfterOn(id, 10*sim.Millisecond, func() {
-		e.Send(id, rn.api, "api", "register", nil)
-		sim.StartHeartbeats(e, id, rn.api, sim.HeartbeatConfig{
-			Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus",
-		})
-	})
+	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, nil)
 }
 
 // rejoinAPI restarts the control plane: the API service comes back, a
@@ -277,9 +324,9 @@ func (rn *run) rejoinKubelet(id sim.NodeID) {
 // working) once it serves again.
 func (rn *run) rejoinAPI() {
 	e := rn.Eng
-	e.Node(rn.api).Register("api", sim.ServiceFunc(rn.apiService))
+	rn.wireAPI(e.Node(rn.api))
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "api", Kind: "nodeStatus"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.api, hb, func(n sim.NodeID) { rn.removeNode(n, "NotReady") })
+	rn.lm = sim.NewLivenessMonitor(e, rn.api, hb, rn.nodeLost)
 	for _, k := range rn.lets {
 		if rn.nodes[k] {
 			rn.lm.Track(k)
@@ -288,26 +335,45 @@ func (rn *run) rejoinAPI() {
 	rn.Logger(rn.api, "NodeController").Info("Control plane restarted, reconciling pods")
 	rn.NoteRejoin(rn.api)
 	rn.NoteWork(rn.api)
-	e.AfterOn(rn.api, 100*sim.Millisecond, func() {
-		for _, p := range rn.pods {
-			if !p.running {
-				pp := p
-				rn.schedule(pp)
-			}
-		}
-	})
+	e.AfterKeyed(rn.api, 100*sim.Millisecond, keyReconcile, nil)
 }
 
 func (rn *run) kubeletService(e *sim.Engine, m sim.Message) {
 	if m.Kind != "runPod" {
 		return
 	}
-	self := m.To
-	uid := m.Body.(string)
-	e.AfterOn(self, 200*sim.Millisecond, func() {
-		rn.Logger(self, "Kubelet").Info("Pod ", uid, " running on ", self)
-		e.Send(self, rn.api, "api", "podRunning", uid)
-	})
+	e.AfterKeyed(m.To, 200*sim.Millisecond, keyRunPod, m.Body.(string))
+}
+
+// CloneRun implements cluster.Cloneable (recipe in the toysys template):
+// deep-copy the node set and pods, re-wire both roles, rebuild the
+// liveness monitor on the clone.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:   rn.CloneBase(cc),
+		r:      rn.r,
+		api:    rn.api,
+		lets:   append([]sim.NodeID(nil), rn.lets...),
+		nodes:  make(map[sim.NodeID]bool, len(rn.nodes)),
+		rr:     rn.rr,
+		wanted: rn.wanted,
+	}
+	for id, v := range rn.nodes {
+		rn2.nodes[id] = v
+	}
+	pods := make([]pod, len(rn.pods))
+	rn2.pods = make([]*pod, len(rn.pods))
+	for i, p := range rn.pods {
+		pods[i] = *p
+		rn2.pods[i] = &pods[i]
+	}
+	e2 := cc.Eng
+	rn2.lm = rn.lm.CloneTo(e2, cc.Remap, rn2.nodeLost)
+	rn2.wireAPI(e2.Node(rn2.api))
+	for _, k := range rn2.lets {
+		rn2.wireKubelet(e2.Node(k))
+	}
+	return rn2
 }
 
 func (rn *run) podRunning(uid string) {

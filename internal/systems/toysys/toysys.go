@@ -42,6 +42,24 @@ const (
 	BugPostWrite = "TOY-2"
 )
 
+// Keyed-timer keys. Everything the system schedules mid-run goes through
+// sim.AfterKeyed/EveryKeyed with one of these instead of a closure, which
+// is what makes the run cloneable (cluster.Cloneable): pending timers are
+// (key, arg) descriptors the engine can deep-copy, and the handlers are
+// plain methods re-registered by the wiring helpers (wireMaster /
+// wireWorker) on whichever engine the run currently lives on — fresh
+// (NewRun), rejoined after a restart (Rejoin) or forked mid-run
+// (CloneRun). Args must be immutable once scheduled: use value types or
+// ids that the handler resolves against current model state.
+const (
+	keyBoot      = "toy.boot"      // worker: register with the master, start heartbeats
+	keyAssignAll = "toy.assignAll" // master: initial assignment sweep
+	keyAssign    = "toy.assign"    // master: (re)assign one task; arg is the task id
+	keyResume    = "toy.resume"    // master: post-restart re-drive of incomplete tasks
+	keyWork      = "toy.work"      // worker: task work finished, send commitPending; arg is the commitMsg
+	keyDone      = "toy.done"      // worker: send phase-two doneCommit; arg is the commitMsg
+)
+
 // Runner builds toy-system runs.
 type Runner struct {
 	// Workers is the number of worker nodes (default 2).
@@ -119,32 +137,73 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	rn.master = master.ID
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat"}
 	rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, rn.handleLost)
-	master.Register("master", sim.ServiceFunc(rn.masterService))
+	rn.wireMaster(master)
 
 	for i := 1; i <= r.workers(); i++ {
 		w := e.AddNode(fmt.Sprintf("node%d", i), 7000+i)
-		id := w.ID
-		rn.workers = append(rn.workers, id)
-		w.Register("worker", sim.ServiceFunc(rn.workerService))
-		// The shutdown script deregisters synchronously with the master,
-		// emulating the paper's "shutdown RPC followed by a wait": by the
-		// time control returns, the cluster has processed the departure.
-		w.OnShutdown(func(e *sim.Engine) { rn.deregister(id) })
+		rn.workers = append(rn.workers, w.ID)
+		rn.wireWorker(w)
 	}
 	return rn
+}
+
+// wireMaster attaches the master's service and keyed-timer handlers to a
+// node. Shared by NewRun, Rejoin and CloneRun so the three ways a run can
+// acquire an engine cannot drift; this is the wiring half of the keyed-
+// timer template (the scheduling half is the keyXxx sites below).
+func (rn *run) wireMaster(n *sim.Node) {
+	n.Register("master", sim.ServiceFunc(rn.masterService))
+	n.Handle(keyAssignAll, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.assignAll() })
+	n.Handle(keyAssign, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		// The arg is the task id, not the *task: the handler resolves it
+		// against current state, so a clone's handler finds the clone's
+		// task, never the source's.
+		if t := rn.taskByID(arg.(string)); t != nil {
+			rn.assign(t)
+		}
+	})
+	n.Handle(keyResume, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.resumeTasks() })
+}
+
+// wireWorker attaches a worker's service, keyed handlers and shutdown
+// hook to a node; shared by NewRun, Rejoin and CloneRun like wireMaster.
+func (rn *run) wireWorker(n *sim.Node) {
+	id := n.ID
+	n.Register("worker", sim.ServiceFunc(rn.workerService))
+	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, _ any) {
+		e.Send(self, rn.master, "master", "register", nil)
+		sim.StartHeartbeats(e, self, rn.master, sim.HeartbeatConfig{
+			Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat",
+		})
+	})
+	n.Handle(keyWork, func(e *sim.Engine, self sim.NodeID, arg any) {
+		cm := arg.(commitMsg)
+		e.Send(self, rn.master, "master", "commitPending", cm)
+		e.AfterKeyed(self, 300*sim.Millisecond, keyDone, cm)
+	})
+	n.Handle(keyDone, func(e *sim.Engine, self sim.NodeID, arg any) {
+		e.Send(self, rn.master, "master", "doneCommit", arg.(commitMsg))
+	})
+	// The shutdown script deregisters synchronously with the master,
+	// emulating the paper's "shutdown RPC followed by a wait": by the
+	// time control returns, the cluster has processed the departure.
+	n.OnShutdown(func(e *sim.Engine) { rn.deregister(id) })
+}
+
+func (rn *run) taskByID(id string) *task {
+	for _, t := range rn.tasks {
+		if t.id == id {
+			return t
+		}
+	}
+	return nil
 }
 
 // Start implements cluster.Run.
 func (rn *run) Start() {
 	e := rn.Eng
 	for _, w := range rn.workers {
-		wid := w
-		e.AfterOn(wid, 10*sim.Millisecond, func() {
-			e.Send(wid, rn.master, "master", "register", nil)
-			sim.StartHeartbeats(e, wid, rn.master, sim.HeartbeatConfig{
-				Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat",
-			})
-		})
+		e.AfterKeyed(w, 10*sim.Millisecond, keyBoot, nil)
 	}
 	nTasks := 4 * rn.Cfg.Scale
 	for i := 0; i < nTasks; i++ {
@@ -183,7 +242,7 @@ func (rn *run) registerWorker(w sim.NodeID) {
 	rn.Logger(rn.master, "Master").Info("Worker registered as ", w)
 	if !rn.started && len(rn.registered) == len(rn.workers) {
 		rn.started = true
-		e.AfterOn(rn.master, 10*sim.Millisecond, rn.assignAll)
+		e.AfterKeyed(rn.master, 10*sim.Millisecond, keyAssignAll, nil)
 	}
 }
 
@@ -224,7 +283,7 @@ func (rn *run) reassignFrom(w sim.NodeID) {
 			delete(rn.pending, t.id) // the MR-3858 fix
 		}
 		t.worker = ""
-		rn.Eng.AfterOn(rn.master, 100*sim.Millisecond, func() { rn.assign(t) })
+		rn.Eng.AfterKeyed(rn.master, 100*sim.Millisecond, keyAssign, t.id)
 	}
 }
 
@@ -252,7 +311,7 @@ func (rn *run) assign(t *task) {
 	}
 	if target == nil {
 		// No workers: retry until one registers (or the run times out).
-		rn.Eng.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.assign(t) })
+		rn.Eng.AfterKeyed(rn.master, 500*sim.Millisecond, keyAssign, t.id)
 		return
 	}
 	t.attempt++
@@ -271,11 +330,11 @@ func (rn *run) assign(t *task) {
 func (rn *run) Rejoin(id sim.NodeID) {
 	e := rn.Eng
 	if id == rn.master {
-		// The master is its own registry: re-attach its RPC service, build
-		// a fresh failure detector over the workers it still remembers
-		// (its map survives as "persisted" state) and re-drive incomplete
-		// work.
-		e.Node(rn.master).Register("master", sim.ServiceFunc(rn.masterService))
+		// The master is its own registry: re-attach its RPC service and
+		// keyed handlers (Restart cleared both), build a fresh failure
+		// detector over the workers it still remembers (its map survives
+		// as "persisted" state) and re-drive incomplete work.
+		rn.wireMaster(e.Node(rn.master))
 		hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat"}
 		rn.lm = sim.NewLivenessMonitor(e, rn.master, hb, rn.handleLost)
 		for _, w := range rn.workers {
@@ -286,48 +345,91 @@ func (rn *run) Rejoin(id sim.NodeID) {
 		rn.Logger(rn.master, "Master").Info("Master restarted, resuming scheduling")
 		rn.NoteRejoin(rn.master)
 		rn.NoteWork(rn.master)
-		e.AfterOn(rn.master, 100*sim.Millisecond, func() {
-			for _, t := range rn.tasks {
-				if t.complete {
-					continue
-				}
-				if _, ok := rn.registered[t.worker]; !ok {
-					t.worker = ""
-				}
-				if t.worker == "" {
-					tt := t
-					rn.assign(tt)
-				}
-			}
-		})
+		e.AfterKeyed(rn.master, 100*sim.Millisecond, keyResume, nil)
 		return
 	}
 	// A worker rejoins through the normal registration path.
-	w := e.Node(id)
-	w.Register("worker", sim.ServiceFunc(rn.workerService))
-	w.OnShutdown(func(e *sim.Engine) { rn.deregister(id) })
+	rn.wireWorker(e.Node(id))
 	rn.Logger(id, "Worker").Info("Worker ", id, " restarted, re-registering")
-	e.AfterOn(id, 10*sim.Millisecond, func() {
-		e.Send(id, rn.master, "master", "register", nil)
-		sim.StartHeartbeats(e, id, rn.master, sim.HeartbeatConfig{
-			Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat",
-		})
-	})
+	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, nil)
 }
 
-// workerService executes a task: work, then the two-phase commit.
+// ---- mid-run forking (cluster.Cloneable) ----
+
+// CloneRun implements cluster.Cloneable; like Rejoin, it is the template
+// for authoring cloning in a new system (see examples/newsystem). The
+// recipe:
+//
+//  1. CloneBase copies the shared bookkeeping onto the cloned engine.
+//  2. Deep-copy every piece of mutable model state — here the registered
+//     and pending maps and the task list. Immutable identity (master and
+//     worker IDs, the Runner) may be shared.
+//  3. Re-wire services, keyed handlers and hooks with the same helpers
+//     NewRun and Rejoin use; the cloned engine's nodes carry none.
+//  4. Re-create liveness monitors via CloneTo with a callback closing
+//     over the NEW run, so the builtin LivenessKey timers (already in the
+//     cloned queue) find a monitor that mutates the right model.
+//
+// CloneRun must not mutate the source run: campaign workers clone one
+// immutable template concurrently.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:       rn.CloneBase(cc),
+		r:          rn.r,
+		master:     rn.master,
+		workers:    append([]sim.NodeID(nil), rn.workers...),
+		registered: make(map[sim.NodeID]*workerInfo, len(rn.registered)),
+		pending:    make(map[string]string, len(rn.pending)),
+		started:    rn.started,
+		rrNext:     rn.rrNext,
+	}
+	for id, wi := range rn.registered {
+		cp := *wi
+		rn2.registered[id] = &cp
+	}
+	for k, v := range rn.pending {
+		rn2.pending[k] = v
+	}
+	// One backing array for the task copies keeps the clone's layout as
+	// cache-friendly as the original's.
+	tasks := make([]task, len(rn.tasks))
+	rn2.tasks = make([]*task, len(rn.tasks))
+	for i, t := range rn.tasks {
+		tasks[i] = *t
+		rn2.tasks[i] = &tasks[i]
+	}
+	e2 := cc.Eng
+	rn2.lm = rn.lm.CloneTo(e2, cc.Remap, rn2.handleLost)
+	rn2.wireMaster(e2.Node(rn2.master))
+	for _, w := range rn2.workers {
+		rn2.wireWorker(e2.Node(w))
+	}
+	return rn2
+}
+
+// resumeTasks is the keyResume handler body: after a master restart,
+// re-assign every incomplete task whose worker is gone.
+func (rn *run) resumeTasks() {
+	for _, t := range rn.tasks {
+		if t.complete {
+			continue
+		}
+		if _, ok := rn.registered[t.worker]; !ok {
+			t.worker = ""
+		}
+		if t.worker == "" {
+			rn.assign(t)
+		}
+	}
+}
+
+// workerService executes a task: work (the keyWork timer), then the
+// two-phase commit (keyDone).
 func (rn *run) workerService(e *sim.Engine, m sim.Message) {
 	if m.Kind != "runTask" {
 		return
 	}
-	self := m.To
-	cm := m.Body.(commitMsg)
-	e.AfterOn(self, 500*sim.Millisecond, func() {
-		e.Send(self, rn.master, "master", "commitPending", cm)
-		e.AfterOn(self, 300*sim.Millisecond, func() {
-			e.Send(self, rn.master, "master", "doneCommit", cm)
-		})
-	})
+	e.AfterKeyed(m.To, 500*sim.Millisecond, keyWork, m.Body.(commitMsg))
 }
 
 // commitPending handles phase one of the commit. It contains both seeded
@@ -365,7 +467,7 @@ func (rn *run) commitPending(from sim.NodeID, cm commitMsg) {
 		for _, t := range rn.tasks {
 			if t.id == cm.taskID && !t.complete {
 				t.worker = ""
-				e.AfterOn(rn.master, 500*sim.Millisecond, func() { rn.assign(t) })
+				e.AfterKeyed(rn.master, 500*sim.Millisecond, keyAssign, t.id)
 			}
 		}
 		return

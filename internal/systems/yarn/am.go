@@ -51,7 +51,7 @@ func (rn *run) nmLaunchAM(self sim.NodeID, cm *contMsg) {
 	defer pb.Enter(self, "yarn.server.nodemanager.NodeManager.launchContainer")()
 	pb.PostWrite(self, PtContainersPut, cm.containerID)
 	rn.Logger(self, "ContainerManagerImpl").Info("Launching container ", cm.containerID, " on ", self)
-	e.AfterOn(self, 100*sim.Millisecond, func() { rn.amInit(self) })
+	e.AfterKeyed(self, 100*sim.Millisecond, keyAMInit, nil)
 }
 
 // nmRunTask executes a map attempt and drives the two-phase commit.
@@ -60,18 +60,12 @@ func (rn *run) nmRunTask(self sim.NodeID, tm *taskMsg) {
 	defer pb.Enter(self, "yarn.server.nodemanager.NodeManager.launchContainer")()
 	pb.PostWrite(self, PtContainersPut, tm.containerID)
 	rn.Logger(self, "YarnChild").Info("JVM with ID: jvm_", tm.containerID, " given task: ", tm.attemptID)
-	e.AfterOn(self, mapWorkTime, func() {
-		e.Send(self, rn.amNode, "am", "commitPending", tm)
-	})
+	e.AfterKeyed(self, mapWorkTime, keyMapDone, tm)
 }
 
 // nmCommitOK completes phase two after the AM granted the commit.
 func (rn *run) nmCommitOK(self sim.NodeID, tm *taskMsg) {
-	e := rn.Eng
-	e.AfterOn(self, commitGap, func() {
-		e.Send(self, rn.amNode, "am", "doneCommit", tm)
-		e.Send(self, rn.rm, "rm", "containerComplete", &contMsg{containerID: tm.containerID, node: self})
-	})
+	rn.Eng.AfterKeyed(self, commitGap, keyCommit2, tm)
 }
 
 // ---- MRAppMaster side ----
@@ -213,12 +207,7 @@ func (rn *run) retryTask(taskID string) {
 		if t.id == taskID && !t.done {
 			t.container = ""
 			t.node = ""
-			rn.Eng.AfterOn(rn.amNode, 500*sim.Millisecond, func() {
-				if rn.amUp {
-					rn.Eng.Send(rn.amNode, rn.rm, "rm", "allocate",
-						&allocMsg{attemptID: rn.app.currentAttempt.id, asks: 1})
-				}
-			})
+			rn.Eng.AfterKeyed(rn.amNode, 500*sim.Millisecond, keyRetryAlloc, nil)
 			return
 		}
 	}
@@ -294,26 +283,24 @@ func (rn *run) fetchOutput(i, tries int) {
 		return
 	}
 	if i >= len(rn.maps) {
-		e.AfterOn(rn.amNode, reduceWorkTime, func() {
-			e.Send(rn.amNode, rn.rm, "rm", "appDone", rn.app.id)
-		})
+		e.AfterKeyed(rn.amNode, reduceWorkTime, keyReduceDone, nil)
 		return
 	}
 	t := rn.maps[i]
 	if !t.done {
 		// The map is re-executing; poll until its output re-appears.
-		e.AfterOn(rn.amNode, 500*sim.Millisecond, func() { rn.fetchOutput(i, tries) })
+		e.AfterKeyed(rn.amNode, 500*sim.Millisecond, keyFetch, fetchArg{i: i, tries: tries})
 		return
 	}
 	src := e.Node(t.successNode)
 	if src != nil && src.Alive() {
-		e.AfterOn(rn.amNode, fetchTime, func() { rn.fetchOutput(i+1, 0) })
+		e.AfterKeyed(rn.amNode, fetchTime, keyFetch, fetchArg{i: i + 1})
 		return
 	}
 	if tries < fetchRetries {
 		rn.Logger(rn.amNode, "ShuffleFetcher").Warn(
 			"Failed to fetch output of ", t.successAttempt, " from ", t.successNode, ", retrying")
-		e.AfterOn(rn.amNode, fetchRetryGap, func() { rn.fetchOutput(i, tries+1) })
+		e.AfterKeyed(rn.amNode, fetchRetryGap, keyFetch, fetchArg{i: i, tries: tries + 1})
 		return
 	}
 	// Give up on the output and re-execute the map.

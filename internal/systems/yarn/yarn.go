@@ -62,6 +62,30 @@ const (
 	BugFetchTimeout   = "YARN-TIMEOUT-1" // §4.1.3 successAttempt timeout issue
 )
 
+// Keyed-timer keys (see the toysys template): all mid-run scheduling is
+// (key, arg) data so the run is cloneable; handlers are registered by
+// wireRM / wireNM. The AM-side keys also live in wireNM — the AM runs
+// inside a container on an NM node, so every NM carries its handlers and
+// only events scheduled on the AM node ever dispatch them.
+const (
+	keyBoot       = "yarn.boot"       // nm: register with the RM + heartbeats
+	keySubmit     = "yarn.submit"     // rm: client submits the app; arg is the app ID
+	keyCurl       = "yarn.curl"       // rm: periodic web poll (self-rescheduling)
+	keyLaunchAM   = "yarn.launchAM"   // rm: (re)try launching the current attempt's AM
+	keyAlloc      = "yarn.alloc"      // rm: re-ask for containers; arg is an allocMsg
+	keyAMInit     = "yarn.amInit"     // nm: AM process init after container launch
+	keyMapDone    = "yarn.mapDone"    // nm: map work finished; arg is the *taskMsg
+	keyCommit2    = "yarn.commit2"    // nm: commit phase two; arg is the *taskMsg
+	keyRetryAlloc = "yarn.retryAlloc" // am: ask one replacement container
+	keyFetch      = "yarn.fetch"      // am: reduce fetch step; arg is a fetchArg
+	keyReduceDone = "yarn.reduceDone" // am: reduce work finished
+)
+
+// fetchArg parameterizes keyFetch.
+type fetchArg struct {
+	i, tries int
+}
+
 // Runner builds Yarn runs.
 type Runner struct {
 	// NodeManagers is the number of NM nodes (default 2).
@@ -267,19 +291,73 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 	rm := e.AddNode(r.host(0), 8030)
 	rn.rm = rm.ID
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, func(n sim.NodeID) { rn.nodeRemoved(n, "lost") })
-	rm.Register("rm", sim.ServiceFunc(rn.rmService))
+	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, rn.nmLost)
+	rn.wireRM(rm)
 
 	for i := 1; i <= r.nms(); i++ {
 		nm := e.AddNode(r.host(i), 45454)
-		id := nm.ID
-		rn.nms = append(rn.nms, id)
-		nm.Register("nm", sim.ServiceFunc(rn.nmService))
-		// Shutdown script: deregister synchronously with the RM (the
-		// paper's shutdown-RPC-plus-wait).
-		nm.OnShutdown(func(e *sim.Engine) { rn.nodeRemoved(id, "shutdown") })
+		rn.nms = append(rn.nms, nm.ID)
+		rn.wireNM(nm)
 	}
 	return rn
+}
+
+func (rn *run) nmLost(n sim.NodeID) { rn.nodeRemoved(n, "lost") }
+
+// wireRM attaches the ResourceManager's service and keyed handlers;
+// shared by NewRun, rejoinRM and CloneRun.
+func (rn *run) wireRM(n *sim.Node) {
+	n.Register("rm", sim.ServiceFunc(rn.rmService))
+	n.Handle(keySubmit, func(e *sim.Engine, _ sim.NodeID, arg any) { rn.submitApp(arg.(string)) })
+	n.Handle(keyCurl, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.curlPoll() })
+	n.Handle(keyLaunchAM, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.launchAM(rn.app) })
+	n.Handle(keyAlloc, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(allocMsg)
+		rn.allocate(&a)
+	})
+}
+
+// wireNM attaches a NodeManager's service, keyed handlers and shutdown
+// script; shared by NewRun, rejoinNM and CloneRun. The AM-side handlers
+// ride along on every NM (see the key block above).
+func (rn *run) wireNM(n *sim.Node) {
+	id := n.ID
+	n.Register("nm", sim.ServiceFunc(rn.nmService))
+	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, _ any) { rn.nmBoot(self) })
+	n.Handle(keyAMInit, func(e *sim.Engine, self sim.NodeID, _ any) { rn.amInit(self) })
+	n.Handle(keyMapDone, func(e *sim.Engine, self sim.NodeID, arg any) {
+		e.Send(self, rn.amNode, "am", "commitPending", arg.(*taskMsg))
+	})
+	n.Handle(keyCommit2, func(e *sim.Engine, self sim.NodeID, arg any) {
+		tm := arg.(*taskMsg)
+		e.Send(self, rn.amNode, "am", "doneCommit", tm)
+		e.Send(self, rn.rm, "rm", "containerComplete", &contMsg{containerID: tm.containerID, node: self})
+	})
+	n.Handle(keyRetryAlloc, func(e *sim.Engine, _ sim.NodeID, _ any) {
+		if rn.amUp {
+			e.Send(rn.amNode, rn.rm, "rm", "allocate",
+				&allocMsg{attemptID: rn.app.currentAttempt.id, asks: 1})
+		}
+	})
+	n.Handle(keyFetch, func(e *sim.Engine, _ sim.NodeID, arg any) {
+		a := arg.(fetchArg)
+		rn.fetchOutput(a.i, a.tries)
+	})
+	n.Handle(keyReduceDone, func(e *sim.Engine, _ sim.NodeID, _ any) {
+		e.Send(rn.amNode, rn.rm, "rm", "appDone", rn.app.id)
+	})
+	// Shutdown script: deregister synchronously with the RM (the paper's
+	// shutdown-RPC-plus-wait).
+	n.OnShutdown(func(e *sim.Engine) { rn.nodeRemoved(id, "shutdown") })
+}
+
+// nmBoot registers with the RM and starts heartbeats.
+func (rn *run) nmBoot(self sim.NodeID) {
+	e := rn.Eng
+	e.Send(self, rn.rm, "rm", "register", nil)
+	sim.StartHeartbeats(e, self, rn.rm, sim.HeartbeatConfig{
+		Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat",
+	})
 }
 
 // Start implements cluster.Run: NMs register, then the client submits a
@@ -287,33 +365,27 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 func (rn *run) Start() {
 	e := rn.Eng
 	for _, nm := range rn.nms {
-		id := nm
-		e.AfterOn(id, 10*sim.Millisecond, func() {
-			e.Send(id, rn.rm, "rm", "register", nil)
-			sim.StartHeartbeats(e, id, rn.rm, sim.HeartbeatConfig{
-				Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat",
-			})
-		})
+		e.AfterKeyed(nm, 10*sim.Millisecond, keyBoot, nil)
 	}
-	e.AfterOn(rn.rm, 50*sim.Millisecond, func() { rn.submitApp("application_0001") })
+	e.AfterKeyed(rn.rm, 50*sim.Millisecond, keySubmit, "application_0001")
 	rn.curl()
 }
 
 // curl polls the RM web endpoint, exercising the sanity-checked web read.
 func (rn *run) curl() {
-	e := rn.Eng
-	var poll func()
-	poll = func() {
-		if rn.Status() != cluster.Running {
-			return
-		}
-		defer rn.Cfg.Probe.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.webAppState")()
-		if app, ok := rn.apps["application_0001"]; ok { // sanity-checked read
-			rn.Logger(rn.rm, "WebApp").Info("Web request for application ", app.id, " in state ", app.state)
-		}
-		e.AfterOn(rn.rm, 500*sim.Millisecond, poll)
+	rn.Eng.AfterKeyed(rn.rm, 300*sim.Millisecond, keyCurl, nil)
+}
+
+// curlPoll is the keyCurl handler body; it reschedules itself.
+func (rn *run) curlPoll() {
+	if rn.Status() != cluster.Running {
+		return
 	}
-	e.AfterOn(rn.rm, 300*sim.Millisecond, poll)
+	defer rn.Cfg.Probe.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.webAppState")()
+	if app, ok := rn.apps["application_0001"]; ok { // sanity-checked read
+		rn.Logger(rn.rm, "WebApp").Info("Web request for application ", app.id, " in state ", app.state)
+	}
+	rn.Eng.AfterKeyed(rn.rm, 500*sim.Millisecond, keyCurl, nil)
 }
 
 // ---- RM side ----
@@ -426,7 +498,7 @@ func (rn *run) failAttempt(app *application) {
 	app.currentAttempt = att
 	rn.appCache[att.id] = true
 	rn.Logger(rn.rm, "RMAppImpl").Info("Created attempt ", att.id, " for application ", app.id)
-	rn.Eng.AfterOn(rn.rm, 200*sim.Millisecond, func() { rn.launchAM(app) })
+	rn.Eng.AfterKeyed(rn.rm, 200*sim.Millisecond, keyLaunchAM, nil)
 }
 
 func (rn *run) submitApp(appID string) {
@@ -475,7 +547,7 @@ func (rn *run) launchAM(app *application) {
 	att := app.currentAttempt
 	sn := rn.pickNode(rn.rrNext)
 	if sn == nil {
-		rn.Eng.AfterOn(rn.rm, 500*sim.Millisecond, func() { rn.launchAM(app) })
+		rn.Eng.AfterKeyed(rn.rm, 500*sim.Millisecond, keyLaunchAM, nil)
 		return
 	}
 	rn.rrNext++
@@ -591,9 +663,8 @@ func (rn *run) allocate(am *allocMsg) {
 	}
 	if granted < am.asks {
 		// Ask again for the remainder once resources free up.
-		rn.Eng.AfterOn(rn.rm, 500*sim.Millisecond, func() {
-			rn.allocate(&allocMsg{attemptID: am.attemptID, asks: am.asks - granted})
-		})
+		rn.Eng.AfterKeyed(rn.rm, 500*sim.Millisecond, keyAlloc,
+			allocMsg{attemptID: am.attemptID, asks: am.asks - granted})
 	}
 }
 
@@ -614,16 +685,9 @@ func (rn *run) Rejoin(id sim.NodeID) {
 // resumes heartbeats, exactly like a first boot.
 func (rn *run) rejoinNM(id sim.NodeID) {
 	e := rn.Eng
-	nm := e.Node(id)
-	nm.Register("nm", sim.ServiceFunc(rn.nmService))
-	nm.OnShutdown(func(e *sim.Engine) { rn.nodeRemoved(id, "shutdown") })
+	rn.wireNM(e.Node(id))
 	rn.Logger(id, "NodeManager").Info("NodeManager on ", id, " restarted, re-registering with RM")
-	e.AfterOn(id, 10*sim.Millisecond, func() {
-		e.Send(id, rn.rm, "rm", "register", nil)
-		sim.StartHeartbeats(e, id, rn.rm, sim.HeartbeatConfig{
-			Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat",
-		})
-	})
+	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, nil)
 }
 
 // rejoinRM restarts the ResourceManager: the scheduler service comes
@@ -634,9 +698,9 @@ func (rn *run) rejoinNM(id sim.NodeID) {
 // bookkeeping marks it rejoined (and working) once it serves again.
 func (rn *run) rejoinRM() {
 	e := rn.Eng
-	e.Node(rn.rm).Register("rm", sim.ServiceFunc(rn.rmService))
+	rn.wireRM(e.Node(rn.rm))
 	hb := sim.HeartbeatConfig{Period: sim.Second, Timeout: 3 * sim.Second, Service: "rm", Kind: "heartbeat"}
-	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, func(n sim.NodeID) { rn.nodeRemoved(n, "lost") })
+	rn.lm = sim.NewLivenessMonitor(e, rn.rm, hb, rn.nmLost)
 	ids := make([]string, 0, len(rn.nodes))
 	for id := range rn.nodes {
 		ids = append(ids, string(id))
@@ -650,9 +714,75 @@ func (rn *run) rejoinRM() {
 	rn.NoteWork(rn.rm)
 	if rn.app != nil && rn.app.state != "FINISHED" && rn.app.state != "FAILED" &&
 		rn.app.currentAttempt != nil && rn.app.currentAttempt.state == "NEW" {
-		e.AfterOn(rn.rm, 200*sim.Millisecond, func() { rn.launchAM(rn.app) })
+		e.AfterKeyed(rn.rm, 200*sim.Millisecond, keyLaunchAM, nil)
 	}
 	rn.curl()
+}
+
+// CloneRun implements cluster.Cloneable; see the toysys template for the
+// four-step recipe. The tasks slab backs the maps pointers, so both are
+// rebuilt together; rn.app aliases an entry of rn.apps and the clone
+// preserves that aliasing.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:     rn.CloneBase(cc),
+		r:        rn.r,
+		rm:       rn.rm,
+		nms:      append([]sim.NodeID(nil), rn.nms...),
+		nodes:    make(map[sim.NodeID]*schedNode, len(rn.nodes)),
+		apps:     make(map[string]*application, len(rn.apps)),
+		appCache: make(map[string]bool, len(rn.appCache)),
+		nextCont: rn.nextCont,
+		amNode:   rn.amNode,
+		amUp:     rn.amUp,
+		commits:  make(map[string]string, len(rn.commits)),
+		rrNext:   rn.rrNext,
+	}
+	for id, sn := range rn.nodes {
+		rn2.nodes[id] = &schedNode{
+			id:         sn.id,
+			containers: append([]string(nil), sn.containers...),
+			resources:  sn.resources,
+		}
+	}
+	for id, app := range rn.apps {
+		cp := *app
+		if app.currentAttempt != nil {
+			att := *app.currentAttempt
+			cp.currentAttempt = &att
+		}
+		rn2.apps[id] = &cp
+		if rn.app == app {
+			rn2.app = &cp
+		}
+	}
+	for id, v := range rn.appCache {
+		rn2.appCache[id] = v
+	}
+	if len(rn.tasks) > 0 {
+		rn2.tasks = make([]mapTask, len(rn.tasks))
+		copy(rn2.tasks, rn.tasks)
+		rn2.maps = make([]*mapTask, len(rn.maps))
+		for i := range rn2.tasks {
+			rn2.maps[i] = &rn2.tasks[i]
+		}
+	}
+	for t, a := range rn.commits {
+		rn2.commits[t] = a
+	}
+
+	e2 := cc.Eng
+	rn2.wireRM(e2.Node(rn2.rm))
+	for _, id := range rn2.nms {
+		rn2.wireNM(e2.Node(id))
+	}
+	if rn2.amUp {
+		// The AM endpoint is registered dynamically by amInit; restore it
+		// only while an AM is actually serving.
+		e2.Node(rn2.amNode).Register("am", sim.ServiceFunc(rn2.amService))
+	}
+	rn2.lm = rn.lm.CloneTo(e2, cc.Remap, rn2.nmLost)
+	return rn2
 }
 
 func (rn *run) appDone(appID string) {

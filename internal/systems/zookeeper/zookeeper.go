@@ -58,6 +58,15 @@ func (r *Runner) followers() int {
 
 const stepGap = 100 * sim.Millisecond
 
+// Keyed-timer keys (see the toysys template): all mid-run scheduling is
+// (key, arg) data so the run is cloneable. Every peer gets all three
+// handlers (wirePeer) because any member can become the leader.
+const (
+	keyStep        = "zk.step"        // current leader: next SmokeTest step
+	keyPing        = "zk.ping"        // leader: periodic follower pings
+	keyCheckLeader = "zk.checkLeader" // follower: periodic leader watchdog
+)
+
 type znode struct {
 	path string
 	data string
@@ -94,10 +103,19 @@ func (r *Runner) NewRun(cfg cluster.Config) cluster.Run {
 		n := e.AddNode(fmt.Sprintf("node%d", i), 2181)
 		rn.members = append(rn.members, n.ID)
 		rn.trees[n.ID] = make(map[string]*znode)
-		n.Register("peer", sim.ServiceFunc(rn.peerService))
+		rn.wirePeer(n)
 	}
 	rn.leader = rn.members[0]
 	return rn
+}
+
+// wirePeer attaches the quorum service and keyed handlers to a peer;
+// shared by NewRun, Rejoin and CloneRun.
+func (rn *run) wirePeer(n *sim.Node) {
+	n.Register("peer", sim.ServiceFunc(rn.peerService))
+	n.Handle(keyStep, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.step() })
+	n.Handle(keyPing, func(e *sim.Engine, _ sim.NodeID, _ any) { rn.pingFollowers() })
+	n.Handle(keyCheckLeader, func(e *sim.Engine, self sim.NodeID, _ any) { rn.checkLeader(self) })
 }
 
 // Start implements cluster.Run.
@@ -109,14 +127,13 @@ func (rn *run) Start() {
 		if m == rn.leader {
 			continue
 		}
-		f := m
-		rn.lastPing[f] = 0
+		rn.lastPing[m] = 0
 		// Follower-side leader watchdog: take over if pings stop.
-		e.Every(f, sim.Second, func() { rn.checkLeader(f) })
+		e.EveryKeyed(m, sim.Second, keyCheckLeader, nil)
 	}
 	// Leader pings all followers.
-	e.Every(rn.leader, sim.Second, func() { rn.pingFollowers() })
-	e.AfterOn(rn.leader, 100*sim.Millisecond, rn.step)
+	e.EveryKeyed(rn.leader, sim.Second, keyPing, nil)
+	e.AfterKeyed(rn.leader, 100*sim.Millisecond, keyStep, nil)
 }
 
 func (rn *run) pingFollowers() {
@@ -157,8 +174,8 @@ func (rn *run) checkLeader(self sim.NodeID) {
 		fmt.Sprintf("leader %s unreachable", old), true)
 	rn.Logger(self, "FastLeaderElection").Warn("Leader ", old, " lost; ", self, " taking over")
 	rn.Logger(self, "QuorumPeer").Info("Leader elected as ", self)
-	e.Every(self, sim.Second, func() { rn.pingFollowers() })
-	e.AfterOn(self, stepGap, rn.step)
+	e.EveryKeyed(self, sim.Second, keyPing, nil)
+	e.AfterKeyed(self, stepGap, keyStep, nil)
 }
 
 // step drives the SmokeTest phases sequentially on the current leader.
@@ -209,7 +226,7 @@ func (rn *run) proposal(kind, path, data string) {
 		e.Send(rn.leader, m, "peer", kind, znode{path: path, data: data})
 	}
 	rn.Logger(rn.leader, "Leader").Info("Replicated ", path, " to quorum of ", quorum)
-	e.AfterOn(rn.leader, stepGap, rn.step)
+	e.AfterKeyed(rn.leader, stepGap, keyStep, nil)
 }
 
 func (rn *run) createNode(path string) {
@@ -242,7 +259,7 @@ func (rn *run) getNode(path string) {
 		e.Throw(rn.leader, "NoNodeException@DataTree.getNode", path, true)
 		rn.Logger(rn.leader, "DataTree").Warn("Read of missing znode ", path)
 	}
-	e.AfterOn(rn.leader, stepGap, rn.step)
+	e.AfterKeyed(rn.leader, stepGap, keyStep, nil)
 }
 
 func (rn *run) deleteNode(path string) {
@@ -283,18 +300,51 @@ func (rn *run) peerService(e *sim.Engine, m sim.Message) {
 // announces itself to the current leader.
 func (rn *run) Rejoin(id sim.NodeID) {
 	e := rn.Eng
-	e.Node(id).Register("peer", sim.ServiceFunc(rn.peerService))
+	rn.wirePeer(e.Node(id))
 	if rn.leader == id {
 		// Restarted before any follower watchdog fired: resume leading.
 		rn.Logger(id, "QuorumPeer").Info("Peer ", id, " restarted, resuming leadership")
-		e.Every(id, sim.Second, func() { rn.pingFollowers() })
-		e.AfterOn(id, stepGap, rn.step)
+		e.EveryKeyed(id, sim.Second, keyPing, nil)
+		e.AfterKeyed(id, stepGap, keyStep, nil)
 		rn.NoteRejoin(id)
 		rn.NoteWork(id)
 		return
 	}
 	rn.lastPing[id] = e.Now()
-	e.Every(id, sim.Second, func() { rn.checkLeader(id) })
+	e.EveryKeyed(id, sim.Second, keyCheckLeader, nil)
 	rn.Logger(id, "QuorumPeer").Info("Peer ", id, " restarted, rejoining quorum as follower")
 	e.Send(id, rn.leader, "peer", "rejoin", nil)
+}
+
+// CloneRun implements cluster.Cloneable (recipe in the toysys template):
+// deep-copy every peer's replicated tree and the ping bookkeeping, then
+// re-wire all peers. ZooKeeper has no liveness monitor — its watchdog is
+// the keyCheckLeader series already in the cloned queue.
+func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
+	rn2 := &run{
+		Base:     rn.CloneBase(cc),
+		r:        rn.r,
+		members:  append([]sim.NodeID(nil), rn.members...),
+		leader:   rn.leader,
+		trees:    make(map[sim.NodeID]map[string]*znode, len(rn.trees)),
+		lastPing: make(map[sim.NodeID]sim.Time, len(rn.lastPing)),
+		nZnodes:  rn.nZnodes,
+		phase:    rn.phase,
+		idx:      rn.idx,
+	}
+	for m, tree := range rn.trees {
+		t2 := make(map[string]*znode, len(tree))
+		for path, zn := range tree {
+			cp := *zn
+			t2[path] = &cp
+		}
+		rn2.trees[m] = t2
+	}
+	for m, t := range rn.lastPing {
+		rn2.lastPing[m] = t
+	}
+	for _, m := range rn2.members {
+		rn2.wirePeer(cc.Eng.Node(m))
+	}
+	return rn2
 }

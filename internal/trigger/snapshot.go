@@ -3,9 +3,7 @@
 // each injection run from that recording instead of replaying the whole
 // observation pipeline from t=0.
 //
-// The simulator's event queue holds closures, so engine state cannot be
-// deep-copied. What *can* be captured cheaply is everything the trigger
-// needs at the moment a point fires:
+// The reference pass captures, at the moment each point first fires:
 //
 //   - the access's dispatch ordinal — how many probe accesses were
 //     delivered before it (probe.SkipAccesses fast-forwards a fork to
@@ -15,15 +13,30 @@
 //   - a sim.Fingerprint — the replay fence that proves the fork reached
 //     the same engine state before any fault is injected.
 //
-// A fork is then a fresh deterministic run with the observation layers
-// elided: logs go to a dslog.Discard root (no rendering, no stash, no
-// pattern matching), the probe runs Lean (no per-entry stack
-// bookkeeping), and target resolution reads the frozen view. Everything
-// that *drives* the system is identical, so the fork's post-injection
-// behaviour is byte-identical to a full run's — and the fingerprint
-// fence turns "should be identical" into a checked invariant: on any
-// mismatch the fork is discarded and the point re-runs the legacy full
-// path (counted in crashtuner_snapshot_invalidations_total).
+// Forks come in two flavours, tried in order:
+//
+// Clone forks (the fast path): systems that implement cluster.Cloneable
+// schedule every mid-run timer through the keyed API, so their engines
+// hold no closures and Engine.Clone can deep-copy the whole run in
+// O(state). A capture pass — one extra lean replay per plan — steps to a
+// bounded ladder of event-count boundaries (one rung just before each
+// crash point's hit, thinned to Tester.MaxClones) and clones a template
+// at each. An injection run then clones the nearest rung at or below its
+// point and lean-replays only the short gap up to the hit, so its cost
+// is O(gap), independent of how much timeline precedes the rung.
+//
+// Lean-replay forks (the fallback): a fresh deterministic run with the
+// observation layers elided — logs to a dslog.Discard root, Lean probe,
+// target resolution against the frozen view — fast-forwarded over the
+// whole prefix by dispatch ordinal. O(prefix), but requires nothing of
+// the system.
+//
+// Both flavours verify the recorded fingerprint at the hit before
+// injecting, so "the clone is the prefix" and "replay the prefix" are
+// checked invariants, not assumptions: on any mismatch the fork is
+// discarded and the point falls back (clone → lean replay → legacy full
+// run), counted in crashtuner_clone_fallbacks_total and
+// crashtuner_snapshot_invalidations_total.
 //
 // Points the reference pass never saw firing cannot fire in any
 // injection run either (the pre-injection prefix is deterministic), so
@@ -32,6 +45,7 @@
 package trigger
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/crashpoint"
@@ -49,6 +63,12 @@ var (
 	snapshotForks   = obs.Default.Counter("crashtuner_snapshot_forks_total")
 	snapshotSynth   = obs.Default.Counter("crashtuner_snapshot_synthesized_total")
 	snapshotInvalid = obs.Default.Counter("crashtuner_snapshot_invalidations_total")
+	// cloneForks counts injection runs served by resuming an Engine.Clone
+	// of a captured rung; cloneFallbacks counts runs that wanted the clone
+	// path but fell back to lean replay (fence mismatch, or a system whose
+	// CloneRun produced an uncopyable engine state).
+	cloneForks     = obs.Default.Counter("crashtuner_clone_forks_total")
+	cloneFallbacks = obs.Default.Counter("crashtuner_clone_fallbacks_total")
 )
 
 // targetResolver answers the crash-point stash query (get_node_by_id,
@@ -94,6 +114,12 @@ type SnapshotPlan struct {
 
 	points map[probe.DynPoint]pointSnapshot
 
+	// rungs is the clone ladder: engine+model templates captured at
+	// ascending event-count boundaries by the capture pass. Empty when the
+	// system is not Cloneable or cloning was disabled. Templates are
+	// immutable once built; forks re-clone them concurrently.
+	rungs []cloneRung
+
 	// Reference-run results, for synthesizing NotHit reports.
 	refEnd        sim.Time
 	refExhausted  bool
@@ -102,8 +128,44 @@ type SnapshotPlan struct {
 	refExceptions []sim.Exception
 }
 
+// cloneRung is one captured clone template: the run frozen right after
+// `handled` events were dispatched, with `access` probe accesses
+// delivered by then.
+type cloneRung struct {
+	handled uint64
+	access  uint64
+	run     cluster.Run
+}
+
 // Points returns how many dynamic points the reference pass captured.
 func (p *SnapshotPlan) Points() int { return len(p.points) }
+
+// Rungs returns how many clone templates the capture pass retained; zero
+// means every fork uses lean replay.
+func (p *SnapshotPlan) Rungs() int { return len(p.rungs) }
+
+// rungFor returns the highest rung at or below the point's hit — the
+// fork resumes there and lean-replays the remaining gap. ok=false means
+// no rung precedes the hit (or none were captured) and the fork must
+// lean-replay from t=0.
+func (p *SnapshotPlan) rungFor(ps pointSnapshot) (cloneRung, bool) {
+	if ps.fp.Handled == 0 {
+		return cloneRung{}, false
+	}
+	boundary := ps.fp.Handled - 1 // resume before the hit's own event
+	best := -1
+	for i, r := range p.rungs {
+		if r.handled <= boundary {
+			best = i
+		} else {
+			break
+		}
+	}
+	if best < 0 {
+		return cloneRung{}, false
+	}
+	return p.rungs[best], true
+}
 
 // ReferenceEnd returns the fault-free reference run's end time.
 func (p *SnapshotPlan) ReferenceEnd() sim.Time { return p.refEnd }
@@ -175,17 +237,114 @@ func (t *Tester) BuildSnapshotPlan() *SnapshotPlan {
 	p.refWitnesses = sysRun.Witnesses()
 	p.refExceptions = e.Exceptions()
 	t.emitPhase(-1, "snapshot", time.Since(start), res.End)
+
+	start = time.Now()
+	t.captureClones(p)
+	t.emitPhase(-1, "clone-capture", time.Since(start), 0)
 	return p
 }
 
+// maxClones returns the rung-ladder bound (default 16).
+func (t *Tester) maxClones() int {
+	if t.MaxClones <= 0 {
+		return 16
+	}
+	return t.MaxClones
+}
+
+// captureClones runs the capture pass: one more lean replay of the
+// fault-free prefix, paused at a ladder of event-count boundaries — one
+// just before each point's first hit, thinned to maxClones rungs — and
+// cloned at each pause. Systems that do not implement cluster.Cloneable
+// (or whose engine refuses to clone, e.g. a closure timer slipped in)
+// simply get no rungs and keep lean-replay forks.
+func (t *Tester) captureClones(p *SnapshotPlan) {
+	if t.NoClone || len(p.points) == 0 {
+		return
+	}
+	seen := make(map[uint64]bool, len(p.points))
+	bounds := make([]uint64, 0, len(p.points))
+	for _, ps := range p.points {
+		if ps.fp.Handled <= 1 {
+			// Boundary 0 would need a clone before any event dispatches,
+			// but MaxSteps=0 means "default", not "pause immediately" — and
+			// a zero-event prefix is free to lean-replay anyway.
+			continue
+		}
+		b := ps.fp.Handled - 1
+		if !seen[b] {
+			seen[b] = true
+			bounds = append(bounds, b)
+		}
+	}
+	if len(bounds) == 0 {
+		return
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	if max := t.maxClones(); len(bounds) > max {
+		// Thin to max rungs, evenly spread over the sorted boundaries and
+		// always keeping the first and last; points between rungs replay
+		// the gap from the rung below.
+		thin := bounds[:0]
+		prev := -1
+		for i := 0; i < max; i++ {
+			k := i * (len(bounds) - 1) / (max - 1)
+			if k != prev {
+				thin = append(thin, bounds[k])
+				prev = k
+			}
+		}
+		bounds = thin
+	}
+
+	pb := probe.New()
+	pb.Lean = true
+	var access uint64
+	pb.OnAccess = func(probe.Access) { access++ }
+	cfg := cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: dslog.Discard()}
+	sysRun := t.Runner.NewRun(cfg)
+	if _, ok := sysRun.(cluster.Cloneable); !ok {
+		return
+	}
+	e := sysRun.Engine()
+	e.OnStep(func(sim.Time) {
+		if sysRun.Status() != cluster.Running {
+			e.Stop()
+		}
+	})
+	sysRun.Start()
+	for _, b := range bounds {
+		e.MaxSteps = b
+		if res := e.Run(p.deadline); !res.Exhausted {
+			// The run ended before this boundary — every remaining rung
+			// lies beyond the reference run's end too. (Points were
+			// captured mid-dispatch, so their pre-hit boundaries are always
+			// reachable; this covers deadline truncation and defensive
+			// drift.)
+			break
+		}
+		tmpl, ok := cluster.Clone(sysRun, cfg)
+		if !ok {
+			break
+		}
+		p.rungs = append(p.rungs, cloneRung{handled: b, access: access, run: tmpl})
+	}
+}
+
 // runPoint dispatches one campaign job: through the snapshot plan when
-// one is installed and matches the Tester's parameters, as a full legacy
-// run otherwise (or when a fork trips its fingerprint fence).
+// one is installed and matches the Tester's parameters — clone fork
+// first, lean replay second — and as a full legacy run otherwise (or
+// when both fork flavours trip their fingerprint fences).
 func (t *Tester) runPoint(run int, d probe.DynPoint) Report {
 	if p := t.Snapshots; p != nil && p.compatible(t) {
 		ps, hit := p.points[d]
 		if !hit {
 			return t.synthesizeNotHit(run, p, d)
+		}
+		if rung, ok := p.rungFor(ps); ok && !t.NoClone {
+			if rep, ok := t.forkClone(run, d, ps, rung); ok {
+				return rep
+			}
 		}
 		if rep, ok := t.forkPoint(run, d, ps); ok {
 			return rep
@@ -222,6 +381,32 @@ func (t *Tester) synthesizeNotHit(run int, p *SnapshotPlan, d probe.DynPoint) Re
 	return rep
 }
 
+// forkClone runs one injection by resuming an Engine.Clone of the rung:
+// the system's deep-copied model state picks up mid-flight and only the
+// gap between the rung and the recorded hit is replayed (SkipAccesses
+// counts from the rung's access cursor, not from zero). The same
+// fingerprint fence as forkPoint guards the hit. ok=false means the
+// clone could not be taken or the fence tripped; the caller falls back
+// to a lean replay from t=0.
+func (t *Tester) forkClone(run int, d probe.DynPoint, ps pointSnapshot, rung cloneRung) (Report, bool) {
+	phaseStart := time.Now()
+	pb := probe.New()
+	pb.Lean = true
+	pb.SkipAccesses = ps.ordinal - rung.access
+	sysRun, ok := cluster.Clone(rung.run, cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: dslog.Discard()})
+	if !ok {
+		cloneFallbacks.Inc()
+		return Report{}, false
+	}
+	rep, ok := t.armAndDrive(run, d, ps, sysRun, pb, phaseStart, true)
+	if !ok {
+		cloneFallbacks.Inc()
+		return Report{}, false
+	}
+	cloneForks.Inc()
+	return rep, true
+}
+
 // forkPoint runs one injection forked from the snapshot: a fresh
 // deterministic run with observation elided — discard logs, no stash,
 // lean probe — fast-forwarded to the recorded hit by dispatch ordinal.
@@ -235,6 +420,20 @@ func (t *Tester) forkPoint(run int, d probe.DynPoint, ps pointSnapshot) (Report,
 	pb.Lean = true
 	pb.SkipAccesses = ps.ordinal
 	sysRun := t.Runner.NewRun(cluster.Config{Seed: t.Seed, Scale: t.Scale, Probe: pb, Logs: dslog.Discard()})
+	rep, ok := t.armAndDrive(run, d, ps, sysRun, pb, phaseStart, false)
+	if !ok {
+		snapshotInvalid.Inc()
+		return Report{}, false
+	}
+	snapshotForks.Inc()
+	return rep, true
+}
+
+// armAndDrive is the shared back half of both fork flavours: arm the
+// single-injection hook on the fast-forwarded run, drive it (resuming
+// mid-flight for clones, from Start for lean replays), verify the fence
+// and classify. ok=false reports a tripped fence.
+func (t *Tester) armAndDrive(run int, d probe.DynPoint, ps pointSnapshot, sysRun cluster.Run, pb *probe.Probe, setupStart time.Time, resume bool) (Report, bool) {
 	e := sysRun.Engine()
 	e.MaxSteps = t.MaxSteps
 
@@ -249,8 +448,8 @@ func (t *Tester) forkPoint(run int, d probe.DynPoint, ps pointSnapshot) (Report,
 		fired = true
 		pb.OnAccess = nil
 		if a.Point != d.Point || a.Scenario != d.Scenario || e.Fingerprint() != ps.fp {
-			// The replay diverged from the reference pass. Abandon the
-			// fork; the point re-runs on the legacy path.
+			// The fork diverged from the reference pass. Abandon it; the
+			// point falls back one level.
 			aligned = false
 			e.Stop()
 			return
@@ -273,12 +472,16 @@ func (t *Tester) forkPoint(run int, d probe.DynPoint, ps pointSnapshot) (Report,
 			t.scheduleRestart(sysRun, &rep, target)
 		}
 	}
-	t.emitPhase(run, "setup", time.Since(phaseStart), 0)
+	t.emitPhase(run, "setup", time.Since(setupStart), 0)
 
-	phaseStart = time.Now()
-	res := cluster.Drive(sysRun, t.RunDeadline())
+	phaseStart := time.Now()
+	var res sim.RunResult
+	if resume {
+		res = cluster.DriveResume(sysRun, t.RunDeadline())
+	} else {
+		res = cluster.Drive(sysRun, t.RunDeadline())
+	}
 	if !aligned {
-		snapshotInvalid.Inc()
 		return Report{}, false
 	}
 	t.emitPhase(run, "drive", time.Since(phaseStart), res.End)
@@ -290,6 +493,5 @@ func (t *Tester) forkPoint(run int, d probe.DynPoint, ps pointSnapshot) (Report,
 	rep.NewExceptions = t.newUnhandled(e)
 	rep.Outcome = t.classify(fired, resolvedMiss, sysRun, res, rep.NewExceptions, t.timeoutFactor())
 	t.emitPhase(run, "oracle", time.Since(phaseStart), 0)
-	snapshotForks.Inc()
 	return rep, true
 }

@@ -11,7 +11,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand"
+	"os"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"repro/internal/campaign"
@@ -25,6 +27,22 @@ import (
 	"repro/internal/triage"
 	"repro/internal/trigger"
 )
+
+// oracleScale reads the CT_ORACLE_SCALE override (nightly CI runs the
+// differential oracle at a larger cluster scale than the per-commit
+// default of 1).
+func oracleScale(t *testing.T) int {
+	t.Helper()
+	s := os.Getenv("CT_ORACLE_SCALE")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		t.Fatalf("CT_ORACLE_SCALE=%q: want a positive integer", s)
+	}
+	return n
+}
 
 // snapshotFixture runs the analysis and profiling phases for r and
 // returns a sequential Tester plus the profiled dynamic points.
@@ -82,10 +100,11 @@ func TestSnapshotCampaignsMatchLegacyEverySystem(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full differential campaigns on all systems")
 	}
+	scale := oracleScale(t)
 	for _, r := range append(all.Runners(), all.Extensions()...) {
 		r := r
 		t.Run(r.Name(), func(t *testing.T) {
-			tester, points := snapshotFixture(t, r, 11, 1)
+			tester, points := snapshotFixture(t, r, 11, scale)
 			if len(points) == 0 {
 				t.Fatal("profiling collected no dynamic points")
 			}
@@ -94,6 +113,55 @@ func TestSnapshotCampaignsMatchLegacyEverySystem(t *testing.T) {
 				t.Fatal("reference pass captured no points")
 			}
 			diffCampaigns(t, tester, plan, points)
+		})
+	}
+}
+
+// TestCloneForksMatchLeanReplayEverySystem is the clone-vs-replay
+// equivalence oracle: on all seven systems, forking every crash point by
+// Engine.Clone (resume a deep-copied run mid-flight) and by lean replay
+// (re-drive the prefix from t=0) must produce byte-identical reports and
+// triage signatures. Every system migrated to the keyed-timer API, so
+// every plan must actually capture clone rungs — a system silently
+// falling back to replay-only here is a migration regression.
+func TestCloneForksMatchLeanReplayEverySystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential campaigns on all systems")
+	}
+	scale := oracleScale(t)
+	for _, r := range append(all.Runners(), all.Extensions()...) {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			tester, points := snapshotFixture(t, r, 11, scale)
+			plan := tester.BuildSnapshotPlan()
+			if plan.Points() > 0 && plan.Rungs() == 0 {
+				t.Fatalf("%s captured no clone rungs: Cloneable regression", r.Name())
+			}
+			tester.Snapshots = plan
+			clone := tester.Campaign(points)
+			tester.NoClone = true // same plan, but forks skip the rungs
+			lean := tester.Campaign(points)
+			tester.NoClone = false
+			tester.Snapshots = nil
+
+			if len(clone) != len(lean) {
+				t.Fatalf("%d clone reports vs %d lean-replay reports", len(clone), len(lean))
+			}
+			sys := r.Name()
+			for i := range clone {
+				if !reflect.DeepEqual(clone[i], lean[i]) {
+					t.Fatalf("report %d (%s) diverged:\nclone %+v\nlean  %+v",
+						i, points[i].Key(), clone[i], lean[i])
+				}
+				ci := triage.FromRunRecord(trigger.RunRecordOf(sys, "test", i, tester.Seed, tester.Scale, clone[i]))
+				li := triage.FromRunRecord(trigger.RunRecordOf(sys, "test", i, tester.Seed, tester.Scale, lean[i]))
+				if !reflect.DeepEqual(ci, li) {
+					t.Fatalf("triage record %d diverged:\nclone %+v\nlean  %+v", i, ci, li)
+				}
+			}
+			if cs, ls := trigger.Summarize(clone), trigger.Summarize(lean); !reflect.DeepEqual(cs, ls) {
+				t.Fatalf("summaries diverged:\nclone %+v\nlean  %+v", cs, ls)
+			}
 		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/crashpoint"
 	"repro/internal/probe"
+	"repro/internal/systems/cluster"
 	"repro/internal/systems/toysys"
 )
 
@@ -37,17 +38,47 @@ func TestSnapshotForkMatchesLegacyRun(t *testing.T) {
 	if plan.Points() == 0 {
 		t.Fatal("reference pass captured no points")
 	}
+	if plan.Rungs() == 0 {
+		t.Fatal("toysys is Cloneable but the plan captured no clone rungs")
+	}
 	d := planPoint(t, plan)
 	want := tester.TestPoint(d) // Snapshots nil: the legacy full run
 
-	forks := snapshotForks.Value()
+	clones := cloneForks.Value()
 	tester.Snapshots = plan
 	got := tester.TestPoint(d)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("forked report diverged:\nlegacy   %+v\nsnapshot %+v", want, got)
 	}
+	if v := cloneForks.Value(); v != clones+1 {
+		t.Errorf("clone_forks_total moved %d→%d, want one clone fork", clones, v)
+	}
+}
+
+// TestSnapshotNoCloneForksLeanReplay pins the lean-replay tier: with
+// NoClone the plan captures no rungs and every fork replays its prefix
+// from t=0, still byte-identical to the legacy full run.
+func TestSnapshotNoCloneForksLeanReplay(t *testing.T) {
+	tester := toyTester(t, &toysys.Runner{})
+	tester.NoClone = true
+	plan := tester.BuildSnapshotPlan()
+	if plan.Rungs() != 0 {
+		t.Fatalf("NoClone plan captured %d rungs, want none", plan.Rungs())
+	}
+	d := planPoint(t, plan)
+	want := tester.TestPoint(d)
+
+	forks, clones := snapshotForks.Value(), cloneForks.Value()
+	tester.Snapshots = plan
+	got := tester.TestPoint(d)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lean fork diverged:\nlegacy %+v\nfork   %+v", want, got)
+	}
 	if v := snapshotForks.Value(); v != forks+1 {
-		t.Errorf("snapshot_forks_total moved %d→%d, want one fork", forks, v)
+		t.Errorf("snapshot_forks_total moved %d→%d, want one lean fork", forks, v)
+	}
+	if v := cloneForks.Value(); v != clones {
+		t.Errorf("clone_forks_total moved %d→%d under NoClone", clones, v)
 	}
 }
 
@@ -92,10 +123,14 @@ func TestSnapshotFenceFallsBackOnDivergence(t *testing.T) {
 	plan.points[d] = ps
 
 	invalid, forks := snapshotInvalid.Value(), snapshotForks.Value()
+	fallbacks := cloneFallbacks.Value()
 	tester.Snapshots = plan
 	got := tester.TestPoint(d)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("fallback report diverged:\nlegacy   %+v\nfallback %+v", want, got)
+	}
+	if v := cloneFallbacks.Value(); v != fallbacks+1 {
+		t.Errorf("clone_fallbacks_total moved %d→%d, want one clone fallback", fallbacks, v)
 	}
 	if v := snapshotInvalid.Value(); v != invalid+1 {
 		t.Errorf("snapshot_invalidations_total moved %d→%d, want one invalidation", invalid, v)
@@ -125,5 +160,45 @@ func TestSnapshotPlanParameterMismatchIgnored(t *testing.T) {
 	}
 	if snapshotForks.Value() != forks || snapshotSynth.Value() != synth {
 		t.Error("an incompatible plan was consulted")
+	}
+}
+
+// nonCloneableRun hides the concrete run behind the bare cluster.Run
+// interface, so the Cloneable type assertion fails even though the
+// underlying toysys run would satisfy it.
+type nonCloneableRun struct{ cluster.Run }
+
+type nonCloneableRunner struct{ *toysys.Runner }
+
+func (r nonCloneableRunner) NewRun(cfg cluster.Config) cluster.Run {
+	return nonCloneableRun{r.Runner.NewRun(cfg)}
+}
+
+// TestSnapshotNonCloneableDegradesToLeanReplay: a system that does not
+// implement cluster.Cloneable gets a rung-less plan and every fork takes
+// the lean-replay tier — same reports, snapshot_forks_total moving
+// instead of clone_forks_total.
+func TestSnapshotNonCloneableDegradesToLeanReplay(t *testing.T) {
+	base := &toysys.Runner{}
+	tester := toyTester(t, base)
+	tester.Runner = nonCloneableRunner{base}
+	plan := tester.BuildSnapshotPlan()
+	if plan.Rungs() != 0 {
+		t.Fatalf("non-Cloneable plan captured %d rungs, want none", plan.Rungs())
+	}
+	d := planPoint(t, plan)
+	want := tester.TestPoint(d)
+
+	forks, clones := snapshotForks.Value(), cloneForks.Value()
+	tester.Snapshots = plan
+	got := tester.TestPoint(d)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("non-Cloneable fork diverged:\nlegacy %+v\nfork   %+v", want, got)
+	}
+	if v := snapshotForks.Value(); v != forks+1 {
+		t.Errorf("snapshot_forks_total moved %d→%d, want one lean fork", forks, v)
+	}
+	if v := cloneForks.Value(); v != clones {
+		t.Errorf("clone_forks_total moved %d→%d on a non-Cloneable system", clones, v)
 	}
 }
