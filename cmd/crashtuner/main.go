@@ -8,6 +8,8 @@
 //
 //	crashtuner -system yarn [-seed 11] [-scale 1] [-v]
 //	crashtuner -system yarn -recovery [-restart-after 2000] [-second-fault-after 50]
+//	crashtuner -system yarn -partition [-partition-mode drop] [-heal-after 5000]
+//	crashtuner -system yarn -partition -guided               # consistency-guided cuts
 //	crashtuner -system yarn -checkpoint yarn.ckpt            # interruptible
 //	crashtuner -system yarn -checkpoint yarn.ckpt -resume    # pick up where it left off
 //	crashtuner -system yarn -triage triage.jsonl             # record failing runs for cttriage
@@ -40,6 +42,12 @@ func main() {
 		restartMS  = flag.Int64("restart-after", 2000, "with -recovery: restart the victim this many ms (virtual) after the fault")
 		secondMS   = flag.Int64("second-fault-after", 0, "with -recovery: inject a second fault this many ms (virtual) after the restart (0: none)")
 		secondKind = flag.String("second-fault", "crash", "with -recovery: second fault kind (crash or shutdown)")
+		partition  = flag.Bool("partition", false, "partition mode: cut the victim off the network instead of crashing it and apply the split-brain/stale-read/never-heals oracles")
+		partMode   = flag.String("partition-mode", "drop", "with -partition: what happens to messages crossing the cut (drop, hold or delay)")
+		partDelay  = flag.Int64("partition-delay", 0, "with -partition-mode delay: extra latency in ms (virtual; 0: default)")
+		healMS     = flag.Int64("heal-after", 0, "with -partition: heal the cut this many ms (virtual) after the injection (0: default, negative: never)")
+		holdOpen   = flag.Bool("hold-open", false, "with -partition and -recovery: keep the cut open through the victim's restart")
+		guided     = flag.Bool("guided", false, "with -partition: consistency-guided injection at the first observed invariant violation")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file for the injection campaign")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint, skipping finished points")
 		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential)")
@@ -110,6 +118,34 @@ func main() {
 		}
 		opts.Recovery = rc
 	}
+	if *partition {
+		po := &trigger.PartitionOptions{
+			Delay:    sim.Time(*partDelay) * sim.Millisecond,
+			HoldOpen: *holdOpen,
+			Guided:   *guided,
+		}
+		switch *partMode {
+		case "drop":
+			po.Mode = sim.PartitionDrop
+		case "hold":
+			po.Mode = sim.PartitionHold
+		case "delay":
+			po.Mode = sim.PartitionDelay
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -partition-mode %q (want drop, hold or delay)\n", *partMode)
+			os.Exit(2)
+		}
+		switch {
+		case *healMS < 0:
+			po.HealAfter = -1
+		case *healMS > 0:
+			po.HealAfter = sim.Time(*healMS) * sim.Millisecond
+		}
+		opts.Partition = po
+	} else if *guided || *holdOpen {
+		fmt.Fprintln(os.Stderr, "-guided and -hold-open require -partition")
+		os.Exit(2)
+	}
 	res, matcher := core.AnalysisPhase(r, opts)
 	fmt.Printf("Phase 1 — analysis (%v):\n", res.Timing.Analysis.Round(time.Millisecond))
 	fmt.Printf("  log patterns: %d, parsed instances: %d (unmatched %d)\n",
@@ -141,6 +177,16 @@ func main() {
 		if len(rep.Restarted) > 0 {
 			fmt.Printf(" restarted=%v", rep.Restarted)
 		}
+		if rep.Partitioned {
+			healed := "open"
+			if rep.Healed {
+				healed = "healed"
+			}
+			fmt.Printf(" cut=%s", healed)
+		}
+		if rep.Guided {
+			fmt.Printf(" guided@%d", rep.GuidedOrdinal)
+		}
 		if len(rep.Witnesses) > 0 {
 			fmt.Printf(" bugs=%v", rep.Witnesses)
 		}
@@ -156,6 +202,11 @@ func main() {
 		fmt.Printf("Recovery: %d runs restarted their victim; never-rejoined %d, rejoin-no-work %d, duplicate-incarnation %d, harness errors %d\n",
 			s.Restarts, s.ByOutcome[trigger.NeverRejoined], s.ByOutcome[trigger.RejoinNoWork],
 			s.ByOutcome[trigger.DuplicateIncarnation], s.HarnessErrors)
+	}
+	if *partition {
+		fmt.Printf("Partition: %d runs opened a cut (%d healed, %d guided); split-brain %d, stale-read %d, never-heals %d, harness errors %d\n",
+			s.Partitions, s.Heals, s.Guided, s.ByOutcome[trigger.SplitBrain],
+			s.ByOutcome[trigger.StaleRead], s.ByOutcome[trigger.NeverHeals], s.HarnessErrors)
 	}
 
 	if *fixed {

@@ -61,7 +61,7 @@ var experiments = []string{
 	"fig-metainfo", "table1", "table2", "table3", "table4", "table5",
 	"table6", "table7", "table8", "table9", "table10", "table11",
 	"table12", "table13", "repro", "timeouts", "summary", "pairs",
-	"recovery",
+	"recovery", "partition",
 }
 
 func main() {
@@ -270,7 +270,8 @@ func main() {
 		fmt.Println(report.PairSummary(r, *seed, *scale, 40))
 	}
 	needRecovery := want("recovery")
-	if !needPipelines && !needRecovery {
+	needPartition := want("partition")
+	if !needPipelines && !needRecovery && !needPartition {
 		return
 	}
 
@@ -313,6 +314,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "running recovery-phase campaigns on all systems...")
 		x.RunRecovery(rc)
 		fmt.Println(x.RecoveryTable())
+	}
+	if needPartition {
+		fmt.Fprintln(os.Stderr, "running partition-phase campaigns on all systems...")
+		x.RunPartition(nil)
+		fmt.Println(x.PartitionTable())
 	}
 	if !needPipelines {
 		return
@@ -611,6 +617,28 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 	runtime.ReadMemStats(&m1)
 	t.Snapshots = nil
 
+	// Informational partition row: the same points re-run as network
+	// cuts under the partition oracles, timed coarsely (a few whole
+	// campaigns). Never gated — the row documents the partition family's
+	// cost and yield next to the crash campaign it rides on.
+	pt := *t
+	pt.Partition = &trigger.PartitionOptions{}
+	pt.Snapshots = pt.BuildSnapshotPlan()
+	const partIters = 3
+	var preps []trigger.Report
+	pstart := time.Now()
+	for i := 0; i < partIters; i++ {
+		preps = pt.Campaign(points)
+	}
+	partNs := float64(time.Since(pstart).Nanoseconds()) / partIters
+	psum := trigger.Summarize(preps)
+	partRow := &benchgate.PartitionBench{
+		NsPerOp: partNs,
+		Cuts:    psum.Partitions,
+		Healed:  psum.Heals,
+		Bugs:    psum.Bugs,
+	}
+
 	rec = benchgate.CampaignRecord{
 		Benchmark:             benchgate.CampaignKind,
 		System:                r.Name(),
@@ -626,6 +654,7 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 		CloneRungs:            plan.Rungs(),
 		CloneBytesPerSnapshot: bytesPerSnapshot,
 		Sweep:                 sweep,
+		Partition:             partRow,
 	}
 	if err := benchgate.WriteFile(path, rec); err != nil {
 		return rec, err
@@ -635,6 +664,8 @@ func writeCampaignBench(path, system string, seed int64, scale int) (benchgate.C
 	for _, sp := range rec.Sweep {
 		fmt.Fprintf(os.Stderr, "campaign-bench:   sweep scale %d — %d points, %.2fx\n", sp.Scale, sp.Points, sp.Speedup)
 	}
+	fmt.Fprintf(os.Stderr, "campaign-bench:   partition (informational) — %.0f ns/op, %d cuts (%d healed), %d bug reports\n",
+		rec.Partition.NsPerOp, rec.Partition.Cuts, rec.Partition.Healed, rec.Partition.Bugs)
 	return rec, nil
 }
 

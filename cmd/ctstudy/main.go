@@ -106,7 +106,8 @@ func main() {
 // against the registry's studied and new bug records. A second,
 // recovery-mode pass then restarts each victim after its fault, so the
 // restart paths and the recovery oracles are exercised on every system
-// too.
+// too; a third, partition-mode pass cuts each victim off instead and
+// applies the split-brain/stale-read/never-heals oracles.
 func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
 	known := map[string]bool{}
 	for _, b := range registry.StudiedBugs() {
@@ -153,6 +154,24 @@ func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
 		fmt.Printf("  %-10s %2d restart runs; never-rejoined %d, rejoin-no-work %d, dup-incarnation %d, harness errors %d\n",
 			r.Name(), s.Restarts, s.ByOutcome[trigger.NeverRejoined],
 			s.ByOutcome[trigger.RejoinNoWork], s.ByOutcome[trigger.DuplicateIncarnation],
+			s.HarnessErrors)
+		check(r, res)
+	}
+
+	// Partition-mode pass: the same victims are cut off the network
+	// instead of crashed, and the runs are judged by the partition
+	// oracles.
+	po := &trigger.PartitionOptions{}
+	partitioned := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
+		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers, Recorder: rec}, Seed: seed, Scale: scale, Partition: po})
+	})
+	fmt.Println("Partition-mode cross-check (victims cut off instead of crashed):")
+	for i, r := range systems {
+		res := partitioned[i]
+		s := res.Summary
+		fmt.Printf("  %-10s %2d cut runs (%d healed); split-brain %d, stale-read %d, never-heals %d, harness errors %d\n",
+			r.Name(), s.Partitions, s.Heals, s.ByOutcome[trigger.SplitBrain],
+			s.ByOutcome[trigger.StaleRead], s.ByOutcome[trigger.NeverHeals],
 			s.HarnessErrors)
 		check(r, res)
 	}

@@ -8,12 +8,24 @@
 //     statements) whose instruction indexes match the probe calls, and
 //  3. probe calls at every candidate crash-point site.
 //
-// — plus one optional but strongly recommended contract: schedule every
-// mid-run timer through the keyed API (sim.AfterKeyed/EveryKeyed with
-// handlers registered via Node.Handle) and implement cluster.Cloneable,
-// so injection campaigns fork your runs from deep-copied engine clones
-// instead of replaying each prefix from t=0. Systems that skip this
-// still work — the campaign transparently falls back to lean replay.
+// — plus two optional but strongly recommended contracts:
+//
+//   - schedule every mid-run timer through the keyed API
+//     (sim.AfterKeyed/EveryKeyed with handlers registered via
+//     Node.Handle) and implement cluster.Cloneable, so injection
+//     campaigns fork your runs from deep-copied engine clones instead
+//     of replaying each prefix from t=0. Systems that skip this still
+//     work — the campaign transparently falls back to lean replay.
+//
+//   - implement cluster.Healer, so partition campaigns (-partition) can
+//     re-admit nodes after a cut heals: Healed(isolated) should replay
+//     your real reconnection protocol — re-registration, state reports,
+//     work re-assignment — because resumed heartbeats alone never bring
+//     back a node the liveness monitor already forgot. Feed the
+//     split-brain/stale-read oracles through the gated Base helpers
+//     (NoteSplitBrain, NoteStaleRead, NotePartitionLost); each is a
+//     no-op unless a cut actually separates the two nodes, so crash
+//     campaigns are unaffected. See toysys for the minimal version.
 //
 // This example runs the pipeline on it and walks through what each phase
 // derived from the model, ending with the two seeded bugs found.
@@ -38,6 +50,9 @@ func main() {
 	fmt.Println("  4. log meta-info the way real systems do — the analysis only sees your logs")
 	fmt.Println("  5. schedule mid-run timers with AfterKeyed/EveryKeyed and implement")
 	fmt.Println("     cluster.Cloneable, so campaigns fork clones instead of replaying prefixes")
+	fmt.Println("  6. implement cluster.Healer (re-register isolated nodes after a cut heals)")
+	fmt.Println("     and report oracle evidence via NoteSplitBrain/NoteStaleRead, so")
+	fmt.Println("     -partition campaigns can cut your nodes and judge the reconnect")
 	fmt.Println()
 
 	// The model is analyzable on its own.

@@ -79,6 +79,11 @@ type CampaignRecord struct {
 	// sweep must not invert: a last entry slower than the first means
 	// forking stopped scaling with timeline length.
 	Sweep []SweepPoint `json:"sweep,omitempty"`
+	// Partition is the informational partition-campaign row: the same
+	// points re-run as network cuts instead of crashes, with the cost
+	// and oracle yield recorded next to the crash campaign they ride
+	// on. CheckCampaign never gates on it.
+	Partition *PartitionBench `json:"partition,omitempty"`
 }
 
 // SweepPoint is one entry of a campaign record's points-scale sweep.
@@ -86,6 +91,18 @@ type SweepPoint struct {
 	Scale   int     `json:"scale"`
 	Points  int     `json:"points"`
 	Speedup float64 `json:"speedup"`
+}
+
+// PartitionBench is the informational partition row of a campaign
+// record: un-gated, descriptive only.
+type PartitionBench struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Cuts counts runs that opened a network cut, Healed the subset
+	// whose cut closed before the run ended, and Bugs the partition-
+	// oracle bug reports across one campaign.
+	Cuts   int `json:"cuts"`
+	Healed int `json:"healed"`
+	Bugs   int `json:"bugs"`
 }
 
 // CampaignKind is the benchmark discriminator of CampaignRecord files.

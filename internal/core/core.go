@@ -46,6 +46,15 @@ type Options struct {
 	// injection (restart the victim, optionally fault it again during
 	// recovery) with the extended recovery oracle.
 	Recovery *trigger.RecoveryOptions
+	// Partition, when non-nil, switches the test phase to the
+	// network-partition fault family: the stash-resolved victim is cut
+	// off (instead of, or — with Recovery also set — in addition to,
+	// being killed) and runs are judged by the partition oracle. With
+	// Partition.Guided, the test phase first learns cross-node
+	// consistency invariants from a clean run and injects at the first
+	// observed violation, falling back to the standard point campaign
+	// when no violation is observed.
+	Partition *trigger.PartitionOptions
 	// MaxSteps bounds each injection run's event count (0: the sim
 	// default); exhausted runs are reported as harness errors.
 	MaxSteps uint64
@@ -202,16 +211,31 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 		Scale:        opts.Scale,
 		RandomTarget: opts.RandomTarget,
 		Recovery:     opts.Recovery,
+		Partition:    opts.Partition,
 		MaxSteps:     opts.MaxSteps,
 	}
-	t.Snapshots = opts.snapshotPlan(t)
-	res.Reports = t.Campaign(res.Dynamic.Points)
+	guided := false
+	if opts.Partition != nil && opts.Partition.Guided {
+		// Consistency-guided mode: learn invariants from a clean run and
+		// inject at the first observed violation. Guided ordinals index
+		// the whole access stream, so these runs never fork from
+		// snapshots. An empty point set (no violation ever observed)
+		// falls back to the standard point campaign below.
+		if gps := t.GuidedPoints(); len(gps) > 0 {
+			res.Reports = t.GuidedCampaign(gps)
+			guided = true
+		}
+	}
+	if !guided {
+		t.Snapshots = opts.snapshotPlan(t)
+		res.Reports = t.Campaign(res.Dynamic.Points)
+	}
 	// Dynamic points discovered only at larger profiling scales may not
 	// execute at the base test scale; retry those at the profiler's
 	// final scale so every collected point is genuinely exercised. The
 	// retries are a second campaign through the same engine, on a Tester
 	// copy scaled up to the profiler's final scale.
-	if res.Dynamic != nil && res.Dynamic.FinalScale > opts.Scale {
+	if !guided && res.Dynamic != nil && res.Dynamic.FinalScale > opts.Scale {
 		var retry []int
 		for i, rep := range res.Reports {
 			if rep.Outcome == trigger.NotHit {

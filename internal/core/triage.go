@@ -34,7 +34,7 @@ func NewConfirmExecutor(r cluster.Runner, cache *ArtifactCache, opts Options) tr
 	}
 	b := trigger.MeasureBaseline(r, opts.Seed, opts.Scale, opts.BaselineRuns, opts.Deadline)
 	return func(rec triage.Record, attempt int) triage.Record {
-		scen, ok := crashpoint.ParseScenario(rec.Scenario)
+		inj, ok := crashpoint.ParseInjection(rec.Scenario)
 		if rec.Point == "" || !ok {
 			// Not re-executable (a baseline-only record): report the
 			// attempt as a harness error, which matches no cluster.
@@ -49,24 +49,41 @@ func NewConfirmExecutor(r cluster.Runner, cache *ArtifactCache, opts Options) tr
 		if scale < 1 {
 			scale = opts.Scale
 		}
+		// The scenario string names the fault family: a "+partition"
+		// record re-executes as a cut (under the caller's partition
+		// options, defaulted if absent) and a plain record as a crash,
+		// whatever the caller configured — the record wins.
+		var po *trigger.PartitionOptions
+		if inj.Partition {
+			if po = opts.Partition; po == nil {
+				po = &trigger.PartitionOptions{}
+			}
+		}
 		// Campaign-level knobs (checkpoints, sink, recorder) belong to
 		// the confirmation campaign driving this closure, not to the
 		// nested single runs, so the Tester gets a zero Config.
 		t := &trigger.Tester{
-			Runner:   r,
-			Analysis: res.Analysis,
-			Matcher:  matcher,
-			Baseline: b,
-			Seed:     rec.Seed + int64(attempt),
-			Scale:    scale,
-			Recovery: opts.Recovery,
-			MaxSteps: opts.MaxSteps,
+			Runner:    r,
+			Analysis:  res.Analysis,
+			Matcher:   matcher,
+			Baseline:  b,
+			Seed:      rec.Seed + int64(attempt),
+			Scale:     scale,
+			Recovery:  opts.Recovery,
+			Partition: po,
+			MaxSteps:  opts.MaxSteps,
 		}
-		rep := t.TestPoint(probe.DynPoint{
+		dyn := probe.DynPoint{
 			Point:    ir.PointID(rec.Point),
-			Scenario: scen,
+			Scenario: inj.Scenario,
 			Stack:    rec.Stack,
-		})
+		}
+		var rep trigger.Report
+		if inj.Guided {
+			rep = t.TestGuidedPoint(trigger.GuidedPoint{Dyn: dyn, Ordinal: inj.Ordinal})
+		} else {
+			rep = t.TestPoint(dyn)
+		}
 		return triage.FromRunRecord(trigger.RunRecordOf(r.Name(), "triage", attempt, t.Seed, scale, rep))
 	}
 }

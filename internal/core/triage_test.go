@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/crashpoint"
 	"repro/internal/obs"
 	"repro/internal/systems/toysys"
 	"repro/internal/triage"
@@ -124,6 +125,57 @@ func TestConfirmExecutorConfirmsDeterministicBug(t *testing.T) {
 		if ev.Scope.Campaign != "triage" || ev.Scope.System != "toysys" {
 			t.Errorf("event scope = %+v, want triage/toysys", ev.Scope)
 		}
+	}
+}
+
+// A partition campaign's failing runs persist with "+partition" in the
+// scenario; the confirmation executor must rebuild the cut (not a
+// crash) and reproduce the deterministic split-brain with a stable
+// signature, ingesting cleanly into the same store.
+func TestConfirmExecutorReExecutesPartitionRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	store, err := triage.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Config:    campaign.Config{Recorder: triage.NewRecorder(store)},
+		Seed:      7,
+		Partition: &trigger.PartitionOptions{},
+	}
+	Run(&toysys.Runner{}, opts)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := triage.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *triage.Cluster
+	for _, c := range ix.Clusters() {
+		rep := c.Representative()
+		if rep.Outcome == trigger.SplitBrain.String() {
+			if _, ok := crashpoint.ParseInjection(rep.Scenario); !ok {
+				t.Fatalf("unparseable persisted scenario %q", rep.Scenario)
+			}
+			target = c
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("partition campaign recorded no split-brain cluster")
+	}
+
+	conf := triage.Confirm(target, triage.ConfirmOptions{
+		Runs:    3,
+		Workers: 2,
+		Execute: NewConfirmExecutor(&toysys.Runner{}, nil, Options{Seed: 7}),
+	})
+	if conf.Label != triage.Confirmed {
+		t.Errorf("label = %s, want %s (reproduced %d/%d)", conf.Label, triage.Confirmed, conf.Reproduced, conf.Runs)
+	}
+	if conf.Sig != target.Sig.Key() {
+		t.Errorf("confirmation bound to %q, want %q", conf.Sig, target.Sig.Key())
 	}
 }
 

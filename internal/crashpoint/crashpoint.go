@@ -30,15 +30,17 @@ func (s Scenario) String() string {
 }
 
 // ParseScenario inverts String, for rebuilding points from persisted
-// triage records.
+// triage records. It also accepts the extended injection encodings
+// ("pre-read+partition", "post-write+partition@123"), returning their
+// base scenario, so callers that only care about the crash-point half
+// parse every persisted record; use ParseInjection for the full
+// identity.
 func ParseScenario(s string) (Scenario, bool) {
-	switch s {
-	case "pre-read":
-		return PreRead, true
-	case "post-write":
-		return PostWrite, true
+	inj, ok := ParseInjection(s)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return inj.Scenario, true
 }
 
 // StaticPoint is one static crash point.

@@ -1,0 +1,73 @@
+// Injection-scenario encoding: the Scenario enum names what the paper's
+// crash campaigns do (pre-read / post-write), but partition campaigns
+// need two more bits of identity — that the fault was a network cut
+// rather than a crash, and, for consistency-guided cuts, the probe
+// access ordinal the cut was injected at. Injection carries all of it
+// and round-trips through one string, so persisted triage records name
+// the exact cluster to re-execute (`cttriage confirm`) regardless of
+// fault family.
+package crashpoint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Injection is the full identity of one injected fault scenario.
+type Injection struct {
+	// Scenario is the underlying crash-point scenario.
+	Scenario Scenario
+	// Partition marks a network-cut injection instead of a crash.
+	Partition bool
+	// Guided marks a consistency-guided cut: the injection fired at a
+	// recorded probe-access ordinal (the first invariant violation)
+	// rather than at a crash point's first hit.
+	Guided bool
+	// Ordinal is the guided injection's probe-access ordinal.
+	Ordinal uint64
+}
+
+// String encodes the injection: "pre-read", "pre-read+partition" or
+// "pre-read+partition@1234" (guided, with the access ordinal).
+func (i Injection) String() string {
+	s := i.Scenario.String()
+	if !i.Partition {
+		return s
+	}
+	s += "+partition"
+	if i.Guided {
+		s += "@" + strconv.FormatUint(i.Ordinal, 10)
+	}
+	return s
+}
+
+// ParseInjection inverts String. It accepts the bare scenario forms too,
+// so pre-partition records parse as plain crash injections.
+func ParseInjection(s string) (Injection, bool) {
+	var inj Injection
+	if at := strings.IndexByte(s, '@'); at >= 0 {
+		ord, err := strconv.ParseUint(s[at+1:], 10, 64)
+		if err != nil {
+			return Injection{}, false
+		}
+		inj.Guided = true
+		inj.Ordinal = ord
+		s = s[:at]
+	}
+	if rest, ok := strings.CutSuffix(s, "+partition"); ok {
+		inj.Partition = true
+		s = rest
+	} else if inj.Guided {
+		// An ordinal without the partition marker is not a valid encoding.
+		return Injection{}, false
+	}
+	switch s {
+	case "pre-read":
+		inj.Scenario = PreRead
+	case "post-write":
+		inj.Scenario = PostWrite
+	default:
+		return Injection{}, false
+	}
+	return inj, true
+}

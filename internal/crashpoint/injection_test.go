@@ -1,0 +1,67 @@
+package crashpoint
+
+import "testing"
+
+func TestInjectionRoundTrip(t *testing.T) {
+	cases := []Injection{
+		{Scenario: PreRead},
+		{Scenario: PostWrite},
+		{Scenario: PreRead, Partition: true},
+		{Scenario: PostWrite, Partition: true},
+		{Scenario: PreRead, Partition: true, Guided: true, Ordinal: 0},
+		{Scenario: PostWrite, Partition: true, Guided: true, Ordinal: 1234},
+		{Scenario: PreRead, Partition: true, Guided: true, Ordinal: 1<<63 + 7},
+	}
+	for _, inj := range cases {
+		s := inj.String()
+		got, ok := ParseInjection(s)
+		if !ok {
+			t.Fatalf("ParseInjection(%q) failed", s)
+		}
+		if got != inj {
+			t.Fatalf("round trip %q: got %+v, want %+v", s, got, inj)
+		}
+		// The base-scenario accessor must agree on every encoding.
+		sc, ok := ParseScenario(s)
+		if !ok || sc != inj.Scenario {
+			t.Fatalf("ParseScenario(%q) = %v, %v; want %v", s, sc, ok, inj.Scenario)
+		}
+	}
+}
+
+func TestParseInjectionRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "pre-write", "pre-read+", "partition", "pre-read+partition@",
+		"pre-read+partition@x", "pre-read@12", "post-write+partition@-1",
+		"pre-read+partition@12@13", "PRE-READ",
+	} {
+		if inj, ok := ParseInjection(s); ok {
+			t.Fatalf("ParseInjection(%q) accepted: %+v", s, inj)
+		}
+	}
+}
+
+// FuzzParseInjection checks that every accepted string re-encodes to a
+// canonical form that parses back to the identical value — the property
+// cttriage confirm depends on when rebuilding clusters from persisted
+// scenario strings.
+func FuzzParseInjection(f *testing.F) {
+	f.Add("pre-read")
+	f.Add("post-write+partition")
+	f.Add("pre-read+partition@42")
+	f.Add("post-write+partition@")
+	f.Fuzz(func(t *testing.T, s string) {
+		inj, ok := ParseInjection(s)
+		if !ok {
+			return
+		}
+		enc := inj.String()
+		again, ok := ParseInjection(enc)
+		if !ok {
+			t.Fatalf("canonical encoding %q of %q does not parse", enc, s)
+		}
+		if again != inj {
+			t.Fatalf("%q → %+v → %q → %+v is not a fixed point", s, inj, enc, again)
+		}
+	})
+}

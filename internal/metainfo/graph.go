@@ -223,6 +223,42 @@ func (g *Graph) Nodes() []string {
 	return out
 }
 
+// HasNode reports whether a node value was ever observed (after
+// canonicalization); unlike NodeOf it never treats an unobserved value
+// as implicitly known, so callers can ask "has this view actually seen
+// that node?" (the cross-node invariant checks of internal/partition).
+func (g *Graph) HasNode(v string) bool {
+	if g.nodes[v] {
+		return true
+	}
+	if nv, ok := g.hostToNode[v]; ok {
+		return g.nodes[nv]
+	}
+	if i := strings.IndexByte(v, ':'); i >= 0 {
+		return g.nodes[v[:i]]
+	}
+	return false
+}
+
+// Owner returns a value's recorded association, without the node-value
+// self-resolution of NodeOf: node values and never-associated values
+// report ok=false. The cross-view convergence check wants exactly the
+// recorded edges, not the implicit ones.
+func (g *Graph) Owner(v string) (string, bool) {
+	n, ok := g.assoc[v]
+	return n, ok
+}
+
+// Values returns the associated (non-node) values, sorted.
+func (g *Graph) Values() []string {
+	out := make([]string, 0, len(g.assoc))
+	for v := range g.assoc {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Associations returns a copy of the value→node map.
 func (g *Graph) Associations() map[string]string {
 	out := make(map[string]string, len(g.assoc))

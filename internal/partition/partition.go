@@ -1,0 +1,469 @@
+// Package partition implements the consistency-guided half of the
+// network-partition fault family: inferring cross-node invariants from
+// the logs of fault-free runs and watching a second identical run for
+// the first transient violation — the injection window where a cut is
+// most likely to expose a split-brain or stale-read bug (the CoFI
+// observation grafted onto CrashTuner's meta-info machinery).
+//
+// Where the stash (internal/stash) maintains ONE global value→node
+// graph for target resolution, the Tracker here maintains one graph per
+// LOGGING node — node A's view is built only from records node A
+// emitted — so the views can disagree, and their disagreements are
+// exactly the cross-node inconsistencies of interest:
+//
+//   - Convergence: every view that knows a meta-info value agrees on
+//     the node that owns it.
+//   - Symmetry: if A's view knows node B, then B's view knows node A
+//     (membership/registration is mutual).
+//   - UniqueOwner: a meta-info value is owned by one node for its
+//     lifetime; re-association to a different node is a hand-off that
+//     briefly has two plausible owners.
+//
+// The Learner keeps only the kinds that hold on the FINAL state of a
+// clean run (transient violations are expected — they are the windows);
+// the Monitor then replays the same seed and reports the first
+// violation of each surviving kind as it happens, which the trigger
+// converts into a guided injection ordinal (see trigger.GuidedPoints).
+package partition
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/sim"
+)
+
+// Kind is one inferable cross-node invariant.
+type Kind int
+
+// Kinds.
+const (
+	// Convergence: all views owning a value agree on its owner node.
+	Convergence Kind = iota
+	// Symmetry: view A knowing node B implies view B knows node A.
+	Symmetry
+	// UniqueOwner: a value never re-associates to a different node.
+	UniqueOwner
+
+	numKinds
+)
+
+var kindNames = [...]string{"convergence", "symmetry", "unique-owner"}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// AllKinds returns every defined kind, in order.
+func AllKinds() []Kind { return []Kind{Convergence, Symmetry, UniqueOwner} }
+
+// Violation is one observed cross-node inconsistency.
+type Violation struct {
+	Kind Kind
+	// Value is the meta-info value involved (empty for Symmetry).
+	Value string
+	// Observer is the node whose view exposed the violation.
+	Observer sim.NodeID
+	// Owner is the owner in the observer's view (Convergence), or the
+	// new owner (UniqueOwner).
+	Owner sim.NodeID
+	// Other is the disagreeing party: the conflicting owner in another
+	// view (Convergence), the peer whose view is missing the back-edge
+	// (Symmetry), or the previous owner (UniqueOwner).
+	Other sim.NodeID
+}
+
+func (v Violation) String() string {
+	switch v.Kind {
+	case Symmetry:
+		return fmt.Sprintf("symmetry: %s knows %s, %s does not know %s",
+			v.Observer, v.Other, v.Other, v.Observer)
+	case UniqueOwner:
+		return fmt.Sprintf("unique-owner: %q moved %s -> %s (seen by %s)",
+			v.Value, v.Other, v.Owner, v.Observer)
+	default:
+		return fmt.Sprintf("convergence: %q owned by %s (%s) vs %s",
+			v.Value, v.Owner, v.Observer, v.Other)
+	}
+}
+
+// Tracker builds per-logging-node meta-info views from a run's log
+// stream. It is the agent half of the consistency checker: attach it to
+// the run's log root and it matches every record with the same offline
+// patterns the stash uses, keeps the meta-info argument values, and
+// feeds them to the view of the node that EMITTED the record.
+//
+// Like the stash it serializes on a mutex so parallel campaigns stay
+// safe; within one simulated run the taps fire on a single goroutine.
+type Tracker struct {
+	// OnViolation, when set together with Watch, receives the first
+	// observed violation of each watched kind (at most one per kind).
+	// The hook fires synchronously inside log emission — i.e. at a
+	// deterministic point of the run — with the mutex held; it must not
+	// call back into the Tracker.
+	OnViolation func(Violation)
+
+	mu       sync.Mutex
+	analysis *metainfo.Analysis
+	session  *logparse.MatchSession
+	hosts    []string
+
+	views map[sim.NodeID]*metainfo.Graph
+	// order lists view keys in creation order, so every cross-view scan
+	// (incremental and final) is deterministic.
+	order []sim.NodeID
+
+	// firstOwner records the first node each value was related to,
+	// across ALL views — the per-view graphs are first-association-wins
+	// and cannot see a hand-off. Keys are raw values; owners canonical
+	// node values.
+	firstOwner map[string]string
+
+	watch [numKinds]bool
+	fired [numKinds]bool
+	// events counts incremental violation observations per kind (every
+	// occurrence, not first-only; Convergence/Symmetry events can be
+	// transient and are not what Learn judges).
+	events [numKinds]int
+
+	fwd []string
+	// Instances counts records seen; Kept counts values forwarded into
+	// views.
+	Instances int
+	Kept      int
+}
+
+// NewTracker returns a tracker for one run. The matcher and analysis
+// are the same offline artifacts the stash consumes; hosts seed every
+// per-node view's node-value recognizer.
+func NewTracker(hosts []string, matcher *logparse.Matcher, analysis *metainfo.Analysis) *Tracker {
+	return &Tracker{
+		analysis:   analysis,
+		session:    matcher.NewSession(),
+		hosts:      hosts,
+		views:      make(map[sim.NodeID]*metainfo.Graph),
+		firstOwner: make(map[string]string),
+	}
+}
+
+// Watch enables incremental checking of the given kinds; the first
+// violation of each fires OnViolation. Call before the run starts.
+func (t *Tracker) Watch(kinds ...Kind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range kinds {
+		if k >= 0 && k < numKinds {
+			t.watch[k] = true
+		}
+	}
+}
+
+// Attach subscribes the tracker to a run's log root.
+func (t *Tracker) Attach(root *dslog.Root) {
+	root.AddTap(t.Process)
+}
+
+// Views returns the number of per-node views built so far.
+func (t *Tracker) Views() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.views)
+}
+
+// Events returns how many incremental violation observations of kind k
+// occurred (transient or not).
+func (t *Tracker) Events(k Kind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return t.events[k]
+}
+
+// viewOf returns (creating if needed) the view of one logging node.
+func (t *Tracker) viewOf(id sim.NodeID) *metainfo.Graph {
+	if v, ok := t.views[id]; ok {
+		return v
+	}
+	v := metainfo.NewGraph(t.hosts)
+	t.views[id] = v
+	t.order = append(t.order, id)
+	return v
+}
+
+// host strips the :port suffix of a node value.
+func host(v string) string {
+	if i := strings.IndexByte(v, ':'); i >= 0 {
+		return v[:i]
+	}
+	return v
+}
+
+// sameNode compares two node values modulo port canonicalization: one
+// view may know a node as "h1" before any record showed it the full
+// "h1:7001".
+func sameNode(a, b string) bool {
+	return a == b || host(a) == host(b)
+}
+
+// Process handles one log record: match, keep the meta-info argument
+// values (the stash's filter), feed them to the EMITTING node's view,
+// then run the watched incremental checks.
+func (t *Tracker) Process(rec dslog.Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Instances++
+	m := t.session.Match(rec)
+	if m == nil {
+		return
+	}
+	view := t.viewOf(rec.Node)
+	vals := t.fwd[:0]
+	for i, arg := range m.Pattern.Stmt.Args {
+		if i >= len(m.Values) {
+			break
+		}
+		v := m.Values[i]
+		if t.keep(view, arg, v) {
+			vals = append(vals, v)
+		}
+	}
+	t.fwd = vals[:0]
+	if len(vals) == 0 {
+		return
+	}
+	t.Kept += len(vals)
+
+	// Resolve the record's owner node with Observe's own two-scan rule,
+	// BEFORE the view mutates, so the global hand-off ledger sees the
+	// same owner the view is about to record.
+	owner := t.recordOwner(view, vals)
+	view.Observe(vals)
+	t.account(rec.Node, view, vals, owner)
+}
+
+// keep mirrors stash.keep: node-referencing values always pass;
+// otherwise the argument's type or linked field must be meta-info.
+func (t *Tracker) keep(view *metainfo.Graph, arg ir.LogArg, v string) bool {
+	if _, ok := view.NodeValue(v); ok {
+		return true
+	}
+	if t.analysis == nil {
+		return false
+	}
+	if t.analysis.IsMetaType(arg.Type) {
+		return true
+	}
+	return arg.Field != "" && t.analysis.IsMetaField(arg.Field)
+}
+
+// recordOwner resolves the node a log instance's values belong to,
+// exactly as Graph.Observe will: leftmost direct node reference first,
+// then a value already associated in this view.
+func (t *Tracker) recordOwner(view *metainfo.Graph, vals []string) string {
+	for _, v := range vals {
+		if nv, ok := view.NodeValue(v); ok {
+			return nv
+		}
+	}
+	for _, v := range vals {
+		if n, ok := view.Owner(v); ok {
+			return n
+		}
+	}
+	return ""
+}
+
+// account updates the cross-view bookkeeping for one processed record
+// and runs the watched incremental checks.
+func (t *Tracker) account(observer sim.NodeID, view *metainfo.Graph, vals []string, owner string) {
+	for _, v := range vals {
+		if nv, ok := view.NodeValue(v); ok {
+			t.checkSymmetry(observer, nv)
+			continue
+		}
+		if owner == "" {
+			continue
+		}
+		if prev, ok := t.firstOwner[v]; ok {
+			if !sameNode(prev, owner) {
+				t.events[UniqueOwner]++
+				t.report(Violation{
+					Kind:     UniqueOwner,
+					Value:    v,
+					Observer: observer,
+					Owner:    sim.NodeID(owner),
+					Other:    sim.NodeID(prev),
+				})
+				// The hand-off is now the fact on the ground: track the
+				// new owner so a later third move is one event, not two.
+				t.firstOwner[v] = owner
+			}
+		} else {
+			t.firstOwner[v] = owner
+		}
+		t.checkConvergence(observer, view, v)
+	}
+}
+
+// checkSymmetry verifies the back-edge for one node value the observer
+// just learned (or re-learned).
+func (t *Tracker) checkSymmetry(observer sim.NodeID, nv string) {
+	if !t.watch[Symmetry] || sameNode(string(observer), nv) {
+		return
+	}
+	peer, ok := t.peerView(nv)
+	if ok && peer.HasNode(string(observer)) {
+		return
+	}
+	t.events[Symmetry]++
+	t.report(Violation{Kind: Symmetry, Observer: observer, Other: sim.NodeID(nv)})
+}
+
+// checkConvergence compares one value's owner in the observer's view
+// against every other view that knows it.
+func (t *Tracker) checkConvergence(observer sim.NodeID, view *metainfo.Graph, v string) {
+	if !t.watch[Convergence] {
+		return
+	}
+	own, ok := view.Owner(v)
+	if !ok {
+		return
+	}
+	for _, id := range t.order {
+		if id == observer {
+			continue
+		}
+		if other, ok := t.views[id].Owner(v); ok && !sameNode(other, own) {
+			t.events[Convergence]++
+			t.report(Violation{
+				Kind:     Convergence,
+				Value:    v,
+				Observer: observer,
+				Owner:    sim.NodeID(own),
+				Other:    sim.NodeID(other),
+			})
+			return
+		}
+	}
+}
+
+// report fires OnViolation once per watched kind.
+func (t *Tracker) report(v Violation) {
+	if !t.watch[v.Kind] || t.fired[v.Kind] || t.OnViolation == nil {
+		return
+	}
+	t.fired[v.Kind] = true
+	t.OnViolation(v)
+}
+
+// Learn judges the FINAL state of a finished clean run and returns the
+// kinds that hold — the inferred invariants a Monitor pass should
+// watch. Transient Convergence/Symmetry violations during the run do
+// not disqualify a kind (they are the injection windows); UniqueOwner
+// is inherently an event, so any hand-off observed at any time
+// disqualifies it. Kinds with nothing to witness (fewer than two views)
+// are dropped rather than vacuously kept.
+func (t *Tracker) Learn() []Kind {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Kind
+	if len(t.order) >= 2 {
+		if len(t.finalViolations(Convergence)) == 0 {
+			out = append(out, Convergence)
+		}
+		if len(t.finalViolations(Symmetry)) == 0 {
+			out = append(out, Symmetry)
+		}
+	}
+	if t.events[UniqueOwner] == 0 && len(t.firstOwner) > 0 {
+		out = append(out, UniqueOwner)
+	}
+	return out
+}
+
+// FinalViolations returns the violations of one kind present in the
+// final state (always empty for the event-kind UniqueOwner; read
+// Events for it). Exposed for oracle-side end-of-run checks and tests.
+func (t *Tracker) FinalViolations(k Kind) []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finalViolations(k)
+}
+
+func (t *Tracker) finalViolations(k Kind) []Violation {
+	var out []Violation
+	switch k {
+	case Convergence:
+		// Deterministic sweep: observer views in creation order, each
+		// value checked against later views only (each conflicting pair
+		// reported once).
+		for i, a := range t.order {
+			va := t.views[a]
+			for _, v := range va.Values() {
+				own, ok := va.Owner(v)
+				if !ok {
+					continue
+				}
+				for _, b := range t.order[i+1:] {
+					if other, ok := t.views[b].Owner(v); ok && !sameNode(other, own) {
+						out = append(out, Violation{
+							Kind: Convergence, Value: v,
+							Observer: a, Owner: sim.NodeID(own), Other: sim.NodeID(other),
+						})
+						break
+					}
+				}
+			}
+		}
+	case Symmetry:
+		for _, a := range t.order {
+			for _, nv := range t.views[a].Nodes() {
+				if sameNode(string(a), nv) {
+					continue
+				}
+				peer, ok := t.peerView(nv)
+				if ok && peer.HasNode(string(a)) {
+					continue
+				}
+				out = append(out, Violation{Kind: Symmetry, Observer: a, Other: sim.NodeID(nv)})
+			}
+		}
+	}
+	return out
+}
+
+// peerView finds the view of the node a node value names, matching on
+// the host part (a view key may be "h1:7001" while another view knows
+// the node only as "h1").
+func (t *Tracker) peerView(nv string) (*metainfo.Graph, bool) {
+	if v, ok := t.views[sim.NodeID(nv)]; ok {
+		return v, true
+	}
+	h := host(nv)
+	for _, id := range t.order {
+		if host(string(id)) == h {
+			return t.views[id], true
+		}
+	}
+	return nil, false
+}

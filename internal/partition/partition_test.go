@@ -1,0 +1,226 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/dslog"
+	"repro/internal/ir"
+	"repro/internal/logparse"
+	"repro/internal/metainfo"
+	"repro/internal/sim"
+)
+
+var hosts = []string{"node0", "node1", "node2"}
+
+// program mirrors the stash tests' shape: a registration statement, an
+// assignment statement and a noise statement.
+func program() *ir.Program {
+	p := ir.NewProgram("pt")
+	p.AddClass(&ir.Class{Name: "p.NodeId"})
+	p.AddClass(&ir.Class{Name: "p.ContainerId"})
+	p.AddClass(&ir.Class{Name: "p.RM", Methods: []*ir.Method{{Name: "run", Instrs: []*ir.Instr{
+		{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+			Segments: []string{"registered node ", ""},
+			Args:     []ir.LogArg{{Name: "nodeId", Type: "p.NodeId"}}}},
+		{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+			Segments: []string{"assigned ", " to node ", ""},
+			Args: []ir.LogArg{
+				{Name: "containerId", Type: "p.ContainerId"},
+				{Name: "nodeId", Type: "p.NodeId"},
+			}}},
+		{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+			Segments: []string{"config value ", ""},
+			Args:     []ir.LogArg{{Name: "v", Type: "java.lang.String"}}}},
+		{Op: ir.OpReturn},
+	}}}})
+	return p.Build()
+}
+
+func newTracker(t *testing.T) (*Tracker, *dslog.Root, *sim.Engine) {
+	t.Helper()
+	p := program()
+	matcher := logparse.NewMatcher(logparse.ExtractPatterns(p))
+	offline := []dslog.Record{
+		{Text: "registered node node1:42"},
+		{Text: "assigned container_9 to node node1:42"},
+	}
+	var matches []*logparse.Match
+	session := matcher.NewSession()
+	for _, r := range offline {
+		if m := session.Match(r); m != nil {
+			matches = append(matches, m)
+		}
+	}
+	analysis := metainfo.Infer(p, matches, hosts)
+	tr := NewTracker(hosts, matcher, analysis)
+	e := sim.NewEngine(1)
+	root := dslog.NewRoot()
+	tr.Attach(root)
+	return tr, root, e
+}
+
+func TestLearnKeepsInvariantsOfCleanRun(t *testing.T) {
+	tr, root, e := newTracker(t)
+	a := e.AddNode("node0", 40).ID
+	b := e.AddNode("node1", 41).ID
+	// Mutual registration plus one stable assignment per view.
+	root.Logger(e, a, "RM").Info("registered node node1:41")
+	root.Logger(e, b, "RM").Info("registered node node0:40")
+	root.Logger(e, a, "RM").Info("assigned container_1 to node node1:41")
+	root.Logger(e, b, "RM").Info("assigned container_1 to node node1:41")
+
+	kinds := tr.Learn()
+	want := []Kind{Convergence, Symmetry, UniqueOwner}
+	if len(kinds) != len(want) {
+		t.Fatalf("Learn = %v, want %v", kinds, want)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("Learn = %v, want %v", kinds, want)
+		}
+	}
+	if tr.Views() != 2 {
+		t.Fatalf("views = %d, want 2", tr.Views())
+	}
+}
+
+func TestSymmetryTransientWindowFiresButSurvivesLearn(t *testing.T) {
+	tr, root, e := newTracker(t)
+	tr.Watch(Symmetry)
+	var got []Violation
+	tr.OnViolation = func(v Violation) { got = append(got, v) }
+
+	a := e.AddNode("node0", 40).ID
+	b := e.AddNode("node1", 41).ID
+	// node1 knows node0 before node0 has logged anything: transient
+	// asymmetry — the injection window.
+	root.Logger(e, b, "RM").Info("registered node node0:40")
+	if len(got) != 1 || got[0].Kind != Symmetry || got[0].Observer != b || got[0].Other != "node0:40" {
+		t.Fatalf("violations = %+v, want one symmetry from %s about node0:40", got, b)
+	}
+	// A second asymmetric sighting must not re-fire (once per kind).
+	root.Logger(e, b, "RM").Info("registered node node0:40")
+	if len(got) != 1 {
+		t.Fatalf("re-fired: %+v", got)
+	}
+	if tr.Events(Symmetry) < 2 {
+		t.Fatalf("events = %d, want >= 2", tr.Events(Symmetry))
+	}
+	// The window heals; the final state is symmetric, so Learn keeps it.
+	root.Logger(e, a, "RM").Info("registered node node1:41")
+	if vs := tr.FinalViolations(Symmetry); len(vs) != 0 {
+		t.Fatalf("final symmetry violations = %+v, want none", vs)
+	}
+	found := false
+	for _, k := range tr.Learn() {
+		if k == Symmetry {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Learn dropped symmetry after the window healed: %v", tr.Learn())
+	}
+}
+
+func TestConvergenceConflictDisqualifies(t *testing.T) {
+	tr, root, e := newTracker(t)
+	tr.Watch(Convergence)
+	var got []Violation
+	tr.OnViolation = func(v Violation) { got = append(got, v) }
+
+	a := e.AddNode("node0", 40).ID
+	b := e.AddNode("node1", 41).ID
+	root.Logger(e, a, "RM").Info("assigned container_1 to node node1:41")
+	root.Logger(e, b, "RM").Info("assigned container_1 to node node2:42")
+	if len(got) != 1 || got[0].Kind != Convergence || got[0].Value != "container_1" {
+		t.Fatalf("violations = %+v, want one convergence on container_1", got)
+	}
+	if vs := tr.FinalViolations(Convergence); len(vs) != 1 {
+		t.Fatalf("final convergence violations = %+v, want 1", vs)
+	}
+	for _, k := range tr.Learn() {
+		if k == Convergence {
+			t.Fatalf("Learn kept convergence despite a final conflict: %v", tr.Learn())
+		}
+	}
+}
+
+func TestUniqueOwnerHandOffDisqualifies(t *testing.T) {
+	tr, root, e := newTracker(t)
+	tr.Watch(UniqueOwner)
+	var got []Violation
+	tr.OnViolation = func(v Violation) { got = append(got, v) }
+
+	a := e.AddNode("node0", 40).ID
+	// Same view re-associates the container: the per-view graph keeps
+	// the first owner (first-association-wins) but the global ledger
+	// must see the hand-off.
+	root.Logger(e, a, "RM").Info("assigned container_1 to node node1:41")
+	root.Logger(e, a, "RM").Info("assigned container_1 to node node2:42")
+	if len(got) != 1 || got[0].Kind != UniqueOwner ||
+		got[0].Other != "node1:41" || got[0].Owner != "node2:42" {
+		t.Fatalf("violations = %+v, want one unique-owner node1->node2", got)
+	}
+	for _, k := range tr.Learn() {
+		if k == UniqueOwner {
+			t.Fatalf("Learn kept unique-owner despite a hand-off: %v", tr.Learn())
+		}
+	}
+	// A third move is a fresh event against the new owner.
+	root.Logger(e, a, "RM").Info("assigned container_1 to node node1:41")
+	if tr.Events(UniqueOwner) != 2 {
+		t.Fatalf("events = %d, want 2", tr.Events(UniqueOwner))
+	}
+}
+
+func TestPortCanonicalizationDoesNotFalsePositive(t *testing.T) {
+	tr, root, e := newTracker(t)
+	// Symmetry is deliberately unwatched: the first cross-node sighting
+	// always precedes the peer's view and would fire by design.
+	tr.Watch(Convergence, UniqueOwner)
+	fired := 0
+	tr.OnViolation = func(Violation) { fired++ }
+
+	a := e.AddNode("node0", 40).ID
+	b := e.AddNode("node1", 41).ID
+	// One view knows the owner as bare "node1", the other as full
+	// "node1:41": same node, no conflict.
+	root.Logger(e, b, "RM").Info("registered node node0:40")
+	root.Logger(e, a, "RM").Info("assigned container_1 to node node1")
+	root.Logger(e, b, "RM").Info("assigned container_1 to node node1:41")
+	// Symmetry about node1:41 seen from node0's view must find node1's
+	// view by host even though the view key carries the port.
+	root.Logger(e, a, "RM").Info("registered node node1:41")
+	if fired != 0 {
+		t.Fatalf("fired %d violations on canonicalization-only differences", fired)
+	}
+	if vs := tr.FinalViolations(Convergence); len(vs) != 0 {
+		t.Fatalf("final convergence = %+v", vs)
+	}
+	if vs := tr.FinalViolations(Symmetry); len(vs) != 0 {
+		t.Fatalf("final symmetry = %+v", vs)
+	}
+}
+
+func TestLearnDropsVacuousKinds(t *testing.T) {
+	tr, root, e := newTracker(t)
+	// A single logging node: cross-view kinds have nothing to witness,
+	// and with no associations unique-owner is vacuous too.
+	a := e.AddNode("node0", 40).ID
+	root.Logger(e, a, "RM").Info("config value tuning-knob")
+	if kinds := tr.Learn(); len(kinds) != 0 {
+		t.Fatalf("Learn = %v, want none (vacuous)", kinds)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v,%v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKind("nope"); ok {
+		t.Fatal("ParseKind accepted garbage")
+	}
+}

@@ -65,9 +65,11 @@ type Experiments struct {
 	Matchers map[string]*logparse.Matcher
 	Random   map[string]*baseline.Result
 	IO       map[string]*baseline.Result
-	// Recovered holds the recovery-mode pipeline results (RunRecovery),
-	// keyed like Results.
-	Recovered map[string]*core.Result
+	// Recovered holds the recovery-mode pipeline results (RunRecovery)
+	// and Partitioned the partition-mode ones (RunPartition), keyed like
+	// Results.
+	Recovered   map[string]*core.Result
+	Partitioned map[string]*core.Result
 }
 
 // NewExperiments prepares an experiment set over all systems.
@@ -79,15 +81,16 @@ func NewExperiments(seed int64, scale, randomRuns int) *Experiments {
 		randomRuns = 100
 	}
 	return &Experiments{
-		Seed:       seed,
-		Scale:      scale,
-		RandomRuns: randomRuns,
-		Systems:    all.Runners(),
-		Results:    make(map[string]*core.Result),
-		Matchers:   make(map[string]*logparse.Matcher),
-		Random:     make(map[string]*baseline.Result),
-		IO:         make(map[string]*baseline.Result),
-		Recovered:  make(map[string]*core.Result),
+		Seed:        seed,
+		Scale:       scale,
+		RandomRuns:  randomRuns,
+		Systems:     all.Runners(),
+		Results:     make(map[string]*core.Result),
+		Matchers:    make(map[string]*logparse.Matcher),
+		Random:      make(map[string]*baseline.Result),
+		IO:          make(map[string]*baseline.Result),
+		Recovered:   make(map[string]*core.Result),
+		Partitioned: make(map[string]*core.Result),
 	}
 }
 

@@ -76,6 +76,7 @@ func (e *Engine) Clone() (*Engine, *TimerRemap, error) {
 		seq:            e.seq,
 		handled:        e.handled,
 		recycled:       e.recycled,
+		part:           e.part.clone(),
 		MaxSteps:       e.MaxSteps,
 		MessageLatency: e.MessageLatency,
 	}

@@ -1,0 +1,283 @@
+package sim
+
+import "hash/fnv"
+
+// Network-partition plane: one active cut between an isolated node group
+// and the rest of the cluster. The engine owns every message dispatch, so
+// a partition is enforced at exactly two choke points:
+//
+//   - Send (PartitionDelay): a message crossing the cut is scheduled with
+//     the partition's extra latency added to the engine latency. The
+//     penalty is paid once, at send time — re-checking at dispatch would
+//     re-delay forever under a partition that never heals.
+//   - Run's message dispatch (PartitionDrop / PartitionHold): a message
+//     crossing the cut at delivery time is dropped, or captured in order
+//     on the held queue and re-sent when the cut heals. In-flight
+//     messages sent before the partition opened are affected too, which
+//     is what a real partition does to the network's queues.
+//
+// Timers — keyed or closure — are node-local computation, not network
+// traffic, so the cut never touches them; only Message events are
+// filtered. Heal re-sends held messages in capture order through the
+// normal Send path, so they are delivered at now+MessageLatency to the
+// target's *current* incarnation (a node that died or restarted while
+// the cut was open drops them at dispatch, like any stale message).
+//
+// The plane is part of the engine's dynamic state: Fingerprint digests
+// it (see Fingerprint.Part) and Clone copies it, so snapshot forks taken
+// mid-partition resume byte-identically.
+
+// PartitionMode selects how an active partition treats messages that
+// cross the cut.
+type PartitionMode int
+
+// Partition modes.
+const (
+	// PartitionDrop silently drops crossing messages at dispatch.
+	PartitionDrop PartitionMode = iota
+	// PartitionHold captures crossing messages at dispatch, in order, and
+	// re-sends them when the cut heals.
+	PartitionHold
+	// PartitionDelay adds the partition's extra latency to crossing
+	// messages at send time; nothing is dropped.
+	PartitionDelay
+)
+
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionHold:
+		return "hold"
+	case PartitionDelay:
+		return "delay"
+	default:
+		return "drop"
+	}
+}
+
+// ParsePartitionMode inverts String, for CLI flags and persisted records.
+func ParsePartitionMode(s string) (PartitionMode, bool) {
+	switch s {
+	case "drop":
+		return PartitionDrop, true
+	case "hold":
+		return PartitionHold, true
+	case "delay":
+		return PartitionDelay, true
+	}
+	return 0, false
+}
+
+// DefaultPartitionDelay is the extra one-way latency of a PartitionDelay
+// cut when the caller passes none.
+const DefaultPartitionDelay = 100 * Millisecond
+
+// partitionState is the engine's partition plane. The zero value means
+// "no partition was ever opened" and digests to 0, so engines that never
+// partition keep their pre-partition fingerprints.
+type partitionState struct {
+	active bool
+	mode   PartitionMode
+	delay  Time
+	// iso is the isolated side of the active cut, sorted and deduplicated
+	// at open time so membership, iteration and the digest are
+	// deterministic regardless of caller order.
+	iso []NodeID
+	// held are the messages a PartitionHold cut captured, in dispatch
+	// order; Heal re-sends them in this order.
+	held []Message
+	// Cumulative counters, all part of the digest: they fence the plane's
+	// whole history, not just its current shape.
+	partitions uint64 // cuts ever opened
+	heals      uint64 // cuts healed
+	dropped    uint64 // messages dropped at the cut
+	captured   uint64 // messages captured by hold cuts
+	delayed    uint64 // messages delayed by delay cuts
+}
+
+// has reports whether id is on the isolated side. Isolated sets are a
+// handful of nodes, so a linear scan beats a map here like everywhere
+// else in the engine.
+func (p *partitionState) has(id NodeID) bool {
+	for _, n := range p.iso {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// cuts reports whether a message from→to crosses the active cut.
+func (p *partitionState) cuts(from, to NodeID) bool {
+	return p.active && p.has(from) != p.has(to)
+}
+
+// clone deep-copies the plane for Engine.Clone.
+func (p *partitionState) clone() partitionState {
+	p2 := *p
+	if p.iso != nil {
+		p2.iso = append([]NodeID(nil), p.iso...)
+	}
+	if p.held != nil {
+		p2.held = append([]Message(nil), p.held...)
+	}
+	return p2
+}
+
+// digest folds the plane into one fingerprint word. Zero iff no cut was
+// ever opened, so Fingerprint comparisons from before this field existed
+// keep working unchanged. Held messages are digested by their routing
+// header (from, to, service, kind), length-prefixed like the node digest
+// in Fingerprint; bodies are opaque and already pinned by the
+// deterministic schedule that produced them.
+func (p *partitionState) digest() uint64 {
+	if p.partitions == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:8])
+	}
+	putStr := func(s string) {
+		buf[0] = byte(len(s))
+		buf[1] = byte(len(s) >> 8)
+		h.Write(buf[:2])
+		h.Write([]byte(s))
+	}
+	active := uint64(0)
+	if p.active {
+		active = 1
+	}
+	putU64(active)
+	putU64(uint64(p.mode))
+	putU64(uint64(p.delay))
+	putU64(p.partitions)
+	putU64(p.heals)
+	putU64(p.dropped)
+	putU64(p.captured)
+	putU64(p.delayed)
+	putU64(uint64(len(p.iso)))
+	for _, id := range p.iso {
+		putStr(string(id))
+	}
+	putU64(uint64(len(p.held)))
+	for i := range p.held {
+		m := &p.held[i]
+		putStr(string(m.From))
+		putStr(string(m.To))
+		putStr(m.Service)
+		putStr(m.Kind)
+	}
+	return h.Sum64()
+}
+
+// Partition opens a cut isolating the given nodes from the rest of the
+// cluster: messages between the two groups are dropped, held or delayed
+// per mode, while traffic within either group flows normally. delay is
+// the extra latency of a PartitionDelay cut (DefaultPartitionDelay when
+// non-positive); other modes ignore it. At most one cut is active at a
+// time — Partition reports false if one is already open, if isolated is
+// empty, or if no listed node exists. The cut is recorded as a
+// FaultPartition record on the first isolated node, so schedules stay
+// auditable alongside crashes and restarts.
+func (e *Engine) Partition(isolated []NodeID, mode PartitionMode, delay Time) bool {
+	if e.part.active || len(isolated) == 0 {
+		return false
+	}
+	iso := make([]NodeID, 0, len(isolated))
+	for _, id := range isolated {
+		if e.node(id) == nil || e.part.hasIn(iso, id) {
+			continue
+		}
+		iso = append(iso, id)
+	}
+	if len(iso) == 0 {
+		return false
+	}
+	sortNodeIDs(iso)
+	if mode == PartitionDelay && delay <= 0 {
+		delay = DefaultPartitionDelay
+	}
+	e.part.active = true
+	e.part.mode = mode
+	e.part.delay = delay
+	e.part.iso = iso
+	e.part.partitions++
+	e.faults = append(e.faults, FaultRecord{At: e.now, Node: iso[0], Kind: FaultPartition})
+	return true
+}
+
+// hasIn is has over an explicit slice, for dedup during open.
+func (p *partitionState) hasIn(iso []NodeID, id NodeID) bool {
+	for _, n := range iso {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Heal closes the active cut and returns the nodes it had isolated
+// (sorted), or nil if no cut is open. Messages a PartitionHold cut
+// captured are re-sent in capture order through the normal Send path —
+// delivered one engine latency later to each target's current
+// incarnation, or dropped at dispatch if the target is dead. The heal is
+// recorded as a FaultHeal record on the first formerly-isolated node.
+func (e *Engine) Heal() []NodeID {
+	if !e.part.active {
+		return nil
+	}
+	iso := e.part.iso
+	e.part.active = false
+	e.part.iso = nil
+	e.part.heals++
+	e.faults = append(e.faults, FaultRecord{At: e.now, Node: iso[0], Kind: FaultHeal})
+	held := e.part.held
+	e.part.held = nil
+	for i := range held {
+		m := &held[i]
+		e.Send(m.From, m.To, m.Service, m.Kind, m.Body)
+	}
+	return iso
+}
+
+// Partitioned reports whether a cut is currently open.
+func (e *Engine) Partitioned() bool { return e.part.active }
+
+// Isolated reports whether id is on the isolated side of the active cut;
+// false when no cut is open.
+func (e *Engine) Isolated(id NodeID) bool {
+	return e.part.active && e.part.has(id)
+}
+
+// PartitionCuts reports whether a message from→to would cross the active
+// cut; false when no cut is open.
+func (e *Engine) PartitionCuts(from, to NodeID) bool {
+	return e.part.cuts(from, to)
+}
+
+// PartitionStats reports the plane's cumulative counters, for tests and
+// report tables.
+type PartitionStats struct {
+	Partitions uint64 // cuts opened
+	Heals      uint64 // cuts healed
+	Dropped    uint64 // messages dropped at a cut
+	Captured   uint64 // messages captured by hold cuts
+	Delayed    uint64 // messages delayed by delay cuts
+	Held       int    // messages currently held, awaiting heal
+}
+
+// PartitionStats returns the plane's counters so far.
+func (e *Engine) PartitionStats() PartitionStats {
+	return PartitionStats{
+		Partitions: e.part.partitions,
+		Heals:      e.part.heals,
+		Dropped:    e.part.dropped,
+		Captured:   e.part.captured,
+		Delayed:    e.part.delayed,
+		Held:       len(e.part.held),
+	}
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// echoRecorder registers a service that records delivered message kinds
+// in arrival order.
+type echoRecorder struct {
+	got []string
+}
+
+func (r *echoRecorder) HandleMessage(e *Engine, m Message) {
+	r.got = append(r.got, string(m.From)+"/"+m.Kind)
+}
+
+func newPartitionPair(t *testing.T) (*Engine, *Node, *Node, *Node, *echoRecorder) {
+	t.Helper()
+	e := NewEngine(1)
+	a := e.AddNode("a", 1)
+	b := e.AddNode("b", 2)
+	c := e.AddNode("c", 3)
+	rec := &echoRecorder{}
+	a.Register("svc", rec)
+	b.Register("svc", rec)
+	c.Register("svc", rec)
+	return e, a, b, c, rec
+}
+
+func TestPartitionDropCutsBothDirections(t *testing.T) {
+	e, a, b, c, rec := newPartitionPair(t)
+	if !e.Partition([]NodeID{a.ID}, PartitionDrop, 0) {
+		t.Fatal("Partition refused")
+	}
+	e.Send(a.ID, b.ID, "svc", "crossAB", nil) // crosses the cut
+	e.Send(b.ID, a.ID, "svc", "crossBA", nil) // crosses the cut
+	e.Send(b.ID, c.ID, "svc", "within", nil)  // same side, flows
+	e.Send(a.ID, a.ID, "svc", "self", nil)    // isolated side internal, flows
+	e.Quiesce()
+	want := []string{"b:2/within", "a:1/self"}
+	if !reflect.DeepEqual(rec.got, want) {
+		t.Fatalf("delivered %v, want %v", rec.got, want)
+	}
+	if st := e.PartitionStats(); st.Dropped != 2 || st.Partitions != 1 {
+		t.Fatalf("stats = %+v, want 2 dropped, 1 partition", st)
+	}
+}
+
+func TestPartitionDropAffectsInFlightMessages(t *testing.T) {
+	e, a, b, _, rec := newPartitionPair(t)
+	// Sent while the network is healthy, delivered after the cut opens.
+	e.Send(a.ID, b.ID, "svc", "inflight", nil)
+	if !e.Partition([]NodeID{a.ID}, PartitionDrop, 0) {
+		t.Fatal("Partition refused")
+	}
+	e.Quiesce()
+	if len(rec.got) != 0 {
+		t.Fatalf("in-flight message crossed an open cut: %v", rec.got)
+	}
+}
+
+func TestPartitionHoldRedeliversInOrderOnHeal(t *testing.T) {
+	e, a, b, _, rec := newPartitionPair(t)
+	if !e.Partition([]NodeID{a.ID}, PartitionHold, 0) {
+		t.Fatal("Partition refused")
+	}
+	e.Send(b.ID, a.ID, "svc", "one", nil)
+	e.Send(b.ID, a.ID, "svc", "two", nil)
+	e.Send(a.ID, b.ID, "svc", "three", nil)
+	e.Quiesce()
+	if len(rec.got) != 0 {
+		t.Fatalf("held messages delivered before heal: %v", rec.got)
+	}
+	if st := e.PartitionStats(); st.Captured != 3 || st.Held != 3 {
+		t.Fatalf("stats = %+v, want 3 captured/held", st)
+	}
+	iso := e.Heal()
+	if !reflect.DeepEqual(iso, []NodeID{a.ID}) {
+		t.Fatalf("Heal returned %v", iso)
+	}
+	e.Quiesce()
+	want := []string{"b:2/one", "b:2/two", "a:1/three"}
+	if !reflect.DeepEqual(rec.got, want) {
+		t.Fatalf("redelivered %v, want %v", rec.got, want)
+	}
+}
+
+func TestPartitionHoldDropsForDeadTarget(t *testing.T) {
+	e, a, b, _, rec := newPartitionPair(t)
+	e.Partition([]NodeID{a.ID}, PartitionHold, 0)
+	e.Send(b.ID, a.ID, "svc", "held", nil)
+	e.Quiesce()
+	e.Crash(a.ID)
+	e.Heal()
+	e.Quiesce()
+	if len(rec.got) != 0 {
+		t.Fatalf("held message delivered to dead node: %v", rec.got)
+	}
+}
+
+func TestPartitionDelayAddsLatencyOnce(t *testing.T) {
+	e, a, b, _, rec := newPartitionPair(t)
+	e.Partition([]NodeID{a.ID}, PartitionDelay, 5*Millisecond)
+	e.Send(a.ID, b.ID, "svc", "slow", nil)
+	e.Send(b.ID, b.ID, "svc", "fast", nil)
+	e.Quiesce()
+	want := []string{"b:2/fast", "a:1/slow"}
+	if !reflect.DeepEqual(rec.got, want) {
+		t.Fatalf("delivered %v, want %v", rec.got, want)
+	}
+	if e.Now() != Millisecond+5*Millisecond {
+		t.Fatalf("end time %v, want %v", e.Now(), 6*Millisecond)
+	}
+	if st := e.PartitionStats(); st.Delayed != 1 {
+		t.Fatalf("stats = %+v, want 1 delayed", st)
+	}
+}
+
+func TestPartitionSingleActiveCut(t *testing.T) {
+	e, a, b, _, _ := newPartitionPair(t)
+	if !e.Partition([]NodeID{a.ID}, PartitionDrop, 0) {
+		t.Fatal("first Partition refused")
+	}
+	if e.Partition([]NodeID{b.ID}, PartitionDrop, 0) {
+		t.Fatal("second Partition accepted while a cut is open")
+	}
+	if e.Heal() == nil {
+		t.Fatal("Heal failed")
+	}
+	if e.Heal() != nil {
+		t.Fatal("Heal succeeded with no open cut")
+	}
+	if !e.Partition([]NodeID{b.ID}, PartitionDrop, 0) {
+		t.Fatal("re-partition after heal refused")
+	}
+}
+
+func TestPartitionRejectsUnknownAndEmpty(t *testing.T) {
+	e, _, _, _, _ := newPartitionPair(t)
+	if e.Partition(nil, PartitionDrop, 0) {
+		t.Fatal("empty isolation set accepted")
+	}
+	if e.Partition([]NodeID{"ghost:9"}, PartitionDrop, 0) {
+		t.Fatal("unknown-only isolation set accepted")
+	}
+}
+
+func TestPartitionFaultRecords(t *testing.T) {
+	e, a, _, _, _ := newPartitionPair(t)
+	e.Partition([]NodeID{a.ID}, PartitionDrop, 0)
+	e.Heal()
+	fs := e.Faults()
+	if len(fs) != 2 || fs[0].Kind != FaultPartition || fs[1].Kind != FaultHeal {
+		t.Fatalf("faults = %v", fs)
+	}
+	if fs[0].Node != a.ID || fs[1].Node != a.ID {
+		t.Fatalf("fault nodes = %v", fs)
+	}
+	if FaultPartition.String() != "partition" || FaultHeal.String() != "heal" {
+		t.Fatalf("fault names: %s/%s", FaultPartition, FaultHeal)
+	}
+}
+
+func TestFingerprintCoversPartitionPlane(t *testing.T) {
+	mk := func() *Engine {
+		e := NewEngine(3)
+		e.AddNode("a", 1)
+		e.AddNode("b", 2)
+		return e
+	}
+	clean := mk().Fingerprint()
+	if clean.Part != 0 {
+		t.Fatalf("pristine engine has Part=%#x, want 0", clean.Part)
+	}
+
+	cut := mk()
+	cut.Partition([]NodeID{"a:1"}, PartitionDrop, 0)
+	withCut := cut.Fingerprint()
+	if withCut.Part == 0 {
+		t.Fatal("open cut not reflected in Part")
+	}
+	healed := mk()
+	healed.Partition([]NodeID{"a:1"}, PartitionDrop, 0)
+	healed.Heal()
+	if healed.Fingerprint().Part == withCut.Part {
+		t.Fatal("heal not reflected in Part")
+	}
+	// Same shape, different history: a drop vs a hold of the same edge.
+	hold := mk()
+	hold.Partition([]NodeID{"a:1"}, PartitionHold, 0)
+	if hold.Fingerprint().Part == withCut.Part {
+		t.Fatal("mode not reflected in Part")
+	}
+	// Membership order must not matter.
+	x, y := mk(), mk()
+	x.Partition([]NodeID{"a:1", "b:2"}, PartitionDrop, 0)
+	y.Partition([]NodeID{"b:2", "a:1"}, PartitionDrop, 0)
+	if x.Fingerprint() != y.Fingerprint() {
+		t.Fatal("isolation-set order changed the fingerprint")
+	}
+}
+
+// TestCloneMidPartitionResumesIdentically is the satellite regression
+// test: a fork taken while a cut is open — held messages queued, counters
+// mid-flight — must resume byte-identically with the source. Mirrors the
+// PR 6 freelist-fence regression pattern.
+func TestCloneMidPartitionResumesIdentically(t *testing.T) {
+	build := func() (*Engine, *echoRecorder) {
+		e := NewEngine(7)
+		a := e.AddNode("a", 1)
+		b := e.AddNode("b", 2)
+		c := e.AddNode("c", 3)
+		rec := &echoRecorder{}
+		a.Register("svc", rec)
+		b.Register("svc", rec)
+		c.Register("svc", rec)
+		e.Partition([]NodeID{a.ID}, PartitionHold, 0)
+		e.Send(b.ID, a.ID, "svc", "held1", nil)
+		e.Send(a.ID, c.ID, "svc", "held2", nil)
+		e.Send(b.ID, c.ID, "svc", "open", nil)
+		e.Quiesce()
+		return e, rec
+	}
+	src, _ := build()
+	cl, _, err := src.Clone()
+	if err != nil {
+		t.Fatalf("Clone mid-partition: %v", err)
+	}
+	if src.Fingerprint() != cl.Fingerprint() {
+		t.Fatalf("clone fingerprint diverged at the boundary:\n src %+v\n cl  %+v",
+			src.Fingerprint(), cl.Fingerprint())
+	}
+	// Re-register services on the clone (Clone carries none) and drive
+	// both sides through the identical tail: heal, quiesce, compare.
+	recCl := &echoRecorder{}
+	for _, id := range []NodeID{"a:1", "b:2", "c:3"} {
+		cl.Node(id).Register("svc", recCl)
+	}
+	srcRec := &echoRecorder{}
+	for _, id := range []NodeID{"a:1", "b:2", "c:3"} {
+		src.Node(id).Register("svc", srcRec)
+	}
+	src.Heal()
+	cl.Heal()
+	src.Quiesce()
+	cl.Quiesce()
+	if src.Fingerprint() != cl.Fingerprint() {
+		t.Fatalf("fingerprints diverged after resuming through heal:\n src %+v\n cl  %+v",
+			src.Fingerprint(), cl.Fingerprint())
+	}
+	if !reflect.DeepEqual(srcRec.got, recCl.got) {
+		t.Fatalf("redelivery diverged: src %v, clone %v", srcRec.got, recCl.got)
+	}
+	// The clone's plane is isolated from the source's: a fresh cut on the
+	// clone must not leak into the source.
+	cl.Partition([]NodeID{"b:2"}, PartitionDrop, 0)
+	if src.Partitioned() {
+		t.Fatal("partitioning the clone partitioned the source")
+	}
+}

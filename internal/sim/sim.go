@@ -321,9 +321,11 @@ type FaultKind int
 
 // Fault kinds.
 const (
-	FaultCrash    FaultKind = iota // silent failure
-	FaultShutdown                  // graceful, pro-active leave
-	FaultRestart                   // dead node revived under a new incarnation
+	FaultCrash     FaultKind = iota // silent failure
+	FaultShutdown                   // graceful, pro-active leave
+	FaultRestart                    // dead node revived under a new incarnation
+	FaultPartition                  // network cut opened (see partition.go)
+	FaultHeal                       // network cut healed
 )
 
 func (k FaultKind) String() string {
@@ -332,6 +334,10 @@ func (k FaultKind) String() string {
 		return "shutdown"
 	case FaultRestart:
 		return "restart"
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
 	default:
 		return "crash"
 	}
@@ -377,6 +383,9 @@ type Engine struct {
 	// appended past it — so &nodeSlab[i] pointers stay valid for the
 	// engine's life.
 	nodeSlab []Node
+	// part is the network-partition plane (see partition.go): at most one
+	// active cut plus its held-message queue and cumulative counters.
+	part     partitionState
 	MaxSteps uint64 // safety valve; 0 means DefaultMaxSteps
 	// MessageLatency is the default one-way latency for Send.
 	MessageLatency Time
@@ -618,7 +627,15 @@ func (e *Engine) everyEvent(id NodeID, period Time, fn func()) *event {
 // dropped; senders are expected to use their own timeouts, as real systems
 // do.
 func (e *Engine) Send(from, to NodeID, service, kind string, body any) {
-	ev := e.schedule(e.now+e.MessageLatency, to, nil)
+	lat := e.MessageLatency
+	// A PartitionDelay cut charges its extra latency here, once per send;
+	// drop/hold cuts act at dispatch instead so in-flight messages are
+	// affected too (see Run and partition.go).
+	if e.part.active && e.part.mode == PartitionDelay && e.part.cuts(from, to) {
+		lat += e.part.delay
+		e.part.delayed++
+	}
+	ev := e.schedule(e.now+lat, to, nil)
 	ev.msg = Message{From: from, To: to, Service: service, Kind: kind, Body: body}
 	ev.isMsg = true
 }
@@ -730,15 +747,28 @@ func (e *Engine) Run(deadline Time) RunResult {
 		}
 		e.handled++
 		if ev.isMsg {
-			// Deliver, then recycle: the handler call copies ev.msg into
-			// its argument frame anyway, so recycling afterwards spares a
-			// second Message copy.
-			if n != nil {
-				if s := n.service(ev.msg.Service); s != nil {
-					s.HandleMessage(e, ev.msg)
+			if e.part.active && e.part.mode != PartitionDelay && e.part.cuts(ev.msg.From, ev.msg.To) {
+				// The message crosses the open cut at delivery time: drop it,
+				// or capture it for re-send at heal. The dispatch still counts
+				// as a handled step — the network "processed" the packet.
+				if e.part.mode == PartitionHold {
+					e.part.held = append(e.part.held, ev.msg)
+					e.part.captured++
+				} else {
+					e.part.dropped++
 				}
+				e.recycle(ev)
+			} else {
+				// Deliver, then recycle: the handler call copies ev.msg into
+				// its argument frame anyway, so recycling afterwards spares a
+				// second Message copy.
+				if n != nil {
+					if s := n.service(ev.msg.Service); s != nil {
+						s.HandleMessage(e, ev.msg)
+					}
+				}
+				e.recycle(ev)
 			}
-			e.recycle(ev)
 		} else if ev.period > 0 {
 			if ev.key != "" {
 				e.dispatchKeyed(ev.node, ev.key, ev.arg)

@@ -36,6 +36,12 @@ type Fingerprint struct {
 	Recycled uint64
 	// NodeSum digests node identity, liveness and incarnations.
 	NodeSum uint64
+	// Part digests the network-partition plane: the active cut's
+	// membership, mode and delay, the held-message queue and the plane's
+	// cumulative counters (see partition.go). It is 0 for an engine that
+	// never opened a cut, so fingerprints recorded before partitions
+	// existed compare unchanged.
+	Part uint64
 }
 
 // Fingerprint captures the engine's current dynamic state. It is cheap —
@@ -70,6 +76,7 @@ func (e *Engine) Fingerprint() Fingerprint {
 		Queue:    len(e.pq),
 		Recycled: e.recycled,
 		NodeSum:  h.Sum64(),
+		Part:     e.part.digest(),
 	}
 }
 

@@ -183,7 +183,7 @@ func (rn *run) gossipService(e *sim.Engine, m sim.Message) {
 	case "join":
 		rn.addEndpoint(m.From)
 	case "mutAck":
-		rn.mutAck(m.Body.(int))
+		rn.mutAck(m.From, m.Body.(int))
 	}
 }
 
@@ -223,6 +223,15 @@ func (rn *run) removeEndpoint(p sim.NodeID, why string) {
 	}
 	if _, ok := rn.endpointState[p]; !ok {
 		return
+	}
+	rn.NotePartitionLost(rn.coord, p)
+	for _, owner := range rn.ring {
+		if owner == p {
+			// Handing p's tokens to another endpoint while p still serves
+			// them on the far side of a cut: split brain.
+			rn.NoteSplitBrain(rn.coord, p)
+			break
+		}
 	}
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.coord, "cassandra.service.StorageService.removeEndpoint")()
@@ -272,6 +281,7 @@ func (rn *run) writeKey(i, tries int) {
 	pb.PreRead(rn.coord, PtRouteGet, string(endpoint), key)
 	es, present := rn.endpointState[endpoint]
 	if !present {
+		rn.NoteStaleRead(rn.coord, endpoint)
 		if rn.r.FixRemovedEndpoint {
 			rn.Logger(rn.coord, "StorageProxy").Warn("Retrying ", key, " after endpoint change")
 			e.AfterKeyed(rn.coord, 200*sim.Millisecond, keyWrite, writeArg{i: i, tries: tries + 1})
@@ -361,6 +371,27 @@ func (rn *run) rejoinCoord() {
 	e.AfterKeyed(rn.coord, 100*sim.Millisecond, keyResume, nil)
 }
 
+// Healed implements cluster.Healer: endpoints gossip marked DOWN during
+// the cut re-announce themselves — the failure detector no longer
+// tracks them, so resumed syn traffic alone would never re-admit them.
+// All peers are checked, not just the isolated set: a coordinator-side
+// cut removes endpoints that were never themselves isolated.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	if !e.Node(rn.coord).Alive() {
+		return
+	}
+	for _, p := range rn.peers {
+		if _, ok := rn.endpointState[p]; ok {
+			continue
+		}
+		if n := e.Node(p); n == nil || !n.Alive() {
+			continue
+		}
+		e.AfterKeyed(p, 10*sim.Millisecond, keyBoot, nil)
+	}
+}
+
 // CloneRun implements cluster.Cloneable (recipe in the toysys template):
 // deep-copy the ring, gossip state and hints, re-wire both roles, rebuild
 // the liveness monitor on the clone.
@@ -394,9 +425,12 @@ func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
 	return rn2
 }
 
-func (rn *run) mutAck(i int) {
+func (rn *run) mutAck(from sim.NodeID, i int) {
 	if i != rn.done {
-		return // duplicate ack from a retried write
+		// Duplicate ack from a retried write — stale when the original
+		// committer was cut off and its ack arrived after the heal.
+		rn.NoteStaleRead(rn.coord, from)
+		return
 	}
 	rn.done++
 	if rn.done >= rn.nKeys {

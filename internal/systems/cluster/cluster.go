@@ -169,6 +169,60 @@ type RecoveryReporter interface {
 	RestartedNodes() []sim.NodeID
 }
 
+// Healer is implemented by runs whose systems model partition recovery:
+// after sim.Engine.Heal closes a cut, Healed drives the system's
+// reconnection protocol — typically re-initiating registration for every
+// alive node the cluster deregistered while it was unreachable. The
+// liveness machinery alone cannot do this: monitors ignore heartbeats
+// from forgotten nodes, so resumed traffic after a heal never re-admits
+// a node by itself. Use the package-level Heal helper, which sequences
+// the engine heal, the partition bookkeeping and this hook.
+type Healer interface {
+	Healed(isolated []sim.NodeID)
+}
+
+// PartitionInfo tracks what the run's partitions did; the trigger's
+// partition oracles read it.
+type PartitionInfo struct {
+	// Partitions counts cuts opened during the run.
+	Partitions int
+	// Isolated is the most recent cut's isolated node set, sorted.
+	Isolated []sim.NodeID
+	// Healed reports whether the most recent cut was healed.
+	Healed bool
+	// StaleReads counts messages from formerly-isolated nodes that the
+	// cluster rejected as stale (superseded attempts, old epochs).
+	StaleReads int
+	// SplitBrains counts ownership reassignments made while the previous
+	// owner was alive on the far side of an open cut — two alive nodes
+	// each believing they own the same work.
+	SplitBrains int
+}
+
+// partState is the Base's partition bookkeeping: the exported info plus
+// the reconnection ledger behind the never-heals oracle.
+type partState struct {
+	info PartitionInfo
+	// pending holds nodes the cluster disconnected (declared lost /
+	// deregistered) while a cut separated them; NoteRejoin clears them.
+	// Whatever is left after a heal never re-entered the cluster.
+	pending map[sim.NodeID]bool
+	// wasIso holds every node that was ever on the isolated side of a
+	// cut, for gating the stale-read counter after the heal.
+	wasIso map[sim.NodeID]bool
+}
+
+// PartitionReporter exposes the run's partition bookkeeping; Base
+// implements it, so every run satisfies the interface via embedding.
+type PartitionReporter interface {
+	// Partition returns the recorded info and whether any cut was opened.
+	Partition() (PartitionInfo, bool)
+	// Unreconnected returns the nodes the cluster disconnected under a
+	// cut and never re-admitted, sorted. Callers filter by liveness: a
+	// node that died under the cut is not expected back.
+	Unreconnected() []sim.NodeID
+}
+
 // Base provides the bookkeeping shared by the system implementations;
 // embed it in a system's run type.
 type Base struct {
@@ -178,6 +232,7 @@ type Base struct {
 	why   string
 	wits  map[string]bool
 	recov map[sim.NodeID]*RecoveryInfo
+	part  *partState
 }
 
 // CloneBase deep-copies the shared bookkeeping onto a cloned engine; the
@@ -199,6 +254,21 @@ func (b *Base) CloneBase(cc CloneContext) *Base {
 			cp := *ri
 			b2.recov[id] = &cp
 		}
+	}
+	if b.part != nil {
+		ps := &partState{
+			info:    b.part.info,
+			pending: make(map[sim.NodeID]bool, len(b.part.pending)),
+			wasIso:  make(map[sim.NodeID]bool, len(b.part.wasIso)),
+		}
+		ps.info.Isolated = append([]sim.NodeID(nil), b.part.info.Isolated...)
+		for id := range b.part.pending {
+			ps.pending[id] = true
+		}
+		for id := range b.part.wasIso {
+			ps.wasIso[id] = true
+		}
+		b2.part = ps
 	}
 	return b2
 }
@@ -277,10 +347,15 @@ func (b *Base) noteRestart(id sim.NodeID) {
 
 // NoteRejoin records that the cluster acknowledged the node's
 // re-registration; a no-op for nodes that were never restarted, so
-// first-boot registration paths can call it unconditionally.
+// first-boot registration paths can call it unconditionally. It also
+// settles the partition-reconnection ledger: a node re-admitted after
+// being disconnected under a cut is no longer pending.
 func (b *Base) NoteRejoin(id sim.NodeID) {
 	if ri := b.recov[id]; ri != nil {
 		ri.Rejoined = true
+	}
+	if b.part != nil {
+		delete(b.part.pending, id)
 	}
 }
 
@@ -319,9 +394,110 @@ func (b *Base) RestartedNodes() []sim.NodeID {
 	return out
 }
 
+// notePartition opens the partition ledger for one cut; the Partition
+// helper calls it after the engine accepted the cut.
+func (b *Base) notePartition(isolated []sim.NodeID) {
+	if b.part == nil {
+		b.part = &partState{
+			pending: make(map[sim.NodeID]bool),
+			wasIso:  make(map[sim.NodeID]bool),
+		}
+	}
+	b.part.info.Partitions++
+	b.part.info.Isolated = append([]sim.NodeID(nil), isolated...)
+	b.part.info.Healed = false
+	for _, id := range isolated {
+		b.part.wasIso[id] = true
+	}
+}
+
+// noteHeal marks the most recent cut healed; the Heal helper calls it.
+func (b *Base) noteHeal() {
+	if b.part != nil {
+		b.part.info.Healed = true
+	}
+}
+
+// NotePartitionLost records that the cluster disconnected a node —
+// declared it lost, deregistered it — because an open cut separated
+// observer from it. The node enters the reconnection ledger: unless a
+// later NoteRejoin re-admits it, the run ends with it orphaned (the
+// never-heals oracle). A no-op unless an open cut actually separates
+// the two nodes and the lost node is still alive, so the liveness-
+// timeout paths of the systems can call it unconditionally.
+func (b *Base) NotePartitionLost(observer, lost sim.NodeID) {
+	if b.part == nil || !b.Eng.PartitionCuts(observer, lost) {
+		return
+	}
+	if n := b.Eng.Node(lost); n == nil || !n.Alive() {
+		return
+	}
+	b.part.pending[lost] = true
+}
+
+// NoteSplitBrain records an ownership reassignment made while the
+// previous owner is alive on the far side of an open cut: two alive
+// nodes now each believe they own the same work. A no-op unless an open
+// cut actually separates observer from owner and the owner is alive, so
+// reassignment paths can call it unconditionally — on a crash or a
+// graceful shutdown the old owner is dead and nothing is recorded.
+func (b *Base) NoteSplitBrain(observer, owner sim.NodeID) {
+	if b.part == nil || !b.Eng.PartitionCuts(observer, owner) {
+		return
+	}
+	if n := b.Eng.Node(owner); n == nil || !n.Alive() {
+		return
+	}
+	b.part.info.SplitBrains++
+}
+
+// NoteStaleRead records that observer rejected state from a node a cut
+// once separated it from — a superseded attempt, an old epoch —
+// typically when held or resumed traffic lands after the heal. With
+// single-node cuts, observer and from were separated iff either was in
+// the isolated set, so the gate checks both ends; a no-op when no cut
+// ever involved the pair, so stale-rejection paths can call it
+// unconditionally.
+func (b *Base) NoteStaleRead(observer, from sim.NodeID) {
+	if b.part == nil {
+		return
+	}
+	if !b.part.wasIso[from] && !b.part.wasIso[observer] {
+		return
+	}
+	b.part.info.StaleReads++
+}
+
+// Partition implements PartitionReporter.
+func (b *Base) Partition() (PartitionInfo, bool) {
+	if b.part == nil {
+		return PartitionInfo{}, false
+	}
+	return b.part.info, true
+}
+
+// Unreconnected implements PartitionReporter.
+func (b *Base) Unreconnected() []sim.NodeID {
+	if b.part == nil {
+		return nil
+	}
+	out := make([]sim.NodeID, 0, len(b.part.pending))
+	for id := range b.part.pending {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // restartRecorder is how the Restart helper reaches the embedded Base's
 // unexported bookkeeping through the Run interface.
 type restartRecorder interface{ noteRestart(id sim.NodeID) }
+
+// partitionRecorder is restartRecorder's twin for the partition ledger.
+type partitionRecorder interface {
+	notePartition(isolated []sim.NodeID)
+	noteHeal()
+}
 
 // Restart revives a dead node of the run and drives the system's rejoin
 // protocol: the engine retires the previous incarnation, the recovery
@@ -340,6 +516,39 @@ func Restart(run Run, id sim.NodeID) bool {
 		rr.noteRestart(id)
 	}
 	rj.Rejoin(id)
+	return true
+}
+
+// Partition opens a network cut on the run, isolating the given nodes
+// from the rest of the cluster, and opens the run's partition ledger.
+// It returns false if the engine refused the cut (one is already open,
+// or no listed node exists).
+func Partition(run Run, isolated []sim.NodeID, mode sim.PartitionMode, delay sim.Time) bool {
+	if !run.Engine().Partition(isolated, mode, delay) {
+		return false
+	}
+	if pr, ok := run.(partitionRecorder); ok {
+		pr.notePartition(isolated)
+	}
+	return true
+}
+
+// Heal closes the run's open cut and drives the system's reconnection
+// protocol: the engine re-sends any held messages, the ledger marks the
+// cut healed, and the run's Healed hook (if the system implements
+// Healer) re-admits nodes the cluster disconnected while they were
+// unreachable. Returns false if no cut was open.
+func Heal(run Run) bool {
+	iso := run.Engine().Heal()
+	if iso == nil {
+		return false
+	}
+	if pr, ok := run.(partitionRecorder); ok {
+		pr.noteHeal()
+	}
+	if h, ok := run.(Healer); ok {
+		h.Healed(iso)
+	}
 	return true
 }
 

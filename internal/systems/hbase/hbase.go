@@ -392,9 +392,12 @@ func (rn *run) waitForServers() {
 }
 
 func (rn *run) probeAck(rs sim.NodeID) {
-	if si, ok := rn.onlineServers[rs]; ok {
-		si.acked = true
+	si, ok := rn.onlineServers[rs]
+	if !ok {
+		rn.NoteStaleRead(rn.master, rs)
+		return
 	}
+	si.acked = true
 }
 
 // activate carries HBASE-22017: the unchecked dereference of an online
@@ -487,7 +490,9 @@ func (rn *run) assignRegion(region string) {
 
 // regionOpened starts the PE client once every region is open.
 func (rn *run) regionOpened(region string, rs sim.NodeID) {
-	_ = rs
+	if _, ok := rn.onlineServers[rs]; !ok {
+		rn.NoteStaleRead(rn.master, rs)
+	}
 	rn.opened[region] = true
 	if !rn.peStarted && len(rn.opened) == rn.nRegions {
 		rn.peStarted = true
@@ -551,6 +556,12 @@ func (rn *run) serverRemoved(rs sim.NodeID, why string) {
 	si, ok := rn.onlineServers[rs]
 	if !ok {
 		return
+	}
+	rn.NotePartitionLost(rn.master, rs)
+	if len(si.regions) > 0 {
+		// Reassigning regions still served on the far side of a cut gives
+		// every one of them two owners: split brain.
+		rn.NoteSplitBrain(rn.master, rs)
 	}
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.master, "hbase.master.HMaster.serverRemoved")()
@@ -626,6 +637,28 @@ func (rn *run) rejoinMaster() {
 		}
 	}
 	rn.curl()
+}
+
+// Healed implements cluster.Healer: RegionServers whose ZooKeeper
+// session expired during the cut re-run the full startup sequence — the
+// master no longer tracks them, so resumed session beats alone would
+// never re-admit them. All RSs are checked, not just the isolated set:
+// a master-side cut expires servers that were never themselves
+// isolated.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	if !e.Node(rn.master).Alive() {
+		return
+	}
+	for _, rs := range rn.rss {
+		if _, ok := rn.onlineServers[rs]; ok {
+			continue
+		}
+		if n := e.Node(rs); n == nil || !n.Alive() {
+			continue
+		}
+		e.AfterKeyed(rs, 10*sim.Millisecond, keyBoot, nil)
+	}
 }
 
 // CloneRun implements cluster.Cloneable; see the toysys template for the

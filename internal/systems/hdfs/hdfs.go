@@ -338,6 +338,12 @@ func (rn *run) removeDatanode(dn sim.NodeID, why string) {
 	if !ok {
 		return
 	}
+	rn.NotePartitionLost(rn.nn, dn)
+	if len(di.blocks) > 0 {
+		// Re-replicating blocks whose replica still lives on the far side
+		// of a cut doubles the authoritative copies: split brain.
+		rn.NoteSplitBrain(rn.nn, dn)
+	}
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.removeDatanode")()
 	delete(rn.datanodes, dn)
@@ -403,7 +409,11 @@ func (rn *run) blockReceived(dn sim.NodeID, blockID string) {
 	defer pb.Enter(rn.nn, "hdfs.server.namenode.NameNode.blockReceived")()
 	bi := rn.blocks[blockID]
 	di := rn.datanodes[dn]
-	if bi == nil || di == nil {
+	if di == nil {
+		rn.NoteStaleRead(rn.nn, dn)
+		return
+	}
+	if bi == nil {
 		return
 	}
 	bi.locations = append(removeLoc(bi.locations, dn), dn)
@@ -503,6 +513,7 @@ func (rn *run) readFile(path string, tries int) {
 	pb.PreRead(rn.nn, PtDNGet, string(loc), blockID)
 	di := rn.datanodes[loc]
 	if di == nil {
+		rn.NoteStaleRead(rn.nn, loc)
 		if rn.r.FixRemovedDN {
 			rn.Logger(rn.nn, "FSNamesystem").Warn("Location ", loc, " gone, retrying ", path)
 			e.AfterKeyed(rn.nn, 500*sim.Millisecond, keyRead, readArg{path: path, tries: tries + 1})
@@ -659,6 +670,32 @@ func (rn *run) resumeClient() {
 		} else if rn.readPhase && !rn.fileRead[path] {
 			rn.readFile(path, 0)
 		}
+	}
+}
+
+// Healed implements cluster.Healer: datanodes the NameNode deactivated
+// during the cut re-run registration plus a full block report — the NN
+// no longer tracks them, so resumed heartbeats alone would never
+// re-admit them. All DNs are checked, not just the isolated set: an
+// NN-side cut deactivates nodes that were never themselves isolated.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	if !e.Node(rn.nn).Alive() {
+		return
+	}
+	ids := make([]sim.NodeID, 0, len(rn.dns))
+	for id := range rn.dns {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		if _, ok := rn.datanodes[id]; ok {
+			continue
+		}
+		if n := e.Node(id); n == nil || !n.Alive() {
+			continue
+		}
+		e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, true)
 	}
 }
 

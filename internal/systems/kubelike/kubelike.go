@@ -195,7 +195,7 @@ func (rn *run) apiService(e *sim.Engine, m sim.Message) {
 	case "register":
 		rn.registerNode(m.From)
 	case "podRunning":
-		rn.podRunning(m.Body.(string))
+		rn.podRunning(m.From, m.Body.(string))
 	}
 }
 
@@ -229,6 +229,15 @@ func (rn *run) removeNode(n sim.NodeID, why string) {
 	}
 	if !rn.nodes[n] {
 		return
+	}
+	rn.NotePartitionLost(rn.api, n)
+	for _, p := range rn.pods {
+		if p.node == n {
+			// Recreating pods a cut-off kubelet is still running doubles
+			// every one of them: split brain.
+			rn.NoteSplitBrain(rn.api, n)
+			break
+		}
 	}
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.api, "k8s.controller.NodeController.removeNode")()
@@ -345,6 +354,27 @@ func (rn *run) kubeletService(e *sim.Engine, m sim.Message) {
 	e.AfterKeyed(m.To, 200*sim.Millisecond, keyRunPod, m.Body.(string))
 }
 
+// Healed implements cluster.Healer: kubelets the node controller marked
+// NotReady during the cut re-register — the controller no longer tracks
+// them, so resumed status beats alone would never re-admit them. All
+// kubelets are checked, not just the isolated set: an API-server-side
+// cut evicts nodes that were never themselves isolated.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	if !e.Node(rn.api).Alive() {
+		return
+	}
+	for _, k := range rn.lets {
+		if rn.nodes[k] {
+			continue
+		}
+		if n := e.Node(k); n == nil || !n.Alive() {
+			continue
+		}
+		e.AfterKeyed(k, 10*sim.Millisecond, keyBoot, nil)
+	}
+}
+
 // CloneRun implements cluster.Cloneable (recipe in the toysys template):
 // deep-copy the node set and pods, re-wire both roles, rebuild the
 // liveness monitor on the clone.
@@ -376,8 +406,13 @@ func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
 	return rn2
 }
 
-func (rn *run) podRunning(uid string) {
+func (rn *run) podRunning(from sim.NodeID, uid string) {
 	defer rn.Cfg.Probe.Enter(rn.api, "k8s.controller.NodeController.podRunning")()
+	if !rn.nodes[from] {
+		// Status report from a node the controller already evicted — stale
+		// when the reporter was cut off and its report crossed the heal.
+		rn.NoteStaleRead(rn.api, from)
+	}
 	running := 0
 	for _, p := range rn.pods {
 		if p.uid == uid {

@@ -15,6 +15,14 @@ func (r *Runner) Program() *ir.Program {
 		Name: "toy.Worker",
 		Methods: []*ir.Method{
 			{Name: "runTask", Public: true, Instrs: []*ir.Instr{{Op: ir.OpReturn}}},
+			{Name: "boot", Public: true, Instrs: []*ir.Instr{
+				{Op: ir.OpLog, Log: &ir.LogStmt{Level: "info",
+					Segments: []string{"Worker ", " connecting to master ", ""},
+					Args: []ir.LogArg{
+						{Name: "workerId", Type: "toy.WorkerId"},
+						{Name: "masterId", Type: "toy.WorkerId"}}}},
+				{Op: ir.OpReturn},
+			}},
 		},
 	})
 	p.AddClass(&ir.Class{

@@ -171,6 +171,11 @@ func (rn *run) wireWorker(n *sim.Node) {
 	id := n.ID
 	n.Register("worker", sim.ServiceFunc(rn.workerService))
 	n.Handle(keyBoot, func(e *sim.Engine, self sim.NodeID, _ any) {
+		// The worker-side sighting of the master gives the partition
+		// tracker a second per-node view (internal/partition): until the
+		// master's own view records this worker back, registration is
+		// asymmetric — the consistency-guided injection window.
+		rn.Logger(self, "Worker").Info("Worker ", self, " connecting to master ", rn.master)
 		e.Send(self, rn.master, "master", "register", nil)
 		sim.StartHeartbeats(e, self, rn.master, sim.HeartbeatConfig{
 			Period: sim.Second, Timeout: 3 * sim.Second, Service: "master", Kind: "heartbeat",
@@ -259,11 +264,14 @@ func (rn *run) deregister(w sim.NodeID) {
 	rn.reassignFrom(w)
 }
 
-// handleLost is the liveness-timeout path (crash detection).
+// handleLost is the liveness-timeout path (crash detection). When the
+// silence is a network cut rather than a death, the departed worker is
+// alive on the far side: record it in the reconnection ledger.
 func (rn *run) handleLost(w sim.NodeID) {
 	if !rn.Eng.Node(rn.master).Alive() {
 		return
 	}
+	rn.NotePartitionLost(rn.master, w)
 	defer rn.Cfg.Probe.Enter(rn.master, "toy.Master.handleLost")()
 	delete(rn.registered, w)
 	rn.Cfg.Probe.PostWrite(rn.master, PtLostRemove, string(w))
@@ -279,6 +287,9 @@ func (rn *run) reassignFrom(w sim.NodeID) {
 		if t.complete || t.worker != w {
 			continue
 		}
+		// If w is alive across an open cut, it is still running this
+		// task: the reassignment creates a second owner (split brain).
+		rn.NoteSplitBrain(rn.master, w)
 		if rn.r.FixPostWrite {
 			delete(rn.pending, t.id) // the MR-3858 fix
 		}
@@ -352,6 +363,29 @@ func (rn *run) Rejoin(id sim.NodeID) {
 	rn.wireWorker(e.Node(id))
 	rn.Logger(id, "Worker").Info("Worker ", id, " restarted, re-registering")
 	e.AfterKeyed(id, 10*sim.Millisecond, keyBoot, nil)
+}
+
+// ---- partition heal (cluster.Healer) ----
+
+// Healed implements cluster.Healer; like Rejoin it is the template for
+// authoring partition recovery in a new system (see examples/newsystem).
+// A healed cut restores connectivity but not membership: the master's
+// failure detector deregistered every worker that went silent behind the
+// cut, and it ignores heartbeats from forgotten workers, so resumed
+// traffic alone never re-admits them. Re-initiate the join protocol for
+// every alive worker the master no longer tracks — the normal keyBoot
+// path, exactly as a restarted worker rejoins.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	for _, w := range rn.workers {
+		if _, ok := rn.registered[w]; ok {
+			continue
+		}
+		if n := e.Node(w); n == nil || !n.Alive() {
+			continue
+		}
+		e.AfterKeyed(w, 10*sim.Millisecond, keyBoot, nil)
+	}
 }
 
 // ---- mid-run forking (cluster.Cloneable) ----
@@ -442,6 +476,7 @@ func (rn *run) commitPending(from sim.NodeID, cm commitMsg) {
 	pb.PreRead(rn.master, PtCommitGet, string(from))
 	wi := rn.registered[from]
 	if wi == nil {
+		rn.NoteStaleRead(rn.master, from)
 		if rn.r.FixPreRead {
 			// The fix: validate the worker before using it.
 			rn.Logger(rn.master, "Master").Error("Ignoring commit from removed worker ", from)
@@ -458,6 +493,7 @@ func (rn *run) commitPending(from sim.NodeID, cm commitMsg) {
 
 	// Stale-attempt commit check (this is the check TOY-2 corrupts).
 	if prev, ok := rn.pending[cm.taskID]; ok && prev != cm.attemptID {
+		rn.NoteStaleRead(rn.master, from)
 		rn.Witness(BugPostWrite)
 		e.Throw(rn.master, "CommitContention@toy.Master.commitPending",
 			fmt.Sprintf("task %s pending under %s, rejecting %s", cm.taskID, prev, cm.attemptID), true)
@@ -486,6 +522,7 @@ func (rn *run) doneCommit(from sim.NodeID, cm commitMsg) {
 	defer pb.Enter(rn.master, "toy.Master.doneCommit")()
 	// Sanity-checked read of pending (not a crash point).
 	if rn.pending[cm.taskID] != cm.attemptID {
+		rn.NoteStaleRead(rn.master, from)
 		rn.Logger(rn.master, "Master").Warn("Stale doneCommit of ", cm.attemptID)
 		return
 	}

@@ -184,6 +184,7 @@ func (rn *run) amCommitPending(tm *taskMsg) {
 			// The fix: a re-attempt supersedes the vanished committer.
 			delete(rn.commits, tm.taskID)
 		} else {
+			rn.NoteStaleRead(rn.amNode, tm.node)
 			rn.Witness(BugStaleCommit)
 			e.Throw(rn.amNode, "CommitContention@TaskImpl.commitPending",
 				"task "+tm.taskID+" pending under "+prev+", rejecting "+tm.attemptID, true)
@@ -219,6 +220,7 @@ func (rn *run) amDoneCommit(tm *taskMsg) {
 	defer pb.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.doneCommit")()
 	// Sanity-checked read of the pending commit (not a crash point).
 	if rn.commits[tm.taskID] != tm.attemptID {
+		rn.NoteStaleRead(rn.amNode, tm.node)
 		rn.Logger(rn.amNode, "TaskImpl").Warn("Stale doneCommit of ", tm.attemptID)
 		return
 	}
@@ -262,6 +264,9 @@ func (rn *run) amContainerLost(cm *contMsg) {
 	defer rn.Cfg.Probe.Enter(rn.amNode, "mapreduce.v2.app.MRAppMaster.containerLost")()
 	for _, t := range rn.maps {
 		if t.container == cm.containerID && !t.done {
+			// Re-running a task whose attempt is still executing on the far
+			// side of a cut leaves two attempts racing for one task.
+			rn.NoteSplitBrain(rn.amNode, cm.node)
 			rn.Logger(rn.amNode, "TaskAttemptImpl").Warn(
 				"Container ", cm.containerID, " of ", t.attemptID, " lost; retrying task")
 			rn.retryTask(t.id)

@@ -445,6 +445,7 @@ func (rn *run) nodeRemoved(nm sim.NodeID, why string) {
 	if !ok {
 		return
 	}
+	rn.NotePartitionLost(rn.rm, nm)
 	pb := rn.Cfg.Probe
 	defer pb.Enter(rn.rm, "yarn.resourcemanager.ResourceManager.nodeRemoved")()
 	delete(rn.nodes, nm)
@@ -462,6 +463,9 @@ func (rn *run) nodeRemoved(nm sim.NodeID, why string) {
 func (rn *run) lostContainers(nm sim.NodeID, sn *schedNode) {
 	if rn.app != nil && rn.app.currentAttempt != nil &&
 		rn.app.currentAttempt.node == nm && rn.app.currentAttempt.state != "FINISHED" {
+		// Launching a replacement AM while the old one is alive across a
+		// cut is a split brain: two masters for one application.
+		rn.NoteSplitBrain(rn.rm, nm)
 		rn.amUp = false
 		rn.failAttempt(rn.app)
 		return
@@ -568,6 +572,7 @@ func (rn *run) completeContainer(cm *contMsg) {
 	pb.PreRead(rn.rm, PtCompleteGet, string(cm.node), cm.containerID)
 	sn := rn.nodes[cm.node]
 	if sn == nil {
+		rn.NoteStaleRead(rn.rm, cm.node)
 		if rn.r.FixCompleteNPE {
 			rn.Logger(rn.rm, "AbstractYarnScheduler").Error(
 				"Container ", cm.containerID, " completed on removed node ", cm.node)
@@ -717,6 +722,28 @@ func (rn *run) rejoinRM() {
 		e.AfterKeyed(rn.rm, 200*sim.Millisecond, keyLaunchAM, nil)
 	}
 	rn.curl()
+}
+
+// Healed implements cluster.Healer: when a cut closes, any NodeManager
+// the RM deactivated during the partition must re-run the registration
+// protocol — the RM's liveness monitor no longer tracks it, so resumed
+// heartbeats alone would never re-admit it. All NMs are checked, not
+// just the isolated set: an RM-side cut deactivates nodes that were
+// never themselves isolated.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	if !e.Node(rn.rm).Alive() {
+		return
+	}
+	for _, nm := range rn.nms {
+		if _, ok := rn.nodes[nm]; ok {
+			continue
+		}
+		if n := e.Node(nm); n == nil || !n.Alive() {
+			continue
+		}
+		e.AfterKeyed(nm, 10*sim.Millisecond, keyBoot, nil)
+	}
 }
 
 // CloneRun implements cluster.Cloneable; see the toysys template for the

@@ -79,14 +79,18 @@ type run struct {
 	leader  sim.NodeID
 
 	// Per-node replicated trees (the full-copy property) and leader-ping
-	// bookkeeping.
-	trees    map[sim.NodeID]map[string]*znode
-	lastPing map[sim.NodeID]sim.Time
+	// bookkeeping. prevLeader remembers who a takeover deposed, so a read
+	// missing data the old leader never replicated can name its owner.
+	trees      map[sim.NodeID]map[string]*znode
+	lastPing   map[sim.NodeID]sim.Time
+	prevLeader sim.NodeID
 
-	// SmokeTest progress.
+	// SmokeTest progress. stalled marks a leader that suspended commits
+	// after losing quorum to a cut; Healed or a takeover resumes it.
 	nZnodes int
 	phase   int // 0=create 1=set 2=get 3=delete
 	idx     int
+	stalled bool
 }
 
 // NewRun implements cluster.Runner.
@@ -153,15 +157,19 @@ func (rn *run) checkLeader(self sim.NodeID) {
 	if rn.Status() != cluster.Running || rn.leader == self {
 		return
 	}
-	if ln := e.Node(rn.leader); ln != nil && ln.Alive() {
-		return
-	}
+	// The watchdog judges the leader by its pings alone, not by engine
+	// liveness: a leader alive on the far side of a network cut is just as
+	// gone as a crashed one. A healthy leader pings every second, so the
+	// 3-second staleness threshold never fires on a reachable leader.
 	if e.Now()-rn.lastPing[self] <= 3*sim.Second {
 		return
 	}
-	// Lowest surviving member wins the election.
+	// Lowest surviving member wins the election. Members on the far side
+	// of an open cut are not candidates — self cannot hear from them any
+	// more than from a dead node. This is what lets a minority elect
+	// itself during a partition: the classic split-brain.
 	for _, m := range rn.members {
-		if n := e.Node(m); n != nil && n.Alive() {
+		if n := e.Node(m); n != nil && n.Alive() && !e.PartitionCuts(self, m) {
 			if m != self {
 				return
 			}
@@ -170,6 +178,12 @@ func (rn *run) checkLeader(self sim.NodeID) {
 	}
 	old := rn.leader
 	rn.leader = self
+	rn.prevLeader = old
+	rn.stalled = false
+	// Taking over while the deposed leader still serves on the far side
+	// of a cut leaves the ensemble with two leaders.
+	rn.NoteSplitBrain(self, old)
+	rn.NotePartitionLost(self, old)
 	e.Throw(self, "IOException@QuorumCnxManager.connectOne",
 		fmt.Sprintf("leader %s unreachable", old), true)
 	rn.Logger(self, "FastLeaderElection").Warn("Leader ", old, " lost; ", self, " taking over")
@@ -211,6 +225,32 @@ func (rn *run) step() {
 func (rn *run) proposal(kind, path, data string) {
 	e, pb := rn.Eng, rn.Cfg.Probe
 	defer pb.Enter(rn.leader, "zookeeper.server.quorum.Leader.replicate")()
+	// A leader cut off from a quorum of the ensemble cannot commit: it
+	// suspends the workload until the cut heals (Healed resumes it) or a
+	// follower watchdog takes over. Only open cuts suspend — the leader
+	// always committed optimistically past crashed followers, and that
+	// behavior must not change under crash-only campaigns.
+	reachable := 1
+	cutOff := false
+	for _, m := range rn.members {
+		if m == rn.leader {
+			continue
+		}
+		if e.PartitionCuts(rn.leader, m) {
+			cutOff = true
+			continue
+		}
+		if n := e.Node(m); n != nil && n.Alive() {
+			reachable++
+		}
+	}
+	if cutOff && reachable*2 <= len(rn.members) {
+		e.Throw(rn.leader, "IOException@QuorumCnxManager.connectOne",
+			fmt.Sprintf("cannot replicate %s of %s: no quorum", kind, path), true)
+		rn.Logger(rn.leader, "Leader").Warn("Leader ", rn.leader, " lost quorum; suspending commits")
+		rn.stalled = true
+		return
+	}
 	quorum := 1
 	for _, m := range rn.members {
 		if m == rn.leader {
@@ -256,6 +296,11 @@ func (rn *run) getNode(path string) {
 	pb.PreRead(rn.leader, PtZNodeGet, path)
 	zn := rn.trees[rn.leader][path]
 	if zn == nil {
+		// The znode exists on the deposed leader but was never replicated
+		// here: this read is stale.
+		if rn.prevLeader != "" {
+			rn.NoteStaleRead(rn.leader, rn.prevLeader)
+		}
 		e.Throw(rn.leader, "NoNodeException@DataTree.getNode", path, true)
 		rn.Logger(rn.leader, "DataTree").Warn("Read of missing znode ", path)
 	}
@@ -316,21 +361,48 @@ func (rn *run) Rejoin(id sim.NodeID) {
 	e.Send(id, rn.leader, "peer", "rejoin", nil)
 }
 
+// Healed implements cluster.Healer: every surviving non-leader peer
+// re-announces itself to the current leader so the quorum bookkeeping
+// (and a deposed leader cut off mid-reign) reconciles — resumed pings
+// alone carry no rejoin semantics.
+func (rn *run) Healed(isolated []sim.NodeID) {
+	e := rn.Eng
+	for _, m := range rn.members {
+		if m == rn.leader {
+			continue
+		}
+		if n := e.Node(m); n == nil || !n.Alive() {
+			continue
+		}
+		rn.lastPing[m] = e.Now()
+		e.Send(m, rn.leader, "peer", "rejoin", nil)
+	}
+	// A leader that suspended commits for lack of quorum has it back now.
+	if rn.stalled {
+		rn.stalled = false
+		if n := e.Node(rn.leader); n != nil && n.Alive() {
+			e.AfterKeyed(rn.leader, stepGap, keyStep, nil)
+		}
+	}
+}
+
 // CloneRun implements cluster.Cloneable (recipe in the toysys template):
 // deep-copy every peer's replicated tree and the ping bookkeeping, then
 // re-wire all peers. ZooKeeper has no liveness monitor — its watchdog is
 // the keyCheckLeader series already in the cloned queue.
 func (rn *run) CloneRun(cc cluster.CloneContext) cluster.Run {
 	rn2 := &run{
-		Base:     rn.CloneBase(cc),
-		r:        rn.r,
-		members:  append([]sim.NodeID(nil), rn.members...),
-		leader:   rn.leader,
-		trees:    make(map[sim.NodeID]map[string]*znode, len(rn.trees)),
-		lastPing: make(map[sim.NodeID]sim.Time, len(rn.lastPing)),
-		nZnodes:  rn.nZnodes,
-		phase:    rn.phase,
-		idx:      rn.idx,
+		Base:       rn.CloneBase(cc),
+		r:          rn.r,
+		members:    append([]sim.NodeID(nil), rn.members...),
+		leader:     rn.leader,
+		trees:      make(map[sim.NodeID]map[string]*znode, len(rn.trees)),
+		lastPing:   make(map[sim.NodeID]sim.Time, len(rn.lastPing)),
+		prevLeader: rn.prevLeader,
+		nZnodes:    rn.nZnodes,
+		phase:      rn.phase,
+		idx:        rn.idx,
+		stalled:    rn.stalled,
 	}
 	for m, tree := range rn.trees {
 		t2 := make(map[string]*znode, len(tree))

@@ -2,6 +2,7 @@ package trigger
 
 import (
 	"repro/internal/campaign"
+	"repro/internal/crashpoint"
 	"repro/internal/triage"
 )
 
@@ -21,13 +22,22 @@ func NormalizeSignature(sig string) string { return triage.NormalizeException(si
 // the scenario, the dynamic stack, the seed and the scale.
 func RunRecordOf(system, kind string, run int, seed int64, scale int, rep Report) campaign.RunRecord {
 	rr := campaign.RunRecord{
-		System:     system,
-		Campaign:   kind,
-		Run:        run,
-		Seed:       seed,
-		Scale:      scale,
-		Point:      string(rep.Dyn.Point),
-		Scenario:   rep.Dyn.Scenario.String(),
+		System:   system,
+		Campaign: kind,
+		Run:      run,
+		Seed:     seed,
+		Scale:    scale,
+		Point:    string(rep.Dyn.Point),
+		// The scenario string is the full injection identity: partition
+		// runs persist as "pre-read+partition", guided ones with their
+		// ordinal ("pre-read+partition@42"), so confirmation can rebuild
+		// the exact cluster (crashpoint.ParseInjection inverts it).
+		Scenario: crashpoint.Injection{
+			Scenario:  rep.Dyn.Scenario,
+			Partition: rep.Partitioned,
+			Guided:    rep.Guided,
+			Ordinal:   rep.GuidedOrdinal,
+		}.String(),
 		Stack:      rep.Dyn.Stack,
 		Target:     string(rep.Target),
 		Outcome:    rep.Outcome.String(),

@@ -48,7 +48,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/crashpoint"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
 	"repro/internal/obs"
@@ -460,17 +459,7 @@ func (t *Tester) armAndDrive(run int, d probe.DynPoint, ps pointSnapshot, sysRun
 			return
 		}
 		rep.Target = target
-		if d.Scenario == crashpoint.PreRead {
-			e.Shutdown(target)
-		} else {
-			e.Crash(target)
-		}
-		if f := lastFault(e); f != nil {
-			rep.Injected = f
-		}
-		if t.Recovery != nil {
-			t.scheduleRestart(sysRun, &rep, target)
-		}
+		t.inject(sysRun, &rep, d, target)
 	}
 	t.emitPhase(run, "setup", time.Since(setupStart), 0)
 

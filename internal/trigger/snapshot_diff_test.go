@@ -117,6 +117,33 @@ func TestSnapshotCampaignsMatchLegacyEverySystem(t *testing.T) {
 	}
 }
 
+// TestPartitionCampaignsMatchLegacyEverySystem is the partition-family
+// variant of the differential acceptance oracle: on all seven systems,
+// the snapshot-forked partition campaign (cuts instead of crashes,
+// judged by the split-brain / stale-read / never-heals oracles) must
+// reproduce the full-replay partition campaign exactly.
+func TestPartitionCampaignsMatchLegacyEverySystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential campaigns on all systems")
+	}
+	scale := oracleScale(t)
+	for _, r := range append(all.Runners(), all.Extensions()...) {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			tester, points := snapshotFixture(t, r, 11, scale)
+			if len(points) == 0 {
+				t.Fatal("profiling collected no dynamic points")
+			}
+			tester.Partition = &trigger.PartitionOptions{}
+			plan := tester.BuildSnapshotPlan()
+			if plan.Points() == 0 {
+				t.Fatal("reference pass captured no points")
+			}
+			diffCampaigns(t, tester, plan, points)
+		})
+	}
+}
+
 // TestCloneForksMatchLeanReplayEverySystem is the clone-vs-replay
 // equivalence oracle: on all seven systems, forking every crash point by
 // Engine.Clone (resume a deep-copied run mid-flight) and by lean replay

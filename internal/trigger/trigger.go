@@ -48,15 +48,19 @@ const (
 	RejoinNoWork                        // restarted node rejoined but got no work
 	NeverRejoined                       // restarted node never rejoined the cluster
 	DuplicateIncarnation                // two incarnations of one node online at once
+	StaleRead                           // cluster accepted/rejected state from a formerly-isolated node
+	SplitBrain                          // work owned on both sides of an open cut at once
+	NeverHeals                          // cut healed but an alive node never reconnected
 )
 
 // MaxOutcome is the highest defined Outcome, for exhaustive iteration.
-const MaxOutcome = DuplicateIncarnation
+const MaxOutcome = NeverHeals
 
 var outcomeNames = [...]string{
 	"not-hit", "unresolved", "ok", "timeout-issue",
 	"uncommon-exception", "hang", "job-failure", "harness-error",
 	"rejoin-no-work", "never-rejoined", "duplicate-incarnation",
+	"stale-read", "split-brain", "never-heals",
 }
 
 func (o Outcome) String() string {
@@ -74,7 +78,8 @@ func (o Outcome) String() string {
 func (o Outcome) IsBug() bool {
 	switch o {
 	case JobFailure, Hang, UncommonException,
-		RejoinNoWork, NeverRejoined, DuplicateIncarnation:
+		RejoinNoWork, NeverRejoined, DuplicateIncarnation,
+		StaleRead, SplitBrain, NeverHeals:
 		return true
 	}
 	return false
@@ -84,6 +89,12 @@ func (o Outcome) IsBug() bool {
 // oracles that only a restart campaign can produce.
 func (o Outcome) IsRecoveryBug() bool {
 	return o == RejoinNoWork || o == NeverRejoined || o == DuplicateIncarnation
+}
+
+// IsPartitionBug reports whether the outcome is one of the partition
+// oracles that only a network-cut campaign can produce.
+func (o Outcome) IsPartitionBug() bool {
+	return o == StaleRead || o == SplitBrain || o == NeverHeals
 }
 
 // Baseline captures fault-free behaviour for the oracle.
@@ -111,6 +122,15 @@ type Report struct {
 	Witnesses []string
 	// Restarted lists nodes the recovery mode restarted during this run.
 	Restarted []sim.NodeID
+	// Partitioned reports that the injection opened a network cut, and
+	// Healed that the cut was closed before the run ended.
+	Partitioned bool
+	Healed      bool
+	// Guided marks a consistency-guided injection (the cut fired at the
+	// recorded access ordinal GuidedOrdinal, not at the point's first
+	// hit).
+	Guided        bool
+	GuidedOrdinal uint64
 	// Reason carries the workload failure reason, if any.
 	Reason string
 }
@@ -170,6 +190,13 @@ type Tester struct {
 	// the recovery conditions (NeverRejoined, RejoinNoWork,
 	// DuplicateIncarnation).
 	Recovery *RecoveryOptions
+	// Partition, when non-nil, switches the injected fault from a crash
+	// or shutdown to a network cut isolating the target, and extends the
+	// oracle with the partition conditions (StaleRead, SplitBrain,
+	// NeverHeals). Combined with Recovery, the victim is also killed and
+	// restarted inside the cut — partition-aware recovery. See
+	// PartitionOptions.
+	Partition *PartitionOptions
 	// MaxSteps bounds each run's event count; zero means
 	// sim.DefaultMaxSteps. A run that exhausts the budget is reported as
 	// HarnessError (a livelocked model), not as a system bug.
@@ -216,10 +243,19 @@ func (t *Tester) RunDeadline() sim.Time {
 }
 
 // scope labels the Tester's events: the system under test plus the
-// campaign kind ("test", or "recovery" when the recovery oracle is on).
+// campaign kind ("test"; "recovery" when the recovery oracle is on;
+// "partition", "partition-recovery" or "partition-guided" for the
+// network-cut fault family).
 func (t *Tester) scope() obs.Scope {
 	sc := obs.Scope{Campaign: "test"}
-	if t.Recovery != nil {
+	switch {
+	case t.Partition != nil && t.Partition.Guided:
+		sc.Campaign = "partition-guided"
+	case t.Partition != nil && t.Recovery != nil:
+		sc.Campaign = "partition-recovery"
+	case t.Partition != nil:
+		sc.Campaign = "partition"
+	case t.Recovery != nil:
 		sc.Campaign = "recovery"
 	}
 	if t.Runner != nil {
@@ -300,19 +336,7 @@ func (t *Tester) testPoint(run int, d probe.DynPoint) Report {
 			return
 		}
 		rep.Target = target
-		if d.Scenario == crashpoint.PreRead {
-			// Shutdown hooks run synchronously, so by the time the read
-			// proceeds the cluster has fully processed the departure.
-			e.Shutdown(target)
-		} else {
-			e.Crash(target)
-		}
-		if f := lastFault(e); f != nil {
-			rep.Injected = f
-		}
-		if t.Recovery != nil {
-			t.scheduleRestart(sysRun, &rep, target)
-		}
+		t.inject(sysRun, &rep, d, target)
 	}
 	t.emitPhase(run, "setup", time.Since(phaseStart), 0)
 
@@ -328,6 +352,50 @@ func (t *Tester) testPoint(run int, d probe.DynPoint) Report {
 	rep.Outcome = t.classify(fired, resolvedMiss, sysRun, res, rep.NewExceptions, timeoutFactor)
 	t.emitPhase(run, "oracle", time.Since(phaseStart), 0)
 	return rep
+}
+
+// inject performs the armed single injection on target — the crash or
+// synchronous shutdown of the paper's campaigns, or, in partition mode,
+// a network cut isolating the target (optionally followed by the
+// recovery-phase kill/restart INSIDE the cut, and by a scheduled heal).
+// Shared by the full-run path (testPoint), the fork path (armAndDrive)
+// and the guided path, so the fault semantics cannot drift between
+// them.
+func (t *Tester) inject(sysRun cluster.Run, rep *Report, d probe.DynPoint, target sim.NodeID) {
+	e := sysRun.Engine()
+	if po := t.Partition; po != nil {
+		if cluster.Partition(sysRun, []sim.NodeID{target}, po.Mode, po.delay()) {
+			rep.Partitioned = true
+			if f := lastFault(e); f != nil {
+				rep.Injected = f
+			}
+		}
+		if t.Recovery != nil {
+			// Partition-aware recovery: the victim also dies inside the
+			// cut and restarts into it, exercising rejoin-under-partition.
+			if d.Scenario == crashpoint.PreRead {
+				e.Shutdown(target)
+			} else {
+				e.Crash(target)
+			}
+			t.scheduleRestart(sysRun, rep, target)
+		}
+		t.scheduleHeal(sysRun, rep)
+		return
+	}
+	if d.Scenario == crashpoint.PreRead {
+		// Shutdown hooks run synchronously, so by the time the read
+		// proceeds the cluster has fully processed the departure.
+		e.Shutdown(target)
+	} else {
+		e.Crash(target)
+	}
+	if f := lastFault(e); f != nil {
+		rep.Injected = f
+	}
+	if t.Recovery != nil {
+		t.scheduleRestart(sysRun, rep, target)
+	}
 }
 
 // scheduleRestart arms the recovery-phase machinery for one victim: a
@@ -430,9 +498,12 @@ func (t *Tester) classify(fired, resolvedMiss bool, run cluster.Run, res sim.Run
 		return NotHit
 	}
 	var o Outcome
-	if t.Recovery != nil {
+	switch {
+	case t.Partition != nil:
+		o = EvaluatePartition(t.Baseline, run, res, newEx, timeoutFactor, t.Recovery != nil)
+	case t.Recovery != nil:
 		o = EvaluateRecovery(t.Baseline, run, res, newEx, timeoutFactor)
-	} else {
+	default:
 		o = Evaluate(t.Baseline, run, res, newEx, timeoutFactor)
 	}
 	if o == OK && resolvedMiss {
@@ -584,8 +655,14 @@ type Summary struct {
 	// silently droppable either.
 	HarnessErrors int
 	// Restarts counts runs in which at least one node was restarted.
-	Restarts  int
-	ByOutcome map[Outcome]int
+	Restarts int
+	// Partitions counts runs that opened a network cut, Heals the subset
+	// whose cut closed before the run ended, and Guided the runs whose
+	// injection fired at a consistency-violation ordinal.
+	Partitions int
+	Heals      int
+	Guided     int
+	ByOutcome  map[Outcome]int
 	// WitnessedBugs are the distinct seeded-bug IDs attributed across
 	// bug reports, sorted.
 	WitnessedBugs []string
@@ -605,6 +682,15 @@ func Summarize(reports []Report) Summary {
 		s.ByOutcome[r.Outcome]++
 		if len(r.Restarted) > 0 {
 			s.Restarts++
+		}
+		if r.Partitioned {
+			s.Partitions++
+			if r.Healed {
+				s.Heals++
+			}
+		}
+		if r.Guided {
+			s.Guided++
 		}
 		switch {
 		case r.Outcome.IsBug():
