@@ -13,17 +13,26 @@
 //	crashtuner -system yarn -checkpoint yarn.ckpt            # interruptible
 //	crashtuner -system yarn -checkpoint yarn.ckpt -resume    # pick up where it left off
 //	crashtuner -system yarn -triage triage.jsonl             # record failing runs for cttriage
+//
+// Fleet mode splits the campaign across processes: a coordinator plans
+// the job space and leases shards over HTTP, workers execute them, and
+// the output — tables, triage store, metrics — is byte-identical to the
+// single-process campaign at any worker count:
+//
+//	crashtuner -serve :7070 -fleet-systems yarn,hdfs -fleet-dir ckpt/
+//	crashtuner -worker http://127.0.0.1:7070             # as many as you like
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/obs"
+	"repro/internal/fleet"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/systems/all"
@@ -48,78 +57,48 @@ func main() {
 		healMS     = flag.Int64("heal-after", 0, "with -partition: heal the cut this many ms (virtual) after the injection (0: default, negative: never)")
 		holdOpen   = flag.Bool("hold-open", false, "with -partition and -recovery: keep the cut open through the victim's restart")
 		guided     = flag.Bool("guided", false, "with -partition: consistency-guided injection at the first observed invariant violation")
-		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file for the injection campaign")
-		resume     = flag.Bool("resume", false, "resume from -checkpoint, skipping finished points")
-		workers    = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential)")
-		triagePath = flag.String("triage", "", "append one record per failing run to this triage store (JSONL; inspect with cttriage)")
-		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
-		tracePath  = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
+
+		serveAddr  = flag.String("serve", "", "fleet coordinator mode: plan the campaigns and lease shards to workers on this address (e.g. :7070) instead of executing locally")
+		fleetSys   = flag.String("fleet-systems", "", "with -serve: comma-separated systems to plan (default: the -system flag)")
+		shardSize  = flag.Int("shard-size", 8, "with -serve: lease granularity in jobs")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "with -serve: how long a worker owns a shard without posting a result before it is re-queued")
+		fleetDir   = flag.String("fleet-dir", "", "with -serve: directory for per-shard JSONL checkpoints (resumable with -resume)")
+		suppress   = flag.String("suppress", "", "with -serve: suppression file; the scheduler steers lease budget away from suppressed clusters")
+		workerAddr = flag.String("worker", "", "fleet worker mode: lease and execute shards from the coordinator at this base URL")
+		workerName = flag.String("worker-name", "", "with -worker: worker name in leases and logs (default: worker-<pid>)")
 	)
+	var fl cliflags.Flags
+	fl.RegisterCampaign(flag.CommandLine, "")
+	fl.RegisterTriage(flag.CommandLine, "")
+	fl.RegisterObs(flag.CommandLine)
+	fl.RegisterExtras(flag.CommandLine)
 	flag.Parse()
 
-	r, err := all.ByName(*system)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if *serveAddr != "" && *workerAddr != "" {
+		fmt.Fprintln(os.Stderr, "-serve and -worker are mutually exclusive")
 		os.Exit(2)
 	}
-
-	if *obsAddr != "" {
-		addr, stop, err := obs.Serve(*obsAddr, nil)
-		if err != nil {
+	if *workerAddr != "" {
+		if err := runWorker(*workerAddr, *workerName); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(1)
 		}
-		defer stop()
-		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", addr)
-	}
-	sinks := []obs.Sink{obs.NewMetrics(nil)}
-	if *tracePath != "" {
-		tr, err := obs.OpenTrace(*tracePath, *resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer tr.Close()
-		sinks = append(sinks, tr)
+		return
 	}
 
-	fmt.Printf("CrashTuner on %s (workload %s, seed %d, scale %d)\n\n",
-		r.Name(), r.Workload(), *seed, *scale)
-
-	opts := core.Options{
-		Config: campaign.Config{
-			Workers:        *workers,
-			CheckpointPath: *checkpoint,
-			Resume:         *resume,
-			Sink:           obs.Multi(sinks...),
-		},
-		Seed: *seed, Scale: *scale,
-	}
-	if *triagePath != "" {
-		store, err := triage.OpenStore(*triagePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer func() {
-			if err := store.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-		opts.Recorder = triage.NewRecorder(store)
-	}
+	var rc *trigger.RecoveryOptions
 	if *recovery {
-		rc := &trigger.RecoveryOptions{
+		rc = &trigger.RecoveryOptions{
 			RestartDelay:     sim.Time(*restartMS) * sim.Millisecond,
 			SecondFaultDelay: sim.Time(*secondMS) * sim.Millisecond,
 		}
 		if *secondKind == "shutdown" {
 			rc.SecondFaultKind = sim.FaultShutdown
 		}
-		opts.Recovery = rc
 	}
+	var po *trigger.PartitionOptions
 	if *partition {
-		po := &trigger.PartitionOptions{
+		po = &trigger.PartitionOptions{
 			Delay:    sim.Time(*partDelay) * sim.Millisecond,
 			HoldOpen: *holdOpen,
 			Guided:   *guided,
@@ -141,10 +120,55 @@ func main() {
 		case *healMS > 0:
 			po.HealAfter = sim.Time(*healMS) * sim.Millisecond
 		}
-		opts.Partition = po
 	} else if *guided || *holdOpen {
 		fmt.Fprintln(os.Stderr, "-guided and -hold-open require -partition")
 		os.Exit(2)
+	}
+
+	if *serveAddr != "" {
+		systems := strings.Split(*fleetSys, ",")
+		if *fleetSys == "" {
+			systems = []string{*system}
+		}
+		err := runServe(&fl, serveConfig{
+			addr: *serveAddr, systems: systems, seed: *seed, scale: *scale,
+			recovery: rc, partition: po, shardSize: *shardSize,
+			leaseTTL: *leaseTTL, dir: *fleetDir, suppress: *suppress,
+			verbose: *verbose,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	r, err := all.ByName(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rt, err := fl.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := rt.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
+
+	fmt.Printf("CrashTuner on %s (workload %s, seed %d, scale %d)\n\n",
+		r.Name(), r.Workload(), *seed, *scale)
+
+	opts := core.Options{
+		Config:    rt.Config,
+		Seed:      *seed,
+		Scale:     *scale,
+		Recovery:  rc,
+		Partition: po,
 	}
 	res, matcher := core.AnalysisPhase(r, opts)
 	fmt.Printf("Phase 1 — analysis (%v):\n", res.Timing.Analysis.Round(time.Millisecond))
@@ -166,8 +190,20 @@ func main() {
 	core.TestPhase(r, matcher, res, opts)
 	fmt.Printf("Phase 3 — fault-injection testing (%v wall, %v virtual):\n",
 		res.Timing.Test.Round(time.Millisecond), res.Timing.VirtualTest)
-	for _, rep := range res.Reports {
-		if !*verbose && rep.Outcome == trigger.OK {
+	printReports(res.Reports, *verbose)
+	printSummary(res.Summary, *recovery, *partition)
+
+	if *fixed {
+		fmt.Println()
+		fmt.Println(report.FigMetaInfo(r, *seed, *scale))
+	}
+}
+
+// printReports renders the per-point report lines shared by the
+// single-process and fleet paths; non-verbose output elides OK runs.
+func printReports(reports []trigger.Report, verbose bool) {
+	for _, rep := range reports {
+		if !verbose && rep.Outcome == trigger.OK {
 			continue
 		}
 		fmt.Printf("  %-9s %-70s", rep.Outcome, rep.Dyn.Point)
@@ -195,22 +231,148 @@ func main() {
 		}
 		fmt.Println()
 	}
-	s := res.Summary
+}
+
+// printSummary renders the campaign summary lines shared by the
+// single-process and fleet paths.
+func printSummary(s trigger.Summary, recovery, partition bool) {
 	fmt.Printf("\nSummary: %d points tested, %d bug reports (%d distinct), %d timeout issues; seeded bugs detected: %v\n",
 		s.Tested, s.Bugs, s.DistinctBugs, s.TimeoutIssues, s.WitnessedBugs)
-	if *recovery {
+	if recovery {
 		fmt.Printf("Recovery: %d runs restarted their victim; never-rejoined %d, rejoin-no-work %d, duplicate-incarnation %d, harness errors %d\n",
 			s.Restarts, s.ByOutcome[trigger.NeverRejoined], s.ByOutcome[trigger.RejoinNoWork],
 			s.ByOutcome[trigger.DuplicateIncarnation], s.HarnessErrors)
 	}
-	if *partition {
+	if partition {
 		fmt.Printf("Partition: %d runs opened a cut (%d healed, %d guided); split-brain %d, stale-read %d, never-heals %d, harness errors %d\n",
 			s.Partitions, s.Heals, s.Guided, s.ByOutcome[trigger.SplitBrain],
 			s.ByOutcome[trigger.StaleRead], s.ByOutcome[trigger.NeverHeals], s.HarnessErrors)
 	}
+}
 
-	if *fixed {
-		fmt.Println()
-		fmt.Println(report.FigMetaInfo(r, *seed, *scale))
+// serveConfig carries the coordinator-mode parameters from the flag
+// surface to runServe.
+type serveConfig struct {
+	addr      string
+	systems   []string
+	seed      int64
+	scale     int
+	recovery  *trigger.RecoveryOptions
+	partition *trigger.PartitionOptions
+	shardSize int
+	leaseTTL  time.Duration
+	dir       string
+	suppress  string
+	verbose   bool
+}
+
+// runServe plans every requested system's campaign, serves the job
+// space to fleet workers, and renders the same report tables the
+// single-process path prints once the fleet drains.
+func runServe(fl *cliflags.Flags, sc serveConfig) (err error) {
+	rt, err := fl.Open()
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if cerr := rt.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	cfg := fleet.Config{
+		Addr:      sc.addr,
+		ShardSize: sc.shardSize,
+		LeaseTTL:  sc.leaseTTL,
+		Dir:       sc.dir,
+		Resume:    fl.Resume,
+		Sink:      rt.Config.Sink,
+		Recorder:  rt.Config.Recorder,
+	}
+	// Seed the scheduler's "new cluster" judgement from the existing
+	// triage store, and its noise list from the suppression file.
+	if fl.Triage != "" {
+		if _, err := os.Stat(fl.Triage); err == nil {
+			ix, err := triage.Load(fl.Triage)
+			if err != nil {
+				return err
+			}
+			cfg.SeedIndex = ix
+		}
+	}
+	if sc.suppress != "" {
+		sup, err := triage.LoadSuppressions(sc.suppress)
+		if err != nil {
+			return err
+		}
+		cfg.Suppress = sup.Keys()
+	}
+
+	for _, name := range sc.systems {
+		r, err := all.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		opts := core.Options{Seed: sc.seed, Scale: sc.scale, Recovery: sc.recovery, Partition: sc.partition}
+		plan, err := core.PlanFleet(r, core.SharedArtifacts, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("planned %s: %d jobs (%s campaign", r.Name(), len(plan.Jobs), plan.Spec.Campaign)
+		if plan.RetryScale > 0 {
+			fmt.Printf(", not-hit retries at scale %d", plan.RetryScale)
+		}
+		fmt.Println(")")
+		cfg.Plans = append(cfg.Plans, plan)
+	}
+
+	c, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("\nfleet coordinator on http://%s — %d jobs planned (%d restored from checkpoints)\n",
+		c.Addr(), st.Total, st.Restored)
+	fmt.Printf("start workers with: crashtuner -worker http://%s\n\n", c.Addr())
+
+	results := c.Wait()
+	for _, pr := range results {
+		reports := make([]trigger.Report, len(pr.Results))
+		for i, res := range pr.Results {
+			reports[i] = trigger.ResultReport(res)
+		}
+		fmt.Printf("=== %s (%s campaign, seed %d, scale %d) ===\n",
+			pr.Spec.System, pr.Spec.Campaign, pr.Spec.Seed, pr.Spec.Scale)
+		printReports(reports, sc.verbose)
+		printSummary(trigger.Summarize(reports), pr.Spec.Recovery != nil, pr.Spec.Partition != nil)
+		fmt.Println()
+	}
+	st = c.Stats()
+	fmt.Printf("Fleet: %d leases (%d jobs handed out), %d expiries, %d steals, %d duplicate results\n",
+		st.Leases, st.LeasedJobs, st.Expiries, st.Steals, st.Duplicates)
+	// Keep serving briefly so every live worker polls into the 410
+	// "drained" signal and exits cleanly, instead of finding a closed
+	// port and reporting the coordinator dead.
+	c.AwaitWorkers(5 * time.Second)
+	return c.Close()
+}
+
+// runWorker leases and executes shards until the coordinator drains.
+func runWorker(base, name string) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	w := &fleet.Worker{
+		Base:    strings.TrimRight(base, "/"),
+		Name:    name,
+		Factory: core.FleetExecutors(core.SharedArtifacts, all.ByName),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	return w.Run()
 }

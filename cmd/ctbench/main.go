@@ -33,7 +33,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"reflect"
 	"runtime"
@@ -45,9 +44,9 @@ import (
 
 	"repro/internal/benchgate"
 	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dslog"
-	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -70,8 +69,6 @@ func main() {
 		seed        = flag.Int64("seed", 11, "seed")
 		scale       = flag.Int("scale", 1, "workload scale")
 		randomRuns  = flag.Int("random-runs", 200, "runs per system for the random baseline (paper: 3000)")
-		workers     = flag.Int("workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential; output is identical either way)")
-		progress    = flag.Bool("progress", false, "report campaign progress on stderr")
 		useCache    = flag.Bool("artifact-cache", true, "memoize the offline analysis phase per system (output is identical either way)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,17 +77,15 @@ func main() {
 		campBench   = flag.String("campaign-bench", "", "run the legacy-vs-snapshot campaign benchmark and write its JSON record to this file (e.g. BENCH_campaign.json)")
 		benchSystem = flag.String("bench-system", "yarn", "system the -campaign-bench measures (the committed floor file pins the same system)")
 		gateFiles   = flag.String("gate", "", "comma-separated committed floor files (BENCH_matcher.json, BENCH_campaign.json); compare the records measured by this invocation against them and fail on any regression")
-		triagePath  = flag.String("triage", "", "append one record per failing campaign run to this triage store (JSONL; inspect with cttriage)")
-		checkpoint  = flag.String("checkpoint", "", "checkpoint directory: campaigns append per-system JSONL checkpoints under it")
-		resume      = flag.Bool("resume", false, "resume campaigns from the -checkpoint directory, skipping finished points (tables are byte-identical to an uninterrupted run)")
 		restartMS   = flag.Int64("restart-after", 2000, "recovery experiment: restart the victim this many ms (virtual) after the fault")
 		secondMS    = flag.Int64("second-fault-after", 0, "recovery experiment: inject a second fault this many ms (virtual) after the restart (0: none)")
 		secondKind  = flag.String("second-fault", "crash", "recovery experiment: second fault kind (crash or shutdown)")
-		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
-		obsLinger   = flag.Bool("obs-linger", false, "with -obs-addr: keep the endpoint up after rendering until stdin closes (for scraping in scripts/CI)")
-		tracePath   = flag.String("trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
-		validate    = flag.Bool("validate-trace", false, "with -trace: structurally validate the emitted trace on exit and fail if it is malformed")
 	)
+	var fl cliflags.Flags
+	fl.RegisterCampaign(flag.CommandLine, "checkpoint directory: campaigns append per-system JSONL checkpoints under it")
+	fl.RegisterTriage(flag.CommandLine, "")
+	fl.RegisterObs(flag.CommandLine)
+	fl.RegisterExtras(flag.CommandLine)
 	flag.Parse()
 
 	if *exp == "list" {
@@ -101,54 +96,15 @@ func main() {
 	// Observability stack: metrics always feed the default registry;
 	// -progress adds the human-readable stderr sink, -trace the JSONL
 	// tracer, -obs-addr the scrape endpoint over all of it.
-	if *obsAddr != "" {
-		addr, stop, err := obs.Serve(*obsAddr, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer stop()
-		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", addr)
+	rt, err := fl.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	sinks := []obs.Sink{obs.NewMetrics(nil)}
-	if *progress {
-		sinks = append(sinks, obs.Progress(os.Stderr))
-	}
-	var tracer *obs.Tracer
-	if *tracePath != "" {
-		var err error
-		tracer, err = obs.OpenTrace(*tracePath, *resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		sinks = append(sinks, tracer)
-	}
-	sink := obs.Multi(sinks...)
 	defer func() {
-		if tracer != nil {
-			if err := tracer.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if *validate {
-				f, err := os.Open(*tracePath)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				err = obs.ValidateTrace(f)
-				f.Close()
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "trace validation failed:", err)
-					os.Exit(1)
-				}
-				fmt.Fprintf(os.Stderr, "trace %s validated\n", *tracePath)
-			}
-		}
-		if *obsAddr != "" && *obsLinger {
-			fmt.Fprintln(os.Stderr, "obs-linger: endpoint stays up; close stdin to exit")
-			io.Copy(io.Discard, os.Stdin)
+		if err := rt.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}()
 
@@ -276,33 +232,20 @@ func main() {
 	}
 
 	x := report.NewExperiments(*seed, *scale, *randomRuns)
-	x.Workers = *workers
+	x.Workers = fl.Workers
 	if *useCache {
 		x.Artifacts = core.SharedArtifacts
 	}
-	if *checkpoint != "" {
-		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+	if fl.Checkpoint != "" {
+		if err := os.MkdirAll(fl.Checkpoint, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		x.CheckpointDir = *checkpoint
-		x.Resume = *resume
+		x.CheckpointDir = fl.Checkpoint
+		x.Resume = fl.Resume
 	}
-	x.Sink = sink
-	if *triagePath != "" {
-		store, err := triage.OpenStore(*triagePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer func() {
-			if err := store.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}()
-		x.Recorder = triage.NewRecorder(store)
-	}
+	x.Sink = rt.Config.Sink
+	x.Recorder = rt.Config.Recorder
 	if needRecovery {
 		rc := &trigger.RecoveryOptions{
 			RestartDelay:     sim.Time(*restartMS) * sim.Millisecond,

@@ -19,45 +19,43 @@ import (
 	"sort"
 
 	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/systems/all"
 	"repro/internal/systems/cluster"
-	"repro/internal/triage"
 	"repro/internal/trigger"
 )
 
 func main() {
 	var (
-		system     = flag.String("system", "", "show studied bugs of one system")
-		showNew    = flag.Bool("new", false, "show the new bugs (Table 5) with seeding locations")
-		showK8s    = flag.Bool("k8s", false, "show the Kubernetes study (Table 13)")
-		verify     = flag.Bool("verify", false, "run live campaigns and cross-check witnessed bugs against the registry")
-		seed       = flag.Int64("seed", 11, "seed for -verify campaigns")
-		scale      = flag.Int("scale", 1, "workload scale for -verify campaigns")
-		workers    = flag.Int("workers", 0, "campaign worker pool size for -verify (0: one per CPU, 1: sequential)")
-		triagePath = flag.String("triage", "", "with -verify: append one record per failing run to this triage store (JSONL)")
+		system  = flag.String("system", "", "show studied bugs of one system")
+		showNew = flag.Bool("new", false, "show the new bugs (Table 5) with seeding locations")
+		showK8s = flag.Bool("k8s", false, "show the Kubernetes study (Table 13)")
+		verify  = flag.Bool("verify", false, "run live campaigns and cross-check witnessed bugs against the registry")
+		seed    = flag.Int64("seed", 11, "seed for -verify campaigns")
+		scale   = flag.Int("scale", 1, "workload scale for -verify campaigns")
 	)
+	var fl cliflags.Flags
+	fl.RegisterWorkers(flag.CommandLine)
+	fl.RegisterTriage(flag.CommandLine, "with -verify: append one record per failing run to this triage store (JSONL)")
+	fl.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	switch {
 	case *verify:
-		var rec campaign.RunRecorder
-		if *triagePath != "" {
-			store, err := triage.OpenStore(*triagePath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			defer func() {
-				if err := store.Close(); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-				}
-			}()
-			rec = triage.NewRecorder(store)
+		rt, err := fl.Open()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		verifySeeded(*seed, *scale, *workers, rec)
+		defer func() {
+			if err := rt.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		verifySeeded(*seed, *scale, rt.Config)
 	case *system != "":
 		bugs := registry.BySystem()[*system]
 		if len(bugs) == 0 {
@@ -108,7 +106,7 @@ func main() {
 // restart paths and the recovery oracles are exercised on every system
 // too; a third, partition-mode pass cuts each victim off instead and
 // applies the split-brain/stale-read/never-heals oracles.
-func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
+func verifySeeded(seed int64, scale int, cfg campaign.Config) {
 	known := map[string]bool{}
 	for _, b := range registry.StudiedBugs() {
 		known[b.ID] = true
@@ -117,9 +115,10 @@ func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
 		known[b.ID] = true
 	}
 
+	workers := cfg.Workers
 	systems := all.Runners()
 	results := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers, Recorder: rec}, Seed: seed, Scale: scale})
+		return core.Run(systems[i], core.Options{Config: cfg, Seed: seed, Scale: scale})
 	})
 
 	fmt.Println("Live campaign cross-check of the seeded bugs:")
@@ -145,7 +144,7 @@ func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
 	// 500 ms (virtual) after its fault and judged by the recovery oracles.
 	rc := &trigger.RecoveryOptions{RestartDelay: 500 * sim.Millisecond}
 	recovered := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers, Recorder: rec}, Seed: seed, Scale: scale, Recovery: rc})
+		return core.Run(systems[i], core.Options{Config: cfg, Seed: seed, Scale: scale, Recovery: rc})
 	})
 	fmt.Println("Recovery-mode cross-check (victims restarted after the fault):")
 	for i, r := range systems {
@@ -163,7 +162,7 @@ func verifySeeded(seed int64, scale, workers int, rec campaign.RunRecorder) {
 	// oracles.
 	po := &trigger.PartitionOptions{}
 	partitioned := campaign.Run(len(systems), campaign.Options[*core.Result]{Workers: workers}, func(i int) *core.Result {
-		return core.Run(systems[i], core.Options{Config: campaign.Config{Workers: workers, Recorder: rec}, Seed: seed, Scale: scale, Partition: po})
+		return core.Run(systems[i], core.Options{Config: cfg, Seed: seed, Scale: scale, Partition: po})
 	})
 	fmt.Println("Partition-mode cross-check (victims cut off instead of crashed):")
 	for i, r := range systems {

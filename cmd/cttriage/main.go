@@ -23,8 +23,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/obs"
 	"repro/internal/systems/all"
 	"repro/internal/triage"
 )
@@ -242,26 +242,24 @@ func cmdConfirm(args []string) error {
 	store := fs.String("store", "triage.jsonl", "triage store file")
 	cluster := fs.String("cluster", "", "confirm only this cluster id (default: every cluster)")
 	runs := fs.Int("runs", triage.DefaultConfirmRuns, "re-execution attempts per cluster")
-	workers := fs.Int("workers", 0, "attempt worker pool size (0: one per CPU)")
 	seed := fs.Int64("seed", 11, "seed for the executor's analysis phase and baseline")
 	scale := fs.Int("scale", 1, "workload scale fallback for records without one")
-	trace := fs.String("trace", "", "write a JSONL trace of the confirmation campaigns to this file")
 	suppress := fs.String("suppress", "", "suppression file; suppressed clusters are not confirmed")
+	var fl cliflags.Flags
+	fl.RegisterWorkers(fs)
+	fl.RegisterObs(fs)
 	fs.Parse(args)
 
 	_, clusters, _, err := loadClusters(*suppress, *store)
 	if err != nil {
 		return err
 	}
-	var sink obs.Sink = obs.NewMetrics(nil)
-	if *trace != "" {
-		tr, err := obs.OpenTrace(*trace, false)
-		if err != nil {
-			return err
-		}
-		defer tr.Close()
-		sink = obs.Multi(sink, tr)
+	rt, err := fl.Open()
+	if err != nil {
+		return err
 	}
+	defer rt.Close()
+	sink := rt.Config.Sink
 	s, err := triage.OpenStore(*store)
 	if err != nil {
 		return err
@@ -293,7 +291,7 @@ func cmdConfirm(args []string) error {
 		}
 		conf := triage.Confirm(c, triage.ConfirmOptions{
 			Runs:    *runs,
-			Workers: *workers,
+			Workers: fl.Workers,
 			Sink:    sink,
 			Execute: exec,
 		})

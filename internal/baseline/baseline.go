@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/dslog"
+	"repro/internal/fleet"
 	"repro/internal/ir"
 	"repro/internal/logparse"
 	"repro/internal/obs"
@@ -71,27 +72,12 @@ func (r *Result) DistinctBugs() []string {
 	return out
 }
 
-// runOutcome is the result of one injection run, carried from the worker
-// that executed it to the (sequential, index-ordered) aggregation fold.
-// Its fields are exported so checkpointed campaigns round-trip it
-// through the JSONL checkpoint file.
-type runOutcome struct {
-	Outcome   trigger.Outcome `json:"outcome"`
-	Duration  sim.Time        `json:"duration"`
-	Witnesses []string        `json:"witnesses,omitempty"`
-	// Fault/Target/NewExceptions feed the triage recorder; omitempty
-	// keeps checkpoints from earlier versions loadable (the fields are
-	// simply absent there and the affected runs re-record as unknowns).
-	Fault         string   `json:"fault,omitempty"`
-	Target        string   `json:"target,omitempty"`
-	NewExceptions []string `json:"newExceptions,omitempty"`
-}
-
-func (r *Result) record(o runOutcome) {
+func (r *Result) record(o fleet.Result) {
 	r.Runs++
-	r.ByOutcome[o.Outcome]++
+	outcome, _ := trigger.ParseOutcome(o.Outcome)
+	r.ByOutcome[outcome]++
 	r.VirtualTime += o.Duration
-	if o.Outcome.IsBug() {
+	if o.Failing {
 		r.BugRuns++
 		for _, w := range o.Witnesses {
 			r.BugHits[w]++
@@ -149,51 +135,38 @@ func (o Options) runConfig(seed int64) cluster.Config {
 
 // campaignOptions builds the engine options for one baseline campaign,
 // labelled with its kind ("random" or "io") and annotated with the
-// per-run oracle outcome and virtual duration.
-func (o Options) campaignOptions(system, kind string) campaign.Options[runOutcome] {
+// per-run oracle outcome and virtual duration. The job type is the
+// fleet wire result, so baseline checkpoints use the same encoding as
+// every other campaign's.
+func (o Options) campaignOptions(system, kind string) campaign.Options[fleet.Result] {
 	bugs := 0 // guarded by the campaign completion lock (Annotate contract)
-	return campaign.Options[runOutcome]{
+	return campaign.Options[fleet.Result]{
 		Workers:    o.Workers,
 		Checkpoint: o.Config.Checkpoint(),
 		Sink:       o.Sink,
 		Scope:      obs.Scope{System: system, Campaign: kind},
-		Annotate: func(ev *obs.Event, i int, r runOutcome) {
-			if r.Outcome.IsBug() {
+		Annotate: func(ev *obs.Event, i int, r fleet.Result) {
+			if r.Failing {
 				bugs++
 			}
 			ev.Bugs = bugs
-			ev.Outcome = r.Outcome.String()
+			ev.Outcome = r.Outcome
 			ev.Sim = r.Duration
 		},
 	}
 }
 
-// recordRuns delivers a baseline campaign's outcomes to the configured
-// triage recorder, in run order so repeat campaigns append to a store
-// identically. Only the caller knows the job layout, so it supplies the
-// per-run static point and seed.
-func (o Options) recordRuns(system, kind string, outcomes []runOutcome, job func(i int) (point string, seed int64)) {
+// recordResults delivers a baseline campaign's results to the
+// configured triage recorder, in run order so repeat campaigns append
+// to a store identically. Each wire result flattens itself; the job it
+// echoes carries the per-run point and seed.
+func (o Options) recordResults(results []fleet.Result) {
 	rec := o.Config.Recorder
 	if rec == nil {
 		return
 	}
-	for i, out := range outcomes {
-		point, seed := job(i)
-		rec.Record(campaign.RunRecord{
-			System:     system,
-			Campaign:   kind,
-			Run:        i,
-			Seed:       seed,
-			Scale:      o.Scale,
-			Point:      point,
-			Fault:      out.Fault,
-			Target:     out.Target,
-			Outcome:    out.Outcome.String(),
-			Failing:    out.Outcome.IsBug(),
-			Exceptions: out.NewExceptions,
-			Witnesses:  out.Witnesses,
-			Duration:   out.Duration,
-		})
+	for _, res := range results {
+		rec.Record(res.RunRecord())
 	}
 }
 
@@ -239,49 +212,80 @@ func deadlineOf(b trigger.Baseline, factor int) sim.Time {
 	return d
 }
 
-// Random runs the §4.2.1 random crash-injection campaign. Runs fan out
-// across the Options' worker pool; each run is an independent simulation
-// seeded by its index, and the per-run outcomes are folded into the
+// resultOf assembles the wire result of one baseline run.
+func resultOf(j fleet.Job, outcome trigger.Outcome, duration sim.Time, witnesses, newEx []string, fault *fleet.Fault, target string) fleet.Result {
+	return fleet.Result{
+		Job:        j,
+		Outcome:    outcome.String(),
+		Failing:    outcome.IsBug(),
+		Target:     target,
+		Fault:      fault,
+		Duration:   duration,
+		Exceptions: newEx,
+		Witnesses:  witnesses,
+	}
+}
+
+// randomExecutor implements fleet.Executor for the random campaign. A
+// random job is fully named by its seed: the injection time, the victim
+// and the crash/shutdown coin are all drawn from the run's own engine
+// RNG, so re-executing the job anywhere reproduces it bit-identically.
+type randomExecutor struct {
+	runner   cluster.Runner
+	baseline trigger.Baseline
+	opts     Options
+	deadline sim.Time
+}
+
+var _ fleet.Executor = (*randomExecutor)(nil)
+
+func (x *randomExecutor) Execute(j fleet.Job) fleet.Result {
+	run := x.runner.NewRun(x.opts.runConfig(j.Seed))
+	e := run.Engine()
+	rng := e.Rand()
+	at := sim.Time(rng.Int63n(int64(x.baseline.Duration) + 1))
+	nodes := victims(e.AliveNodes(), x.opts.IncludeMasters)
+	victim := nodes[rng.Intn(len(nodes))]
+	graceful := rng.Intn(2) == 0
+	e.After(at, func() {
+		if graceful {
+			e.Shutdown(victim)
+		} else {
+			e.Crash(victim)
+		}
+		if x.opts.MasterRestart > 0 && victim.Host() == masterHost {
+			e.After(x.opts.MasterRestart, func() { cluster.Restart(run, victim) })
+		}
+	})
+	rr := cluster.Drive(run, x.deadline)
+	newEx := trigger.NewUnhandled(x.baseline, e)
+	outcome := trigger.Evaluate(x.baseline, run, rr, newEx, x.opts.TimeoutFactor)
+	kind := sim.FaultCrash
+	if graceful {
+		kind = sim.FaultShutdown
+	}
+	fault := &fleet.Fault{Kind: kind.String(), Node: string(victim), At: at}
+	return resultOf(j, outcome, rr.End, run.Witnesses(), newEx, fault, string(victim))
+}
+
+// Random runs the §4.2.1 random crash-injection campaign: the job list
+// (one wire job per run, seeded by index) drives a fleet executor over
+// the Options' worker pool, and the per-run results fold into the
 // Result in index order, so the Result is identical for any worker
 // count.
 func Random(r cluster.Runner, b trigger.Baseline, opts Options) *Result {
 	opts.defaults()
 	res := newResult(r.Name())
-	deadline := deadlineOf(b, opts.DeadlineFactor)
-	outcomes := campaign.Run(opts.Runs, opts.campaignOptions(r.Name(), "random"), func(i int) runOutcome {
-		run := r.NewRun(opts.runConfig(opts.Seed + int64(i)))
-		e := run.Engine()
-		rng := e.Rand()
-		at := sim.Time(rng.Int63n(int64(b.Duration) + 1))
-		nodes := victims(e.AliveNodes(), opts.IncludeMasters)
-		victim := nodes[rng.Intn(len(nodes))]
-		graceful := rng.Intn(2) == 0
-		e.After(at, func() {
-			if graceful {
-				e.Shutdown(victim)
-			} else {
-				e.Crash(victim)
-			}
-			if opts.MasterRestart > 0 && victim.Host() == masterHost {
-				e.After(opts.MasterRestart, func() { cluster.Restart(run, victim) })
-			}
-		})
-		rr := cluster.Drive(run, deadline)
-		newEx := trigger.NewUnhandled(b, e)
-		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		fault := "crash"
-		if graceful {
-			fault = "shutdown"
-		}
-		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses(),
-			Fault: fault, Target: string(victim), NewExceptions: newEx}
-	})
-	for _, o := range outcomes {
+	x := &randomExecutor{runner: r, baseline: b, opts: opts, deadline: deadlineOf(b, opts.DeadlineFactor)}
+	jobs := make([]fleet.Job, opts.Runs)
+	for i := range jobs {
+		jobs[i] = fleet.Job{System: r.Name(), Campaign: "random", Run: i, Seed: opts.Seed + int64(i), Scale: opts.Scale}
+	}
+	results := campaign.Run(len(jobs), opts.campaignOptions(r.Name(), "random"), func(i int) fleet.Result { return x.Execute(jobs[i]) })
+	for _, o := range results {
 		res.record(o)
 	}
-	opts.recordRuns(r.Name(), "random", outcomes, func(i int) (string, int64) {
-		return "", opts.Seed + int64(i)
-	})
+	opts.recordResults(results)
 	return res
 }
 
@@ -317,14 +321,33 @@ func CollectIOPoints(r cluster.Runner, matcher *logparse.Matcher, seed int64, sc
 	return out
 }
 
-// IOInjection runs the §4.2.2 campaign: for every dynamic IO point, two
-// runs — one crashing the writing node just before the emission time and
-// one just after.
-func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline, opts Options) *Result {
-	opts.defaults()
-	res := newResult(r.Name())
-	deadline := deadlineOf(b, opts.DeadlineFactor)
-	points := CollectIOPoints(r, matcher, opts.Seed, opts.Scale, deadline)
+// ioJob is one flattened (IO point, delta) injection.
+type ioJob struct {
+	point IOPoint
+	seed  int64
+	at    sim.Time
+}
+
+// ioExecutor implements fleet.Executor for the IO-injection campaign.
+// The flattened job list is rebuilt deterministically from the campaign
+// seed and scale (CollectIOPoints profiles one run), so a wire job
+// needs only its run ordinal to name its injection.
+type ioExecutor struct {
+	runner   cluster.Runner
+	baseline trigger.Baseline
+	opts     Options
+	deadline sim.Time
+	jobs     []ioJob
+}
+
+var _ fleet.Executor = (*ioExecutor)(nil)
+
+// newIOExecutor collects the dynamic IO points and flattens (point,
+// delta) pairs into the indexed job list, point-major with the
+// before-emission run ahead of the after-emission one.
+func newIOExecutor(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline, opts Options) *ioExecutor {
+	x := &ioExecutor{runner: r, baseline: b, opts: opts, deadline: deadlineOf(b, opts.DeadlineFactor)}
+	points := CollectIOPoints(r, matcher, opts.Seed, opts.Scale, x.deadline)
 	if !opts.IncludeMasters {
 		kept := points[:0]
 		for _, pt := range points {
@@ -334,47 +357,58 @@ func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline
 		}
 		points = kept
 	}
-	// Flatten (point, delta) into an indexed job list so the pool can
-	// fan the whole campaign out while the aggregation below stays in
-	// the sequential (point-major, before-then-after) order.
 	deltas := []sim.Time{-sim.Millisecond, sim.Millisecond}
-	type ioJob struct {
-		point IOPoint
-		seed  int64
-		at    sim.Time
-	}
-	jobs := make([]ioJob, 0, 2*len(points))
+	x.jobs = make([]ioJob, 0, 2*len(points))
 	for i, pt := range points {
 		for _, delta := range deltas {
 			at := pt.At + delta
 			if at < 0 {
 				at = 0
 			}
-			jobs = append(jobs, ioJob{point: pt, seed: opts.Seed + int64(i), at: at})
+			x.jobs = append(x.jobs, ioJob{point: pt, seed: opts.Seed + int64(i), at: at})
 		}
 	}
-	outcomes := campaign.Run(len(jobs), opts.campaignOptions(r.Name(), "io"), func(i int) runOutcome {
-		j := jobs[i]
-		run := r.NewRun(opts.runConfig(j.seed))
-		e := run.Engine()
-		victim := j.point.Node
-		e.After(j.at, func() {
-			e.Crash(victim)
-			if opts.MasterRestart > 0 && victim.Host() == masterHost {
-				e.After(opts.MasterRestart, func() { cluster.Restart(run, victim) })
-			}
-		})
-		rr := cluster.Drive(run, deadline)
-		newEx := trigger.NewUnhandled(b, e)
-		outcome := trigger.Evaluate(b, run, rr, newEx, opts.TimeoutFactor)
-		return runOutcome{Outcome: outcome, Duration: rr.End, Witnesses: run.Witnesses(),
-			Fault: "crash", Target: string(victim), NewExceptions: newEx}
+	return x
+}
+
+func (x *ioExecutor) Execute(j fleet.Job) fleet.Result {
+	if j.Run < 0 || j.Run >= len(x.jobs) {
+		res := resultOf(j, trigger.HarnessError, 0, nil, nil, nil, "")
+		res.Reason = "io job ordinal out of range"
+		return res
+	}
+	jb := x.jobs[j.Run]
+	run := x.runner.NewRun(x.opts.runConfig(jb.seed))
+	e := run.Engine()
+	victim := jb.point.Node
+	e.After(jb.at, func() {
+		e.Crash(victim)
+		if x.opts.MasterRestart > 0 && victim.Host() == masterHost {
+			e.After(x.opts.MasterRestart, func() { cluster.Restart(run, victim) })
+		}
 	})
-	for _, o := range outcomes {
+	rr := cluster.Drive(run, x.deadline)
+	newEx := trigger.NewUnhandled(x.baseline, e)
+	outcome := trigger.Evaluate(x.baseline, run, rr, newEx, x.opts.TimeoutFactor)
+	fault := &fleet.Fault{Kind: sim.FaultCrash.String(), Node: string(victim), At: jb.at}
+	return resultOf(j, outcome, rr.End, run.Witnesses(), newEx, fault, string(victim))
+}
+
+// IOInjection runs the §4.2.2 campaign: for every dynamic IO point, two
+// runs — one crashing the writing node just before the emission time and
+// one just after — driven through the campaign's fleet executor.
+func IOInjection(r cluster.Runner, matcher *logparse.Matcher, b trigger.Baseline, opts Options) *Result {
+	opts.defaults()
+	res := newResult(r.Name())
+	x := newIOExecutor(r, matcher, b, opts)
+	jobs := make([]fleet.Job, len(x.jobs))
+	for i, jb := range x.jobs {
+		jobs[i] = fleet.Job{System: r.Name(), Campaign: "io", Run: i, Seed: jb.seed, Scale: opts.Scale, Point: string(jb.point.Pattern)}
+	}
+	results := campaign.Run(len(jobs), opts.campaignOptions(r.Name(), "io"), func(i int) fleet.Result { return x.Execute(jobs[i]) })
+	for _, o := range results {
 		res.record(o)
 	}
-	opts.recordRuns(r.Name(), "io", outcomes, func(i int) (string, int64) {
-		return string(jobs[i].point.Pattern), jobs[i].seed
-	})
+	opts.recordResults(results)
 	return res
 }

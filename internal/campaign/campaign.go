@@ -147,11 +147,11 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 	// the checkpoint.
 	todo := make([]int, 0, n)
 	restored := 0
-	var ck *ckptWriter[T]
+	var ck *CheckpointWriter[T]
 	if c := opts.Checkpoint; c != nil && c.Path != "" {
 		var prior map[int]T
 		if c.Resume {
-			prior = loadCheckpoint[T](c.Path, n)
+			prior = LoadCheckpoint[T](c.Path, n)
 		}
 		for i := 0; i < n; i++ {
 			if r, ok := prior[i]; ok {
@@ -161,8 +161,8 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 			}
 			todo = append(todo, i)
 		}
-		ck = newCkptWriter[T](c)
-		defer ck.close()
+		ck = NewCheckpointWriter[T](c)
+		defer ck.Close()
 	} else {
 		for i := 0; i < n; i++ {
 			todo = append(todo, i)
@@ -204,7 +204,7 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 			out[i] = runJob(opts, fn, i)
 			done++
 			if ck != nil {
-				ck.append(i, out[i])
+				ck.Append(i, out[i])
 			}
 			if opts.Sink != nil {
 				emit(i, done, out[i], time.Since(t0))
@@ -235,7 +235,7 @@ func Run[T any](n int, opts Options[T], fn func(i int) T) []T {
 					mu.Lock()
 					done++
 					if ck != nil {
-						ck.append(i, out[i])
+						ck.Append(i, out[i])
 					}
 					if opts.Sink != nil {
 						emit(i, done, out[i], wall)
@@ -299,14 +299,26 @@ type ckptLine[T any] struct {
 	R T   `json:"r"`
 }
 
-type ckptWriter[T any] struct {
+// CheckpointWriter appends {"i":index,"r":result} JSONL records to one
+// checkpoint file. The campaign engine drives it internally for
+// Options.Checkpoint; it is exported so other resumability units built
+// on the same file format — the fleet coordinator's per-shard
+// checkpoints — write files a resumed campaign (or coordinator) loads
+// back with LoadCheckpoint. Append/Close are not safe for concurrent
+// use; callers serialize (the engine under its completion lock, the
+// coordinator under its state lock).
+type CheckpointWriter[T any] struct {
 	f       *os.File
 	w       *bufio.Writer
 	every   int
 	pending int
 }
 
-func newCkptWriter[T any](c *CheckpointConfig) *ckptWriter[T] {
+// NewCheckpointWriter opens c.Path for appending (Resume set: heal a
+// torn tail first) or truncates it for a fresh start. Like the engine,
+// it panics when the file cannot be opened: silently running without
+// the requested durability would be worse.
+func NewCheckpointWriter[T any](c *CheckpointConfig) *CheckpointWriter[T] {
 	flag := os.O_CREATE
 	if c.Resume {
 		// O_RDWR so healTornTail can inspect the last byte.
@@ -325,7 +337,7 @@ func newCkptWriter[T any](c *CheckpointConfig) *ckptWriter[T] {
 	if every <= 0 {
 		every = 1
 	}
-	return &ckptWriter[T]{f: f, w: bufio.NewWriter(f), every: every}
+	return &CheckpointWriter[T]{f: f, w: bufio.NewWriter(f), every: every}
 }
 
 // healTornTail terminates a checkpoint whose last write was cut off
@@ -344,9 +356,9 @@ func healTornTail(f *os.File) {
 	f.Write([]byte{'\n'})
 }
 
-// append records one finished job. A result that fails to marshal is
+// Append records one finished job. A result that fails to marshal is
 // simply not checkpointed — it will re-run on resume.
-func (c *ckptWriter[T]) append(i int, r T) {
+func (c *CheckpointWriter[T]) Append(i int, r T) {
 	b, err := json.Marshal(ckptLine[T]{I: i, R: r})
 	if err != nil {
 		return
@@ -360,17 +372,19 @@ func (c *ckptWriter[T]) append(i int, r T) {
 	}
 }
 
-func (c *ckptWriter[T]) close() {
+// Close flushes buffered records and closes the file.
+func (c *CheckpointWriter[T]) Close() {
 	c.w.Flush()
 	c.f.Close()
 }
 
-// loadCheckpoint reads back a checkpoint file. A missing file yields an
-// empty map (fresh start); malformed lines are skipped — a torn trailing
-// fragment from an interrupted run stays in the file (newline-terminated
-// by healTornTail on the resuming write) and must not shadow the intact
+// LoadCheckpoint reads back a checkpoint file into an index→result map;
+// indices outside [0, n) are dropped. A missing file yields an empty map
+// (fresh start); malformed lines are skipped — a torn trailing fragment
+// from an interrupted run stays in the file (newline-terminated by
+// healTornTail on the resuming write) and must not shadow the intact
 // records around it; later lines for the same index win.
-func loadCheckpoint[T any](path string, n int) map[int]T {
+func LoadCheckpoint[T any](path string, n int) map[int]T {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil

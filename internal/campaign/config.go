@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"time"
+
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -21,6 +23,14 @@ type Config struct {
 	// Resume reloads CheckpointPath before running and skips the jobs
 	// already recorded there.
 	Resume bool
+	// StallTimeout, when positive, arms the stall watchdog on every
+	// campaign this config drives: a run exceeding the wall-clock budget
+	// is abandoned and reported as a harness error naming its point
+	// ordinal and scenario. Off by default — stall verdicts depend on
+	// wall-clock speed, so a campaign that trips the watchdog is no
+	// longer deterministic; fleet workers arm it so a livelocked job
+	// surfaces as an actionable report instead of an expired lease.
+	StallTimeout time.Duration
 	// Sink, when non-nil, observes the campaign as obs events: one
 	// CampaignStart, a RunDone per completed job (annotated with the
 	// domain fields by the owning layer), nested PhaseEnds, and one

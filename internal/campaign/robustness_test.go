@@ -177,7 +177,7 @@ func TestCheckpointWithoutResumeTruncates(t *testing.T) {
 		func(i int) int { return i })
 	Run(2, Options[int]{Workers: 1, Checkpoint: &CheckpointConfig{Path: path}},
 		func(i int) int { return i + 100 })
-	got := loadCheckpoint[int](path, 2)
+	got := LoadCheckpoint[int](path, 2)
 	if len(got) != 2 || got[0] != 100 || got[1] != 101 {
 		t.Errorf("second run did not truncate: %v", got)
 	}
@@ -195,9 +195,9 @@ func TestCheckpointIgnoresOutOfRangeIndexes(t *testing.T) {
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got := loadCheckpoint[int](path, 3)
+	got := LoadCheckpoint[int](path, 3)
 	if len(got) != 1 || got[0] != 1 {
-		t.Errorf("loadCheckpoint = %v, want only index 0", got)
+		t.Errorf("LoadCheckpoint = %v, want only index 0", got)
 	}
 }
 
@@ -214,8 +214,8 @@ func TestCheckpointParallelMatchesSequential(t *testing.T) {
 	}
 	// Both files restore to the same map even though parallel append
 	// order differs.
-	a := loadCheckpoint[int](filepath.Join(dir, "seq.ckpt"), 32)
-	b := loadCheckpoint[int](filepath.Join(dir, "par.ckpt"), 32)
+	a := LoadCheckpoint[int](filepath.Join(dir, "seq.ckpt"), 32)
+	b := LoadCheckpoint[int](filepath.Join(dir, "par.ckpt"), 32)
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("restored maps differ: %v vs %v", a, b)
 	}

@@ -1,0 +1,209 @@
+// Package cliflags is the shared flag surface of the campaign-driving
+// commands (crashtuner, ctbench, ctstudy, cttriage): one registration
+// point for the -workers/-checkpoint/-resume/-triage/-obs-addr/-trace
+// family, and one Open call that wires the observability stack and the
+// triage store those flags name into a ready campaign.Config. Before
+// this package each command re-implemented the same ~40 lines of
+// obs.Serve + sink assembly + store plumbing, and they had drifted.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/triage"
+)
+
+// Flags holds the parsed values of the shared campaign flags. Register
+// the subsets a command needs, flag.Parse, then Open.
+type Flags struct {
+	Workers    int
+	Checkpoint string
+	Resume     bool
+	Triage     string
+	ObsAddr    string
+	Trace      string
+
+	// Scripting/CI extras (RegisterExtras).
+	Progress      bool
+	ObsLinger     bool
+	ValidateTrace bool
+}
+
+// RegisterCampaign installs -workers, -checkpoint and -resume.
+// checkpointUsage overrides the -checkpoint help text for commands that
+// checkpoint into a directory rather than a single file; empty selects
+// the single-file wording.
+func (f *Flags) RegisterCampaign(fs *flag.FlagSet, checkpointUsage string) {
+	f.RegisterWorkers(fs)
+	if checkpointUsage == "" {
+		checkpointUsage = "JSONL checkpoint file for the injection campaign"
+	}
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", checkpointUsage)
+	fs.BoolVar(&f.Resume, "resume", false, "resume from -checkpoint, skipping finished points (output is byte-identical to an uninterrupted run)")
+}
+
+// RegisterWorkers installs just -workers, for commands whose campaigns
+// are not checkpointable.
+func (f *Flags) RegisterWorkers(fs *flag.FlagSet) {
+	fs.IntVar(&f.Workers, "workers", 0, "campaign worker pool size (0: one per CPU, 1: sequential; output is identical either way)")
+}
+
+// RegisterTriage installs -triage. usage overrides the help text; empty
+// selects the default wording.
+func (f *Flags) RegisterTriage(fs *flag.FlagSet, usage string) {
+	if usage == "" {
+		usage = "append one record per failing run to this triage store (JSONL; inspect with cttriage)"
+	}
+	fs.StringVar(&f.Triage, "triage", "", usage)
+}
+
+// RegisterObs installs -obs-addr and -trace.
+func (f *Flags) RegisterObs(fs *flag.FlagSet) {
+	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve /metrics, /debug/vars and /healthz on this address (e.g. :8080; empty: off)")
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL trace of campaign/run/phase spans to this file")
+}
+
+// RegisterExtras installs the scripting/CI flags -progress, -obs-linger
+// and -validate-trace.
+func (f *Flags) RegisterExtras(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Progress, "progress", false, "report campaign progress on stderr")
+	fs.BoolVar(&f.ObsLinger, "obs-linger", false, "with -obs-addr: keep the endpoint up after rendering until stdin closes (for scraping in scripts/CI)")
+	fs.BoolVar(&f.ValidateTrace, "validate-trace", false, "with -trace: structurally validate the emitted trace on exit and fail if it is malformed")
+}
+
+// Runtime is the opened form of the flags: the observability stack is
+// serving, the sinks and the triage recorder are live, and Config is
+// ready to hand to a campaign. Close releases everything in the order
+// the commands used to: store, tracer (validated when asked), linger,
+// then the obs endpoint.
+type Runtime struct {
+	// Config carries Workers, CheckpointPath, Resume, Sink and Recorder
+	// as the flags named them.
+	Config campaign.Config
+	// Store is the open triage store, nil without -triage.
+	Store *triage.Store
+	// Tracer is the open JSONL tracer, nil without -trace.
+	Tracer *obs.Tracer
+	// Addr is the bound observability address, "" without -obs-addr.
+	Addr string
+
+	flags *Flags
+	stop  func() error
+}
+
+// Open wires the stack the flags describe: the obs endpoint, the
+// metrics/progress/trace sink chain (plus any extra sinks the command
+// supplies), and the triage store and recorder. On error nothing stays
+// open.
+func (f *Flags) Open(extra ...obs.Sink) (*Runtime, error) {
+	rt := &Runtime{flags: f}
+	if f.ObsAddr != "" {
+		addr, stop, err := obs.Serve(f.ObsAddr, nil)
+		if err != nil {
+			return nil, err
+		}
+		rt.stop = stop
+		rt.Addr = addr
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", addr)
+	}
+	sinks := []obs.Sink{obs.NewMetrics(nil)}
+	if f.Progress {
+		sinks = append(sinks, obs.Progress(os.Stderr))
+	}
+	if f.Trace != "" {
+		tr, err := obs.OpenTrace(f.Trace, f.Resume)
+		if err != nil {
+			rt.release()
+			return nil, err
+		}
+		rt.Tracer = tr
+		sinks = append(sinks, tr)
+	}
+	sinks = append(sinks, extra...)
+	rt.Config = campaign.Config{
+		Workers:        f.Workers,
+		CheckpointPath: f.Checkpoint,
+		Resume:         f.Resume,
+		Sink:           obs.Multi(sinks...),
+	}
+	if f.Triage != "" {
+		store, err := triage.OpenStore(f.Triage)
+		if err != nil {
+			rt.release()
+			return nil, err
+		}
+		rt.Store = store
+		rt.Config.Recorder = triage.NewRecorder(store)
+	}
+	return rt, nil
+}
+
+// release tears down without the close-time extras (validation, linger).
+func (rt *Runtime) release() {
+	if rt.Tracer != nil {
+		rt.Tracer.Close()
+		rt.Tracer = nil
+	}
+	if rt.Store != nil {
+		rt.Store.Close()
+		rt.Store = nil
+	}
+	if rt.stop != nil {
+		rt.stop()
+		rt.stop = nil
+	}
+}
+
+// Close flushes the store and the tracer, validates the trace when
+// -validate-trace asked for it, lingers on the obs endpoint when
+// -obs-linger asked for it, and stops the endpoint. The first error
+// wins.
+func (rt *Runtime) Close() error {
+	var first error
+	if rt.Store != nil {
+		if err := rt.Store.Close(); err != nil && first == nil {
+			first = err
+		}
+		rt.Store = nil
+	}
+	if rt.Tracer != nil {
+		err := rt.Tracer.Close()
+		rt.Tracer = nil
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else if rt.flags.ValidateTrace {
+			if err := validateTrace(rt.flags.Trace); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if rt.flags.ObsLinger && rt.Addr != "" {
+		fmt.Fprintln(os.Stderr, "obs-linger: endpoint stays up; close stdin to exit")
+		io.Copy(io.Discard, os.Stdin)
+	}
+	if rt.stop != nil {
+		rt.stop()
+		rt.stop = nil
+	}
+	return first
+}
+
+func validateTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.ValidateTrace(f); err != nil {
+		return fmt.Errorf("trace validation failed: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace %s validated\n", path)
+	return nil
+}

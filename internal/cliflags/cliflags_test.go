@@ -1,0 +1,95 @@
+package cliflags
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestOpenWiresTheFlaggedStack pins the flag → Runtime contract every
+// command leans on: the parsed values land in campaign.Config, -triage
+// opens a store with a recorder, -trace opens a tracer in the sink
+// chain, and Close validates the trace when asked.
+func TestOpenWiresTheFlaggedStack(t *testing.T) {
+	dir := t.TempDir()
+	triagePath := filepath.Join(dir, "t.jsonl")
+	tracePath := filepath.Join(dir, "tr.jsonl")
+
+	var fl Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fl.RegisterCampaign(fs, "")
+	fl.RegisterTriage(fs, "")
+	fl.RegisterObs(fs)
+	fl.RegisterExtras(fs)
+	err := fs.Parse([]string{
+		"-workers", "3", "-checkpoint", filepath.Join(dir, "c.jsonl"), "-resume",
+		"-triage", triagePath, "-trace", tracePath, "-validate-trace",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := fl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.Config
+	if cfg.Workers != 3 || cfg.CheckpointPath != filepath.Join(dir, "c.jsonl") || !cfg.Resume {
+		t.Errorf("Config did not carry the flags: %+v", cfg)
+	}
+	if cfg.Sink == nil || cfg.Recorder == nil || rt.Store == nil || rt.Tracer == nil {
+		t.Errorf("Open left part of the stack unwired: sink=%v recorder=%v store=%v tracer=%v",
+			cfg.Sink != nil, cfg.Recorder != nil, rt.Store != nil, rt.Tracer != nil)
+	}
+	// A well-formed campaign with one run through the sink chain; Close
+	// then validates the trace (-validate-trace rejects a runless one).
+	cfg.Sink.Emit(obs.Event{Kind: obs.CampaignStart, Run: -1, Total: 1})
+	cfg.Sink.Emit(obs.Event{Kind: obs.RunDone, Run: 0, Done: 1, Total: 1})
+	cfg.Sink.Emit(obs.Event{Kind: obs.CampaignEnd, Run: -1, Done: 1, Total: 1})
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(triagePath); err != nil {
+		t.Errorf("triage store never created: %v", err)
+	}
+	if b, err := os.ReadFile(tracePath); err != nil || len(b) == 0 {
+		t.Errorf("trace file empty or missing (err=%v)", err)
+	}
+}
+
+// TestOpenServesObsEndpoint pins that -obs-addr binds a live metrics
+// endpoint for the Runtime's lifetime.
+func TestOpenServesObsEndpoint(t *testing.T) {
+	fl := Flags{ObsAddr: "127.0.0.1:0"}
+	rt, err := fl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.Addr == "" {
+		t.Fatal("no bound address for -obs-addr")
+	}
+	resp, err := http.Get("http://" + rt.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %s", resp.Status)
+	}
+}
+
+// TestOpenErrorLeavesNothingOpen pins the error path: a bad trace path
+// must not leak the already-opened pieces.
+func TestOpenErrorLeavesNothingOpen(t *testing.T) {
+	fl := Flags{Trace: filepath.Join(t.TempDir(), "no", "such", "dir", "tr.jsonl")}
+	rt, err := fl.Open()
+	if err == nil {
+		rt.Close()
+		t.Fatal("Open succeeded with an unwritable -trace path")
+	}
+}

@@ -1,0 +1,476 @@
+// End-to-end fleet tests: the acceptance bar is that N loopback
+// workers produce a triage store and report tables byte-identical to
+// the single-process campaign at any N, including after killing and
+// restarting a worker mid-shard and after restarting the coordinator
+// from its per-shard checkpoints.
+package fleet_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
+	"repro/internal/triage"
+	"repro/internal/trigger"
+)
+
+// singleProcess runs the plain single-process campaigns over the given
+// systems in order, one shared triage store, and returns the per-system
+// reports plus the store bytes — the reference the fleet must match.
+func singleProcess(t *testing.T, systems []cluster.Runner, optsOf func() core.Options) (map[string][]trigger.Report, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "triage.jsonl")
+	store, err := triage.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := map[string][]trigger.Report{}
+	for _, r := range systems {
+		opts := optsOf()
+		opts.Config = campaign.Config{Workers: 1, Recorder: triage.NewRecorder(store)}
+		res := core.Run(r, opts)
+		reports[r.Name()] = res.Reports
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports, b
+}
+
+// planAll plans one campaign per system.
+func planAll(t *testing.T, systems []cluster.Runner, optsOf func() core.Options) []fleet.Plan {
+	t.Helper()
+	plans := make([]fleet.Plan, 0, len(systems))
+	for _, r := range systems {
+		plan, err := core.PlanFleet(r, core.SharedArtifacts, optsOf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Jobs) == 0 {
+			t.Fatalf("PlanFleet(%s) produced no jobs", r.Name())
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// startWorkers launches n loopback workers and returns a wait func.
+func startWorkers(t *testing.T, addr string, n int, maxJobs int) func() {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		w := &fleet.Worker{
+			Base:    "http://" + addr,
+			Name:    fmt.Sprintf("w%d", i),
+			Factory: core.FleetExecutors(core.SharedArtifacts, all.ByName),
+			Poll:    2 * time.Millisecond,
+			MaxJobs: maxJobs,
+		}
+		go func() {
+			defer wg.Done()
+			if err := w.Run(); err != nil {
+				t.Errorf("worker %s: %v", w.Name, err)
+			}
+		}()
+	}
+	return wg.Wait
+}
+
+// runFleet drives a complete fleet campaign with n loopback workers and
+// returns the merged per-system reports and the triage store bytes.
+func runFleet(t *testing.T, plans []fleet.Plan, n int) (map[string][]trigger.Report, []byte, fleet.Stats) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "triage.jsonl")
+	store, err := triage.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := fleet.New(fleet.Config{
+		Addr:      "127.0.0.1:0",
+		Plans:     plans,
+		ShardSize: 3,
+		LeaseTTL:  time.Minute,
+		Recorder:  triage.NewRecorder(store),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wait := startWorkers(t, c.Addr(), n, 0)
+	results := c.Wait()
+	wait()
+	stats := c.Stats()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := map[string][]trigger.Report{}
+	for _, pr := range results {
+		reps := make([]trigger.Report, len(pr.Results))
+		for i, res := range pr.Results {
+			reps[i] = trigger.ResultReport(res)
+		}
+		reports[pr.Spec.System] = reps
+	}
+	return reports, b, stats
+}
+
+func compareReports(t *testing.T, label string, want, got map[string][]trigger.Report) {
+	t.Helper()
+	for sys, w := range want {
+		g, ok := got[sys]
+		if !ok {
+			t.Errorf("%s: no fleet results for %s", label, sys)
+			continue
+		}
+		if !reflect.DeepEqual(w, g) {
+			i := 0
+			for i < len(w) && i < len(g) && reflect.DeepEqual(w[i], g[i]) {
+				i++
+			}
+			t.Errorf("%s: %s reports diverge at run %d:\n  single: %+v\n  fleet:  %+v", label, sys, i, at(w, i), at(g, i))
+		}
+	}
+}
+
+func at(reps []trigger.Report, i int) any {
+	if i < len(reps) {
+		return reps[i]
+	}
+	return "(missing)"
+}
+
+// TestFleetByteIdenticalAllSystems is the acceptance test: the default
+// crash campaign over all seven systems, executed by 1 and by 4
+// loopback workers, must produce report tables and a triage store
+// byte-identical to the single-process pipeline.
+func TestFleetByteIdenticalAllSystems(t *testing.T) {
+	systems := all.Runners()
+	optsOf := func() core.Options { return core.Options{Seed: 11, Scale: 1} }
+	want, wantStore := singleProcess(t, systems, optsOf)
+
+	for _, n := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			plans := planAll(t, systems, optsOf)
+			got, gotStore, stats := runFleet(t, plans, n)
+			compareReports(t, fmt.Sprintf("N=%d", n), want, got)
+			if string(wantStore) != string(gotStore) {
+				t.Errorf("N=%d: triage store differs from single-process (%d vs %d bytes)", n, len(wantStore), len(gotStore))
+			}
+			if !stats.Drained || stats.Done != stats.Total {
+				t.Errorf("N=%d: fleet not drained: %+v", n, stats)
+			}
+		})
+	}
+}
+
+// TestFleetFaultFamilies runs recovery and partition campaigns through
+// the fleet on two systems, pinning the Spec round-trip of the
+// fault-family options.
+func TestFleetFaultFamilies(t *testing.T) {
+	systems := []cluster.Runner{mustRunner(t, "toysys"), mustRunner(t, "zookeeper")}
+	for _, tc := range []struct {
+		name   string
+		optsOf func() core.Options
+	}{
+		{"recovery", func() core.Options {
+			return core.Options{Seed: 11, Scale: 1, Recovery: &trigger.RecoveryOptions{RestartDelay: 500 * sim.Millisecond}}
+		}},
+		{"partition", func() core.Options {
+			return core.Options{Seed: 11, Scale: 1, Partition: &trigger.PartitionOptions{}}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantStore := singleProcess(t, systems, tc.optsOf)
+			got, gotStore, _ := runFleet(t, planAll(t, systems, tc.optsOf), 2)
+			compareReports(t, tc.name, want, got)
+			if string(wantStore) != string(gotStore) {
+				t.Errorf("%s: triage store differs from single-process", tc.name)
+			}
+		})
+	}
+}
+
+func mustRunner(t *testing.T, name string) cluster.Runner {
+	t.Helper()
+	r, err := all.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFleetGuidedRejected pins that consistency-guided campaigns stay
+// in-process: their ordinals derive from violation context that is not
+// wire-encodable.
+func TestFleetGuidedRejected(t *testing.T) {
+	opts := core.Options{Seed: 11, Scale: 1, Partition: &trigger.PartitionOptions{Guided: true}}
+	if _, err := core.PlanFleet(mustRunner(t, "toysys"), core.SharedArtifacts, opts); err == nil {
+		t.Fatal("PlanFleet accepted a consistency-guided campaign")
+	}
+}
+
+// TestFleetWorkerKilledMidShard kills a worker mid-shard (job budget
+// exhausted) and lets a replacement finish after the lease expires: the
+// final results and triage store must still be byte-identical, the
+// re-queued shard resuming from its JSONL checkpoint.
+func TestFleetWorkerKilledMidShard(t *testing.T) {
+	systems := []cluster.Runner{mustRunner(t, "toysys")}
+	optsOf := func() core.Options { return core.Options{Seed: 11, Scale: 1} }
+	want, wantStore := singleProcess(t, systems, optsOf)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "triage.jsonl")
+	store, err := triage.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "shards")
+	// ShardSize 2: the killed worker leaves its shard with ONE remaining
+	// job, which the steal path refuses (it needs at least two), so the
+	// only way the campaign can finish is the lease-expiry re-queue.
+	c, err := fleet.New(fleet.Config{
+		Addr:      "127.0.0.1:0",
+		Plans:     planAll(t, systems, optsOf),
+		ShardSize: 2,
+		LeaseTTL:  50 * time.Millisecond,
+		Dir:       ckptDir,
+		Recorder:  triage.NewRecorder(store),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 1 executes exactly one job of its two-job shard, then dies.
+	startWorkers(t, c.Addr(), 1, 1)()
+	st := c.Stats()
+	if st.Done != 1 {
+		t.Fatalf("after killed worker: Done = %d, want 1", st.Done)
+	}
+	if got := countCheckpointLines(t, ckptDir); got != 1 {
+		t.Fatalf("checkpoint lines after killed worker = %d, want 1", got)
+	}
+
+	// The replacement must wait out the dead worker's lease, then finish
+	// everything — without re-executing the checkpointed job (the
+	// coordinator only leases the remaining set).
+	wait := startWorkers(t, c.Addr(), 1, 0)
+	results := c.Wait()
+	wait()
+	st = c.Stats()
+	if st.Expiries == 0 {
+		t.Errorf("expected at least one lease expiry, got %+v", st)
+	}
+	if st.Duplicates != 0 {
+		t.Errorf("replacement re-executed checkpointed work: %d duplicates", st.Duplicates)
+	}
+
+	// Metrics endpoint carries the fleet counters.
+	metrics := httpGet(t, "http://"+c.Addr()+"/metrics")
+	for _, name := range []string{"crashtuner_fleet_leases_total", "crashtuner_fleet_lease_expiries_total", "crashtuner_fleet_jobs_total"} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]trigger.Report{}
+	for _, pr := range results {
+		reps := make([]trigger.Report, len(pr.Results))
+		for i, res := range pr.Results {
+			reps[i] = trigger.ResultReport(res)
+		}
+		got[pr.Spec.System] = reps
+	}
+	compareReports(t, "killed worker", want, got)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantStore) != string(b) {
+		t.Errorf("triage store differs from single-process after worker kill")
+	}
+}
+
+// TestFleetCoordinatorRestart kills the coordinator mid-campaign and
+// restarts it over the same checkpoint directory: the restored
+// coordinator must resume from the per-shard JSONL checkpoints (not
+// re-execute finished jobs) and still produce byte-identical output.
+func TestFleetCoordinatorRestart(t *testing.T) {
+	systems := []cluster.Runner{mustRunner(t, "toysys")}
+	optsOf := func() core.Options { return core.Options{Seed: 11, Scale: 1} }
+	want, wantStore := singleProcess(t, systems, optsOf)
+
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "shards")
+	plans := planAll(t, systems, optsOf)
+
+	// First incarnation: two jobs execute, then the process "dies"
+	// (Close flushes checkpoints like an exiting process would).
+	c1, err := fleet.New(fleet.Config{
+		Addr: "127.0.0.1:0", Plans: plans, ShardSize: 2, LeaseTTL: time.Minute, Dir: ckptDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	startWorkers(t, c1.Addr(), 1, 2)()
+	done := c1.Stats().Done
+	if done != 2 {
+		t.Fatalf("first incarnation: Done = %d, want 2", done)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation resumes from the shard checkpoints.
+	path := filepath.Join(dir, "triage.jsonl")
+	store, err := triage.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := fleet.New(fleet.Config{
+		Addr: "127.0.0.1:0", Plans: planAll(t, systems, optsOf), ShardSize: 2, LeaseTTL: time.Minute,
+		Dir: ckptDir, Resume: true,
+		Recorder: triage.NewRecorder(store),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Stats(); st.Restored != done {
+		t.Fatalf("restored = %d, want %d", st.Restored, done)
+	}
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wait := startWorkers(t, c2.Addr(), 2, 0)
+	results := c2.Wait()
+	wait()
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string][]trigger.Report{}
+	for _, pr := range results {
+		reps := make([]trigger.Report, len(pr.Results))
+		for i, res := range pr.Results {
+			reps[i] = trigger.ResultReport(res)
+		}
+		got[pr.Spec.System] = reps
+	}
+	compareReports(t, "coordinator restart", want, got)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantStore) != string(b) {
+		t.Errorf("triage store differs from single-process after coordinator restart")
+	}
+}
+
+// TestFleetAwaitWorkers pins the drain grace: after the fleet drains,
+// AwaitWorkers returns quickly once every live worker has polled into
+// the 410 signal, and does not wait on a worker that died mid-campaign
+// (its lastSeen ages past the lease TTL).
+func TestFleetAwaitWorkers(t *testing.T) {
+	systems := []cluster.Runner{mustRunner(t, "toysys")}
+	optsOf := func() core.Options { return core.Options{Seed: 11, Scale: 1} }
+	c, err := fleet.New(fleet.Config{
+		Addr:      "127.0.0.1:0",
+		Plans:     planAll(t, systems, optsOf),
+		ShardSize: 2,
+		LeaseTTL:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One worker dies after a single job; a second drains the rest and
+	// exits on the 410 (startWorkers fails the test on any worker error,
+	// so a closed-port exit would be caught).
+	startWorkers(t, c.Addr(), 1, 1)()
+	wait := startWorkers(t, c.Addr(), 1, 0)
+	c.Wait()
+	wait()
+	start := time.Now()
+	c.AwaitWorkers(10 * time.Second)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("AwaitWorkers blocked %v on a dead worker", took)
+	}
+}
+
+func countCheckpointLines(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines += strings.Count(string(b), "\n")
+	}
+	return lines
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

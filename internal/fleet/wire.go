@@ -1,0 +1,207 @@
+// Package fleet is the wire-encodable campaign API: planning (enumerate
+// crash/partition points) and execution (run one point to an outcome)
+// as separate JSON types, plus the coordinator/worker service that
+// shards a campaign's job space across worker processes.
+//
+// The split exists so a campaign no longer has to run inside one
+// process: a Job names everything a run needs (system, seed, scale,
+// fault family via the scenario string, the dynamic point) and a Result
+// carries everything the aggregation layers consume (oracle outcome,
+// triage signature, trace span refs). trigger.Tester implements
+// Executor, so the in-process campaign loop and the fleet worker drive
+// the exact same execution path — fleet output is byte-identical to a
+// single-process campaign at any worker count by construction.
+//
+// The JSON encodings are part of the wire contract and fuzz-pinned
+// (wire_test.go): coordinators and workers from different builds must
+// agree on them, and per-shard checkpoint files (campaign.Checkpoint
+// machinery over Result) must stay loadable across restarts.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/crashpoint"
+	"repro/internal/sim"
+)
+
+// OutcomeNotHit is the oracle verdict string of a run whose armed point
+// never executed. The coordinator plans retry waves from it (the
+// retry-at-final-scale rule of the single-process test phase), so the
+// string is wire contract, pinned against trigger.NotHit by test.
+const OutcomeNotHit = "not-hit"
+
+// OutcomeHarnessError marks a run the harness aborted (panic, stall,
+// exhausted step budget) — not a verdict about the system under test.
+const OutcomeHarnessError = "harness-error"
+
+// Job is one wire-encodable unit of campaign execution: a single
+// injection run, fully named. A Job is self-contained — system, seed,
+// scale, and the fault family via the scenario string (the
+// crashpoint.Injection round-trip: "pre-read", "pre-read+partition",
+// "pre-read+partition@42") — so any worker holding the matching Spec
+// can execute it, and a persisted Job re-executes bit-identically.
+type Job struct {
+	// System is the runner name the job executes against.
+	System string `json:"system"`
+	// Campaign is the campaign kind ("test", "recovery", "partition",
+	// "partition-recovery", "random", "io").
+	Campaign string `json:"campaign"`
+	// Run is the job's ordinal within its campaign — the run index the
+	// single-process engine would have used, so records and traces match.
+	Run int `json:"run"`
+	// Seed and Scale configure the run.
+	Seed  int64 `json:"seed"`
+	Scale int   `json:"scale"`
+	// Point is the static crash point id; empty for baseline campaigns.
+	Point string `json:"point,omitempty"`
+	// Scenario is the injection identity in crashpoint.Injection string
+	// form; empty for baseline campaigns whose injection is derived from
+	// the seed alone.
+	Scenario string `json:"scenario,omitempty"`
+	// Stack is the dynamic call string of the point's first hit.
+	Stack string `json:"stack,omitempty"`
+}
+
+// Key renders the job's identity for logs and dedup.
+func (j Job) Key() string {
+	return fmt.Sprintf("%s/%s#%d@%d/%d:%s/%s", j.System, j.Campaign, j.Run, j.Seed, j.Scale, j.Point, j.Scenario)
+}
+
+// Fault is the wire form of the injected sim.FaultRecord.
+type Fault struct {
+	Kind string   `json:"kind"`
+	Node string   `json:"node,omitempty"`
+	At   sim.Time `json:"at,omitempty"`
+}
+
+// Record converts back to the engine-level fault record; nil receiver
+// (no fault injected) yields nil.
+func (f *Fault) Record() *sim.FaultRecord {
+	if f == nil {
+		return nil
+	}
+	kind, _ := sim.ParseFaultKind(f.Kind)
+	return &sim.FaultRecord{At: f.At, Node: sim.NodeID(f.Node), Kind: kind}
+}
+
+// SpanRef is one trace span recorded while a job executed — the wire
+// form of an obs PhaseEnd event. Workers attach the spans of each run
+// to its Result so the coordinator's sink (tracer, metrics) renders the
+// same nested campaign → run → phase structure a local campaign emits.
+type SpanRef struct {
+	Phase string        `json:"phase"`
+	Wall  time.Duration `json:"wall,omitempty"`
+	Sim   sim.Time      `json:"sim,omitempty"`
+}
+
+// Result is the wire-encodable outcome of one executed Job: the
+// flattened trigger report plus the precomputed triage signature.
+// ResultOf/ResultReport in the trigger invert each other over it, so
+// nothing the summaries, report tables or triage records consume is
+// lost on the wire.
+type Result struct {
+	// Job echoes the executed job, so a Result alone is enough to
+	// checkpoint, re-queue, deduplicate and record.
+	Job Job `json:"job"`
+	// Outcome is the oracle verdict string (trigger.Outcome.String).
+	Outcome string `json:"outcome"`
+	// Failing mirrors Outcome.IsBug() so wire consumers need no oracle
+	// table.
+	Failing bool `json:"failing,omitempty"`
+	// Target is the victim node the stash query chose.
+	Target string `json:"target,omitempty"`
+	// Fault is the injected fault record; nil when nothing was injected.
+	Fault *Fault `json:"fault,omitempty"`
+	// Duration is the run's simulated duration.
+	Duration sim.Time `json:"duration,omitempty"`
+	// Exceptions are the raw new-exception signatures absent from the
+	// fault-free baseline census. The slice fields deliberately have no
+	// omitempty: an absent list and an empty one must survive the wire
+	// distinctly, or a checkpoint-restored result would differ from the
+	// freshly executed run it stands in for.
+	Exceptions []string `json:"exceptions"`
+	// Witnesses are seeded-bug IDs whose flawed paths fired.
+	Witnesses []string `json:"witnesses"`
+	// Restarted lists nodes the recovery mode restarted.
+	Restarted []string `json:"restarted,omitempty"`
+	// Partitioned/Healed report what actually happened to the cut — a
+	// planned "+partition" job whose point never fired stays false here,
+	// which is why the record's scenario is rebuilt from these bits
+	// rather than echoed from the Job.
+	Partitioned bool `json:"partitioned,omitempty"`
+	Healed      bool `json:"healed,omitempty"`
+	// Guided/GuidedOrdinal mark a consistency-guided injection.
+	Guided        bool   `json:"guided,omitempty"`
+	GuidedOrdinal uint64 `json:"guidedOrdinal,omitempty"`
+	// Reason carries the workload failure or harness-error reason.
+	Reason string `json:"reason,omitempty"`
+	// Sig is the canonical triage signature key, precomputed by the
+	// executor so the coordinator's scheduler steers on it without
+	// recomputing signatures.
+	Sig string `json:"sig,omitempty"`
+	// Spans are the phase spans recorded during execution (worker side
+	// only; in-process campaigns emit phases live on their sink).
+	Spans []SpanRef `json:"spans,omitempty"`
+}
+
+// Scenario rebuilds the run's actual injection identity: the planned
+// scenario's crash-point half plus what the run really did (a planned
+// partition that never fired encodes as a plain scenario, matching the
+// single-process record stream).
+func (r Result) Scenario() string {
+	inj, ok := crashpoint.ParseInjection(r.Job.Scenario)
+	if !ok {
+		return r.Job.Scenario
+	}
+	return crashpoint.Injection{
+		Scenario:  inj.Scenario,
+		Partition: r.Partitioned,
+		Guided:    r.Guided,
+		Ordinal:   r.GuidedOrdinal,
+	}.String()
+}
+
+// RunRecord flattens the result into the layer-neutral record the
+// triage recorder persists — field-for-field identical to what the
+// single-process campaign's recorder receives for the same run, which
+// is what makes a fleet-written triage store byte-identical to a local
+// one.
+func (r Result) RunRecord() campaign.RunRecord {
+	rr := campaign.RunRecord{
+		System:     r.Job.System,
+		Campaign:   r.Job.Campaign,
+		Run:        r.Job.Run,
+		Seed:       r.Job.Seed,
+		Scale:      r.Job.Scale,
+		Point:      r.Job.Point,
+		Scenario:   r.Scenario(),
+		Stack:      r.Job.Stack,
+		Target:     r.Target,
+		Outcome:    r.Outcome,
+		Failing:    r.Failing,
+		Exceptions: r.Exceptions,
+		Witnesses:  r.Witnesses,
+		Reason:     r.Reason,
+		Duration:   r.Duration,
+	}
+	if r.Fault != nil {
+		rr.Fault = r.Fault.Kind
+	}
+	return rr
+}
+
+// Executor runs one job to its outcome. trigger.Tester and
+// baseline.Executor implement it; the in-process campaign loops and the
+// fleet worker both consume it, so there is exactly one execution path.
+type Executor interface {
+	Execute(Job) Result
+}
+
+// ExecutorFactory builds the executor for one campaign spec at one
+// scale. Workers call it per leased shard (and per retry scale); the
+// factory is expected to share analysis artifacts and baselines across
+// calls (core.FleetExecutors memoizes through the artifact cache).
+type ExecutorFactory func(spec Spec, scale int) (Executor, error)

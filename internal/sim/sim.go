@@ -343,6 +343,24 @@ func (k FaultKind) String() string {
 	}
 }
 
+// ParseFaultKind inverts FaultKind.String, so fault records persisted by
+// their kind name (triage records, fleet wire results) rebuild exactly.
+func ParseFaultKind(s string) (FaultKind, bool) {
+	switch s {
+	case "crash":
+		return FaultCrash, true
+	case "shutdown":
+		return FaultShutdown, true
+	case "restart":
+		return FaultRestart, true
+	case "partition":
+		return FaultPartition, true
+	case "heal":
+		return FaultHeal, true
+	}
+	return FaultCrash, false
+}
+
 // FaultRecord describes an injected fault.
 type FaultRecord struct {
 	At   Time

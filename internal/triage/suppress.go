@@ -60,6 +60,21 @@ func (s *Suppressions) Suppressed(c *Cluster) bool {
 	return false
 }
 
+// Keys returns a copy of the raw entry set — signature keys and cluster
+// ids mixed, as the file listed them — for consumers that match entries
+// against signature keys directly (the fleet scheduler); cluster-id
+// entries simply never match there.
+func (s *Suppressions) Keys() map[string]bool {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(s.entries))
+	for k := range s.entries {
+		out[k] = true
+	}
+	return out
+}
+
 // Filter returns the clusters not on the suppression list, preserving
 // rank order, along with how many were dropped.
 func (s *Suppressions) Filter(clusters []*Cluster) (kept []*Cluster, dropped int) {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/crashpoint"
 	"repro/internal/dslog"
 	"repro/internal/logparse"
 	"repro/internal/obs"
@@ -228,9 +229,13 @@ func (t *Tester) GuidedCampaign(points []GuidedPoint) []Report {
 	reports := campaign.Run(len(points), campaign.Options[Report]{
 		Workers: t.Workers,
 		Recover: func(i int, v any) Report {
-			rep := t.panicReport(points[i].Dyn, v)
+			gp := points[i]
+			scenario := crashpoint.Injection{
+				Scenario: gp.Dyn.Scenario, Partition: true, Guided: true, Ordinal: gp.Ordinal,
+			}.String()
+			rep := t.panicReport(i, gp.Dyn, scenario, v)
 			rep.Guided = true
-			rep.GuidedOrdinal = points[i].Ordinal
+			rep.GuidedOrdinal = gp.Ordinal
 			return rep
 		},
 		Checkpoint: t.Config.Checkpoint(),

@@ -22,6 +22,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
+	"repro/internal/fleet"
 	"repro/internal/logparse"
 	"repro/internal/metainfo"
 	"repro/internal/obs"
@@ -101,9 +102,10 @@ func (o Outcome) IsPartitionBug() bool {
 type Baseline struct {
 	Duration sim.Time
 	Status   cluster.Status
-	// Exceptions is the fault-free census, keyed by NormalizeSignature
-	// of every signature seen without faults, so the oracle's "never
-	// seen in baseline" test is stable across seeds and scales.
+	// Exceptions is the fault-free census, keyed by the normalized form
+	// (triage.NormalizeException) of every signature seen without
+	// faults, so the oracle's "never seen in baseline" test is stable
+	// across seeds and scales.
 	Exceptions map[string]bool
 	Runs       int
 }
@@ -281,7 +283,7 @@ func MeasureBaseline(r cluster.Runner, seed int64, scale, runs int, deadline sim
 			b.Duration = res.End
 		}
 		for _, ex := range run.Engine().Exceptions() {
-			b.Exceptions[NormalizeSignature(ex.Signature)] = true
+			b.Exceptions[triage.NormalizeException(ex.Signature)] = true
 		}
 		if run.Status() != cluster.Succeeded {
 			b.Status = run.Status()
@@ -477,7 +479,7 @@ func NewUnhandledSignatures(b Baseline, exceptions []sim.Exception) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, ex := range exceptions {
-		key := NormalizeSignature(ex.Signature)
+		key := triage.NormalizeException(ex.Signature)
 		if ex.Handled || b.Exceptions[key] || seen[key] {
 			continue
 		}
@@ -577,38 +579,64 @@ func EvaluateRecovery(b Baseline, run cluster.Run, res sim.RunResult, newEx []st
 }
 
 // Campaign tests every dynamic point and returns the reports, indexed by
-// point position. Points fan out across the Tester's worker pool; each
-// run is independent and deterministically seeded, so the reports — and
-// everything aggregated from them — are byte-identical for any worker
-// count, including the sequential Workers=1 special case.
+// point position. The points are first rendered as wire jobs (Jobs) and
+// then driven through Execute — the same executor a fleet worker runs —
+// so the in-process loop and the distributed path cannot drift. Jobs
+// fan out across the Tester's worker pool; each run is independent and
+// deterministically seeded, so the reports — and everything aggregated
+// from them — are byte-identical for any worker count, including the
+// sequential Workers=1 special case.
 //
 // The campaign is panic-isolated: a system model that panics mid-run
 // produces a HarnessError report for that point instead of taking the
-// whole campaign down. With CheckpointPath set it is also resumable.
+// whole campaign down. With CheckpointPath set it is also resumable;
+// the checkpoint lines hold wire results, the same encoding the fleet
+// coordinator's per-shard checkpoints use. With StallTimeout set, a
+// run exceeding the wall-clock budget is abandoned and reported as a
+// HarnessError naming its point ordinal and scenario.
 func (t *Tester) Campaign(points []probe.DynPoint) []Report {
+	results := t.RunJobs(t.Jobs(points))
+	reports := make([]Report, len(results))
+	for i, res := range results {
+		reports[i] = ResultReport(res)
+	}
+	t.recordResults(results)
+	return reports
+}
+
+// RunJobs is the in-process campaign loop over wire jobs: the worker
+// pool drives Execute on each job, in run order, with the Tester's
+// panic isolation, stall watchdog, checkpointing and sink wiring.
+// Recording is the caller's business (Campaign records; the fleet
+// coordinator records centrally).
+func (t *Tester) RunJobs(jobs []fleet.Job) []fleet.Result {
 	bugs := 0 // guarded by the campaign completion lock (Annotate contract)
-	reports := campaign.Run(len(points), campaign.Options[Report]{
-		Workers:    t.Workers,
-		Recover:    func(i int, v any) Report { return t.panicReport(points[i], v) },
+	return campaign.Run(len(jobs), campaign.Options[fleet.Result]{
+		Workers: t.Workers,
+		Recover: func(i int, v any) fleet.Result {
+			return ResultOf(jobs[i], t.panicReport(i, DynPointOf(jobs[i]), jobs[i].Scenario, v))
+		},
+		StallTimeout: t.StallTimeout,
+		OnStall: func(i int) fleet.Result {
+			return ResultOf(jobs[i], t.stallReport(i, DynPointOf(jobs[i]), jobs[i].Scenario))
+		},
 		Checkpoint: t.Config.Checkpoint(),
 		Sink:       t.Sink,
 		Scope:      t.scope(),
-		Annotate: func(ev *obs.Event, i int, rep Report) {
-			if rep.Outcome.IsBug() {
+		Annotate: func(ev *obs.Event, i int, res fleet.Result) {
+			if res.Failing {
 				bugs++
 			}
 			ev.Bugs = bugs
-			ev.Crash = rep.Dyn.Key()
-			ev.Outcome = rep.Outcome.String()
-			ev.Sim = rep.Duration
-			ev.Target = string(rep.Target)
-			if rep.Injected != nil {
-				ev.Fault = rep.Injected.Kind.String()
+			ev.Crash = DynPointOf(res.Job).Key()
+			ev.Outcome = res.Outcome
+			ev.Sim = res.Duration
+			ev.Target = res.Target
+			if res.Fault != nil {
+				ev.Fault = res.Fault.Kind
 			}
 		},
-	}, func(i int) Report { return t.runPoint(i, points[i]) })
-	t.record(reports)
-	return reports
+	}, func(i int) fleet.Result { return t.Execute(jobs[i]) })
 }
 
 // record delivers the campaign's reports to the configured triage
@@ -627,12 +655,28 @@ func (t *Tester) record(reports []Report) {
 	}
 }
 
+// recordResults is record over wire results: each result flattens
+// itself (fleet.Result.RunRecord), which agrees field-for-field with
+// RunRecordOf over the report it came from.
+func (t *Tester) recordResults(results []fleet.Result) {
+	rec := t.Config.Recorder
+	if rec == nil {
+		return
+	}
+	for _, res := range results {
+		rec.Record(res.RunRecord())
+	}
+}
+
 // panicReport turns a recovered model panic into a HarnessError report.
-func (t *Tester) panicReport(d probe.DynPoint, v any) Report {
+// The reason names the campaign ordinal and the injection scenario of
+// the panicking run, so a panic surfacing from a many-point campaign is
+// attributable without replaying the whole campaign under a debugger.
+func (t *Tester) panicReport(run int, d probe.DynPoint, scenario string, v any) Report {
 	return Report{
 		Dyn:     d,
 		Outcome: HarnessError,
-		Reason:  fmt.Sprintf("panic in system model: %v", v),
+		Reason:  fmt.Sprintf("panic in system model (point %d, %s): %v", run, scenario, v),
 	}
 }
 

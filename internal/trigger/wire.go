@@ -1,0 +1,199 @@
+// The trigger's side of the fleet wire contract: planning (Jobs renders
+// a campaign's points as wire jobs) and execution (Execute runs one wire
+// job to a wire result). The in-process Campaign loop and the fleet
+// worker both funnel through Execute, so there is exactly one execution
+// path and a distributed campaign is byte-identical to a local one by
+// construction, not by parallel maintenance of two loops.
+package trigger
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/crashpoint"
+	"repro/internal/fleet"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/triage"
+)
+
+// Tester is the trigger's fleet executor.
+var _ fleet.Executor = (*Tester)(nil)
+
+// SetSink replaces the Tester's event sink. Fleet workers install a
+// span-capturing sink per job so each result ships its phase spans.
+func (t *Tester) SetSink(s obs.Sink) { t.Sink = s }
+
+// ParseOutcome inverts Outcome.String. Unknown strings report
+// (HarnessError, false) so a wire peer from a newer build degrades to a
+// visible harness problem instead of a silent misclassification.
+func ParseOutcome(s string) (Outcome, bool) {
+	for i, name := range outcomeNames {
+		if name == s {
+			return Outcome(i), true
+		}
+	}
+	return HarnessError, false
+}
+
+// Jobs renders the planning half of a campaign: one wire job per
+// dynamic point, in run order, carrying the full injection identity
+// (the crashpoint.Injection string round-trip) so any worker holding
+// the campaign's Spec can execute them.
+func (t *Tester) Jobs(points []probe.DynPoint) []fleet.Job {
+	sc := t.scope()
+	jobs := make([]fleet.Job, len(points))
+	for i, d := range points {
+		jobs[i] = fleet.Job{
+			System:   sc.System,
+			Campaign: sc.Campaign,
+			Run:      i,
+			Seed:     t.Seed,
+			Scale:    t.Scale,
+			Point:    string(d.Point),
+			Scenario: crashpoint.Injection{Scenario: d.Scenario, Partition: t.Partition != nil}.String(),
+			Stack:    d.Stack,
+		}
+	}
+	return jobs
+}
+
+// DynPointOf rebuilds the dynamic crash point a wire job names. The
+// round-trip is lossless: a DynPoint is exactly (point, scenario,
+// stack), all three of which the job carries.
+func DynPointOf(j fleet.Job) probe.DynPoint {
+	d := probe.DynPoint{Point: ir.PointID(j.Point), Stack: j.Stack}
+	if inj, ok := crashpoint.ParseInjection(j.Scenario); ok {
+		d.Scenario = inj.Scenario
+	}
+	return d
+}
+
+// Execute runs one wire job to its wire result — the fleet.Executor
+// contract. A job whose Scale differs from the Tester's (a retry-wave
+// job) executes on a scaled copy, like the single-process retry
+// campaign; the copy's stale snapshot plan is ignored by the
+// compatibility fence, so such runs take the full path unless the
+// caller installed a plan for that scale.
+func (t *Tester) Execute(j fleet.Job) fleet.Result {
+	rt := t
+	if j.Scale > 0 && j.Scale != t.Scale {
+		c := *t
+		c.Scale = j.Scale
+		c.CheckpointPath = ""
+		c.Resume = false
+		rt = &c
+	}
+	rep := rt.runPoint(j.Run, DynPointOf(j))
+	return ResultOf(j, rep)
+}
+
+// ResultOf flattens a report into the wire result for its job,
+// precomputing the triage signature of failing runs so the coordinator
+// steers without recomputing it. ResultReport inverts it.
+func ResultOf(j fleet.Job, rep Report) fleet.Result {
+	res := fleet.Result{
+		Job:           j,
+		Outcome:       rep.Outcome.String(),
+		Failing:       rep.Outcome.IsBug(),
+		Target:        string(rep.Target),
+		Duration:      rep.Duration,
+		Exceptions:    rep.NewExceptions,
+		Witnesses:     rep.Witnesses,
+		Partitioned:   rep.Partitioned,
+		Healed:        rep.Healed,
+		Guided:        rep.Guided,
+		GuidedOrdinal: rep.GuidedOrdinal,
+		Reason:        rep.Reason,
+	}
+	for _, id := range rep.Restarted {
+		res.Restarted = append(res.Restarted, string(id))
+	}
+	if f := rep.Injected; f != nil {
+		res.Fault = &fleet.Fault{Kind: f.Kind.String(), Node: string(f.Node), At: f.At}
+	}
+	if res.Failing {
+		res.Sig = triage.FromRunRecord(res.RunRecord()).Sig
+	}
+	return res
+}
+
+// ResultReport rebuilds the trigger report a wire result flattened, so
+// report tables and summaries render identically whether the campaign
+// ran in-process or across a fleet.
+func ResultReport(res fleet.Result) Report {
+	o, _ := ParseOutcome(res.Outcome)
+	rep := Report{
+		Dyn:           DynPointOf(res.Job),
+		Outcome:       o,
+		Target:        sim.NodeID(res.Target),
+		Injected:      res.Fault.Record(),
+		Duration:      res.Duration,
+		NewExceptions: res.Exceptions,
+		Witnesses:     res.Witnesses,
+		Partitioned:   res.Partitioned,
+		Healed:        res.Healed,
+		Guided:        res.Guided,
+		GuidedOrdinal: res.GuidedOrdinal,
+		Reason:        res.Reason,
+	}
+	for _, id := range res.Restarted {
+		rep.Restarted = append(rep.Restarted, sim.NodeID(id))
+	}
+	return rep
+}
+
+// RunRecordOf flattens one report into the layer-neutral run record the
+// triage recorder persists. The record keeps raw (un-normalized) fields
+// — normalization happens inside the triage signature — and everything
+// needed to re-execute the run during confirmation: the static point,
+// the scenario, the dynamic stack, the seed and the scale. It agrees
+// field-for-field with fleet.Result.RunRecord over the same run
+// (pinned by test), which is what lets fleet and in-process campaigns
+// write byte-identical triage stores.
+func RunRecordOf(system, kind string, run int, seed int64, scale int, rep Report) campaign.RunRecord {
+	rr := campaign.RunRecord{
+		System:   system,
+		Campaign: kind,
+		Run:      run,
+		Seed:     seed,
+		Scale:    scale,
+		Point:    string(rep.Dyn.Point),
+		// The scenario string is the full injection identity: partition
+		// runs persist as "pre-read+partition", guided ones with their
+		// ordinal ("pre-read+partition@42"), so confirmation can rebuild
+		// the exact cluster (crashpoint.ParseInjection inverts it).
+		Scenario: crashpoint.Injection{
+			Scenario:  rep.Dyn.Scenario,
+			Partition: rep.Partitioned,
+			Guided:    rep.Guided,
+			Ordinal:   rep.GuidedOrdinal,
+		}.String(),
+		Stack:      rep.Dyn.Stack,
+		Target:     string(rep.Target),
+		Outcome:    rep.Outcome.String(),
+		Failing:    rep.Outcome.IsBug(),
+		Exceptions: rep.NewExceptions,
+		Witnesses:  rep.Witnesses,
+		Reason:     rep.Reason,
+		Duration:   rep.Duration,
+	}
+	if rep.Injected != nil {
+		rr.Fault = rep.Injected.Kind.String()
+	}
+	return rr
+}
+
+// stallReport is the OnStall result of a job the watchdog abandoned:
+// a HarnessError naming the point ordinal and scenario, so the report
+// table says WHICH injection livelocked instead of a bare zero value.
+func (t *Tester) stallReport(run int, d probe.DynPoint, scenario string) Report {
+	return Report{
+		Dyn:     d,
+		Outcome: HarnessError,
+		Reason: fmt.Sprintf("run stalled past %s (point %d, %s)",
+			t.StallTimeout, run, scenario),
+	}
+}
