@@ -95,6 +95,7 @@ type Stats struct {
 	Expiries   int64 `json:"expiries"`   // leases dropped by the TTL sweep
 	Steals     int64 `json:"steals"`     // leases that co-leased an already-leased shard
 	Duplicates int64 `json:"duplicates"` // results dropped first-write-wins
+	Rejected   int64 `json:"rejected"`   // results refused because the posted job mismatched the plan
 	Drained    bool  `json:"drained"`    // every plan finished
 }
 
@@ -106,8 +107,16 @@ type shard struct {
 	// subset. A lease hands out exactly the remaining set.
 	jobs      map[int]Job
 	remaining map[int]bool
-	leases    []*lease
-	ckpt      *campaign.CheckpointWriter[Result]
+	// slots lists the shard's global indices in planning order; slot is
+	// the inverse (global index → position). The slot — not the global
+	// index — keys the shard's checkpoint lines: retry jobs get their
+	// global indices in plan-completion order on a live run but in plan
+	// order on resume, so the indices differ across incarnations while
+	// the slot within a (plan, wave, ordinal) shard does not.
+	slots  []int
+	slot   map[int]int
+	leases []*lease
+	ckpt   *campaign.CheckpointWriter[Result]
 }
 
 type lease struct {
@@ -184,7 +193,7 @@ func New(cfg Config) (*Coordinator, error) {
 	// count toward the CampaignStart Done field, like a resumed local
 	// campaign.
 	for p, ps := range c.plans {
-		c.addShards(p, ps.wave1)
+		c.addShards(p, 1, ps.wave1)
 	}
 	for p, ps := range c.plans {
 		c.emitCampaignStart(p, ps.wave1)
@@ -193,24 +202,33 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// addShards slices indices into lease units and restores their
-// checkpoint files.
-func (c *Coordinator) addShards(plan int, indices []int) {
+// addShards slices a wave's indices into lease units and restores their
+// checkpoint files. Checkpoint files are named by the deterministic
+// planning coordinates (plan, wave, shard ordinal within the wave) —
+// never by the runtime shard id, which depends on the order plans
+// happened to finish their first wave in the previous incarnation.
+func (c *Coordinator) addShards(plan, wave int, indices []int) {
 	for off := 0; off < len(indices); off += c.cfg.ShardSize {
 		end := off + c.cfg.ShardSize
 		if end > len(indices) {
 			end = len(indices)
 		}
-		sh := &shard{id: len(c.shards), plan: plan, jobs: map[int]Job{}, remaining: map[int]bool{}}
+		sh := &shard{id: len(c.shards), plan: plan, jobs: map[int]Job{}, remaining: map[int]bool{}, slot: map[int]int{}}
 		for _, g := range indices[off:end] {
 			sh.jobs[g] = c.jobs[g]
 			sh.remaining[g] = true
+			sh.slot[g] = len(sh.slots)
+			sh.slots = append(sh.slots, g)
 		}
 		if c.cfg.Dir != "" {
-			path := filepath.Join(c.cfg.Dir, fmt.Sprintf("shard-%04d.jsonl", sh.id))
+			path := filepath.Join(c.cfg.Dir, fmt.Sprintf("shard-p%02d-w%d-%04d.jsonl", plan, wave, off/c.cfg.ShardSize))
 			if c.cfg.Resume {
-				for g, r := range campaign.LoadCheckpoint[Result](path, len(c.jobs)) {
-					if !sh.remaining[g] || c.results[g] != nil {
+				for k, r := range campaign.LoadCheckpoint[Result](path, len(sh.slots)) {
+					g := sh.slots[k]
+					// A restored result must name the job planned at its
+					// slot; anything else (a stale or foreign file) is
+					// dropped and the job simply re-executes.
+					if r.Job.Key() != c.jobs[g].Key() || !sh.remaining[g] || c.results[g] != nil {
 						continue
 					}
 					r := r
@@ -406,6 +424,21 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	status, body := c.grantLease(req)
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// grantLease picks and leases a shard under the lock and returns the
+// status plus the marshalled reply. The reply is written to the client
+// only after the lock is released, so one stalled worker connection
+// cannot block lease handout, result ingestion and status for the rest
+// of the fleet.
+func (c *Coordinator) grantLease(req leaseRequest) (int, []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := time.Now()
@@ -413,8 +446,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.sweepLocked(now)
 	if c.drainedLocked() {
 		ws.told = true
-		w.WriteHeader(http.StatusGone)
-		return
+		return http.StatusGone, nil
 	}
 	sh := c.sched.pick(c.shards)
 	if sh == nil {
@@ -426,8 +458,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if sh == nil {
 		// Everything with work is leased and too small to steal; the
 		// worker polls again.
-		w.WriteHeader(http.StatusNoContent)
-		return
+		return http.StatusNoContent, nil
 	}
 	c.leaseID++
 	l := &lease{id: c.leaseID, worker: req.Worker, expires: now.Add(c.cfg.LeaseTTL)}
@@ -447,7 +478,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.stats.Leases++
 	c.stats.LeasedJobs += int64(len(rep.Jobs))
 	fleetLeases.Inc()
-	json.NewEncoder(w).Encode(rep)
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return http.StatusInternalServerError, nil
+	}
+	return http.StatusOK, body
 }
 
 func sortIndexedJobs(js []indexedJob) {
@@ -464,16 +499,40 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	status, body := c.acceptResult(post)
+	if status != http.StatusOK {
+		http.Error(w, string(body), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// acceptResult validates and ingests one posted result under the lock,
+// returning the status plus the reply (marshalled reply on 200, error
+// text otherwise); like grantLease, the caller writes it only after the
+// lock is released.
+func (c *Coordinator) acceptResult(post resultPost) (int, []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := time.Now()
 	c.touchLocked(post.Worker, now)
 	c.sweepLocked(now)
 	if post.Shard < 0 || post.Shard >= len(c.shards) {
-		http.Error(w, "unknown shard", http.StatusBadRequest)
-		return
+		return http.StatusBadRequest, []byte("unknown shard")
 	}
 	sh := c.shards[post.Shard]
+	if _, ok := sh.jobs[post.I]; !ok {
+		return http.StatusBadRequest, []byte(fmt.Sprintf("job %d not in shard %d", post.I, post.Shard))
+	}
+	// The posted result must echo the job planned at its index: a
+	// version-skewed worker whose planning enumerates points differently
+	// fails loudly here instead of silently filling the wrong slot in
+	// the result table and the checkpoint.
+	if got, want := post.Result.Job.Key(), c.jobs[post.I].Key(); got != want {
+		c.stats.Rejected++
+		return http.StatusBadRequest, []byte(fmt.Sprintf("job mismatch at index %d: posted %s, planned %s", post.I, got, want))
+	}
 	rep := resultReply{Revoked: true}
 	for _, l := range sh.leases {
 		if l.id == post.Lease {
@@ -487,7 +546,11 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	// deterministic, so a late result is identical to the one a
 	// replacement worker would produce; first write wins either way.
 	c.ingestLocked(sh, post.I, post.Result)
-	json.NewEncoder(w).Encode(rep)
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return http.StatusInternalServerError, []byte("encoding reply")
+	}
+	return http.StatusOK, body
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -508,7 +571,9 @@ func (c *Coordinator) ingestLocked(sh *shard, g int, res Result) {
 	c.results[g] = &r
 	delete(sh.remaining, g)
 	if sh.ckpt != nil {
-		sh.ckpt.Append(g, res)
+		// Checkpoint lines are keyed by the job's stable slot within the
+		// shard, not its incarnation-dependent global index.
+		sh.ckpt.Append(sh.slot[g], res)
 	}
 	c.sched.observe(res)
 	c.stats.Done++
@@ -635,7 +700,7 @@ func (c *Coordinator) planRetryLocked(plan int) bool {
 	}
 	ps.retry = retry
 	c.stats.Total = len(c.jobs)
-	c.addShards(plan, retry)
+	c.addShards(plan, 2, retry)
 	return true
 }
 

@@ -82,7 +82,6 @@ func (w *Worker) Run() error {
 		poll = 100 * time.Millisecond
 	}
 	execs := map[string]Executor{}
-	cap := &spanCapture{}
 	executed, transportErrs := 0, 0
 	for {
 		rep, status, err := w.lease(client, name)
@@ -118,16 +117,36 @@ func (w *Worker) Run() error {
 				}
 				execs[key] = exec
 			}
-			cap.spans = cap.spans[:0]
+			// A fresh capture per job: a stalled run's abandoned goroutine
+			// keeps emitting into the capture it was armed with, so later
+			// jobs must never share it.
+			cap := &spanCapture{}
 			if ss, ok := exec.(interface{ SetSink(obs.Sink) }); ok {
 				ss.SetSink(cap)
 			}
-			res := w.execute(exec, ij.Job)
-			res.Spans = append([]SpanRef(nil), cap.spans...)
+			res, stalled := w.execute(exec, ij.Job)
+			if stalled {
+				// The abandoned goroutine still owns this executor (and
+				// its capture, so we do not read it): evict the executor
+				// so the next job on this spec builds a fresh one instead
+				// of racing a still-running Execute.
+				delete(execs, key)
+			} else {
+				res.Spans = append([]SpanRef(nil), cap.spans...)
+			}
 			executed++
-			revoked, err := w.post(client, name, rep, ij.I, res)
+			revoked, reject, err := w.post(client, name, rep, ij.I, res)
 			if err != nil {
 				return fmt.Errorf("fleet: posting result: %w", err)
+			}
+			if reject != "" {
+				// The coordinator refused the result — the shard is stale
+				// (a restarted coordinator re-planned it) or the plans
+				// disagree (version skew). Either way the shard is not
+				// ours to finish; abandon it and lease afresh so the
+				// coordinator's view wins.
+				w.logf("%s: result for job %d on shard %d rejected (%s), abandoning lease %d", name, ij.I, rep.Shard, reject, rep.Lease)
+				break
 			}
 			if revoked {
 				// The lease expired and the shard was handed elsewhere;
@@ -139,10 +158,12 @@ func (w *Worker) Run() error {
 	}
 }
 
-// execute runs one job, arming the stall watchdog when configured.
-func (w *Worker) execute(exec Executor, j Job) Result {
+// execute runs one job, arming the stall watchdog when configured; the
+// stalled return tells the caller the executor's goroutine is still
+// running and both the executor and its span capture must be abandoned.
+func (w *Worker) execute(exec Executor, j Job) (res Result, stalled bool) {
 	if w.StallTimeout <= 0 {
-		return exec.Execute(j)
+		return exec.Execute(j), false
 	}
 	done := make(chan Result, 1)
 	go func() { done <- exec.Execute(j) }()
@@ -150,13 +171,13 @@ func (w *Worker) execute(exec Executor, j Job) Result {
 	defer t.Stop()
 	select {
 	case res := <-done:
-		return res
+		return res, false
 	case <-t.C:
 		return Result{
 			Job:     j,
 			Outcome: OutcomeHarnessError,
 			Reason:  fmt.Sprintf("run stalled past %s (point %d, %s)", w.StallTimeout, j.Run, j.Scenario),
-		}
+		}, true
 	}
 }
 
@@ -190,8 +211,11 @@ func (w *Worker) lease(client *http.Client, name string) (leaseReply, int, error
 }
 
 // post streams one result back; retries transport errors so a briefly
-// restarting coordinator doesn't lose a finished run.
-func (w *Worker) post(client *http.Client, name string, lease leaseReply, i int, res Result) (revoked bool, err error) {
+// restarting coordinator doesn't lose a finished run. A non-empty
+// reject means the coordinator refused the result (4xx) — the caller
+// abandons the shard rather than treating it as fatal, since the usual
+// cause is a stale lease against a restarted coordinator.
+func (w *Worker) post(client *http.Client, name string, lease leaseReply, i int, res Result) (revoked bool, reject string, err error) {
 	body, _ := json.Marshal(resultPost{Worker: name, Lease: lease.Lease, Shard: lease.Shard, I: i, Result: res})
 	poll := w.Poll
 	if poll <= 0 {
@@ -201,7 +225,7 @@ func (w *Worker) post(client *http.Client, name string, lease leaseReply, i int,
 		resp, perr := client.Post(w.Base+"/v1/result", "application/json", bytes.NewReader(body))
 		if perr != nil {
 			if attempt >= maxTransportErrors {
-				return false, perr
+				return false, "", perr
 			}
 			time.Sleep(poll)
 			continue
@@ -209,12 +233,15 @@ func (w *Worker) post(client *http.Client, name string, lease leaseReply, i int,
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			return false, fmt.Errorf("result: %s: %s", resp.Status, bytes.TrimSpace(msg))
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				return false, fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(msg)), nil
+			}
+			return false, "", fmt.Errorf("result: %s: %s", resp.Status, bytes.TrimSpace(msg))
 		}
 		var rep resultReply
 		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-			return false, err
+			return false, "", err
 		}
-		return rep.Revoked, nil
+		return rep.Revoked, "", nil
 	}
 }

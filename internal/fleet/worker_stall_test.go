@@ -1,0 +1,117 @@
+// Worker stall-watchdog isolation: when StallTimeout abandons a job,
+// the executor's goroutine is still running — the worker must evict the
+// executor from its cache (the next job on the spec gets a fresh one,
+// never a concurrent Execute on the same instance) and must stop
+// touching the stalled job's span capture, which the abandoned
+// goroutine keeps emitting into.
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stallExec is a fake executor whose first instance blocks in Execute —
+// emitting spans the whole time, like a livelocked engine would — until
+// released. It counts concurrent Execute calls per instance.
+type stallExec struct {
+	id      int32
+	release chan struct{} // non-nil: Execute blocks until closed
+
+	mu      sync.Mutex
+	sink    obs.Sink
+	running int32
+}
+
+func (e *stallExec) SetSink(s obs.Sink) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = s
+}
+
+func (e *stallExec) emit(ev obs.Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sink != nil {
+		e.sink.Emit(ev)
+	}
+}
+
+func (e *stallExec) Execute(j Job) Result {
+	if n := atomic.AddInt32(&e.running, 1); n > 1 {
+		panic("concurrent Execute on one cached executor")
+	}
+	defer atomic.AddInt32(&e.running, -1)
+	if e.release != nil {
+		for {
+			select {
+			case <-e.release:
+				return Result{Job: j, Outcome: "injected-ok"}
+			case <-time.After(time.Millisecond):
+				// A stalled run keeps generating phase spans; with a
+				// shared capture this races the main loop (caught by the
+				// nightly -race stress run).
+				e.emit(obs.Event{Kind: obs.PhaseEnd, Phase: "stalling"})
+			}
+		}
+	}
+	e.emit(obs.Event{Kind: obs.PhaseEnd, Phase: "run"})
+	return Result{Job: j, Outcome: "injected-ok"}
+}
+
+func TestFleetWorkerStallEvictsExecutor(t *testing.T) {
+	c, err := New(Config{Addr: "127.0.0.1:0", Plans: []Plan{{
+		Spec: Spec{System: "sysA", Campaign: "test", Seed: 7, Scale: 1},
+		Jobs: []Job{
+			{System: "sysA", Campaign: "test", Run: 0, Seed: 7, Scale: 1, Point: "sysA.p0", Scenario: "pre-read"},
+			{System: "sysA", Campaign: "test", Run: 1, Seed: 7, Scale: 1, Point: "sysA.p1", Scenario: "pre-read"},
+		},
+	}}, ShardSize: 2, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	release := make(chan struct{})
+	defer close(release) // let the abandoned goroutine finish
+	var built int32
+	w := &Worker{
+		Base: "http://" + c.Addr(),
+		Name: "stall-test",
+		Factory: func(spec Spec, scale int) (Executor, error) {
+			e := &stallExec{id: atomic.AddInt32(&built, 1)}
+			if e.id == 1 {
+				e.release = release
+			}
+			return e, nil
+		},
+		Poll:         time.Millisecond,
+		StallTimeout: 30 * time.Millisecond,
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stall must have evicted executor #1: job 1 ran on a fresh
+	// instance instead of racing the still-blocked Execute.
+	if built != 2 {
+		t.Errorf("factory built %d executors, want 2 (stall evicts the first)", built)
+	}
+	prs := c.Wait()
+	if len(prs) != 1 || len(prs[0].Results) != 2 {
+		t.Fatalf("unexpected results shape: %+v", prs)
+	}
+	if got := prs[0].Results[0]; got.Outcome != OutcomeHarnessError || len(got.Spans) != 0 {
+		t.Errorf("stalled job: outcome %q with %d spans, want %q with none", got.Outcome, len(got.Spans), OutcomeHarnessError)
+	}
+	if got := prs[0].Results[1]; got.Outcome != "injected-ok" || len(got.Spans) != 1 {
+		t.Errorf("post-stall job: outcome %q with %d spans, want injected-ok with its own single span", got.Outcome, len(got.Spans))
+	}
+}
