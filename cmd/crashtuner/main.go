@@ -13,6 +13,7 @@
 //	crashtuner -system yarn -checkpoint yarn.ckpt            # interruptible
 //	crashtuner -system yarn -checkpoint yarn.ckpt -resume    # pick up where it left off
 //	crashtuner -system yarn -triage triage.jsonl             # record failing runs for cttriage
+//	crashtuner -system yarn -analyze                         # post-campaign failure-mode analytics
 //
 // Fleet mode splits the campaign across processes: a coordinator plans
 // the job space and leases shards over HTTP, workers execute them, and
@@ -47,6 +48,7 @@ func main() {
 		scale      = flag.Int("scale", 1, "workload scale")
 		verbose    = flag.Bool("v", false, "print every per-point report")
 		fixed      = flag.Bool("figure", false, "also dump the runtime meta-info figure (Fig. 5d/6)")
+		analyze    = flag.Bool("analyze", false, "run the failure-mode analytics after the campaign: cluster runs into modes, flag silent-failure suspects, and feed discovered modes to the -triage store (advisory; see ctanalyze)")
 		recovery   = flag.Bool("recovery", false, "recovery-phase mode: restart the victim after the fault and apply the recovery oracles")
 		restartMS  = flag.Int64("restart-after", 2000, "with -recovery: restart the victim this many ms (virtual) after the fault")
 		secondMS   = flag.Int64("second-fault-after", 0, "with -recovery: inject a second fault this many ms (virtual) after the restart (0: none)")
@@ -169,6 +171,7 @@ func main() {
 		Scale:     *scale,
 		Recovery:  rc,
 		Partition: po,
+		Analyze:   *analyze,
 	}
 	res, matcher := core.AnalysisPhase(r, opts)
 	fmt.Printf("Phase 1 — analysis (%v):\n", res.Timing.Analysis.Round(time.Millisecond))
@@ -192,6 +195,10 @@ func main() {
 		res.Timing.Test.Round(time.Millisecond), res.Timing.VirtualTest)
 	printReports(res.Reports, *verbose)
 	printSummary(res.Summary, *recovery, *partition)
+
+	if res.Failmode != nil {
+		fmt.Printf("\nFailure-mode analytics (advisory, not counted above):\n%s", res.Failmode.Text())
+	}
 
 	if *fixed {
 		fmt.Println()

@@ -1,0 +1,256 @@
+// Command ctanalyze is the offline failure-mode analytics front end
+// (internal/failmode): it ingests a campaign's JSONL trace (-trace,
+// written by crashtuner/ctbench with their -trace flag) plus its triage
+// store (-store), clusters the runs into failure modes, learns a
+// clean-run profile, and flags silent-failure suspects — runs whose
+// oracles were all green but whose trace shape is anomalous.
+//
+// Usage:
+//
+//	ctanalyze fit    -trace t.jsonl [-store triage.jsonl] [-model m.json]
+//	                 [-feed triage.jsonl] [-json]        # learn modes + profile
+//	ctanalyze score  -model m.json -trace t.jsonl [-store f] [-json]
+//	                                                     # judge new runs against a fit
+//	ctanalyze report -trace t.jsonl [-store f]           # human-readable summary only
+//
+// Everything is deterministic: the same trace, store and seed render
+// byte-identical reports regardless of the worker count that produced
+// the trace. Discovered modes are advisory; -feed appends them to a
+// triage store as failmode-xxxxxxxx clusters for cttriage, but they are
+// never counted as bugs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/failmode"
+	"repro/internal/obs"
+	"repro/internal/triage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fit":
+		err = cmdFit(os.Args[2:])
+	case "score":
+		err = cmdScore(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ctanalyze: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ctanalyze <fit|score|report> [flags]
+
+  fit    -trace f [-store f] [-model out.json] [-feed triage.jsonl] [-json]
+         [-seed N] [-ngram N] [-cut D] [-min-mode-size N] [-obs-addr a] [-obs-linger]
+         learn failure modes and the clean-run profile; optionally persist
+         the model and feed discovered modes to a triage store
+  score  -model m.json -trace f [-store f] [-json] [-obs-addr a] [-obs-linger]
+         flag silent-failure suspects in new runs against a fitted model
+  report -trace f [-store f]
+         render the human-readable analysis without side effects`)
+}
+
+// analysisFlags is the shared corpus/config flag surface.
+type analysisFlags struct {
+	trace     string
+	store     string
+	jsonOut   bool
+	obsAddr   string
+	obsLinger bool
+
+	seed    int64
+	ngram   int
+	cut     float64
+	minMode int
+	mad     float64
+	minThr  float64
+	green   string
+}
+
+func (a *analysisFlags) register(fs *flag.FlagSet, withConfig bool) {
+	fs.StringVar(&a.trace, "trace", "", "campaign trace file (JSONL spans, written with -trace)")
+	fs.StringVar(&a.store, "store", "", "triage store to merge run records from (optional)")
+	fs.BoolVar(&a.jsonOut, "json", false, "emit the report as JSON instead of text")
+	fs.StringVar(&a.obsAddr, "obs-addr", "", "serve /metrics and /debug/vars on this address while analyzing (empty: off)")
+	fs.BoolVar(&a.obsLinger, "obs-linger", false, "with -obs-addr: keep the endpoint up after rendering until stdin closes (for scraping in scripts/CI)")
+	if withConfig {
+		def := failmode.DefaultConfig()
+		fs.Int64Var(&a.seed, "seed", def.Seed, "analysis seed recorded in the model (the pipeline is deterministic)")
+		fs.IntVar(&a.ngram, "ngram", def.NGram, "maximum phase/outcome-sequence n-gram length")
+		fs.Float64Var(&a.cut, "cut", def.CutDistance, "agglomerative cut: clusters merge while their average cosine distance is below this")
+		fs.IntVar(&a.minMode, "min-mode-size", def.MinModeSize, "smallest cluster reported as a mode")
+		fs.Float64Var(&a.mad, "mad-scale", def.MADScale, "K in the silent-failure threshold median + K*MAD + epsilon")
+		fs.Float64Var(&a.minThr, "min-threshold", def.MinThreshold, "floor for the calibrated silent-failure threshold")
+		fs.StringVar(&a.green, "green", strings.Join(def.GreenOutcomes, ","), "comma-separated oracle outcomes considered clean")
+	}
+}
+
+func (a *analysisFlags) config() failmode.Config {
+	cfg := failmode.DefaultConfig()
+	cfg.Seed = a.seed
+	cfg.NGram = a.ngram
+	cfg.CutDistance = a.cut
+	cfg.MinModeSize = a.minMode
+	cfg.MADScale = a.mad
+	cfg.MinThreshold = a.minThr
+	if a.green != "" {
+		cfg.GreenOutcomes = strings.Split(a.green, ",")
+	}
+	return cfg
+}
+
+func (a *analysisFlags) load() ([]failmode.RunView, error) {
+	if a.trace == "" {
+		return nil, fmt.Errorf("-trace is required")
+	}
+	runs, err := failmode.LoadRuns(a.trace, a.store)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("no runs in %s", a.trace)
+	}
+	return runs, nil
+}
+
+// serveObs starts the observability endpoint when asked; the returned
+// func lingers (when asked) and stops it.
+func (a *analysisFlags) serveObs() (func(), error) {
+	if a.obsAddr == "" {
+		return func() {}, nil
+	}
+	addr, stop, err := obs.Serve(a.obsAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", addr)
+	return func() {
+		if a.obsLinger {
+			fmt.Fprintln(os.Stderr, "obs-linger: endpoint stays up; close stdin to exit")
+			io.Copy(io.Discard, os.Stdin)
+		}
+		stop()
+	}, nil
+}
+
+func (a *analysisFlags) render(rep *failmode.Report) error {
+	if a.jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	fmt.Print(rep.Text())
+	return nil
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	var a analysisFlags
+	a.register(fs, true)
+	model := fs.String("model", "", "write the fitted model (IDF, clean profiles, thresholds) to this JSON file")
+	feed := fs.String("feed", "", "append the discovered modes to this triage store as advisory failmode records")
+	fs.Parse(args)
+
+	runs, err := a.load()
+	if err != nil {
+		return err
+	}
+	done, err := a.serveObs()
+	if err != nil {
+		return err
+	}
+	defer done()
+
+	m, rep := failmode.Fit(runs, a.config())
+	if *model != "" {
+		b, err := m.ModelJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*model, b, 0o644); err != nil {
+			return err
+		}
+	}
+	if *feed != "" {
+		store, err := triage.OpenStore(*feed)
+		if err != nil {
+			return err
+		}
+		fed := rep.FeedTriage(triage.NewRecorder(store), runs)
+		if err := store.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fed %d advisory records (%d modes) to %s\n", fed, rep.TotalModes(), *feed)
+	}
+	return a.render(rep)
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	var a analysisFlags
+	a.register(fs, false)
+	modelPath := fs.String("model", "", "fitted model JSON from `ctanalyze fit -model`")
+	fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("score: -model is required")
+	}
+
+	b, err := os.ReadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	var m failmode.Model
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("score: parse model %s: %w", *modelPath, err)
+	}
+	runs, err := a.load()
+	if err != nil {
+		return err
+	}
+	done, err := a.serveObs()
+	if err != nil {
+		return err
+	}
+	defer done()
+	return a.render(failmode.Score(&m, runs))
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	var a analysisFlags
+	a.register(fs, true)
+	fs.Parse(args)
+
+	runs, err := a.load()
+	if err != nil {
+		return err
+	}
+	_, rep := failmode.Fit(runs, a.config())
+	return a.render(rep)
+}

@@ -1,0 +1,187 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/failmode"
+	"repro/internal/obs"
+	"repro/internal/systems/all"
+	"repro/internal/systems/cluster"
+	"repro/internal/systems/yarn"
+	"repro/internal/triage"
+)
+
+// allSystems is the seven-system corpus: the five Table 4 systems plus
+// the two extensions.
+func allSystems() []cluster.Runner {
+	return append(all.Runners(), all.Extensions()...)
+}
+
+// runTracedPipeline executes one system's pipeline with a trace file, a
+// triage store and the in-memory analytics enabled, and returns the
+// trace path, store path and the in-memory failmode report JSON.
+func runTracedPipeline(t *testing.T, r cluster.Runner, dir string, workers int) (string, string, []byte) {
+	t.Helper()
+	trace := filepath.Join(dir, r.Name()+".trace.jsonl")
+	storePath := filepath.Join(dir, r.Name()+".triage.jsonl")
+	tracer, err := obs.OpenTrace(trace, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := triage.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Run(r, core.Options{
+		Config: campaign.Config{
+			Workers:  workers,
+			Sink:     tracer,
+			Recorder: triage.NewRecorder(store),
+		},
+		Seed: 11, Scale: 1,
+		Analyze: true,
+	})
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failmode == nil {
+		t.Fatalf("%s: Analyze did not produce a failmode report", r.Name())
+	}
+	rep, err := res.Failmode.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace, storePath, rep
+}
+
+// offlineReport fits the offline analysis over a trace + store pair and
+// returns the report and its JSON bytes.
+func offlineReport(t *testing.T, trace, store string) (*failmode.Report, []byte) {
+	t.Helper()
+	runs, err := failmode.LoadRuns(trace, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep := failmode.Fit(runs, failmode.DefaultConfig())
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, b
+}
+
+// TestFailmodeSevenSystemsDeterministic is the analytics acceptance
+// test: on every system, the campaign's trace yields at least one
+// discovered failure mode, and both the offline (trace-file) and
+// in-memory (collector) reports are byte-identical between workers=1
+// and workers=8.
+func TestFailmodeSevenSystemsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign sweep per system and worker count")
+	}
+	for _, newRunner := range allSystems() {
+		r := newRunner
+		t.Run(r.Name(), func(t *testing.T) {
+			dir1, dir8 := t.TempDir(), t.TempDir()
+			trace1, store1, mem1 := runTracedPipeline(t, r, dir1, 1)
+
+			// Fresh runner for the second worker count: runners carry
+			// per-run state.
+			r8, err := all.ByName(r.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace8, store8, mem8 := runTracedPipeline(t, r8, dir8, 8)
+
+			if !bytes.Equal(mem1, mem8) {
+				t.Errorf("in-memory failmode report differs between workers=1 and workers=8\n--- w1 ---\n%s\n--- w8 ---\n%s", mem1, mem8)
+			}
+			rep1, off1 := offlineReport(t, trace1, store1)
+			_, off8 := offlineReport(t, trace8, store8)
+			if !bytes.Equal(off1, off8) {
+				t.Errorf("offline failmode report differs between workers=1 and workers=8\n--- w1 ---\n%s\n--- w8 ---\n%s", off1, off8)
+			}
+			if rep1.TotalModes() < 1 {
+				t.Errorf("no failure modes discovered from the %s trace:\n%s", r.Name(), rep1.Text())
+			}
+		})
+	}
+}
+
+// TestFailmodeSilentFixtureFlagged injects a silent-failure fixture
+// into a real campaign trace — a run whose oracles were all green but
+// whose span shape (an alien recovery phase, a wildly long virtual
+// duration) matches nothing the campaign produced — and checks the
+// deployment workflow: fit on the clean trace, score the augmented
+// trace against the saved model. The fixture must be flagged, and no
+// run that was clean at fit time may turn into a false positive.
+func TestFailmodeSilentFixtureFlagged(t *testing.T) {
+	dir := t.TempDir()
+	r := &yarn.Runner{}
+	trace, storePath, _ := runTracedPipeline(t, r, dir, 1)
+
+	cleanRuns, err := failmode.LoadRuns(trace, storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, baseline := failmode.Fit(cleanRuns, failmode.DefaultConfig())
+	baselineFlagged := map[failmode.Key]bool{}
+	for _, k := range baseline.AnomalousRuns() {
+		baselineFlagged[k] = true
+	}
+
+	// Append the fixture as a fresh session in the same trace file:
+	// run index 1000, green outcome, alien phase sequence.
+	fixture := strings.Join([]string{
+		`{"span":"campaign","event":"start","id":9001,"system":"yarn","campaign":"test","total":1}`,
+		`{"span":"run","id":9002,"parent":9001,"system":"yarn","campaign":"test","run":1000,"crash":"yarn.resourcemanager.ResourceManager.ghost#0/post-write@yarn.resourcemanager.ResourceManager.ghost","fault":"crash","outcome":"ok","sim_ms":90000}`,
+		`{"span":"phase","id":9003,"parent":9002,"phase":"setup","sim_ms":1}`,
+		`{"span":"phase","id":9004,"parent":9002,"phase":"drive","sim_ms":45000}`,
+		`{"span":"phase","id":9005,"parent":9002,"phase":"recover","sim_ms":44000}`,
+		`{"span":"phase","id":9006,"parent":9002,"phase":"drive","sim_ms":999}`,
+		`{"span":"phase","id":9007,"parent":9002,"phase":"oracle"}`,
+		`{"span":"campaign","event":"end","id":9001,"system":"yarn","campaign":"test","runs":1}`,
+	}, "\n") + "\n"
+	f, err := os.OpenFile(trace, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(fixture); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	augmented, err := failmode.LoadRuns(trace, storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := failmode.Score(model, augmented)
+	fixtureKey := failmode.Key{System: "yarn", Campaign: "test", Run: 1000}
+	caught := false
+	for _, k := range injected.AnomalousRuns() {
+		if k == fixtureKey {
+			caught = true
+			continue
+		}
+		if !baselineFlagged[k] {
+			t.Errorf("false positive introduced by the fixture: %s", k)
+		}
+	}
+	if !caught {
+		t.Fatalf("injected silent failure not flagged:\n%s", injected.Text())
+	}
+	if got, want := injected.TotalAnomalies(), baseline.TotalAnomalies()+1; got != want {
+		t.Errorf("anomaly count %d, want %d (baseline plus the fixture)", got, want)
+	}
+}

@@ -76,6 +76,33 @@ type RunRecorder interface {
 	Record(RunRecord)
 }
 
+type multiRecorder []RunRecorder
+
+func (m multiRecorder) Record(rr RunRecord) {
+	for _, r := range m {
+		r.Record(rr)
+	}
+}
+
+// MultiRecorder fans records out to every non-nil recorder, mirroring
+// obs.Multi: nil inputs are dropped, and a nil result preserves the
+// no-recorder fast path.
+func MultiRecorder(recorders ...RunRecorder) RunRecorder {
+	var kept multiRecorder
+	for _, r := range recorders {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
 // Checkpoint renders the engine-level checkpoint config; nil when
 // checkpointing is off.
 func (c Config) Checkpoint() *CheckpointConfig {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/crashpoint"
 	"repro/internal/dslog"
+	"repro/internal/failmode"
 	"repro/internal/logparse"
 	"repro/internal/metainfo"
 	"repro/internal/obs"
@@ -65,6 +66,13 @@ type Options struct {
 	// fence, see trigger.SnapshotPlan) and several times faster; this
 	// switch exists for the differential oracle and for debugging.
 	NoSnapshots bool
+	// Analyze runs the failure-mode analytics (internal/failmode) over
+	// the test campaign after it finishes: the runs are clustered into
+	// modes and scored against the learned clean-run profile, the
+	// report lands in Result.Failmode, and — when a Recorder is
+	// configured — the discovered modes are fed to it as advisory
+	// failmode records. Modes never affect Summary.Bugs.
+	Analyze bool
 
 	// artifacts is set by ArtifactCache.Run so TestPhase can memoize
 	// snapshot plans alongside the cached analysis artifacts.
@@ -131,6 +139,11 @@ type Result struct {
 	Baseline trigger.Baseline
 	Reports  []trigger.Report
 	Summary  trigger.Summary
+
+	// Failmode is the post-campaign analytics report (Options.Analyze);
+	// nil when analysis was off. Its modes and silent-failure suspects
+	// are advisory and never counted in Summary.Bugs.
+	Failmode *failmode.Report
 
 	Timing Timing
 }
@@ -200,6 +213,16 @@ func (o Options) snapshotPlan(t *trigger.Tester) *trigger.SnapshotPlan {
 func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Options) {
 	opts.defaults()
 	start := time.Now()
+	// The analytics collector rides the campaign's own observability
+	// channels: it sees the trace side as a Sink and the triage side as
+	// a Recorder, so the post-campaign analysis needs no trace file.
+	var col *failmode.Collector
+	feed := opts.Recorder
+	if opts.Analyze {
+		col = failmode.NewCollector()
+		opts.Sink = obs.Multi(opts.Sink, col)
+		opts.Recorder = campaign.MultiRecorder(opts.Recorder, col)
+	}
 	res.Baseline = trigger.MeasureBaseline(r, opts.Seed, opts.Scale, opts.BaselineRuns, opts.Deadline)
 	t := &trigger.Tester{
 		Config:       opts.Config,
@@ -265,6 +288,13 @@ func TestPhase(r cluster.Runner, matcher *logparse.Matcher, res *Result, opts Op
 		res.Timing.VirtualTest += rep.Duration
 	}
 	res.Summary = trigger.Summarize(res.Reports)
+	if col != nil {
+		runs := col.Runs()
+		_, res.Failmode = failmode.Fit(runs, failmode.DefaultConfig())
+		if feed != nil {
+			res.Failmode.FeedTriage(feed, runs)
+		}
+	}
 	res.Timing.Test = time.Since(start)
 	emitPhase(opts.Sink, r.Name(), "test", res.Timing.Test, res.Timing.VirtualTest)
 }

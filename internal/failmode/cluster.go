@@ -1,0 +1,142 @@
+package failmode
+
+// Deterministic agglomerative clustering over cosine distance.
+//
+// Average linkage via the Lance-Williams update, greedy closest-pair
+// merging, ties broken by the lowest (i, j) index pair. Because the
+// input vectors arrive in canonical run order (sorted by Key) and every
+// scan below walks indices in ascending order, the same corpus always
+// produces the same clusters — no map iteration, no randomness, no
+// dependence on the worker count that produced the trace. The seed in
+// Config exists for forward-compatibility of the file format (a future
+// sampled variant), not because this algorithm consumes entropy.
+//
+// Complexity is O(n² · merges) on the naive matrix, fine for the corpus
+// sizes campaigns produce (hundreds to low thousands of runs); the
+// matrix is float64-exact, so there is no tolerance tuning to drift.
+
+// cluster is one in-progress agglomerative cluster.
+type cluster struct {
+	members []int // run indices, ascending
+	size    int
+}
+
+// agglomerate merges clusters bottom-up until the closest pair is
+// farther than cut, returning each final cluster's member indices
+// (ascending within a cluster, clusters ordered by smallest member).
+func agglomerate(vecs []Vector, cut float64) [][]int {
+	n := len(vecs)
+	if n == 0 {
+		return nil
+	}
+	clusters := make([]*cluster, n)
+	for i := range clusters {
+		clusters[i] = &cluster{members: []int{i}, size: 1}
+	}
+	// dist[i][j] (i < j) is the average-linkage distance between live
+	// clusters i and j; nil rows mark merged-away clusters.
+	dist := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = make([]float64, n)
+		for j := i + 1; j < n; j++ {
+			dist[i][j] = CosineDistance(vecs[i], vecs[j])
+		}
+	}
+	alive := n
+	for alive > 1 {
+		bi, bj, best := -1, -1, cut
+		for i := 0; i < n; i++ {
+			if clusters[i] == nil {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if clusters[j] == nil {
+					continue
+				}
+				if d := dist[i][j]; d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			break // closest pair is at or beyond the cut
+		}
+		// Merge bj into bi; Lance-Williams average-linkage update for
+		// every other live cluster k.
+		ci, cj := clusters[bi], clusters[bj]
+		ni, nj := float64(ci.size), float64(cj.size)
+		for k := 0; k < n; k++ {
+			if k == bi || k == bj || clusters[k] == nil {
+				continue
+			}
+			dik := pairDist(dist, k, bi)
+			djk := pairDist(dist, k, bj)
+			setPairDist(dist, k, bi, (ni*dik+nj*djk)/(ni+nj))
+		}
+		ci.members = mergeSortedInts(ci.members, cj.members)
+		ci.size += cj.size
+		clusters[bj] = nil
+		alive--
+	}
+	var out [][]int
+	for _, c := range clusters {
+		if c != nil {
+			out = append(out, c.members)
+		}
+	}
+	// Clusters already emerge ordered by their smallest member because
+	// merges always keep the lower index alive.
+	return out
+}
+
+// pairDist reads the symmetric matrix regardless of index order.
+func pairDist(dist [][]float64, a, b int) float64 {
+	if a < b {
+		return dist[a][b]
+	}
+	return dist[b][a]
+}
+
+func setPairDist(dist [][]float64, a, b int, v float64) {
+	if a < b {
+		dist[a][b] = v
+	} else {
+		dist[b][a] = v
+	}
+}
+
+// mergeSortedInts merges two ascending slices into one.
+func mergeSortedInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// medoid returns the member index whose summed distance to the other
+// members is minimal, ties broken by the lowest index.
+func medoid(vecs []Vector, members []int) int {
+	best, bestSum := members[0], -1.0
+	for _, i := range members {
+		sum := 0.0
+		for _, j := range members {
+			if i != j {
+				sum += CosineDistance(vecs[i], vecs[j])
+			}
+		}
+		if bestSum < 0 || sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}

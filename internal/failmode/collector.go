@@ -1,0 +1,136 @@
+package failmode
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/triage"
+)
+
+// Collector assembles RunViews in memory as a campaign executes, so
+// the core pipeline can run the analysis post-campaign without
+// re-reading a trace file. It implements both halves of the merged
+// view:
+//
+//   - obs.Sink — captures the trace side: run spans (crash descriptor,
+//     outcome, simulated duration) and in-run phase ends.
+//   - campaign.RunRecorder — captures the triage side: crash point,
+//     stack, exceptions, witnesses, seeds, for every run (the recorder
+//     contract delivers all runs, not just failing ones).
+//
+// A Collector is safe for concurrent use; Runs() snapshots and merges
+// under the lock, sorted by Key like the offline loader.
+type Collector struct {
+	mu      sync.Mutex
+	traces  map[Key]*RunView
+	records map[Key]campaign.RunRecord
+	order   []Key
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		traces:  make(map[Key]*RunView),
+		records: make(map[Key]campaign.RunRecord),
+	}
+}
+
+// view returns (creating if needed) the run view for a key.
+func (c *Collector) view(k Key) *RunView {
+	rv := c.traces[k]
+	if rv == nil {
+		rv = &RunView{Key: k}
+		c.traces[k] = rv
+		c.order = append(c.order, k)
+	}
+	return rv
+}
+
+// Emit implements obs.Sink.
+func (c *Collector) Emit(ev obs.Event) {
+	if ev.Run < 0 {
+		return // pipeline-level phases carry no run identity
+	}
+	k := Key{System: ev.System, Campaign: ev.Campaign, Run: ev.Run}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case obs.RunDone:
+		rv := c.view(k)
+		rv.Crash = ev.Crash
+		rv.Fault = ev.Fault
+		rv.Target = ev.Target
+		rv.Outcome = ev.Outcome
+		rv.SimMS = float64(ev.Sim) / float64(sim.Millisecond)
+	case obs.PhaseEnd:
+		rv := c.view(k)
+		rv.Phases = append(rv.Phases, PhaseStep{Phase: ev.Phase, SimMS: float64(ev.Sim) / float64(sim.Millisecond)})
+	}
+}
+
+// Record implements campaign.RunRecorder. Failmode-synthesized records
+// (a prior analysis feeding the same recorder chain) are ignored so
+// the collector never ingests its own output.
+func (c *Collector) Record(rr campaign.RunRecord) {
+	if strings.HasPrefix(rr.Outcome, triage.FailmodeOutcomePrefix) {
+		return
+	}
+	k := Key{System: rr.System, Campaign: rr.Campaign, Run: rr.Run}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.traces[k]; !ok {
+		c.view(k)
+	}
+	c.records[k] = rr
+}
+
+// Runs merges both sides into the canonical sorted corpus. Phase steps
+// captured before the run span keep their emission order. The trigger
+// emits phase ends from worker goroutines, so a run's phases may have
+// interleaved with other runs' — but within one run they are ordered,
+// which is all the n-grams need.
+func (c *Collector) Runs() []RunView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunView, 0, len(c.order))
+	for _, k := range c.order {
+		rv := *c.traces[k]
+		rv.Phases = append([]PhaseStep(nil), rv.Phases...)
+		if rr, ok := c.records[k]; ok {
+			rv.Seed = rr.Seed
+			rv.Point = rr.Point
+			rv.Scenario = rr.Scenario
+			rv.Stack = rr.Stack
+			if rv.Fault == "" {
+				rv.Fault = rr.Fault
+			}
+			if rv.Target == "" {
+				rv.Target = rr.Target
+			}
+			if rv.Outcome == "" {
+				rv.Outcome = rr.Outcome
+			}
+			if rv.SimMS == 0 && rr.Duration > 0 {
+				rv.SimMS = float64(rr.Duration) / float64(sim.Millisecond)
+			}
+			rv.Exceptions = append([]string(nil), rr.Exceptions...)
+			rv.Witnesses = append([]string(nil), rr.Witnesses...)
+			rv.Reason = rr.Reason
+			rv.Failing = rr.Failing
+			rv.HasRecord = true
+		}
+		out = append(out, rv)
+	}
+	SortRuns(out)
+	return out
+}
+
+// Len reports how many distinct runs the collector has seen.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}

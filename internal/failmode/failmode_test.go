@@ -1,0 +1,399 @@
+package failmode
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/triage"
+)
+
+func TestSplitCrash(t *testing.T) {
+	cases := []struct {
+		in                     string
+		point, scenario, stack string
+	}{
+		{"toy.Master.commitPending#0/pre-read@toy.Master.commitPending", "toy.Master.commitPending#0", "pre-read", "toy.Master.commitPending"},
+		{"pkg.Fn#1/post-write@a<b<c", "pkg.Fn#1", "post-write", "a<b<c"},
+		{"pkg.Fn#1/post-write", "pkg.Fn#1", "post-write", ""},
+		{"pkg.Fn#1", "pkg.Fn#1", "", ""},
+		{"", "", "", ""},
+	}
+	for _, c := range cases {
+		p, s, st := splitCrash(c.in)
+		if p != c.point || s != c.scenario || st != c.stack {
+			t.Errorf("splitCrash(%q) = %q,%q,%q", c.in, p, s, st)
+		}
+	}
+}
+
+// syntheticTrace writes a trace with two campaigns' worth of runs,
+// including a resumed duplicate of run 0 whose later occurrence must
+// win.
+func syntheticTrace(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	lines := []string{
+		`{"span":"campaign","event":"start","id":1,"system":"toysys","campaign":"test","total":3}`,
+		`{"span":"run","id":2,"parent":1,"system":"toysys","campaign":"test","run":0,"crash":"toy.M.f#0/pre-read@toy.M.f","fault":"crash","outcome":"ok","sim_ms":100}`,
+		`{"span":"phase","id":3,"parent":2,"phase":"setup","sim_ms":1}`,
+		`{"span":"phase","id":4,"parent":2,"phase":"drive","sim_ms":99}`,
+		`{"span":"run","id":5,"parent":1,"system":"toysys","campaign":"test","run":1,"crash":"toy.M.g#0/post-write@toy.M.g","fault":"shutdown","outcome":"hang","sim_ms":30000}`,
+		`{"span":"campaign","event":"end","id":1,"system":"toysys","campaign":"test","runs":2}`,
+		// Resume session: ids restart, run 0 re-executes with a
+		// different outcome; the later occurrence must win.
+		`{"span":"campaign","event":"start","id":1,"system":"toysys","campaign":"test","total":3}`,
+		`{"span":"run","id":2,"parent":1,"system":"toysys","campaign":"test","run":0,"crash":"toy.M.f#0/pre-read@toy.M.f","fault":"crash","outcome":"not-hit","sim_ms":120}`,
+		`{"span":"phase","id":3,"parent":2,"phase":"setup","sim_ms":2}`,
+		`{"span":"run","id":4,"parent":1,"system":"toysys","campaign":"test","run":2,"crash":"toy.M.h#0/pre-read@toy.M.h","fault":"crash","outcome":"ok","sim_ms":90}`,
+		`{"span":"campaign","event":"end","id":1,"system":"toysys","campaign":"test","runs":3}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadRunsMergesSessionsLastWins(t *testing.T) {
+	runs, err := ReadRuns(syntheticTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if runs[0].Run != 0 || runs[0].Outcome != "not-hit" || runs[0].SimMS != 120 {
+		t.Errorf("run 0 not superseded by resume session: %+v", runs[0])
+	}
+	if len(runs[0].Phases) != 1 || runs[0].Phases[0].Phase != "setup" {
+		t.Errorf("run 0 phases should come from the resume session: %+v", runs[0].Phases)
+	}
+	if runs[1].Outcome != "hang" || len(runs[1].Phases) != 0 {
+		t.Errorf("run 1 mangled: %+v", runs[1])
+	}
+}
+
+func TestShapeTokensAreOracleBlind(t *testing.T) {
+	rv := RunView{
+		Key:       Key{System: "s", Campaign: "test", Run: 0},
+		Crash:     "p#0/pre-read@p",
+		Fault:     "crash",
+		Outcome:   "hang",
+		SimMS:     100,
+		Phases:    []PhaseStep{{Phase: "setup", SimMS: 1}, {Phase: "drive", SimMS: 99}},
+		Witnesses: []string{"W-1"},
+	}
+	for _, tok := range ShapeTokens(rv, 3) {
+		if strings.Contains(tok, "hang") || strings.HasPrefix(tok, tokOutcome) || strings.HasPrefix(tok, tokWitness) {
+			t.Errorf("shape token %q leaks the oracle verdict", tok)
+		}
+	}
+	// The full (mode-space) bag does include the verdict.
+	full := Tokens(rv, 3)
+	found := false
+	for _, tok := range full {
+		if tok == tokOutcome+"hang" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mode-space tokens should include the outcome")
+	}
+}
+
+func TestVectorMath(t *testing.T) {
+	idf := buildIDF([][]string{{"a", "b"}, {"a", "c"}})
+	va := idf.vectorize([]string{"a", "b"})
+	if d := CosineDistance(va, va); d > 1e-12 {
+		t.Errorf("self-distance = %v, want ~0", d)
+	}
+	vb := idf.vectorize([]string{"c"})
+	if d := CosineDistance(va, vb); d != 1 {
+		t.Errorf("orthogonal distance = %v, want 1", d)
+	}
+	c := centroid([]Vector{va, vb})
+	for i := 1; i < len(c); i++ {
+		if c[i-1].Term >= c[i].Term {
+			t.Fatalf("centroid terms not sorted: %+v", c)
+		}
+	}
+}
+
+func TestAgglomerateDeterministicTwoClusters(t *testing.T) {
+	idf := buildIDF([][]string{{"a", "b"}, {"a", "b", "x"}, {"p", "q"}, {"p", "q", "y"}})
+	vecs := []Vector{
+		idf.vectorize([]string{"a", "b"}),
+		idf.vectorize([]string{"a", "b", "x"}),
+		idf.vectorize([]string{"p", "q"}),
+		idf.vectorize([]string{"p", "q", "y"}),
+	}
+	got := agglomerate(vecs, 0.9)
+	if len(got) != 2 {
+		t.Fatalf("got %d clusters, want 2: %v", len(got), got)
+	}
+	if got[0][0] != 0 || got[1][0] != 2 {
+		t.Errorf("clusters not in canonical order: %v", got)
+	}
+	// Cut of 0 keeps every run separate.
+	if got := agglomerate(vecs, 0); len(got) != 4 {
+		t.Errorf("cut=0 should keep singletons, got %v", got)
+	}
+}
+
+// corpus builds a synthetic per-system corpus with two distinct
+// failure shapes plus clean runs, and optionally one silent failure: a
+// green-outcome run whose phase sequence and duration are wildly
+// unlike the other green runs.
+func corpus(system string, silent bool) []RunView {
+	var runs []RunView
+	add := func(rv RunView) {
+		rv.System = system
+		rv.Campaign = "test"
+		rv.Run = len(runs)
+		runs = append(runs, rv)
+	}
+	phases := func(ms float64) []PhaseStep {
+		return []PhaseStep{{Phase: "setup", SimMS: 1}, {Phase: "drive", SimMS: ms}, {Phase: "oracle"}}
+	}
+	for i := 0; i < 6; i++ {
+		add(RunView{Crash: fmt.Sprintf("%s.M.f#%d/pre-read@%s.M.f", system, i, system), Fault: "crash",
+			Outcome: "ok", SimMS: 100, Phases: phases(99)})
+	}
+	for i := 0; i < 4; i++ {
+		add(RunView{Crash: fmt.Sprintf("%s.M.g#%d/post-write@%s.M.g", system, i, system), Fault: "shutdown",
+			Outcome: "hang", SimMS: 30000, Phases: phases(29999),
+			Exceptions: []string{"TimeoutException@" + system + ".M.g"}})
+	}
+	for i := 0; i < 4; i++ {
+		add(RunView{Crash: fmt.Sprintf("%s.M.h#%d/pre-read@%s.M.h", system, i, system), Fault: "crash",
+			Outcome: "job-failure", SimMS: 500, Phases: phases(450),
+			Exceptions: []string{"NullPointerException@" + system + ".M.h"}})
+	}
+	if silent {
+		add(RunView{Crash: system + ".M.z#0/post-write@" + system + ".M.z", Fault: "crash",
+			Outcome: "ok", SimMS: 90000,
+			Phases: []PhaseStep{{Phase: "setup", SimMS: 1}, {Phase: "drive", SimMS: 45000},
+				{Phase: "recover", SimMS: 44000}, {Phase: "drive", SimMS: 999}, {Phase: "oracle"}}})
+	}
+	return runs
+}
+
+func TestFitDiscoversModes(t *testing.T) {
+	_, rep := Fit(corpus("sysa", false), DefaultConfig())
+	if len(rep.Systems) != 1 || rep.Systems[0].System != "sysa" {
+		t.Fatalf("unexpected systems: %+v", rep.Systems)
+	}
+	if rep.TotalModes() < 2 {
+		t.Fatalf("want >= 2 modes, got %d:\n%s", rep.TotalModes(), rep.Text())
+	}
+	// The largest mode should be dominated by one shape. Modes are
+	// size-ranked; the top one must contain at least the 6 clean runs
+	// or the hang/job-failure groups — either way size >= 4.
+	if rep.Systems[0].Modes[0].Size < 4 {
+		t.Errorf("top mode suspiciously small:\n%s", rep.Text())
+	}
+}
+
+func TestSilentFailureFlaggedZeroFalsePositives(t *testing.T) {
+	cfg := DefaultConfig()
+
+	// Clean corpus: no anomalies at all.
+	_, cleanRep := Fit(corpus("sysa", false), cfg)
+	if n := cleanRep.TotalAnomalies(); n != 0 {
+		t.Fatalf("clean corpus produced %d false positives:\n%s", n, cleanRep.Text())
+	}
+
+	// Injected silent failure: green outcome, alien shape.
+	runs := corpus("sysa", true)
+	_, rep := Fit(runs, cfg)
+	if n := rep.TotalAnomalies(); n != 1 {
+		t.Fatalf("want exactly the injected silent failure, got %d:\n%s", n, rep.Text())
+	}
+	a := rep.Systems[0].Anomalies[0]
+	if a.Run.Run != len(runs)-1 || a.Outcome != "ok" {
+		t.Errorf("flagged the wrong run: %+v", a)
+	}
+	if a.Distance <= a.Threshold {
+		t.Errorf("anomaly below its own threshold: %+v", a)
+	}
+}
+
+func TestFitByteIdenticalAcrossInputOrder(t *testing.T) {
+	runs := corpus("sysa", true)
+	runs = append(runs, corpus("sysb", false)...)
+	cfg := DefaultConfig()
+	_, rep1 := Fit(runs, cfg)
+
+	shuffled := append([]RunView(nil), runs...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	_, rep2 := Fit(shuffled, cfg)
+
+	j1, err := rep1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := rep2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("report JSON differs across input order")
+	}
+	if rep1.Text() != rep2.Text() {
+		t.Error("report text differs across input order")
+	}
+}
+
+func TestModelRoundTripScore(t *testing.T) {
+	cfg := DefaultConfig()
+	model, _ := Fit(corpus("sysa", false), cfg)
+	b, err := model.ModelJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Model
+	if err := json.Unmarshal(b, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scoring the silent-failure corpus against the clean model flags
+	// exactly the injected run.
+	runs := corpus("sysa", true)
+	rep := Score(&loaded, runs)
+	if n := rep.TotalAnomalies(); n != 1 {
+		t.Fatalf("score found %d anomalies, want 1:\n%s", n, rep.Text())
+	}
+	if rep.Systems[0].Anomalies[0].Run.Run != len(runs)-1 {
+		t.Errorf("score flagged the wrong run: %+v", rep.Systems[0].Anomalies)
+	}
+
+	// Unknown systems are reported but never flagged.
+	rep2 := Score(&loaded, corpus("stranger", true))
+	if rep2.TotalAnomalies() != 0 {
+		t.Error("unknown system should produce no anomalies")
+	}
+	if len(rep2.Systems) != 1 || rep2.Systems[0].System != "stranger" {
+		t.Errorf("unknown system missing from report: %+v", rep2.Systems)
+	}
+}
+
+func TestFeedTriageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "store.jsonl")
+	runs := corpus("sysa", false)
+	_, rep := Fit(runs, DefaultConfig())
+
+	store, err := triage.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := rep.FeedTriage(triage.NewRecorder(store), runs)
+	if fed == 0 {
+		t.Fatal("fed no records")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := triage.Load(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := ix.Clusters()
+	if len(clusters) != rep.TotalModes() {
+		t.Fatalf("store has %d clusters, want %d modes", len(clusters), rep.TotalModes())
+	}
+	for _, c := range clusters {
+		if !strings.HasPrefix(c.ID(), "failmode-") {
+			t.Errorf("cluster id %s should carry the failmode- prefix", c.ID())
+		}
+		if c.Sig.Point != "" {
+			t.Errorf("failmode cluster must have no crash point (advisory), got %q", c.Sig.Point)
+		}
+	}
+
+	// Re-merging the enriched store must not feed the analysis its own
+	// output: failmode records are skipped on ingestion.
+	merged := MergeStore(append([]RunView(nil), runs...), ix)
+	if len(merged) != len(runs) {
+		t.Errorf("failmode records leaked back into the corpus: %d runs, want %d", len(merged), len(runs))
+	}
+	for _, rv := range merged {
+		if strings.HasPrefix(rv.Outcome, triage.FailmodeOutcomePrefix) {
+			t.Errorf("run %s carries a failmode outcome after merge", rv.Key)
+		}
+	}
+}
+
+func TestCollectorMatchesOfflineView(t *testing.T) {
+	col := NewCollector()
+	scope := obs.Scope{System: "toysys", Campaign: "test"}
+	col.Emit(obs.Event{Kind: obs.PhaseEnd, Scope: scope, Run: 0, Phase: "setup", Sim: 1 * sim.Millisecond})
+	col.Emit(obs.Event{Kind: obs.PhaseEnd, Scope: scope, Run: 0, Phase: "drive", Sim: 99 * sim.Millisecond})
+	col.Emit(obs.Event{Kind: obs.RunDone, Scope: scope, Run: 0, Crash: "toy.M.f#0/pre-read@toy.M.f",
+		Fault: "crash", Outcome: "job-failure", Sim: 100 * sim.Millisecond})
+	col.Emit(obs.Event{Kind: obs.PhaseEnd, Scope: scope, Run: -1, Phase: "analysis"}) // pipeline phase: ignored
+	col.Record(campaign.RunRecord{System: "toysys", Campaign: "test", Run: 0, Seed: 7,
+		Point: "toy.M.f#0", Scenario: "pre-read", Stack: "toy.M.f", Fault: "crash",
+		Outcome: "job-failure", Failing: true, Exceptions: []string{"NPE@toy.M.f"},
+		Duration: 100 * sim.Millisecond})
+	// A failmode-synthesized record must be ignored.
+	col.Record(campaign.RunRecord{System: "toysys", Campaign: "test", Run: 99,
+		Outcome: triage.FailmodeOutcomePrefix + "deadbeef", Failing: true})
+
+	runs := col.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1: %+v", len(runs), runs)
+	}
+	rv := runs[0]
+	if rv.Seed != 7 || rv.Point != "toy.M.f#0" || !rv.HasRecord || !rv.Failing {
+		t.Errorf("record side not merged: %+v", rv)
+	}
+	if rv.SimMS != 100 || len(rv.Phases) != 2 || rv.Phases[1].Phase != "drive" {
+		t.Errorf("trace side not captured: %+v", rv)
+	}
+	if len(rv.Exceptions) != 1 {
+		t.Errorf("exceptions not merged: %+v", rv)
+	}
+}
+
+func TestLoadRunsMergesTraceAndStore(t *testing.T) {
+	trace := syntheticTrace(t)
+	storePath := filepath.Join(t.TempDir(), "store.jsonl")
+	store, err := triage.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Append(triage.Record{System: "toysys", Campaign: "test", Run: 1, Seed: 11,
+		Point: "toy.M.g#0", Scenario: "post-write", Stack: "toy.M.g", Fault: "shutdown",
+		Outcome: "hang", Exceptions: []string{"TimeoutException@toy.M.g"},
+		Duration: sim.Time(30000) * sim.Millisecond})
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := LoadRuns(trace, storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if runs[1].Seed != 11 || runs[1].Point != "toy.M.g#0" || len(runs[1].Exceptions) != 1 {
+		t.Errorf("store record not merged into run 1: %+v", runs[1])
+	}
+	if !runs[1].HasRecord || runs[0].HasRecord {
+		t.Errorf("HasRecord flags wrong: %+v", runs[:2])
+	}
+}

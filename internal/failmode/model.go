@@ -1,0 +1,440 @@
+package failmode
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/triage"
+)
+
+// Analytics instruments on the default registry, scraped by the CI
+// smoke job alongside the campaign counters.
+var (
+	runsScored = obs.Default.Counter("crashtuner_failmode_runs_scored_total")
+	anomalies  = obs.Default.Counter("crashtuner_failmode_anomalies_total")
+)
+
+// Config tunes one analysis. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// Seed labels the analysis for reproducibility bookkeeping. The
+	// current pipeline is fully deterministic and consumes no entropy;
+	// the seed is carried into the model file so a future sampled
+	// variant stays replayable.
+	Seed int64 `json:"seed"`
+	// NGram is the maximum phase/outcome-sequence n-gram length.
+	NGram int `json:"ngram"`
+	// CutDistance is the agglomerative cut: clusters merge while their
+	// average cosine distance is strictly below it.
+	CutDistance float64 `json:"cut_distance"`
+	// MinModeSize drops clusters smaller than this from the mode report
+	// (they still exist, just unreported); 1 reports every cluster.
+	MinModeSize int `json:"min_mode_size"`
+	// GreenOutcomes are the oracle verdicts considered clean when
+	// learning the clean-run profile. Runs with any other outcome are
+	// excluded from the profile and never flagged as silent failures —
+	// their failure is already loud.
+	GreenOutcomes []string `json:"green_outcomes"`
+	// MADScale is K in threshold = median + K·MAD + epsilon.
+	MADScale float64 `json:"mad_scale"`
+	// MinThreshold floors the calibrated threshold so a perfectly
+	// homogeneous clean corpus (median = MAD = 0) does not flag every
+	// future run with an extra feature.
+	MinThreshold float64 `json:"min_threshold"`
+	// TopTerms is how many centroid terms label a mode.
+	TopTerms int `json:"top_terms"`
+}
+
+// DefaultConfig returns the tuned defaults.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		NGram:         3,
+		CutDistance:   0.45,
+		MinModeSize:   1,
+		GreenOutcomes: []string{"ok", "not-hit", "unresolved"},
+		MADScale:      4,
+		MinThreshold:  0.15,
+		TopTerms:      8,
+	}
+}
+
+// green reports whether an outcome counts as clean under the config.
+func (c Config) green(outcome string) bool {
+	for _, g := range c.GreenOutcomes {
+		if outcome == g {
+			return true
+		}
+	}
+	return false
+}
+
+// Mode is one discovered failure mode: a cluster of runs with similar
+// trace shape and log content.
+type Mode struct {
+	// Hash is the content-derived mode fingerprint: FNV-32a over the
+	// system and the top centroid terms, so the same mode keeps its
+	// identity across campaigns that reproduce it.
+	Hash string `json:"hash"`
+	// Outcome is the synthetic triage outcome ("failmode:<hash>") the
+	// mode is fed to the store under.
+	Outcome string `json:"outcome"`
+	System  string `json:"system"`
+	Size    int    `json:"size"`
+	// Medoid is the most central member — the run to look at first.
+	Medoid Key   `json:"medoid"`
+	Runs   []Key `json:"runs"`
+	// TopTerms are the heaviest centroid features, the mode's label.
+	TopTerms []Feature `json:"top_terms"`
+	// Outcomes are the distinct oracle verdicts observed inside the
+	// mode, sorted — purely observational, never used for clustering.
+	Outcomes []string `json:"outcomes"`
+}
+
+// Anomaly is one suspected silent failure: a green run whose trace
+// shape sits beyond the calibrated distance from the clean profile.
+type Anomaly struct {
+	Run       Key     `json:"run"`
+	Outcome   string  `json:"outcome"`
+	Distance  float64 `json:"distance"`
+	Threshold float64 `json:"threshold"`
+}
+
+// SystemModel is the learned per-system scoring state, serializable so
+// `ctanalyze score` can judge later campaigns against an earlier fit.
+type SystemModel struct {
+	System string `json:"system"`
+	// IDF is the shape-space inverse document frequency table.
+	IDF IDF `json:"idf"`
+	// CleanProfile is the centroid of the green runs' shape vectors.
+	CleanProfile Vector `json:"clean_profile"`
+	// Threshold is the calibrated anomaly cut: median + K·MAD + eps
+	// over the green runs' distances to CleanProfile, floored at
+	// MinThreshold.
+	Threshold float64 `json:"threshold"`
+	// CleanRuns is how many green runs the profile was learned from.
+	CleanRuns int `json:"clean_runs"`
+}
+
+// Model is the full serializable analysis state: config plus one
+// SystemModel per system, sorted by system name.
+type Model struct {
+	Config  Config        `json:"config"`
+	Systems []SystemModel `json:"systems"`
+}
+
+// System returns the per-system model, or nil when the system was not
+// in the fit corpus.
+func (m *Model) System(name string) *SystemModel {
+	for i := range m.Systems {
+		if m.Systems[i].System == name {
+			return &m.Systems[i]
+		}
+	}
+	return nil
+}
+
+// SystemReport is the per-system analysis output.
+type SystemReport struct {
+	System    string    `json:"system"`
+	Runs      int       `json:"runs"`
+	CleanRuns int       `json:"clean_runs"`
+	Threshold float64   `json:"threshold"`
+	Modes     []Mode    `json:"modes"`
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
+}
+
+// Report is the whole analysis output: deterministic for a fixed
+// corpus and config.
+type Report struct {
+	Config  Config         `json:"config"`
+	Systems []SystemReport `json:"systems"`
+}
+
+// Fit learns modes, clean profiles and thresholds from a corpus and
+// scores the corpus against itself (so silent failures inside the fit
+// corpus are flagged too — the robust median/MAD calibration keeps one
+// outlier from dragging the threshold up past itself).
+func Fit(runs []RunView, cfg Config) (*Model, *Report) {
+	runs = append([]RunView(nil), runs...)
+	SortRuns(runs)
+	model := &Model{Config: cfg}
+	report := &Report{Config: cfg}
+	for _, group := range bySystem(runs) {
+		sm, sr := fitSystem(group, cfg)
+		model.Systems = append(model.Systems, sm)
+		report.Systems = append(report.Systems, sr)
+	}
+	return model, report
+}
+
+// Score judges a corpus against an existing model: no new modes are
+// learned, only silent-failure anomalies relative to the fitted clean
+// profiles. Systems absent from the model are skipped with a zero-mode
+// entry so the report names them.
+func Score(model *Model, runs []RunView) *Report {
+	runs = append([]RunView(nil), runs...)
+	SortRuns(runs)
+	cfg := model.Config
+	report := &Report{Config: cfg}
+	for _, group := range bySystem(runs) {
+		sr := SystemReport{System: group[0].System, Runs: len(group)}
+		if sm := model.System(group[0].System); sm != nil {
+			sr.Threshold = sm.Threshold
+			sr.CleanRuns = sm.CleanRuns
+			sr.Anomalies = scoreSystem(sm, group, cfg)
+		}
+		report.Systems = append(report.Systems, sr)
+	}
+	return report
+}
+
+// bySystem splits a key-sorted corpus into per-system groups, in
+// system order.
+func bySystem(runs []RunView) [][]RunView {
+	var out [][]RunView
+	start := 0
+	for i := 1; i <= len(runs); i++ {
+		if i == len(runs) || runs[i].System != runs[start].System {
+			out = append(out, runs[start:i])
+			start = i
+		}
+	}
+	return out
+}
+
+// fitSystem runs the full pipeline for one system's runs.
+func fitSystem(runs []RunView, cfg Config) (SystemModel, SystemReport) {
+	system := runs[0].System
+
+	// Mode space: full token bags, TF-IDF over this system's corpus.
+	modeBags := make([][]string, len(runs))
+	for i, rv := range runs {
+		modeBags[i] = Tokens(rv, cfg.NGram)
+	}
+	modeIDF := buildIDF(modeBags)
+	modeVecs := make([]Vector, len(runs))
+	for i, bag := range modeBags {
+		modeVecs[i] = modeIDF.vectorize(bag)
+	}
+
+	// Cluster into modes.
+	var modes []Mode
+	for _, members := range agglomerate(modeVecs, cfg.CutDistance) {
+		if len(members) < cfg.MinModeSize {
+			continue
+		}
+		modes = append(modes, buildMode(system, runs, modeVecs, members, cfg))
+	}
+	sort.Slice(modes, func(i, j int) bool {
+		if modes[i].Size != modes[j].Size {
+			return modes[i].Size > modes[j].Size
+		}
+		return modes[i].Hash < modes[j].Hash
+	})
+
+	// Shape space: oracle-blind vectors, clean profile, calibrated
+	// threshold, self-scoring.
+	shapeBags := make([][]string, len(runs))
+	for i, rv := range runs {
+		shapeBags[i] = ShapeTokens(rv, cfg.NGram)
+	}
+	shapeIDF := buildIDF(shapeBags)
+	shapeVecs := make([]Vector, len(runs))
+	for i, bag := range shapeBags {
+		shapeVecs[i] = shapeIDF.vectorize(bag)
+	}
+	var greenVecs []Vector
+	for i, rv := range runs {
+		if cfg.green(rv.Outcome) {
+			greenVecs = append(greenVecs, shapeVecs[i])
+		}
+	}
+	profile := centroid(greenVecs)
+	threshold := calibrate(profile, greenVecs, cfg)
+
+	sm := SystemModel{
+		System:       system,
+		IDF:          shapeIDF,
+		CleanProfile: profile,
+		Threshold:    threshold,
+		CleanRuns:    len(greenVecs),
+	}
+	sr := SystemReport{
+		System:    system,
+		Runs:      len(runs),
+		CleanRuns: len(greenVecs),
+		Threshold: threshold,
+		Modes:     modes,
+		Anomalies: scoreVecs(runs, shapeVecs, profile, threshold, len(greenVecs), cfg),
+	}
+	return sm, sr
+}
+
+// buildMode assembles one Mode from a cluster's member indices.
+func buildMode(system string, runs []RunView, vecs []Vector, members []int, cfg Config) Mode {
+	memberVecs := make([]Vector, len(members))
+	for i, m := range members {
+		memberVecs[i] = vecs[m]
+	}
+	center := centroid(memberVecs)
+	top := topTerms(center, cfg.TopTerms)
+	hash := modeHash(system, top)
+	mode := Mode{
+		Hash:     hash,
+		Outcome:  triage.FailmodeOutcomePrefix + hash,
+		System:   system,
+		Size:     len(members),
+		Medoid:   runs[medoid(vecs, members)].Key,
+		TopTerms: top,
+	}
+	outcomes := make(map[string]bool)
+	for _, m := range members {
+		mode.Runs = append(mode.Runs, runs[m].Key)
+		if runs[m].Outcome != "" {
+			outcomes[runs[m].Outcome] = true
+		}
+	}
+	for o := range outcomes {
+		mode.Outcomes = append(mode.Outcomes, o)
+	}
+	sort.Strings(mode.Outcomes)
+	return mode
+}
+
+// modeHash fingerprints a mode by its content — the system plus the
+// top centroid terms — so reproduced modes keep stable identities
+// across campaigns and stores.
+func modeHash(system string, top []Feature) string {
+	h := fnv.New32a()
+	h.Write([]byte(system))
+	for _, f := range top {
+		h.Write([]byte{0})
+		h.Write([]byte(f.Term))
+	}
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// calibrate computes the anomaly threshold from the green runs'
+// distances to their own profile: median + K·MAD + epsilon, floored at
+// MinThreshold. Median/MAD (not max) keeps a genuine silent failure
+// inside the fit corpus from raising the bar over itself. With no
+// green runs there is nothing to compare against: the threshold is 0
+// and scoring skips the system entirely (CleanRuns == 0 guard), which
+// keeps the value finite for JSON.
+func calibrate(profile Vector, greenVecs []Vector, cfg Config) float64 {
+	const epsilon = 0.01
+	if len(greenVecs) == 0 {
+		return 0
+	}
+	dists := make([]float64, len(greenVecs))
+	for i, v := range greenVecs {
+		dists[i] = CosineDistance(v, profile)
+	}
+	med := median(dists)
+	devs := make([]float64, len(dists))
+	for i, d := range dists {
+		devs[i] = math.Abs(d - med)
+	}
+	mad := median(devs)
+	t := med + cfg.MADScale*mad + epsilon
+	if t < cfg.MinThreshold {
+		t = cfg.MinThreshold
+	}
+	return t
+}
+
+// median of a copied, sorted slice (even length: mean of the middle
+// pair).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// scoreVecs flags the green runs whose shape distance exceeds the
+// threshold. Only green runs can be silent failures — everything else
+// already failed loudly.
+func scoreVecs(runs []RunView, vecs []Vector, profile Vector, threshold float64, cleanRuns int, cfg Config) []Anomaly {
+	var out []Anomaly
+	for i, rv := range runs {
+		runsScored.Inc()
+		if !cfg.green(rv.Outcome) || cleanRuns == 0 {
+			continue
+		}
+		d := CosineDistance(vecs[i], profile)
+		if d > threshold {
+			anomalies.Inc()
+			out = append(out, Anomaly{Run: rv.Key, Outcome: rv.Outcome, Distance: round6(d), Threshold: round6(threshold)})
+		}
+	}
+	return out
+}
+
+// scoreSystem vectorizes fresh runs with the stored IDF and flags them
+// against the stored profile.
+func scoreSystem(sm *SystemModel, runs []RunView, cfg Config) []Anomaly {
+	vecs := make([]Vector, len(runs))
+	for i, rv := range runs {
+		vecs[i] = sm.IDF.vectorize(ShapeTokens(rv, cfg.NGram))
+	}
+	return scoreVecs(runs, vecs, sm.CleanProfile, sm.Threshold, sm.CleanRuns, cfg)
+}
+
+// round6 rounds to 6 decimal places so reported distances render
+// identically across platforms' printf of long float tails.
+func round6(f float64) float64 { return math.Round(f*1e6) / 1e6 }
+
+// ModeIDs returns the triage-facing cluster ids the report's modes will
+// surface under, sorted — convenience for tests and CLI summaries.
+func (r *Report) ModeIDs() []string {
+	var ids []string
+	for _, sr := range r.Systems {
+		for _, m := range sr.Modes {
+			ids = append(ids, m.Hash)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TotalModes counts modes across systems.
+func (r *Report) TotalModes() int {
+	n := 0
+	for _, sr := range r.Systems {
+		n += len(sr.Modes)
+	}
+	return n
+}
+
+// TotalAnomalies counts suspected silent failures across systems.
+func (r *Report) TotalAnomalies() int {
+	n := 0
+	for _, sr := range r.Systems {
+		n += len(sr.Anomalies)
+	}
+	return n
+}
+
+// AnomalousRuns returns the flagged run keys, sorted, for the report
+// table's silent column.
+func (r *Report) AnomalousRuns() []Key {
+	var keys []Key
+	for _, sr := range r.Systems {
+		for _, a := range sr.Anomalies {
+			keys = append(keys, a.Run)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}

@@ -1,0 +1,175 @@
+package failmode
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// MarshalJSON-side helpers live on the Report itself; rendering is
+// deterministic because every slice is sorted at construction time.
+
+// JSON renders the report as indented JSON with a trailing newline —
+// the exact bytes `ctanalyze -json` writes, byte-identical for equal
+// analyses.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ModelJSON renders the serializable model state the same way.
+func (m *Model) ModelJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the human-facing summary: one mode table and one
+// anomaly table per system. Equal reports produce equal bytes.
+func (r *Report) Text() string {
+	var b strings.Builder
+	for si, sr := range r.Systems {
+		if si > 0 {
+			b.WriteByte('\n')
+		}
+		cut := fmt.Sprintf("threshold %.4f", sr.Threshold)
+		if sr.CleanRuns == 0 {
+			cut = "no clean runs; silent-failure detection off"
+		}
+		fmt.Fprintf(&b, "%s: %d runs, %d clean, %d modes, %d silent-failure suspects (%s)\n",
+			sr.System, sr.Runs, sr.CleanRuns, len(sr.Modes), len(sr.Anomalies), cut)
+		if len(sr.Modes) > 0 {
+			w := newTable(&b)
+			w.row("MODE", "SIZE", "MEDOID", "OUTCOMES", "TOP TERMS")
+			for _, m := range sr.Modes {
+				w.row(m.Outcome,
+					fmt.Sprintf("%d", m.Size),
+					m.Medoid.String(),
+					joinOr(m.Outcomes, "-"),
+					termList(m.TopTerms, 4))
+			}
+			w.flush()
+		}
+		if len(sr.Anomalies) > 0 {
+			w := newTable(&b)
+			w.row("SUSPECT", "OUTCOME", "DISTANCE", "THRESHOLD")
+			for _, a := range sr.Anomalies {
+				w.row(a.Run.String(), a.Outcome,
+					fmt.Sprintf("%.4f", a.Distance),
+					fmt.Sprintf("%.4f", a.Threshold))
+			}
+			w.flush()
+		}
+	}
+	return b.String()
+}
+
+func joinOr(xs []string, empty string) string {
+	if len(xs) == 0 {
+		return empty
+	}
+	return strings.Join(xs, ",")
+}
+
+func termList(fs []Feature, k int) string {
+	if len(fs) > k {
+		fs = fs[:k]
+	}
+	terms := make([]string, len(fs))
+	for i, f := range fs {
+		terms[i] = f.Term
+	}
+	return strings.Join(terms, " ")
+}
+
+// FeedTriage converts the report's modes into campaign.RunRecords and
+// delivers them to rec (usually a triage.Recorder wrapping a store).
+// One record per member run, carrying the synthetic failmode:<hash>
+// outcome, no crash point (so `cttriage confirm` skips the cluster —
+// modes are advisory, not re-executable verdicts) and the mode's top
+// terms as witnesses. Records are emitted in mode order, members in
+// run order; delivery through the store is idempotent thanks to the
+// index's identity dedup.
+//
+// runs supplies each run's seed when known (from the merged triage
+// records); runs without one record seed 0, which still dedupes
+// stably.
+func (r *Report) FeedTriage(rec campaign.RunRecorder, runs []RunView) int {
+	bySeed := make(map[Key]int64, len(runs))
+	for _, rv := range runs {
+		bySeed[rv.Key] = rv.Seed
+	}
+	fed := 0
+	for _, sr := range r.Systems {
+		for _, m := range sr.Modes {
+			for _, k := range m.Runs {
+				rec.Record(campaign.RunRecord{
+					System:    k.System,
+					Campaign:  k.Campaign,
+					Run:       k.Run,
+					Seed:      bySeed[k],
+					Outcome:   m.Outcome,
+					Failing:   true, // persisted by the store; advisory per the outcome prefix
+					Witnesses: witnessTerms(m.TopTerms),
+				})
+				fed++
+			}
+		}
+	}
+	return fed
+}
+
+func witnessTerms(fs []Feature) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Term
+	}
+	return out
+}
+
+// table is a minimal column aligner (private copy, same idiom as the
+// triage and report packages, keeping failmode a leaf dependency).
+type table struct {
+	out    *strings.Builder
+	rows   [][]string
+	widths []int
+}
+
+func newTable(out *strings.Builder) *table { return &table{out: out} }
+
+func (t *table) row(cols ...string) {
+	for len(t.widths) < len(cols) {
+		t.widths = append(t.widths, 0)
+	}
+	for i, c := range cols {
+		if len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cols)
+}
+
+func (t *table) flush() {
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				t.out.WriteString("  ")
+			}
+			t.out.WriteString(c)
+			if i < len(row)-1 {
+				for p := len(c); p < t.widths[i]; p++ {
+					t.out.WriteByte(' ')
+				}
+			}
+		}
+		t.out.WriteByte('\n')
+	}
+	t.rows = t.rows[:0]
+}

@@ -1,0 +1,264 @@
+// Package failmode is the post-hoc failure-mode analytics layer:
+// unsupervised clustering of campaign run traces plus silent-failure
+// anomaly detection (DESIGN.md §15).
+//
+// The subsystem ingests two artifacts a campaign already produces — the
+// obs JSONL trace (span shapes, phase sequences, simulated durations)
+// and the triage store (exceptions, witnesses, crash points) — merges
+// them into one RunView per run, vectorizes each run with TF-IDF over
+// n-gram tokens, and groups the runs into failure modes with a
+// deterministic agglomerative clustering. Separately it learns a
+// "clean-run profile" from the runs whose oracle verdicts are green and
+// flags runs whose trace shape sits far from that profile even though
+// every oracle passed — the silent failures no oracle wrote a report
+// for.
+//
+// Everything here is advisory: discovered modes feed the triage store
+// as failmode-xxxxxxxx clusters so the existing cttriage tooling can
+// list and diff them, but they are never counted in Summary.Bugs — a
+// mode is a hypothesis about structure, not an oracle verdict.
+//
+// Determinism contract: for a fixed trace + store + seed the whole
+// analysis is byte-identical, independent of the worker count that
+// produced the trace. That is why ingestion sorts runs by (system,
+// campaign, run) before any numeric work, why vectors are sorted
+// slices rather than maps, and why only simulated time (never wall
+// time) contributes features.
+package failmode
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/triage"
+)
+
+// Key identifies one run across artifacts: the trace's run span and the
+// triage store's record for the same run carry the same triple.
+type Key struct {
+	System   string `json:"system"`
+	Campaign string `json:"campaign"`
+	Run      int    `json:"run"`
+}
+
+// Less orders keys lexicographically by system, campaign, run — the
+// canonical corpus order every downstream stage relies on.
+func (k Key) Less(o Key) bool {
+	if k.System != o.System {
+		return k.System < o.System
+	}
+	if k.Campaign != o.Campaign {
+		return k.Campaign < o.Campaign
+	}
+	return k.Run < o.Run
+}
+
+// String renders the key for tables and anomaly listings.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s#%d", k.System, k.Campaign, k.Run)
+}
+
+// PhaseStep is one in-run phase observation from the trace, in emission
+// order: the trigger's setup/drive/oracle, a runner's custom phases.
+type PhaseStep struct {
+	Phase string  `json:"phase"`
+	SimMS float64 `json:"sim_ms,omitempty"`
+}
+
+// RunView is the merged per-run view the analysis consumes: the trace
+// side (shape) joined with the triage side (content) for one run.
+// Wall-clock fields are deliberately absent — they vary run to run and
+// would break worker-count independence.
+type RunView struct {
+	Key
+	Seed int64 `json:"seed,omitempty"`
+
+	// Trace side.
+	Crash   string      `json:"crash,omitempty"`
+	Fault   string      `json:"fault,omitempty"`
+	Target  string      `json:"target,omitempty"`
+	Outcome string      `json:"outcome,omitempty"`
+	SimMS   float64     `json:"sim_ms,omitempty"`
+	Phases  []PhaseStep `json:"phases,omitempty"`
+
+	// Triage side (present when the store holds a record for the run).
+	Point      string   `json:"point,omitempty"`
+	Scenario   string   `json:"scenario,omitempty"`
+	Stack      string   `json:"stack,omitempty"`
+	Exceptions []string `json:"exceptions,omitempty"`
+	Witnesses  []string `json:"witnesses,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Failing    bool     `json:"failing,omitempty"`
+	HasRecord  bool     `json:"has_record,omitempty"`
+}
+
+// splitCrash parses a trace run span's crash descriptor
+// ("pkg.Fn#0/pre-read@pkg.Fn" → point, scenario, stack). Descriptors
+// without the separators degrade to point-only.
+func splitCrash(crash string) (point, scenario, stack string) {
+	rest := crash
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		stack = rest[at+1:]
+		rest = rest[:at]
+	}
+	if sl := strings.Index(rest, "/"); sl >= 0 {
+		return rest[:sl], rest[sl+1:], stack
+	}
+	return rest, "", stack
+}
+
+// ReadRuns ingests the trace at path into one RunView per run. Resumed
+// campaigns append a fresh session to the same file, so a run index can
+// appear more than once; the last occurrence wins, matching the
+// checkpoint loader's semantics. Malformed lines (torn tails) are
+// skipped. The returned slice is sorted by Key.
+func ReadRuns(path string) ([]RunView, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("failmode: open trace %s: %w", path, err)
+	}
+	defer f.Close()
+	return readRuns(f)
+}
+
+func readRuns(r io.Reader) ([]RunView, error) {
+	// Span ids restart at 1 in every tracer session, so a resumed trace
+	// can reuse ids across sessions. Runs are keyed by span id only
+	// while pending (to attach child phases); a later run span with the
+	// same id simply supersedes the stale mapping, which is correct
+	// because sessions replay in file order.
+	byID := make(map[uint64]*RunView)
+	var order []*RunView
+	_, err := obs.ReadTrace(r, func(line int, s obs.Span) error {
+		switch s.Kind {
+		case obs.SpanRun:
+			if s.Run == nil {
+				return nil
+			}
+			rv := &RunView{
+				Key:     Key{System: s.System, Campaign: s.Campaign, Run: *s.Run},
+				Crash:   s.Crash,
+				Fault:   s.Fault,
+				Target:  s.Target,
+				Outcome: s.Outcome,
+				SimMS:   s.SimMS,
+			}
+			byID[s.ID] = rv
+			order = append(order, rv)
+		case obs.SpanPhase:
+			if s.Parent == 0 {
+				return nil // pipeline-level phase, not tied to a run
+			}
+			if rv, ok := byID[s.Parent]; ok {
+				rv.Phases = append(rv.Phases, PhaseStep{Phase: s.Phase, SimMS: s.SimMS})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dedupeRuns(order), nil
+}
+
+// dedupeRuns collapses duplicate run keys (resume sessions re-running a
+// job) keeping the last occurrence, then sorts by key.
+func dedupeRuns(order []*RunView) []RunView {
+	last := make(map[Key]int, len(order))
+	for i, rv := range order {
+		last[rv.Key] = i
+	}
+	out := make([]RunView, 0, len(last))
+	for i, rv := range order {
+		if last[rv.Key] == i {
+			out = append(out, *rv)
+		}
+	}
+	SortRuns(out)
+	return out
+}
+
+// SortRuns orders runs canonically by Key.
+func SortRuns(runs []RunView) {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Key.Less(runs[j].Key) })
+}
+
+// MergeStore enriches trace-derived runs with the triage store's
+// records: crash point, raw stack, normalized-later exception and
+// witness text, seeds. Records with no trace counterpart become
+// record-only RunViews (a store can outlive its trace), and records the
+// failmode layer itself fed back into the store (failmode: outcomes)
+// are ignored so re-fitting over an enriched store cannot feed on its
+// own output. The result is re-sorted by Key.
+func MergeStore(runs []RunView, ix *triage.Index) []RunView {
+	byKey := make(map[Key]int, len(runs))
+	for i := range runs {
+		byKey[runs[i].Key] = i
+	}
+	out := runs
+	for _, rec := range ix.Records() {
+		if strings.HasPrefix(rec.Outcome, triage.FailmodeOutcomePrefix) {
+			continue
+		}
+		k := Key{System: rec.System, Campaign: rec.Campaign, Run: rec.Run}
+		i, ok := byKey[k]
+		if !ok {
+			out = append(out, RunView{Key: k})
+			i = len(out) - 1
+			byKey[k] = i
+		}
+		rv := &out[i]
+		rv.Seed = rec.Seed
+		rv.Point = rec.Point
+		rv.Scenario = rec.Scenario
+		rv.Stack = rec.Stack
+		if rv.Fault == "" {
+			rv.Fault = rec.Fault
+		}
+		if rv.Target == "" {
+			rv.Target = rec.Target
+		}
+		if rv.Outcome == "" {
+			rv.Outcome = rec.Outcome
+		}
+		if rv.SimMS == 0 && rec.Duration > 0 {
+			rv.SimMS = float64(rec.Duration) / float64(sim.Millisecond)
+		}
+		rv.Exceptions = append([]string(nil), rec.Exceptions...)
+		rv.Witnesses = append([]string(nil), rec.Witnesses...)
+		rv.Reason = rec.Reason
+		rv.Failing = true
+		rv.HasRecord = true
+	}
+	SortRuns(out)
+	return out
+}
+
+// LoadRuns is the one-call offline ingestion: trace file plus zero or
+// more triage store files, merged and sorted. An empty storePath is
+// skipped.
+func LoadRuns(tracePath string, storePaths ...string) ([]RunView, error) {
+	runs, err := ReadRuns(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	var stores []string
+	for _, p := range storePaths {
+		if p != "" {
+			stores = append(stores, p)
+		}
+	}
+	if len(stores) == 0 {
+		return runs, nil
+	}
+	ix, err := triage.Load(stores...)
+	if err != nil {
+		return nil, err
+	}
+	return MergeStore(runs, ix), nil
+}

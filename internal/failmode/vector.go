@@ -1,0 +1,309 @@
+package failmode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/triage"
+)
+
+// Feature is one weighted term of a sparse vector.
+type Feature struct {
+	Term string  `json:"t"`
+	W    float64 `json:"w"`
+}
+
+// Vector is a sparse L2-normalized feature vector, sorted by term.
+// Sorted slices — never maps — keep every dot product and rendering a
+// deterministic walk.
+type Vector []Feature
+
+// Dot is the sparse dot product via merge join over the sorted terms.
+func Dot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Term == b[j].Term:
+			s += a[i].W * b[j].W
+			i++
+			j++
+		case a[i].Term < b[j].Term:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// CosineDistance is 1 - cosine similarity for L2-normalized vectors,
+// clamped to [0, 1] against floating-point drift.
+func CosineDistance(a, b Vector) float64 {
+	d := 1 - Dot(a, b)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// norm L2-normalizes v in place; a zero vector stays zero.
+func (v Vector) norm() {
+	var s float64
+	for _, f := range v {
+		s += f.W * f.W
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for i := range v {
+		v[i].W *= inv
+	}
+}
+
+// Token prefixes. The shape space (clean-run profile, silent-failure
+// scoring) excludes the oracle-derived prefixes so an anomaly verdict
+// never peeks at the verdict it is trying to second-guess.
+const (
+	tokOutcome = "outcome:" // oracle verdict (mode space only)
+	tokWitness = "wit:"     // oracle witness lines (mode space only)
+	tokFault   = "fault:"
+	tokPoint   = "point:"
+	tokScen    = "scenario:"
+	tokSeq     = "seq:"  // phase-sequence n-grams
+	tokDur     = "dur:"  // log2 bucket of total simulated ms
+	tokPhDur   = "pdur:" // per-phase log2 sim buckets
+	tokEx      = "ex:"   // normalized exception templates
+	tokReason  = "reason:"
+	tokStack   = "stack:"
+)
+
+// durBucket maps a simulated duration to a coarse log2 bucket so runs
+// with close-but-unequal virtual times share a feature.
+func durBucket(ms float64) int {
+	if ms <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(ms+1))) + 1
+}
+
+// Tokens flattens one run into its full token bag (the mode space).
+// Every token is built from deterministic fields only; wall-clock
+// durations never appear. Repeated tokens are meaningful — term
+// frequency feeds the TF-IDF weighting.
+func Tokens(rv RunView, ngram int) []string {
+	var toks []string
+	point, scenario, stack := rv.Point, rv.Scenario, rv.Stack
+	if point == "" && rv.Crash != "" {
+		point, scenario, stack = splitCrash(rv.Crash)
+	}
+	if rv.Scenario != "" {
+		scenario = rv.Scenario
+	}
+	if rv.Fault != "" {
+		toks = append(toks, tokFault+rv.Fault)
+	}
+	if point != "" {
+		toks = append(toks, tokPoint+triage.NormalizeText(point))
+	}
+	if scenario != "" {
+		toks = append(toks, tokScen+scenario)
+	}
+	if stack != "" {
+		frames := strings.Split(stack, "<")
+		if len(frames) > triage.StackHashFrames {
+			frames = frames[:triage.StackHashFrames]
+		}
+		for _, f := range frames {
+			toks = append(toks, tokStack+triage.NormalizeText(f))
+		}
+	}
+
+	// Phase/outcome sequence n-grams: the ordered phase names with the
+	// outcome as the terminal symbol, so "drive>oracle>hang" and
+	// "drive>oracle>ok" are different trigrams even when the phases
+	// agree.
+	seq := make([]string, 0, len(rv.Phases)+1)
+	for _, p := range rv.Phases {
+		seq = append(seq, p.Phase)
+	}
+	if rv.Outcome != "" {
+		seq = append(seq, rv.Outcome)
+	}
+	if ngram < 1 {
+		ngram = 1
+	}
+	for n := 1; n <= ngram; n++ {
+		for i := 0; i+n <= len(seq); i++ {
+			toks = append(toks, tokSeq+strings.Join(seq[i:i+n], ">"))
+		}
+	}
+
+	toks = append(toks, fmt.Sprintf("%sb%d", tokDur, durBucket(rv.SimMS)))
+	for _, p := range rv.Phases {
+		if p.SimMS > 0 {
+			toks = append(toks, fmt.Sprintf("%s%s:b%d", tokPhDur, p.Phase, durBucket(p.SimMS)))
+		}
+	}
+
+	for _, ex := range rv.Exceptions {
+		toks = append(toks, tokEx+triage.NormalizeException(ex))
+	}
+	if rv.Reason != "" {
+		toks = append(toks, tokReason+triage.NormalizeText(rv.Reason))
+	}
+
+	// Oracle-derived tokens last; shapeOnly strips them by prefix.
+	if rv.Outcome != "" {
+		toks = append(toks, tokOutcome+rv.Outcome)
+	}
+	for _, w := range rv.Witnesses {
+		toks = append(toks, tokWitness+triage.NormalizeText(w))
+	}
+	return toks
+}
+
+// shapeOnly filters a token bag down to the shape space: everything the
+// trace and logs say about the run, nothing the oracle concluded.
+func shapeOnly(toks []string) []string {
+	out := toks[:0:0]
+	for _, t := range toks {
+		if strings.HasPrefix(t, tokOutcome) || strings.HasPrefix(t, tokWitness) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ShapeTokens flattens one run into the shape-space token bag: like
+// Tokens but with the oracle verdict erased before sequence n-grams are
+// formed, so no token — not even a trigram suffix — encodes what the
+// oracle concluded.
+func ShapeTokens(rv RunView, ngram int) []string {
+	blind := rv
+	blind.Outcome = ""
+	blind.Witnesses = nil
+	return shapeOnly(Tokens(blind, ngram))
+}
+
+// IDF is the corpus-level inverse document frequency table, stored as a
+// sorted slice for deterministic serialization.
+type IDF []Feature
+
+// buildIDF computes smoothed IDF over the token bags:
+// log((N+1)/(df+1)) + 1, which keeps even corpus-universal terms at a
+// small positive weight.
+func buildIDF(bags [][]string) IDF {
+	df := make(map[string]int)
+	for _, bag := range bags {
+		seen := make(map[string]bool, len(bag))
+		for _, t := range bag {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(bags))
+	out := make(IDF, 0, len(df))
+	for t, d := range df {
+		out = append(out, Feature{Term: t, W: math.Log((n+1)/(float64(d)+1)) + 1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// weight looks up a term's IDF; unseen terms (a new run scored against
+// an old model) fall back to the maximum-rarity weight observed in the
+// table, so novel features read as rare rather than weightless.
+func (idf IDF) weight(term string) float64 {
+	i := sort.Search(len(idf), func(i int) bool { return idf[i].Term >= term })
+	if i < len(idf) && idf[i].Term == term {
+		return idf[i].W
+	}
+	return idf.unseen()
+}
+
+// unseen returns the fallback weight for out-of-vocabulary terms: the
+// largest weight in the table (rarest seen term), or 1 for an empty
+// table.
+func (idf IDF) unseen() float64 {
+	max := 1.0
+	for _, f := range idf {
+		if f.W > max {
+			max = f.W
+		}
+	}
+	return max
+}
+
+// vectorize turns one token bag into an L2-normalized TF-IDF vector.
+func (idf IDF) vectorize(bag []string) Vector {
+	if len(bag) == 0 {
+		return nil
+	}
+	sorted := append([]string(nil), bag...)
+	sort.Strings(sorted)
+	v := make(Vector, 0, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		v = append(v, Feature{Term: sorted[i], W: float64(j-i) * idf.weight(sorted[i])})
+		i = j
+	}
+	v.norm()
+	return v
+}
+
+// centroid averages a set of normalized vectors and re-normalizes. The
+// inputs must be sorted vectors; the result is sorted.
+func centroid(vecs []Vector) Vector {
+	if len(vecs) == 0 {
+		return nil
+	}
+	// Merge all features; accumulation order over a sorted flattening is
+	// deterministic.
+	var all []Feature
+	for _, v := range vecs {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Term < all[j].Term })
+	out := make(Vector, 0, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		sum := 0.0
+		for j < len(all) && all[j].Term == all[i].Term {
+			sum += all[j].W
+			j++
+		}
+		out = append(out, Feature{Term: all[i].Term, W: sum / float64(len(vecs))})
+		i = j
+	}
+	out.norm()
+	return out
+}
+
+// topTerms returns the k heaviest terms of a vector, weight-descending
+// with term as tie-break.
+func topTerms(v Vector, k int) []Feature {
+	sorted := append(Vector(nil), v...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].W != sorted[j].W {
+			return sorted[i].W > sorted[j].W
+		}
+		return sorted[i].Term < sorted[j].Term
+	})
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}

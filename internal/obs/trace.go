@@ -21,21 +21,21 @@ import (
 	"repro/internal/sim"
 )
 
-// span kinds and campaign lifecycle events as they appear in the JSONL.
+// Span kinds and campaign lifecycle events as they appear in the JSONL.
 const (
-	spanCampaign = "campaign"
-	spanRun      = "run"
-	spanPhase    = "phase"
+	SpanCampaign = "campaign"
+	SpanRun      = "run"
+	SpanPhase    = "phase"
 
-	eventStart = "start"
-	eventEnd   = "end"
+	EventStart = "start"
+	EventEnd   = "end"
 )
 
-// traceLine is the on-disk schema of one span record. Producers fill
-// the subset that applies to their span kind; the validator and any
-// JSONL consumer can decode every line into this one shape.
-type traceLine struct {
-	Span   string `json:"span"`
+// Span is the on-disk schema of one trace record. Producers fill the
+// subset that applies to their span kind; ReadTrace and any JSONL
+// consumer decode every line into this one shape.
+type Span struct {
+	Kind   string `json:"span"`
 	Event  string `json:"event,omitempty"` // campaign lines: start | end
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
@@ -112,11 +112,15 @@ func NewTracer(w io.Writer) *Tracer {
 
 // OpenTrace opens (or creates) the JSONL trace file at path. With
 // resume set the file is appended to — the spans of a resumed campaign
-// extend the interrupted trace; otherwise it is truncated.
+// extend the interrupted trace, after any torn trailing fragment (the
+// artifact of a process killed mid-write) is newline-terminated so the
+// appended spans stay on their own lines, exactly like the campaign
+// checkpoint writer. Otherwise the file is truncated.
 func OpenTrace(path string, resume bool) (*Tracer, error) {
 	flag := os.O_CREATE | os.O_WRONLY
 	if resume {
-		flag |= os.O_APPEND
+		// O_RDWR so the torn-tail check can inspect the last byte.
+		flag = os.O_CREATE | os.O_RDWR | os.O_APPEND
 	} else {
 		flag |= os.O_TRUNC
 	}
@@ -124,12 +128,30 @@ func OpenTrace(path string, resume bool) (*Tracer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: cannot open trace %s: %w", path, err)
 	}
+	if resume {
+		healTraceTail(f)
+	}
 	t := NewTracer(f)
 	t.c = f
 	return t, nil
 }
 
-func (t *Tracer) write(ln traceLine) {
+// healTraceTail newline-terminates a torn trailing fragment so appended
+// spans start on their own line. The fragment itself is skipped on read
+// (ReadTrace's malformed-line skip), like a torn campaign checkpoint.
+func healTraceTail(f *os.File) {
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil || last[0] == '\n' {
+		return
+	}
+	f.Write([]byte{'\n'})
+}
+
+func (t *Tracer) write(ln Span) {
 	if t.err != nil {
 		return
 	}
@@ -159,8 +181,8 @@ func (t *Tracer) Emit(ev Event) {
 	case CampaignStart:
 		oc := &openCampaign{id: t.id()}
 		t.open[ev.Scope] = oc
-		t.write(traceLine{
-			Span: spanCampaign, Event: eventStart, ID: oc.id,
+		t.write(Span{
+			Kind: SpanCampaign, Event: EventStart, ID: oc.id,
 			System: ev.System, Campaign: ev.Campaign,
 			Start: t.Now().Format(time.RFC3339Nano), Total: ev.Total, Restored: ev.Done,
 		})
@@ -172,16 +194,16 @@ func (t *Tracer) Emit(ev Event) {
 		}
 		run := ev.Run
 		rid := t.id()
-		t.write(traceLine{
-			Span: spanRun, ID: rid, Parent: parent,
+		t.write(Span{
+			Kind: SpanRun, ID: rid, Parent: parent,
 			System: ev.System, Campaign: ev.Campaign, Run: &run,
 			Crash: ev.Crash, Fault: ev.Fault, Target: ev.Target, Outcome: ev.Outcome,
 			WallMS: ms(ev.Wall), SimMS: simMS(ev.Sim),
 		})
 		key := runKey{scope: ev.Scope, run: ev.Run}
 		for _, ph := range t.pending[key] {
-			t.write(traceLine{
-				Span: spanPhase, ID: t.id(), Parent: rid,
+			t.write(Span{
+				Kind: SpanPhase, ID: t.id(), Parent: rid,
 				Phase: ph.name, WallMS: ms(ph.wall), SimMS: simMS(ph.sim),
 			})
 		}
@@ -195,8 +217,8 @@ func (t *Tracer) Emit(ev Event) {
 			return
 		}
 		// Top-level pipeline phase: stands alone under the root.
-		t.write(traceLine{
-			Span: spanPhase, ID: t.id(),
+		t.write(Span{
+			Kind: SpanPhase, ID: t.id(),
 			System: ev.System, Campaign: ev.Campaign, Phase: ev.Phase,
 			WallMS: ms(ev.Wall), SimMS: simMS(ev.Sim),
 		})
@@ -206,8 +228,8 @@ func (t *Tracer) Emit(ev Event) {
 			return
 		}
 		delete(t.open, ev.Scope)
-		t.write(traceLine{
-			Span: spanCampaign, Event: eventEnd, ID: oc.id,
+		t.write(Span{
+			Kind: SpanCampaign, Event: EventEnd, ID: oc.id,
 			System: ev.System, Campaign: ev.Campaign,
 			Runs: ev.Done, Bugs: oc.bugs, WallMS: ms(ev.Wall),
 		})
@@ -232,28 +254,78 @@ func (t *Tracer) Close() error {
 	return t.err
 }
 
-// ValidateTrace structurally checks a JSONL trace: every line must
-// decode, ids must be declared before use, run spans must hang off a
-// declared campaign, nested phases off a declared run, and campaign-end
-// records must close a declared campaign. A trace cut off mid-campaign
-// (no end record) is valid — that is exactly the artifact an
-// interrupted, resumable campaign leaves behind — and id reuse across
-// appended sessions shadows the earlier declaration, mirroring how
-// checkpoint resume appends to one file.
-func ValidateTrace(r io.Reader) error {
+// TraceStats summarizes one streaming pass over a trace.
+type TraceStats struct {
+	// Lines counts every line seen, including blank and malformed ones.
+	Lines int
+	// Spans counts the well-formed records delivered to the callback.
+	Spans int
+	// Malformed lists the line numbers skipped because they did not
+	// decode — the torn tail of an interrupted session, hand-edit
+	// damage. Blank lines are skipped silently and not counted here.
+	Malformed []int
+}
+
+// scanTrace is the one line scanner under every trace consumer: big
+// line buffer, blank-line skip, one JSON decode per line. Each
+// non-blank line reaches fn with its decode error (nil for a
+// well-formed span); fn returning a non-nil error stops the scan.
+func scanTrace(r io.Reader, fn func(line int, s Span, decodeErr error) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	kinds := make(map[uint64]string) // id -> span kind
 	lineNo := 0
-	runs, phases := 0, 0
 	for sc.Scan() {
 		lineNo++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var ln traceLine
-		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
-			return fmt.Errorf("trace line %d: bad JSON: %w", lineNo, err)
+		var ln Span
+		err := json.Unmarshal(sc.Bytes(), &ln)
+		if err := fn(lineNo, ln, err); err != nil {
+			return lineNo, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lineNo, fmt.Errorf("trace: %w", err)
+	}
+	return lineNo, nil
+}
+
+// ReadTrace streams the spans of a JSONL trace to fn in file order.
+// Malformed lines — the torn tail of an interrupted session, hand-edit
+// damage — are skipped and reported in the stats, with the same
+// semantics as campaign checkpoint loading; fn returning a non-nil
+// error stops the read and surfaces that error.
+func ReadTrace(r io.Reader, fn func(line int, s Span) error) (TraceStats, error) {
+	var stats TraceStats
+	lines, err := scanTrace(r, func(line int, s Span, decodeErr error) error {
+		if decodeErr != nil {
+			stats.Malformed = append(stats.Malformed, line)
+			return nil
+		}
+		stats.Spans++
+		return fn(line, s)
+	})
+	stats.Lines = lines
+	return stats, err
+}
+
+// ValidateTrace structurally checks a JSONL trace: every line must
+// decode, ids must be declared before use, run spans must hang off a
+// declared campaign, nested phases off a declared run, and campaign-end
+// records must close a declared campaign. A trace cut off mid-campaign
+// (no end record) is valid — that is exactly the artifact an
+// interrupted, resumable campaign leaves behind, even when the
+// interrupt landed before the first run completed — and id reuse across
+// appended sessions shadows the earlier declaration, mirroring how
+// checkpoint resume appends to one file.
+func ValidateTrace(r io.Reader) error {
+	kinds := make(map[uint64]string) // id -> span kind
+	open := make(map[uint64]bool)    // campaigns started but not ended
+	runs := 0
+	lines, err := scanTrace(r, func(lineNo int, ln Span, decodeErr error) error {
+		if decodeErr != nil {
+			return fmt.Errorf("trace line %d: bad JSON: %w", lineNo, decodeErr)
 		}
 		if ln.ID == 0 {
 			return fmt.Errorf("trace line %d: missing id", lineNo)
@@ -261,47 +333,53 @@ func ValidateTrace(r io.Reader) error {
 		if ln.WallMS < 0 || ln.SimMS < 0 {
 			return fmt.Errorf("trace line %d: negative duration", lineNo)
 		}
-		switch ln.Span {
-		case spanCampaign:
+		switch ln.Kind {
+		case SpanCampaign:
 			switch ln.Event {
-			case eventStart:
-				kinds[ln.ID] = spanCampaign
-			case eventEnd:
-				if kinds[ln.ID] != spanCampaign {
+			case EventStart:
+				kinds[ln.ID] = SpanCampaign
+				open[ln.ID] = true
+			case EventEnd:
+				if kinds[ln.ID] != SpanCampaign {
 					return fmt.Errorf("trace line %d: campaign end for undeclared id %d", lineNo, ln.ID)
 				}
+				delete(open, ln.ID)
 			default:
 				return fmt.Errorf("trace line %d: campaign record with event %q", lineNo, ln.Event)
 			}
-		case spanRun:
+		case SpanRun:
 			if ln.Run == nil {
 				return fmt.Errorf("trace line %d: run span without run index", lineNo)
 			}
-			if ln.Parent != 0 && kinds[ln.Parent] != spanCampaign {
+			if ln.Parent != 0 && kinds[ln.Parent] != SpanCampaign {
 				return fmt.Errorf("trace line %d: run parent %d is not a declared campaign", lineNo, ln.Parent)
 			}
-			kinds[ln.ID] = spanRun
+			kinds[ln.ID] = SpanRun
 			runs++
-		case spanPhase:
+		case SpanPhase:
 			if ln.Phase == "" {
 				return fmt.Errorf("trace line %d: phase span without phase name", lineNo)
 			}
 			if ln.Parent != 0 && kinds[ln.Parent] == "" {
 				return fmt.Errorf("trace line %d: phase parent %d undeclared", lineNo, ln.Parent)
 			}
-			kinds[ln.ID] = spanPhase
-			phases++
+			kinds[ln.ID] = SpanPhase
 		default:
-			return fmt.Errorf("trace line %d: unknown span kind %q", lineNo, ln.Span)
+			return fmt.Errorf("trace line %d: unknown span kind %q", lineNo, ln.Kind)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	if lineNo == 0 {
+	if lines == 0 {
 		return fmt.Errorf("trace: empty")
 	}
-	if runs == 0 {
+	// Zero completed runs is only legal for the interrupted artifact: a
+	// campaign that declared itself and was cut off before its first
+	// run completed. A trace whose campaigns all closed without a
+	// single run recorded is structurally broken.
+	if runs == 0 && len(open) == 0 {
 		return fmt.Errorf("trace: no run spans")
 	}
 	return nil

@@ -101,7 +101,8 @@ func TestValidateTraceRejections(t *testing.T) {
 		{"campaign end without start",
 			`{"span":"campaign","event":"end","id":3}` + "\n", "undeclared id"},
 		{"no runs",
-			`{"span":"campaign","event":"start","id":1}` + "\n", "no run spans"},
+			`{"span":"campaign","event":"start","id":1}` + "\n" +
+				`{"span":"campaign","event":"end","id":1}` + "\n", "no run spans"},
 		{"negative duration",
 			`{"span":"run","id":1,"run":0,"wall_ms":-1}` + "\n", "negative duration"},
 		{"unknown span", `{"span":"zebra","id":1}` + "\n", "unknown span kind"},
@@ -121,6 +122,147 @@ func TestValidateTraceAllowsTruncatedCampaign(t *testing.T) {
 		`{"span":"run","id":2,"parent":1,"run":0}` + "\n"
 	if err := ValidateTrace(strings.NewReader(trace)); err != nil {
 		t.Errorf("truncated campaign rejected: %v", err)
+	}
+}
+
+func TestValidateTraceAllowsZeroRunInterrupt(t *testing.T) {
+	// A campaign interrupted before its first run completes leaves just
+	// the start record — the earliest possible cut of the interrupted
+	// artifact the writer documents as valid. The validator must agree.
+	trace := `{"span":"campaign","event":"start","id":1,"total":5}` + "\n"
+	if err := ValidateTrace(strings.NewReader(trace)); err != nil {
+		t.Errorf("zero-run interrupted campaign rejected: %v", err)
+	}
+}
+
+func TestTraceEmptyResumeRoundTrip(t *testing.T) {
+	// Pin the empty-resume case end to end: a session that starts a
+	// campaign and is interrupted with zero completed runs must leave a
+	// valid trace, and the resumed session must append onto it into a
+	// trace that still validates.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sc := Scope{System: "toysys", Campaign: "test"}
+
+	tr, err := OpenTrace(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Now = fakeClock()
+	tr.Emit(Event{Kind: CampaignStart, Scope: sc, Run: -1, Total: 3})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ValidateTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("interrupted zero-run trace rejected: %v", err)
+	}
+
+	tr2, err := OpenTrace(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Now = fakeClock()
+	emitCampaign(tr2, sc)
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ValidateTrace(f); err != nil {
+		t.Errorf("resumed trace rejected: %v", err)
+	}
+}
+
+func TestOpenTraceResumeHealsTornTail(t *testing.T) {
+	// A process killed mid-write leaves a torn trailing fragment. The
+	// resuming writer must newline-terminate it (like the campaign
+	// checkpoint writer) so appended spans stay on their own lines and
+	// only the fragment is lost.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	torn := `{"span":"campaign","event":"start","id":1,"total":2}` + "\n" + `{"span":"run","id":2,"par`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTrace(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Now = fakeClock()
+	emitCampaign(tr, Scope{System: "toysys", Campaign: "test"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, _ := os.ReadFile(path)
+	stats, err := ReadTrace(bytes.NewReader(raw), func(int, Span) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Malformed) != 1 || stats.Malformed[0] != 2 {
+		t.Errorf("Malformed = %v, want just the torn line 2", stats.Malformed)
+	}
+	// The appended session is intact: its campaign, runs and phases all
+	// decode and the strict validator only trips on the fragment.
+	if stats.Spans < 6 {
+		t.Errorf("only %d spans survived the heal", stats.Spans)
+	}
+	if err := ValidateTrace(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Errorf("strict validation should name the torn line, got %v", err)
+	}
+}
+
+func TestReadTraceStreamsSpansInOrder(t *testing.T) {
+	var b bytes.Buffer
+	tr := NewTracer(&b)
+	tr.Now = fakeClock()
+	emitCampaign(tr, Scope{System: "yarn", Campaign: "test"})
+	tr.Close()
+
+	var kinds []string
+	var runIdx []int
+	stats, err := ReadTrace(bytes.NewReader(b.Bytes()), func(_ int, s Span) error {
+		kinds = append(kinds, s.Kind)
+		if s.Kind == SpanRun {
+			if s.Run == nil {
+				t.Fatal("run span without index")
+			}
+			runIdx = append(runIdx, *s.Run)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{SpanCampaign, SpanRun, SpanPhase, SpanPhase, SpanRun, SpanCampaign}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+	if len(runIdx) != 2 || runIdx[0] != 0 || runIdx[1] != 1 {
+		t.Errorf("run indices = %v", runIdx)
+	}
+	if stats.Spans != 6 || len(stats.Malformed) != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestReadTraceCallbackErrorStops(t *testing.T) {
+	trace := `{"span":"run","id":1,"run":0}` + "\n" + `{"span":"run","id":2,"run":1}` + "\n"
+	calls := 0
+	_, err := ReadTrace(strings.NewReader(trace), func(int, Span) error {
+		calls++
+		return os.ErrClosed
+	})
+	if err != os.ErrClosed || calls != 1 {
+		t.Errorf("err = %v after %d calls, want ErrClosed after 1", err, calls)
 	}
 }
 

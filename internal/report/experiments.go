@@ -46,6 +46,13 @@ type Experiments struct {
 	// different systems deliver their records in parallel.
 	Recorder campaign.RunRecorder
 
+	// Analyze runs the failure-mode analytics over every system's test
+	// campaign (core.Options.Analyze): discovered modes feed the
+	// Recorder as advisory failmode records, and the campaign summary
+	// gains a silent-failure-suspect column. Advisory only —
+	// Summary.Bugs and every numbered table are unchanged.
+	Analyze bool
+
 	// Artifacts, when non-nil, memoizes the offline AnalysisPhase across
 	// pipelines (and across experiment sets sharing the cache), so the
 	// deterministic offline artifacts are computed once per system. The
@@ -128,6 +135,7 @@ func (x *Experiments) RunPipelines() {
 				Recorder:       x.Recorder,
 			},
 			Seed: x.Seed, Scale: x.Scale,
+			Analyze: x.Analyze,
 		}
 		res, matcher := x.analysisPhase(r, opts)
 		core.ProfilePhase(r, res, opts)
@@ -408,11 +416,19 @@ func FigMetaInfo(r cluster.Runner, seed int64, scale int) string {
 // headline).
 func (x *Experiments) CampaignSummary() string {
 	t := &tw{}
-	t.row("System", "Dynamic CPs", "Tested", "Bug reports", "Distinct bugs", "Timeout issues", "Seeded bugs detected")
+	t.row("System", "Dynamic CPs", "Tested", "Bug reports", "Distinct bugs", "Timeout issues", "Modes", "Silent?", "Seeded bugs detected")
 	for _, r := range x.Systems {
 		res := x.Results[r.Name()]
 		if res == nil {
 			continue
+		}
+		// The analytics columns are advisory: discovered failure modes
+		// and anomalous-but-green (silent-failure suspect) runs. "-"
+		// means analysis was off; they never feed Summary.Bugs.
+		modes, silent := "-", "-"
+		if res.Failmode != nil {
+			modes = fmt.Sprintf("%d", res.Failmode.TotalModes())
+			silent = fmt.Sprintf("%d", res.Failmode.TotalAnomalies())
 		}
 		t.row(r.Name(),
 			fmt.Sprintf("%d", len(res.Dynamic.Points)),
@@ -420,6 +436,7 @@ func (x *Experiments) CampaignSummary() string {
 			fmt.Sprintf("%d", res.Summary.Bugs),
 			fmt.Sprintf("%d", res.Summary.DistinctBugs),
 			fmt.Sprintf("%d", res.Summary.TimeoutIssues),
+			modes, silent,
 			strings.Join(res.Summary.WitnessedBugs, " "))
 	}
 	// Mirror the §2/§4.1.1 ledger too.

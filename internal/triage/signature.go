@@ -27,6 +27,14 @@ type Signature struct {
 	StackHash string // FNV-64a of the normalized innermost StackHashFrames frames
 }
 
+// FailmodeOutcomePrefix marks outcomes synthesized by the failure-mode
+// analytics layer (internal/failmode) rather than by an oracle. Records
+// carrying such an outcome are advisory — a discovered trace-shape
+// cluster, not an oracle verdict — and their clusters render under
+// "failmode-" ids so they are distinguishable from oracle-confirmed
+// bugs at a glance in cttriage output.
+const FailmodeOutcomePrefix = "failmode:"
+
 // Key returns the exact-match clustering key.
 func (s Signature) Key() string {
 	return strings.Join([]string{
@@ -34,12 +42,17 @@ func (s Signature) Key() string {
 	}, "|")
 }
 
-// ID returns the short human-facing cluster id ("bug-1a2b3c4d"),
-// derived from the key so it is stable across stores and machines.
+// ID returns the short human-facing cluster id ("bug-1a2b3c4d", or
+// "failmode-1a2b3c4d" for discovered failure modes), derived from the
+// key so it is stable across stores and machines.
 func (s Signature) ID() string {
 	h := fnv.New64a()
 	h.Write([]byte(s.Key()))
-	return fmt.Sprintf("bug-%08x", uint32(h.Sum64()))
+	prefix := "bug"
+	if strings.HasPrefix(s.Outcome, FailmodeOutcomePrefix) {
+		prefix = "failmode"
+	}
+	return fmt.Sprintf("%s-%08x", prefix, uint32(h.Sum64()))
 }
 
 // SignatureOf builds the canonical signature for one failing run.

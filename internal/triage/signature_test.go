@@ -110,3 +110,17 @@ func TestSignatureID(t *testing.T) {
 		t.Fatalf("ID %q not of the form bug-xxxxxxxx", id)
 	}
 }
+
+func TestFailmodeOutcomeGetsFailmodeID(t *testing.T) {
+	bug := SignatureOf("toysys", "", "", "", "hang", nil, "")
+	if !strings.HasPrefix(bug.ID(), "bug-") {
+		t.Errorf("oracle outcome id = %s, want bug- prefix", bug.ID())
+	}
+	fm := SignatureOf("toysys", "", "", "", FailmodeOutcomePrefix+"a1b2c3d4", nil, "")
+	if !strings.HasPrefix(fm.ID(), "failmode-") {
+		t.Errorf("failmode outcome id = %s, want failmode- prefix", fm.ID())
+	}
+	if len(fm.ID()) != len("failmode-")+8 {
+		t.Errorf("failmode id %s has unexpected shape", fm.ID())
+	}
+}
